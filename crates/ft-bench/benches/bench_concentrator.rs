@@ -1,0 +1,19 @@
+//! Criterion bench for E8: concentrator construction and routing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_concentrator::{max_matching, Concentrator, PartialConcentrator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_concentrator(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let pc = PartialConcentrator::pippenger(768, &mut rng);
+    let active: Vec<usize> = (0..pc.guaranteed()).map(|i| (i * 2) % 768).collect();
+    c.bench_function("hopcroft_karp_768", |b| {
+        b.iter(|| max_matching(pc.graph(), &active))
+    });
+    c.bench_function("route_768", |b| b.iter(|| pc.route(&active)));
+}
+
+criterion_group!(benches, bench_concentrator);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! One module per experiment; see crate docs and DESIGN.md §3.
+
+pub mod a1_capacity_ablation;
+pub mod a2_scheduler_ablation;
+pub mod a3_switch_ablation;
+pub mod a4_compression;
+pub mod e10_online;
+pub mod e11_node_box;
+pub mod e12_bit_serial;
+pub mod e13_emulation;
+pub mod e14_layout;
+pub mod e15_locality;
+pub mod e16_faults;
+pub mod e1_theorem1;
+pub mod e2_corollary2;
+pub mod e3_hardware_cost;
+pub mod e4_decomposition;
+pub mod e5_balance;
+pub mod e6_universality;
+pub mod e7_finite_element;
+pub mod e8_concentrators;
+pub mod e9_permutation;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The deterministic RNG every experiment uses (reproducible tables).
+pub fn rng() -> StdRng {
+    StdRng::seed_from_u64(0x1985_0C70)
+}

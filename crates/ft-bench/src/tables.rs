@@ -1,0 +1,114 @@
+//! Minimal markdown table rendering for experiment output.
+
+/// A rendered experiment table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Title line (becomes a markdown heading).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Add a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Add a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as GitHub-flavored markdown.
+    pub fn render_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!(" {:>width$} |", c, width = widths[i]));
+            }
+            s
+        };
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}\n"));
+        }
+        out
+    }
+}
+
+/// Format a float with sensible precision for tables.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("hello");
+        let md = t.render_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("> hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_bad_rows() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(42.4242), "42.4");
+        assert_eq!(f(123456.0), "123456");
+    }
+}

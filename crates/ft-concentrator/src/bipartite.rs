@@ -1,0 +1,145 @@
+//! Bipartite graphs with bounded degrees, built by the configuration model.
+//!
+//! Pippenger's partial concentrators are bipartite graphs where every input
+//! has degree at most 6 and every output degree at most 9. We realize the
+//! random construction by pairing *stubs*: `din` stubs per input and `dout`
+//! stubs per output are matched by a random permutation, then parallel edges
+//! are collapsed (they never help a matching).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A bipartite graph from `r` inputs to `s` outputs, adjacency per input.
+#[derive(Clone, Debug)]
+pub struct BipartiteGraph {
+    r: usize,
+    s: usize,
+    adj: Vec<Vec<u32>>,
+}
+
+impl BipartiteGraph {
+    /// Build from explicit adjacency lists (`adj[i]` = outputs of input `i`).
+    ///
+    /// # Panics
+    /// If an output index is out of range.
+    pub fn from_adj(s: usize, adj: Vec<Vec<u32>>) -> Self {
+        for nbrs in &adj {
+            for &o in nbrs {
+                assert!((o as usize) < s, "output index {o} out of range (s = {s})");
+            }
+        }
+        BipartiteGraph { r: adj.len(), s, adj }
+    }
+
+    /// Random configuration-model graph: `din` stubs per input, `dout` stubs
+    /// per output, requiring `r·din ≤ s·dout`. Parallel edges are collapsed,
+    /// so input degrees are ≤ `din` and output degrees ≤ `dout`.
+    pub fn random_regular<R: Rng>(r: usize, s: usize, din: usize, dout: usize, rng: &mut R) -> Self {
+        assert!(r * din <= s * dout, "not enough output stubs: {r}×{din} > {s}×{dout}");
+        let mut out_stubs: Vec<u32> = Vec::with_capacity(s * dout);
+        for o in 0..s {
+            for _ in 0..dout {
+                out_stubs.push(o as u32);
+            }
+        }
+        out_stubs.shuffle(rng);
+        let mut adj = vec![Vec::with_capacity(din); r];
+        let mut it = out_stubs.into_iter();
+        for nbrs in adj.iter_mut() {
+            for _ in 0..din {
+                let o = it.next().expect("enough stubs");
+                if !nbrs.contains(&o) {
+                    nbrs.push(o);
+                }
+            }
+        }
+        BipartiteGraph { r, s, adj }
+    }
+
+    /// Number of inputs.
+    #[inline]
+    pub fn inputs(&self) -> usize {
+        self.r
+    }
+
+    /// Number of outputs.
+    #[inline]
+    pub fn outputs(&self) -> usize {
+        self.s
+    }
+
+    /// Neighbors (outputs) of input `i`.
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.adj[i]
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(|v| v.len()).sum()
+    }
+
+    /// Maximum input degree.
+    pub fn max_in_degree(&self) -> usize {
+        self.adj.iter().map(|v| v.len()).max().unwrap_or(0)
+    }
+
+    /// Maximum output degree.
+    pub fn max_out_degree(&self) -> usize {
+        let mut deg = vec![0usize; self.s];
+        for nbrs in &self.adj {
+            for &o in nbrs {
+                deg[o as usize] += 1;
+            }
+        }
+        deg.into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_regular_respects_degree_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &r in &[12usize, 48, 96, 300] {
+            let s = 2 * r / 3;
+            let g = BipartiteGraph::random_regular(r, s, 6, 9, &mut rng);
+            assert_eq!(g.inputs(), r);
+            assert_eq!(g.outputs(), s);
+            assert!(g.max_in_degree() <= 6);
+            assert!(g.max_out_degree() <= 9, "out degree {} > 9", g.max_out_degree());
+            // Collapsing parallel edges loses only a modest fraction (more
+            // collisions at small s, so the bound loosens for tiny graphs).
+            if r >= 48 {
+                assert!(g.num_edges() >= 5 * r, "too many parallel edges collapsed: {} < {}", g.num_edges(), 5 * r);
+            } else {
+                assert!(g.num_edges() >= 4 * r);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough output stubs")]
+    fn rejects_insufficient_stubs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = BipartiteGraph::random_regular(30, 10, 6, 9, &mut rng);
+    }
+
+    #[test]
+    fn from_adj_validates() {
+        let g = BipartiteGraph::from_adj(3, vec![vec![0, 1], vec![2]]);
+        assert_eq!(g.inputs(), 2);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_adj_rejects_bad_output() {
+        let _ = BipartiteGraph::from_adj(2, vec![vec![5]]);
+    }
+}

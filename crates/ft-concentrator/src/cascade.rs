@@ -1,0 +1,153 @@
+//! Cascaded concentrators (§IV): "By pasting several of these graphs
+//! together, outputs to inputs, any constant ratio of concentration can be
+//! obtained in constant depth."
+//!
+//! A [`Cascade`] chains partial concentrators, each shrinking the wire count
+//! by 2/3, until at most `target` outputs remain. Routing proceeds stage by
+//! stage ("a sequence of matchings on each level"), and the concentration
+//! guarantee holds as long as the load stays within every stage's α fraction.
+
+use crate::partial::PartialConcentrator;
+use crate::Concentrator;
+use rand::Rng;
+
+/// A constant-depth chain of partial concentrators.
+#[derive(Clone, Debug)]
+pub struct Cascade {
+    stages: Vec<PartialConcentrator>,
+    r: usize,
+    target: usize,
+}
+
+impl Cascade {
+    /// Build a cascade from `r` inputs down to at most `target` outputs
+    /// (but never below it); each stage is a fresh Pippenger sample.
+    ///
+    /// # Panics
+    /// If `target` is zero or exceeds `r`.
+    pub fn new<R: Rng>(r: usize, target: usize, rng: &mut R) -> Self {
+        assert!(target >= 1 && target <= r, "need 1 ≤ target ≤ r");
+        let mut stages = Vec::new();
+        let mut width = r;
+        while width > target {
+            let stage = PartialConcentrator::pippenger(width, rng);
+            // Stop if a stage cannot shrink further (tiny widths round up).
+            if stage.outputs() >= width {
+                break;
+            }
+            width = stage.outputs();
+            stages.push(stage);
+        }
+        Cascade { stages, r, target: width.min(r) }
+    }
+
+    /// The stages of the cascade, first to last.
+    pub fn stages(&self) -> &[PartialConcentrator] {
+        &self.stages
+    }
+
+    /// The maximum load every stage can guarantee: the minimum over stages
+    /// of `⌊α·s_stage⌋` (a set of this size concentrates through the whole
+    /// chain whenever each stage's matching succeeds).
+    pub fn guaranteed(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| s.guaranteed())
+            .min()
+            .unwrap_or(self.target)
+            .min(self.target)
+    }
+}
+
+impl Concentrator for Cascade {
+    fn inputs(&self) -> usize {
+        self.r
+    }
+
+    fn outputs(&self) -> usize {
+        self.target
+    }
+
+    fn route(&self, active: &[usize]) -> Option<Vec<usize>> {
+        if active.len() > self.target {
+            return None;
+        }
+        // Thread each message through the stages; `positions[j]` is where the
+        // j-th active message currently sits.
+        let mut positions: Vec<usize> = active.to_vec();
+        for stage in &self.stages {
+            let routed = stage.route(&positions)?;
+            positions = routed;
+        }
+        Some(positions)
+    }
+
+    fn components(&self) -> usize {
+        self.stages.iter().map(|s| s.components()).sum()
+    }
+
+    fn depth(&self) -> usize {
+        self.stages.len().max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cascade_shrinks_geometrically() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let c = Cascade::new(243, 75, &mut rng);
+        assert_eq!(c.inputs(), 243);
+        assert!(c.outputs() <= 108); // 243 → 162 → 108 ≤ … stops ≥ target
+        assert!(c.depth() >= 2);
+        // Constant depth: geometric shrink means ~log(r/target)/log(3/2).
+        assert!(c.depth() <= 4);
+    }
+
+    #[test]
+    fn cascade_routes_small_loads() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = Cascade::new(120, 40, &mut rng);
+        let k = c.guaranteed().min(20);
+        let active: Vec<usize> = (0..k).map(|i| i * 5).collect();
+        if let Some(out) = c.route(&active) {
+            let mut seen = std::collections::HashSet::new();
+            for o in out {
+                assert!(o < c.outputs() + 20, "output should be near final width");
+                assert!(seen.insert(o));
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_rejects_overload() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = Cascade::new(90, 30, &mut rng);
+        let active: Vec<usize> = (0..60).collect();
+        assert!(c.route(&active).is_none());
+    }
+
+    #[test]
+    fn component_count_linear_in_r() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for &r in &[60usize, 120, 240, 480] {
+            let c = Cascade::new(r, r / 4, &mut rng);
+            // Geometric series: ≤ 6r·(1 + 2/3 + 4/9 + …) = 18r.
+            assert!(c.components() <= 18 * r, "components {} > 18r", c.components());
+        }
+    }
+
+    #[test]
+    fn degenerate_cascade_identity() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let c = Cascade::new(10, 10, &mut rng);
+        assert_eq!(c.depth(), 1);
+        let active = vec![1usize, 3, 7];
+        let out = c.route(&active).expect("identity cascade routes anything ≤ target");
+        assert_eq!(out, active);
+    }
+}

@@ -1,0 +1,77 @@
+//! The ideal (r, s) concentrator, realized as a crossbar.
+//!
+//! §III assumes "ideal concentrator switches": if the number of input
+//! messages does not exceed the number of output wires, none are lost. A
+//! crossbar achieves this trivially — any `k ≤ s` inputs route to the first
+//! `k` outputs — at Θ(r·s) components instead of the partial concentrator's
+//! Θ(r). Ablation A3 measures what the cheaper switch costs in behaviour.
+
+use crate::Concentrator;
+
+/// An ideal concentrator: never loses messages while `k ≤ s`.
+#[derive(Clone, Copy, Debug)]
+pub struct Crossbar {
+    r: usize,
+    s: usize,
+}
+
+impl Crossbar {
+    /// An `r`-input, `s`-output crossbar (`s ≤ r`).
+    pub fn new(r: usize, s: usize) -> Self {
+        assert!(s <= r, "a concentrator has s ≤ r");
+        Crossbar { r, s }
+    }
+}
+
+impl Concentrator for Crossbar {
+    fn inputs(&self) -> usize {
+        self.r
+    }
+
+    fn outputs(&self) -> usize {
+        self.s
+    }
+
+    fn route(&self, active: &[usize]) -> Option<Vec<usize>> {
+        if active.len() > self.s {
+            return None;
+        }
+        debug_assert!(active.iter().all(|&i| i < self.r));
+        Some((0..active.len()).collect())
+    }
+
+    /// One crosspoint per input–output pair.
+    fn components(&self) -> usize {
+        self.r * self.s
+    }
+
+    fn depth(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_any_feasible_set() {
+        let c = Crossbar::new(8, 5);
+        let out = c.route(&[7, 2, 4]).unwrap();
+        assert_eq!(out, vec![0, 1, 2]);
+        assert!(c.route(&[0, 1, 2, 3, 4, 5]).is_none());
+    }
+
+    #[test]
+    fn cost_is_quadratic() {
+        let c = Crossbar::new(16, 12);
+        assert_eq!(c.components(), 192);
+        assert_eq!(c.depth(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "s ≤ r")]
+    fn rejects_expander() {
+        let _ = Crossbar::new(4, 8);
+    }
+}

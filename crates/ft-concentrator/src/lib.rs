@@ -1,0 +1,53 @@
+//! # ft-concentrator — concentrator switches for fat-tree nodes
+//!
+//! §IV of the paper builds each fat-tree node from three *concentrator
+//! switches* (Fig. 3): circuits that create electrical paths from the input
+//! wires that carry messages to (fewer) output wires. The paper uses
+//! Pippenger's probabilistic construction of *(r, s, α) partial
+//! concentrators*: bipartite graphs with `s = 2r/3` outputs, input degree
+//! ≤ 6, output degree ≤ 9, such that any `k ≤ α·s` inputs (α = 3/4) can be
+//! connected to `k` outputs by vertex-disjoint paths.
+//!
+//! This crate makes the construction concrete:
+//!
+//! * [`bipartite`] — bipartite graphs with exact degree bounds via the
+//!   configuration model (random stub pairing),
+//! * [`matching`] — Hopcroft–Karp maximum matching, the "network flow /
+//!   sequence of matchings" the paper invokes for setting up paths,
+//! * [`partial`] — the (r, s, α) partial concentrator: construction,
+//!   routing of a set of active inputs, and empirical verification of the
+//!   concentration property,
+//! * [`cascade`] — pasting stages "outputs to inputs" to reach any constant
+//!   concentration ratio in constant depth,
+//! * [`crossbar`] — the ideal (r, s) concentrator as a cost/behaviour
+//!   baseline (what §III assumes, at Θ(r·s) components instead of Θ(r)).
+
+pub mod bipartite;
+pub mod cascade;
+pub mod crossbar;
+pub mod matching;
+pub mod partial;
+
+pub use bipartite::BipartiteGraph;
+pub use cascade::Cascade;
+pub use crossbar::Crossbar;
+pub use matching::max_matching;
+pub use partial::PartialConcentrator;
+
+/// Behaviour common to all concentrator switches: route a set of active
+/// inputs to distinct outputs.
+pub trait Concentrator {
+    /// Number of input wires `r`.
+    fn inputs(&self) -> usize;
+    /// Number of output wires `s ≤ r`.
+    fn outputs(&self) -> usize;
+    /// Try to connect every active input to a distinct output.
+    /// Returns `out[i] = Some(output)` per active input, or `None` if this
+    /// set cannot be fully concentrated (congestion: messages get lost).
+    fn route(&self, active: &[usize]) -> Option<Vec<usize>>;
+    /// Hardware cost in components (switching elements), per the paper's
+    /// component-count model.
+    fn components(&self) -> usize;
+    /// Depth (switching stages traversed); the paper requires O(1).
+    fn depth(&self) -> usize;
+}

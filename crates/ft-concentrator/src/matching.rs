@@ -1,0 +1,149 @@
+//! Hopcroft–Karp maximum bipartite matching.
+//!
+//! The paper sets up concentrator paths "using network flow techniques or by
+//! performing a sequence of matchings on each level of the graph"; this is
+//! that machinery. Hopcroft–Karp runs in O(E·√V), comfortably polynomial as
+//! the paper requires.
+
+use crate::bipartite::BipartiteGraph;
+
+const NIL: u32 = u32::MAX;
+
+/// Maximum matching between the *active* inputs of `g` and its outputs.
+///
+/// Returns `(size, match_of_active)` where `match_of_active[j]` is the
+/// output matched to `active[j]` (or `None`).
+pub fn max_matching(g: &BipartiteGraph, active: &[usize]) -> (usize, Vec<Option<usize>>) {
+    let n = active.len();
+    let s = g.outputs();
+    // pair_u[j] = matched output of active j; pair_v[o] = matched active j.
+    let mut pair_u = vec![NIL; n];
+    let mut pair_v = vec![NIL; s];
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+
+    loop {
+        // BFS: layers from free inputs.
+        queue.clear();
+        let mut found_augmenting = false;
+        for j in 0..n {
+            if pair_u[j] == NIL {
+                dist[j] = 0;
+                queue.push_back(j as u32);
+            } else {
+                dist[j] = u32::MAX;
+            }
+        }
+        while let Some(j) = queue.pop_front() {
+            for &o in g.neighbors(active[j as usize]) {
+                let pv = pair_v[o as usize];
+                if pv == NIL {
+                    found_augmenting = true;
+                } else if dist[pv as usize] == u32::MAX {
+                    dist[pv as usize] = dist[j as usize] + 1;
+                    queue.push_back(pv);
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS along layered graph.
+        for j in 0..n {
+            if pair_u[j] == NIL {
+                dfs(g, active, j, &mut pair_u, &mut pair_v, &mut dist);
+            }
+        }
+    }
+
+    let size = pair_u.iter().filter(|&&o| o != NIL).count();
+    let matches = pair_u
+        .into_iter()
+        .map(|o| if o == NIL { None } else { Some(o as usize) })
+        .collect();
+    (size, matches)
+}
+
+fn dfs(
+    g: &BipartiteGraph,
+    active: &[usize],
+    j: usize,
+    pair_u: &mut [u32],
+    pair_v: &mut [u32],
+    dist: &mut [u32],
+) -> bool {
+    for &o in g.neighbors(active[j]) {
+        let pv = pair_v[o as usize];
+        if pv == NIL || (dist[pv as usize] == dist[j] + 1 && dfs(g, active, pv as usize, pair_u, pair_v, dist)) {
+            pair_u[j] = o;
+            pair_v[o as usize] = j as u32;
+            return true;
+        }
+    }
+    dist[j] = u32::MAX;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_identity() {
+        let g = BipartiteGraph::from_adj(4, vec![vec![0], vec![1], vec![2], vec![3]]);
+        let (size, m) = max_matching(&g, &[0, 1, 2, 3]);
+        assert_eq!(size, 4);
+        assert_eq!(m, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // 0: {0}, 1: {0,1} — greedy could block input 0; HK must find both.
+        let g = BipartiteGraph::from_adj(2, vec![vec![0], vec![0, 1]]);
+        let (size, m) = max_matching(&g, &[0, 1]);
+        assert_eq!(size, 2);
+        assert_eq!(m[0], Some(0));
+        assert_eq!(m[1], Some(1));
+    }
+
+    #[test]
+    fn deficient_graph_partial_matching() {
+        // Three inputs all share one output.
+        let g = BipartiteGraph::from_adj(1, vec![vec![0], vec![0], vec![0]]);
+        let (size, m) = max_matching(&g, &[0, 1, 2]);
+        assert_eq!(size, 1);
+        assert_eq!(m.iter().filter(|x| x.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn matching_is_injective() {
+        let g = BipartiteGraph::from_adj(
+            5,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0], vec![0, 2]],
+        );
+        let active: Vec<usize> = (0..6).collect();
+        let (size, m) = max_matching(&g, &active);
+        assert_eq!(size, 5); // 6 inputs, 5 outputs: at most 5
+        let mut used = std::collections::HashSet::new();
+        for o in m.into_iter().flatten() {
+            assert!(used.insert(o), "output {o} matched twice");
+        }
+    }
+
+    #[test]
+    fn subset_of_active_inputs() {
+        let g = BipartiteGraph::from_adj(3, vec![vec![0], vec![1], vec![2], vec![0, 1, 2]]);
+        let (size, m) = max_matching(&g, &[1, 3]);
+        assert_eq!(size, 2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0], Some(1));
+    }
+
+    #[test]
+    fn empty_active_set() {
+        let g = BipartiteGraph::from_adj(2, vec![vec![0], vec![1]]);
+        let (size, m) = max_matching(&g, &[]);
+        assert_eq!(size, 0);
+        assert!(m.is_empty());
+    }
+}

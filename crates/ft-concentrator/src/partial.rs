@@ -1,0 +1,204 @@
+//! The (r, s, α) partial concentrator (§IV).
+//!
+//! A directed acyclic bipartite graph with `r` inputs and `s ≤ r` outputs
+//! such that any `k ≤ α·s` inputs can be simultaneously connected to some
+//! `k` outputs by vertex-disjoint paths. Pippenger's parameters: `s = 2r/3`,
+//! `α = 3/4`, input degree ≤ 6, output degree ≤ 9, existence for
+//! sufficiently large `r` by a probabilistic argument. We sample from the
+//! same distribution and can *verify* the property empirically (or, for
+//! small `r`, exhaustively via Hall's condition).
+
+use crate::bipartite::BipartiteGraph;
+use crate::matching::max_matching;
+use crate::Concentrator;
+use rand::seq::index::sample;
+use rand::Rng;
+
+/// Pippenger's input degree bound.
+pub const PIPPENGER_DIN: usize = 6;
+/// Pippenger's output degree bound.
+pub const PIPPENGER_DOUT: usize = 9;
+/// Pippenger's concentration fraction α.
+pub const PIPPENGER_ALPHA: f64 = 0.75;
+
+/// A partial concentrator switch backed by a bounded-degree bipartite graph.
+#[derive(Clone, Debug)]
+pub struct PartialConcentrator {
+    graph: BipartiteGraph,
+    alpha: f64,
+}
+
+impl PartialConcentrator {
+    /// Sample a Pippenger-style concentrator: `s = ⌈2r/3⌉` outputs,
+    /// degrees (6, 9), α = 3/4.
+    pub fn pippenger<R: Rng>(r: usize, rng: &mut R) -> Self {
+        let s = r.div_ceil(3) * 2; // ⌈r/3⌉·2 ≥ 2r/3, keeps stub count feasible
+        PartialConcentrator {
+            graph: BipartiteGraph::random_regular(r, s, PIPPENGER_DIN, PIPPENGER_DOUT, rng),
+            alpha: PIPPENGER_ALPHA,
+        }
+    }
+
+    /// Wrap an explicit graph with a claimed concentration fraction α.
+    pub fn from_graph(graph: BipartiteGraph, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha));
+        PartialConcentrator { graph, alpha }
+    }
+
+    /// The claimed α: any `k ≤ α·s` inputs should concentrate.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Largest guaranteed-concentratable load `⌊α·s⌋`.
+    #[inline]
+    pub fn guaranteed(&self) -> usize {
+        (self.alpha * self.graph.outputs() as f64).floor() as usize
+    }
+
+    /// Underlying bipartite graph.
+    #[inline]
+    pub fn graph(&self) -> &BipartiteGraph {
+        &self.graph
+    }
+
+    /// Empirically verify the concentration property on `trials` random
+    /// active sets of the maximum guaranteed size. Returns the number of
+    /// failures (0 means the sample looks like a true (r,s,α) concentrator).
+    pub fn verify_random<R: Rng>(&self, trials: usize, rng: &mut R) -> usize {
+        let k = self.guaranteed().min(self.graph.inputs());
+        let mut failures = 0;
+        for _ in 0..trials {
+            let active: Vec<usize> = sample(rng, self.graph.inputs(), k).into_iter().collect();
+            let (size, _) = max_matching(&self.graph, &active);
+            if size < k {
+                failures += 1;
+            }
+        }
+        failures
+    }
+
+    /// Exhaustively verify the property for all active sets of every size
+    /// `k ≤ α·s` (exponential; use only for small `r`). Returns the first
+    /// failing set if any.
+    pub fn verify_exhaustive(&self) -> Option<Vec<usize>> {
+        let r = self.graph.inputs();
+        let kmax = self.guaranteed().min(r);
+        // Enumerate subsets by bitmask.
+        assert!(r <= 20, "exhaustive verification is exponential; r too large");
+        for mask in 1u32..(1 << r) {
+            let k = mask.count_ones() as usize;
+            if k > kmax {
+                continue;
+            }
+            let active: Vec<usize> = (0..r).filter(|&i| mask >> i & 1 == 1).collect();
+            let (size, _) = max_matching(&self.graph, &active);
+            if size < k {
+                return Some(active);
+            }
+        }
+        None
+    }
+}
+
+impl Concentrator for PartialConcentrator {
+    fn inputs(&self) -> usize {
+        self.graph.inputs()
+    }
+
+    fn outputs(&self) -> usize {
+        self.graph.outputs()
+    }
+
+    fn route(&self, active: &[usize]) -> Option<Vec<usize>> {
+        let (size, m) = max_matching(&self.graph, active);
+        if size == active.len() {
+            Some(m.into_iter().map(|o| o.expect("full matching")).collect())
+        } else {
+            None
+        }
+    }
+
+    /// One switching element per edge (a pass-transistor / mux leg),
+    /// O(r) total as the paper requires.
+    fn components(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    fn depth(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pippenger_dimensions() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pc = PartialConcentrator::pippenger(48, &mut rng);
+        assert_eq!(pc.inputs(), 48);
+        assert_eq!(pc.outputs(), 32);
+        assert_eq!(pc.guaranteed(), 24);
+        assert_eq!(pc.depth(), 1);
+        assert!(pc.components() <= 6 * 48);
+    }
+
+    #[test]
+    fn pippenger_concentrates_with_high_probability() {
+        // Failures should be rare for moderate r; tolerate a tiny rate.
+        let mut rng = StdRng::seed_from_u64(5);
+        let pc = PartialConcentrator::pippenger(96, &mut rng);
+        let failures = pc.verify_random(200, &mut rng);
+        assert!(
+            failures <= 4,
+            "too many concentration failures: {failures}/200"
+        );
+    }
+
+    #[test]
+    fn route_returns_injective_assignment() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pc = PartialConcentrator::pippenger(60, &mut rng);
+        let active: Vec<usize> = (0..pc.guaranteed()).collect();
+        if let Some(out) = pc.route(&active) {
+            let mut used = std::collections::HashSet::new();
+            for o in out {
+                assert!(o < pc.outputs());
+                assert!(used.insert(o));
+            }
+        }
+    }
+
+    #[test]
+    fn overload_fails_to_route() {
+        // More active inputs than outputs can never concentrate.
+        let mut rng = StdRng::seed_from_u64(9);
+        let pc = PartialConcentrator::pippenger(30, &mut rng);
+        let active: Vec<usize> = (0..pc.inputs()).collect();
+        assert!(active.len() > pc.outputs());
+        assert!(pc.route(&active).is_none());
+    }
+
+    #[test]
+    fn exhaustive_small_crossbar_like_graph() {
+        // Complete bipartite graph trivially concentrates everything ≤ s.
+        let adj = (0..6).map(|_| (0..4).collect()).collect();
+        let g = BipartiteGraph::from_adj(4, adj);
+        let pc = PartialConcentrator::from_graph(g, 1.0);
+        assert!(pc.verify_exhaustive().is_none());
+    }
+
+    #[test]
+    fn exhaustive_detects_bad_graph() {
+        // Two inputs forced onto one output: k = 2 ≤ α·s fails.
+        let g = BipartiteGraph::from_adj(2, vec![vec![0], vec![0], vec![1]]);
+        let pc = PartialConcentrator::from_graph(g, 1.0);
+        let bad = pc.verify_exhaustive().expect("must find failing set");
+        assert_eq!(bad, vec![0, 1]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the concentrator substrate: matchings are always
+//! legal, concentration degrades gracefully, cascades compose.
+
+use ft_concentrator::{max_matching, BipartiteGraph, Cascade, Concentrator, PartialConcentrator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matchings_are_legal_and_maximal_enough(
+        adj in prop::collection::vec(prop::collection::vec(0u32..12, 0..4), 1..16),
+    ) {
+        let g = BipartiteGraph::from_adj(12, adj);
+        let active: Vec<usize> = (0..g.inputs()).collect();
+        let (size, m) = max_matching(&g, &active);
+        // Legal: matched outputs distinct and actual neighbors.
+        let mut used = std::collections::HashSet::new();
+        let mut count = 0;
+        for (j, out) in m.iter().enumerate() {
+            if let Some(o) = out {
+                count += 1;
+                prop_assert!(g.neighbors(active[j]).contains(&(*o as u32)));
+                prop_assert!(used.insert(*o));
+            }
+        }
+        prop_assert_eq!(count, size);
+        // Maximality (weak form): no free input with a free neighbor.
+        for (j, out) in m.iter().enumerate() {
+            if out.is_none() {
+                for &o in g.neighbors(active[j]) {
+                    prop_assert!(used.contains(&(o as usize)),
+                        "augmenting edge left behind: input {j} output {o}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pippenger_routes_monotone_in_load(seed in any::<u64>(), r in 24usize..120) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pc = PartialConcentrator::pippenger(r, &mut rng);
+        // If a set routes, every prefix of it routes.
+        let step = (r / 8).max(1);
+        let active: Vec<usize> = (0..r).step_by(step).collect();
+        if pc.route(&active).is_some() {
+            for cut in 0..active.len() {
+                prop_assert!(pc.route(&active[..cut]).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_never_outputs_duplicates(seed in any::<u64>(), r in 30usize..90) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = (r / 3).max(2);
+        let c = Cascade::new(r, target, &mut rng);
+        let k = c.guaranteed().min(8);
+        let active: Vec<usize> = (0..k).map(|i| (i * 7) % r).collect();
+        if let Some(out) = c.route(&active) {
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), out.len(), "duplicate output wires");
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Channel-capacity profiles, including the paper's *universal fat-tree*
+//! capacities (§IV, Definition) and the volume-parameterized form.
+
+use crate::ids::{ilog2_ceil, is_pow2};
+use serde::{Deserialize, Serialize};
+
+/// How channel capacities vary with level in a fat-tree on `n` processors.
+///
+/// Level `k` runs from 0 (root / external interface) to `L = lg n`
+/// (processor connections). All profiles are clamped to a minimum of 1 wire
+/// per channel.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CapacityProfile {
+    /// The paper's universal fat-tree with root capacity `w`
+    /// (`n^(2/3) ≤ w ≤ n`):
+    ///
+    /// `cap(k) = min(⌈n/2^k⌉, ⌈w/2^(2k/3)⌉)`.
+    ///
+    /// Capacities double level-to-level near the leaves and grow at rate ∛4
+    /// within distance `3·lg(n/w)` of the root.
+    Universal {
+        /// Root capacity `w`.
+        root_capacity: u64,
+    },
+    /// Every channel has the same fixed capacity (a "skinny" tree when 1).
+    Constant(u64),
+    /// Capacities double all the way: `cap(k) = n/2^k`. This provides full
+    /// bisection bandwidth (hypercube-like cost) and is used as an ablation
+    /// endpoint; it is a universal profile with `w = n`.
+    FullDoubling,
+    /// Arbitrary per-level capacities, `caps[k]` for level `k` (length must
+    /// be `lg n + 1`).
+    PerLevel(Vec<u64>),
+    /// The §VI relaxation for fixed-connection emulation: "we relax the
+    /// technical assumption in the definition of a universal fat-tree to
+    /// allow the processors to have a given number d of connections to the
+    /// routing network, instead of 1":
+    ///
+    /// `cap(k) = min(d·⌈n/2^k⌉, ⌈w/2^(2k/3)⌉)`.
+    ///
+    /// Each processor owns `d` leaf wires; subtree terms scale by `d`.
+    UniversalWithDegree {
+        /// Root capacity `w`.
+        root_capacity: u64,
+        /// Connections per processor `d ≥ 1`.
+        degree: u64,
+    },
+}
+
+impl CapacityProfile {
+    /// Materialize per-level capacities for a fat-tree on `n` processors
+    /// (`n` a power of two ≥ 2). Returns `caps[0..=lg n]`.
+    ///
+    /// # Panics
+    /// If `n` is not a power of two, or a `PerLevel` vector has the wrong
+    /// length or a zero capacity, or a `Universal` root capacity is zero.
+    pub fn capacities(&self, n: u32) -> Vec<u64> {
+        assert!(n >= 2 && is_pow2(n as u64));
+        let levels = (n as u64).trailing_zeros() + 1; // 0..=L
+        match self {
+            CapacityProfile::Universal { root_capacity: w } => {
+                assert!(*w >= 1, "root capacity must be >= 1");
+                (0..levels).map(|k| universal_cap(n as u64, *w, k)).collect()
+            }
+            CapacityProfile::Constant(c) => {
+                assert!(*c >= 1, "constant capacity must be >= 1");
+                vec![*c; levels as usize]
+            }
+            CapacityProfile::FullDoubling => {
+                (0..levels).map(|k| (n as u64) >> k).collect()
+            }
+            CapacityProfile::PerLevel(v) => {
+                assert_eq!(
+                    v.len(),
+                    levels as usize,
+                    "PerLevel capacities must have length lg n + 1"
+                );
+                assert!(v.iter().all(|&c| c >= 1), "capacities must be >= 1");
+                v.clone()
+            }
+            CapacityProfile::UniversalWithDegree { root_capacity: w, degree: d } => {
+                assert!(*w >= 1 && *d >= 1);
+                (0..levels)
+                    .map(|k| universal_cap_degree(n as u64, *w, *d, k))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// The degree-`d` universal capacity law
+/// `cap(k) = min(d·⌈n/2^k⌉, ⌈w/2^(2k/3)⌉)`, clamped to ≥ 1.
+pub fn universal_cap_degree(n: u64, w: u64, d: u64, k: u32) -> u64 {
+    let tree_term = d * ((n >> k).max(1));
+    let growth = (w as f64) * (-(2.0 * k as f64) / 3.0).exp2();
+    tree_term.min(growth.ceil() as u64).max(1)
+}
+
+/// The universal capacity law `cap(k) = min(⌈n/2^k⌉, ⌈w/2^(2k/3)⌉)`,
+/// clamped to ≥ 1.
+pub fn universal_cap(n: u64, w: u64, k: u32) -> u64 {
+    let tree_term = n >> k; // exact: n is a power of two, k <= lg n
+    let tree_term = tree_term.max(1);
+    // w / 2^(2k/3), computed in f64 and ceiled; values here stay far below
+    // 2^52 for any simulable configuration so f64 is exact enough.
+    let growth = (w as f64) * (-(2.0 * k as f64) / 3.0).exp2();
+    let growth = growth.ceil() as u64;
+    tree_term.min(growth).max(1)
+}
+
+/// The crossover level `k* = 3·lg(n/w)`: above it (closer to the root)
+/// capacities follow the ∛4 law, below it they double per level.
+pub fn crossover_level(n: u64, w: u64) -> u32 {
+    assert!(w >= 1 && w <= n);
+    3 * ilog2_ceil((n / w.max(1)).max(1))
+}
+
+/// Root capacity of a *universal fat-tree of volume v* (§IV, Definition):
+/// `w = Θ(v^(2/3) / lg(n/v^(2/3)))`, with unit constants.
+///
+/// Result is clamped into the legal range `[n^(2/3), n]` (the paper's
+/// remark requires `v = Ω(n lg n)` and `v = O(n^(3/2))` for the definition
+/// to be well formed; clamping realizes the same normalization).
+pub fn root_capacity_for_volume(n: u64, v: f64) -> u64 {
+    assert!(n >= 2 && v > 0.0);
+    let v23 = v.powf(2.0 / 3.0);
+    let ratio = (n as f64 / v23).max(2.0);
+    let w = v23 / ratio.log2();
+    let lo = (n as f64).powf(2.0 / 3.0);
+    let hi = n as f64;
+    (w.max(lo).min(hi)).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universal_endpoints() {
+        // Root capacity is w; leaf capacity is 1 when n^(2/3) <= w <= n.
+        for &(n, w) in &[(64u64, 16u64), (64, 64), (1024, 128), (4096, 4096), (4096, 256)] {
+            assert_eq!(universal_cap(n, w, 0), w.min(n));
+            let l = (n as f64).log2() as u32;
+            assert_eq!(universal_cap(n, w, l), 1, "n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn universal_monotone_toward_root() {
+        let n = 4096u64;
+        for &w in &[256u64, 512, 1024, 4096] {
+            let l = 12;
+            for k in 0..l {
+                assert!(
+                    universal_cap(n, w, k) >= universal_cap(n, w, k + 1),
+                    "capacity must not decrease toward the root (n={n}, w={w}, k={k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn universal_growth_rates() {
+        // Below the crossover (near leaves) capacities double per level going
+        // up; above it they grow by about cube-root-of-4 per level.
+        let n = 1u64 << 18;
+        let w = 1u64 << 12; // n^(2/3) = 2^12, so crossover k* = 3·lg(n/w) = 18 … entire tree in ∛4 regime? n/w = 2^6, k* = 18 = lg n.
+        let kstar = crossover_level(n, w);
+        assert_eq!(kstar, 18);
+        // choose a larger w so both regimes appear
+        let w = 1u64 << 15; // k* = 3*3 = 9
+        let kstar = crossover_level(n, w);
+        assert_eq!(kstar, 9);
+        // Doubling regime: k > k*
+        for k in (kstar + 1)..18 {
+            let lo = universal_cap(n, w, k + 1);
+            let hi = universal_cap(n, w, k);
+            assert_eq!(hi, 2 * lo, "doubling regime at k={k}");
+        }
+        // ∛4 regime: ratios near 2^(2/3) ≈ 1.587 (rounding makes it lumpy)
+        for k in 0..kstar.saturating_sub(1) {
+            let hi = universal_cap(n, w, k) as f64;
+            let lo = universal_cap(n, w, k + 1) as f64;
+            let r = hi / lo;
+            assert!(r > 1.3 && r < 2.0, "cube-root-4 regime at k={k}: ratio {r}");
+        }
+    }
+
+    #[test]
+    fn constant_and_full_doubling() {
+        let c = CapacityProfile::Constant(3).capacities(8);
+        assert_eq!(c, vec![3, 3, 3, 3]);
+        let d = CapacityProfile::FullDoubling.capacities(8);
+        assert_eq!(d, vec![8, 4, 2, 1]);
+    }
+
+    #[test]
+    fn full_doubling_equals_universal_w_eq_n() {
+        let n = 256u32;
+        let a = CapacityProfile::FullDoubling.capacities(n);
+        let b = CapacityProfile::Universal { root_capacity: n as u64 }.capacities(n);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_level_roundtrip() {
+        let caps = vec![7, 5, 2, 1];
+        let got = CapacityProfile::PerLevel(caps.clone()).capacities(8);
+        assert_eq!(got, caps);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn per_level_wrong_length() {
+        let _ = CapacityProfile::PerLevel(vec![1, 2]).capacities(8);
+    }
+
+    #[test]
+    fn degree_profile_scales_leaf_channels() {
+        let n = 64u32;
+        let d = 4u64;
+        let caps = CapacityProfile::UniversalWithDegree { root_capacity: 64, degree: d }
+            .capacities(n);
+        // Leaf channels carry d wires (one per processor connection).
+        assert_eq!(*caps.last().unwrap(), d);
+        // Root is still min(d·n, w) = w here.
+        assert_eq!(caps[0], 64);
+        // Degree 1 degenerates to the plain universal profile.
+        let plain = CapacityProfile::Universal { root_capacity: 64 }.capacities(n);
+        let deg1 = CapacityProfile::UniversalWithDegree { root_capacity: 64, degree: 1 }
+            .capacities(n);
+        assert_eq!(plain, deg1);
+    }
+
+    #[test]
+    fn degree_profile_monotone_toward_root() {
+        let caps = CapacityProfile::UniversalWithDegree { root_capacity: 512, degree: 6 }
+            .capacities(256);
+        for w in caps.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn volume_root_capacity_monotone_in_volume() {
+        let n = 4096u64;
+        let mut prev = 0;
+        for &v in &[4096.0 * 12.0, 1e5, 1e6, 1e7, 262144.0 * 64.0] {
+            let w = root_capacity_for_volume(n, v);
+            assert!(w >= prev, "w should grow with volume");
+            prev = w;
+        }
+        // clamped to [n^(2/3), n]
+        assert!(root_capacity_for_volume(n, 1.0) >= 256);
+        assert!(root_capacity_for_volume(n, 1e30) <= 4096);
+    }
+}

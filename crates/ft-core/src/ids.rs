@@ -1,0 +1,103 @@
+//! Identifier newtypes and the paper's logarithm conventions.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a processor (a leaf of the fat-tree), in `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The processor index as a `usize`, for array indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The paper's `lg m` (footnote 1): `max(1, ⌈log₂ m⌉)`.
+///
+/// Defined for `m ≥ 1`; `lg 1 = lg 2 = 1`.
+#[inline]
+pub fn lg(m: u64) -> u32 {
+    assert!(m >= 1, "lg is defined for m >= 1");
+    ilog2_ceil(m).max(1)
+}
+
+/// `⌈log₂ m⌉` for `m ≥ 1` (so `ilog2_ceil(1) = 0`).
+#[inline]
+pub fn ilog2_ceil(m: u64) -> u32 {
+    assert!(m >= 1);
+    if m == 1 {
+        0
+    } else {
+        64 - (m - 1).leading_zeros()
+    }
+}
+
+/// `⌊log₂ m⌋` for `m ≥ 1`.
+#[inline]
+pub fn ilog2_floor(m: u64) -> u32 {
+    assert!(m >= 1);
+    63 - m.leading_zeros()
+}
+
+/// True iff `m` is a power of two (and nonzero).
+#[inline]
+pub fn is_pow2(m: u64) -> bool {
+    m != 0 && m & (m - 1) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lg_matches_paper_footnote() {
+        // lg m = max(1, ceil(log2 m))
+        assert_eq!(lg(1), 1);
+        assert_eq!(lg(2), 1);
+        assert_eq!(lg(3), 2);
+        assert_eq!(lg(4), 2);
+        assert_eq!(lg(5), 3);
+        assert_eq!(lg(1024), 10);
+        assert_eq!(lg(1025), 11);
+    }
+
+    #[test]
+    fn ceil_floor_log() {
+        for m in 1u64..1000 {
+            let c = ilog2_ceil(m);
+            let f = ilog2_floor(m);
+            assert!(1u64 << f <= m, "floor failed at {m}");
+            assert!(m <= 1u64 << c, "ceil failed at {m}");
+            if is_pow2(m) {
+                assert_eq!(c, f);
+            } else {
+                assert_eq!(c, f + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn pow2_detection() {
+        assert!(is_pow2(1));
+        assert!(is_pow2(2));
+        assert!(is_pow2(4096));
+        assert!(!is_pow2(0));
+        assert!(!is_pow2(3));
+        assert!(!is_pow2(4095));
+    }
+
+    #[test]
+    fn procid_display_and_idx() {
+        let p = ProcId(42);
+        assert_eq!(p.idx(), 42);
+        assert_eq!(format!("{p}"), "P42");
+    }
+}

@@ -1,0 +1,173 @@
+//! Messages and message sets (§II, §III).
+//!
+//! A message set `M ⊆ P × P` is routed in *delivery cycles*; the scheduling
+//! theory in `ft-sched` partitions a set into one-cycle sets.
+
+use crate::ids::ProcId;
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point message `(src, dst)`.
+///
+/// Message *contents* are irrelevant to the routing theory (the paper omits
+/// them too); `ft-sim` attaches payload bits when simulating the bit-serial
+/// protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Message {
+    /// Sending processor.
+    pub src: ProcId,
+    /// Destination processor.
+    pub dst: ProcId,
+}
+
+impl Message {
+    /// Construct a message from processor indices.
+    #[inline]
+    pub fn new(src: u32, dst: u32) -> Self {
+        Message { src: ProcId(src), dst: ProcId(dst) }
+    }
+
+    /// True if source equals destination (routes through no channels).
+    #[inline]
+    pub fn is_local(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+impl std::fmt::Display for Message {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}→{}", self.src, self.dst)
+    }
+}
+
+/// An ordered multiset of messages.
+///
+/// Duplicates are allowed (the theory is stated for sets, but all results
+/// hold verbatim for multisets, and k-relations need them).
+#[derive(Clone, Default, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageSet {
+    msgs: Vec<Message>,
+}
+
+impl MessageSet {
+    /// The empty message set.
+    pub fn new() -> Self {
+        MessageSet { msgs: Vec::new() }
+    }
+
+    /// Wrap an existing vector of messages.
+    pub fn from_vec(msgs: Vec<Message>) -> Self {
+        MessageSet { msgs }
+    }
+
+    /// With pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        MessageSet { msgs: Vec::with_capacity(cap) }
+    }
+
+    /// Add a message.
+    #[inline]
+    pub fn push(&mut self, m: Message) {
+        self.msgs.push(m);
+    }
+
+    /// Number of messages.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// True if there are no messages.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Iterate over messages.
+    pub fn iter(&self) -> impl Iterator<Item = &Message> {
+        self.msgs.iter()
+    }
+
+    /// Borrow the underlying slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Message] {
+        &self.msgs
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_vec(self) -> Vec<Message> {
+        self.msgs
+    }
+
+    /// Append all messages of `other`.
+    pub fn extend_from(&mut self, other: &MessageSet) {
+        self.msgs.extend_from_slice(&other.msgs);
+    }
+
+    /// Sorted copy of the messages (for set-equality checks in tests: the
+    /// schedule's cycles must partition the input multiset).
+    pub fn sorted(&self) -> Vec<Message> {
+        let mut v = self.msgs.clone();
+        v.sort_unstable_by_key(|m| (m.src.0, m.dst.0));
+        v
+    }
+}
+
+impl FromIterator<Message> for MessageSet {
+    fn from_iter<T: IntoIterator<Item = Message>>(iter: T) -> Self {
+        MessageSet { msgs: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a MessageSet {
+    type Item = &'a Message;
+    type IntoIter = std::slice::Iter<'a, Message>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.msgs.iter()
+    }
+}
+
+impl IntoIterator for MessageSet {
+    type Item = Message;
+    type IntoIter = std::vec::IntoIter<Message>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.msgs.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = MessageSet::new();
+        assert!(s.is_empty());
+        s.push(Message::new(0, 5));
+        s.push(Message::new(3, 3));
+        assert_eq!(s.len(), 2);
+        assert!(s.as_slice()[1].is_local());
+        assert!(!s.as_slice()[0].is_local());
+        assert_eq!(format!("{}", s.as_slice()[0]), "P0→P5");
+    }
+
+    #[test]
+    fn sorted_is_stable_multiset_view() {
+        let s = MessageSet::from_vec(vec![
+            Message::new(2, 1),
+            Message::new(0, 9),
+            Message::new(2, 1),
+        ]);
+        let v = s.sorted();
+        assert_eq!(v, vec![Message::new(0, 9), Message::new(2, 1), Message::new(2, 1)]);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let a: MessageSet = (0..4).map(|i| Message::new(i, i + 1)).collect();
+        let mut b = MessageSet::with_capacity(8);
+        b.extend_from(&a);
+        b.extend_from(&a);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.iter().count(), 8);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests on the core invariants: routing paths, load accounting,
+//! and capacity profiles.
+
+use ft_core::{
+    capacity::universal_cap, load_factor, route, CapacityProfile, Direction, FatTree, LoadMap,
+    Message, MessageSet,
+};
+use proptest::prelude::*;
+
+fn pow2_n() -> impl Strategy<Value = u32> {
+    (1u32..=10).prop_map(|k| 1 << k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn paths_are_up_then_down_and_minimal(n in pow2_n(), s in any::<u32>(), d in any::<u32>()) {
+        let ft = FatTree::new(n, CapacityProfile::Constant(1));
+        let m = Message::new(s % n, d % n);
+        let path = route::path_channels(&ft, &m);
+        // Up-run before down-run.
+        let first_down = path.iter().position(|c| c.dir == Direction::Down);
+        if let Some(i) = first_down {
+            prop_assert!(path[i..].iter().all(|c| c.dir == Direction::Down));
+            prop_assert!(path[..i].iter().all(|c| c.dir == Direction::Up));
+        }
+        // Length is twice the distance from the LCA to the leaves.
+        if !m.is_local() {
+            let lca = ft.lca(m.src, m.dst);
+            let lca_level = 31 - lca.leading_zeros();
+            prop_assert_eq!(path.len() as u32, 2 * (ft.height() - lca_level));
+        } else {
+            prop_assert!(path.is_empty());
+        }
+        // No channel repeats.
+        let mut idx: Vec<usize> = path.iter().map(|c| c.index()).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        prop_assert_eq!(idx.len(), path.len());
+    }
+
+    #[test]
+    fn load_is_additive(n in pow2_n(), pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 0..64)) {
+        let ft = FatTree::new(n, CapacityProfile::Constant(1));
+        let msgs: Vec<Message> = pairs.iter().map(|&(a, b)| Message::new(a % n, b % n)).collect();
+        // Sum of single-message loads equals the batch load on every channel.
+        let batch = LoadMap::of(&ft, &MessageSet::from_vec(msgs.clone()));
+        let mut acc = LoadMap::zeros(&ft);
+        for m in &msgs {
+            acc.add(&ft, m);
+        }
+        prop_assert_eq!(batch, acc);
+    }
+
+    #[test]
+    fn load_factor_scales_linearly_with_duplication(
+        n in pow2_n(),
+        pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 1..32),
+        copies in 1usize..5,
+    ) {
+        let ft = FatTree::new(n, CapacityProfile::Constant(3));
+        let base: MessageSet = pairs.iter().map(|&(a, b)| Message::new(a % n, b % n)).collect();
+        let mut dup = MessageSet::new();
+        for _ in 0..copies {
+            dup.extend_from(&base);
+        }
+        let l1 = load_factor(&ft, &base);
+        let lk = load_factor(&ft, &dup);
+        prop_assert!((lk - copies as f64 * l1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn universal_capacities_sandwiched(nk in 4u32..=16, wk in 0u32..=16) {
+        // For any legal (n, w): 1 ≤ cap(k) ≤ cap(k−1) ≤ 2·cap(k), and the
+        // growth toward the root never exceeds doubling.
+        let n = 1u64 << nk;
+        let w = 1u64 << (wk.min(nk).max(2 * nk / 3));
+        for k in 1..=nk {
+            let hi = universal_cap(n, w, k - 1);
+            let lo = universal_cap(n, w, k);
+            prop_assert!(lo >= 1);
+            prop_assert!(hi >= lo);
+            prop_assert!(hi <= 2 * lo, "growth above doubling at k={k}: {hi} vs {lo}");
+        }
+    }
+
+    #[test]
+    fn total_wires_matches_channel_sum(n in pow2_n(), c in 1u64..8) {
+        let ft = FatTree::new(n, CapacityProfile::Constant(c));
+        let by_channels: u64 = ft.channels().map(|ch| ft.cap(ch)).sum();
+        prop_assert_eq!(ft.total_wires(), by_channels);
+    }
+}

@@ -1,0 +1,356 @@
+//! Theorem 8 and Corollary 9 (§V): balanced decomposition trees.
+//!
+//! A decomposition tree produced by cutting planes can be *unbalanced*: the
+//! processor counts on the two sides of a cut may differ wildly. Theorem 8
+//! repairs this: if `R` has a `[w₀, w₁, …, w_r]` decomposition tree `T`,
+//! it has a **balanced** decomposition tree `T′` (equal processor counts to
+//! within one at every node) with
+//!
+//! `w′_k ≤ 4·Σ_{j≥k} w_j`,
+//!
+//! hence Corollary 9: a `(w, a)` tree yields a `(4(a/(a−1))·w, a)` balanced
+//! tree.
+//!
+//! The construction colors occupied leaf slots of `T` black and empty slots
+//! white, then recursively applies the pearl lemma (Lemma 6): every node of
+//! `T′` corresponds to at most two strings of consecutive leaves of `T`,
+//! and Lemma 7 converts those strings into a forest of at most two maximal
+//! complete subtrees of `T` per height, whose root bandwidths bound the
+//! node's external communication.
+
+use crate::pearls::{split_necklace, Arc};
+
+/// A leaf-slot interval of the original decomposition tree.
+pub type Interval = (usize, usize);
+
+/// One node of a balanced decomposition tree.
+#[derive(Clone, Debug)]
+pub struct BalancedNode {
+    /// At most two intervals of consecutive leaf slots of `T`.
+    pub intervals: Vec<Interval>,
+    /// Number of processors (black pearls) in this node.
+    pub procs: usize,
+    /// Bandwidth bound `w′` from Lemma 7 (sum over maximal complete
+    /// subtrees covering the intervals of their root bandwidths).
+    pub bandwidth: f64,
+    /// Depth of this node in `T′` (root = 0).
+    pub depth: u32,
+    /// Children (absent at leaves).
+    pub children: Option<Box<(BalancedNode, BalancedNode)>>,
+}
+
+/// A balanced decomposition tree.
+#[derive(Clone, Debug)]
+pub struct BalancedDecompTree {
+    /// Root node.
+    pub root: BalancedNode,
+    /// Per-level bandwidths `w_j` of the *original* tree `T`.
+    pub original_bandwidths: Vec<f64>,
+    /// Depth of the original tree (leaf slots = `2^r`).
+    pub original_depth: u32,
+}
+
+impl BalancedDecompTree {
+    /// The leaf processors of `T′` in left-to-right order — the order used
+    /// to identify processors with fat-tree leaves in Theorem 10.
+    pub fn procs_in_order(&self, occupancy_order: &[Option<u32>]) -> Vec<u32> {
+        let mut out = Vec::new();
+        collect_procs(&self.root, occupancy_order, &mut out);
+        out
+    }
+
+    /// Max over nodes at depth `k` of the bandwidth bound `w′_k`.
+    pub fn level_bandwidths(&self) -> Vec<f64> {
+        let mut levels: Vec<f64> = Vec::new();
+        walk(&self.root, &mut |node| {
+            let d = node.depth as usize;
+            if levels.len() <= d {
+                levels.resize(d + 1, 0.0);
+            }
+            levels[d] = levels[d].max(node.bandwidth);
+        });
+        levels
+    }
+
+    /// Verify Theorem 8: every node at depth `k` has
+    /// `w′ ≤ 4·Σ_{j≥k−?} w_j`; with exact power-of-two halving the paper's
+    /// `Σ_{j≥k}` form holds. Returns the worst ratio `w′_k / (4·Σ_{j≥k} w_j)`.
+    pub fn worst_theorem8_ratio(&self) -> f64 {
+        let suffix: Vec<f64> = {
+            let mut s = vec![0.0; self.original_bandwidths.len() + 1];
+            for j in (0..self.original_bandwidths.len()).rev() {
+                s[j] = s[j + 1] + self.original_bandwidths[j];
+            }
+            s
+        };
+        let mut worst: f64 = 0.0;
+        walk(&self.root, &mut |node| {
+            let k = (node.depth as usize).min(suffix.len() - 1);
+            let bound = 4.0 * suffix[k];
+            if bound > 0.0 {
+                worst = worst.max(node.bandwidth / bound);
+            }
+        });
+        worst
+    }
+
+    /// Verify balance: at every internal node the children's processor
+    /// counts differ by at most one.
+    pub fn is_balanced(&self) -> bool {
+        let mut ok = true;
+        walk(&self.root, &mut |node| {
+            if let Some(ch) = &node.children {
+                if ch.0.procs.abs_diff(ch.1.procs) > 1 {
+                    ok = false;
+                }
+            }
+        });
+        ok
+    }
+}
+
+fn walk<'a, F: FnMut(&'a BalancedNode)>(node: &'a BalancedNode, f: &mut F) {
+    f(node);
+    if let Some(ch) = &node.children {
+        walk(&ch.0, f);
+        walk(&ch.1, f);
+    }
+}
+
+fn collect_procs(node: &BalancedNode, slots: &[Option<u32>], out: &mut Vec<u32>) {
+    match &node.children {
+        Some(ch) => {
+            collect_procs(&ch.0, slots, out);
+            collect_procs(&ch.1, slots, out);
+        }
+        None => {
+            for &(a, b) in &node.intervals {
+                for p in slots.iter().take(b).skip(a).flatten() {
+                    out.push(*p);
+                }
+            }
+        }
+    }
+}
+
+/// Build the balanced decomposition tree from the original tree's occupancy
+/// (`occupied[s]` = leaf slot `s` of `T` holds a processor; length `2^r`)
+/// and per-level bandwidths `w_0..w_r`.
+pub fn balance_decomposition(occupied: &[bool], level_bandwidths: &[f64]) -> BalancedDecompTree {
+    assert!(occupied.len().is_power_of_two(), "leaf slots must be 2^r");
+    let r = occupied.len().trailing_zeros();
+    assert_eq!(
+        level_bandwidths.len(),
+        r as usize + 1,
+        "need a bandwidth for every level 0..=r"
+    );
+    let root_intervals = vec![(0usize, occupied.len())];
+    let root = build_node(occupied, level_bandwidths, r, root_intervals, 0);
+    BalancedDecompTree {
+        root,
+        original_bandwidths: level_bandwidths.to_vec(),
+        original_depth: r,
+    }
+}
+
+fn build_node(
+    occupied: &[bool],
+    ws: &[f64],
+    r: u32,
+    intervals: Vec<Interval>,
+    depth: u32,
+) -> BalancedNode {
+    let procs: usize = intervals
+        .iter()
+        .map(|&(a, b)| occupied[a..b].iter().filter(|&&x| x).count())
+        .sum();
+    let bandwidth = intervals_bandwidth(&intervals, ws, r);
+    let total: usize = intervals.iter().map(|&(a, b)| b - a).sum();
+    if procs <= 1 || total <= 1 {
+        return BalancedNode { intervals, procs, bandwidth, depth, children: None };
+    }
+
+    // Pearl-split the (≤ 2) strings.
+    let (first, second) = match intervals.len() {
+        1 => (intervals[0], (0usize, 0usize)),
+        2 => (intervals[0], intervals[1]),
+        k => unreachable!("balanced node with {k} strings"),
+    };
+    let s1: Vec<bool> = occupied[first.0..first.1].to_vec();
+    let s2: Vec<bool> = occupied[second.0..second.1].to_vec();
+    let split = split_necklace(&s1, &s2);
+
+    let to_intervals = |arcs: &[Arc]| -> Vec<Interval> {
+        arcs.iter()
+            .map(|&(string, a, b)| {
+                let base = if string == 0 { first.0 } else { second.0 };
+                (base + a, base + b)
+            })
+            .collect()
+    };
+    let left = build_node(occupied, ws, r, to_intervals(&split.a), depth + 1);
+    let right = build_node(occupied, ws, r, to_intervals(&split.b), depth + 1);
+    BalancedNode {
+        intervals,
+        procs,
+        bandwidth,
+        depth,
+        children: Some(Box::new((left, right))),
+    }
+}
+
+/// Lemma 7: cover the intervals with maximal complete subtrees of `T`
+/// (≤ 2 per height per interval) and sum the root bandwidths. A subtree
+/// with `2^h` leaves has its root at depth `r − h`, hence bandwidth
+/// `ws[r − h]`.
+fn intervals_bandwidth(intervals: &[Interval], ws: &[f64], r: u32) -> f64 {
+    intervals
+        .iter()
+        .map(|&(a, b)| {
+            let mut total = 0.0;
+            let mut x = a;
+            while x < b {
+                // Largest aligned power-of-two block starting at x fitting in [x, b).
+                let align = if x == 0 { r } else { x.trailing_zeros().min(r) };
+                let fit = usize::BITS - 1 - (b - x).leading_zeros(); // ⌊lg(b−x)⌋
+                let h = align.min(fit);
+                total += ws[(r - h) as usize];
+                x += 1usize << h;
+            }
+            total
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bandwidths of a (w, ∛4)-style tree: w_j = w / (4^(1/3))^j.
+    fn cuberoot4_bandwidths(w: f64, r: u32) -> Vec<f64> {
+        (0..=r).map(|j| w / 4f64.powf(j as f64 / 3.0)).collect()
+    }
+
+    #[test]
+    fn fully_occupied_tree_balances_trivially() {
+        let r = 4;
+        let occupied = vec![true; 16];
+        let ws = cuberoot4_bandwidths(96.0, r);
+        let t = balance_decomposition(&occupied, &ws);
+        assert!(t.is_balanced());
+        assert_eq!(t.root.procs, 16);
+        // Every leaf has exactly one processor.
+        let slots: Vec<Option<u32>> = (0..16).map(Some).collect();
+        let order = t.procs_in_order(&slots);
+        assert_eq!(order.len(), 16);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skewed_occupancy_balances() {
+        // All 8 processors crowd the first 8 slots of a 64-slot tree.
+        let mut occupied = vec![false; 64];
+        for slot in occupied.iter_mut().take(8) {
+            *slot = true;
+        }
+        let ws = cuberoot4_bandwidths(1000.0, 6);
+        let t = balance_decomposition(&occupied, &ws);
+        assert!(t.is_balanced());
+        assert_eq!(t.root.procs, 8);
+        if let Some(ch) = &t.root.children {
+            assert_eq!(ch.0.procs, 4);
+            assert_eq!(ch.1.procs, 4);
+        } else {
+            panic!("root must split");
+        }
+    }
+
+    #[test]
+    fn theorem8_bandwidth_bound_holds() {
+        // Random-ish occupancy; verify w′_k ≤ 4·Σ_{j≥k} w_j at every node.
+        let r = 7u32;
+        let nslots = 1usize << r;
+        let mut occupied = vec![false; nslots];
+        let mut st = 0xABCDEFu64;
+        let mut cnt = 0;
+        while cnt < 32 {
+            st ^= st << 13;
+            st ^= st >> 7;
+            st ^= st << 17;
+            let i = (st % nslots as u64) as usize;
+            if !occupied[i] {
+                occupied[i] = true;
+                cnt += 1;
+            }
+        }
+        let ws = cuberoot4_bandwidths(600.0, r);
+        let t = balance_decomposition(&occupied, &ws);
+        assert!(t.is_balanced());
+        let ratio = t.worst_theorem8_ratio();
+        assert!(ratio <= 1.0 + 1e-9, "Theorem 8 bound violated: ratio {ratio}");
+    }
+
+    #[test]
+    fn corollary9_constant() {
+        // (w, a) tree with a = ∛4: balanced tree root bandwidth ≤
+        // 4·(a/(a−1))·w ≈ 6.85·w.
+        let r = 8u32;
+        let occupied = vec![true; 1 << r];
+        let w = 512.0;
+        let ws = cuberoot4_bandwidths(w, r);
+        let t = balance_decomposition(&occupied, &ws);
+        let a = 4f64.powf(1.0 / 3.0);
+        let bound = 4.0 * a / (a - 1.0) * w;
+        for (k, wk) in t.level_bandwidths().iter().enumerate() {
+            let level_bound = bound / a.powi(k as i32);
+            assert!(
+                *wk <= level_bound + 1e-6,
+                "level {k}: w′ = {wk} > {level_bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_count_matches_processors() {
+        let mut occupied = vec![false; 32];
+        occupied[3] = true;
+        occupied[4] = true;
+        occupied[19] = true;
+        occupied[31] = true;
+        let ws = cuberoot4_bandwidths(100.0, 5);
+        let t = balance_decomposition(&occupied, &ws);
+        let mut leaves = 0;
+        walk(&t.root, &mut |n| {
+            if n.children.is_none() && n.procs == 1 {
+                leaves += 1;
+            }
+        });
+        assert_eq!(leaves, 4);
+    }
+
+    #[test]
+    fn intervals_bandwidth_blocks() {
+        // Interval [0, 16) of a 16-slot tree = one block at the root.
+        let ws = vec![16.0, 8.0, 4.0, 2.0, 1.0];
+        assert_eq!(intervals_bandwidth(&[(0, 16)], &ws, 4), 16.0);
+        // [0, 8) = one height-3 block: depth 1.
+        assert_eq!(intervals_bandwidth(&[(0, 8)], &ws, 4), 8.0);
+        // [1, 4) = leaf at 1 + pair at 2: ws[4] + ws[3] = 3.
+        assert_eq!(intervals_bandwidth(&[(1, 4)], &ws, 4), 3.0);
+        // [1, 16): ≤ 2 blocks per height.
+        let v = intervals_bandwidth(&[(1, 16)], &ws, 4);
+        assert_eq!(v, 1.0 + 2.0 + 4.0 + 8.0);
+    }
+
+    #[test]
+    fn single_processor_is_a_leaf() {
+        let mut occupied = vec![false; 8];
+        occupied[5] = true;
+        let ws = cuberoot4_bandwidths(10.0, 3);
+        let t = balance_decomposition(&occupied, &ws);
+        assert!(t.root.children.is_none());
+        assert_eq!(t.root.procs, 1);
+    }
+}

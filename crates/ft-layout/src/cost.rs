@@ -1,0 +1,232 @@
+//! Hardware cost laws (§IV): Lemma 3 (node layout boxes), Theorem 4
+//! (component count and volume of universal fat-trees), and the
+//! volume-comparison laws used in §I and §VI (hypercube vs. fat-tree).
+//!
+//! Constants are explicit so experiments can report absolute numbers; the
+//! paper's results are asymptotic, and EXPERIMENTS.md compares *shapes*
+//! (exponents and crossovers), not constants.
+
+use ft_core::{capacity::universal_cap, ids::ilog2_ceil, lg, FatTree};
+
+/// Components per incident wire in a fat-tree node built from partial
+/// concentrator cascades (§IV): each of the three concentrators in Fig. 3
+/// costs ≤ 6·m_edges per stage with geometric stage shrinkage (factor 2/3),
+/// i.e. ≤ 18 per input wire; plus a selector per wire.
+pub const COMPONENTS_PER_WIRE: f64 = 19.0;
+
+/// Lemma 3: a set of `m` components and external wires can be wired into a
+/// box of side lengths `O(h·√m) × O(h·√m) × O(√m/h)` for any `1 ≤ h ≤ √m`.
+/// Returns the side lengths with unit constants.
+pub fn node_box(m: u64, h: f64) -> [f64; 3] {
+    let sqrt_m = (m as f64).sqrt();
+    assert!((1.0..=sqrt_m.max(1.0)).contains(&h), "need 1 ≤ h ≤ √m");
+    [h * sqrt_m, h * sqrt_m, sqrt_m / h]
+}
+
+/// Volume of the Lemma 3 box: `h·m^(3/2)` — minimized at `h = 1`.
+pub fn node_box_volume(m: u64, h: f64) -> f64 {
+    let b = node_box(m, h);
+    b[0] * b[1] * b[2]
+}
+
+/// Number of wires incident on a fat-tree node at level `k` (`0 ≤ k < lg n`):
+/// two channels to the parent and four to the children.
+pub fn node_incident_wires(ft: &FatTree, k: u32) -> u64 {
+    assert!(k < ft.height());
+    2 * ft.cap_at_level(k) + 4 * ft.cap_at_level(k + 1)
+}
+
+/// Total switching components of a fat-tree: `Σ_k 2^k · Θ(m_k)`.
+/// Theorem 4 shows this is `O(n·lg(w³/n²))` for a universal fat-tree.
+pub fn fat_tree_components(ft: &FatTree) -> f64 {
+    (0..ft.height())
+        .map(|k| (1u64 << k) as f64 * COMPONENTS_PER_WIRE * node_incident_wires(ft, k) as f64)
+        .sum()
+}
+
+/// Theorem 4's component-count law for a universal fat-tree on `n`
+/// processors with root capacity `w`: `Θ(n · lg(w³/n²))`, with the paper's
+/// convention `lg x = max(1, ⌈log₂ x⌉)` keeping it `Θ(n)` when `w ≈ n^(2/3)`.
+pub fn theorem4_component_law(n: u64, w: u64) -> f64 {
+    let ratio = (w as f64).powi(3) / (n as f64).powi(2);
+    n as f64 * ratio.max(2.0).log2().max(1.0)
+}
+
+/// Theorem 4's volume law for a universal fat-tree:
+/// `v = Θ((w·lg(n/w))^(3/2))` (unit constant).
+pub fn theorem4_volume_law(n: u64, w: u64) -> f64 {
+    let lgnw = ((n as f64 / w as f64).max(2.0)).log2();
+    (w as f64 * lgnw).powf(1.5)
+}
+
+/// A constructive volume estimate: sum over nodes of their Lemma 3 box
+/// volumes (at `h = 1`) plus unit volume per processor. A lower-bound-ish
+/// companion to [`theorem4_volume_law`]; experiments report both.
+pub fn constructive_volume(ft: &FatTree) -> f64 {
+    let nodes: f64 = (0..ft.height())
+        .map(|k| {
+            let m = node_incident_wires(ft, k) as f64 * COMPONENTS_PER_WIRE;
+            (1u64 << k) as f64 * m.powf(1.5)
+        })
+        .sum();
+    nodes + ft.n() as f64
+}
+
+/// Exact component count of a universal fat-tree computed from the capacity
+/// law (used to check `theorem4_component_law` empirically without building
+/// a `FatTree`).
+pub fn universal_components_exact(n: u64, w: u64) -> f64 {
+    let levels = ilog2_ceil(n);
+    (0..levels)
+        .map(|k| {
+            let m = 2 * universal_cap(n, w, k) + 4 * universal_cap(n, w, k + 1);
+            (1u64 << k) as f64 * COMPONENTS_PER_WIRE * m as f64
+        })
+        .sum()
+}
+
+/// Volume a hypercube-based network needs: its bisection is `n/2` wires, so
+/// any 3-D layout has `v^(2/3) = Ω(n)`, i.e. `v = Ω(n^(3/2))` ("nearly order
+/// n^(3/2) physical volume", §I). Unit constant.
+pub fn hypercube_volume_law(n: u64) -> f64 {
+    (n as f64).powf(1.5)
+}
+
+/// Volume of a planar (finite-element style) interconnection: planar graphs
+/// have `O(√n)` bisection (Lipton–Tarjan), and "any planar interconnection
+/// strategy requires only O(n) volume" (§I). Unit constant.
+pub fn planar_volume_law(n: u64) -> f64 {
+    n as f64
+}
+
+/// Root capacity of the universal fat-tree of volume `v` (§IV definition):
+/// re-exported convenience over `ft_core::capacity::root_capacity_for_volume`.
+pub fn root_capacity_of_volume(n: u64, v: f64) -> u64 {
+    ft_core::capacity::root_capacity_for_volume(n, v)
+}
+
+/// The slowdown bound of Theorem 10 for simulating volume-`v` networks on
+/// `n` processors: `O(lg³ n)` in the equal-volume setting; the factor
+/// decomposes as `lg(n/v^(2/3))` (capacity) × `lg n` (off-line routing) ×
+/// `lg n` (switching time per delivery cycle).
+pub fn theorem10_slowdown_law(n: u64, v: f64) -> f64 {
+    let lgn = lg(n) as f64;
+    let cap_factor = ((n as f64 / v.powf(2.0 / 3.0)).max(2.0)).log2();
+    cap_factor * lgn * lgn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::CapacityProfile;
+
+    #[test]
+    fn node_box_shape() {
+        let b = node_box(100, 1.0);
+        assert_eq!(b, [10.0, 10.0, 10.0]);
+        let b2 = node_box(100, 2.0);
+        assert_eq!(b2, [20.0, 20.0, 5.0]);
+        // Volume grows linearly with h.
+        assert!((node_box_volume(100, 2.0) - 2.0 * node_box_volume(100, 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ h ≤ √m")]
+    fn node_box_rejects_big_h() {
+        let _ = node_box(16, 5.0);
+    }
+
+    #[test]
+    fn incident_wires_universal() {
+        let ft = FatTree::universal(64, 32);
+        // Root node: 2·cap(0) + 4·cap(1).
+        assert_eq!(
+            node_incident_wires(&ft, 0),
+            2 * ft.cap_at_level(0) + 4 * ft.cap_at_level(1)
+        );
+        // Deepest switches connect to processors: cap(L) = 1 each side.
+        let l = ft.height() - 1;
+        assert_eq!(node_incident_wires(&ft, l), 2 * ft.cap_at_level(l) + 4);
+    }
+
+    #[test]
+    fn component_count_is_linear_in_n_at_minimum_w() {
+        // w = n^(2/3): components = Θ(n).
+        let mut prev_per_n = f64::INFINITY;
+        for &lgn in &[9u32, 12, 15, 18] {
+            let n = 1u64 << lgn;
+            let w = 1u64 << (2 * lgn / 3);
+            let c = universal_components_exact(n, w);
+            let per_n = c / n as f64;
+            // per-processor cost should approach a constant (not grow).
+            assert!(per_n < 600.0, "per-n components {per_n} at n = {n}");
+            assert!(per_n < prev_per_n * 1.5);
+            prev_per_n = per_n;
+        }
+    }
+
+    #[test]
+    fn component_count_scales_with_log_at_w_eq_n() {
+        // w = n: components = Θ(n·lg n).
+        for &lgn in &[8u32, 10, 12] {
+            let n = 1u64 << lgn;
+            let c = universal_components_exact(n, n);
+            let per = c / (n as f64 * lgn as f64);
+            assert!(per > 10.0 && per < 600.0, "n lg n law off: {per}");
+        }
+    }
+
+    #[test]
+    fn volume_laws_ordering() {
+        // For w ≪ n the universal fat-tree is far cheaper than a hypercube;
+        // at w = n it matches the hypercube's n^(3/2) up to log factors.
+        let n = 1u64 << 12;
+        let cheap = theorem4_volume_law(n, 1 << 8);
+        let rich = theorem4_volume_law(n, n);
+        let hyper = hypercube_volume_law(n);
+        assert!(cheap < rich);
+        assert!(rich >= hyper, "w = n fat-tree should cost at least a hypercube");
+        assert!(rich < 40.0 * hyper, "and at most polylog more");
+        assert!(planar_volume_law(n) < cheap);
+    }
+
+    #[test]
+    fn constructive_volume_tracks_law_shape() {
+        // Ratio constructive/law should stay within a constant band across n
+        // for fixed w-scaling (w = √n·n^(1/6) ≈ n^(2/3)).
+        let mut ratios = Vec::new();
+        for &lgn in &[9u32, 12, 15] {
+            let n = 1u32 << lgn;
+            let w = 1u64 << (2 * lgn / 3);
+            let ft = FatTree::universal(n, w);
+            let ratio = constructive_volume(&ft) / theorem4_volume_law(n as u64, w);
+            ratios.push(ratio);
+        }
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            max / min < 100.0,
+            "constructive volume diverges from Theorem 4 law: {ratios:?}"
+        );
+    }
+
+    #[test]
+    fn slowdown_law_is_polylog() {
+        let n = 1u64 << 12;
+        let v = theorem4_volume_law(n, 1 << 9);
+        let s = theorem10_slowdown_law(n, v);
+        let lgn = lg(n) as f64;
+        assert!(s <= lgn * lgn * lgn + 1e-9);
+        assert!(s >= lgn * lgn); // at least lg² n (cap factor ≥ 1)
+    }
+
+    #[test]
+    fn fat_tree_components_matches_exact_formula() {
+        let n = 256u32;
+        let w = 64u64;
+        let ft = FatTree::new(n, CapacityProfile::Universal { root_capacity: w });
+        let a = fat_tree_components(&ft);
+        let b = universal_components_exact(n as u64, w);
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Elementary 3-D geometry for the VLSI model: axis-aligned cuboids.
+
+/// An axis-aligned cuboid `[min, max)` in 3-space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Cuboid {
+    /// Minimum corner.
+    pub min: [f64; 3],
+    /// Maximum corner.
+    pub max: [f64; 3],
+}
+
+impl Cuboid {
+    /// A cube of side `s` with its minimum corner at the origin.
+    pub fn cube(s: f64) -> Self {
+        assert!(s > 0.0);
+        Cuboid { min: [0.0; 3], max: [s; 3] }
+    }
+
+    /// A box with the given side lengths, minimum corner at the origin.
+    pub fn with_sides(sides: [f64; 3]) -> Self {
+        assert!(sides.iter().all(|&s| s > 0.0));
+        Cuboid { min: [0.0; 3], max: sides }
+    }
+
+    /// Side length along `axis`.
+    #[inline]
+    pub fn side(&self, axis: usize) -> f64 {
+        self.max[axis] - self.min[axis]
+    }
+
+    /// Volume.
+    pub fn volume(&self) -> f64 {
+        self.side(0) * self.side(1) * self.side(2)
+    }
+
+    /// Total surface area of the boundary.
+    pub fn surface_area(&self) -> f64 {
+        let (a, b, c) = (self.side(0), self.side(1), self.side(2));
+        2.0 * (a * b + b * c + c * a)
+    }
+
+    /// The axis with the longest side (ties broken toward lower index).
+    pub fn longest_axis(&self) -> usize {
+        let mut best = 0;
+        for axis in 1..3 {
+            if self.side(axis) > self.side(best) {
+                best = axis;
+            }
+        }
+        best
+    }
+
+    /// Split into two equal halves by a plane perpendicular to `axis`
+    /// through the midpoint (the paper's cutting-plane step).
+    pub fn halves(&self, axis: usize) -> (Cuboid, Cuboid) {
+        let mid = 0.5 * (self.min[axis] + self.max[axis]);
+        let mut lo = *self;
+        let mut hi = *self;
+        lo.max[axis] = mid;
+        hi.min[axis] = mid;
+        (lo, hi)
+    }
+
+    /// Does the cuboid contain the point (half-open on the max faces)?
+    pub fn contains(&self, p: [f64; 3]) -> bool {
+        (0..3).all(|a| p[a] >= self.min[a] && p[a] < self.max[a])
+    }
+
+    /// Midpoint coordinate along `axis`.
+    pub fn mid(&self, axis: usize) -> f64 {
+        0.5 * (self.min[axis] + self.max[axis])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_metrics() {
+        let c = Cuboid::cube(2.0);
+        assert_eq!(c.volume(), 8.0);
+        assert_eq!(c.surface_area(), 24.0);
+        assert_eq!(c.longest_axis(), 0);
+    }
+
+    #[test]
+    fn halving_preserves_volume() {
+        let c = Cuboid::with_sides([4.0, 2.0, 1.0]);
+        let (a, b) = c.halves(0);
+        assert_eq!(a.volume() + b.volume(), c.volume());
+        assert_eq!(a.side(0), 2.0);
+        assert_eq!(b.side(0), 2.0);
+        assert_eq!(c.longest_axis(), 0);
+    }
+
+    #[test]
+    fn three_cuts_halve_surface_area_by_four() {
+        // Cutting x, then y, then z turns a cube of side s into a cube of
+        // side s/2: surface area falls by exactly 4 — the geometric origin
+        // of the ∛4 decomposition-tree ratio (Theorem 5).
+        let c = Cuboid::cube(4.0);
+        let (c1, _) = c.halves(0);
+        let (c2, _) = c1.halves(1);
+        let (c3, _) = c2.halves(2);
+        assert!((c.surface_area() / c3.surface_area() - 4.0).abs() < 1e-12);
+        assert!((c.volume() / c3.volume() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_is_half_open() {
+        let c = Cuboid::cube(1.0);
+        assert!(c.contains([0.0, 0.0, 0.0]));
+        assert!(c.contains([0.5, 0.9, 0.0]));
+        assert!(!c.contains([1.0, 0.0, 0.0]));
+        assert!(!c.contains([-0.1, 0.5, 0.5]));
+    }
+
+    #[test]
+    fn longest_axis_of_slab() {
+        let c = Cuboid::with_sides([1.0, 5.0, 3.0]);
+        assert_eq!(c.longest_axis(), 1);
+        assert_eq!(c.mid(1), 2.5);
+    }
+}

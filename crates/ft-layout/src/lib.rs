@@ -1,0 +1,39 @@
+//! # ft-layout — the three-dimensional VLSI model
+//!
+//! Implements §IV–§V of Leiserson's fat-tree paper: the hardware model in
+//! which the universality theorem is stated.
+//!
+//! The model (an extension of Thompson's two-dimensional VLSI model to three
+//! dimensions): components occupy unit volume, wires have unit
+//! cross-section, and — the paper's single assumption about competing
+//! networks — **at most O(a) bits can enter or leave a closed
+//! three-dimensional region of surface area a in unit time**.
+//!
+//! Modules:
+//!
+//! * [`geom`] — points, cuboids, volumes, surface areas,
+//! * [`placement`] — processor placements inside a bounding cuboid,
+//! * [`decomp`] — **Theorem 5**: cutting-plane decomposition trees; any
+//!   network in a cube of volume `v` has an `(O(v^(2/3)), ∛4)`
+//!   decomposition tree,
+//! * [`pearls`] — **Lemma 6** (Fig. 4): splitting two strings of black and
+//!   white pearls into two sets of ≤ 2 strings with half of each color,
+//! * [`balance`] — **Lemma 7 + Theorem 8 + Corollary 9**: balanced
+//!   decomposition trees with bandwidth inflation ≤ 4·(a/(a−1)),
+//! * [`cost`] — **Lemma 3** (node layout boxes) and **Theorem 4**
+//!   (component count and volume of universal fat-trees).
+
+pub mod balance;
+pub mod cost;
+pub mod decomp;
+pub mod fatlayout;
+pub mod geom;
+pub mod pearls;
+pub mod placement;
+
+pub use balance::{balance_decomposition, BalancedDecompTree};
+pub use decomp::{DecompTree, DEFAULT_GAMMA};
+pub use fatlayout::FatTreeLayout;
+pub use geom::Cuboid;
+pub use pearls::{split_necklace, NecklaceSplit};
+pub use placement::Placement;

@@ -1,0 +1,265 @@
+//! Lemma 6 (§V, Fig. 4): the pearl-splitting lemma.
+//!
+//! *Consider any two strings composed of even numbers of black and white
+//! pearls. By making at most two cuts, the pearls can be divided into two
+//! sets, each containing at most two strings, such that each set has exactly
+//! half the pearls of each color.*
+//!
+//! The proof is a continuity argument over a family of candidate sets `A`
+//! that always (a) contain half the pearls and (b) consist of at most two
+//! strings, while consecutive family members differ by swapping a single
+//! pearl in and out (so the black count changes by at most one per step).
+//! The family we trace (equivalent to the paper's rotate-then-break motion
+//! of Fig. 4):
+//!
+//! * start: `A = L[0, H)` — a prefix of the long string (`H = ⌊N/2⌋`);
+//! * stage 1 (`t = 0..|S|`): `A = L[0, H−t) ∪ S[0, t)` — trade the tail of
+//!   the `L`-piece for a growing prefix of `S`;
+//! * stage 2 (`t = 0..l−(H−|S|)`): `A = L[t, t+H−|S|) ∪ S` — slide the
+//!   `L`-piece right.
+//!
+//! The endpoint is (for even `N`) the complement of the start, so the black
+//! count walks from `black(A₀)` to `B − black(A₀)` in ±1 steps and must hit
+//! `⌊B/2⌋` or `⌈B/2⌉` on the way. Both `A` and its complement consist of at
+//! most two intervals of the original strings throughout.
+
+/// A half-open interval of one of the two input strings:
+/// `(string, start, end)` with `string` 0 for the long, 1 for the short.
+pub type Arc = (usize, usize, usize);
+
+/// The result of a necklace split: two sets of at most two arcs each.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NecklaceSplit {
+    /// First set (the traced set `A`): at most two arcs.
+    pub a: Vec<Arc>,
+    /// Second set (the complement): at most two arcs.
+    pub b: Vec<Arc>,
+}
+
+impl NecklaceSplit {
+    /// Total pearls in set `a`.
+    pub fn size_a(&self) -> usize {
+        self.a.iter().map(|&(_, s, e)| e - s).sum()
+    }
+
+    /// Count black pearls of set `a` given the two strings.
+    pub fn blacks_a(&self, long: &[bool], short: &[bool]) -> usize {
+        count_blacks(&self.a, long, short)
+    }
+
+    /// Count black pearls of set `b`.
+    pub fn blacks_b(&self, long: &[bool], short: &[bool]) -> usize {
+        count_blacks(&self.b, long, short)
+    }
+}
+
+fn count_blacks(arcs: &[Arc], long: &[bool], short: &[bool]) -> usize {
+    arcs.iter()
+        .map(|&(s, a, b)| {
+            let string = if s == 0 { long } else { short };
+            string[a..b].iter().filter(|&&x| x).count()
+        })
+        .sum()
+}
+
+/// Split two strings of pearls (`true` = black) into two sets of ≤ 2 arcs
+/// with `⌊N/2⌋` / `⌈N/2⌉` pearls and `⌊B/2⌋` / `⌈B/2⌉` black pearls.
+///
+/// When `N` and `B` are both even (the lemma's hypothesis) the split is
+/// exact. The generalization to odd counts (±1) is what Theorem 8 uses at
+/// the bottom of its recursion.
+///
+/// ```
+/// use ft_layout::split_necklace;
+/// let long  = [true, true, false, false, true, false];
+/// let short = [true, false];
+/// let split = split_necklace(&long, &short);
+/// assert!(split.a.len() <= 2 && split.b.len() <= 2); // ≤ 2 cuts
+/// assert_eq!(split.blacks_a(&long, &short), 2);      // half of 4 blacks
+/// assert_eq!(split.size_a(), 4);                     // half of 8 pearls
+/// ```
+pub fn split_necklace(first: &[bool], second: &[bool]) -> NecklaceSplit {
+    // Normalize: string 0 is the long one.
+    let (long, short, swapped) = if first.len() >= second.len() {
+        (first, second, false)
+    } else {
+        (second, first, true)
+    };
+    let l = long.len();
+    let s = short.len();
+    let n = l + s;
+    assert!(n >= 1, "no pearls to split");
+    let h = n / 2;
+    let b: usize = long.iter().chain(short).filter(|&&x| x).count();
+    let lo_target = b / 2;
+    let hi_target = b.div_ceil(2);
+
+    // Prefix sums of blacks for O(1) range counts.
+    let pl = prefix(long);
+    let ps = prefix(short);
+    let blacks_l = |a: usize, bb: usize| pl[bb] - pl[a];
+    let blacks_s = |a: usize, bb: usize| ps[bb] - ps[a];
+
+    debug_assert!(s <= h, "short string longer than half the pearls?");
+
+    // Stage 1: A = L[0, h−t) ∪ S[0, t), t = 0..=s.
+    for t in 0..=s {
+        let f = blacks_l(0, h - t) + blacks_s(0, t);
+        if f >= lo_target && f <= hi_target {
+            return finish(vec![(0, 0, h - t), (1, 0, t)], l, s, swapped);
+        }
+    }
+    // Stage 2: A = L[t, t + h − s) ∪ S, t = 0..=l−(h−s).
+    let piece = h - s;
+    for t in 0..=(l - piece) {
+        let f = blacks_l(t, t + piece) + blacks_s(0, s);
+        if f >= lo_target && f <= hi_target {
+            return finish(vec![(0, t, t + piece), (1, 0, s)], l, s, swapped);
+        }
+    }
+    unreachable!("continuity guarantees the target black count is reached");
+}
+
+fn prefix(xs: &[bool]) -> Vec<usize> {
+    let mut p = Vec::with_capacity(xs.len() + 1);
+    p.push(0);
+    for &x in xs {
+        p.push(p.last().unwrap() + usize::from(x));
+    }
+    p
+}
+
+/// Assemble the split from the arcs of set A (in long/short coordinates),
+/// computing the complement and undoing the long/short normalization.
+fn finish(a_arcs: Vec<Arc>, l: usize, s: usize, swapped: bool) -> NecklaceSplit {
+    let mut a: Vec<Arc> = a_arcs.into_iter().filter(|&(_, x, y)| y > x).collect();
+    // Complement within each string.
+    let mut b: Vec<Arc> = Vec::new();
+    for (string, len) in [(0usize, l), (1usize, s)] {
+        let mut covered: Vec<(usize, usize)> = a
+            .iter()
+            .filter(|&&(st, _, _)| st == string)
+            .map(|&(_, x, y)| (x, y))
+            .collect();
+        covered.sort_unstable();
+        let mut cursor = 0;
+        for (x, y) in covered {
+            if x > cursor {
+                b.push((string, cursor, x));
+            }
+            cursor = cursor.max(y);
+        }
+        if cursor < len {
+            b.push((string, cursor, len));
+        }
+    }
+    if swapped {
+        for arc in a.iter_mut().chain(b.iter_mut()) {
+            arc.0 = 1 - arc.0;
+        }
+    }
+    debug_assert!(a.len() <= 2, "set A has {} arcs", a.len());
+    debug_assert!(b.len() <= 2, "set B has {} arcs", b.len());
+    NecklaceSplit { a, b }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(long: &[bool], short: &[bool]) -> NecklaceSplit {
+        let split = split_necklace(long, short);
+        let n = long.len() + short.len();
+        let b: usize = long.iter().chain(short).filter(|&&x| x).count();
+        assert!(split.a.len() <= 2, "A has {} arcs", split.a.len());
+        assert!(split.b.len() <= 2, "B has {} arcs", split.b.len());
+        assert_eq!(split.size_a(), n / 2, "A must hold ⌊N/2⌋ pearls");
+        let ba = split.blacks_a(long, short);
+        let bb = split.blacks_b(long, short);
+        assert_eq!(ba + bb, b);
+        assert!(ba >= b / 2 && ba <= b.div_ceil(2), "blacks split {ba}/{bb}");
+        // Whites are then automatically within one of half.
+        let wa = split.size_a() - ba;
+        let w = n - b;
+        assert!(wa + 1 >= w / 2 && wa <= w / 2 + 1, "whites split badly: {wa} of {w}");
+        split
+    }
+
+    #[test]
+    fn lemma6_even_case_exact() {
+        // Even blacks, even whites in two strings → exact halves.
+        let long = vec![true, false, true, false, true, false];
+        let short = vec![true, false];
+        let split = check(&long, &short);
+        assert_eq!(split.blacks_a(&long, &short), 2);
+        assert_eq!(split.size_a(), 4);
+    }
+
+    #[test]
+    fn all_black() {
+        let long = vec![true; 8];
+        let short = vec![true; 4];
+        let split = check(&long, &short);
+        assert_eq!(split.blacks_a(&long, &short), 6);
+    }
+
+    #[test]
+    fn all_white() {
+        let split = check(&[false; 6], &[false; 2]);
+        assert_eq!(split.blacks_a(&[false; 6], &[false; 2]), 0);
+    }
+
+    #[test]
+    fn single_string_only() {
+        let long = vec![true, true, false, false, true, true, false, false];
+        check(&long, &[]);
+    }
+
+    #[test]
+    fn clustered_blacks_need_stage2() {
+        // All blacks at the far end of the long string: the initial prefix
+        // has none, forcing the family to slide (stage 2).
+        let mut long = vec![false; 12];
+        for i in 8..12 {
+            long[i] = true;
+        }
+        check(&long, &[false; 4]);
+    }
+
+    #[test]
+    fn odd_counts_within_one() {
+        let long = vec![true, false, true];
+        let short = vec![true, false];
+        check(&long, &short);
+    }
+
+    #[test]
+    fn short_longer_than_first_argument() {
+        // Normalization: pass the shorter string first.
+        let a = vec![true, false];
+        let b = vec![false, true, false, true, false, false];
+        let split = check(&b, &a);
+        // And with arguments swapped, arcs must refer to the right strings.
+        let split2 = split_necklace(&a, &b);
+        assert_eq!(split2.size_a(), 4);
+        let blacks = split2.blacks_a(&a, &b) + split2.blacks_b(&a, &b);
+        assert_eq!(blacks, 3);
+        let _ = split;
+    }
+
+    #[test]
+    fn exhaustive_small_necklaces() {
+        // All color patterns for small sizes: the lemma must never fail.
+        for llen in 1..=8usize {
+            for slen in 0..=llen.min(4) {
+                for lmask in 0..(1u32 << llen) {
+                    for smask in 0..(1u32 << slen) {
+                        let long: Vec<bool> = (0..llen).map(|i| lmask >> i & 1 == 1).collect();
+                        let short: Vec<bool> = (0..slen).map(|i| smask >> i & 1 == 1).collect();
+                        check(&long, &short);
+                    }
+                }
+            }
+        }
+    }
+}

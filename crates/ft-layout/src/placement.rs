@@ -1,0 +1,186 @@
+//! Processor placements: where each processor of a routing network sits
+//! inside its bounding cuboid. The input to the cutting-plane argument.
+
+use crate::geom::Cuboid;
+
+/// A placement of `n` processors (indexed `0..n`) at distinct points of a
+/// bounding cuboid.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    positions: Vec<[f64; 3]>,
+    bounds: Cuboid,
+}
+
+impl Placement {
+    /// Wrap explicit positions.
+    ///
+    /// # Panics
+    /// If any position lies outside the bounds, or two positions coincide
+    /// (coincident processors cannot be separated by cutting planes).
+    pub fn new(positions: Vec<[f64; 3]>, bounds: Cuboid) -> Self {
+        for (i, p) in positions.iter().enumerate() {
+            assert!(bounds.contains(*p), "processor {i} at {p:?} outside bounds");
+        }
+        let mut sorted: Vec<[f64; 3]> = positions.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        for w in sorted.windows(2) {
+            assert!(w[0] != w[1], "coincident processors at {:?}", w[0]);
+        }
+        Placement { positions, bounds }
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Position of processor `i`.
+    #[inline]
+    pub fn pos(&self, i: usize) -> [f64; 3] {
+        self.positions[i]
+    }
+
+    /// All positions.
+    #[inline]
+    pub fn positions(&self) -> &[[f64; 3]] {
+        &self.positions
+    }
+
+    /// The bounding cuboid.
+    #[inline]
+    pub fn bounds(&self) -> Cuboid {
+        self.bounds
+    }
+
+    /// Volume of the bounding cuboid (the network's hardware volume `v`).
+    pub fn volume(&self) -> f64 {
+        self.bounds.volume()
+    }
+
+    /// `n` processors on a regular 3-D grid filling a cube — the placement a
+    /// 3-D mesh network would use, and a convenient default for "network R
+    /// occupies a cube of volume v".
+    ///
+    /// `spacing` is the lattice constant (≥ 1 in the unit-wire model).
+    pub fn grid3d(n: usize, spacing: f64) -> Self {
+        assert!(n >= 1 && spacing > 0.0);
+        let side_count = (n as f64).cbrt().ceil() as usize;
+        let side = side_count as f64 * spacing;
+        let mut positions = Vec::with_capacity(n);
+        'outer: for z in 0..side_count {
+            for y in 0..side_count {
+                for x in 0..side_count {
+                    if positions.len() == n {
+                        break 'outer;
+                    }
+                    positions.push([
+                        (x as f64 + 0.5) * spacing,
+                        (y as f64 + 0.5) * spacing,
+                        (z as f64 + 0.5) * spacing,
+                    ]);
+                }
+            }
+        }
+        Placement::new(positions, Cuboid::cube(side))
+    }
+
+    /// `n` processors on a planar √n × √n grid at height 0.5 inside a cube —
+    /// the placement of a 2-D mesh (or planar finite-element network) built
+    /// in 3-space.
+    pub fn grid2d(n: usize, spacing: f64) -> Self {
+        assert!(n >= 1 && spacing > 0.0);
+        let side_count = (n as f64).sqrt().ceil() as usize;
+        let side = side_count as f64 * spacing;
+        let mut positions = Vec::with_capacity(n);
+        'outer: for y in 0..side_count {
+            for x in 0..side_count {
+                if positions.len() == n {
+                    break 'outer;
+                }
+                positions.push([(x as f64 + 0.5) * spacing, (y as f64 + 0.5) * spacing, 0.5]);
+            }
+        }
+        Placement::new(positions, Cuboid::with_sides([side, side, 1.0_f64.max(spacing)]))
+    }
+
+    /// Uniformly random distinct positions in a cube of the given side
+    /// (rejection-free: grid-jittered so distinctness is guaranteed).
+    pub fn random_in_cube<R: rand::Rng>(n: usize, side: f64, rng: &mut R) -> Self {
+        assert!(n >= 1 && side > 0.0);
+        let cells = (n as f64).cbrt().ceil() as usize;
+        let cell = side / cells as f64;
+        let mut slots: Vec<usize> = (0..cells * cells * cells).collect();
+        rand::seq::SliceRandom::shuffle(&mut slots[..], rng);
+        let positions = slots[..n]
+            .iter()
+            .map(|&s| {
+                let x = s % cells;
+                let y = (s / cells) % cells;
+                let z = s / (cells * cells);
+                [
+                    (x as f64 + rng.gen_range(0.25..0.75)) * cell,
+                    (y as f64 + rng.gen_range(0.25..0.75)) * cell,
+                    (z as f64 + rng.gen_range(0.25..0.75)) * cell,
+                ]
+            })
+            .collect();
+        Placement::new(positions, Cuboid::cube(side))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid3d_dimensions() {
+        let p = Placement::grid3d(64, 1.0);
+        assert_eq!(p.n(), 64);
+        assert_eq!(p.volume(), 64.0);
+        for i in 0..64 {
+            assert!(p.bounds().contains(p.pos(i)));
+        }
+    }
+
+    #[test]
+    fn grid3d_non_cube_count() {
+        let p = Placement::grid3d(10, 2.0);
+        assert_eq!(p.n(), 10);
+        // 10 procs need a 3×3×3 lattice: side 6.
+        assert_eq!(p.bounds().side(0), 6.0);
+    }
+
+    #[test]
+    fn grid2d_is_flat() {
+        let p = Placement::grid2d(16, 1.0);
+        assert_eq!(p.n(), 16);
+        for i in 0..16 {
+            assert_eq!(p.pos(i)[2], 0.5);
+        }
+        assert_eq!(p.bounds().side(0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "coincident")]
+    fn rejects_coincident() {
+        let _ = Placement::new(
+            vec![[0.5, 0.5, 0.5], [0.5, 0.5, 0.5]],
+            Cuboid::cube(1.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside bounds")]
+    fn rejects_out_of_bounds() {
+        let _ = Placement::new(vec![[2.0, 0.0, 0.0]], Cuboid::cube(1.0));
+    }
+
+    #[test]
+    fn random_placement_distinct() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let p = Placement::random_in_cube(100, 10.0, &mut rng);
+        assert_eq!(p.n(), 100);
+    }
+}

@@ -1,0 +1,223 @@
+//! The Beneš rearrangeable permutation network and Waksman's looping
+//! algorithm for setting its switches.
+//!
+//! §VI compares universal fat-trees against "classical permutation
+//! networks, which all require Ω(n^(3/2)) volume": a max-volume universal
+//! fat-tree routes any permutation off-line in O(lg n) time, matching Beneš
+//! networks. The paper's even-splitting proof for Theorem 1 is itself
+//! "reminiscent of switch setting in a Beneš network \[34\]" — implementing
+//! both makes the kinship concrete.
+//!
+//! A Beneš network on `n = 2^k` terminals has `2k − 1` ranks of `n/2`
+//! binary switches. The looping algorithm 2-colors the messages so that the
+//! two recursive half-size subnetworks each receive a permutation.
+
+/// Statistics of a routed Beneš network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BenesStats {
+    /// Terminals `n`.
+    pub n: usize,
+    /// Total binary switches set: `n·lg n − n/2`.
+    pub switches: usize,
+    /// Depth in switch ranks: `2·lg n − 1`.
+    pub depth: usize,
+}
+
+/// Route `perm` through a Beneš network via the looping algorithm,
+/// verifying consistency along the way.
+///
+/// `perm[i] = j` means input terminal `i` must reach output terminal `j`.
+///
+/// ```
+/// use ft_networks::benes::realize_benes;
+/// let stats = realize_benes(&[3, 1, 0, 2]).unwrap();
+/// assert_eq!(stats.depth, 3);     // 2·lg 4 − 1
+/// assert_eq!(stats.switches, 6);  // (2·lg 4 − 1)·4/2
+/// ```
+///
+/// # Errors
+/// Returns `Err` if `perm` is not a permutation of `0..n` or `n` is not a
+/// power of two ≥ 2.
+pub fn realize_benes(perm: &[usize]) -> Result<BenesStats, String> {
+    let n = perm.len();
+    if n < 2 || !n.is_power_of_two() {
+        return Err(format!("n = {n} must be a power of two ≥ 2"));
+    }
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if p >= n || seen[p] {
+            return Err("not a permutation".into());
+        }
+        seen[p] = true;
+    }
+    let mut switches = 0usize;
+    let depth = route_rec(perm, &mut switches)?;
+    Ok(BenesStats { n, switches, depth })
+}
+
+/// Recursively route; returns the depth of the (sub)network.
+fn route_rec(perm: &[usize], switches: &mut usize) -> Result<usize, String> {
+    let n = perm.len();
+    if n == 2 {
+        *switches += 1;
+        return Ok(1);
+    }
+    let half = n / 2;
+
+    // color[i] ∈ {0,1}: which subnetwork input terminal i uses.
+    // Constraints: inputs 2t, 2t+1 get different colors; likewise the two
+    // inputs mapping to outputs 2t, 2t+1.
+    let mut color = vec![u8::MAX; n];
+    let mut inv = vec![0usize; n];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    for start in 0..n {
+        if color[start] != u8::MAX {
+            continue;
+        }
+        // Loop: alternate input-switch and output-switch constraints.
+        let mut i = start;
+        let mut c = 0u8;
+        loop {
+            if color[i] != u8::MAX {
+                if color[i] != c {
+                    return Err("looping produced an odd cycle".into());
+                }
+                break;
+            }
+            color[i] = c;
+            // Output-switch partner of i: the input j with perm[j] = perm[i] ^ 1
+            // must take the other subnetwork.
+            let j = inv[perm[i] ^ 1];
+            if color[j] == u8::MAX {
+                color[j] = 1 - c;
+            } else if color[j] == c {
+                return Err("output-switch conflict".into());
+            }
+            // Input-switch partner of j continues the loop with color c… its
+            // color must be 1 − color[j] = c.
+            i = j ^ 1;
+            c = 1 - color[j];
+        }
+    }
+
+    // Build sub-permutations: input switch t sends its color-c terminal to
+    // sub-input t of subnetwork c; output switch u receives from sub-output
+    // u of subnetwork c' where c' is the color of the terminal mapping there.
+    let mut sub = [vec![usize::MAX; half], vec![usize::MAX; half]];
+    for i in 0..n {
+        let c = color[i] as usize;
+        let t = i / 2;
+        let u = perm[i] / 2;
+        if sub[c][t] != usize::MAX {
+            return Err(format!("input switch {t} sends both terminals to subnet {c}"));
+        }
+        sub[c][t] = u;
+    }
+    // Each sub must be a permutation of 0..half (the consistency check).
+    for s in &sub {
+        let mut seen = vec![false; half];
+        for &u in s {
+            if u == usize::MAX || seen[u] {
+                return Err("subnetwork routing is not a permutation".into());
+            }
+            seen[u] = true;
+        }
+    }
+
+    *switches += n; // n/2 input + n/2 output switches at this level
+    let d0 = route_rec(&sub[0], switches)?;
+    let d1 = route_rec(&sub[1], switches)?;
+    if d0 != d1 {
+        return Err("subnetwork depths differ".into());
+    }
+    Ok(d0 + 2)
+}
+
+/// Switch count formula for a Beneš network on `n = 2^k` terminals:
+/// `(2k − 1)·n/2 = n·lg n − n/2`.
+pub fn benes_switch_count(n: usize) -> usize {
+    let k = n.trailing_zeros() as usize;
+    (2 * k - 1) * n / 2
+}
+
+/// Depth formula `2·lg n − 1`.
+pub fn benes_depth(n: usize) -> usize {
+    2 * n.trailing_zeros() as usize - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_routes() {
+        let perm: Vec<usize> = (0..16).collect();
+        let s = realize_benes(&perm).unwrap();
+        assert_eq!(s.depth, benes_depth(16));
+        assert_eq!(s.switches, benes_switch_count(16));
+    }
+
+    #[test]
+    fn reversal_routes() {
+        let perm: Vec<usize> = (0..32).rev().collect();
+        let s = realize_benes(&perm).unwrap();
+        assert_eq!(s.depth, 9);
+    }
+
+    #[test]
+    fn all_permutations_of_8_route() {
+        // The defining property of a rearrangeable network: every
+        // permutation is realizable. 8! = 40320 — exhaustive.
+        let mut perm: Vec<usize> = (0..8).collect();
+        let mut count = 0;
+        permute(&mut perm, 0, &mut |p| {
+            realize_benes(p).unwrap_or_else(|e| panic!("failed on {p:?}: {e}"));
+            count += 1;
+        });
+        assert_eq!(count, 40320);
+    }
+
+    fn permute(p: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == p.len() {
+            f(p);
+            return;
+        }
+        for i in k..p.len() {
+            p.swap(k, i);
+            permute(p, k + 1, f);
+            p.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn random_large_permutations() {
+        let n = 1024usize;
+        let mut perm: Vec<usize> = (0..n).collect();
+        // Deterministic Fisher–Yates with an xorshift.
+        let mut st = 0x1234_5678_9ABC_DEFu64;
+        for i in (1..n).rev() {
+            st ^= st << 13;
+            st ^= st >> 7;
+            st ^= st << 17;
+            perm.swap(i, (st % (i as u64 + 1)) as usize);
+        }
+        let s = realize_benes(&perm).unwrap();
+        assert_eq!(s.depth, 19);
+        assert_eq!(s.switches, benes_switch_count(n));
+    }
+
+    #[test]
+    fn rejects_non_permutation() {
+        assert!(realize_benes(&[0, 0, 1, 2]).is_err());
+        assert!(realize_benes(&[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn two_terminal_base_case() {
+        let s = realize_benes(&[1, 0]).unwrap();
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.switches, 1);
+    }
+}

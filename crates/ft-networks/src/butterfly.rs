@@ -1,0 +1,167 @@
+//! The butterfly network: `(d+1)·2^d` processors arranged in `d+1` ranks of
+//! `2^d` rows; rank `k` connects row `w` to rows `w` and `w ⊕ 2^k` of rank
+//! `k+1`. The shuffle-class network behind Schwartz's ultracomputer (§I) —
+//! powerful, but with Θ(n/lg n) bisection it needs super-linear volume.
+
+use crate::traits::FixedConnectionNetwork;
+use ft_layout::Placement;
+
+/// A butterfly with `2^d` rows and `d+1` ranks.
+#[derive(Clone, Copy, Debug)]
+pub struct Butterfly {
+    d: u32,
+}
+
+impl Butterfly {
+    /// Butterfly of order `d` (`n = (d+1)·2^d` processors).
+    pub fn new(d: u32) -> Self {
+        assert!((1..=20).contains(&d));
+        Butterfly { d }
+    }
+
+    /// Rows `2^d`.
+    pub fn rows(&self) -> usize {
+        1usize << self.d
+    }
+
+    /// Ranks `d + 1`.
+    pub fn ranks(&self) -> usize {
+        self.d as usize + 1
+    }
+
+    /// Processor id of (rank, row).
+    pub fn id(&self, rank: usize, row: usize) -> usize {
+        rank * self.rows() + row
+    }
+
+    /// (rank, row) of processor `u`.
+    pub fn rank_row(&self, u: usize) -> (usize, usize) {
+        (u / self.rows(), u % self.rows())
+    }
+}
+
+impl FixedConnectionNetwork for Butterfly {
+    fn name(&self) -> String {
+        format!("butterfly(d={})", self.d)
+    }
+
+    fn n(&self) -> usize {
+        self.ranks() * self.rows()
+    }
+
+    fn degree(&self) -> usize {
+        4
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        let (rank, row) = self.rank_row(u);
+        let mut v = Vec::with_capacity(4);
+        if rank > 0 {
+            let b = 1usize << (rank - 1);
+            v.push(self.id(rank - 1, row));
+            v.push(self.id(rank - 1, row ^ b));
+        }
+        if rank < self.d as usize {
+            let b = 1usize << rank;
+            v.push(self.id(rank + 1, row));
+            v.push(self.id(rank + 1, row ^ b));
+        }
+        v
+    }
+
+    fn route(&self, src: usize, dst: usize) -> Vec<usize> {
+        // Walk to rank 0 fixing nothing, then forward through ranks fixing
+        // one row bit per rank (the classical greedy butterfly path), then
+        // to the destination rank. Simpler equivalent: move src back to rank
+        // 0, forward to rank d correcting bits, then back to dst's rank.
+        let (r0, mut row) = self.rank_row(src);
+        let (r1, row1) = self.rank_row(dst);
+        let mut path = vec![src];
+        // Phase 1: back to rank 0 (correcting low bits opportunistically).
+        let mut rank = r0;
+        while rank > 0 {
+            let b = 1usize << (rank - 1);
+            let want = row1 & b;
+            if (row & b) != want {
+                row ^= b;
+            }
+            rank -= 1;
+            path.push(self.id(rank, row));
+        }
+        // Phase 2: forward, fixing each bit.
+        while rank < self.d as usize {
+            let b = 1usize << rank;
+            if (row & b) != (row1 & b) {
+                row ^= b;
+            }
+            rank += 1;
+            path.push(self.id(rank, row));
+        }
+        debug_assert_eq!(row, row1);
+        // Phase 3: back to the destination rank (row bits already match,
+        // so take the straight edges).
+        while rank > r1 {
+            rank -= 1;
+            path.push(self.id(rank, row));
+        }
+        // Collapse a no-op start (src == first hop can't happen; but if the
+        // path revisits dst rank exactly, we are done).
+        dedup_consecutive(&mut path);
+        path
+    }
+
+    fn placement(&self) -> Placement {
+        // Bisection Θ(rows) ⇒ volume Ω(rows^(3/2)); with n = ranks·rows
+        // processors, place them in a cube of volume max(n, rows^(3/2)).
+        let n = self.n();
+        let v = (n as f64).max((self.rows() as f64).powf(1.5));
+        let spacing = (v / n as f64).cbrt();
+        Placement::grid3d(n, spacing.max(1.0))
+    }
+}
+
+fn dedup_consecutive(path: &mut Vec<usize>) {
+    path.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_all_routes;
+
+    #[test]
+    fn structure() {
+        let b = Butterfly::new(3);
+        assert_eq!(b.n(), 32);
+        assert_eq!(b.rows(), 8);
+        assert_eq!(b.ranks(), 4);
+        // Rank-0 node has only forward edges.
+        assert_eq!(b.neighbors(b.id(0, 0)).len(), 2);
+        // Middle nodes have 4.
+        assert_eq!(b.neighbors(b.id(1, 3)).len(), 4);
+    }
+
+    #[test]
+    fn routes_all_pairs_valid() {
+        let b = Butterfly::new(3);
+        check_all_routes(&b).unwrap();
+    }
+
+    #[test]
+    fn route_length_bounded_by_three_d() {
+        let b = Butterfly::new(4);
+        for s in 0..b.n() {
+            for d in 0..b.n() {
+                let hops = b.route(s, d).len() - 1;
+                assert!(hops <= 3 * 4, "path {s}→{d} too long: {hops}");
+            }
+        }
+    }
+
+    #[test]
+    fn volume_exceeds_linear() {
+        let b = Butterfly::new(6); // rows 64, n = 448
+        assert!(b.volume() >= b.n() as f64);
+        assert!(b.volume() >= 64f64.powf(1.5) * 0.9);
+    }
+}

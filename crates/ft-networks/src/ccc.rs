@@ -1,0 +1,144 @@
+//! Cube-connected cycles (Preparata–Vuillemin): the degree-3 network behind
+//! Galil & Paul's general-purpose parallel processor, which §VI cites among
+//! prior universality results. Each hypercube node is expanded into a cycle
+//! of `d` processors; processor `(w, k)` (cycle `w`, position `k`) links to
+//! its cycle neighbors and across dimension `k` to `(w ⊕ 2^k, k)`.
+
+use crate::traits::FixedConnectionNetwork;
+use ft_layout::Placement;
+
+/// CCC of order `d`: `n = d·2^d` processors.
+#[derive(Clone, Copy, Debug)]
+pub struct CubeConnectedCycles {
+    d: u32,
+}
+
+impl CubeConnectedCycles {
+    /// CCC of order `d ≥ 3` (cycles shorter than 3 degenerate).
+    pub fn new(d: u32) -> Self {
+        assert!((3..=20).contains(&d));
+        CubeConnectedCycles { d }
+    }
+
+    /// Processor id of (cycle `w`, position `k`).
+    pub fn id(&self, w: usize, k: usize) -> usize {
+        w * self.d as usize + k
+    }
+
+    /// (cycle, position) of processor `u`.
+    pub fn wk(&self, u: usize) -> (usize, usize) {
+        (u / self.d as usize, u % self.d as usize)
+    }
+}
+
+impl FixedConnectionNetwork for CubeConnectedCycles {
+    fn name(&self) -> String {
+        format!("ccc(d={})", self.d)
+    }
+
+    fn n(&self) -> usize {
+        (self.d as usize) << self.d
+    }
+
+    fn degree(&self) -> usize {
+        3
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        let d = self.d as usize;
+        let (w, k) = self.wk(u);
+        vec![
+            self.id(w, (k + 1) % d),
+            self.id(w, (k + d - 1) % d),
+            self.id(w ^ (1 << k), k),
+        ]
+    }
+
+    fn route(&self, src: usize, dst: usize) -> Vec<usize> {
+        // Walk the cycle positions 0..d; at position k, cross the dimension
+        // edge when source and destination cycles differ in bit k; finish by
+        // walking the cycle to the destination position. Not optimal but
+        // O(d) and uses only legal edges — adequate for delivery timing.
+        let d = self.d as usize;
+        let (mut w, mut k) = self.wk(src);
+        let (w1, k1) = self.wk(dst);
+        let mut path = vec![src];
+        // Correct every differing dimension bit.
+        if w != w1 {
+            for _ in 0..d {
+                if (w ^ w1) >> k & 1 == 1 {
+                    w ^= 1 << k;
+                    path.push(self.id(w, k));
+                    if w == w1 {
+                        break;
+                    }
+                }
+                k = (k + 1) % d;
+                path.push(self.id(w, k));
+            }
+        }
+        // Walk the cycle to position k1 (short way).
+        while k != k1 {
+            let fwd = (k1 + d - k) % d;
+            k = if fwd <= d / 2 { (k + 1) % d } else { (k + d - 1) % d };
+            path.push(self.id(w, k));
+        }
+        dedup(&mut path);
+        path
+    }
+
+    fn placement(&self) -> Placement {
+        // Same asymptotic volume as the hypercube (bisection Θ(2^d)):
+        // cube of volume max(n, (2^d)^(3/2)).
+        let n = self.n();
+        let v = (n as f64).max(((1usize << self.d) as f64).powf(1.5));
+        let spacing = (v / n as f64).cbrt();
+        Placement::grid3d(n, spacing.max(1.0))
+    }
+}
+
+fn dedup(path: &mut Vec<usize>) {
+    path.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_all_routes;
+
+    #[test]
+    fn structure() {
+        let c = CubeConnectedCycles::new(3);
+        assert_eq!(c.n(), 24);
+        assert_eq!(c.degree(), 3);
+        for u in 0..24 {
+            assert_eq!(c.neighbors(u).len(), 3);
+        }
+    }
+
+    #[test]
+    fn routes_all_pairs() {
+        let c = CubeConnectedCycles::new(3);
+        check_all_routes(&c).unwrap();
+    }
+
+    #[test]
+    fn routes_bounded() {
+        let c = CubeConnectedCycles::new(4);
+        for s in 0..c.n() {
+            for d in 0..c.n() {
+                let hops = c.route(s, d).len() - 1;
+                assert!(hops <= 3 * 4 + 4, "path {s}→{d}: {hops} hops");
+            }
+        }
+    }
+
+    #[test]
+    fn id_roundtrip() {
+        let c = CubeConnectedCycles::new(5);
+        for u in 0..c.n() {
+            let (w, k) = c.wk(u);
+            assert_eq!(c.id(w, k), u);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The Boolean hypercube: `n = 2^d` processors, neighbors differ in one
+//! address bit, dimension-order routing. Physically it is the expensive
+//! network of §I: bisection `n/2` forces volume `Ω(n^(3/2))`, so we place
+//! its processors in a cube of side `√n` (spacing `n^(1/6)`).
+
+use crate::traits::FixedConnectionNetwork;
+use ft_layout::Placement;
+
+/// A hypercube on `n = 2^d` processors.
+#[derive(Clone, Copy, Debug)]
+pub struct Hypercube {
+    d: u32,
+}
+
+impl Hypercube {
+    /// Hypercube of dimension `d` (so `n = 2^d`).
+    pub fn new(d: u32) -> Self {
+        assert!((1..=26).contains(&d), "dimension out of simulable range");
+        Hypercube { d }
+    }
+
+    /// Build from a processor count (must be a power of two).
+    pub fn with_n(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2);
+        Hypercube::new(n.trailing_zeros())
+    }
+
+    /// Dimension `d = lg n`.
+    pub fn dim(&self) -> u32 {
+        self.d
+    }
+}
+
+impl FixedConnectionNetwork for Hypercube {
+    fn name(&self) -> String {
+        format!("hypercube(d={})", self.d)
+    }
+
+    fn n(&self) -> usize {
+        1usize << self.d
+    }
+
+    fn degree(&self) -> usize {
+        self.d as usize
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        (0..self.d).map(|b| u ^ (1usize << b)).collect()
+    }
+
+    fn route(&self, src: usize, dst: usize) -> Vec<usize> {
+        // Dimension-order: fix differing bits from LSB to MSB.
+        let mut path = vec![src];
+        let mut cur = src;
+        for b in 0..self.d {
+            let bit = 1usize << b;
+            if (cur ^ dst) & bit != 0 {
+                cur ^= bit;
+                path.push(cur);
+            }
+        }
+        path
+    }
+
+    fn placement(&self) -> Placement {
+        // Volume n^(3/2): cube of side √n ⇒ lattice spacing n^(1/6).
+        let n = self.n() as f64;
+        Placement::grid3d(self.n(), n.powf(1.0 / 6.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_all_routes;
+
+    #[test]
+    fn structure() {
+        let h = Hypercube::new(4);
+        assert_eq!(h.n(), 16);
+        assert_eq!(h.degree(), 4);
+        assert_eq!(h.neighbors(0), vec![1, 2, 4, 8]);
+        assert_eq!(h.neighbors(5).len(), 4);
+    }
+
+    #[test]
+    fn routes_are_valid_and_shortest() {
+        let h = Hypercube::new(4);
+        check_all_routes(&h).unwrap();
+        for s in 0..16usize {
+            for d in 0..16usize {
+                let hops = h.route(s, d).len() - 1;
+                assert_eq!(hops, (s ^ d).count_ones() as usize, "not shortest {s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn volume_is_n_to_three_halves() {
+        let h = Hypercube::new(6); // n = 64
+        let v = h.volume();
+        let want = 64f64.powf(1.5);
+        assert!(v >= want * 0.9 && v <= want * 1.5, "v = {v}, want ≈ {want}");
+    }
+
+    #[test]
+    fn with_n_roundtrip() {
+        assert_eq!(Hypercube::with_n(128).dim(), 7);
+    }
+}

@@ -1,0 +1,47 @@
+//! # ft-networks — the competing fixed-connection networks
+//!
+//! The universality theorem (§VI) is a statement about *arbitrary* routing
+//! networks occupying the same volume as a fat-tree. To exercise it we need
+//! concrete competitors, each with its routing algorithm and its physical
+//! 3-D placement:
+//!
+//! * [`hypercube`] — the Boolean hypercube (§I: "most networks that have
+//!   been proposed… suffer from wirability and packaging problems and
+//!   require nearly order n^(3/2) physical volume"),
+//! * [`mesh`] — 2-D and 3-D meshes (the "two-dimensional arrays" §VI calls
+//!   non-universal, and the volume-efficient 3-D array),
+//! * [`torus`] — wraparound 2-D torus,
+//! * [`tree`] — the complete binary tree machine ("simple trees" §VI),
+//! * [`butterfly`] — the FFT/butterfly network (shuffle-class, per
+//!   Schwartz's ultracomputer discussion in §I),
+//! * [`ccc`] — cube-connected cycles (Galil–Paul's universal processor,
+//!   §VI),
+//! * [`benes`] — the Beneš rearrangeable permutation network with the
+//!   looping algorithm (§VI compares fat-tree permutation routing against
+//!   "classical permutation networks"),
+//! * [`sim`] — a store-and-forward delivery simulator measuring the time
+//!   `t` a network needs for a message set (the left side of Theorem 10).
+
+pub mod benes;
+pub mod butterfly;
+pub mod ccc;
+pub mod hypercube;
+pub mod mesh;
+pub mod ring;
+pub mod shuffle;
+pub mod sim;
+pub mod torus;
+pub mod traits;
+pub mod tree;
+
+pub use benes::{realize_benes, BenesStats};
+pub use butterfly::Butterfly;
+pub use ccc::CubeConnectedCycles;
+pub use hypercube::Hypercube;
+pub use mesh::{Mesh2D, Mesh3D};
+pub use ring::Ring;
+pub use shuffle::ShuffleExchange;
+pub use sim::{simulate_delivery, DeliveryOutcome};
+pub use torus::Torus2D;
+pub use traits::FixedConnectionNetwork;
+pub use tree::TreeMachine;

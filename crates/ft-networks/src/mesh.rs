@@ -1,0 +1,247 @@
+//! 2-D and 3-D meshes with dimension-order (XY / XYZ) routing.
+//!
+//! The 2-D mesh is §VI's canonical *non-universal* network (polynomial
+//! slowdown simulating others); the 3-D mesh is the volume-optimal array
+//! (volume Θ(n)) and the natural tenant of a cube.
+
+use crate::traits::FixedConnectionNetwork;
+use ft_layout::Placement;
+
+/// A rows × cols 2-D mesh; processor `(r, c)` has index `r·cols + c`.
+#[derive(Clone, Copy, Debug)]
+pub struct Mesh2D {
+    rows: usize,
+    cols: usize,
+}
+
+impl Mesh2D {
+    /// Create a rows × cols mesh.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
+        Mesh2D { rows, cols }
+    }
+
+    /// A square mesh on `n` processors (`n` a perfect square).
+    pub fn square(n: usize) -> Self {
+        let side = (n as f64).sqrt().round() as usize;
+        assert_eq!(side * side, n, "n must be a perfect square");
+        Mesh2D::new(side, side)
+    }
+
+    fn rc(&self, u: usize) -> (usize, usize) {
+        (u / self.cols, u % self.cols)
+    }
+
+    fn id(&self, r: usize, c: usize) -> usize {
+        r * self.cols + c
+    }
+}
+
+impl FixedConnectionNetwork for Mesh2D {
+    fn name(&self) -> String {
+        format!("mesh2d({}x{})", self.rows, self.cols)
+    }
+
+    fn n(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn degree(&self) -> usize {
+        4
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        let (r, c) = self.rc(u);
+        let mut v = Vec::with_capacity(4);
+        if r > 0 {
+            v.push(self.id(r - 1, c));
+        }
+        if r + 1 < self.rows {
+            v.push(self.id(r + 1, c));
+        }
+        if c > 0 {
+            v.push(self.id(r, c - 1));
+        }
+        if c + 1 < self.cols {
+            v.push(self.id(r, c + 1));
+        }
+        v
+    }
+
+    fn route(&self, src: usize, dst: usize) -> Vec<usize> {
+        // X (column) first, then Y (row).
+        let (r0, c0) = self.rc(src);
+        let (r1, c1) = self.rc(dst);
+        let mut path = vec![src];
+        let mut c = c0;
+        while c != c1 {
+            c = if c < c1 { c + 1 } else { c - 1 };
+            path.push(self.id(r0, c));
+        }
+        let mut r = r0;
+        while r != r1 {
+            r = if r < r1 { r + 1 } else { r - 1 };
+            path.push(self.id(r, c1));
+        }
+        path
+    }
+
+    fn placement(&self) -> Placement {
+        Placement::grid2d(self.n(), 1.0)
+    }
+}
+
+/// A side³ 3-D mesh; processor `(x, y, z)` has index `(z·side + y)·side + x`.
+#[derive(Clone, Copy, Debug)]
+pub struct Mesh3D {
+    side: usize,
+}
+
+impl Mesh3D {
+    /// A cube-shaped mesh with the given side length.
+    pub fn new(side: usize) -> Self {
+        assert!(side >= 2);
+        Mesh3D { side }
+    }
+
+    /// A 3-D mesh on `n` processors (`n` a perfect cube).
+    pub fn cube(n: usize) -> Self {
+        let side = (n as f64).cbrt().round() as usize;
+        assert_eq!(side * side * side, n, "n must be a perfect cube");
+        Mesh3D::new(side)
+    }
+
+    fn xyz(&self, u: usize) -> (usize, usize, usize) {
+        let s = self.side;
+        (u % s, (u / s) % s, u / (s * s))
+    }
+
+    fn id(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * self.side + y) * self.side + x
+    }
+}
+
+impl FixedConnectionNetwork for Mesh3D {
+    fn name(&self) -> String {
+        format!("mesh3d({}^3)", self.side)
+    }
+
+    fn n(&self) -> usize {
+        self.side * self.side * self.side
+    }
+
+    fn degree(&self) -> usize {
+        6
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        let (x, y, z) = self.xyz(u);
+        let s = self.side;
+        let mut v = Vec::with_capacity(6);
+        if x > 0 {
+            v.push(self.id(x - 1, y, z));
+        }
+        if x + 1 < s {
+            v.push(self.id(x + 1, y, z));
+        }
+        if y > 0 {
+            v.push(self.id(x, y - 1, z));
+        }
+        if y + 1 < s {
+            v.push(self.id(x, y + 1, z));
+        }
+        if z > 0 {
+            v.push(self.id(x, y, z - 1));
+        }
+        if z + 1 < s {
+            v.push(self.id(x, y, z + 1));
+        }
+        v
+    }
+
+    fn route(&self, src: usize, dst: usize) -> Vec<usize> {
+        let (mut x, mut y, mut z) = self.xyz(src);
+        let (x1, y1, z1) = self.xyz(dst);
+        let mut path = vec![src];
+        while x != x1 {
+            x = if x < x1 { x + 1 } else { x - 1 };
+            path.push(self.id(x, y, z));
+        }
+        while y != y1 {
+            y = if y < y1 { y + 1 } else { y - 1 };
+            path.push(self.id(x, y, z));
+        }
+        while z != z1 {
+            z = if z < z1 { z + 1 } else { z - 1 };
+            path.push(self.id(x, y, z));
+        }
+        path
+    }
+
+    fn placement(&self) -> Placement {
+        Placement::grid3d(self.n(), 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_all_routes;
+
+    #[test]
+    fn mesh2d_structure() {
+        let m = Mesh2D::new(3, 4);
+        assert_eq!(m.n(), 12);
+        assert_eq!(m.neighbors(0), vec![4, 1]);
+        assert_eq!(m.neighbors(5).len(), 4);
+        check_all_routes(&m).unwrap();
+    }
+
+    #[test]
+    fn mesh2d_route_is_manhattan() {
+        let m = Mesh2D::square(16);
+        for s in 0..16usize {
+            for d in 0..16usize {
+                let (r0, c0) = (s / 4, s % 4);
+                let (r1, c1) = (d / 4, d % 4);
+                let manhattan = r0.abs_diff(r1) + c0.abs_diff(c1);
+                assert_eq!(m.route(s, d).len() - 1, manhattan);
+            }
+        }
+    }
+
+    #[test]
+    fn mesh2d_volume_linear() {
+        let m = Mesh2D::square(64);
+        assert_eq!(m.volume(), 64.0);
+    }
+
+    #[test]
+    fn mesh3d_structure() {
+        let m = Mesh3D::new(3);
+        assert_eq!(m.n(), 27);
+        assert_eq!(m.degree(), 6);
+        assert_eq!(m.neighbors(13).len(), 6); // center of 3×3×3
+        check_all_routes(&m).unwrap();
+    }
+
+    #[test]
+    fn mesh3d_route_is_l1() {
+        let m = Mesh3D::new(3);
+        for s in 0..27usize {
+            for d in 0..27usize {
+                let a = m.xyz(s);
+                let b = m.xyz(d);
+                let l1 = a.0.abs_diff(b.0) + a.1.abs_diff(b.1) + a.2.abs_diff(b.2);
+                assert_eq!(m.route(s, d).len() - 1, l1);
+            }
+        }
+    }
+
+    #[test]
+    fn mesh3d_fills_cube() {
+        let m = Mesh3D::cube(64);
+        assert_eq!(m.volume(), 64.0);
+        assert_eq!(m.placement().n(), 64);
+    }
+}

@@ -1,0 +1,113 @@
+//! A ring (cycle) of processors: the weakest interesting fixed-connection
+//! network — diameter n/2, bisection 2. §VI's point that non-universal
+//! networks "have no theoretical advantage over a sequential computer" shows
+//! starkest here: a fat-tree of equal (linear) volume simulates the ring
+//! with polylog slowdown, while the ring simulating anything global costs
+//! Θ(n).
+
+use crate::traits::FixedConnectionNetwork;
+use ft_layout::Placement;
+
+/// A bidirectional ring on `n ≥ 3` processors.
+#[derive(Clone, Copy, Debug)]
+pub struct Ring {
+    n: usize,
+}
+
+impl Ring {
+    /// A ring on `n ≥ 3` processors.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3);
+        Ring { n }
+    }
+}
+
+impl FixedConnectionNetwork for Ring {
+    fn name(&self) -> String {
+        format!("ring({})", self.n)
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn degree(&self) -> usize {
+        2
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        vec![(u + self.n - 1) % self.n, (u + 1) % self.n]
+    }
+
+    fn route(&self, src: usize, dst: usize) -> Vec<usize> {
+        let mut path = vec![src];
+        let fwd = (dst + self.n - src) % self.n;
+        let mut cur = src;
+        if fwd <= self.n / 2 {
+            while cur != dst {
+                cur = (cur + 1) % self.n;
+                path.push(cur);
+            }
+        } else {
+            while cur != dst {
+                cur = (cur + self.n - 1) % self.n;
+                path.push(cur);
+            }
+        }
+        path
+    }
+
+    fn placement(&self) -> Placement {
+        // A ring is one-dimensional hardware: fold it into two adjacent
+        // rows of a (⌈n/2⌉)×2×1 box so *every* edge (wrap included) has
+        // unit length. Volume Θ(n), and any cutting plane crosses at most
+        // two ring edges — the O(1) bisection a ring deserves.
+        let half = self.n.div_ceil(2);
+        let mut positions = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let (x, y) = if i < half {
+                (i, 0usize)
+            } else {
+                (self.n - 1 - i, 1usize)
+            };
+            positions.push([x as f64 + 0.5, y as f64 + 0.5, 0.5]);
+        }
+        Placement::new(
+            positions,
+            ft_layout::Cuboid::with_sides([half as f64, 2.0, 1.0]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_all_routes;
+
+    #[test]
+    fn structure_and_routes() {
+        let r = Ring::new(10);
+        assert_eq!(r.neighbors(0), vec![9, 1]);
+        check_all_routes(&r).unwrap();
+    }
+
+    #[test]
+    fn takes_the_short_way() {
+        let r = Ring::new(10);
+        assert_eq!(r.route(0, 9).len() - 1, 1);
+        assert_eq!(r.route(0, 5).len() - 1, 5);
+        for a in 0..10usize {
+            for b in 0..10usize {
+                assert!(r.route(a, b).len() - 1 <= 5);
+            }
+        }
+    }
+
+    #[test]
+    fn volume_linear() {
+        let r = Ring::new(27);
+        // Folded two-row layout: ⌈27/2⌉ × 2 × 1.
+        assert_eq!(r.volume(), 28.0);
+        assert_eq!(r.placement().n(), 27);
+    }
+}

@@ -1,0 +1,136 @@
+//! The shuffle-exchange network (Stone \[28\]; the basis of Schwartz's
+//! ultracomputer \[27\], which §I quotes on its "very large number of
+//! intercabinet wires"). Nodes are `n = 2^d` bit-strings; *exchange* edges
+//! flip the low bit, *shuffle* edges rotate left. Routing takes `d` shuffle
+//! rounds with an optional exchange before each.
+
+use crate::traits::FixedConnectionNetwork;
+use ft_layout::Placement;
+
+/// A shuffle-exchange network on `n = 2^d` processors.
+#[derive(Clone, Copy, Debug)]
+pub struct ShuffleExchange {
+    d: u32,
+}
+
+impl ShuffleExchange {
+    /// Order `d` network (`n = 2^d`, `d ≥ 2`).
+    pub fn new(d: u32) -> Self {
+        assert!((2..=24).contains(&d));
+        ShuffleExchange { d }
+    }
+
+    fn mask(&self) -> usize {
+        (1usize << self.d) - 1
+    }
+
+    /// Rotate left within `d` bits (the shuffle).
+    pub fn shuffle(&self, u: usize) -> usize {
+        ((u << 1) | (u >> (self.d - 1))) & self.mask()
+    }
+
+    /// Rotate right within `d` bits (the inverse shuffle).
+    pub fn unshuffle(&self, u: usize) -> usize {
+        ((u >> 1) | ((u & 1) << (self.d - 1))) & self.mask()
+    }
+}
+
+impl FixedConnectionNetwork for ShuffleExchange {
+    fn name(&self) -> String {
+        format!("shuffle-exchange(d={})", self.d)
+    }
+
+    fn n(&self) -> usize {
+        1usize << self.d
+    }
+
+    fn degree(&self) -> usize {
+        3
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        let mut v = vec![u ^ 1, self.shuffle(u), self.unshuffle(u)];
+        v.sort_unstable();
+        v.dedup();
+        v.retain(|&x| x != u);
+        v
+    }
+
+    fn route(&self, src: usize, dst: usize) -> Vec<usize> {
+        // d rounds: fix the bit about to rotate into the low position, then
+        // shuffle. After d shuffles the word has rotated fully and all bits
+        // match the destination.
+        let mut path = vec![src];
+        let mut cur = src;
+        if src == dst {
+            return path;
+        }
+        for k in 0..self.d {
+            // The bit inserted at position 0 in round k is rotated left by
+            // the remaining d − k shuffles, landing at position (d − k) mod d
+            // of the final word — so it must be the destination's bit there.
+            let want = (dst >> ((self.d - k) % self.d)) & 1;
+            if cur & 1 != want {
+                cur ^= 1;
+                path.push(cur);
+            }
+            cur = self.shuffle(cur);
+            path.push(cur);
+        }
+        debug_assert_eq!(cur, dst);
+        path.dedup();
+        path
+    }
+
+    fn placement(&self) -> Placement {
+        // Bisection Θ(n/lg n) ⇒ volume Ω((n/lg n)^(3/2)); same class as the
+        // butterfly.
+        let n = self.n();
+        let bis = n as f64 / (self.d as f64);
+        let v = (n as f64).max(bis.powf(1.5));
+        let spacing = (v / n as f64).cbrt();
+        Placement::grid3d(n, spacing.max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_all_routes;
+
+    #[test]
+    fn shuffle_is_rotation() {
+        let s = ShuffleExchange::new(3);
+        assert_eq!(s.shuffle(0b011), 0b110);
+        assert_eq!(s.shuffle(0b100), 0b001);
+        assert_eq!(s.unshuffle(s.shuffle(5)), 5);
+    }
+
+    #[test]
+    fn degree_at_most_three() {
+        let s = ShuffleExchange::new(4);
+        for u in 0..16 {
+            assert!(s.neighbors(u).len() <= 3);
+            assert!(!s.neighbors(u).is_empty());
+        }
+    }
+
+    #[test]
+    fn routes_all_pairs() {
+        let s = ShuffleExchange::new(4);
+        check_all_routes(&s).unwrap();
+        for a in 0..16usize {
+            for b in 0..16usize {
+                let p = s.route(a, b);
+                assert!(p.len() - 1 <= 2 * 4, "path {a}→{b} too long");
+                assert_eq!(*p.last().unwrap(), b);
+            }
+        }
+    }
+
+    #[test]
+    fn volume_superlinear() {
+        let s = ShuffleExchange::new(8); // n = 256, bisection 32
+        assert!(s.volume() >= 256.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Store-and-forward delivery simulation for fixed-connection networks.
+//!
+//! Measures the time `t` a network `R` needs to deliver a message set `M` —
+//! the left-hand side of Theorem 10's comparison. Each directed link moves
+//! at most `link_capacity` messages per step; messages follow the network's
+//! deterministic route; contention is resolved in random order per step
+//! (oblivious FIFO-with-random-tiebreak, the standard neutral model).
+
+use crate::traits::FixedConnectionNetwork;
+use ft_core::MessageSet;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Result of a delivery simulation.
+#[derive(Clone, Debug)]
+pub struct DeliveryOutcome {
+    /// Steps until the last message arrived.
+    pub steps: usize,
+    /// Number of messages delivered (always all of them; the process is
+    /// deadlock-free since buffers are unbounded).
+    pub delivered: usize,
+    /// Total hop-traversals performed (network work).
+    pub total_hops: usize,
+}
+
+/// Simulate delivering `msgs` on `net`. `link_capacity` is the number of
+/// messages a directed link carries per step (1 = unit-bandwidth wires).
+pub fn simulate_delivery<R: Rng>(
+    net: &dyn FixedConnectionNetwork,
+    msgs: &MessageSet,
+    link_capacity: usize,
+    rng: &mut R,
+) -> DeliveryOutcome {
+    assert!(link_capacity >= 1);
+    // Precompute paths; messages already at destination are delivered at t=0.
+    let mut paths: Vec<Vec<usize>> = Vec::with_capacity(msgs.len());
+    for m in msgs {
+        let s = m.src.idx();
+        let d = m.dst.idx();
+        assert!(s < net.n() && d < net.n(), "message endpoints outside network");
+        paths.push(net.route(s, d));
+    }
+    let mut pos: Vec<usize> = vec![0; paths.len()]; // index into path
+    let mut live: Vec<usize> = (0..paths.len())
+        .filter(|&i| paths[i].len() > 1)
+        .collect();
+    let delivered_at_start = paths.len() - live.len();
+
+    let mut steps = 0usize;
+    let mut total_hops = 0usize;
+    let mut used: HashMap<(u32, u32), usize> = HashMap::new();
+    while !live.is_empty() {
+        steps += 1;
+        used.clear();
+        live.shuffle(rng);
+        let mut still = Vec::with_capacity(live.len());
+        for &i in &live {
+            let here = paths[i][pos[i]];
+            let next = paths[i][pos[i] + 1];
+            let key = (here as u32, next as u32);
+            let u = used.entry(key).or_insert(0);
+            if *u < link_capacity {
+                *u += 1;
+                pos[i] += 1;
+                total_hops += 1;
+                if pos[i] + 1 < paths[i].len() {
+                    still.push(i);
+                }
+            } else {
+                still.push(i);
+            }
+        }
+        live = still;
+        debug_assert!(steps <= 1_000_000, "delivery stuck");
+    }
+
+    DeliveryOutcome {
+        steps,
+        delivered: delivered_at_start + paths.len() - delivered_at_start,
+        total_hops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypercube::Hypercube;
+    use crate::mesh::Mesh2D;
+    use ft_core::Message;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn empty_set_zero_steps() {
+        let h = Hypercube::new(3);
+        let out = simulate_delivery(&h, &MessageSet::new(), 1, &mut rng());
+        assert_eq!(out.steps, 0);
+        assert_eq!(out.total_hops, 0);
+    }
+
+    #[test]
+    fn local_messages_take_no_time() {
+        let h = Hypercube::new(3);
+        let m: MessageSet = (0..8).map(|i| Message::new(i, i)).collect();
+        let out = simulate_delivery(&h, &m, 1, &mut rng());
+        assert_eq!(out.steps, 0);
+        assert_eq!(out.delivered, 8);
+    }
+
+    #[test]
+    fn single_message_takes_path_length() {
+        let m2 = Mesh2D::square(16);
+        let m: MessageSet = [Message::new(0, 15)].into_iter().collect();
+        let out = simulate_delivery(&m2, &m, 1, &mut rng());
+        assert_eq!(out.steps, 6); // Manhattan distance in a 4×4 mesh
+        assert_eq!(out.total_hops, 6);
+    }
+
+    #[test]
+    fn congestion_serializes() {
+        // All processors of a 4×4 mesh send to corner 0: the two final
+        // links into 0 carry everything, so steps ≥ (n−1)/2.
+        let m2 = Mesh2D::square(16);
+        let m: MessageSet = (1..16).map(|i| Message::new(i, 0)).collect();
+        let out = simulate_delivery(&m2, &m, 1, &mut rng());
+        assert!(out.steps >= 7, "steps {} too small for a hotspot", out.steps);
+        assert_eq!(out.delivered, 15);
+    }
+
+    #[test]
+    fn higher_link_capacity_is_faster() {
+        let m2 = Mesh2D::square(64);
+        let msgs: MessageSet = (1..64).map(|i| Message::new(i, 0)).collect();
+        let slow = simulate_delivery(&m2, &msgs, 1, &mut rng());
+        let fast = simulate_delivery(&m2, &msgs, 4, &mut rng());
+        assert!(fast.steps <= slow.steps);
+        assert_eq!(fast.total_hops, slow.total_hops);
+    }
+
+    #[test]
+    fn random_permutation_on_hypercube_is_fast() {
+        let h = Hypercube::new(6);
+        let n = 64u32;
+        let m: MessageSet = (0..n).map(|i| Message::new(i, (i * 37 + 11) % n)).collect();
+        let out = simulate_delivery(&h, &m, 1, &mut rng());
+        assert_eq!(out.delivered, 64);
+        // Dimension-order on a random-ish permutation: O(lg n) with slack.
+        assert!(out.steps <= 30, "hypercube took {} steps", out.steps);
+    }
+}

@@ -1,0 +1,128 @@
+//! 2-D torus (wraparound mesh) with shortest-way dimension-order routing.
+
+use crate::traits::FixedConnectionNetwork;
+use ft_layout::Placement;
+
+/// A side × side torus; processor `(r, c)` has index `r·side + c`.
+#[derive(Clone, Copy, Debug)]
+pub struct Torus2D {
+    side: usize,
+}
+
+impl Torus2D {
+    /// A square torus with the given side length (≥ 3 so neighbors are
+    /// distinct).
+    pub fn new(side: usize) -> Self {
+        assert!(side >= 3);
+        Torus2D { side }
+    }
+
+    fn rc(&self, u: usize) -> (usize, usize) {
+        (u / self.side, u % self.side)
+    }
+
+    fn id(&self, r: usize, c: usize) -> usize {
+        (r % self.side) * self.side + (c % self.side)
+    }
+
+    /// Step `from` toward `to` the short way around a ring of length `side`.
+    fn ring_step(&self, from: usize, to: usize) -> usize {
+        let s = self.side;
+        let fwd = (to + s - from) % s;
+        if fwd == 0 {
+            from
+        } else if fwd <= s / 2 {
+            (from + 1) % s
+        } else {
+            (from + s - 1) % s
+        }
+    }
+}
+
+impl FixedConnectionNetwork for Torus2D {
+    fn name(&self) -> String {
+        format!("torus2d({}x{})", self.side, self.side)
+    }
+
+    fn n(&self) -> usize {
+        self.side * self.side
+    }
+
+    fn degree(&self) -> usize {
+        4
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        let (r, c) = self.rc(u);
+        let s = self.side;
+        vec![
+            self.id((r + s - 1) % s, c),
+            self.id((r + 1) % s, c),
+            self.id(r, (c + s - 1) % s),
+            self.id(r, (c + 1) % s),
+        ]
+    }
+
+    fn route(&self, src: usize, dst: usize) -> Vec<usize> {
+        let (r1, c1) = self.rc(dst);
+        let (r0, mut c) = self.rc(src);
+        let mut r = r0;
+        let mut path = vec![src];
+        while c != c1 {
+            c = self.ring_step(c, c1);
+            path.push(self.id(r, c));
+        }
+        while r != r1 {
+            r = self.ring_step(r, r1);
+            path.push(self.id(r, c));
+        }
+        path
+    }
+
+    fn placement(&self) -> Placement {
+        // Same footprint as the mesh; wrap links route above the plane and
+        // only add a constant-factor to volume, which the model absorbs.
+        Placement::grid2d(self.n(), 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_all_routes;
+
+    #[test]
+    fn structure() {
+        let t = Torus2D::new(4);
+        assert_eq!(t.n(), 16);
+        assert_eq!(t.degree(), 4);
+        // Corner wraps around.
+        let nb = t.neighbors(0);
+        assert!(nb.contains(&12) && nb.contains(&4) && nb.contains(&3) && nb.contains(&1));
+        check_all_routes(&t).unwrap();
+    }
+
+    #[test]
+    fn routes_take_the_short_way() {
+        let t = Torus2D::new(5);
+        // 0 → 4 is one wrap step left, not four right.
+        let p = t.route(0, 4);
+        assert_eq!(p.len() - 1, 1);
+        // Max ring distance is ⌊side/2⌋ per dimension.
+        for s in 0..25usize {
+            for d in 0..25usize {
+                assert!(t.route(s, d).len() - 1 <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn wraparound_diameter_beats_mesh() {
+        use crate::mesh::Mesh2D;
+        let t = Torus2D::new(8);
+        let m = Mesh2D::new(8, 8);
+        let far_mesh = m.route(0, 63).len() - 1;
+        let far_torus = t.route(0, 63).len() - 1;
+        assert!(far_torus < far_mesh);
+    }
+}

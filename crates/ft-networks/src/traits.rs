@@ -1,0 +1,100 @@
+//! The fixed-connection network abstraction (§VI): processors with direct
+//! connections, each with a routing rule and a physical placement.
+
+use ft_layout::Placement;
+
+/// A fixed-connection routing network on `n` processors.
+///
+/// The trait captures exactly what Theorem 10 needs from a competitor:
+/// * its topology (`neighbors`, `degree`) — bounded degree per the paper's
+///   "the number of connections to a processor is constant",
+/// * a deterministic routing rule (`route`) so a delivery simulator can
+///   measure the time `t` the network takes on a message set,
+/// * a physical `placement` in 3-space, from which cutting planes derive
+///   its decomposition tree and hardware volume.
+pub trait FixedConnectionNetwork {
+    /// Human-readable name for tables.
+    fn name(&self) -> String;
+
+    /// Number of processors.
+    fn n(&self) -> usize;
+
+    /// Maximum node degree.
+    fn degree(&self) -> usize;
+
+    /// Neighbors of processor `u`.
+    fn neighbors(&self, u: usize) -> Vec<usize>;
+
+    /// The node path from `src` to `dst` (inclusive of both), following the
+    /// network's standard routing algorithm. Consecutive entries must be
+    /// neighbors.
+    fn route(&self, src: usize, dst: usize) -> Vec<usize>;
+
+    /// Physical placement of the processors in 3-space.
+    fn placement(&self) -> Placement;
+
+    /// Hardware volume of the placement.
+    fn volume(&self) -> f64 {
+        self.placement().volume()
+    }
+
+    /// Network diameter: the longest routed path over all pairs, in hops.
+    /// Default implementation measures it exhaustively (fine for the sizes
+    /// we simulate; override with the closed form if needed).
+    fn diameter(&self) -> usize {
+        let n = self.n();
+        let mut d = 0;
+        for s in 0..n {
+            for t in 0..n {
+                d = d.max(self.route(s, t).len() - 1);
+            }
+        }
+        d
+    }
+
+    /// Measured bisection width: edges crossing the half/half processor
+    /// split `{0..n/2} | {n/2..n}` (a lower bound on the true minimum
+    /// bisection, exact for the index-symmetric networks here).
+    fn index_bisection(&self) -> usize {
+        let n = self.n();
+        let half = n / 2;
+        let mut cut = 0;
+        for u in 0..half {
+            for v in self.neighbors(u) {
+                if v >= half {
+                    cut += 1;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Check routing invariants on a sample of pairs (test helper):
+    /// paths start/end correctly and follow edges.
+    fn check_routes(&self, pairs: &[(usize, usize)]) -> Result<(), String> {
+        for &(s, d) in pairs {
+            let path = self.route(s, d);
+            if path.first() != Some(&s) || path.last() != Some(&d) {
+                return Err(format!("{}: path {s}→{d} has wrong endpoints", self.name()));
+            }
+            for w in path.windows(2) {
+                if w[0] != w[1] && !self.neighbors(w[0]).contains(&w[1]) {
+                    return Err(format!(
+                        "{}: {} and {} not adjacent on path {s}→{d}",
+                        self.name(),
+                        w[0],
+                        w[1]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Exhaustively check routes for all pairs on small networks (test helper).
+pub fn check_all_routes<N: FixedConnectionNetwork>(net: &N) -> Result<(), String> {
+    let n = net.n();
+    let pairs: Vec<(usize, usize)> = (0..n).flat_map(|s| (0..n).map(move |d| (s, d))).collect();
+    net.check_routes(&pairs)
+}

@@ -1,0 +1,150 @@
+//! The complete-binary-tree machine ("simple trees", §VI): processors at
+//! every node of a complete binary tree, routing through lowest common
+//! ancestors. Cheap (volume Θ(n)) but with a root bottleneck — the paper's
+//! example of a non-universal network alongside 2-D arrays.
+
+use crate::traits::FixedConnectionNetwork;
+use ft_layout::Placement;
+
+/// A tree machine on `n = 2^(d+1) − 1` processors, numbered in heap order
+/// `1..=n` internally; the public processor ids are `0..n` (heap − 1).
+#[derive(Clone, Copy, Debug)]
+pub struct TreeMachine {
+    levels: u32, // depth: root at 0 .. levels-1; n = 2^levels - 1
+}
+
+impl TreeMachine {
+    /// A complete binary tree with the given number of levels (≥ 2).
+    pub fn new(levels: u32) -> Self {
+        assert!((2..=24).contains(&levels));
+        TreeMachine { levels }
+    }
+
+    fn heap(u: usize) -> usize {
+        u + 1
+    }
+
+    fn un_heap(h: usize) -> usize {
+        h - 1
+    }
+}
+
+impl FixedConnectionNetwork for TreeMachine {
+    fn name(&self) -> String {
+        format!("tree({} levels)", self.levels)
+    }
+
+    fn n(&self) -> usize {
+        (1usize << self.levels) - 1
+    }
+
+    fn degree(&self) -> usize {
+        3
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        let h = Self::heap(u);
+        let n = self.n();
+        let mut v = Vec::with_capacity(3);
+        if h > 1 {
+            v.push(Self::un_heap(h / 2));
+        }
+        if 2 * h <= n {
+            v.push(Self::un_heap(2 * h));
+        }
+        if 2 * h < n {
+            v.push(Self::un_heap(2 * h + 1));
+        }
+        v
+    }
+
+    fn route(&self, src: usize, dst: usize) -> Vec<usize> {
+        let mut a = Self::heap(src);
+        let mut b = Self::heap(dst);
+        let mut up = vec![a];
+        let mut down = vec![b];
+        while a != b {
+            if a > b {
+                a /= 2;
+                up.push(a);
+            } else {
+                b /= 2;
+                down.push(b);
+            }
+        }
+        down.pop(); // LCA already in `up`
+        down.reverse();
+        up.extend(down);
+        up.into_iter().map(Self::un_heap).collect()
+    }
+
+    fn placement(&self) -> Placement {
+        // H-tree style locality in one dimension: place processors by
+        // *in-order* traversal along a folded two-row line. Subtrees occupy
+        // contiguous intervals, so any cutting plane severs only the O(lg n)
+        // tree edges that leave an interval — the Θ(1)-bisection layout a
+        // tree machine deserves (volume Θ(n)).
+        let n = self.n();
+        let mut order = Vec::with_capacity(n);
+        in_order(1, n, &mut order);
+        let mut rank = vec![0usize; n + 1];
+        for (i, &h) in order.iter().enumerate() {
+            rank[h] = i;
+        }
+        let half = n.div_ceil(2);
+        let positions = (0..n)
+            .map(|u| {
+                let r = rank[Self::heap(u)];
+                let (x, y) = if r < half { (r, 0usize) } else { (n - 1 - r, 1usize) };
+                [x as f64 + 0.5, y as f64 + 0.5, 0.5]
+            })
+            .collect();
+        Placement::new(
+            positions,
+            ft_layout::Cuboid::with_sides([half as f64, 2.0, 1.0]),
+        )
+    }
+}
+
+/// In-order traversal of the heap-ordered complete tree with `n` nodes.
+fn in_order(h: usize, n: usize, out: &mut Vec<usize>) {
+    if h > n {
+        return;
+    }
+    in_order(2 * h, n, out);
+    out.push(h);
+    in_order(2 * h + 1, n, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_all_routes;
+
+    #[test]
+    fn structure() {
+        let t = TreeMachine::new(3);
+        assert_eq!(t.n(), 7);
+        assert_eq!(t.neighbors(0), vec![1, 2]); // root: two children
+        assert_eq!(t.neighbors(3), vec![1]); // leaf: parent only
+        assert_eq!(t.degree(), 3);
+        check_all_routes(&t).unwrap();
+    }
+
+    #[test]
+    fn routes_via_lca() {
+        let t = TreeMachine::new(4);
+        // Leaves 7 and 8 (heap 8, 9) share parent heap 4 → path length 2.
+        assert_eq!(t.route(7, 8), vec![7, 3, 8]);
+        // Far leaves route through the root (processor 0).
+        let p = t.route(7, 14);
+        assert!(p.contains(&0));
+        assert_eq!(p.len() - 1, 6);
+    }
+
+    #[test]
+    fn volume_linear() {
+        let t = TreeMachine::new(6);
+        assert!(t.volume() <= 2.0 * t.n() as f64);
+    }
+}

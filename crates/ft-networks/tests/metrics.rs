@@ -1,0 +1,97 @@
+//! Known-formula checks for network metrics (diameter, bisection) and
+//! property tests over random routed pairs — the numbers behind §I's
+//! volume hierarchy.
+
+use ft_networks::{
+    Butterfly, CubeConnectedCycles, FixedConnectionNetwork, Hypercube, Mesh2D, Mesh3D, Ring,
+    ShuffleExchange, Torus2D, TreeMachine,
+};
+use proptest::prelude::*;
+
+#[test]
+fn hypercube_metrics() {
+    let h = Hypercube::new(5);
+    assert_eq!(h.diameter(), 5);
+    // Index bisection of the hypercube: n/2 dimension-4 edges.
+    assert_eq!(h.index_bisection(), 16);
+}
+
+#[test]
+fn mesh_metrics() {
+    let m = Mesh2D::new(6, 6);
+    assert_eq!(m.diameter(), 10); // 2·(side−1)
+    assert_eq!(m.index_bisection(), 6); // one row boundary
+    let c = Mesh3D::new(3);
+    assert_eq!(c.diameter(), 6);
+}
+
+#[test]
+fn torus_metrics() {
+    let t = Torus2D::new(6);
+    assert_eq!(t.diameter(), 6); // 2·⌊side/2⌋
+    // Wrap makes the index bisection 2 rows of edges.
+    assert_eq!(t.index_bisection(), 12);
+}
+
+#[test]
+fn ring_and_tree_metrics() {
+    let r = Ring::new(16);
+    assert_eq!(r.diameter(), 8);
+    assert_eq!(r.index_bisection(), 2);
+    let t = TreeMachine::new(5);
+    assert_eq!(t.diameter(), 8); // leaf → root → leaf
+    // Heap (breadth-first) index order puts every leaf's parent in the other
+    // half, so the *index* cut is 16 — the tree's true bisection of 1 needs
+    // the in-order coordinates its placement uses.
+    assert_eq!(t.index_bisection(), 16);
+}
+
+#[test]
+fn bisection_hierarchy_matches_section_one() {
+    // §I's volume story in bisection form at comparable sizes:
+    // planar (mesh) ≪ shuffle-class ≪ hypercube.
+    let mesh = Mesh2D::new(8, 8).index_bisection();
+    let se = ShuffleExchange::new(6).index_bisection();
+    let hc = Hypercube::new(6).index_bisection();
+    assert!(mesh < se, "mesh {mesh} vs shuffle-exchange {se}");
+    assert!(se < hc, "shuffle-exchange {se} vs hypercube {hc}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_routes_are_legal_everywhere(seed in any::<u64>()) {
+        let nets: Vec<Box<dyn FixedConnectionNetwork>> = vec![
+            Box::new(Hypercube::new(6)),
+            Box::new(Mesh2D::new(7, 9)),
+            Box::new(Mesh3D::new(4)),
+            Box::new(Torus2D::new(7)),
+            Box::new(TreeMachine::new(6)),
+            Box::new(Butterfly::new(4)),
+            Box::new(CubeConnectedCycles::new(4)),
+            Box::new(ShuffleExchange::new(6)),
+            Box::new(Ring::new(37)),
+        ];
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13; state ^= state >> 7; state ^= state << 17; state
+        };
+        for net in &nets {
+            let n = net.n();
+            let pairs: Vec<(usize, usize)> = (0..16)
+                .map(|_| ((next() % n as u64) as usize, (next() % n as u64) as usize))
+                .collect();
+            prop_assert!(net.check_routes(&pairs).is_ok(), "{} failed", net.name());
+            let diameter = net.diameter();
+            for &(s, t) in &pairs {
+                let hops = net.route(s, t).len() - 1;
+                prop_assert!(
+                    hops <= diameter,
+                    "{}: route {s}→{t} of {hops} hops beats the diameter?",
+                    net.name()
+                );
+            }
+        }
+    }
+}

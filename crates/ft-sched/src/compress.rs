@@ -1,0 +1,99 @@
+//! Schedule compression (ours; ablation A4).
+//!
+//! Theorem 1's level-by-level construction can leave capacity on the table:
+//! cycles generated for different levels often don't share channels at all.
+//! This pass greedily merges cycles whose combined loads still respect every
+//! capacity — a pure post-processing step that preserves validity and never
+//! lengthens the schedule. It quantifies how loose the `2·λ·lg n` analysis
+//! is in practice (the theorem itself needs no merging).
+
+use crate::schedule::Schedule;
+use ft_core::{FatTree, LoadMap, MessageSet};
+
+/// Greedily merge compatible delivery cycles. Cycles are considered in
+/// decreasing size and packed first-fit into merged slots.
+pub fn compress_schedule(ft: &FatTree, schedule: Schedule) -> Schedule {
+    let mut cycles = schedule.into_cycles();
+    cycles.sort_by_key(|c| std::cmp::Reverse(c.len()));
+
+    let mut merged: Vec<(MessageSet, LoadMap)> = Vec::new();
+    'outer: for cyc in cycles {
+        let add = LoadMap::of(ft, &cyc);
+        for (set, lm) in merged.iter_mut() {
+            if fits_together(ft, lm, &add) {
+                for m in &cyc {
+                    lm.add(ft, m);
+                }
+                set.extend_from(&cyc);
+                continue 'outer;
+            }
+        }
+        merged.push((cyc.clone(), add));
+    }
+    Schedule::from_cycles(merged.into_iter().map(|(s, _)| s).collect())
+}
+
+/// Would the union of `base` and `add` stay within every capacity?
+fn fits_together(ft: &FatTree, base: &LoadMap, add: &LoadMap) -> bool {
+    ft.channels().all(|c| base.get(c) + add.get(c) <= ft.cap(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::schedule_theorem1;
+    use ft_core::{CapacityProfile, Message};
+
+    #[test]
+    fn compression_preserves_validity_and_never_lengthens() {
+        let n = 64u32;
+        let ft = FatTree::universal(n, 16);
+        let mut state = 0xC0FFEEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let msgs: MessageSet = (0..4 * n)
+            .map(|_| Message::new((next() % n as u64) as u32, (next() % n as u64) as u32))
+            .collect();
+        let (schedule, _) = schedule_theorem1(&ft, &msgs);
+        let before = schedule.num_cycles();
+        let compressed = compress_schedule(&ft, schedule);
+        compressed.validate(&ft, &msgs).expect("still valid");
+        assert!(compressed.num_cycles() <= before);
+        assert!(compressed.num_cycles() >= ft_core::cycle_lower_bound(&ft, &msgs) as usize);
+    }
+
+    #[test]
+    fn disjoint_cycles_merge_to_one() {
+        // Two cycles touching different subtrees merge.
+        let ft = FatTree::new(8, CapacityProfile::Constant(1));
+        let a: MessageSet = [Message::new(0, 1)].into_iter().collect();
+        let b: MessageSet = [Message::new(4, 5)].into_iter().collect();
+        let s = Schedule::from_cycles(vec![a.clone(), b.clone()]);
+        let c = compress_schedule(&ft, s);
+        assert_eq!(c.num_cycles(), 1);
+        let mut orig = a;
+        orig.extend_from(&b);
+        c.validate(&ft, &orig).unwrap();
+    }
+
+    #[test]
+    fn conflicting_cycles_stay_apart() {
+        let ft = FatTree::new(8, CapacityProfile::Constant(1));
+        let a: MessageSet = [Message::new(0, 5)].into_iter().collect();
+        let b: MessageSet = [Message::new(1, 5)].into_iter().collect();
+        let s = Schedule::from_cycles(vec![a, b]);
+        let c = compress_schedule(&ft, s);
+        assert_eq!(c.num_cycles(), 2, "both need leaf 5's down channel (cap 1)");
+    }
+
+    #[test]
+    fn empty_schedule_stays_empty() {
+        let ft = FatTree::new(4, CapacityProfile::Constant(1));
+        let c = compress_schedule(&ft, Schedule::new());
+        assert_eq!(c.num_cycles(), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! A first-fit greedy scheduler (baseline for ablation A2).
+//!
+//! Not from the paper: it assigns each message to the earliest delivery
+//! cycle whose capacity constraints it does not violate, opening a new cycle
+//! when none fits. Messages are considered longest-path-first, which helps
+//! the packing. Greedy gives no 2λ·lg n guarantee — experiment A2 measures
+//! how it compares with the matching-and-tracing scheduler in practice.
+
+use crate::schedule::Schedule;
+use ft_core::{path_len, route::for_each_path_channel, FatTree, LoadMap, Message, MessageSet};
+
+/// Schedule `m` on `ft` by first-fit decreasing.
+pub fn schedule_greedy(ft: &FatTree, m: &MessageSet) -> Schedule {
+    let mut msgs: Vec<Message> = m.iter().copied().collect();
+    msgs.sort_by_key(|msg| std::cmp::Reverse(path_len(ft, msg)));
+
+    let mut cycles: Vec<(MessageSet, LoadMap)> = Vec::new();
+    'outer: for msg in msgs {
+        for (set, lm) in cycles.iter_mut() {
+            if fits(ft, lm, &msg) {
+                lm.add(ft, &msg);
+                set.push(msg);
+                continue 'outer;
+            }
+        }
+        let mut lm = LoadMap::zeros(ft);
+        lm.add(ft, &msg);
+        cycles.push((MessageSet::from_vec(vec![msg]), lm));
+    }
+    Schedule::from_cycles(cycles.into_iter().map(|(s, _)| s).collect())
+}
+
+/// Would adding `msg` keep every channel within capacity?
+fn fits(ft: &FatTree, lm: &LoadMap, msg: &Message) -> bool {
+    let mut ok = true;
+    for_each_path_channel(ft, msg, |c| {
+        if lm.get(c) + 1 > ft.cap(c) {
+            ok = false;
+        }
+    });
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::CapacityProfile;
+
+    #[test]
+    fn greedy_is_valid_and_meets_lower_bound() {
+        let n = 32u32;
+        let t = FatTree::universal(n, 8);
+        let m: MessageSet = (0..n).map(|i| Message::new(i, n - 1 - i)).collect();
+        let s = schedule_greedy(&t, &m);
+        s.validate(&t, &m).unwrap();
+        let lam = ft_core::load_factor(&t, &m);
+        assert!(s.num_cycles() as f64 >= lam.ceil() - 1e-9);
+    }
+
+    #[test]
+    fn greedy_packs_one_cycle_set_into_one_cycle() {
+        let n = 16u32;
+        let t = FatTree::new(n, CapacityProfile::FullDoubling);
+        let m: MessageSet = (0..n).map(|i| Message::new(i, n - 1 - i)).collect();
+        let s = schedule_greedy(&t, &m);
+        s.validate(&t, &m).unwrap();
+        assert_eq!(s.num_cycles(), 1, "λ = 1 set should fit in a single cycle");
+    }
+
+    #[test]
+    fn greedy_empty() {
+        let t = FatTree::new(4, CapacityProfile::Constant(1));
+        let s = schedule_greedy(&t, &MessageSet::new());
+        assert_eq!(s.num_cycles(), 0);
+    }
+
+    #[test]
+    fn greedy_handles_local_messages() {
+        let t = FatTree::new(8, CapacityProfile::Constant(1));
+        let m: MessageSet = (0..8).map(|i| Message::new(i, i)).collect();
+        let s = schedule_greedy(&t, &m);
+        s.validate(&t, &m).unwrap();
+        assert_eq!(s.num_cycles(), 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! Theorem 1 (§III): off-line scheduling of an arbitrary message set `M` in
+//! `d ≤ 2·λ(M)·⌈lg n⌉` delivery cycles.
+//!
+//! The scheduler processes the tree level by level. At each node it takes
+//! the messages whose LCA is that node, separately for each crossing
+//! direction, and repeatedly applies the even splitter until every part is a
+//! one-cycle message set. Left-to-right and right-to-left parts at a node
+//! use disjoint channels and are routed in the same delivery cycles; so do
+//! all nodes at the same level (their subtrees are disjoint).
+
+use crate::schedule::Schedule;
+use crate::split::{split_even_indices, CrossDirection};
+use ft_core::{FatTree, LoadMap, Message, MessageSet};
+
+/// Diagnostics from [`schedule_theorem1`].
+#[derive(Clone, Debug, Default)]
+pub struct Theorem1Stats {
+    /// Number of delivery cycles contributed by each level (level 0 first).
+    pub cycles_per_level: Vec<usize>,
+    /// λ(M) of the input on the tree.
+    pub load_factor: f64,
+    /// Total delivery cycles `d`.
+    pub total_cycles: usize,
+}
+
+impl Theorem1Stats {
+    /// The paper's upper bound `2·⌈λ(M)⌉·⌈lg n⌉` for this run
+    /// (with λ < 1 rounded up to 1 when the set is nonempty).
+    pub fn paper_bound(&self, ft: &FatTree) -> usize {
+        let lam = self.load_factor.max(1.0).ceil() as usize;
+        2 * lam * ft.height().max(1) as usize
+    }
+}
+
+/// Schedule `m` on `ft` per Theorem 1. Returns the schedule and statistics.
+///
+/// The schedule is guaranteed valid: `schedule.validate(ft, m)` holds, and
+/// `schedule.num_cycles() ≤ 2·⌈λ(M)⌉·⌈lg n⌉` (cycles for empty levels are
+/// skipped, so the measured count is usually far below the bound).
+///
+/// ```
+/// use ft_core::{FatTree, Message, MessageSet};
+/// use ft_sched::schedule_theorem1;
+/// let ft = FatTree::universal(16, 4);
+/// let m: MessageSet = (0..16).map(|i| Message::new(i, 15 - i)).collect();
+/// let (schedule, stats) = schedule_theorem1(&ft, &m);
+/// schedule.validate(&ft, &m).unwrap();
+/// assert!(schedule.num_cycles() <= stats.paper_bound(&ft));
+/// ```
+pub fn schedule_theorem1(ft: &FatTree, m: &MessageSet) -> (Schedule, Theorem1Stats) {
+    let n = ft.n();
+    let height = ft.height();
+    let lam = LoadMap::of(ft, m).load_factor(ft);
+
+    // Bucket messages by LCA node; local messages consume no channels and
+    // ride along in the first emitted cycle.
+    let mut by_lca: Vec<Vec<Message>> = vec![Vec::new(); (2 * n) as usize];
+    let mut locals: Vec<Message> = Vec::new();
+    for msg in m {
+        if msg.is_local() {
+            locals.push(*msg);
+        } else {
+            by_lca[ft.lca(msg.src, msg.dst) as usize].push(*msg);
+        }
+    }
+
+    let mut schedule = Schedule::new();
+    let mut cycles_per_level = Vec::with_capacity(height as usize);
+
+    for level in 0..height {
+        // For every node at this level, refine each direction into one-cycle
+        // parts; the level contributes max(part-count) cycles, with all
+        // nodes' t-th parts merged into the t-th cycle of the level.
+        let mut level_parts: Vec<Vec<Vec<Message>>> = Vec::new();
+        for node in (1u32 << level)..(1u32 << (level + 1)) {
+            let q = std::mem::take(&mut by_lca[node as usize]);
+            if q.is_empty() {
+                continue;
+            }
+            let (lr, rl): (Vec<Message>, Vec<Message>) = q.into_iter().partition(|msg| {
+                crate::split::is_under(ft.leaf(msg.src), 2 * node)
+            });
+            for (dir, msgs) in [
+                (CrossDirection::LeftToRight, lr),
+                (CrossDirection::RightToLeft, rl),
+            ] {
+                if msgs.is_empty() {
+                    continue;
+                }
+                level_parts.push(refine_to_one_cycle(ft, node, msgs, dir));
+            }
+        }
+        let level_cycles = level_parts.iter().map(|p| p.len()).max().unwrap_or(0);
+        for t in 0..level_cycles {
+            let mut cyc = MessageSet::new();
+            for parts in &level_parts {
+                if let Some(p) = parts.get(t) {
+                    for msg in p {
+                        cyc.push(*msg);
+                    }
+                }
+            }
+            schedule.push_cycle(cyc);
+        }
+        cycles_per_level.push(level_cycles);
+    }
+
+    // Attach local messages (zero load) to the first cycle, or emit a cycle
+    // for them if the schedule is otherwise empty.
+    if !locals.is_empty() {
+        if schedule.num_cycles() == 0 {
+            schedule.push_cycle(MessageSet::from_vec(locals));
+        } else {
+            let mut cycles = std::mem::take(&mut schedule).into_cycles();
+            for msg in locals {
+                cycles[0].push(msg);
+            }
+            schedule = Schedule::from_cycles(cycles);
+        }
+    }
+
+    let stats = Theorem1Stats {
+        total_cycles: schedule.num_cycles(),
+        cycles_per_level,
+        load_factor: lam,
+    };
+    (schedule, stats)
+}
+
+/// Repeatedly halve `msgs` (which all cross `node` in direction `dir`) until
+/// every part is a one-cycle message set on `ft`.
+fn refine_to_one_cycle(
+    ft: &FatTree,
+    node: u32,
+    msgs: Vec<Message>,
+    dir: CrossDirection,
+) -> Vec<Vec<Message>> {
+    let mut out = Vec::new();
+    let mut stack = vec![msgs];
+    while let Some(q) = stack.pop() {
+        if q.is_empty() {
+            continue;
+        }
+        let lm = LoadMap::of(ft, &MessageSet::from_vec(q.clone()));
+        if lm.is_one_cycle(ft) {
+            out.push(q);
+        } else {
+            let (a, b) = split_even_indices(ft, node, &q, dir);
+            debug_assert!(a.len() < q.len() || !b.is_empty(), "split must make progress");
+            stack.push(b.into_iter().map(|i| q[i]).collect());
+            stack.push(a.into_iter().map(|i| q[i]).collect());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::{lg, CapacityProfile};
+
+    fn check(ft: &FatTree, m: &MessageSet) -> Theorem1Stats {
+        let (s, stats) = schedule_theorem1(ft, m);
+        s.validate(ft, m).expect("schedule must be valid");
+        assert_eq!(stats.total_cycles, s.num_cycles());
+        // Theorem 1 bound.
+        if !m.is_empty() {
+            assert!(
+                s.num_cycles() <= stats.paper_bound(ft),
+                "d = {} exceeds 2·λ·lg n = {}",
+                s.num_cycles(),
+                stats.paper_bound(ft)
+            );
+            // Trivial lower bound d ≥ ⌈λ⌉.
+            assert!(s.num_cycles() as f64 >= stats.load_factor.ceil());
+        }
+        stats
+    }
+
+    #[test]
+    fn empty_set() {
+        let t = FatTree::new(8, CapacityProfile::Constant(1));
+        let (s, _) = schedule_theorem1(&t, &MessageSet::new());
+        assert_eq!(s.num_cycles(), 0);
+        s.validate(&t, &MessageSet::new()).unwrap();
+    }
+
+    #[test]
+    fn local_messages_only() {
+        let t = FatTree::new(8, CapacityProfile::Constant(1));
+        let m: MessageSet = (0..8).map(|i| Message::new(i, i)).collect();
+        let (s, _) = schedule_theorem1(&t, &m);
+        assert_eq!(s.num_cycles(), 1);
+        s.validate(&t, &m).unwrap();
+    }
+
+    #[test]
+    fn one_cycle_permutation_on_fat_capacities() {
+        let n = 32u32;
+        let t = FatTree::new(n, CapacityProfile::FullDoubling);
+        let m: MessageSet = (0..n).map(|i| Message::new(i, n - 1 - i)).collect();
+        let stats = check(&t, &m);
+        assert!((stats.load_factor - 1.0).abs() < 1e-9);
+        // λ = 1 ⇒ should need very few cycles (at most a couple per level).
+        assert!(stats.total_cycles <= 2 * lg(n as u64) as usize);
+    }
+
+    #[test]
+    fn skinny_tree_hotspot() {
+        // All processors send to processor 0 on a capacity-1 tree: λ = n−1
+        // at the destination leaf channel; schedule length must sit between
+        // λ and 2λ·lg n.
+        let n = 16u32;
+        let t = FatTree::new(n, CapacityProfile::Constant(1));
+        let m: MessageSet = (1..n).map(|i| Message::new(i, 0)).collect();
+        let stats = check(&t, &m);
+        assert_eq!(stats.load_factor, (n - 1) as f64);
+        assert!(stats.total_cycles >= (n - 1) as usize);
+    }
+
+    #[test]
+    fn cyclic_shift_universal_tree() {
+        let n = 64u32;
+        let t = FatTree::universal(n, 16);
+        let m: MessageSet = (0..n).map(|i| Message::new(i, (i + 1) % n)).collect();
+        check(&t, &m);
+    }
+
+    #[test]
+    fn adversarial_cross_root_on_universal_tree() {
+        // Everybody crosses the root: i → i + n/2 (mod n).
+        let n = 64u32;
+        for w in [8u64, 16, 32, 64] {
+            let t = FatTree::universal(n, w);
+            let m: MessageSet = (0..n).map(|i| Message::new(i, (i + n / 2) % n)).collect();
+            let stats = check(&t, &m);
+            // Every message crosses the root, so the root channel alone
+            // forces λ ≥ (n/2)/w.
+            assert!(stats.load_factor >= (n as f64 / 2.0 / w as f64) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_k_relation_stress() {
+        let n = 64u32;
+        let t = FatTree::universal(n, 16);
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for k in [1usize, 2, 4, 8] {
+            let m: MessageSet = (0..n)
+                .flat_map(|i| {
+                    (0..k)
+                        .map(|_| Message::new(i, (next() % n as u64) as u32))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            check(&t, &m);
+        }
+    }
+
+    #[test]
+    fn cycles_per_level_sums_to_total_without_locals() {
+        let n = 32u32;
+        let t = FatTree::universal(n, 8);
+        let m: MessageSet = (0..n).map(|i| Message::new(i, (i * 7 + 3) % n)).collect();
+        let (s, stats) = schedule_theorem1(&t, &m);
+        let sum: usize = stats.cycles_per_level.iter().sum();
+        assert_eq!(sum, s.num_cycles());
+    }
+}

@@ -1,0 +1,206 @@
+//! On-line randomized routing (§VI): the paper's stated extension, due to
+//! Greenberg & Leiserson ("Randomized routing on fat-trees", FOCS 1985,
+//! cited as \[8\]): all messages are delivered in O(λ(M) + lg n·lg lg n)
+//! delivery cycles with high probability.
+//!
+//! We model the on-line process at delivery-cycle granularity, exactly as
+//! §II describes the hardware: every undelivered message is (re)sent each
+//! cycle; it claims one wire on every channel of its path in turn; when a
+//! concentrator's output channel is congested (no wire left) the message is
+//! dropped *at that point* — the wires it already claimed stay consumed for
+//! the cycle, mirroring a partially-established bit-serial path; delivered
+//! messages are acknowledged and retire. Random arbitration order per cycle
+//! stands in for the random priorities of the Greenberg–Leiserson switch.
+
+use ft_core::{route::for_each_path_channel, FatTree, LoadMap, Message, MessageSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for the on-line routing process.
+#[derive(Clone, Copy, Debug)]
+#[derive(Default)]
+pub struct OnlineConfig {
+    /// Safety valve: stop after this many delivery cycles even if messages
+    /// remain (0 disables the valve). The process always terminates —
+    /// at least one message is delivered each cycle — but runaway parameters
+    /// are easier to debug with a valve.
+    pub max_cycles: usize,
+}
+
+
+/// Outcome of the on-line routing process.
+#[derive(Clone, Debug)]
+pub struct OnlineResult {
+    /// Number of delivery cycles used to deliver every message.
+    pub cycles: usize,
+    /// Messages delivered in each cycle.
+    pub delivered_per_cycle: Vec<usize>,
+    /// True if the safety valve tripped before completion.
+    pub truncated: bool,
+}
+
+impl OnlineResult {
+    /// Total messages delivered.
+    pub fn total_delivered(&self) -> usize {
+        self.delivered_per_cycle.iter().sum()
+    }
+}
+
+/// Run the on-line delivery-cycle process for message set `m` on `ft`.
+pub fn route_online<R: Rng>(
+    ft: &FatTree,
+    m: &MessageSet,
+    rng: &mut R,
+    config: OnlineConfig,
+) -> OnlineResult {
+    let mut alive: Vec<Message> = m.iter().copied().filter(|msg| !msg.is_local()).collect();
+    let locals = m.len() - alive.len();
+    let mut delivered_per_cycle = Vec::new();
+    let mut truncated = false;
+
+    while !alive.is_empty() {
+        if config.max_cycles != 0 && delivered_per_cycle.len() >= config.max_cycles {
+            truncated = true;
+            break;
+        }
+        alive.shuffle(rng);
+        let mut used = LoadMap::zeros(ft);
+        let mut survivors = Vec::with_capacity(alive.len());
+        let mut delivered = 0usize;
+        for msg in &alive {
+            if try_claim(ft, &mut used, msg) {
+                delivered += 1;
+            } else {
+                survivors.push(*msg);
+            }
+        }
+        // Progress guarantee: the first message in the shuffled order always
+        // claims an empty network.
+        debug_assert!(delivered > 0);
+        delivered_per_cycle.push(delivered);
+        alive = survivors;
+    }
+
+    // Local messages are "delivered" in cycle 1 without using the network.
+    if locals > 0 {
+        if delivered_per_cycle.is_empty() {
+            delivered_per_cycle.push(locals);
+        } else {
+            delivered_per_cycle[0] += locals;
+        }
+    }
+
+    OnlineResult {
+        cycles: delivered_per_cycle.len(),
+        delivered_per_cycle,
+        truncated,
+    }
+}
+
+/// Claim wires along the path of `msg`. On congestion the claims made so far
+/// remain consumed (the partial bit-serial path occupied them) and the
+/// message is dropped for this cycle. Returns true if fully delivered.
+fn try_claim(ft: &FatTree, used: &mut LoadMap, msg: &Message) -> bool {
+    let mut blocked = false;
+    for_each_path_channel(ft, msg, |c| {
+        if blocked {
+            return;
+        }
+        if used.get(c) < ft.cap(c) {
+            used.add_one(c);
+        } else {
+            blocked = true;
+        }
+    });
+    !blocked
+}
+
+/// The shape the paper quotes for the on-line bound:
+/// `λ(M) + lg n · lg lg n` (unit constants).
+pub fn online_bound_shape(ft: &FatTree, load_factor: f64) -> f64 {
+    let lgn = ft_core::lg(ft.n() as u64) as f64;
+    load_factor.max(1.0) + lgn * lgn.max(2.0).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::CapacityProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xFA7_EE)
+    }
+
+    #[test]
+    fn delivers_everything() {
+        let n = 64u32;
+        let t = FatTree::universal(n, 16);
+        let m: MessageSet = (0..n).map(|i| Message::new(i, (i + 31) % n)).collect();
+        let res = route_online(&t, &m, &mut rng(), OnlineConfig::default());
+        assert!(!res.truncated);
+        assert_eq!(res.total_delivered(), m.len());
+        assert!(res.cycles >= 1);
+    }
+
+    #[test]
+    fn one_cycle_set_delivers_in_one_cycle_sometimes_more() {
+        // With full-doubling capacities the reversal is a one-cycle set; the
+        // online process with congestion-free capacities must finish in 1.
+        let n = 32u32;
+        let t = FatTree::new(n, CapacityProfile::FullDoubling);
+        let m: MessageSet = (0..n).map(|i| Message::new(i, n - 1 - i)).collect();
+        let res = route_online(&t, &m, &mut rng(), OnlineConfig::default());
+        assert_eq!(res.cycles, 1, "no congestion possible, must finish in one cycle");
+    }
+
+    #[test]
+    fn hotspot_takes_about_lambda_cycles() {
+        let n = 16u32;
+        let t = FatTree::new(n, CapacityProfile::Constant(1));
+        let m: MessageSet = (1..n).map(|i| Message::new(i, 0)).collect();
+        let res = route_online(&t, &m, &mut rng(), OnlineConfig::default());
+        // λ = 15 at the destination leaf channel; exactly one message can
+        // finish per cycle.
+        assert_eq!(res.cycles, (n - 1) as usize);
+    }
+
+    #[test]
+    fn local_messages_do_not_block() {
+        let t = FatTree::new(8, CapacityProfile::Constant(1));
+        let m: MessageSet = (0..8).map(|i| Message::new(i, i)).collect();
+        let res = route_online(&t, &m, &mut rng(), OnlineConfig::default());
+        assert_eq!(res.cycles, 1);
+        assert_eq!(res.total_delivered(), 8);
+    }
+
+    #[test]
+    fn safety_valve_trips() {
+        let n = 16u32;
+        let t = FatTree::new(n, CapacityProfile::Constant(1));
+        let m: MessageSet = (1..n).map(|i| Message::new(i, 0)).collect();
+        let res = route_online(&t, &m, &mut rng(), OnlineConfig { max_cycles: 3 });
+        assert!(res.truncated);
+        assert_eq!(res.cycles, 3);
+    }
+
+    #[test]
+    fn within_online_bound_shape_on_random_traffic() {
+        let n = 256u32;
+        let t = FatTree::universal(n, 64);
+        let mut r = rng();
+        let m: MessageSet = (0..n)
+            .map(|i| Message::new(i, rand::Rng::gen_range(&mut r, 0..n)))
+            .collect();
+        let lam = ft_core::load_factor(&t, &m);
+        let res = route_online(&t, &m, &mut r, OnlineConfig::default());
+        // Generous constant: shape is λ + lg n lg lg n; allow 6×.
+        let bound = 6.0 * online_bound_shape(&t, lam);
+        assert!(
+            (res.cycles as f64) <= bound,
+            "online cycles {} vs bound {bound:.1} (λ = {lam:.2})",
+            res.cycles
+        );
+    }
+}

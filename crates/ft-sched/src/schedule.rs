@@ -1,0 +1,140 @@
+//! Schedules: partitions of a message set into one-cycle message sets
+//! (§III, "A schedule of a message set M is a partition of M into one-cycle
+//! message sets M₁, M₂, …, M_d").
+
+use ft_core::{FatTree, LoadMap, MessageSet};
+
+/// A schedule: an ordered list of delivery cycles, each a one-cycle message
+/// set. Produced by the schedulers in this crate.
+#[derive(Clone, Debug, Default)]
+pub struct Schedule {
+    cycles: Vec<MessageSet>,
+}
+
+impl Schedule {
+    /// An empty schedule (valid only for the empty message set).
+    pub fn new() -> Self {
+        Schedule { cycles: Vec::new() }
+    }
+
+    /// Wrap existing cycles.
+    pub fn from_cycles(cycles: Vec<MessageSet>) -> Self {
+        Schedule { cycles }
+    }
+
+    /// Number of delivery cycles `d`.
+    #[inline]
+    pub fn num_cycles(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// The cycles, in delivery order.
+    #[inline]
+    pub fn cycles(&self) -> &[MessageSet] {
+        &self.cycles
+    }
+
+    /// Append a delivery cycle.
+    pub fn push_cycle(&mut self, c: MessageSet) {
+        self.cycles.push(c);
+    }
+
+    /// Consume the schedule into its cycles.
+    pub fn into_cycles(self) -> Vec<MessageSet> {
+        self.cycles
+    }
+
+    /// Total number of messages across all cycles.
+    pub fn total_messages(&self) -> usize {
+        self.cycles.iter().map(|c| c.len()).sum()
+    }
+
+    /// Check that this schedule is a *valid* schedule of `original` on `ft`:
+    /// every cycle is a one-cycle message set, and the cycles partition the
+    /// original multiset exactly.
+    pub fn validate(&self, ft: &FatTree, original: &MessageSet) -> Result<(), String> {
+        for (i, cyc) in self.cycles.iter().enumerate() {
+            let lm = LoadMap::of(ft, cyc);
+            if !lm.is_one_cycle(ft) {
+                let (c, f) = lm.argmax_factor(ft).expect("overloaded cycle has loads");
+                return Err(format!(
+                    "cycle {i} is not one-cycle: channel {c} has load factor {f:.3}"
+                ));
+            }
+        }
+        let mut got: Vec<_> = self
+            .cycles
+            .iter()
+            .flat_map(|c| c.iter().copied())
+            .collect();
+        got.sort_unstable_by_key(|m| (m.src.0, m.dst.0));
+        let want = original.sorted();
+        if got != want {
+            return Err(format!(
+                "schedule does not partition the input: {} messages scheduled, {} expected",
+                got.len(),
+                want.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// The maximum load factor over the cycles (≤ 1 for a valid schedule).
+    pub fn max_cycle_load_factor(&self, ft: &FatTree) -> f64 {
+        self.cycles
+            .iter()
+            .map(|c| LoadMap::of(ft, c).load_factor(ft))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::{CapacityProfile, Message};
+
+    fn ft() -> FatTree {
+        FatTree::new(8, CapacityProfile::Constant(1))
+    }
+
+    #[test]
+    fn empty_schedule_validates_empty_set() {
+        let t = ft();
+        let s = Schedule::new();
+        assert!(s.validate(&t, &MessageSet::new()).is_ok());
+        assert_eq!(s.num_cycles(), 0);
+        assert_eq!(s.total_messages(), 0);
+    }
+
+    #[test]
+    fn detects_overloaded_cycle() {
+        let t = ft();
+        // Two messages sharing the up channel from leaf 0's edge: overload cap 1.
+        let cyc = MessageSet::from_vec(vec![Message::new(0, 5), Message::new(0, 6)]);
+        let s = Schedule::from_cycles(vec![cyc.clone()]);
+        let err = s.validate(&t, &cyc).unwrap_err();
+        assert!(err.contains("not one-cycle"), "{err}");
+    }
+
+    #[test]
+    fn detects_missing_messages() {
+        let t = ft();
+        let orig = MessageSet::from_vec(vec![Message::new(0, 5), Message::new(1, 6)]);
+        let s = Schedule::from_cycles(vec![MessageSet::from_vec(vec![Message::new(0, 5)])]);
+        let err = s.validate(&t, &orig).unwrap_err();
+        assert!(err.contains("partition"), "{err}");
+    }
+
+    #[test]
+    fn valid_two_cycle_schedule() {
+        let t = ft();
+        let orig = MessageSet::from_vec(vec![Message::new(0, 5), Message::new(1, 5)]);
+        // Both target leaf 5: its down channel has cap 1, so two cycles.
+        let s = Schedule::from_cycles(vec![
+            MessageSet::from_vec(vec![Message::new(0, 5)]),
+            MessageSet::from_vec(vec![Message::new(1, 5)]),
+        ]);
+        assert!(s.validate(&t, &orig).is_ok());
+        assert!(s.max_cycle_load_factor(&t) <= 1.0);
+    }
+}

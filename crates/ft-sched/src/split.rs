@@ -1,0 +1,344 @@
+//! The matching-and-tracing even splitter (proof of Theorem 1, §III).
+//!
+//! Given a set `Q` of messages that all cross a given fat-tree node in the
+//! same direction (say left-to-right), the splitter partitions `Q` into
+//! `Q₀, Q₁` such that for **every** channel `c`,
+//! `load(Q₀, c) = ⌈load(Q, c)/2⌉` and `load(Q₁, c) = ⌊load(Q, c)/2⌋`
+//! (so the loads differ by at most one everywhere).
+//!
+//! The construction follows the paper exactly:
+//!
+//! 1. **Matching.** Treat each message as a string with a *source end* (at
+//!    its source processor, in the left subtree) and a *destination end* (at
+//!    its destination processor, in the right subtree). Within each
+//!    processor, pair up ends; then pair leftover ends hierarchically in
+//!    two-leaf subtrees, four-leaf subtrees, and so on — so every subtree has
+//!    at most one end matched outside of it.
+//! 2. **Tracing.** Starting from the unmatched left end (if any), alternately
+//!    traverse a string left-to-right (assign to `Q₀`), hop to the mate of
+//!    the arrived end, traverse right-to-left (assign to `Q₁`), hop again…
+//!    When a string end has no mate or its message is already assigned, pick
+//!    a fresh unassigned end and continue.
+
+use ft_core::{FatTree, Message};
+
+/// Which way a set of messages crosses its LCA node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CrossDirection {
+    /// Source in the left subtree, destination in the right subtree.
+    LeftToRight,
+    /// Source in the right subtree, destination in the left subtree.
+    RightToLeft,
+}
+
+/// Split `q` into `(Q₀, Q₁)` with per-channel loads differing by at most one.
+///
+/// Every message in `q` must have `node` as its least common ancestor and
+/// cross it in direction `dir` (checked with `debug_assert`s). Returns index
+/// lists into `q` — callers that need `Vec<Message>` can map through `q`.
+pub fn split_even_indices(
+    ft: &FatTree,
+    node: u32,
+    q: &[Message],
+    dir: CrossDirection,
+) -> (Vec<usize>, Vec<usize>) {
+    // `node` and `dir` only gate debug validation; release builds rely on
+    // the caller's contract.
+    #[cfg(not(debug_assertions))]
+    let _ = (node, dir);
+    #[cfg(debug_assertions)]
+    for m in q {
+        debug_assert_eq!(ft.lca(m.src, m.dst), node, "message {m} does not cross node {node}");
+        let src_left = is_under(ft.leaf(m.src), 2 * node);
+        match dir {
+            CrossDirection::LeftToRight => debug_assert!(src_left),
+            CrossDirection::RightToLeft => debug_assert!(!src_left),
+        }
+    }
+
+    if q.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    if q.len() == 1 {
+        return (vec![0], Vec::new());
+    }
+
+    // Leaf index of the *source-side* end and *destination-side* end of each
+    // message. For RightToLeft we simply mirror: matching and tracing are
+    // symmetric, "left" below means "source side".
+    let src_leaf = |m: &Message| ft.leaf(m.src);
+    let dst_leaf = |m: &Message| ft.leaf(m.dst);
+
+    // ---- Matching ----
+    // mate_src[i] = message whose source end is paired with i's source end.
+    let (mate_src, unmatched_src) = hierarchical_matching(ft, q, true, src_leaf);
+    let (mate_dst, _unmatched_dst) = hierarchical_matching(ft, q, false, dst_leaf);
+
+    // ---- Tracing ----
+    let mut assigned: Vec<Option<bool>> = vec![None; q.len()];
+    let mut q0 = Vec::with_capacity(q.len() / 2 + 1);
+    let mut q1 = Vec::with_capacity(q.len() / 2 + 1);
+    let mut next_start = 0usize;
+    let mut cur: Option<usize> = unmatched_src;
+    loop {
+        let i = match cur.take() {
+            Some(i) if assigned[i].is_none() => i,
+            _ => {
+                // Pick a fresh unassigned message to start a new trace.
+                while next_start < q.len() && assigned[next_start].is_some() {
+                    next_start += 1;
+                }
+                if next_start == q.len() {
+                    break;
+                }
+                next_start
+            }
+        };
+        // Traverse string i source→destination: goes into Q₀.
+        assigned[i] = Some(false);
+        q0.push(i);
+        // Arrived at i's destination end; hop to its mate.
+        let Some(j) = mate_dst[i] else { continue };
+        if assigned[j].is_some() {
+            continue;
+        }
+        // Traverse string j destination→source: goes into Q₁.
+        assigned[j] = Some(true);
+        q1.push(j);
+        // Arrived at j's source end; hop to its mate and loop.
+        if let Some(k) = mate_src[j] {
+            cur = Some(k);
+        }
+    }
+    (q0, q1)
+}
+
+/// Split `q` into two message vectors (see [`split_even_indices`]).
+pub fn split_even(
+    ft: &FatTree,
+    node: u32,
+    q: &[Message],
+    dir: CrossDirection,
+) -> (Vec<Message>, Vec<Message>) {
+    let (a, b) = split_even_indices(ft, node, q, dir);
+    (
+        a.into_iter().map(|i| q[i]).collect(),
+        b.into_iter().map(|i| q[i]).collect(),
+    )
+}
+
+/// Is heap node `x` inside the subtree rooted at heap node `root`?
+pub(crate) fn is_under(mut x: u32, root: u32) -> bool {
+    while x > root {
+        x >>= 1;
+    }
+    x == root
+}
+
+/// Build the hierarchical matching for one side.
+///
+/// Returns `(mate, unmatched)` where `mate[i]` is the message whose end on
+/// this side is paired with message `i`'s end, and `unmatched` is the single
+/// leftover message (present iff `q.len()` is odd).
+///
+/// `leaf_of` maps a message to the heap-leaf where its end on this side
+/// lives. The boolean `_is_source_side` is documentation-only.
+fn hierarchical_matching(
+    _ft: &FatTree,
+    q: &[Message],
+    _is_source_side: bool,
+    leaf_of: impl Fn(&Message) -> u32,
+) -> (Vec<Option<usize>>, Option<usize>) {
+    let mut mate: Vec<Option<usize>> = vec![None; q.len()];
+
+    // Group ends by leaf, in sorted leaf order.
+    let mut by_leaf: Vec<(u32, usize)> = q.iter().enumerate().map(|(i, m)| (leaf_of(m), i)).collect();
+    by_leaf.sort_unstable_by_key(|&(leaf, i)| (leaf, i));
+
+    // Step 1: pair within each processor; collect one leftover per leaf.
+    let mut leftovers: Vec<(u32, usize)> = Vec::new();
+    let mut pos = 0;
+    while pos < by_leaf.len() {
+        let leaf = by_leaf[pos].0;
+        let mut run_end = pos;
+        while run_end < by_leaf.len() && by_leaf[run_end].0 == leaf {
+            run_end += 1;
+        }
+        let mut i = pos;
+        while i + 1 < run_end {
+            let a = by_leaf[i].1;
+            let b = by_leaf[i + 1].1;
+            mate[a] = Some(b);
+            mate[b] = Some(a);
+            i += 2;
+        }
+        if i < run_end {
+            leftovers.push((leaf, by_leaf[i].1));
+        }
+        pos = run_end;
+    }
+
+    // Step 2: hierarchical pairing of leftovers over the (virtual) complete
+    // binary tree on the leaf range, so every subtree has ≤ 1 end matched
+    // outside it. Leftover leaves are distinct and sorted.
+    let unmatched = pair_range(&leftovers, &mut mate);
+    (mate, unmatched)
+}
+
+/// Recursively pair leftover ends within power-of-two aligned leaf ranges.
+/// `leftovers` is sorted by leaf; returns the surviving unmatched end.
+fn pair_range(leftovers: &[(u32, usize)], mate: &mut [Option<usize>]) -> Option<usize> {
+    match leftovers.len() {
+        0 => None,
+        1 => Some(leftovers[0].1),
+        _ => {
+            // Split at the highest tree level that separates the range: two
+            // leaves lie in different child subtrees of their common ancestor
+            // iff they differ below its level. We find the split point by the
+            // most significant differing bit of the first and last leaf.
+            let lo = leftovers[0].0;
+            let hi = leftovers[leftovers.len() - 1].0;
+            debug_assert!(lo < hi);
+            let msb = 31 - (lo ^ hi).leading_zeros();
+            // All leaves in a sorted common-ancestor range agree above bit
+            // `msb`; bit `msb` itself selects the child subtree.
+            let split = leftovers.partition_point(|&(leaf, _)| (leaf >> msb) & 1 == 0);
+            debug_assert!(split > 0 && split < leftovers.len());
+            let a = pair_range(&leftovers[..split], mate);
+            let b = pair_range(&leftovers[split..], mate);
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    mate[x] = Some(y);
+                    mate[y] = Some(x);
+                    None
+                }
+                (Some(x), None) | (None, Some(x)) => Some(x),
+                (None, None) => None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::{CapacityProfile, FatTree, LoadMap, Message, MessageSet};
+
+    fn ft(n: u32) -> FatTree {
+        FatTree::new(n, CapacityProfile::Constant(1))
+    }
+
+    /// All messages from the left half to the right half of an n-leaf tree.
+    fn cross_root_msgs(pairs: &[(u32, u32)]) -> Vec<Message> {
+        pairs.iter().map(|&(s, d)| Message::new(s, d)).collect()
+    }
+
+    fn check_even(ftree: &FatTree, q: &[Message], dir: CrossDirection, node: u32) {
+        let (a, b) = split_even(ftree, node, q, dir);
+        assert_eq!(a.len() + b.len(), q.len(), "split must cover q");
+        // Q₀ gets the ceiling half.
+        assert!(a.len() >= b.len() && a.len() - b.len() <= 1, "|Q0|={} |Q1|={}", a.len(), b.len());
+        let la = LoadMap::of(ftree, &MessageSet::from_vec(a));
+        let lb = LoadMap::of(ftree, &MessageSet::from_vec(b));
+        for c in ftree.channels() {
+            let x = la.get(c);
+            let y = lb.get(c);
+            assert!(
+                x.abs_diff(y) <= 1,
+                "uneven split at {c}: {x} vs {y}"
+            );
+            let total = LoadMap::of(ftree, &MessageSet::from_vec(q.to_vec())).get(c);
+            assert_eq!(x + y, total);
+            // Each half holds at most the ceiling (the odd message may land
+            // in either half, depending on which side of a subtree boundary
+            // the straddling matched pair is traced from).
+            assert!(x <= total.div_ceil(2) && y <= total.div_ceil(2));
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let t = ft(8);
+        let (a, b) = split_even(&t, 1, &[], CrossDirection::LeftToRight);
+        assert!(a.is_empty() && b.is_empty());
+        let q = cross_root_msgs(&[(0, 5)]);
+        let (a, b) = split_even(&t, 1, &q, CrossDirection::LeftToRight);
+        assert_eq!(a.len(), 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn two_parallel_messages_split_apart() {
+        let t = ft(8);
+        // Both use the same full path 0→4: must go to different halves.
+        let q = cross_root_msgs(&[(0, 4), (0, 4)]);
+        check_even(&t, &q, CrossDirection::LeftToRight, 1);
+    }
+
+    #[test]
+    fn hotspot_destination_split() {
+        let t = ft(16);
+        // All 8 left processors send to right processor 12.
+        let q = cross_root_msgs(&[(0, 12), (1, 12), (2, 12), (3, 12), (4, 12), (5, 12), (6, 12), (7, 12)]);
+        check_even(&t, &q, CrossDirection::LeftToRight, 1);
+    }
+
+    #[test]
+    fn hotspot_source_split() {
+        let t = ft(16);
+        let q = cross_root_msgs(&[(3, 8), (3, 9), (3, 10), (3, 11), (3, 12), (3, 13), (3, 14)]);
+        check_even(&t, &q, CrossDirection::LeftToRight, 1);
+    }
+
+    #[test]
+    fn right_to_left_split() {
+        let t = ft(16);
+        let q = cross_root_msgs(&[(8, 0), (9, 0), (10, 1), (11, 2), (12, 3)]);
+        check_even(&t, &q, CrossDirection::RightToLeft, 1);
+    }
+
+    #[test]
+    fn subtree_node_split() {
+        let t = ft(16);
+        // Messages crossing node 2 (left half's root): sources in leaves 0..4,
+        // destinations in 4..8.
+        let q = cross_root_msgs(&[(0, 4), (0, 5), (1, 6), (2, 7), (3, 4), (3, 5)]);
+        check_even(&t, &q, CrossDirection::LeftToRight, 2);
+    }
+
+    #[test]
+    fn randomized_even_split_stress() {
+        // Deterministic pseudo-random stress without pulling in rand here.
+        let t = ft(64);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..50 {
+            let len = 1 + (next() % 200) as usize;
+            let q: Vec<Message> = (0..len)
+                .map(|_| {
+                    let s = (next() % 32) as u32;
+                    let d = 32 + (next() % 32) as u32;
+                    Message::new(s, d)
+                })
+                .collect();
+            check_even(&t, &q, CrossDirection::LeftToRight, 1);
+            let _ = trial;
+        }
+    }
+
+    #[test]
+    fn is_under_works() {
+        assert!(is_under(8, 1));
+        assert!(is_under(8, 2));
+        assert!(is_under(8, 4));
+        assert!(is_under(8, 8));
+        assert!(!is_under(8, 3));
+        assert!(!is_under(8, 9));
+        assert!(!is_under(2, 4));
+    }
+}

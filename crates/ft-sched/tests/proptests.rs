@@ -1,0 +1,81 @@
+//! Property tests for the schedulers: Corollary 2 validity and bound on
+//! arbitrary big-capacity trees, and compression safety on arbitrary
+//! schedules.
+
+use ft_core::{lg, CapacityProfile, FatTree, Message, MessageSet};
+use ft_sched::bigcap::{corollary2_bound, schedule_bigcap};
+use ft_sched::{compress_schedule, schedule_greedy, schedule_theorem1};
+use proptest::prelude::*;
+
+fn msgs(n: u32, pairs: &[(u32, u32)]) -> MessageSet {
+    pairs.iter().map(|&(a, b)| Message::new(a % n, b % n)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn corollary2_always_valid_and_within_bound(
+        lg_n in 3u32..=8,
+        a in 2u64..=8,
+        pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 0..300),
+    ) {
+        let n = 1u32 << lg_n;
+        let cap = a * lg(n as u64) as u64;
+        let ft = FatTree::new(n, CapacityProfile::Constant(cap));
+        let m = msgs(n, &pairs);
+        let (schedule, stats) = schedule_bigcap(&ft, &m).expect("caps > lg n");
+        prop_assert!(schedule.validate(&ft, &m).is_ok());
+        if !m.is_empty() {
+            let bound = corollary2_bound(&ft, stats.load_factor);
+            prop_assert!(
+                (schedule.num_cycles() as f64) <= bound.ceil() + 2.0,
+                "d = {} vs Corollary 2 bound {bound:.2}",
+                schedule.num_cycles()
+            );
+        }
+    }
+
+    #[test]
+    fn compression_preserves_any_valid_schedule(
+        lg_n in 2u32..=7,
+        w in 1u64..64,
+        pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 0..200),
+        use_greedy in any::<bool>(),
+    ) {
+        let n = 1u32 << lg_n;
+        let ft = FatTree::universal(n, w.clamp(1, n as u64));
+        let m = msgs(n, &pairs);
+        let schedule = if use_greedy {
+            schedule_greedy(&ft, &m)
+        } else {
+            schedule_theorem1(&ft, &m).0
+        };
+        let before = schedule.num_cycles();
+        let compressed = compress_schedule(&ft, schedule);
+        prop_assert!(compressed.validate(&ft, &m).is_ok());
+        prop_assert!(compressed.num_cycles() <= before);
+        if !m.is_empty() {
+            prop_assert!(compressed.num_cycles() >= 1);
+        }
+    }
+
+    #[test]
+    fn schedulers_agree_on_feasibility_floor(
+        lg_n in 2u32..=6,
+        pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 1..128),
+    ) {
+        // All schedulers respect the same lower bound and partition the
+        // same multiset.
+        let n = 1u32 << lg_n;
+        let ft = FatTree::universal(n, (n / 2).max(1) as u64);
+        let m = msgs(n, &pairs);
+        let lb = ft_core::cycle_lower_bound(&ft, &m) as usize;
+        let (t1, _) = schedule_theorem1(&ft, &m);
+        let g = schedule_greedy(&ft, &m);
+        prop_assert!(t1.num_cycles() >= lb);
+        prop_assert!(g.num_cycles() >= lb);
+        prop_assert_eq!(t1.total_messages(), m.len());
+        prop_assert_eq!(g.total_messages(), m.len());
+    }
+}

@@ -1,0 +1,501 @@
+//! Delivery-cycle execution (§II).
+//!
+//! A delivery cycle: every participating message snakes up from its source
+//! leaf toward the LCA and back down, claiming one wire per channel. At
+//! every node output port a selector + concentrator decides which messages
+//! advance; the rest are lost and negatively acknowledged. The engine
+//! processes channels in wormhole order — all up-levels from the leaves to
+//! the root, then down-levels back — so a message dropped early never
+//! contends downstream.
+//!
+//! Tick accounting follows the bit-serial protocol (Fig. 2): each node adds
+//! one tick to examine the M bit and one for the address bit; once the path
+//! is established the remaining bits stream through, so a message's latency
+//! is `2·(nodes on path) + payload_bits` and the cycle time is the max over
+//! delivered messages — `O(lg n)` for fixed payload, as §II claims.
+
+use crate::faults::FaultModel;
+use crate::node::PortSwitch;
+use ft_core::{ChannelId, FatTree, LoadMap, Message, MessageSet};
+use std::collections::HashMap;
+
+/// Re-export for configuration convenience.
+pub use crate::node::SwitchFlavor as SwitchKind;
+
+/// How a congested port chooses which messages to drop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arbitration {
+    /// Deterministic: lower input wire wins (a fixed-priority switch).
+    SlotOrder,
+    /// Random priorities, reseeded per cycle from the given seed — the
+    /// arbitration of the Greenberg–Leiserson on-line switch \[8\]: no
+    /// message can be starved forever by an unlucky wire position.
+    Random(u64),
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Payload bits per message (Fig. 2 "data" field).
+    pub payload_bits: u32,
+    /// Concentrator hardware flavor.
+    pub switch: SwitchKind,
+    /// Congestion arbitration policy.
+    pub arbitration: Arbitration,
+    /// Wire-fault pattern (§VII fault tolerance): dead wires shrink channel
+    /// capacities; the dense-assignment convention drops messages whose
+    /// assigned wire index falls beyond the surviving count.
+    pub faults: FaultModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            payload_bits: 64,
+            switch: SwitchKind::Ideal,
+            arbitration: Arbitration::SlotOrder,
+            faults: FaultModel::none(),
+        }
+    }
+}
+
+/// Outcome of one delivery cycle.
+#[derive(Clone, Debug)]
+pub struct CycleReport {
+    /// Indices (into the submitted set) of delivered messages.
+    pub delivered: Vec<usize>,
+    /// Indices of messages lost to congestion (to retry).
+    pub dropped: Vec<usize>,
+    /// Cycle time in bit ticks.
+    pub ticks: u32,
+    /// Wires used per channel (for utilization stats).
+    pub channel_use: LoadMap,
+}
+
+/// Outcome of running a message set to completion over repeated cycles.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Number of delivery cycles executed.
+    pub cycles: usize,
+    /// Messages delivered per cycle.
+    pub delivered_per_cycle: Vec<usize>,
+    /// Total ticks across all cycles.
+    pub total_ticks: u64,
+}
+
+/// Simulate one delivery cycle of `msgs` on `ft`.
+///
+/// Port switches are cached per `(r, s)` shape — all same-shape ports in a
+/// real machine are identical parts.
+pub fn simulate_cycle(ft: &FatTree, msgs: &[Message], cfg: &SimConfig) -> CycleReport {
+    let mut ports: HashMap<(usize, usize), PortSwitch> = HashMap::new();
+    // Per-channel effective capacities under the fault pattern, memoized.
+    let mut eff_cache: HashMap<usize, u64> = HashMap::new();
+    let mut eff = |c: ChannelId| -> u64 {
+        *eff_cache
+            .entry(c.index())
+            .or_insert_with(|| cfg.faults.effective_cap(ft, c))
+    };
+
+    // Per-message state: current wire index on its current channel, or
+    // dropped. Messages with src == dst are delivered without the network.
+    let n_msgs = msgs.len();
+    let mut alive: Vec<bool> = vec![true; n_msgs];
+    let mut wire: Vec<u32> = vec![0; n_msgs];
+    let mut channel_use = LoadMap::zeros(ft);
+
+    // --- Injection: each processor assigns its messages to leaf up-wires.
+    let mut per_leaf: HashMap<u32, u32> = HashMap::new();
+    for (i, m) in msgs.iter().enumerate() {
+        if m.is_local() {
+            continue;
+        }
+        let leaf_cap = eff(ChannelId::up(ft.leaf(m.src))) as u32;
+        let cnt = per_leaf.entry(m.src.0).or_insert(0);
+        if *cnt < leaf_cap {
+            wire[i] = *cnt;
+            *cnt += 1;
+            channel_use.add_one(ChannelId::up(ft.leaf(m.src)));
+        } else {
+            alive[i] = false; // source port congested immediately
+        }
+    }
+
+    // Precompute per-message path metadata.
+    let lca: Vec<u32> = msgs.iter().map(|m| ft.lca(m.src, m.dst)).collect();
+
+    // --- Up phase: levels from the leaves to level 1 channels.
+    // At each level k (channel level), messages whose current position is a
+    // level-k up channel and whose LCA is above level k contend for the
+    // level-(k−1)... actually they pass through the node at level k−1 and
+    // contend for its up port (channel level k−1).
+    // We walk "node levels" from deepest to the root.
+    let height = ft.height();
+    for node_level in (0..height).rev() {
+        // Messages entering nodes at this level from below, still climbing.
+        // Group by (node, port = Up): inputs are left child wires [0, capc)
+        // and right child wires [capc, 2capc).
+        let capc = ft.cap_at_level(node_level + 1) as usize;
+        let cap_out = ft.cap_at_level(node_level) as usize;
+        let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (i, m) in msgs.iter().enumerate() {
+            if !alive[i] || m.is_local() {
+                continue;
+            }
+            let lca_level = 31 - lca[i].leading_zeros();
+            if lca_level >= node_level {
+                continue; // already turned around (or turning at this node)
+            }
+            // The message's current channel is the up channel at level
+            // node_level + 1 on the child edge; it passes through the node
+            // at node_level.
+            let node = ancestor_at_level(ft.leaf(msgs[i].src), height, node_level);
+            groups.entry(node).or_default().push(i);
+        }
+        for (node, group) in groups {
+            // Stable input slots: left child messages first.
+            let mut slots: Vec<(usize, usize)> = group
+                .iter()
+                .map(|&i| {
+                    let child = ancestor_at_level(ft.leaf(msgs[i].src), height, node_level + 1);
+                    let is_right = child == 2 * node + 1;
+                    (i, usize::from(is_right) * capc + wire[i] as usize)
+                })
+                .collect();
+            order_slots(&mut slots, cfg.arbitration);
+            let active: Vec<usize> = slots.iter().map(|&(_, s)| s).collect();
+            let sw = ports
+                .entry((2 * capc, cap_out))
+                .or_insert_with(|| PortSwitch::new(cfg.switch, 2 * capc, cap_out));
+            let routed = sw.concentrate(&active);
+            let eff_up = eff(ChannelId::up(node));
+            for ((i, _), out) in slots.into_iter().zip(routed) {
+                match out {
+                    Some(w) if (w as u64) < eff_up => {
+                        wire[i] = w;
+                        channel_use.add_one(ChannelId::up(node));
+                    }
+                    _ => alive[i] = false,
+                }
+            }
+        }
+    }
+
+    // --- Down phase: from node level 0 (root) to the leaves.
+    for node_level in 0..height {
+        let cap_in_parent = ft.cap_at_level(node_level) as usize;
+        let cap_side = ft.cap_at_level(node_level + 1) as usize;
+        // Port input slots: from parent [0, cap_in_parent), from sibling
+        // side (turning messages) [cap_in_parent, cap_in_parent + cap_side).
+        let mut groups: HashMap<(u32, bool), Vec<usize>> = HashMap::new();
+        for (i, m) in msgs.iter().enumerate() {
+            if !alive[i] || m.is_local() {
+                continue;
+            }
+            let lca_level = 31 - lca[i].leading_zeros();
+            if lca_level > node_level {
+                continue; // hasn't turned yet at this depth
+            }
+            let node = ancestor_at_level(ft.leaf(m.dst), height, node_level);
+            let down_child = ancestor_at_level(ft.leaf(m.dst), height, node_level + 1);
+            let goes_right = down_child == 2 * node + 1;
+            groups.entry((node, goes_right)).or_default().push(i);
+        }
+        for ((node, goes_right), group) in groups {
+            let down_child = 2 * node + u32::from(goes_right);
+            let mut slots: Vec<(usize, usize)> = group
+                .iter()
+                .map(|&i| {
+                    let lca_level = 31 - lca[i].leading_zeros();
+                    let slot = if lca_level == node_level {
+                        // Turning at this node: came up from the other child.
+                        cap_in_parent + wire[i] as usize
+                    } else {
+                        wire[i] as usize
+                    };
+                    (i, slot)
+                })
+                .collect();
+            order_slots(&mut slots, cfg.arbitration);
+            let active: Vec<usize> = slots.iter().map(|&(_, s)| s).collect();
+            let sw = ports
+                .entry((cap_in_parent + cap_side, cap_side))
+                .or_insert_with(|| PortSwitch::new(cfg.switch, cap_in_parent + cap_side, cap_side));
+            let routed = sw.concentrate(&active);
+            let eff_down = eff(ChannelId::down(down_child));
+            for ((i, _), out) in slots.into_iter().zip(routed) {
+                match out {
+                    Some(w) if (w as u64) < eff_down => {
+                        wire[i] = w;
+                        channel_use.add_one(ChannelId::down(down_child));
+                    }
+                    _ => alive[i] = false,
+                }
+            }
+        }
+    }
+
+    // --- Bookkeeping.
+    let mut delivered = Vec::new();
+    let mut dropped = Vec::new();
+    let mut max_latency = 0u32;
+    for (i, m) in msgs.iter().enumerate() {
+        if m.is_local() {
+            delivered.push(i);
+            continue;
+        }
+        if alive[i] {
+            delivered.push(i);
+            let lca_level = 31 - lca[i].leading_zeros();
+            let nodes_on_path = 2 * (height - lca_level) - 1;
+            max_latency = max_latency.max(2 * nodes_on_path + cfg.payload_bits);
+        } else {
+            dropped.push(i);
+        }
+    }
+
+    CycleReport { delivered, dropped, ticks: max_latency, channel_use }
+}
+
+/// Run repeated delivery cycles (with acknowledgments and retries) until
+/// every message is delivered.
+pub fn run_to_completion(ft: &FatTree, msgs: &MessageSet, cfg: &SimConfig) -> RunReport {
+    let mut pending: Vec<Message> = msgs.iter().copied().collect();
+    let mut cycles = 0usize;
+    let mut delivered_per_cycle = Vec::new();
+    let mut total_ticks = 0u64;
+    while !pending.is_empty() {
+        // Reseed random arbitration every cycle so drops are independent.
+        let mut cycle_cfg = *cfg;
+        if let Arbitration::Random(seed) = cfg.arbitration {
+            cycle_cfg.arbitration =
+                Arbitration::Random(seed.wrapping_add(cycles as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        let report = simulate_cycle(ft, &pending, &cycle_cfg);
+        assert!(
+            !report.delivered.is_empty(),
+            "no progress in a delivery cycle — switch cannot route even one message"
+        );
+        cycles += 1;
+        delivered_per_cycle.push(report.delivered.len());
+        total_ticks += report.ticks as u64;
+        let keep: std::collections::HashSet<usize> = report.dropped.iter().copied().collect();
+        pending = pending
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, m)| keep.contains(&i).then_some(m))
+            .collect();
+    }
+    RunReport { cycles, delivered_per_cycle, total_ticks }
+}
+
+/// Order a port's contenders by the arbitration policy: stable wire order,
+/// or a keyed pseudo-random priority per message (reseed per cycle for the
+/// Greenberg–Leiserson behaviour).
+fn order_slots(slots: &mut [(usize, usize)], arb: Arbitration) {
+    match arb {
+        Arbitration::SlotOrder => slots.sort_by_key(|&(_, s)| s),
+        Arbitration::Random(seed) => {
+            slots.sort_by_key(|&(i, s)| (splitmix(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)), s));
+        }
+    }
+}
+
+/// SplitMix64: a tiny, high-quality hash for arbitration priorities.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Heap ancestor of `leaf` at `level` (`leaf` is at `height`).
+#[inline]
+fn ancestor_at_level(leaf: u32, height: u32, level: u32) -> u32 {
+    leaf >> (height - level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::CapacityProfile;
+
+    fn full(n: u32) -> FatTree {
+        FatTree::new(n, CapacityProfile::FullDoubling)
+    }
+
+    #[test]
+    fn one_cycle_set_delivers_fully_with_ideal_switches() {
+        let t = full(32);
+        let msgs: Vec<Message> = (0..32).map(|i| Message::new(i, 31 - i)).collect();
+        let r = simulate_cycle(&t, &msgs, &SimConfig::default());
+        assert_eq!(r.delivered.len(), 32);
+        assert!(r.dropped.is_empty());
+    }
+
+    #[test]
+    fn cycle_time_is_logarithmic() {
+        // ticks = 2·(2·lg n − 1) + payload for a root-crossing message.
+        let t = full(64);
+        let msgs = vec![Message::new(0, 63)];
+        let cfg = SimConfig { payload_bits: 10, switch: SwitchKind::Ideal, ..Default::default() };
+        let r = simulate_cycle(&t, &msgs, &cfg);
+        assert_eq!(r.ticks, 2 * (2 * 6 - 1) + 10);
+    }
+
+    #[test]
+    fn local_messages_free() {
+        let t = full(8);
+        let msgs = vec![Message::new(3, 3)];
+        let r = simulate_cycle(&t, &msgs, &SimConfig::default());
+        assert_eq!(r.delivered, vec![0]);
+        assert_eq!(r.ticks, 0);
+    }
+
+    #[test]
+    fn overload_drops_and_retries() {
+        // Two messages from the same source on a unit-capacity tree: the
+        // source leaf channel forces one drop; completion takes 2 cycles.
+        let t = FatTree::new(8, CapacityProfile::Constant(1));
+        let msgs: MessageSet =
+            [Message::new(0, 5), Message::new(0, 6)].into_iter().collect();
+        let run = run_to_completion(&t, &msgs, &SimConfig::default());
+        assert_eq!(run.cycles, 2);
+        assert_eq!(run.delivered_per_cycle, vec![1, 1]);
+    }
+
+    #[test]
+    fn hotspot_serializes_at_destination() {
+        let n = 16u32;
+        let t = FatTree::new(n, CapacityProfile::FullDoubling);
+        let msgs: MessageSet = (1..n).map(|i| Message::new(i, 0)).collect();
+        let run = run_to_completion(&t, &msgs, &SimConfig::default());
+        // Destination leaf channel has capacity 1: exactly one per cycle.
+        assert_eq!(run.cycles, (n - 1) as usize);
+    }
+
+    #[test]
+    fn conservation_delivered_plus_dropped() {
+        let t = FatTree::new(16, CapacityProfile::Constant(1));
+        let msgs: Vec<Message> = (0..16).map(|i| Message::new(i, (i + 5) % 16)).collect();
+        let r = simulate_cycle(&t, &msgs, &SimConfig::default());
+        assert_eq!(r.delivered.len() + r.dropped.len(), msgs.len());
+    }
+
+    #[test]
+    fn channel_use_within_capacity() {
+        let t = FatTree::universal(32, 8);
+        let msgs: Vec<Message> = (0..32).map(|i| Message::new(i, (i + 16) % 32)).collect();
+        let r = simulate_cycle(&t, &msgs, &SimConfig::default());
+        for c in t.channels() {
+            assert!(
+                r.channel_use.get(c) <= t.cap(c),
+                "channel {c} over capacity"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_switches_complete_with_retries() {
+        let t = FatTree::universal(32, 16);
+        let msgs: MessageSet = (0..32).map(|i| Message::new(i, (i + 7) % 32)).collect();
+        let cfg = SimConfig { payload_bits: 16, switch: SwitchKind::Partial, ..Default::default() };
+        let run = run_to_completion(&t, &msgs, &cfg);
+        assert!(run.cycles >= 1);
+        assert_eq!(run.delivered_per_cycle.iter().sum::<usize>(), 32);
+    }
+
+    #[test]
+    fn random_arbitration_completes_and_reorders() {
+        let n = 32u32;
+        let t = FatTree::new(n, CapacityProfile::Constant(1));
+        let msgs: MessageSet = (1..n).map(|i| Message::new(i, 0)).collect();
+        let det = run_to_completion(&t, &msgs, &SimConfig::default());
+        let rnd_cfg = SimConfig {
+            arbitration: Arbitration::Random(7),
+            ..Default::default()
+        };
+        let rnd = run_to_completion(&t, &msgs, &rnd_cfg);
+        // Hotspot serializes at the destination either way.
+        assert_eq!(det.cycles, (n - 1) as usize);
+        assert_eq!(rnd.cycles, (n - 1) as usize);
+        assert_eq!(rnd.delivered_per_cycle.iter().sum::<usize>(), msgs.len());
+    }
+
+    #[test]
+    fn random_arbitration_avoids_fixed_priority_starvation_order() {
+        // With slot order, the same low-wire messages win every cycle; with
+        // random arbitration the first-cycle winner set varies with seed.
+        let n = 64u32;
+        let t = FatTree::universal(n, 8);
+        let msgs: Vec<Message> = (0..n).map(|i| Message::new(i, (i + 32) % n)).collect();
+        let first = |seed: u64| {
+            let cfg = SimConfig { arbitration: Arbitration::Random(seed), ..Default::default() };
+            let mut d = simulate_cycle(&t, &msgs, &cfg).delivered;
+            d.sort_unstable();
+            d
+        };
+        let a = first(1);
+        let b = first(2);
+        let c = first(3);
+        assert!(a != b || b != c, "random arbitration never varied winners");
+    }
+
+    #[test]
+    fn faulty_wires_degrade_but_complete() {
+        use crate::faults::FaultModel;
+        let n = 64u32;
+        let t = FatTree::universal(n, 32);
+        let msgs: MessageSet = (0..n).map(|i| Message::new(i, (i + 32) % n)).collect();
+        let healthy = run_to_completion(&t, &msgs, &SimConfig::default());
+        let faulty_cfg = SimConfig {
+            faults: FaultModel { dead_wire_fraction: 0.3, seed: 5 },
+            ..Default::default()
+        };
+        let faulty = run_to_completion(&t, &msgs, &faulty_cfg);
+        assert_eq!(faulty.delivered_per_cycle.iter().sum::<usize>(), msgs.len());
+        assert!(faulty.cycles >= healthy.cycles);
+        // 30% dead wires should cost only a small constant factor.
+        assert!(
+            faulty.cycles <= 6 * healthy.cycles + 6,
+            "fault degradation too steep: {} vs {}",
+            faulty.cycles,
+            healthy.cycles
+        );
+    }
+
+    #[test]
+    fn total_wire_death_still_terminates() {
+        use crate::faults::FaultModel;
+        let t = FatTree::new(16, CapacityProfile::FullDoubling);
+        let msgs: MessageSet = (0..16).map(|i| Message::new(i, 15 - i)).collect();
+        let cfg = SimConfig {
+            faults: FaultModel { dead_wire_fraction: 0.99, seed: 1 },
+            ..Default::default()
+        };
+        // Effective capacities floor at 1: the machine degrades to a skinny
+        // tree but still delivers everything.
+        let run = run_to_completion(&t, &msgs, &cfg);
+        assert_eq!(run.delivered_per_cycle.iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn ideal_vs_partial_cycle_counts() {
+        // Partial concentrators may need a few more cycles but not many.
+        let t = FatTree::universal(64, 16);
+        let msgs: MessageSet = (0..64).map(|i| Message::new(i, 63 - i)).collect();
+        let ideal = run_to_completion(&t, &msgs, &SimConfig::default());
+        let partial = run_to_completion(
+            &t,
+            &msgs,
+            &SimConfig { payload_bits: 64, switch: SwitchKind::Partial, ..Default::default() },
+        );
+        assert!(partial.cycles >= ideal.cycles);
+        assert!(
+            partial.cycles <= 6 * ideal.cycles + 6,
+            "partial switches too lossy: {} vs {}",
+            partial.cycles,
+            ideal.cycles
+        );
+    }
+}

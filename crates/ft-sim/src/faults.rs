@@ -1,0 +1,122 @@
+//! Wire-fault injection (§VII: "problems of maintenance, fault tolerance,
+//! clock distribution, and reliable power supply must be solved").
+//!
+//! The fat-tree's redundancy story is structural: a channel is a *bundle*
+//! of interchangeable wires feeding a concentrator, so a dead wire just
+//! shrinks the channel's capacity — no route recomputation, no spares
+//! protocol. This module models exactly that: each wire dies independently
+//! with probability `p` (deterministic per seed), a channel's effective
+//! capacity is the count of surviving wires (floored at 1 so the tree stays
+//! connected), and the retry machinery absorbs the rest.
+
+use ft_core::{ChannelId, FatTree};
+
+/// A deterministic wire-fault pattern.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultModel {
+    /// Independent death probability per wire.
+    pub dead_wire_fraction: f64,
+    /// Seed for the per-wire coin flips.
+    pub seed: u64,
+}
+
+impl FaultModel {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultModel { dead_wire_fraction: 0.0, seed: 0 }
+    }
+
+    /// Effective capacity of channel `c`: surviving wires, at least 1
+    /// (a fully-dead channel would disconnect processors; the paper's
+    /// fault-tolerance question presumes a connected machine).
+    pub fn effective_cap(&self, ft: &FatTree, c: ChannelId) -> u64 {
+        let cap = ft.cap(c);
+        if self.dead_wire_fraction <= 0.0 {
+            return cap;
+        }
+        let mut alive = 0u64;
+        for wire in 0..cap {
+            if !self.wire_dead(c, wire) {
+                alive += 1;
+            }
+        }
+        alive.max(1)
+    }
+
+    /// Is `wire` of channel `c` dead under this pattern?
+    pub fn wire_dead(&self, c: ChannelId, wire: u64) -> bool {
+        if self.dead_wire_fraction <= 0.0 {
+            return false;
+        }
+        let h = splitmix(self.seed ^ ((c.index() as u64) << 32) ^ wire);
+        // Map to [0, 1).
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.dead_wire_fraction
+    }
+
+    /// Fraction of total wires dead across the whole tree (diagnostic).
+    pub fn measured_fraction(&self, ft: &FatTree) -> f64 {
+        let mut dead = 0u64;
+        let mut total = 0u64;
+        for c in ft.channels() {
+            for w in 0..ft.cap(c) {
+                total += 1;
+                dead += u64::from(self.wire_dead(c, w));
+            }
+        }
+        dead as f64 / total.max(1) as f64
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::CapacityProfile;
+
+    #[test]
+    fn no_faults_full_capacity() {
+        let ft = FatTree::universal(64, 16);
+        let fm = FaultModel::none();
+        for c in ft.channels() {
+            assert_eq!(fm.effective_cap(&ft, c), ft.cap(c));
+        }
+        assert_eq!(fm.measured_fraction(&ft), 0.0);
+    }
+
+    #[test]
+    fn fraction_tracks_probability() {
+        let ft = FatTree::new(256, CapacityProfile::FullDoubling);
+        let fm = FaultModel { dead_wire_fraction: 0.2, seed: 9 };
+        let got = fm.measured_fraction(&ft);
+        assert!((got - 0.2).abs() < 0.05, "measured fraction {got}");
+    }
+
+    #[test]
+    fn effective_cap_never_zero() {
+        let ft = FatTree::new(32, CapacityProfile::Constant(1));
+        let fm = FaultModel { dead_wire_fraction: 0.95, seed: 3 };
+        for c in ft.channels() {
+            assert!(fm.effective_cap(&ft, c) >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ft = FatTree::universal(64, 32);
+        let a = FaultModel { dead_wire_fraction: 0.3, seed: 7 };
+        let b = FaultModel { dead_wire_fraction: 0.3, seed: 7 };
+        let c = FaultModel { dead_wire_fraction: 0.3, seed: 8 };
+        let caps = |fm: &FaultModel| -> Vec<u64> {
+            ft.channels().map(|ch| fm.effective_cap(&ft, ch)).collect()
+        };
+        assert_eq!(caps(&a), caps(&b));
+        assert_ne!(caps(&a), caps(&c), "different seeds should differ somewhere");
+    }
+}

@@ -1,0 +1,200 @@
+//! The fat-tree switching node (Fig. 3).
+//!
+//! A node has input ports `U, L, R` (from parent, left child, right child)
+//! and output ports `U, L, R`. Each output port is fed by a *selector* —
+//! which ANDs the M bit with the current address bit (or its complement) to
+//! decide which incoming wires hold messages destined for that port — and a
+//! *concentrator switch* that maps those wires onto the (fewer) outgoing
+//! wires. "Obviously, if there are more input messages than output wires,
+//! some messages will be lost."
+
+use ft_concentrator::{max_matching, BipartiteGraph, Concentrator, Crossbar};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which concentrator hardware the simulated machine uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwitchFlavor {
+    /// Ideal crossbar concentrators (the §III assumption).
+    Ideal,
+    /// Pippenger partial concentrators (§IV hardware): O(1) components per
+    /// wire, cascaded "outputs to inputs" when the concentration ratio
+    /// exceeds a single stage's 2/3.
+    Partial,
+}
+
+/// One output port of a node: a concentrator from `r` incoming wire slots
+/// to `s = cap(out-channel)` outgoing wires.
+pub enum PortSwitch {
+    /// The ideal concentrator of §III: loses messages only on overload.
+    Ideal(Crossbar),
+    /// A cascade of bounded-degree bipartite stages (§IV).
+    Partial {
+        /// Stages, each shrinking the wire count by ≈ 2/3 (last lands on `s`).
+        stages: Vec<BipartiteGraph>,
+    },
+}
+
+impl PortSwitch {
+    /// Create a port switch with `r` input slots and `s ≤ r` output wires.
+    ///
+    /// `Partial` stages are sampled with a seed derived from `(r, s)` so all
+    /// same-shape ports share wiring, as a machine built from identical
+    /// parts would.
+    pub fn new(kind: SwitchFlavor, r: usize, s: usize) -> Self {
+        let r = r.max(s).max(1);
+        let s = s.max(1);
+        match kind {
+            SwitchFlavor::Ideal => PortSwitch::Ideal(Crossbar::new(r, s)),
+            SwitchFlavor::Partial => {
+                let mut rng = StdRng::seed_from_u64(0x5EED ^ ((r as u64) << 32) ^ s as u64);
+                let mut stages = Vec::new();
+                let mut width = r;
+                while width > s {
+                    // Shrink by 2/3 per stage, never below s. Input degree is
+                    // capped so the configuration model has enough output
+                    // stubs (din·width ≤ 9·next).
+                    let next = s.max(width.div_ceil(3) * 2).min(width - 1).max(s);
+                    let din = (9 * next / width).clamp(1, 6);
+                    stages.push(BipartiteGraph::random_regular(width, next, din, 9, &mut rng));
+                    width = next;
+                }
+                PortSwitch::Partial { stages }
+            }
+        }
+    }
+
+    /// Route the active input wires; returns `out[i] = Some(wire)` for
+    /// concentrated inputs. Inputs beyond capacity — or unroutable ones in
+    /// a partial concentrator — get `None` (lost, to be retried).
+    ///
+    /// Unlike [`Concentrator::route`], this degrades gracefully: when the
+    /// full set cannot be concentrated it routes a maximal subset (what the
+    /// hardware does — some wires win, the rest see congestion).
+    pub fn concentrate(&self, active: &[usize]) -> Vec<Option<u32>> {
+        match self {
+            PortSwitch::Ideal(cb) => {
+                let s = cb.outputs();
+                active
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| if i < s { Some(i as u32) } else { None })
+                    .collect()
+            }
+            PortSwitch::Partial { stages } => {
+                // Thread each surviving message through the stages; per
+                // stage, the maximum matching decides who advances.
+                let mut result: Vec<Option<u32>> =
+                    active.iter().map(|&w| Some(w as u32)).collect();
+                for stage in stages {
+                    // Active inputs of this stage, with back-pointers.
+                    let mut idx = Vec::new();
+                    let mut wires = Vec::new();
+                    for (i, r) in result.iter().enumerate() {
+                        if let Some(w) = r {
+                            idx.push(i);
+                            wires.push(*w as usize);
+                        }
+                    }
+                    let (_, m) = max_matching(stage, &wires);
+                    for (slot, out) in idx.into_iter().zip(m) {
+                        result[slot] = out.map(|x| x as u32);
+                    }
+                }
+                result
+            }
+        }
+    }
+
+    /// Output wire count.
+    pub fn outputs(&self) -> usize {
+        match self {
+            PortSwitch::Ideal(cb) => cb.outputs(),
+            PortSwitch::Partial { stages } => {
+                stages.last().map_or(1, |g| g.outputs())
+            }
+        }
+    }
+
+    /// Hardware cost in components: crosspoints for the ideal switch, edges
+    /// for the partial cascade (the §IV comparison).
+    pub fn components(&self) -> usize {
+        match self {
+            PortSwitch::Ideal(cb) => cb.components(),
+            PortSwitch::Partial { stages } => stages.iter().map(|g| g.num_edges()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_port_respects_capacity() {
+        let p = PortSwitch::new(SwitchFlavor::Ideal, 8, 3);
+        let out = p.concentrate(&[0, 2, 4, 6, 7]);
+        let routed: Vec<_> = out.iter().flatten().collect();
+        assert_eq!(routed.len(), 3);
+        assert!(out[3].is_none() && out[4].is_none());
+    }
+
+    #[test]
+    fn ideal_port_passes_underload() {
+        let p = PortSwitch::new(SwitchFlavor::Ideal, 8, 5);
+        let out = p.concentrate(&[1, 3]);
+        assert!(out.iter().all(|o| o.is_some()));
+        assert_ne!(out[0], out[1]);
+    }
+
+    #[test]
+    fn partial_port_routes_most_light_loads() {
+        let p = PortSwitch::new(SwitchFlavor::Partial, 24, 16);
+        let out = p.concentrate(&[0, 5, 10, 15, 20]);
+        let routed = out.iter().flatten().count();
+        assert!(routed >= 4, "partial concentrator dropped too much: {routed}/5");
+        let mut wires: Vec<u32> = out.iter().flatten().copied().collect();
+        wires.sort_unstable();
+        wires.dedup();
+        assert_eq!(wires.len(), routed);
+    }
+
+    #[test]
+    fn partial_port_never_exceeds_outputs() {
+        let p = PortSwitch::new(SwitchFlavor::Partial, 12, 4);
+        let active: Vec<usize> = (0..12).collect();
+        let routed = p.concentrate(&active).iter().flatten().count();
+        assert!(routed <= 4);
+    }
+
+    #[test]
+    fn steep_ratio_builds_multiple_stages() {
+        let p = PortSwitch::new(SwitchFlavor::Partial, 64, 4);
+        match &p {
+            PortSwitch::Partial { stages } => assert!(stages.len() >= 3),
+            _ => unreachable!(),
+        }
+        assert_eq!(p.outputs(), 4);
+        // Still linear hardware: ≤ 6·width per stage with geometric widths
+        // (≈ 20·r total), versus Θ(r·s) for a crossbar of the same job.
+        assert!(p.components() <= 20 * 64, "components {}", p.components());
+    }
+
+    #[test]
+    fn tiny_port_width_two_to_one() {
+        let p = PortSwitch::new(SwitchFlavor::Partial, 2, 1);
+        let out = p.concentrate(&[0, 1]);
+        assert!(out.iter().flatten().count() <= 1);
+        let out1 = p.concentrate(&[0]);
+        // A 2→1 stage with din ≥ 1 connects both inputs to output 0.
+        assert_eq!(out1.iter().flatten().count(), 1);
+    }
+
+    #[test]
+    fn same_shape_ports_share_wiring() {
+        let a = PortSwitch::new(SwitchFlavor::Partial, 16, 8);
+        let b = PortSwitch::new(SwitchFlavor::Partial, 16, 8);
+        let act = vec![0usize, 3, 9, 14];
+        assert_eq!(a.concentrate(&act), b.concentrate(&act));
+    }
+}

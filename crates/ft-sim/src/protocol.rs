@@ -1,0 +1,179 @@
+//! The bit-serial message format (Fig. 2).
+//!
+//! `[ M | address bits | data ]` — the M bit says whether the wire carries a
+//! message at all; the address bits are consumed one per switching node on
+//! the way down (each node peels the leading bit to pick left or right);
+//! the data bits follow. "A bit string of length at most 2·lg n is
+//! sufficient to represent the destination of any message."
+
+use bytes::{BufMut, BytesMut};
+use ft_core::{FatTree, Message};
+
+/// A message frame as it appears on a wire at the start of a delivery
+/// cycle: the routing bits plus an opaque payload length.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MessageFrame {
+    /// True when the wire carries a message (the M bit).
+    pub m_bit: bool,
+    /// Down-routing bits, most significant (root-level choice) first.
+    pub address: Vec<bool>,
+    /// Up-routing hop count (how many levels the message climbs before
+    /// turning around; not transmitted — the up path needs no choices,
+    /// "if it comes into a node from a left subtree it can only go up or
+    /// down to the right").
+    pub up_hops: u32,
+    /// Number of payload bits that follow the address.
+    pub payload_bits: u32,
+}
+
+impl MessageFrame {
+    /// Build the frame for `msg` on `ft` with the given payload size.
+    pub fn for_message(ft: &FatTree, msg: &Message, payload_bits: u32) -> Self {
+        if msg.is_local() {
+            return MessageFrame { m_bit: true, address: Vec::new(), up_hops: 0, payload_bits };
+        }
+        let lca = ft.lca(msg.src, msg.dst);
+        let dst_leaf = ft.leaf(msg.dst);
+        // Down path: bits of dst_leaf below the LCA, MSB first.
+        let lca_level = 31 - lca.leading_zeros();
+        let depth = ft.height() - lca_level;
+        let mut address = Vec::with_capacity(depth as usize);
+        for k in (0..depth).rev() {
+            address.push((dst_leaf >> k) & 1 == 1);
+        }
+        MessageFrame { m_bit: true, address, up_hops: depth, payload_bits }
+    }
+
+    /// Total bits on the wire: M + address + payload.
+    pub fn wire_bits(&self) -> u32 {
+        1 + self.address.len() as u32 + self.payload_bits
+    }
+
+    /// Serialize the header (M bit + address) into a byte buffer, MSB-first
+    /// bit packing. Returns the number of header bits.
+    pub fn encode_header(&self, buf: &mut BytesMut) -> u32 {
+        let bits: Vec<bool> = std::iter::once(self.m_bit)
+            .chain(self.address.iter().copied())
+            .collect();
+        let mut byte = 0u8;
+        for (i, &b) in bits.iter().enumerate() {
+            byte = (byte << 1) | u8::from(b);
+            if i % 8 == 7 {
+                buf.put_u8(byte);
+                byte = 0;
+            }
+        }
+        let rem = bits.len() % 8;
+        if rem != 0 {
+            buf.put_u8(byte << (8 - rem));
+        }
+        bits.len() as u32
+    }
+
+    /// Decode a header of `nbits` bits from a buffer (inverse of
+    /// [`MessageFrame::encode_header`], with `payload_bits`/`up_hops`
+    /// supplied externally since they are not carried in the header).
+    pub fn decode_header(bytes: &[u8], nbits: u32) -> Option<(bool, Vec<bool>)> {
+        if nbits == 0 || (bytes.len() as u32) * 8 < nbits {
+            return None;
+        }
+        let bit = |i: u32| (bytes[(i / 8) as usize] >> (7 - i % 8)) & 1 == 1;
+        let m = bit(0);
+        let address = (1..nbits).map(bit).collect();
+        Some((m, address))
+    }
+
+    /// Follow the address bits down from `lca` to recover the destination
+    /// leaf (what the switches collectively do).
+    pub fn resolve_destination(&self, lca: u32) -> u32 {
+        let mut node = lca;
+        for &b in &self.address {
+            node = 2 * node + u32::from(b);
+        }
+        node
+    }
+}
+
+/// The paper's address-length bound: `2·lg n` bits always suffice.
+pub fn max_address_bits(n: u32) -> u32 {
+    2 * ft_core::lg(n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::CapacityProfile;
+
+    fn ft(n: u32) -> FatTree {
+        FatTree::new(n, CapacityProfile::FullDoubling)
+    }
+
+    #[test]
+    fn frame_for_cross_root_message() {
+        let t = ft(8);
+        let f = MessageFrame::for_message(&t, &Message::new(0, 7), 32);
+        assert_eq!(f.up_hops, 3);
+        assert_eq!(f.address, vec![true, true, true]); // leaf 15 = 0b1111 under root
+        assert_eq!(f.wire_bits(), 1 + 3 + 32);
+    }
+
+    #[test]
+    fn frame_for_sibling_message() {
+        let t = ft(8);
+        let f = MessageFrame::for_message(&t, &Message::new(2, 3), 8);
+        assert_eq!(f.up_hops, 1);
+        assert_eq!(f.address.len(), 1);
+    }
+
+    #[test]
+    fn local_frame_is_header_only() {
+        let t = ft(8);
+        let f = MessageFrame::for_message(&t, &Message::new(5, 5), 4);
+        assert_eq!(f.up_hops, 0);
+        assert!(f.address.is_empty());
+    }
+
+    #[test]
+    fn address_length_bounded() {
+        for n in [4u32, 16, 64, 256] {
+            let t = ft(n);
+            for s in 0..n.min(16) {
+                for d in 0..n.min(16) {
+                    let f = MessageFrame::for_message(&t, &Message::new(s, d), 0);
+                    assert!(f.address.len() as u32 <= max_address_bits(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_destination_roundtrip() {
+        let t = ft(64);
+        for s in [0u32, 17, 42] {
+            for d in [3u32, 31, 63] {
+                let msg = Message::new(s, d);
+                let f = MessageFrame::for_message(&t, &msg, 0);
+                let lca = t.lca(msg.src, msg.dst);
+                assert_eq!(f.resolve_destination(lca), t.leaf(msg.dst));
+            }
+        }
+    }
+
+    #[test]
+    fn header_encode_decode_roundtrip() {
+        let t = ft(64);
+        let f = MessageFrame::for_message(&t, &Message::new(5, 60), 128);
+        let mut buf = BytesMut::new();
+        let nbits = f.encode_header(&mut buf);
+        assert_eq!(nbits, 1 + f.address.len() as u32);
+        let (m, addr) = MessageFrame::decode_header(&buf, nbits).unwrap();
+        assert!(m);
+        assert_eq!(addr, f.address);
+    }
+
+    #[test]
+    fn decode_rejects_short_buffers() {
+        assert!(MessageFrame::decode_header(&[], 1).is_none());
+        assert!(MessageFrame::decode_header(&[0xFF], 9).is_none());
+    }
+}

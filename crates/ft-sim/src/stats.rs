@@ -1,0 +1,81 @@
+//! Utilization and delivery statistics over simulated cycles.
+
+use ft_core::{FatTree, LoadMap};
+
+/// Per-level channel utilization aggregated from one or more cycles.
+#[derive(Clone, Debug)]
+pub struct ChannelUtilization {
+    /// Average wires-in-use / capacity per level (0 = root).
+    pub per_level: Vec<f64>,
+}
+
+impl ChannelUtilization {
+    /// Compute per-level utilization of a single cycle's channel use.
+    pub fn of_cycle(ft: &FatTree, used: &LoadMap) -> Self {
+        let mut sums = vec![0.0f64; ft.height() as usize + 1];
+        let mut counts = vec![0u32; ft.height() as usize + 1];
+        for c in ft.channels() {
+            let k = c.level() as usize;
+            sums[k] += used.get(c) as f64 / ft.cap(c) as f64;
+            counts[k] += 1;
+        }
+        ChannelUtilization {
+            per_level: sums
+                .into_iter()
+                .zip(counts)
+                .map(|(s, c)| if c == 0 { 0.0 } else { s / c as f64 })
+                .collect(),
+        }
+    }
+
+    /// The busiest level's average utilization.
+    pub fn peak(&self) -> f64 {
+        self.per_level.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Render as a one-line table (level: utilization%).
+    pub fn render(&self) -> String {
+        self.per_level
+            .iter()
+            .enumerate()
+            .map(|(k, u)| format!("L{k}:{:>5.1}%", 100.0 * u))
+            .collect::<Vec<_>>()
+            .join("  ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate_cycle, SimConfig};
+    use ft_core::{CapacityProfile, Message};
+
+    #[test]
+    fn utilization_of_full_reversal_is_total_on_used_levels() {
+        let n = 16u32;
+        let t = FatTree::new(n, CapacityProfile::FullDoubling);
+        let msgs: Vec<Message> = (0..n).map(|i| Message::new(i, n - 1 - i)).collect();
+        let r = simulate_cycle(&t, &msgs, &SimConfig::default());
+        let u = ChannelUtilization::of_cycle(&t, &r.channel_use);
+        // Every internal channel is exactly full except the unused external
+        // interface at level 0.
+        assert_eq!(u.per_level[0], 0.0);
+        for k in 1..u.per_level.len() {
+            assert!(
+                (u.per_level[k] - 1.0).abs() < 1e-9,
+                "level {k} utilization {}",
+                u.per_level[k]
+            );
+        }
+        assert_eq!(u.peak(), 1.0);
+        assert!(u.render().contains("L1:100.0%"));
+    }
+
+    #[test]
+    fn empty_cycle_zero_utilization() {
+        let t = FatTree::new(8, CapacityProfile::Constant(2));
+        let r = simulate_cycle(&t, &[], &SimConfig::default());
+        let u = ChannelUtilization::of_cycle(&t, &r.channel_use);
+        assert_eq!(u.peak(), 0.0);
+    }
+}

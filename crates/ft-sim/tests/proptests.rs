@@ -1,0 +1,64 @@
+//! Property tests for the bit-serial machine: conservation, capacity
+//! respect, retry completeness, and compile/simulate agreement.
+
+use ft_core::{CapacityProfile, FatTree, Message, MessageSet};
+use ft_sim::{compile_cycle, run_to_completion, simulate_cycle, SimConfig, SwitchKind};
+use proptest::prelude::*;
+
+fn msgs_strategy(n: u32, max: usize) -> impl Strategy<Value = Vec<Message>> {
+    prop::collection::vec((0..n, 0..n), 0..max)
+        .prop_map(|v| v.into_iter().map(|(a, b)| Message::new(a, b)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn conservation_and_capacity(msgs in msgs_strategy(64, 128), w in 1u64..64) {
+        let ft = FatTree::universal(64, w.max(16));
+        let rep = simulate_cycle(&ft, &msgs, &SimConfig::default());
+        prop_assert_eq!(rep.delivered.len() + rep.dropped.len(), msgs.len());
+        for c in ft.channels() {
+            prop_assert!(rep.channel_use.get(c) <= ft.cap(c), "channel {} over cap", c);
+        }
+    }
+
+    #[test]
+    fn retries_always_finish(msgs in msgs_strategy(32, 64)) {
+        let ft = FatTree::new(32, CapacityProfile::Constant(2));
+        let set = MessageSet::from_vec(msgs.clone());
+        let run = run_to_completion(&ft, &set, &SimConfig::default());
+        prop_assert_eq!(run.delivered_per_cycle.iter().sum::<usize>(), msgs.len());
+        // d is at least the load-factor bound.
+        if !msgs.is_empty() {
+            let lam = ft_core::load_factor(&ft, &set);
+            prop_assert!(run.cycles as f64 >= lam.floor());
+        }
+    }
+
+    #[test]
+    fn compiler_and_simulator_agree(msgs in msgs_strategy(32, 48)) {
+        // compile_cycle succeeds iff the ideal-switch simulator drops nothing.
+        let ft = FatTree::universal(32, 8);
+        let rep = simulate_cycle(&ft, &msgs, &SimConfig::default());
+        let compiled = compile_cycle(&ft, &msgs);
+        prop_assert_eq!(rep.dropped.is_empty(), compiled.is_ok());
+        if let Ok(c) = compiled {
+            let run = ft_sim::execute_compiled(&ft, &msgs, &c, 64).unwrap();
+            prop_assert_eq!(run.delivered, msgs.len());
+        }
+    }
+
+    #[test]
+    fn partial_switches_subset_of_ideal(msgs in msgs_strategy(32, 64)) {
+        // Partial concentrators never deliver a message the ideal switch
+        // couldn't count: total per-channel use stays within capacity too.
+        let ft = FatTree::universal(32, 16);
+        let cfg = SimConfig { payload_bits: 16, switch: SwitchKind::Partial, ..Default::default() };
+        let rep = simulate_cycle(&ft, &msgs, &cfg);
+        prop_assert_eq!(rep.delivered.len() + rep.dropped.len(), msgs.len());
+        for c in ft.channels() {
+            prop_assert!(rep.channel_use.get(c) <= ft.cap(c));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Processor identification (Theorem 10, step one): "identify the
+//! processors at the leaves of the balanced decomposition tree of R, in the
+//! natural way, with the processors at the leaves of the fat-tree FT."
+
+use ft_core::{capacity::root_capacity_for_volume, FatTree, Message, MessageSet, ProcId};
+use ft_layout::{balance_decomposition, DecompTree, Placement};
+use ft_networks::FixedConnectionNetwork;
+
+/// The identification of a network's processors with fat-tree leaves,
+/// plus the universal fat-tree of matching volume.
+pub struct Identification {
+    /// `leaf_to_proc[t]` = network processor at fat-tree leaf `t` (leaves
+    /// beyond the network size, when `n` is not a power of two, are `None`).
+    pub leaf_to_proc: Vec<Option<u32>>,
+    /// `proc_to_leaf[p]` = fat-tree leaf of network processor `p`.
+    pub proc_to_leaf: Vec<u32>,
+    /// The universal fat-tree of the same volume as the network.
+    pub fat_tree: FatTree,
+    /// The network's hardware volume `v`.
+    pub volume: f64,
+    /// The decomposition tree built from the placement (kept for bounds).
+    pub decomp: DecompTree,
+    /// Root capacity chosen for the fat-tree: `Θ(v^(2/3)/lg(n/v^(2/3)))`.
+    pub root_capacity: u64,
+}
+
+impl Identification {
+    /// Build the identification for network `net` with surface-bandwidth
+    /// constant `gamma`.
+    pub fn build(net: &dyn FixedConnectionNetwork, gamma: f64) -> Self {
+        let placement: Placement = net.placement();
+        Identification::from_placement(&placement, gamma)
+    }
+
+    /// Build from a raw placement (any set of processors in a box).
+    pub fn from_placement(placement: &Placement, gamma: f64) -> Self {
+        let n = placement.n();
+        let v = placement.volume();
+        let decomp = DecompTree::build(placement, gamma);
+        let balanced = balance_decomposition(&decomp.occupancy(), &decomp.level_bandwidth);
+        let order = balanced.procs_in_order(&decomp.slots);
+        debug_assert_eq!(order.len(), n);
+
+        let n_ft = (n as u32).next_power_of_two().max(2);
+        let mut leaf_to_proc = vec![None; n_ft as usize];
+        let mut proc_to_leaf = vec![0u32; n];
+        for (leaf, &p) in order.iter().enumerate() {
+            leaf_to_proc[leaf] = Some(p);
+            proc_to_leaf[p as usize] = leaf as u32;
+        }
+
+        let root_capacity = root_capacity_for_volume(n_ft as u64, v);
+        let fat_tree = FatTree::universal(n_ft, root_capacity);
+        Identification {
+            leaf_to_proc,
+            proc_to_leaf,
+            fat_tree,
+            volume: v,
+            decomp,
+            root_capacity,
+        }
+    }
+
+    /// Translate a message set stated in network-processor ids into
+    /// fat-tree leaf ids.
+    pub fn translate(&self, msgs: &MessageSet) -> MessageSet {
+        msgs.iter()
+            .map(|m| {
+                Message::new(
+                    self.proc_to_leaf[m.src.idx()],
+                    self.proc_to_leaf[m.dst.idx()],
+                )
+            })
+            .collect()
+    }
+
+    /// The network processor identified with fat-tree leaf `t`.
+    pub fn proc_at_leaf(&self, t: u32) -> Option<ProcId> {
+        self.leaf_to_proc[t as usize].map(ProcId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_networks::{Hypercube, Mesh2D, Mesh3D};
+
+    #[test]
+    fn mesh3d_identification_is_a_bijection() {
+        let net = Mesh3D::new(4);
+        let id = Identification::build(&net, 1.0);
+        assert_eq!(id.fat_tree.n(), 64);
+        let mut seen = [false; 64];
+        for (leaf, p) in id.leaf_to_proc.iter().enumerate() {
+            let p = p.expect("64 = 2^6, all leaves used");
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+            assert_eq!(id.proc_to_leaf[p as usize], leaf as u32);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_network_pads() {
+        let net = Mesh3D::new(3); // 27 processors
+        let id = Identification::build(&net, 1.0);
+        assert_eq!(id.fat_tree.n(), 32);
+        let used = id.leaf_to_proc.iter().flatten().count();
+        assert_eq!(used, 27);
+    }
+
+    #[test]
+    fn identification_preserves_locality() {
+        // Neighboring mesh processors should map to nearby fat-tree leaves
+        // *on average* — the decomposition tree keeps spatially close
+        // processors in common subtrees. Compare mean leaf distance of mesh
+        // edges against random pairs.
+        let net = Mesh2D::new(8, 8);
+        let id = Identification::build(&net, 1.0);
+        let mut edge_dist = 0.0;
+        let mut edges = 0.0;
+        for u in 0..net.n() {
+            for v in net.neighbors(u) {
+                edge_dist +=
+                    (id.proc_to_leaf[u] as f64 - id.proc_to_leaf[v] as f64).abs();
+                edges += 1.0;
+            }
+        }
+        let mean_edge = edge_dist / edges;
+        // Random pairs average ≈ n/3 ≈ 21; locality should beat it well.
+        assert!(
+            mean_edge < 16.0,
+            "identification not locality-preserving: mean edge leaf-distance {mean_edge}"
+        );
+    }
+
+    #[test]
+    fn translate_roundtrip() {
+        let net = Hypercube::new(4);
+        let id = Identification::build(&net, 1.0);
+        let m: MessageSet = (0..16).map(|i| Message::new(i, 15 - i)).collect();
+        let t = id.translate(&m);
+        assert_eq!(t.len(), 16);
+        for (orig, tr) in m.iter().zip(t.iter()) {
+            assert_eq!(id.proc_at_leaf(tr.src.0).unwrap().0, orig.src.0);
+            assert_eq!(id.proc_at_leaf(tr.dst.0).unwrap().0, orig.dst.0);
+        }
+    }
+
+    #[test]
+    fn fat_tree_capacity_tracks_volume() {
+        // The hypercube's big volume buys a big root capacity; the 3-D
+        // mesh's linear volume buys less.
+        let rich = Identification::build(&Hypercube::new(6), 1.0);
+        let poor = Identification::build(&Mesh3D::new(4), 1.0);
+        assert_eq!(rich.fat_tree.n(), poor.fat_tree.n());
+        assert!(rich.root_capacity > poor.root_capacity);
+    }
+}

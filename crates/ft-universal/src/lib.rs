@@ -1,0 +1,31 @@
+//! # ft-universal — the universality theorem, executable
+//!
+//! Theorem 10 (§VI): *let FT be a universal fat-tree on n processors
+//! occupying a cube of volume v, and let R be an arbitrary routing network
+//! on n processors occupying the same volume. Then there is an
+//! identification of the processors of FT with those of R such that any
+//! message set M deliverable by R in time t can be delivered by FT
+//! (off-line) in time O(t·lg³ n).*
+//!
+//! This crate runs the proof as a pipeline:
+//!
+//! 1. take a competitor network `R` with its 3-D [`ft_layout::Placement`],
+//! 2. build its cutting-plane decomposition tree (Theorem 5),
+//! 3. balance it with pearl splitting (Theorem 8 / Corollary 9),
+//! 4. identify `R`'s processors with fat-tree leaves in balanced-leaf order,
+//! 5. build the universal fat-tree of volume `v`,
+//! 6. measure: `t` = time `R` takes on a message set (store-and-forward
+//!    simulation), `λ(M)` = the translated load factor on the fat-tree,
+//!    `d` = Theorem 1 schedule length, and the end-to-end slowdown.
+//!
+//! The modules: [`identify`] (steps 1–5), [`bounds`] (the flux bounds the
+//! proof extracts from the decomposition tree), [`pipeline`] (step 6).
+
+pub mod bounds;
+pub mod emulation;
+pub mod identify;
+pub mod pipeline;
+
+pub use emulation::Emulation;
+pub use identify::Identification;
+pub use pipeline::{simulate_on_fat_tree, SimulationReport};

@@ -1,0 +1,68 @@
+//! Hot-spot traffic: many senders, few destinations. The destination leaf
+//! channel becomes the load-factor bottleneck regardless of capacities —
+//! useful for exercising schedulers at high λ.
+
+use ft_core::{Message, MessageSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Everyone (except the target) sends one message to processor `target`.
+pub fn all_to_one(n: u32, target: u32) -> MessageSet {
+    assert!(target < n);
+    (0..n)
+        .filter(|&i| i != target)
+        .map(|i| Message::new(i, target))
+        .collect()
+}
+
+/// Each processor sends `k` messages, each to one of `h` random hot
+/// destinations (chosen uniformly per message).
+pub fn hotspots<R: Rng>(n: u32, k: u32, h: u32, rng: &mut R) -> MessageSet {
+    assert!(h >= 1 && h <= n);
+    let mut procs: Vec<u32> = (0..n).collect();
+    procs.shuffle(rng);
+    let hot = &procs[..h as usize];
+    let mut m = MessageSet::with_capacity((n * k) as usize);
+    for i in 0..n {
+        for _ in 0..k {
+            m.push(Message::new(i, hot[rng.gen_range(0..h as usize)]));
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::{load_factor, CapacityProfile, FatTree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_to_one_size_and_target() {
+        let m = all_to_one(16, 5);
+        assert_eq!(m.len(), 15);
+        assert!(m.iter().all(|msg| msg.dst.0 == 5 && msg.src.0 != 5));
+    }
+
+    #[test]
+    fn hotspot_load_factor_is_high_even_on_fat_capacities() {
+        // The destination's leaf channel has capacity 1 in any universal
+        // fat-tree, so λ ≥ n−1 for all-to-one.
+        let n = 64u32;
+        let t = FatTree::new(n, CapacityProfile::FullDoubling);
+        let lam = load_factor(&t, &all_to_one(n, 0));
+        assert_eq!(lam, 63.0);
+    }
+
+    #[test]
+    fn hotspots_land_on_h_destinations() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let m = hotspots(32, 2, 3, &mut rng);
+        assert_eq!(m.len(), 64);
+        let mut dsts: Vec<u32> = m.iter().map(|x| x.dst.0).collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        assert!(dsts.len() <= 3);
+    }
+}

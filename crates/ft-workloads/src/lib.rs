@@ -1,0 +1,33 @@
+//! # ft-workloads — message-set generators
+//!
+//! The workloads that drive every experiment:
+//!
+//! * [`perms`] — permutations: random, bit-reversal, transpose, perfect
+//!   shuffle, bit-complement (the §VI permutation-routing comparison and
+//!   the classic adversaries of dimension-order routing),
+//! * [`relations`] — random k-relations (each processor sends and receives
+//!   ≈ k messages), the natural load-factor sweep for Theorem 1,
+//! * [`locality`] — distance-decaying traffic: fat-trees route local
+//!   messages locally "much as telephone communications are routed within
+//!   an exchange without using more expensive trunk lines" (§II),
+//! * [`fem`] — planar finite-element meshes (§I's motivating application:
+//!   planar graphs have O(√n) bisection, so a hypercube wastes most of its
+//!   bandwidth on them),
+//! * [`hotspot`] — all-to-one and few-hot-destination traffic,
+//! * [`adversarial`] — bisection stress: everything crosses the root.
+
+pub mod adversarial;
+pub mod fem;
+pub mod hotspot;
+pub mod locality;
+pub mod parallel_algos;
+pub mod perms;
+pub mod relations;
+
+pub use adversarial::cross_root;
+pub use fem::FemGrid;
+pub use hotspot::{all_to_one, hotspots};
+pub use locality::{fraction_crossing_level, local_traffic};
+pub use parallel_algos::{ascend_rounds, broadcast_rounds, cannon_rounds, descend_rounds, total_exchange};
+pub use perms::{bit_complement, bit_reversal, perfect_shuffle, random_permutation, transpose};
+pub use relations::{balanced_k_relation, random_k_relation};

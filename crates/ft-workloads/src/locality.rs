@@ -1,0 +1,95 @@
+//! Distance-decaying ("local") traffic.
+//!
+//! §II: "The differing lengths of paths in the fat-tree are actually a
+//! major advantage of the network because messages can be routed locally
+//! without soaking up the precious bandwidth higher up in the tree." This
+//! generator makes that measurable: destination offsets are drawn from a
+//! geometric-ish distribution so most messages stay in small subtrees.
+
+use ft_core::{Message, MessageSet};
+use rand::Rng;
+
+/// Each processor sends `k` messages. Destination offsets are sampled as
+/// `±2^g + jitter` where `g` is geometric with parameter `p_far` — larger
+/// `p_far` means more long-distance traffic (`p_far` in `(0, 1)`;
+/// 0.5 halves the probability per doubling of distance, the classic
+/// "rent's-rule-like" locality profile).
+pub fn local_traffic<R: Rng>(n: u32, k: u32, p_far: f64, rng: &mut R) -> MessageSet {
+    assert!(n >= 2 && (0.0..1.0).contains(&p_far));
+    let levels = 32 - (n - 1).leading_zeros();
+    let mut m = MessageSet::with_capacity((n * k) as usize);
+    for i in 0..n {
+        for _ in 0..k {
+            // Geometric number of "escapes" to larger subtrees.
+            let mut g = 0u32;
+            while g + 1 < levels && rng.gen_bool(p_far) {
+                g += 1;
+            }
+            let radius = 1u32 << g;
+            let offset = rng.gen_range(1..=radius) as i64;
+            let sign = if rng.gen_bool(0.5) { 1 } else { -1 };
+            let dst = (i as i64 + sign * offset).rem_euclid(n as i64) as u32;
+            m.push(Message::new(i, dst));
+        }
+    }
+    m
+}
+
+/// Fraction of messages whose fat-tree LCA sits at or above `level` —
+/// a locality metric for reporting (level 0 = root).
+pub fn fraction_crossing_level(ft: &ft_core::FatTree, m: &MessageSet, level: u32) -> f64 {
+    if m.is_empty() {
+        return 0.0;
+    }
+    let hi = m
+        .iter()
+        .filter(|msg| {
+            if msg.is_local() {
+                return false;
+            }
+            let lca = ft.lca(msg.src, msg.dst);
+            let lca_level = 31 - lca.leading_zeros();
+            lca_level <= level
+        })
+        .count();
+    hi as f64 / m.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::{CapacityProfile, FatTree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sizes_and_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = local_traffic(64, 2, 0.5, &mut rng);
+        assert_eq!(m.len(), 128);
+        for msg in &m {
+            assert!(msg.dst.0 < 64);
+        }
+    }
+
+    #[test]
+    fn low_p_far_is_more_local_than_high() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 256u32;
+        let ft = FatTree::new(n, CapacityProfile::Constant(1));
+        let near = local_traffic(n, 4, 0.1, &mut rng);
+        let far = local_traffic(n, 4, 0.9, &mut rng);
+        let f_near = fraction_crossing_level(&ft, &near, 2);
+        let f_far = fraction_crossing_level(&ft, &far, 2);
+        assert!(
+            f_near < f_far,
+            "locality inverted: near {f_near:.3} vs far {f_far:.3}"
+        );
+    }
+
+    #[test]
+    fn fraction_crossing_empty() {
+        let ft = FatTree::new(8, CapacityProfile::Constant(1));
+        assert_eq!(fraction_crossing_level(&ft, &MessageSet::new(), 0), 0.0);
+    }
+}

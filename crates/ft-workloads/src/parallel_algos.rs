@@ -1,0 +1,200 @@
+//! Traffic of classical parallel algorithms — the "many different parallel
+//! algorithms" §VII wants a universal machine to run. Each returns the
+//! *rounds* of communication as a sequence of message sets, so schedulers
+//! and simulators can process them step by step (emulating the
+//! fixed-connection algorithm on the fat-tree, §VI).
+
+use ft_core::{Message, MessageSet};
+
+/// Ascend-class traffic (FFT, bitonic sort, parallel prefix on a
+/// hypercube): round `b` exchanges across hypercube dimension `b`,
+/// `i ↔ i ⊕ 2^b`, for `b = 0..lg n`.
+///
+/// # Panics
+/// If `n` is not a power of two ≥ 2.
+pub fn ascend_rounds(n: u32) -> Vec<MessageSet> {
+    assert!(n.is_power_of_two() && n >= 2);
+    let d = n.trailing_zeros();
+    (0..d)
+        .map(|b| {
+            (0..n)
+                .map(|i| Message::new(i, i ^ (1 << b)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Descend-class traffic: the same exchanges from the high dimension down.
+pub fn descend_rounds(n: u32) -> Vec<MessageSet> {
+    let mut r = ascend_rounds(n);
+    r.reverse();
+    r
+}
+
+/// Binomial-tree broadcast from `root`: round `b` has the `2^b` informed
+/// processors each forward to a partner `2^b` away (in the index space
+/// rotated so `root` is 0).
+pub fn broadcast_rounds(n: u32, root: u32) -> Vec<MessageSet> {
+    assert!(n.is_power_of_two() && n >= 2 && root < n);
+    let d = n.trailing_zeros();
+    (0..d)
+        .map(|b| {
+            (0..(1u32 << b))
+                .map(|i| {
+                    let src = (root + i) % n;
+                    let dst = (root + i + (1 << b)) % n;
+                    Message::new(src, dst)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Cannon's matrix-multiply rounds on a √n × √n torus of processors:
+/// after the skewing phase, each of the √n compute rounds shifts the A
+/// block left one column and the B block up one row — two messages per
+/// processor per round, all nearest-neighbor on the torus.
+///
+/// # Panics
+/// If `n` is not a perfect square.
+pub fn cannon_rounds(n: u32) -> Vec<MessageSet> {
+    let side = (n as f64).sqrt().round() as u32;
+    assert_eq!(side * side, n, "Cannon needs a perfect square");
+    let id = |r: u32, c: u32| (r % side) * side + (c % side);
+    (0..side)
+        .map(|_| {
+            let mut m = MessageSet::with_capacity(2 * n as usize);
+            for r in 0..side {
+                for c in 0..side {
+                    // A shifts left, B shifts up (wraparound).
+                    m.push(Message::new(id(r, c), id(r, c + side - 1)));
+                    m.push(Message::new(id(r, c), id(r + side - 1, c)));
+                }
+            }
+            m
+        })
+        .collect()
+}
+
+/// Total exchange (all-to-all personalized): every ordered pair once —
+/// `n(n−1)` messages in a single delivery batch. The heaviest standard
+/// benchmark; λ scales as `n²/(4w)` at the root.
+pub fn total_exchange(n: u32) -> MessageSet {
+    let mut m = MessageSet::with_capacity((n as usize) * (n as usize - 1));
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                m.push(Message::new(i, j));
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::{load_factor, CapacityProfile, FatTree};
+
+    #[test]
+    fn ascend_has_lgn_perfect_matching_rounds() {
+        let rounds = ascend_rounds(16);
+        assert_eq!(rounds.len(), 4);
+        for r in &rounds {
+            assert_eq!(r.len(), 16);
+            // Every processor sends and receives exactly once.
+            let mut out = [0u32; 16];
+            let mut inn = [0u32; 16];
+            for m in r {
+                out[m.src.idx()] += 1;
+                inn[m.dst.idx()] += 1;
+            }
+            assert!(out.iter().all(|&c| c == 1));
+            assert!(inn.iter().all(|&c| c == 1));
+        }
+    }
+
+    #[test]
+    fn ascend_rounds_are_one_cycle_on_full_doubling() {
+        // Dimension exchanges are permutations: λ = 1 at full bisection.
+        let ft = FatTree::new(32, CapacityProfile::FullDoubling);
+        for r in ascend_rounds(32) {
+            assert!(load_factor(&ft, &r) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn early_ascend_rounds_are_local() {
+        // Round b only crosses subtrees of size 2^(b+1): on a skinny tree the
+        // load factor stays 1 for round 0 (sibling exchanges).
+        let ft = FatTree::new(32, CapacityProfile::Constant(1));
+        let rounds = ascend_rounds(32);
+        assert_eq!(load_factor(&ft, &rounds[0]), 1.0);
+        // The last round crosses the root everywhere: λ = n/2.
+        assert_eq!(load_factor(&ft, rounds.last().unwrap()), 16.0);
+    }
+
+    #[test]
+    fn descend_reverses_ascend() {
+        let a = ascend_rounds(8);
+        let d = descend_rounds(8);
+        assert_eq!(a[0], d[2]);
+        assert_eq!(a[2], d[0]);
+    }
+
+    #[test]
+    fn broadcast_informs_everyone_once() {
+        let n = 16u32;
+        for root in [0u32, 5] {
+            let rounds = broadcast_rounds(n, root);
+            assert_eq!(rounds.len(), 4);
+            let mut informed = vec![false; n as usize];
+            informed[root as usize] = true;
+            for r in &rounds {
+                for m in r {
+                    assert!(informed[m.src.idx()], "uninformed sender {m}");
+                    assert!(!informed[m.dst.idx()], "duplicate inform {m}");
+                    informed[m.dst.idx()] = true;
+                }
+            }
+            assert!(informed.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn cannon_rounds_shape() {
+        let rounds = cannon_rounds(16);
+        assert_eq!(rounds.len(), 4);
+        for r in &rounds {
+            assert_eq!(r.len(), 32); // 2 messages per processor
+            let mut out = [0u32; 16];
+            for m in r {
+                out[m.src.idx()] += 1;
+                assert!(m.dst.0 < 16);
+            }
+            assert!(out.iter().all(|&c| c == 2));
+        }
+    }
+
+    #[test]
+    fn cannon_on_torus_host_is_cheap() {
+        // Every Cannon round travels along torus edges: on the torus's
+        // emulation host it is at most ~one delivery cycle's worth of load.
+        let ft = FatTree::universal(64, 64);
+        for r in cannon_rounds(64) {
+            // Torus row/column shifts with Morton-free row-major order still
+            // produce bounded λ on a full-bisection tree.
+            assert!(load_factor(&ft, &r) <= 4.0);
+        }
+    }
+
+    #[test]
+    fn total_exchange_size() {
+        let m = total_exchange(8);
+        assert_eq!(m.len(), 56);
+        let ft = FatTree::new(8, CapacityProfile::FullDoubling);
+        // Each processor sends/receives n−1 messages over a capacity-1 leaf
+        // channel: λ = n−1 even at full bisection.
+        assert_eq!(load_factor(&ft, &m), 7.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Permutation workloads: every processor sends exactly one message and
+//! receives exactly one.
+
+use ft_core::{Message, MessageSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A uniformly random permutation on `n` processors.
+pub fn random_permutation<R: Rng>(n: u32, rng: &mut R) -> MessageSet {
+    let mut targets: Vec<u32> = (0..n).collect();
+    targets.shuffle(rng);
+    (0..n).map(|i| Message::new(i, targets[i as usize])).collect()
+}
+
+/// Bit-reversal: processor `b_{k−1}…b_1b_0` sends to `b_0b_1…b_{k−1}`.
+/// A classic adversary for dimension-order routing on meshes.
+///
+/// # Panics
+/// If `n` is not a power of two.
+pub fn bit_reversal(n: u32) -> MessageSet {
+    assert!(n.is_power_of_two());
+    let k = n.trailing_zeros();
+    (0..n)
+        .map(|i| {
+            let j = i.reverse_bits() >> (32 - k);
+            Message::new(i, j)
+        })
+        .collect()
+}
+
+/// Matrix transpose on a √n × √n index space: `(r, c) → (c, r)`.
+///
+/// # Panics
+/// If `n` is not a perfect square.
+pub fn transpose(n: u32) -> MessageSet {
+    let side = (n as f64).sqrt().round() as u32;
+    assert_eq!(side * side, n, "transpose needs a perfect square");
+    (0..n)
+        .map(|i| {
+            let (r, c) = (i / side, i % side);
+            Message::new(i, c * side + r)
+        })
+        .collect()
+}
+
+/// Perfect shuffle: `i → 2i mod (n−1)` (with `n−1 → n−1`), the Stone/
+/// Schwartz ultracomputer permutation.
+///
+/// # Panics
+/// If `n < 2` or `n` is not a power of two.
+pub fn perfect_shuffle(n: u32) -> MessageSet {
+    assert!(n.is_power_of_two() && n >= 2);
+    (0..n)
+        .map(|i| {
+            let j = if i == n - 1 { i } else { (2 * i) % (n - 1) };
+            Message::new(i, j)
+        })
+        .collect()
+}
+
+/// Bit-complement: `i → n−1−i`; every message crosses the root of a
+/// fat-tree — the worst one-to-one pattern for tree bisection.
+pub fn bit_complement(n: u32) -> MessageSet {
+    (0..n).map(|i| Message::new(i, n - 1 - i)).collect()
+}
+
+/// Check a message set is a permutation (test/bench helper).
+pub fn is_permutation(m: &MessageSet, n: u32) -> bool {
+    if m.len() != n as usize {
+        return false;
+    }
+    let mut src = vec![false; n as usize];
+    let mut dst = vec![false; n as usize];
+    for msg in m {
+        if msg.src.0 >= n || msg.dst.0 >= n || src[msg.src.idx()] || dst[msg.dst.idx()] {
+            return false;
+        }
+        src[msg.src.idx()] = true;
+        dst[msg.dst.idx()] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_generators_produce_permutations() {
+        let n = 64;
+        let mut rng = StdRng::seed_from_u64(31);
+        assert!(is_permutation(&random_permutation(n, &mut rng), n));
+        assert!(is_permutation(&bit_reversal(n), n));
+        assert!(is_permutation(&transpose(n), n));
+        assert!(is_permutation(&perfect_shuffle(n), n));
+        assert!(is_permutation(&bit_complement(n), n));
+    }
+
+    #[test]
+    fn bit_reversal_fixed_points() {
+        let m = bit_reversal(8);
+        // 0b000→0b000, 0b010→0b010, 0b101→0b101, 0b111→0b111
+        let fixed: Vec<u32> = m.iter().filter(|x| x.is_local()).map(|x| x.src.0).collect();
+        assert_eq!(fixed, vec![0, 2, 5, 7]);
+    }
+
+    #[test]
+    fn transpose_diagonal_fixed() {
+        let m = transpose(16);
+        for msg in &m {
+            let (r, c) = (msg.src.0 / 4, msg.src.0 % 4);
+            assert_eq!(msg.dst.0, c * 4 + r);
+        }
+    }
+
+    #[test]
+    fn complement_crosses_root() {
+        let m = bit_complement(16);
+        for msg in &m {
+            // src and dst in different halves.
+            assert_ne!(msg.src.0 < 8, msg.dst.0 < 8);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_rotation_of_bits() {
+        let m = perfect_shuffle(8);
+        // 3 = 0b011 → 6 = 0b110 (left rotate)
+        assert_eq!(m.as_slice()[3].dst.0, 6);
+        assert_eq!(m.as_slice()[7].dst.0, 7);
+    }
+
+    #[test]
+    fn is_permutation_rejects_bad_sets() {
+        let m: MessageSet = [Message::new(0, 1), Message::new(1, 1)].into_iter().collect();
+        assert!(!is_permutation(&m, 2));
+        assert!(!is_permutation(&MessageSet::new(), 2));
+    }
+}

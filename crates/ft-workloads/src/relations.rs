@@ -1,0 +1,72 @@
+//! Random k-relations: each processor sends exactly `k` messages to
+//! uniformly random destinations (so expected receive load is also `k`).
+//! Sweeping `k` sweeps the load factor λ(M) for the Theorem 1 experiments.
+
+use ft_core::{Message, MessageSet};
+use rand::Rng;
+
+/// A random k-relation on `n` processors.
+pub fn random_k_relation<R: Rng>(n: u32, k: u32, rng: &mut R) -> MessageSet {
+    let mut m = MessageSet::with_capacity((n * k) as usize);
+    for i in 0..n {
+        for _ in 0..k {
+            m.push(Message::new(i, rng.gen_range(0..n)));
+        }
+    }
+    m
+}
+
+/// A *balanced* k-relation: each processor sends **and receives** exactly
+/// `k` messages (the union of `k` independent random permutations).
+pub fn balanced_k_relation<R: Rng>(n: u32, k: u32, rng: &mut R) -> MessageSet {
+    let mut m = MessageSet::with_capacity((n * k) as usize);
+    for _ in 0..k {
+        let perm = crate::perms::random_permutation(n, rng);
+        m.extend_from(&perm);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sizes() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let m = random_k_relation(32, 4, &mut rng);
+        assert_eq!(m.len(), 128);
+        let b = balanced_k_relation(32, 4, &mut rng);
+        assert_eq!(b.len(), 128);
+    }
+
+    #[test]
+    fn balanced_has_exact_degrees() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 16u32;
+        let k = 3u32;
+        let m = balanced_k_relation(n, k, &mut rng);
+        let mut out = vec![0u32; n as usize];
+        let mut inn = vec![0u32; n as usize];
+        for msg in &m {
+            out[msg.src.idx()] += 1;
+            inn[msg.dst.idx()] += 1;
+        }
+        assert!(out.iter().all(|&c| c == k));
+        assert!(inn.iter().all(|&c| c == k));
+    }
+
+    #[test]
+    fn random_relation_has_exact_send_degree() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 16u32;
+        let m = random_k_relation(n, 2, &mut rng);
+        let mut out = vec![0u32; n as usize];
+        for msg in &m {
+            out[msg.src.idx()] += 1;
+        }
+        assert!(out.iter().all(|&c| c == 2));
+    }
+}

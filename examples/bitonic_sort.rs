@@ -1,0 +1,88 @@
+//! Bitonic sort executed over fat-tree delivery cycles.
+//!
+//! §VII: "A supercomputer should not be a mere supercalculator… Code is
+//! portable in that it can be moved between an inexpensive computer and a
+//! more expensive one." Here the *same* bitonic program runs on a cheap
+//! fat-tree (w = n^(2/3)) and an expensive one (w = n): every
+//! compare-exchange round is a dimension exchange delivered by the
+//! bit-serial machine; only the cycle counts differ.
+//!
+//! ```sh
+//! cargo run --release --example bitonic_sort
+//! ```
+
+use fat_tree::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One compare-exchange round of bitonic sort: stage `i`, substage `j`.
+fn round_messages(n: u32, values: &[u64], j: u32) -> MessageSet {
+    let _ = values;
+    (0..n).map(|p| Message::new(p, p ^ (1 << j))).collect()
+}
+
+/// Apply the compare-exchange once the partner values arrived.
+fn apply_round(values: &mut [u64], i: u32, j: u32) {
+    let n = values.len() as u32;
+    for p in 0..n {
+        let q = p ^ (1 << j);
+        if q < p {
+            continue;
+        }
+        let ascending = (p >> (i + 1)) & 1 == 0;
+        let (lo, hi) = (values[p as usize].min(values[q as usize]), values[p as usize].max(values[q as usize]));
+        if ascending {
+            values[p as usize] = lo;
+            values[q as usize] = hi;
+        } else {
+            values[p as usize] = hi;
+            values[q as usize] = lo;
+        }
+    }
+}
+
+fn sort_on(ft: &FatTree, values: &mut [u64]) -> (usize, u64) {
+    let n = values.len() as u32;
+    let k = n.trailing_zeros();
+    let cfg = SimConfig { payload_bits: 64, switch: SwitchKind::Ideal, ..Default::default() };
+    let mut cycles = 0usize;
+    let mut ticks = 0u64;
+    for i in 0..k {
+        for j in (0..=i).rev() {
+            let msgs = round_messages(n, values, j);
+            let run = run_to_completion(ft, &msgs, &cfg);
+            cycles += run.cycles;
+            ticks += run.total_ticks;
+            apply_round(values, i, j);
+        }
+    }
+    (cycles, ticks)
+}
+
+fn main() {
+    let n = 256u32;
+    let mut rng = StdRng::seed_from_u64(42);
+    let input: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+
+    println!("bitonic sort of {n} keys, one per processor — same program, two machines:\n");
+    println!(
+        "{:<34} {:>8} {:>12} {:>10}",
+        "machine", "rounds", "cycles", "ticks"
+    );
+    let rounds = (n.trailing_zeros() * (n.trailing_zeros() + 1) / 2) as usize;
+    for (name, ft) in [
+        ("cheap: universal w = n^(2/3) = 41", FatTree::universal(n, 41)),
+        ("rich:  universal w = n = 256", FatTree::universal(n, n as u64)),
+    ] {
+        let mut values = input.clone();
+        let (cycles, ticks) = sort_on(&ft, &mut values);
+        assert!(values.windows(2).all(|w| w[0] <= w[1]), "not sorted!");
+        println!("{name:<34} {rounds:>8} {cycles:>12} {ticks:>10}");
+    }
+
+    println!();
+    println!("Both machines sort correctly with identical code ({rounds} compare-exchange");
+    println!("rounds = lg n·(lg n+1)/2). The cheap machine pays extra delivery cycles");
+    println!("only on the few rounds that cross its thinner upper channels — exactly");
+    println!("the graceful communication scaling §VII promises.");
+}

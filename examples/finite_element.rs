@@ -1,0 +1,76 @@
+//! The paper's §I motivating application: planar finite-element analysis.
+//!
+//! A planar FEM mesh has bisection O(√n), so a hypercube's Θ(n) bisection —
+//! and its Θ(n^(3/2)) physical volume — is mostly wasted on it. A fat-tree
+//! lets you buy exactly the communication you need: this example compares
+//! hardware volume and delivered performance across capacity choices.
+//!
+//! ```sh
+//! cargo run --release --example finite_element
+//! ```
+
+use fat_tree::layout::cost;
+use fat_tree::prelude::*;
+use fat_tree::workloads::FemGrid;
+
+fn main() {
+    let n = 1024u32;
+    let grid = FemGrid::with_n(n);
+    let sweep = grid.sweep_messages_morton();
+
+    println!("planar FEM grid: {0}×{0} elements, one halo-exchange sweep = {1} messages", grid.side(), sweep.len());
+    println!("grid bisection width: {} = Θ(√n)\n", grid.bisection_width());
+
+    println!(
+        "{:<34} {:>10} {:>12} {:>8} {:>8}",
+        "communication hardware", "volume", "components", "λ(M)", "cycles"
+    );
+
+    let w_min = (n as f64).powf(2.0 / 3.0).ceil() as u64; // cheapest universal tree
+    let configs: Vec<(String, FatTree)> = vec![
+        (
+            format!("universal fat-tree, w = n^(2/3) = {w_min}"),
+            FatTree::universal(n, w_min),
+        ),
+        (
+            "universal fat-tree, w = 4·√n = 128".into(),
+            FatTree::universal(n, 128),
+        ),
+        (
+            "universal fat-tree, w = n (hypercube$)".into(),
+            FatTree::universal(n, n as u64),
+        ),
+    ];
+
+    for (name, ft) in &configs {
+        let lambda = load_factor(ft, &sweep);
+        let (schedule, _) = schedule_theorem1(ft, &sweep);
+        schedule.validate(ft, &sweep).unwrap();
+        println!(
+            "{:<34} {:>10.0} {:>12.0} {:>8.2} {:>8}",
+            name,
+            cost::theorem4_volume_law(n as u64, ft.root_capacity()),
+            cost::fat_tree_components(ft),
+            lambda,
+            schedule.num_cycles(),
+        );
+    }
+
+    println!(
+        "{:<34} {:>10.0} {:>12} {:>8} {:>8}",
+        "hypercube (for comparison)",
+        cost::hypercube_volume_law(n as u64),
+        "Θ(n lg n)",
+        "—",
+        "—"
+    );
+
+    println!();
+    println!("The cheapest universal fat-tree (w = n^(2/3)) already routes the FEM");
+    println!("sweep in a handful of delivery cycles; the hypercube-priced tree only");
+    println!("shaves a cycle or two while costing ~{}× the volume.",
+        (cost::hypercube_volume_law(n as u64)
+            / cost::theorem4_volume_law(n as u64, w_min)).round());
+    println!("This is §I's thesis: communication can be scaled independently of n,");
+    println!("so planar problems don't have to buy hypercube bandwidth.");
+}

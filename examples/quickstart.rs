@@ -1,0 +1,55 @@
+//! Quickstart: build a universal fat-tree, load it with traffic, and watch
+//! Theorem 1 schedule it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fat_tree::prelude::*;
+use fat_tree::workloads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 256u32;
+    let w = 64u64; // root capacity: a quarter of full bisection
+    let ft = FatTree::universal(n, w);
+
+    println!("universal fat-tree: n = {n}, root capacity w = {w}");
+    println!("{}", ft.render_levels());
+
+    let mut rng = StdRng::seed_from_u64(1985);
+    let workloads: Vec<(&str, MessageSet)> = vec![
+        ("random permutation", workloads::random_permutation(n, &mut rng)),
+        ("bit complement (worst case)", workloads::bit_complement(n)),
+        ("bit reversal", workloads::bit_reversal(n)),
+        ("local traffic (p_far = 0.3)", workloads::local_traffic(n, 1, 0.3, &mut rng)),
+        ("random 4-relation", workloads::random_k_relation(n, 4, &mut rng)),
+        ("all-to-one hotspot", workloads::all_to_one(n, 0)),
+    ];
+
+    println!(
+        "{:<28} {:>9} {:>8} {:>8} {:>12} {:>9}",
+        "workload", "messages", "λ(M)", "cycles", "2·λ·lg n", "d/⌈λ⌉"
+    );
+    for (name, msgs) in workloads {
+        let lambda = load_factor(&ft, &msgs);
+        let (schedule, stats) = schedule_theorem1(&ft, &msgs);
+        schedule
+            .validate(&ft, &msgs)
+            .expect("Theorem 1 schedules are always valid");
+        println!(
+            "{:<28} {:>9} {:>8.2} {:>8} {:>12} {:>9.2}",
+            name,
+            msgs.len(),
+            lambda,
+            schedule.num_cycles(),
+            stats.paper_bound(&ft),
+            schedule.num_cycles() as f64 / lambda.max(1.0).ceil()
+        );
+    }
+
+    println!();
+    println!("The last column is the gap to the load-factor lower bound d ≥ ⌈λ(M)⌉;");
+    println!("Theorem 1 guarantees it stays below 2·lg n, and in practice it is tiny.");
+}

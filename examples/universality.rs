@@ -1,0 +1,49 @@
+//! Theorem 10 live: simulate competing networks on an equal-volume
+//! universal fat-tree and measure the slowdown against the O(lg³ n) bound.
+//!
+//! ```sh
+//! cargo run --release --example universality
+//! ```
+
+use fat_tree::networks::{Butterfly, FixedConnectionNetwork, Hypercube, Mesh2D, Mesh3D, TreeMachine};
+use fat_tree::universal::simulate_on_fat_tree;
+use fat_tree::workloads::random_permutation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let nets: Vec<Box<dyn FixedConnectionNetwork>> = vec![
+        Box::new(Mesh2D::new(16, 16)),
+        Box::new(Mesh3D::new(6)),
+        Box::new(Hypercube::new(8)),
+        Box::new(TreeMachine::new(8)),
+        Box::new(Butterfly::new(5)),
+    ];
+
+    println!(
+        "{:<18} {:>5} {:>10} {:>6} {:>7} {:>7} {:>7} {:>9} {:>10}",
+        "network R", "n", "volume", "w(v)", "t_R", "λ(M)", "cycles", "slowdown", "lg³n bound"
+    );
+    for net in &nets {
+        let msgs = random_permutation(net.n() as u32, &mut rng);
+        let rep = simulate_on_fat_tree(net.as_ref(), &msgs, 1.0, &mut rng);
+        println!(
+            "{:<18} {:>5} {:>10.0} {:>6} {:>7} {:>7.2} {:>7} {:>9.2} {:>10.1}",
+            rep.network,
+            rep.n,
+            rep.volume,
+            rep.root_capacity,
+            rep.t_network,
+            rep.lambda,
+            rep.cycles,
+            rep.slowdown,
+            rep.slowdown_bound,
+        );
+    }
+
+    println!();
+    println!("Every network of volume v is simulated by the volume-v universal");
+    println!("fat-tree with slowdown well inside the O(lg³ n) guarantee — including");
+    println!("the hypercube, whose huge volume simply buys the fat-tree a fat root.");
+}

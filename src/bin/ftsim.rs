@@ -1,0 +1,284 @@
+//! `ftsim` — explore fat-trees from the command line.
+//!
+//! ```text
+//! ftsim tree       --n 256 --w 64                 capacity profile (Fig. 1)
+//! ftsim schedule   --n 256 --w 64 --workload perm [--scheduler thm1] [--seed 1]
+//! ftsim online     --n 256 --w 64 --workload krel:8
+//! ftsim simulate   --n 256 --w 64 --workload complement [--switch partial] [--arb random]
+//! ftsim universality --net mesh3d --side 4
+//! ftsim emulate    --net hypercube --dim 6
+//! ftsim layout     --n 1024 --w 128
+//! ```
+//!
+//! Workloads: `perm`, `complement`, `reversal`, `transpose`, `shuffle`,
+//! `fem`, `hotspot`, `krel:K`, `local:P` (P = far-probability percent),
+//! `exchange`.
+
+use fat_tree::layout::FatTreeLayout;
+use fat_tree::networks::{
+    Butterfly, CubeConnectedCycles, FixedConnectionNetwork, Hypercube, Mesh2D, Mesh3D, Ring,
+    ShuffleExchange, Torus2D, TreeMachine,
+};
+use fat_tree::prelude::*;
+use fat_tree::sched::online::online_bound_shape;
+use fat_tree::sim::Arbitration;
+use fat_tree::universal::Emulation;
+use fat_tree::workloads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        usage();
+        exit(2);
+    };
+    let opts = parse_opts(args.collect());
+    match cmd.as_str() {
+        "tree" => cmd_tree(&opts),
+        "schedule" => cmd_schedule(&opts),
+        "online" => cmd_online(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "universality" => cmd_universality(&opts),
+        "emulate" => cmd_emulate(&opts),
+        "layout" => cmd_layout(&opts),
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown command: {other}");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: ftsim <tree|schedule|online|simulate|universality|emulate|layout> [--key value]…\n\
+         see the module docs (src/bin/ftsim.rs) for options"
+    );
+}
+
+fn parse_opts(args: Vec<String>) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut it = args.into_iter();
+    while let Some(k) = it.next() {
+        let Some(key) = k.strip_prefix("--") else {
+            eprintln!("expected --key, got {k}");
+            exit(2);
+        };
+        let Some(v) = it.next() else {
+            eprintln!("missing value for --{key}");
+            exit(2);
+        };
+        map.insert(key.to_string(), v);
+    }
+    map
+}
+
+fn get_u32(opts: &HashMap<String, String>, key: &str, default: u32) -> u32 {
+    opts.get(key).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--{key} expects an integer, got {v}");
+            exit(2)
+        })
+    })
+}
+
+fn tree_from(opts: &HashMap<String, String>) -> FatTree {
+    let n = get_u32(opts, "n", 256);
+    let w = get_u32(opts, "w", (n / 4).max(1)) as u64;
+    FatTree::universal(n, w)
+}
+
+fn workload_from(opts: &HashMap<String, String>, n: u32, rng: &mut StdRng) -> MessageSet {
+    let spec = opts.get("workload").map(String::as_str).unwrap_or("perm");
+    match spec.split_once(':') {
+        Some(("krel", k)) => workloads::balanced_k_relation(n, k.parse().unwrap_or(4), rng),
+        Some(("local", p)) => {
+            let pf = p.parse::<f64>().unwrap_or(30.0) / 100.0;
+            workloads::local_traffic(n, 2, pf.clamp(0.01, 0.99), rng)
+        }
+        _ => match spec {
+            "perm" => workloads::random_permutation(n, rng),
+            "complement" => workloads::bit_complement(n),
+            "reversal" => workloads::bit_reversal(n),
+            "transpose" => workloads::transpose(n),
+            "shuffle" => workloads::perfect_shuffle(n),
+            "fem" => workloads::FemGrid::with_n(n).sweep_messages_morton(),
+            "hotspot" => workloads::all_to_one(n, 0),
+            "exchange" => workloads::total_exchange(n),
+            other => {
+                eprintln!("unknown workload: {other}");
+                exit(2);
+            }
+        },
+    }
+}
+
+fn network_from(opts: &HashMap<String, String>) -> Box<dyn FixedConnectionNetwork> {
+    let name = opts.get("net").map(String::as_str).unwrap_or("mesh3d");
+    let side = get_u32(opts, "side", 4) as usize;
+    let dim = get_u32(opts, "dim", 6);
+    match name {
+        "mesh2d" => Box::new(Mesh2D::new(side, side)),
+        "mesh3d" => Box::new(Mesh3D::new(side)),
+        "torus" => Box::new(Torus2D::new(side.max(3))),
+        "hypercube" => Box::new(Hypercube::new(dim)),
+        "tree" => Box::new(TreeMachine::new(dim)),
+        "butterfly" => Box::new(Butterfly::new(dim.min(10))),
+        "ccc" => Box::new(CubeConnectedCycles::new(dim.clamp(3, 10))),
+        "shuffle" => Box::new(ShuffleExchange::new(dim)),
+        "ring" => Box::new(Ring::new((side * side).max(8))),
+        other => {
+            eprintln!("unknown network: {other}");
+            exit(2);
+        }
+    }
+}
+
+fn rng_from(opts: &HashMap<String, String>) -> StdRng {
+    StdRng::seed_from_u64(get_u32(opts, "seed", 1985) as u64)
+}
+
+fn cmd_tree(opts: &HashMap<String, String>) {
+    let ft = tree_from(opts);
+    println!(
+        "universal fat-tree: n = {}, root capacity w = {}, total wires {}",
+        ft.n(),
+        ft.root_capacity(),
+        ft.total_wires()
+    );
+    println!("{}", ft.render_levels());
+}
+
+fn cmd_schedule(opts: &HashMap<String, String>) {
+    let ft = tree_from(opts);
+    let mut rng = rng_from(opts);
+    let msgs = workload_from(opts, ft.n(), &mut rng);
+    let lambda = load_factor(&ft, &msgs);
+    let scheduler = opts.get("scheduler").map(String::as_str).unwrap_or("thm1");
+    let (schedule, label) = match scheduler {
+        "thm1" => (schedule_theorem1(&ft, &msgs).0, "Theorem 1"),
+        "greedy" => (schedule_greedy(&ft, &msgs), "greedy first-fit"),
+        "bigcap" => match schedule_bigcap(&ft, &msgs) {
+            Ok((s, _)) => (s, "Corollary 2"),
+            Err(e) => {
+                eprintln!("Corollary 2 not applicable: {e}");
+                exit(1);
+            }
+        },
+        "compressed" => (
+            fat_tree::sched::compress_schedule(&ft, schedule_theorem1(&ft, &msgs).0),
+            "Theorem 1 + compression",
+        ),
+        other => {
+            eprintln!("unknown scheduler: {other}");
+            exit(2);
+        }
+    };
+    schedule.validate(&ft, &msgs).expect("schedule invalid — bug");
+    println!(
+        "{label}: {} messages, λ(M) = {lambda:.2}, lower bound {} ⇒ {} delivery cycles",
+        msgs.len(),
+        fat_tree::core::cycle_lower_bound(&ft, &msgs),
+        schedule.num_cycles()
+    );
+}
+
+fn cmd_online(opts: &HashMap<String, String>) {
+    let ft = tree_from(opts);
+    let mut rng = rng_from(opts);
+    let msgs = workload_from(opts, ft.n(), &mut rng);
+    let lambda = load_factor(&ft, &msgs);
+    let res = route_online(&ft, &msgs, &mut rng, OnlineConfig::default());
+    println!(
+        "on-line: {} messages, λ = {lambda:.2} → {} cycles (shape λ+lg n·lglg n = {:.1})",
+        msgs.len(),
+        res.cycles,
+        online_bound_shape(&ft, lambda)
+    );
+}
+
+fn cmd_simulate(opts: &HashMap<String, String>) {
+    let ft = tree_from(opts);
+    let mut rng = rng_from(opts);
+    let msgs = workload_from(opts, ft.n(), &mut rng);
+    let switch = match opts.get("switch").map(String::as_str).unwrap_or("ideal") {
+        "ideal" => SwitchKind::Ideal,
+        "partial" => SwitchKind::Partial,
+        other => {
+            eprintln!("unknown switch: {other}");
+            exit(2);
+        }
+    };
+    let arbitration = match opts.get("arb").map(String::as_str).unwrap_or("slot") {
+        "slot" => Arbitration::SlotOrder,
+        "random" => Arbitration::Random(get_u32(opts, "seed", 1985) as u64),
+        other => {
+            eprintln!("unknown arbitration: {other}");
+            exit(2);
+        }
+    };
+    let cfg = SimConfig { payload_bits: get_u32(opts, "payload", 64), switch, arbitration, ..Default::default() };
+    let run = run_to_completion(&ft, &msgs, &cfg);
+    println!(
+        "bit-serial machine: {} messages in {} delivery cycles, {} total ticks",
+        msgs.len(),
+        run.cycles,
+        run.total_ticks
+    );
+    println!("per-cycle deliveries: {:?}", run.delivered_per_cycle);
+}
+
+fn cmd_universality(opts: &HashMap<String, String>) {
+    let net = network_from(opts);
+    let mut rng = rng_from(opts);
+    let msgs = workloads::random_permutation(net.n() as u32, &mut rng);
+    let rep = fat_tree::universal::simulate_on_fat_tree(net.as_ref(), &msgs, 1.0, &mut rng);
+    println!(
+        "{}: n = {}, volume {:.0} → fat-tree w = {}",
+        rep.network, rep.n, rep.volume, rep.root_capacity
+    );
+    println!(
+        "t_R = {}, λ = {:.2}, d = {} ⇒ slowdown {:.2} (lg³n bound {:.1})",
+        rep.t_network, rep.lambda, rep.cycles, rep.slowdown, rep.slowdown_bound
+    );
+}
+
+fn cmd_emulate(opts: &HashMap<String, String>) {
+    let net = network_from(opts);
+    let em = Emulation::build(net.as_ref(), 1.0);
+    println!(
+        "{} (n = {}, degree {}) hosted on a degree-{} universal fat-tree:",
+        net.name(),
+        net.n(),
+        net.degree(),
+        em.degree
+    );
+    println!(
+        "minimal root capacity w = {}, λ(edge set) = {:.2}, {} ticks per guest step",
+        em.root_capacity,
+        em.edge_load_factor,
+        em.emulation_time(1)
+    );
+}
+
+fn cmd_layout(opts: &HashMap<String, String>) {
+    let ft = tree_from(opts);
+    let layout = FatTreeLayout::build(&ft);
+    let d = layout.level_dims[0];
+    println!(
+        "constructive 3-D layout: {:.1} × {:.1} × {:.1} = volume {:.0} (aspect {:.1})",
+        d[0],
+        d[1],
+        d[2],
+        layout.volume,
+        layout.aspect_ratio()
+    );
+    println!(
+        "Theorem 4 law (w·lg(n/w))^(3/2) = {:.0}",
+        fat_tree::layout::cost::theorem4_volume_law(ft.n() as u64, ft.root_capacity())
+    );
+}

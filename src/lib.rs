@@ -1,0 +1,72 @@
+//! # fat-tree — a reproduction of Leiserson's universal fat-tree networks
+//!
+//! This crate re-exports the whole workspace behind one façade:
+//!
+//! | module | paper section | contents |
+//! |---|---|---|
+//! | [`core`] | §II–§III | topology, capacities, messages, routing, load factors |
+//! | [`concentrator`] | §IV | partial concentrators, matchings, cascades |
+//! | [`sched`] | §III, §VI | Theorem 1 / Corollary 2 schedulers, greedy baseline, on-line routing |
+//! | [`sim`] | §II | bit-serial delivery-cycle simulator (Figs. 2–3) |
+//! | [`layout`] | §IV–§V | 3-D VLSI model, decomposition trees, pearl lemma, cost laws |
+//! | [`networks`] | §I, §VI | hypercube, meshes, torus, tree, butterfly, CCC, Beneš |
+//! | [`workloads`] | §I–§III | permutations, k-relations, locality, FEM, hot-spots |
+//! | [`universal`] | §VI | the Theorem 10 pipeline |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fat_tree::prelude::*;
+//!
+//! // A universal fat-tree on 64 processors with root capacity 16.
+//! let ft = FatTree::universal(64, 16);
+//!
+//! // A worst-case permutation: everyone crosses the root.
+//! let msgs = fat_tree::workloads::bit_complement(64);
+//! let lambda = load_factor(&ft, &msgs);
+//! assert!(lambda >= 2.0); // 32 messages per direction over capacity 16
+//!
+//! // Theorem 1: schedule off-line in ≤ 2·λ·lg n delivery cycles.
+//! let (schedule, stats) = schedule_theorem1(&ft, &msgs);
+//! schedule.validate(&ft, &msgs).unwrap();
+//! assert!(schedule.num_cycles() <= stats.paper_bound(&ft));
+//! ```
+//!
+//! ## The universality theorem, in one call
+//!
+//! ```
+//! use fat_tree::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mesh = fat_tree::networks::Mesh3D::new(4); // 64 processors, volume 64
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let msgs = fat_tree::workloads::random_permutation(64, &mut rng);
+//! let report = fat_tree::universal::simulate_on_fat_tree(&mesh, &msgs, 1.0, &mut rng);
+//! // The measured slowdown respects the O(lg³ n) law (generous constant).
+//! assert!(report.slowdown <= 8.0 * report.slowdown_bound.max(1.0));
+//! ```
+
+pub use ft_concentrator as concentrator;
+pub use ft_core as core;
+pub use ft_layout as layout;
+pub use ft_networks as networks;
+pub use ft_sched as sched;
+pub use ft_sim as sim;
+pub use ft_universal as universal;
+pub use ft_workloads as workloads;
+
+/// The commonly-used items in one import.
+pub mod prelude {
+    pub use ft_core::{
+        load_factor, CapacityProfile, ChannelId, Direction, FatTree, LoadMap, Message,
+        MessageSet, ProcId,
+    };
+    pub use ft_layout::{balance_decomposition, Cuboid, DecompTree, Placement};
+    pub use ft_networks::FixedConnectionNetwork;
+    pub use ft_sched::{
+        route_online, schedule_bigcap, schedule_greedy, schedule_theorem1, OnlineConfig,
+        Schedule,
+    };
+    pub use ft_sim::{run_to_completion, simulate_cycle, SimConfig, SwitchKind};
+    pub use ft_universal::{simulate_on_fat_tree, Identification};
+}

@@ -1,0 +1,76 @@
+//! Smoke tests for the `ftsim` CLI: every subcommand runs, prints the
+//! expected shape of output, and rejects malformed invocations.
+
+use std::process::Command;
+
+fn ftsim(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ftsim"))
+        .args(args)
+        .output()
+        .expect("spawn ftsim");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn tree_prints_levels() {
+    let (ok, stdout, _) = ftsim(&["tree", "--n", "64", "--w", "16"]);
+    assert!(ok);
+    assert!(stdout.contains("root capacity w = 16"));
+    assert!(stdout.contains("level"));
+}
+
+#[test]
+fn schedule_reports_cycles() {
+    let (ok, stdout, _) = ftsim(&["schedule", "--n", "64", "--workload", "complement"]);
+    assert!(ok);
+    assert!(stdout.contains("delivery cycles"), "{stdout}");
+    assert!(stdout.contains("λ(M)"));
+}
+
+#[test]
+fn all_schedulers_run() {
+    for sched in ["thm1", "greedy", "compressed"] {
+        let (ok, stdout, stderr) =
+            ftsim(&["schedule", "--n", "64", "--workload", "krel:2", "--scheduler", sched]);
+        assert!(ok, "scheduler {sched} failed: {stderr}");
+        assert!(stdout.contains("delivery cycles"));
+    }
+}
+
+#[test]
+fn simulate_with_faults_flags() {
+    let (ok, stdout, _) = ftsim(&[
+        "simulate", "--n", "64", "--workload", "perm", "--switch", "partial", "--arb", "random",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("delivery cycles"));
+}
+
+#[test]
+fn online_universality_emulate_layout() {
+    let (ok, stdout, _) = ftsim(&["online", "--n", "64", "--workload", "krel:4"]);
+    assert!(ok && stdout.contains("on-line"));
+    let (ok, stdout, _) = ftsim(&["universality", "--net", "mesh3d", "--side", "4"]);
+    assert!(ok && stdout.contains("slowdown"), "{stdout}");
+    let (ok, stdout, _) = ftsim(&["emulate", "--net", "ring", "--side", "8"]);
+    assert!(ok && stdout.contains("minimal root capacity"), "{stdout}");
+    let (ok, stdout, _) = ftsim(&["layout", "--n", "256", "--w", "64"]);
+    assert!(ok && stdout.contains("volume"), "{stdout}");
+}
+
+#[test]
+fn rejects_garbage() {
+    let (ok, _, stderr) = ftsim(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    let (ok, _, stderr) = ftsim(&["schedule", "--n", "sixty-four"]);
+    assert!(!ok);
+    assert!(stderr.contains("expects an integer"));
+    let (ok, _, stderr) = ftsim(&["schedule", "--workload", "nonsense"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown workload"));
+}

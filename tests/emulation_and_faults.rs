@@ -1,0 +1,75 @@
+//! Integration tests crossing ft-universal, ft-sim, and ft-workloads:
+//! fixed-connection emulation end-to-end (with compiled switch settings)
+//! and fault-injected delivery of real algorithm traffic.
+
+use fat_tree::networks::{FixedConnectionNetwork, Hypercube, Mesh2D, Ring, Torus2D};
+use fat_tree::prelude::*;
+use fat_tree::sim::{compile_cycle, execute_compiled, FaultModel};
+use fat_tree::universal::Emulation;
+use fat_tree::workloads::{ascend_rounds, cannon_rounds};
+
+#[test]
+fn every_guest_edge_set_compiles_and_executes() {
+    let guests: Vec<Box<dyn FixedConnectionNetwork>> = vec![
+        Box::new(Ring::new(32)),
+        Box::new(Mesh2D::new(6, 6)),
+        Box::new(Torus2D::new(5)),
+        Box::new(Hypercube::new(5)),
+    ];
+    for g in guests {
+        let em = Emulation::build(g.as_ref(), 1.0);
+        assert!(em.edge_load_factor <= 1.0 + 1e-9, "{}", g.name());
+        let compiled = compile_cycle(&em.host, em.edge_set.as_slice())
+            .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+        let run = execute_compiled(&em.host, em.edge_set.as_slice(), &compiled, 32)
+            .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+        assert_eq!(run.delivered, em.edge_set.len());
+    }
+}
+
+#[test]
+fn cannon_rounds_run_on_torus_emulation() {
+    // Cannon's traffic travels only torus edges, so the torus's host
+    // delivers every round in one cycle.
+    let torus = Torus2D::new(8);
+    let em = Emulation::build(&torus, 1.0);
+    for round in cannon_rounds(64) {
+        assert!(em.round_is_one_cycle(&round), "a Cannon round overflowed the host");
+    }
+}
+
+#[test]
+fn ascend_rounds_survive_wire_faults() {
+    // Run hypercube-algorithm traffic on a faulty fat-tree: everything still
+    // arrives, just in more cycles.
+    let n = 64u32;
+    let ft = FatTree::universal(n, 32);
+    let cfg_ok = SimConfig::default();
+    let cfg_bad = SimConfig {
+        faults: FaultModel { dead_wire_fraction: 0.3, seed: 77 },
+        ..Default::default()
+    };
+    let mut healthy = 0usize;
+    let mut faulty = 0usize;
+    for round in ascend_rounds(n) {
+        healthy += run_to_completion(&ft, &round, &cfg_ok).cycles;
+        let run = run_to_completion(&ft, &round, &cfg_bad);
+        assert_eq!(run.delivered_per_cycle.iter().sum::<usize>(), round.len());
+        faulty += run.cycles;
+    }
+    assert!(faulty >= healthy);
+    assert!(faulty <= 8 * healthy, "fault slowdown too steep: {faulty} vs {healthy}");
+}
+
+#[test]
+fn schedules_remain_valid_under_translation() {
+    // Schedule guest traffic (in guest coordinates) on the host via the
+    // identification, then validate on the host tree.
+    let mesh = Mesh2D::new(8, 8);
+    let em = Emulation::build(&mesh, 1.0);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(4);
+    let traffic = fat_tree::workloads::random_permutation(64, &mut rng);
+    let translated = em.identification.translate(&traffic);
+    let (schedule, _) = schedule_theorem1(&em.host, &translated);
+    schedule.validate(&em.host, &translated).unwrap();
+}

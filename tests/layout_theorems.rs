@@ -1,0 +1,89 @@
+//! Property tests for the layout theory: Lemma 6 on arbitrary necklaces,
+//! Theorem 8 on arbitrary occupancies, Theorem 5 on arbitrary placements.
+
+use fat_tree::layout::{balance_decomposition, split_necklace, DecompTree, Placement};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pearl_lemma_holds_for_all_necklaces(
+        long in prop::collection::vec(any::<bool>(), 1..64),
+        short in prop::collection::vec(any::<bool>(), 0..32),
+    ) {
+        let split = split_necklace(&long, &short);
+        let n = long.len() + short.len();
+        let b = long.iter().chain(&short).filter(|&&x| x).count();
+        prop_assert!(split.a.len() <= 2);
+        prop_assert!(split.b.len() <= 2);
+        prop_assert_eq!(split.size_a(), n / 2);
+        let ba = split.blacks_a(&long, &short);
+        prop_assert!(ba >= b / 2 && ba <= b.div_ceil(2));
+        prop_assert_eq!(ba + split.blacks_b(&long, &short), b);
+    }
+
+    #[test]
+    fn balanced_trees_stay_balanced_and_bounded(
+        r in 3u32..=8,
+        seed in any::<u64>(),
+        density in 1u32..=4,
+    ) {
+        let slots = 1usize << r;
+        let mut occupied = vec![false; slots];
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13; state ^= state >> 7; state ^= state << 17; state
+        };
+        // Power-of-two processor count ≤ slots.
+        let nprocs = (slots >> density).max(1);
+        let mut placed = 0;
+        while placed < nprocs {
+            let i = (next() % slots as u64) as usize;
+            if !occupied[i] {
+                occupied[i] = true;
+                placed += 1;
+            }
+        }
+        let ws: Vec<f64> = (0..=r).map(|j| 1000.0 / 4f64.powf(j as f64 / 3.0)).collect();
+        let t = balance_decomposition(&occupied, &ws);
+        prop_assert!(t.is_balanced());
+        prop_assert_eq!(t.root.procs, nprocs);
+        // Theorem 8: w′_k ≤ 4·Σ_{j≥k} w_j at every node.
+        prop_assert!(t.worst_theorem8_ratio() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn decomposition_trees_cover_random_placements(
+        n in 2usize..=64,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = Placement::random_in_cube(n, 16.0, &mut rng);
+        let t = DecompTree::build(&p, 1.0);
+        prop_assert_eq!(t.num_procs(), n);
+        let mut seen = t.procs_in_leaf_order();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n as u32).collect::<Vec<_>>());
+        // Theorem 5 ratio: with midpoint cuts, w_{i+3} = w_i/4 exactly.
+        prop_assert!(t.worst_quartering_ratio() <= 1.0 + 1e-9);
+    }
+}
+
+#[test]
+fn end_to_end_identification_from_arbitrary_placement() {
+    use fat_tree::universal::Identification;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let p = Placement::random_in_cube(48, 12.0, &mut rng);
+    let id = Identification::from_placement(&p, 1.0);
+    assert_eq!(id.fat_tree.n(), 64);
+    assert_eq!(id.leaf_to_proc.iter().flatten().count(), 48);
+    // Bijectivity of the partial mapping.
+    let mut seen = [false; 48];
+    for p in id.leaf_to_proc.iter().flatten() {
+        assert!(!seen[*p as usize]);
+        seen[*p as usize] = true;
+    }
+}

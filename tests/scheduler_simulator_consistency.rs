@@ -1,0 +1,100 @@
+//! Cross-validation between the scheduler and the bit-serial simulator:
+//! every delivery cycle Theorem 1 produces must pass through the simulated
+//! machine (with the ideal concentrators §III assumes) without a single
+//! drop — and the cycle time must be O(lg n).
+
+use fat_tree::prelude::*;
+use fat_tree::workloads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_schedule_runs_cleanly(ft: &FatTree, msgs: &MessageSet) {
+    let (schedule, _) = schedule_theorem1(ft, msgs);
+    schedule.validate(ft, msgs).unwrap();
+    let cfg = SimConfig { payload_bits: 32, switch: SwitchKind::Ideal, ..Default::default() };
+    let lgn = ft.height();
+    for (i, cycle) in schedule.cycles().iter().enumerate() {
+        let report = simulate_cycle(ft, cycle.as_slice(), &cfg);
+        assert!(
+            report.dropped.is_empty(),
+            "cycle {i} dropped {} messages despite being one-cycle",
+            report.dropped.len()
+        );
+        assert!(
+            report.ticks <= 2 * (2 * lgn) + 32,
+            "cycle {i} time {} not O(lg n)",
+            report.ticks
+        );
+    }
+}
+
+#[test]
+fn scheduled_cycles_never_drop_random_relations() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for n in [16u32, 64, 256] {
+        let ft = FatTree::universal(n, (n / 4).max(4) as u64);
+        for k in [1u32, 3] {
+            let msgs = workloads::random_k_relation(n, k, &mut rng);
+            check_schedule_runs_cleanly(&ft, &msgs);
+        }
+    }
+}
+
+#[test]
+fn scheduled_cycles_never_drop_adversarial_traffic() {
+    let mut rng = StdRng::seed_from_u64(0xD00D);
+    let n = 128u32;
+    for profile in [
+        CapacityProfile::Constant(3),
+        CapacityProfile::FullDoubling,
+        CapacityProfile::Universal { root_capacity: 16 },
+    ] {
+        let ft = FatTree::new(n, profile);
+        let msgs = workloads::cross_root(n, 2, &mut rng);
+        check_schedule_runs_cleanly(&ft, &msgs);
+        let hot = workloads::all_to_one(n, 7);
+        check_schedule_runs_cleanly(&ft, &hot);
+    }
+}
+
+#[test]
+fn corollary2_buckets_also_run_cleanly() {
+    let n = 64u32;
+    let cap = 4 * fat_tree::core::lg(n as u64) as u64; // a = 4
+    let ft = FatTree::new(n, CapacityProfile::Constant(cap));
+    let mut rng = StdRng::seed_from_u64(11);
+    let msgs = workloads::balanced_k_relation(n, 12, &mut rng);
+    let (schedule, stats) = schedule_bigcap(&ft, &msgs).unwrap();
+    schedule.validate(&ft, &msgs).unwrap();
+    assert!(stats.buckets >= 1);
+    let cfg = SimConfig::default();
+    for cycle in schedule.cycles() {
+        let report = simulate_cycle(&ft, cycle.as_slice(), &cfg);
+        assert!(report.dropped.is_empty());
+    }
+}
+
+#[test]
+fn online_and_simulator_agree_on_total_delivery() {
+    // The ft-sched online model and the ft-sim machine with ideal switches
+    // implement the same semantics at different fidelities; both must
+    // deliver everything, in comparable cycle counts.
+    let n = 64u32;
+    let ft = FatTree::universal(n, 16);
+    let mut rng = StdRng::seed_from_u64(5);
+    let msgs = workloads::random_k_relation(n, 4, &mut rng);
+    let online = route_online(&ft, &msgs, &mut rng, Default::default());
+    let machine = run_to_completion(&ft, &msgs, &SimConfig::default());
+    assert_eq!(online.total_delivered(), msgs.len());
+    assert_eq!(
+        machine.delivered_per_cycle.iter().sum::<usize>(),
+        msgs.len()
+    );
+    let ratio = machine.cycles as f64 / online.cycles as f64;
+    assert!(
+        (0.2..=5.0).contains(&ratio),
+        "cycle counts diverge: machine {} vs online {}",
+        machine.cycles,
+        online.cycles
+    );
+}

@@ -1,0 +1,76 @@
+//! The even-split invariant (the engine of Theorem 1), property-tested on
+//! arbitrary root-crossing message multisets.
+
+use fat_tree::core::{CapacityProfile, FatTree, LoadMap, Message, MessageSet};
+use fat_tree::sched::{split_even, CrossDirection};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn split_is_even_on_every_channel(
+        lg_n in 2u32..=7,
+        pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 0..200),
+    ) {
+        let n = 1u32 << lg_n;
+        let ft = FatTree::new(n, CapacityProfile::Constant(1));
+        let half = n / 2;
+        // Map arbitrary pairs into left→right root-crossing messages.
+        let q: Vec<Message> = pairs
+            .iter()
+            .map(|&(s, d)| Message::new(s % half, half + d % half))
+            .collect();
+
+        let (a, b) = split_even(&ft, 1, &q, CrossDirection::LeftToRight);
+        prop_assert_eq!(a.len() + b.len(), q.len());
+        prop_assert!(a.len() >= b.len() && a.len() - b.len() <= 1);
+
+        let la = LoadMap::of(&ft, &MessageSet::from_vec(a));
+        let lb = LoadMap::of(&ft, &MessageSet::from_vec(b));
+        let lq = LoadMap::of(&ft, &MessageSet::from_vec(q));
+        for c in ft.channels() {
+            let (x, y, t) = (la.get(c), lb.get(c), lq.get(c));
+            prop_assert_eq!(x + y, t, "loads must partition at {}", c);
+            prop_assert!(x.abs_diff(y) <= 1, "uneven at {}: {} vs {}", c, x, y);
+        }
+    }
+
+    #[test]
+    fn repeated_halving_reaches_singletons(
+        lg_n in 2u32..=6,
+        len in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        // Splitting t times leaves ⌈len/2^t⌉ messages in every part — the
+        // refinement Theorem 1 relies on terminates at one-cycle sets.
+        let n = 1u32 << lg_n;
+        let ft = FatTree::new(n, CapacityProfile::Constant(1));
+        let half = n / 2;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13; state ^= state >> 7; state ^= state << 17; state
+        };
+        let q: Vec<Message> = (0..len)
+            .map(|_| Message::new((next() % half as u64) as u32, half + (next() % half as u64) as u32))
+            .collect();
+
+        let mut parts = vec![q];
+        for _ in 0..10 {
+            parts = parts
+                .into_iter()
+                .flat_map(|p| {
+                    if p.len() <= 1 {
+                        vec![p]
+                    } else {
+                        let (a, b) = split_even(&ft, 1, &p, CrossDirection::LeftToRight);
+                        vec![a, b]
+                    }
+                })
+                .collect();
+        }
+        prop_assert!(parts.iter().all(|p| p.len() <= 1));
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, len);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based integration tests for Theorem 1 across workloads,
+//! capacity profiles, and tree sizes.
+
+use fat_tree::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a power-of-two n in 4..=128.
+fn pow2_n() -> impl Strategy<Value = u32> {
+    (2u32..=7).prop_map(|k| 1 << k)
+}
+
+fn capacity_profile() -> impl Strategy<Value = CapacityProfile> {
+    prop_oneof![
+        (1u64..=8).prop_map(CapacityProfile::Constant),
+        Just(CapacityProfile::FullDoubling),
+        (1u64..=64).prop_map(|w| CapacityProfile::Universal {
+            root_capacity: w.max(1)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedule_is_valid_partition_and_within_bound(
+        n in pow2_n(),
+        profile in capacity_profile(),
+        seed in any::<u64>(),
+        k in 0usize..6,
+    ) {
+        let ft = FatTree::new(n, profile);
+
+        // Random message multiset from the seed: k messages per processor.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut msgs = MessageSet::new();
+        for i in 0..n {
+            for _ in 0..k {
+                msgs.push(Message::new(i, (next() % n as u64) as u32));
+            }
+        }
+
+        let lambda = load_factor(&ft, &msgs);
+        let (schedule, stats) = schedule_theorem1(&ft, &msgs);
+        prop_assert!(schedule.validate(&ft, &msgs).is_ok());
+        if !msgs.is_empty() {
+            // Lower bound d ≥ ⌈λ⌉ (0 messages ⇒ 0 cycles).
+            prop_assert!(schedule.num_cycles() as f64 >= lambda.ceil() - 1e-9);
+            // Theorem 1 upper bound.
+            prop_assert!(schedule.num_cycles() <= stats.paper_bound(&ft));
+        }
+    }
+
+    #[test]
+    fn greedy_also_valid_and_theorem1_not_catastrophically_worse(
+        n in pow2_n(),
+        seed in any::<u64>(),
+    ) {
+        let ft = FatTree::universal(n, (n as u64 / 4).max(1));
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13; state ^= state >> 7; state ^= state << 17; state
+        };
+        let msgs: MessageSet = (0..2 * n)
+            .map(|_| Message::new((next() % n as u64) as u32, (next() % n as u64) as u32))
+            .collect();
+
+        let greedy = schedule_greedy(&ft, &msgs);
+        prop_assert!(greedy.validate(&ft, &msgs).is_ok());
+        let (t1, _) = schedule_theorem1(&ft, &msgs);
+        // Both are valid schedules; Theorem 1 must stay within its bound and
+        // not exceed greedy by more than its lg n guarantee factor.
+        prop_assert!(t1.num_cycles() <= greedy.num_cycles() * 2 * (ft.height() as usize) + 2);
+    }
+
+    #[test]
+    fn permutations_on_full_doubling_need_constant_cycles(
+        n in pow2_n(),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ft = FatTree::new(n, CapacityProfile::FullDoubling);
+        let msgs = fat_tree::workloads::random_permutation(n, &mut rng);
+        let lambda = load_factor(&ft, &msgs);
+        prop_assert!(lambda <= 1.0 + 1e-9, "permutations are one-cycle sets at full bisection");
+        let (schedule, _) = schedule_theorem1(&ft, &msgs);
+        prop_assert!(schedule.validate(&ft, &msgs).is_ok());
+        // λ = 1 and per-level refinement: at most ~2 cycles per level.
+        prop_assert!(schedule.num_cycles() <= 2 * ft.height() as usize + 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! End-to-end Theorem 10 sweeps: every competitor network, several
+//! workloads, slowdown within the polylog bound.
+
+use fat_tree::networks::{
+    Butterfly, CubeConnectedCycles, FixedConnectionNetwork, Hypercube, Mesh2D, Mesh3D,
+    Torus2D, TreeMachine,
+};
+use fat_tree::universal::simulate_on_fat_tree;
+use fat_tree::workloads::{all_to_one, random_permutation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn networks() -> Vec<Box<dyn FixedConnectionNetwork>> {
+    vec![
+        Box::new(Mesh2D::new(8, 8)),
+        Box::new(Mesh3D::new(4)),
+        Box::new(Torus2D::new(8)),
+        Box::new(Hypercube::new(6)),
+        Box::new(TreeMachine::new(6)),
+        Box::new(Butterfly::new(4)),
+        Box::new(CubeConnectedCycles::new(4)),
+    ]
+}
+
+#[test]
+fn all_networks_random_permutation_within_bound() {
+    let mut rng = StdRng::seed_from_u64(2026);
+    for net in networks() {
+        let msgs = random_permutation(net.n() as u32, &mut rng);
+        let rep = simulate_on_fat_tree(net.as_ref(), &msgs, 1.0, &mut rng);
+        assert!(rep.t_network >= 1);
+        assert!(
+            rep.slowdown <= 8.0 * rep.slowdown_bound.max(1.0),
+            "{}: slowdown {} vs bound {}",
+            rep.network,
+            rep.slowdown,
+            rep.slowdown_bound
+        );
+        // Flux constants from the proof stay O(1).
+        assert!(
+            rep.flux.surface_constant <= 16.0,
+            "{}: surface constant {}",
+            rep.network,
+            rep.flux.surface_constant
+        );
+    }
+}
+
+#[test]
+fn hotspots_do_not_break_universality() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for net in networks() {
+        let msgs = all_to_one(net.n() as u32, 0);
+        let rep = simulate_on_fat_tree(net.as_ref(), &msgs, 1.0, &mut rng);
+        // Hotspots serialize on both machines; the ratio stays modest.
+        assert!(
+            rep.slowdown <= 4.0 * rep.slowdown_bound.max(1.0),
+            "{}: hotspot slowdown {} vs bound {}",
+            rep.network,
+            rep.slowdown,
+            rep.slowdown_bound
+        );
+    }
+}
+
+#[test]
+fn richer_volume_means_fewer_cycles() {
+    // The same traffic scheduled on fat-trees of growing volume: cycles
+    // must not increase (more volume ⇒ more root capacity ⇒ smaller λ).
+    use fat_tree::prelude::*;
+    let n = 128u32;
+    let mut rng = StdRng::seed_from_u64(3);
+    let msgs = fat_tree::workloads::cross_root(n, 4, &mut rng);
+    let mut prev = usize::MAX;
+    for w in [8u64, 16, 32, 64, 128] {
+        let ft = FatTree::universal(n, w);
+        let (schedule, _) = schedule_theorem1(&ft, &msgs);
+        schedule.validate(&ft, &msgs).unwrap();
+        assert!(
+            schedule.num_cycles() <= prev,
+            "more capacity should not cost cycles: w={w} gave {} after {prev}",
+            schedule.num_cycles()
+        );
+        prev = schedule.num_cycles();
+    }
+}
