@@ -1,19 +1,13 @@
-//! Criterion bench for E8: concentrator construction and routing.
+//! Bench for E8: concentrator construction and routing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ft_bench::timing::bench;
 use ft_concentrator::{max_matching, Concentrator, PartialConcentrator};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ft_core::rng::SplitMix64;
 
-fn bench_concentrator(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(3);
+fn main() {
+    let mut rng = SplitMix64::seed_from_u64(3);
     let pc = PartialConcentrator::pippenger(768, &mut rng);
     let active: Vec<usize> = (0..pc.guaranteed()).map(|i| (i * 2) % 768).collect();
-    c.bench_function("hopcroft_karp_768", |b| {
-        b.iter(|| max_matching(pc.graph(), &active))
-    });
-    c.bench_function("route_768", |b| b.iter(|| pc.route(&active)));
+    bench("hopcroft_karp_768", || max_matching(pc.graph(), &active));
+    bench("route_768", || pc.route(&active));
 }
-
-criterion_group!(benches, bench_concentrator);
-criterion_main!(benches);

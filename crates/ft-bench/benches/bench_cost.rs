@@ -1,18 +1,15 @@
-//! Criterion bench for E3/E7: hardware-cost law evaluation.
+//! Bench for E3/E7: hardware-cost law evaluation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ft_bench::timing::bench;
 use ft_core::FatTree;
 use ft_layout::cost;
 
-fn bench_cost_laws(c: &mut Criterion) {
-    c.bench_function("components_exact_n2^18", |b| {
-        b.iter(|| cost::universal_components_exact(1 << 18, 1 << 13))
+fn main() {
+    bench("components_exact_n2^18", || {
+        cost::universal_components_exact(1 << 18, 1 << 13)
     });
     let ft = FatTree::universal(1 << 14, 1 << 10);
-    c.bench_function("constructive_volume_n2^14", |b| {
-        b.iter(|| cost::constructive_volume(&ft))
+    bench("constructive_volume_n2^14", || {
+        cost::constructive_volume(&ft)
     });
 }
-
-criterion_group!(benches, bench_cost_laws);
-criterion_main!(benches);

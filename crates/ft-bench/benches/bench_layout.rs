@@ -1,37 +1,25 @@
-//! Criterion bench for E4/E5/E11: decomposition, pearls, balancing.
+//! Bench for E4/E5/E11: decomposition, pearls, balancing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ft_bench::timing::bench;
 use ft_layout::{balance_decomposition, split_necklace, DecompTree, Placement};
 
-fn bench_decomp(c: &mut Criterion) {
+fn main() {
     let p = Placement::grid3d(4096, 1.0);
-    c.bench_function("decomp_tree_grid3d_4096", |b| {
-        b.iter(|| DecompTree::build(&p, 1.0))
-    });
-}
+    bench("decomp_tree_grid3d_4096", || DecompTree::build(&p, 1.0));
 
-fn bench_pearls(c: &mut Criterion) {
     let long: Vec<bool> = (0..4096).map(|i| i % 3 == 0).collect();
     let short: Vec<bool> = (0..1024).map(|i| i % 2 == 0).collect();
-    c.bench_function("split_necklace_5120", |b| b.iter(|| split_necklace(&long, &short)));
-}
+    bench("split_necklace_5120", || split_necklace(&long, &short));
 
-fn bench_balance(c: &mut Criterion) {
     let r = 12u32;
     let occupied: Vec<bool> = (0..(1usize << r)).map(|i| i % 4 == 1).collect();
     let ws: Vec<f64> = (0..=r).map(|j| 1e6 / 4f64.powf(j as f64 / 3.0)).collect();
-    c.bench_function("balance_4096_slots", |b| {
-        b.iter(|| balance_decomposition(&occupied, &ws))
+    bench("balance_4096_slots", || {
+        balance_decomposition(&occupied, &ws)
+    });
+
+    let ft = ft_core::FatTree::universal(1 << 14, 1 << 10);
+    bench("fat_tree_layout_n2^14", || {
+        ft_layout::FatTreeLayout::build(&ft)
     });
 }
-
-fn bench_fatlayout(c: &mut Criterion) {
-    use ft_core::FatTree;
-    let ft = FatTree::universal(1 << 14, 1 << 10);
-    c.bench_function("fat_tree_layout_n2^14", |b| {
-        b.iter(|| ft_layout::FatTreeLayout::build(&ft))
-    });
-}
-
-criterion_group!(benches, bench_decomp, bench_pearls, bench_balance, bench_fatlayout);
-criterion_main!(benches);

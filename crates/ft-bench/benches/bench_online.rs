@@ -1,21 +1,17 @@
-//! Criterion bench for E10: on-line randomized routing.
+//! Bench for E10: on-line randomized routing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ft_bench::timing::bench;
+use ft_core::rng::SplitMix64;
 use ft_core::FatTree;
 use ft_sched::{route_online, OnlineConfig};
 use ft_workloads::balanced_k_relation;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn bench_online(c: &mut Criterion) {
+fn main() {
     let n = 512u32;
     let ft = FatTree::universal(n, 128);
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = SplitMix64::seed_from_u64(5);
     let msgs = balanced_k_relation(n, 8, &mut rng);
-    c.bench_function("online_512_k8", |b| {
-        b.iter(|| route_online(&ft, &msgs, &mut rng, OnlineConfig::default()))
+    bench("online_512_k8", || {
+        route_online(&ft, &msgs, &mut rng, OnlineConfig::default())
     });
 }
-
-criterion_group!(benches, bench_online);
-criterion_main!(benches);

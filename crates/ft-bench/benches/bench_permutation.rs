@@ -1,27 +1,23 @@
-//! Criterion bench for E9: permutation routing, fat-tree vs Beneš looping.
+//! Bench for E9: permutation routing, fat-tree vs Beneš looping.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ft_bench::timing::bench;
+use ft_core::rng::SplitMix64;
 use ft_core::FatTree;
 use ft_networks::benes::realize_benes;
 use ft_sched::schedule_theorem1;
 use ft_workloads::random_permutation;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn bench_permutation(c: &mut Criterion) {
+fn main() {
     let n = 1024u32;
-    let mut rng = StdRng::seed_from_u64(4);
+    let mut rng = SplitMix64::seed_from_u64(4);
     let msgs = random_permutation(n, &mut rng);
     let mut perm = vec![0usize; n as usize];
     for m in &msgs {
         perm[m.src.idx()] = m.dst.idx();
     }
-    c.bench_function("benes_looping_1024", |b| b.iter(|| realize_benes(&perm).unwrap()));
+    bench("benes_looping_1024", || realize_benes(&perm).unwrap());
     let ft = FatTree::universal(n, n as u64);
-    c.bench_function("fat_tree_perm_schedule_1024", |b| {
-        b.iter(|| schedule_theorem1(&ft, &msgs))
+    bench("fat_tree_perm_schedule_1024", || {
+        schedule_theorem1(&ft, &msgs)
     });
 }
-
-criterion_group!(benches, bench_permutation);
-criterion_main!(benches);

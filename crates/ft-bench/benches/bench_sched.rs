@@ -1,52 +1,38 @@
-//! Criterion bench for E1/E2: scheduler throughput across n and λ.
+//! Bench for E1/E2: scheduler throughput across n and λ.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_bench::timing::bench;
+use ft_core::rng::SplitMix64;
 use ft_core::{CapacityProfile, FatTree};
 use ft_sched::{schedule_bigcap, schedule_theorem1};
 use ft_workloads::balanced_k_relation;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn bench_theorem1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("theorem1");
-    let mut rng = StdRng::seed_from_u64(1);
+fn main() {
+    let mut rng = SplitMix64::seed_from_u64(1);
     for &n in &[256u32, 1024] {
         for &k in &[1u32, 8] {
             let ft = FatTree::universal(n, (n / 4) as u64);
             let msgs = balanced_k_relation(n, k, &mut rng);
-            group.bench_with_input(
-                BenchmarkId::from_parameter(format!("n{n}_k{k}")),
-                &(&ft, &msgs),
-                |b, (ft, msgs)| b.iter(|| schedule_theorem1(ft, msgs)),
-            );
+            bench(&format!("theorem1/n{n}_k{k}"), || {
+                schedule_theorem1(&ft, &msgs)
+            });
         }
     }
-    group.finish();
-}
 
-fn bench_corollary2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("corollary2");
-    let mut rng = StdRng::seed_from_u64(2);
+    let mut rng = SplitMix64::seed_from_u64(2);
     let n = 256u32;
     let cap = 4 * ft_core::lg(n as u64) as u64;
     let ft = FatTree::new(n, CapacityProfile::Constant(cap));
     let msgs = balanced_k_relation(n, 16, &mut rng);
-    group.bench_function("n256_k16_a4", |b| {
-        b.iter(|| schedule_bigcap(&ft, &msgs).unwrap())
+    bench("corollary2/n256_k16_a4", || {
+        schedule_bigcap(&ft, &msgs).unwrap()
     });
-    group.finish();
-}
 
-fn bench_compress(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = SplitMix64::seed_from_u64(3);
     let n = 512u32;
     let ft = FatTree::universal(n, 64);
     let msgs = balanced_k_relation(n, 8, &mut rng);
     let (schedule, _) = schedule_theorem1(&ft, &msgs);
-    c.bench_function("compress_512_k8", |b| {
-        b.iter(|| ft_sched::compress_schedule(&ft, schedule.clone()))
+    bench("compress_512_k8", || {
+        ft_sched::compress_schedule(&ft, schedule.clone())
     });
 }
-
-criterion_group!(benches, bench_theorem1, bench_corollary2, bench_compress);
-criterion_main!(benches);

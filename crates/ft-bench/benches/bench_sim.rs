@@ -1,24 +1,27 @@
-//! Criterion bench for E12/A3: the bit-serial delivery-cycle machine.
+//! Bench for E12/A3: the bit-serial delivery-cycle machine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ft_bench::timing::bench;
+use ft_core::rng::SplitMix64;
 use ft_core::FatTree;
 use ft_sim::{simulate_cycle, SimConfig, SwitchKind};
 use ft_workloads::random_permutation;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn bench_sim(c: &mut Criterion) {
+fn main() {
     let n = 1024u32;
     let ft = FatTree::universal(n, 256);
-    let mut rng = StdRng::seed_from_u64(6);
+    let mut rng = SplitMix64::seed_from_u64(6);
     let msgs = random_permutation(n, &mut rng).into_vec();
-    for (name, switch) in [("ideal", SwitchKind::Ideal), ("partial", SwitchKind::Partial)] {
-        let cfg = SimConfig { payload_bits: 64, switch, ..Default::default() };
-        c.bench_function(&format!("cycle_1024_{name}"), |b| {
-            b.iter(|| simulate_cycle(&ft, &msgs, &cfg))
+    for (name, switch) in [
+        ("ideal", SwitchKind::Ideal),
+        ("partial", SwitchKind::Partial),
+    ] {
+        let cfg = SimConfig {
+            payload_bits: 64,
+            switch,
+            ..Default::default()
+        };
+        bench(&format!("cycle_1024_{name}"), || {
+            simulate_cycle(&ft, &msgs, &cfg)
         });
     }
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

@@ -1,36 +1,26 @@
-//! Criterion bench for E6: the full Theorem 10 pipeline.
+//! Bench for E6: the full Theorem 10 pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ft_bench::timing::bench;
+use ft_core::rng::SplitMix64;
 use ft_networks::Mesh3D;
 use ft_universal::{simulate_on_fat_tree, Identification};
 use ft_workloads::random_permutation;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn bench_identification(c: &mut Criterion) {
+fn main() {
     let net = Mesh3D::new(8); // 512 processors
-    c.bench_function("identification_mesh3d_512", |b| {
-        b.iter(|| Identification::build(&net, 1.0))
+    bench("identification_mesh3d_512", || {
+        Identification::build(&net, 1.0)
     });
-}
 
-fn bench_pipeline(c: &mut Criterion) {
     let net = Mesh3D::new(6);
-    c.bench_function("theorem10_pipeline_mesh3d_216", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(7);
-            let msgs = random_permutation(216, &mut rng);
-            simulate_on_fat_tree(&net, &msgs, 1.0, &mut rng)
-        })
+    bench("theorem10_pipeline_mesh3d_216", || {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        let msgs = random_permutation(216, &mut rng);
+        simulate_on_fat_tree(&net, &msgs, 1.0, &mut rng)
     });
-}
 
-fn bench_emulation(c: &mut Criterion) {
     let net = Mesh3D::new(4);
-    c.bench_function("emulation_build_mesh3d_64", |b| {
-        b.iter(|| ft_universal::Emulation::build(&net, 1.0))
+    bench("emulation_build_mesh3d_64", || {
+        ft_universal::Emulation::build(&net, 1.0)
     });
 }
-
-criterion_group!(benches, bench_identification, bench_pipeline, bench_emulation);
-criterion_main!(benches);

@@ -1,0 +1,270 @@
+//! `ft-perf` — the engine performance harness.
+//!
+//! Times the hot paths of the workspace — `simulate_cycle`,
+//! `run_to_completion`, `schedule_theorem1`, and `compile_cycle` — on
+//! universal fat-trees at n ∈ {2¹⁰, 2¹⁴, 2¹⁷} across three workload
+//! families (random permutation, hot spot, random k-relation), and pits the
+//! flat-array engine against the retained HashMap reference at the sizes
+//! where the reference is still tolerable (2¹⁰ and 2¹⁴).
+//!
+//! Results are written as hand-rolled JSON to `BENCH_engine.json` in the
+//! current directory (schema documented in EXPERIMENTS.md). Run with
+//! `--smoke` for a seconds-long sanity pass on tiny trees that writes no
+//! file — `scripts/check.sh` uses it as a smoke test.
+//!
+//! ```text
+//! cargo run --release -p ft-bench --bin ft-perf
+//! cargo run --release -p ft-bench --bin ft-perf -- --smoke
+//! ```
+
+use ft_bench::timing::{bench_duel, bench_with_budget, Measurement};
+use ft_core::rng::SplitMix64;
+use ft_core::{FatTree, Message, MessageSet};
+use ft_sched::reference::schedule_theorem1_reference;
+use ft_sched::schedule_theorem1;
+use ft_sim::reference::{run_to_completion_reference, simulate_cycle_reference};
+use ft_sim::{compile_cycle, run_to_completion, SimArena, SimConfig};
+use std::time::Duration;
+
+/// One benchmark result row, ready for JSON.
+struct Row {
+    op: &'static str,
+    engine: &'static str,
+    n: u32,
+    workload: &'static str,
+    median_ns: u128,
+    iters: u64,
+}
+
+/// A measured reference/flat pair on identical inputs.
+struct Speedup {
+    op: &'static str,
+    n: u32,
+    workload: &'static str,
+    speedup: f64,
+}
+
+fn workload(kind: &str, n: u32, seed: u64) -> Vec<Message> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    match kind {
+        "permutation" => {
+            let mut dst: Vec<u32> = (0..n).collect();
+            rng.shuffle(&mut dst);
+            (0..n).map(|i| Message::new(i, dst[i as usize])).collect()
+        }
+        "hotspot" => {
+            let hot = rng.gen_range(0..n);
+            (0..n).map(|i| Message::new(i, hot)).collect()
+        }
+        "random2" => (0..2 * n)
+            .map(|_| Message::new(rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect(),
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// A universal fat-tree with root capacity n/4 (λ stays small for
+/// permutations, so run-to-completion terminates in a handful of cycles).
+fn tree(n: u32) -> FatTree {
+    FatTree::universal(n, (n / 4).max(1) as u64)
+}
+
+struct Harness {
+    budget: Duration,
+    rows: Vec<Row>,
+    speedups: Vec<Speedup>,
+}
+
+impl Harness {
+    fn push(
+        &mut self,
+        op: &'static str,
+        engine: &'static str,
+        n: u32,
+        wl: &'static str,
+        m: &Measurement,
+    ) {
+        self.rows.push(Row {
+            op,
+            engine,
+            n,
+            workload: wl,
+            median_ns: m.median.as_nanos(),
+            iters: m.iters,
+        });
+    }
+
+    /// Bench `flat` (and optionally `reference`) on the same input; record a
+    /// speedup row when both ran. The pair is measured with interleaved
+    /// batches ([`bench_duel`]) so machine noise cancels in the ratio.
+    fn duel<T, U>(
+        &mut self,
+        op: &'static str,
+        n: u32,
+        wl: &'static str,
+        with_reference: bool,
+        mut flat: impl FnMut() -> T,
+        mut reference: impl FnMut() -> U,
+    ) {
+        let name = format!("{op}/flat/n={n}/{wl}");
+        if !with_reference {
+            let f = bench_with_budget(&name, self.budget, &mut flat);
+            self.push(op, "flat", n, wl, &f);
+            return;
+        }
+        let ref_name = format!("{op}/reference/n={n}/{wl}");
+        // Both sides share the budget, so give the pair twice the solo one.
+        let d = bench_duel(&name, &ref_name, 2 * self.budget, &mut flat, &mut reference);
+        self.push(op, "flat", n, wl, &d.a);
+        self.push(op, "reference", n, wl, &d.b);
+        self.speedups.push(Speedup {
+            op,
+            n,
+            workload: wl,
+            speedup: d.ratio,
+        });
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sizes, budget): (&[u32], Duration) = if smoke {
+        (&[256], Duration::from_millis(30))
+    } else {
+        (&[1 << 10, 1 << 14, 1 << 17], Duration::from_millis(400))
+    };
+    let mut h = Harness {
+        budget,
+        rows: Vec::new(),
+        speedups: Vec::new(),
+    };
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    for &n in sizes {
+        let ft = tree(n);
+        let cfg = SimConfig::default();
+        // The reference engine is O(n) hash-map traffic per level; keep it
+        // off the largest size so a full run stays minutes, not hours.
+        let with_reference = smoke || n <= 1 << 14;
+
+        for wl in ["permutation", "hotspot", "random2"] {
+            let msgs = workload(wl, n, 0xC0FFEE ^ n as u64);
+
+            // --- simulate_cycle: one delivery cycle, arena reused.
+            let mut arena = SimArena::new(&ft, &cfg);
+            h.duel(
+                "simulate_cycle",
+                n,
+                wl,
+                with_reference,
+                || arena.cycle(&ft, &msgs, &cfg).delivered,
+                || simulate_cycle_reference(&ft, &msgs, &cfg).delivered.len(),
+            );
+
+            // --- simulate_cycle with parallel subtree arbitration.
+            if threads > 1 {
+                let mt = SimConfig { threads, ..cfg };
+                let mut arena = SimArena::new(&ft, &mt);
+                let name = format!("simulate_cycle/flat-mt{threads}/n={n}/{wl}");
+                let m = bench_with_budget(&name, h.budget, &mut || {
+                    arena.cycle(&ft, &msgs, &mt).delivered
+                });
+                h.push("simulate_cycle", "flat-mt", n, wl, &m);
+            }
+        }
+
+        // --- run_to_completion: retries until drained. Hot spots serialize
+        // into n−1 cycles, which is quadratic work — permutations and
+        // 2-relations are the meaningful closed-loop workloads.
+        for wl in ["permutation", "random2"] {
+            let msgs: MessageSet = workload(wl, n, 0xBEEF ^ n as u64).into_iter().collect();
+            h.duel(
+                "run_to_completion",
+                n,
+                wl,
+                with_reference,
+                || run_to_completion(&ft, &msgs, &cfg).cycles,
+                || run_to_completion_reference(&ft, &msgs, &cfg).cycles,
+            );
+        }
+
+        // --- schedule_theorem1: the off-line scheduler.
+        for wl in ["permutation", "random2"] {
+            let msgs: MessageSet = workload(wl, n, 0x5EED ^ n as u64).into_iter().collect();
+            h.duel(
+                "schedule_theorem1",
+                n,
+                wl,
+                with_reference,
+                || schedule_theorem1(&ft, &msgs).1.total_cycles,
+                || schedule_theorem1_reference(&ft, &msgs).1.total_cycles,
+            );
+        }
+
+        // --- compile_cycle: one-cycle wire assignment (no reference twin;
+        // a permutation on this tree has λ ≤ 1 by construction... almost:
+        // compile_cycle rejects overloads, so count len 0 for those).
+        let perm = workload("permutation", n, 0xAB1E ^ n as u64);
+        let name = format!("compile_cycle/flat/n={n}/permutation");
+        let m = bench_with_budget(&name, h.budget, &mut || {
+            compile_cycle(&ft, &perm).map(|c| c.len()).unwrap_or(0)
+        });
+        h.push("compile_cycle", "flat", n, "permutation", &m);
+    }
+
+    // --- Report.
+    println!();
+    for s in &h.speedups {
+        println!(
+            "speedup {:>18} n={:<7} {:<12} {:6.2}x",
+            s.op, s.n, s.workload, s.speedup
+        );
+    }
+    let gate = h.speedups.iter().find(|s| {
+        s.op == "simulate_cycle" && s.workload == "permutation" && (smoke || s.n == 1 << 14)
+    });
+    if let Some(g) = gate {
+        println!(
+            "\nacceptance: simulate_cycle n={} permutation speedup = {:.2}x (target >= 5x)",
+            g.n, g.speedup
+        );
+        if !smoke {
+            assert!(
+                g.speedup >= 5.0,
+                "speedup gate failed: {:.2}x < 5x",
+                g.speedup
+            );
+        }
+    }
+
+    if smoke {
+        println!("\nsmoke pass complete; no file written");
+        return;
+    }
+    let json = to_json(&h);
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("\nwrote BENCH_engine.json ({} results)", h.rows.len());
+}
+
+/// Hand-rolled JSON (the workspace has no serde): schema in EXPERIMENTS.md.
+fn to_json(h: &Harness) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str("{\n  \"schema\": \"ft-perf/v1\",\n  \"results\": [\n");
+    for (i, r) in h.rows.iter().enumerate() {
+        let sep = if i + 1 < h.rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"op\": \"{}\", \"engine\": \"{}\", \"n\": {}, \"workload\": \"{}\", \"median_ns\": {}, \"iters\": {}}}{sep}\n",
+            r.op, r.engine, r.n, r.workload, r.median_ns, r.iters
+        ));
+    }
+    out.push_str("  ],\n  \"speedups\": [\n");
+    for (i, s) in h.speedups.iter().enumerate() {
+        let sep = if i + 1 < h.speedups.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"op\": \"{}\", \"n\": {}, \"workload\": \"{}\", \"speedup\": {:.3}}}{sep}\n",
+            s.op, s.n, s.workload, s.speedup
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -13,21 +13,44 @@ pub fn run() -> Vec<Table> {
     let n = 1024u32;
     let w23 = (n as f64).powf(2.0 / 3.0).ceil() as u64; // ≈ 102
     let profiles: Vec<(String, FatTree)> = vec![
-        ("constant 4 (skinny)".into(), FatTree::new(n, CapacityProfile::Constant(4))),
-        (format!("universal w = n^(2/3) = {w23}"), FatTree::universal(n, w23)),
-        ("universal w = n/4".into(), FatTree::universal(n, (n / 4) as u64)),
-        ("full doubling (w = n)".into(), FatTree::new(n, CapacityProfile::FullDoubling)),
+        (
+            "constant 4 (skinny)".into(),
+            FatTree::new(n, CapacityProfile::Constant(4)),
+        ),
+        (
+            format!("universal w = n^(2/3) = {w23}"),
+            FatTree::universal(n, w23),
+        ),
+        (
+            "universal w = n/4".into(),
+            FatTree::universal(n, (n / 4) as u64),
+        ),
+        (
+            "full doubling (w = n)".into(),
+            FatTree::new(n, CapacityProfile::FullDoubling),
+        ),
     ];
     let workloads: Vec<(&str, ft_core::MessageSet)> = vec![
         ("local (p_far = 0.2)", local_traffic(n, 2, 0.2, &mut rng)),
         ("random permutation", random_permutation(n, &mut rng)),
         ("bit complement", bit_complement(n)),
-        ("FEM sweep (Morton)", FemGrid::with_n(n).sweep_messages_morton()),
+        (
+            "FEM sweep (Morton)",
+            FemGrid::with_n(n).sweep_messages_morton(),
+        ),
     ];
 
     let mut t = Table::new(
         format!("A1 — capacity-profile ablation (n = {n}): delivery cycles per workload"),
-        &["profile", "total wires", "volume law", "local", "perm", "complement", "FEM"],
+        &[
+            "profile",
+            "total wires",
+            "volume law",
+            "local",
+            "perm",
+            "complement",
+            "FEM",
+        ],
     );
     for (name, ft) in &profiles {
         let mut cells = vec![

@@ -12,12 +12,23 @@ pub fn run() -> Vec<Table> {
     let mut rng = super::rng();
     let mut t = Table::new(
         "A2 — scheduler ablation: Theorem 1 (matching+tracing) vs greedy first-fit",
-        &["n", "workload", "⌈λ⌉", "d thm1", "d greedy", "thm1 ms", "greedy ms"],
+        &[
+            "n",
+            "workload",
+            "⌈λ⌉",
+            "d thm1",
+            "d greedy",
+            "thm1 ms",
+            "greedy ms",
+        ],
     );
     for &n in &[256u32, 1024] {
         let ft = FatTree::universal(n, (n / 8).max(4) as u64);
         let cases: Vec<(String, ft_core::MessageSet)> = vec![
-            ("balanced 8-relation".into(), balanced_k_relation(n, 8, &mut rng)),
+            (
+                "balanced 8-relation".into(),
+                balanced_k_relation(n, 8, &mut rng),
+            ),
             ("cross-root ×4".into(), cross_root(n, 4, &mut rng)),
         ];
         for (name, msgs) in cases {

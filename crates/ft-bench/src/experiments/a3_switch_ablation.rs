@@ -14,7 +14,15 @@ pub fn run() -> Vec<Table> {
     let ft = FatTree::universal(n, 64);
     let mut t = Table::new(
         format!("A3 — switch ablation on the bit-serial machine (n = {n}, w = 64)"),
-        &["workload", "cycles ideal", "cycles partial", "cycles random-arb", "penalty", "ticks ideal", "ticks partial"],
+        &[
+            "workload",
+            "cycles ideal",
+            "cycles partial",
+            "cycles random-arb",
+            "penalty",
+            "ticks ideal",
+            "ticks partial",
+        ],
     );
     let cases: Vec<(&str, ft_core::MessageSet)> = vec![
         ("random permutation", random_permutation(n, &mut rng)),
@@ -22,8 +30,24 @@ pub fn run() -> Vec<Table> {
         ("balanced 4-relation", balanced_k_relation(n, 4, &mut rng)),
     ];
     for (name, msgs) in cases {
-        let ideal = run_to_completion(&ft, &msgs, &SimConfig { payload_bits: 64, switch: SwitchKind::Ideal, ..Default::default() });
-        let partial = run_to_completion(&ft, &msgs, &SimConfig { payload_bits: 64, switch: SwitchKind::Partial, ..Default::default() });
+        let ideal = run_to_completion(
+            &ft,
+            &msgs,
+            &SimConfig {
+                payload_bits: 64,
+                switch: SwitchKind::Ideal,
+                ..Default::default()
+            },
+        );
+        let partial = run_to_completion(
+            &ft,
+            &msgs,
+            &SimConfig {
+                payload_bits: 64,
+                switch: SwitchKind::Partial,
+                ..Default::default()
+            },
+        );
         let random = run_to_completion(
             &ft,
             &msgs,

@@ -11,13 +11,27 @@ pub fn run() -> Vec<Table> {
     let mut rng = super::rng();
     let mut t = Table::new(
         "A4 — schedule compression: Theorem 1 output vs greedily merged cycles",
-        &["n", "workload", "lower bound", "d thm1", "d compressed", "gain", "gap to LB"],
+        &[
+            "n",
+            "workload",
+            "lower bound",
+            "d thm1",
+            "d compressed",
+            "gain",
+            "gap to LB",
+        ],
     );
     for &n in &[256u32, 1024] {
         let ft = FatTree::universal(n, (n / 4) as u64);
         let cases: Vec<(String, ft_core::MessageSet)> = vec![
-            ("balanced 8-relation".into(), balanced_k_relation(n, 8, &mut rng)),
-            ("local traffic k=4".into(), local_traffic(n, 4, 0.3, &mut rng)),
+            (
+                "balanced 8-relation".into(),
+                balanced_k_relation(n, 8, &mut rng),
+            ),
+            (
+                "local traffic k=4".into(),
+                local_traffic(n, 4, 0.3, &mut rng),
+            ),
             ("total exchange".into(), total_exchange(n.min(128))),
         ];
         for (name, msgs) in cases {
@@ -38,7 +52,10 @@ pub fn run() -> Vec<Table> {
                 lb.to_string(),
                 before.to_string(),
                 compressed.num_cycles().to_string(),
-                format!("{:.0}%", 100.0 * (1.0 - compressed.num_cycles() as f64 / before as f64)),
+                format!(
+                    "{:.0}%",
+                    100.0 * (1.0 - compressed.num_cycles() as f64 / before as f64)
+                ),
                 f(compressed.num_cycles() as f64 / lb as f64),
             ]);
         }

@@ -12,7 +12,16 @@ pub fn run() -> Vec<Table> {
     let mut rng = super::rng();
     let mut t = Table::new(
         "E10 — on-line randomized routing: cycles over 20 seeds (universal tree, w = n/4)",
-        &["n", "k", "λ(M)", "cycles min", "median", "max", "λ+lgn·lglgn", "max/shape"],
+        &[
+            "n",
+            "k",
+            "λ(M)",
+            "cycles min",
+            "median",
+            "max",
+            "λ+lgn·lglgn",
+            "max/shape",
+        ],
     );
     for &n in &[64u32, 256, 1024] {
         let ft = FatTree::universal(n, (n / 4) as u64);
@@ -20,9 +29,7 @@ pub fn run() -> Vec<Table> {
             let msgs = balanced_k_relation(n, k, &mut rng);
             let lambda = load_factor(&ft, &msgs);
             let mut cycles: Vec<usize> = (0..20)
-                .map(|_| {
-                    route_online(&ft, &msgs, &mut rng, OnlineConfig::default()).cycles
-                })
+                .map(|_| route_online(&ft, &msgs, &mut rng, OnlineConfig::default()).cycles)
                 .collect();
             cycles.sort_unstable();
             let shape = online_bound_shape(&ft, lambda);

@@ -33,7 +33,12 @@ pub fn run() -> Vec<Table> {
     // Where the node sizes come from in a real universal fat-tree.
     let mut sizes = Table::new(
         "E11b — node sizes along a universal fat-tree (n = 4096, w = 512)",
-        &["level", "incident wires m_k", "components ≈ 19·m_k", "min box volume"],
+        &[
+            "level",
+            "incident wires m_k",
+            "components ≈ 19·m_k",
+            "min box volume",
+        ],
     );
     let ft = FatTree::universal(4096, 512);
     for k in [0u32, 2, 4, 6, 8, 10] {

@@ -12,13 +12,24 @@ pub fn run() -> Vec<Table> {
     let payload = 64u32;
     let mut t = Table::new(
         format!("E12 — bit-serial cycle time (payload = {payload} bits, ideal switches)"),
-        &["n", "lg n", "cycle ticks", "2(2lgn−1)+payload", "delivered", "peak util"],
+        &[
+            "n",
+            "lg n",
+            "cycle ticks",
+            "2(2lgn−1)+payload",
+            "delivered",
+            "peak util",
+        ],
     );
     for &lgn in &[4u32, 6, 8, 10] {
         let n = 1u32 << lgn;
         let ft = FatTree::new(n, ft_core::CapacityProfile::FullDoubling);
         let msgs: Vec<Message> = random_permutation(n, &mut rng).into_vec();
-        let cfg = SimConfig { payload_bits: payload, switch: SwitchKind::Ideal, ..Default::default() };
+        let cfg = SimConfig {
+            payload_bits: payload,
+            switch: SwitchKind::Ideal,
+            ..Default::default()
+        };
         let rep = simulate_cycle(&ft, &msgs, &cfg);
         let util = ChannelUtilization::of_cycle(&ft, &rep.channel_use);
         t.row(vec![

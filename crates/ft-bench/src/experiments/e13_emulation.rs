@@ -44,7 +44,11 @@ pub fn run() -> Vec<Table> {
             f(net.volume()),
             em.root_capacity.to_string(),
             f(em.edge_load_factor),
-            if compiled.is_ok() { "✓".into() } else { "✗".into() },
+            if compiled.is_ok() {
+                "✓".into()
+            } else {
+                "✗".into()
+            },
             em.emulation_time(1).to_string(),
         ]);
     }

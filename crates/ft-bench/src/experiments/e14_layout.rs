@@ -61,7 +61,10 @@ mod tests {
                 .collect();
             let max = ratios.iter().cloned().fold(0.0f64, f64::max);
             let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
-            assert!(max / min < 50.0, "ratio band too wide for selection {sel}: {ratios:?}");
+            assert!(
+                max / min < 50.0,
+                "ratio band too wide for selection {sel}: {ratios:?}"
+            );
         }
     }
 }

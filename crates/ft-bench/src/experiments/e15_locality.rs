@@ -44,7 +44,10 @@ pub fn run() -> Vec<Table> {
             f(lambda),
             schedule.num_cycles().to_string(),
             format!("{:.1}%", 100.0 * util.per_level[1]),
-            format!("{:.1}%", 100.0 * util.per_level[8.min(util.per_level.len() - 1)]),
+            format!(
+                "{:.1}%",
+                100.0 * util.per_level[8.min(util.per_level.len() - 1)]
+            ),
         ]);
     }
     t.note("Local traffic barely touches the trunk channels near the root while the");
@@ -64,9 +67,15 @@ mod tests {
             .map(|r| r[1].trim_end_matches('%').parse().unwrap())
             .collect();
         for w in cross.windows(2) {
-            assert!(w[0] <= w[1] + 5.0, "crossing fraction should rise with p_far: {cross:?}");
+            assert!(
+                w[0] <= w[1] + 5.0,
+                "crossing fraction should rise with p_far: {cross:?}"
+            );
         }
         // Local traffic leaves trunks nearly idle.
-        assert!(cross[0] < 10.0, "p_far = 0.05 should rarely cross the root: {cross:?}");
+        assert!(
+            cross[0] < 10.0,
+            "p_far = 0.05 should rarely cross the root: {cross:?}"
+        );
     }
 }

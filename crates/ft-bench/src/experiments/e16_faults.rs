@@ -29,8 +29,14 @@ pub fn run() -> Vec<Table> {
     let healthy_perm = run_to_completion(&ft, &perm, &SimConfig::default()).cycles;
     let healthy_krel = run_to_completion(&ft, &krel, &SimConfig::default()).cycles;
     for &p in &[0.0f64, 0.05, 0.1, 0.2, 0.4] {
-        let fm = FaultModel { dead_wire_fraction: p, seed: 0xE16 };
-        let cfg = SimConfig { faults: fm, ..Default::default() };
+        let fm = FaultModel {
+            dead_wire_fraction: p,
+            seed: 0xE16,
+        };
+        let cfg = SimConfig {
+            faults: fm,
+            ..Default::default()
+        };
         let cp = run_to_completion(&ft, &perm, &cfg).cycles;
         let ck = run_to_completion(&ft, &krel, &cfg).cycles;
         t.row(vec![

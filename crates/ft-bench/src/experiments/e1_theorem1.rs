@@ -17,12 +17,17 @@ pub fn run() -> Vec<Table> {
     );
     for &n in &[64u32, 256, 1024] {
         let ft = FatTree::universal(n, (n / 4) as u64);
-        let mut cases: Vec<(String, ft_core::MessageSet)> = vec![
-            ("complement".into(), bit_complement(n)),
-        ];
+        let mut cases: Vec<(String, ft_core::MessageSet)> =
+            vec![("complement".into(), bit_complement(n))];
         for &k in &[1u32, 4, 16] {
-            cases.push((format!("random {k}-relation"), random_k_relation(n, k, &mut rng)));
-            cases.push((format!("balanced {k}-relation"), balanced_k_relation(n, k, &mut rng)));
+            cases.push((
+                format!("random {k}-relation"),
+                random_k_relation(n, k, &mut rng),
+            ));
+            cases.push((
+                format!("balanced {k}-relation"),
+                balanced_k_relation(n, k, &mut rng),
+            ));
         }
         for (name, msgs) in cases {
             let lambda = load_factor(&ft, &msgs);

@@ -13,7 +13,15 @@ pub fn run() -> Vec<Table> {
     let lgn = lg(n as u64) as u64;
     let mut t = Table::new(
         format!("E2 — Corollary 2: constant-capacity trees, cap = a·lg n (n = {n}, lg n = {lgn})"),
-        &["a", "k", "λ(M)", "λ′(M)", "d measured", "2(a/(a−1))·λ", "d/λ"],
+        &[
+            "a",
+            "k",
+            "λ(M)",
+            "λ′(M)",
+            "d measured",
+            "2(a/(a−1))·λ",
+            "d/λ",
+        ],
     );
     for &a in &[2u64, 3, 4, 8] {
         let ft = FatTree::new(n, CapacityProfile::Constant(a * lgn));

@@ -59,7 +59,13 @@ pub fn run() -> Vec<Table> {
     // Theorem 4: volume scaling.
     let mut vol = Table::new(
         "E3c — Theorem 4: volume = Θ((w·lg(n/w))^(3/2)) and the volume→capacity inverse",
-        &["n", "w", "volume law", "constructive vol", "w(volume law) recovered"],
+        &[
+            "n",
+            "w",
+            "volume law",
+            "constructive vol",
+            "w(volume law) recovered",
+        ],
     );
     for &lgn in &[10u32, 12, 14] {
         let n = 1u64 << lgn;

@@ -33,7 +33,10 @@ pub fn run() -> Vec<Table> {
     let mut rng = super::rng();
     for (name, p) in [
         ("2-D slab 32×32×1", Placement::grid2d(1024, 1.0)),
-        ("random cube", Placement::random_in_cube(1000, 10.0, &mut rng)),
+        (
+            "random cube",
+            Placement::random_in_cube(1000, 10.0, &mut rng),
+        ),
     ] {
         let tree = DecompTree::build(&p, 1.0);
         t.row(vec![

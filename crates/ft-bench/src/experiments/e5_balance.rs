@@ -3,7 +3,6 @@
 
 use crate::tables::{f, Table};
 use ft_layout::{balance_decomposition, split_necklace};
-use rand::Rng;
 
 /// Run E5.
 pub fn run() -> Vec<Table> {
@@ -13,7 +12,12 @@ pub fn run() -> Vec<Table> {
     // necklaces (Fig. 4 made quantitative).
     let mut pearls = Table::new(
         "E5a — Lemma 6 (Fig. 4): pearl splits over 1000 random two-string necklaces",
-        &["pearls N", "splits exact in blacks", "max arcs per side", "mean arcs per side"],
+        &[
+            "pearls N",
+            "splits exact in blacks",
+            "max arcs per side",
+            "mean arcs per side",
+        ],
     );
     for &n in &[16usize, 64, 256] {
         let mut exact = 0usize;
@@ -26,7 +30,8 @@ pub fn run() -> Vec<Table> {
             let short: Vec<bool> = (0..cut.min(n - cut)).map(|_| rng.gen_bool(0.5)).collect();
             let b: usize = long.iter().chain(&short).filter(|&&x| x).count();
             let split = split_necklace(&long, &short);
-            if split.blacks_a(&long, &short) == b / 2 || split.blacks_a(&long, &short) == b.div_ceil(2)
+            if split.blacks_a(&long, &short) == b / 2
+                || split.blacks_a(&long, &short) == b.div_ceil(2)
             {
                 exact += 1;
             }

@@ -1,20 +1,19 @@
 //! E6 — Theorem 10: simulate equal-volume competitor networks on the
 //! universal fat-tree; slowdown must stay within O(lg³ n).
 //!
-//! The sweep over networks runs in parallel (crossbeam scoped threads),
-//! collecting rows under a parking_lot mutex — the experiment harness's
+//! The sweep over networks runs in parallel (std scoped threads),
+//! collecting rows under a mutex — the experiment harness's
 //! only concurrency, exercised here because this is the slowest table.
 
 use crate::tables::{f, Table};
+use ft_core::rng::SplitMix64;
 use ft_networks::{
     Butterfly, CubeConnectedCycles, FixedConnectionNetwork, Hypercube, Mesh2D, Mesh3D, Ring,
     ShuffleExchange, Torus2D, TreeMachine,
 };
 use ft_universal::simulate_on_fat_tree;
 use ft_workloads::{cross_root, random_permutation};
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::sync::Mutex;
 
 fn fleet(scale: u32) -> Vec<Box<dyn FixedConnectionNetwork + Send + Sync>> {
     // scale 0: ~64 procs; scale 1: ~256; scale 2: ~1024.
@@ -41,26 +40,32 @@ fn fleet(scale: u32) -> Vec<Box<dyn FixedConnectionNetwork + Send + Sync>> {
 /// Run E6.
 pub fn run() -> Vec<Table> {
     let mut out = Vec::new();
-    for (workload_name, make_msgs) in [
-        ("random permutation", 0u8),
-        ("cross-root 2-relation", 1u8),
-    ] {
+    for (workload_name, make_msgs) in [("random permutation", 0u8), ("cross-root 2-relation", 1u8)]
+    {
         let mut t = Table::new(
             format!("E6 — Theorem 10: equal-volume simulation, workload = {workload_name}"),
             &[
-                "network R", "n", "volume", "w(v)", "t_R", "λ(M)", "d", "slowdown",
-                "lg³n bound", "ok",
+                "network R",
+                "n",
+                "volume",
+                "w(v)",
+                "t_R",
+                "λ(M)",
+                "d",
+                "slowdown",
+                "lg³n bound",
+                "ok",
             ],
         );
         let rows = Mutex::new(Vec::new());
         for scale in 0..3u32 {
             let nets = fleet(scale);
-            crossbeam::scope(|s| {
+            std::thread::scope(|s| {
                 for (i, net) in nets.iter().enumerate() {
                     let rows = &rows;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut rng =
-                            StdRng::seed_from_u64(0xE6 ^ (scale as u64) << 8 ^ i as u64);
+                            SplitMix64::seed_from_u64(0xE6 ^ (scale as u64) << 8 ^ i as u64);
                         let n = net.n() as u32;
                         let msgs = if make_msgs == 0 {
                             random_permutation(n, &mut rng)
@@ -69,7 +74,7 @@ pub fn run() -> Vec<Table> {
                         };
                         let rep = simulate_on_fat_tree(net.as_ref(), &msgs, 1.0, &mut rng);
                         let ok = rep.slowdown <= 8.0 * rep.slowdown_bound.max(1.0);
-                        rows.lock().push((
+                        rows.lock().unwrap().push((
                             (scale, i),
                             vec![
                                 rep.network.clone(),
@@ -86,10 +91,9 @@ pub fn run() -> Vec<Table> {
                         ));
                     });
                 }
-            })
-            .expect("scoped threads");
+            });
         }
-        let mut collected = rows.into_inner();
+        let mut collected = rows.into_inner().expect("no poisoned rows");
         collected.sort_by_key(|(k, _)| *k);
         for (_, row) in collected {
             t.row(row);

@@ -11,7 +11,14 @@ use ft_workloads::FemGrid;
 pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E7 — planar FEM sweeps: hardware volume vs delivery cycles (Morton order)",
-        &["n", "w", "volume law", "λ(M)", "cycles d", "vol/hypercube-vol"],
+        &[
+            "n",
+            "w",
+            "volume law",
+            "λ(M)",
+            "cycles d",
+            "vol/hypercube-vol",
+        ],
     );
     for &n in &[256u32, 1024, 4096] {
         let g = FemGrid::with_n(n);
@@ -54,7 +61,10 @@ mod tests {
         for chunk in t[0].rows.chunks(3) {
             let d_min: f64 = chunk[0][4].parse().unwrap();
             let d_max: f64 = chunk[2][4].parse().unwrap();
-            assert!(d_min <= 2.5 * d_max + 2.0, "cheap tree far worse: {chunk:?}");
+            assert!(
+                d_min <= 2.5 * d_max + 2.0,
+                "cheap tree far worse: {chunk:?}"
+            );
         }
     }
 }

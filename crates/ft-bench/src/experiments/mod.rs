@@ -21,10 +21,9 @@ pub mod e7_finite_element;
 pub mod e8_concentrators;
 pub mod e9_permutation;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ft_core::rng::SplitMix64;
 
 /// The deterministic RNG every experiment uses (reproducible tables).
-pub fn rng() -> StdRng {
-    StdRng::seed_from_u64(0x1985_0C70)
+pub fn rng() -> SplitMix64 {
+    SplitMix64::seed_from_u64(0x1985_0C70)
 }

@@ -21,13 +21,14 @@
 
 pub mod experiments;
 pub mod tables;
+pub mod timing;
 
 pub use tables::Table;
 
 /// All experiment ids, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-    "e14", "e15", "e16", "a1", "a2", "a3", "a4",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "a1", "a2", "a3", "a4",
 ];
 
 /// Run one experiment by id.

@@ -6,8 +6,7 @@
 //! stubs per output are matched by a random permutation, then parallel edges
 //! are collapsed (they never help a matching).
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use ft_core::rng::SplitMix64;
 
 /// A bipartite graph from `r` inputs to `s` outputs, adjacency per input.
 #[derive(Clone, Debug)]
@@ -28,21 +27,34 @@ impl BipartiteGraph {
                 assert!((o as usize) < s, "output index {o} out of range (s = {s})");
             }
         }
-        BipartiteGraph { r: adj.len(), s, adj }
+        BipartiteGraph {
+            r: adj.len(),
+            s,
+            adj,
+        }
     }
 
     /// Random configuration-model graph: `din` stubs per input, `dout` stubs
     /// per output, requiring `r·din ≤ s·dout`. Parallel edges are collapsed,
     /// so input degrees are ≤ `din` and output degrees ≤ `dout`.
-    pub fn random_regular<R: Rng>(r: usize, s: usize, din: usize, dout: usize, rng: &mut R) -> Self {
-        assert!(r * din <= s * dout, "not enough output stubs: {r}×{din} > {s}×{dout}");
+    pub fn random_regular(
+        r: usize,
+        s: usize,
+        din: usize,
+        dout: usize,
+        rng: &mut SplitMix64,
+    ) -> Self {
+        assert!(
+            r * din <= s * dout,
+            "not enough output stubs: {r}×{din} > {s}×{dout}"
+        );
         let mut out_stubs: Vec<u32> = Vec::with_capacity(s * dout);
         for o in 0..s {
             for _ in 0..dout {
                 out_stubs.push(o as u32);
             }
         }
-        out_stubs.shuffle(rng);
+        rng.shuffle(&mut out_stubs);
         let mut adj = vec![Vec::with_capacity(din); r];
         let mut it = out_stubs.into_iter();
         for nbrs in adj.iter_mut() {
@@ -99,23 +111,30 @@ impl BipartiteGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn random_regular_respects_degree_bounds() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         for &r in &[12usize, 48, 96, 300] {
             let s = 2 * r / 3;
             let g = BipartiteGraph::random_regular(r, s, 6, 9, &mut rng);
             assert_eq!(g.inputs(), r);
             assert_eq!(g.outputs(), s);
             assert!(g.max_in_degree() <= 6);
-            assert!(g.max_out_degree() <= 9, "out degree {} > 9", g.max_out_degree());
+            assert!(
+                g.max_out_degree() <= 9,
+                "out degree {} > 9",
+                g.max_out_degree()
+            );
             // Collapsing parallel edges loses only a modest fraction (more
             // collisions at small s, so the bound loosens for tiny graphs).
             if r >= 48 {
-                assert!(g.num_edges() >= 5 * r, "too many parallel edges collapsed: {} < {}", g.num_edges(), 5 * r);
+                assert!(
+                    g.num_edges() >= 5 * r,
+                    "too many parallel edges collapsed: {} < {}",
+                    g.num_edges(),
+                    5 * r
+                );
             } else {
                 assert!(g.num_edges() >= 4 * r);
             }
@@ -125,7 +144,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "not enough output stubs")]
     fn rejects_insufficient_stubs() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let _ = BipartiteGraph::random_regular(30, 10, 6, 9, &mut rng);
     }
 

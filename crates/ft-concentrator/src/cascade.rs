@@ -9,7 +9,7 @@
 
 use crate::partial::PartialConcentrator;
 use crate::Concentrator;
-use rand::Rng;
+use ft_core::rng::SplitMix64;
 
 /// A constant-depth chain of partial concentrators.
 #[derive(Clone, Debug)]
@@ -25,7 +25,7 @@ impl Cascade {
     ///
     /// # Panics
     /// If `target` is zero or exceeds `r`.
-    pub fn new<R: Rng>(r: usize, target: usize, rng: &mut R) -> Self {
+    pub fn new(r: usize, target: usize, rng: &mut SplitMix64) -> Self {
         assert!(target >= 1 && target <= r, "need 1 ≤ target ≤ r");
         let mut stages = Vec::new();
         let mut width = r;
@@ -38,7 +38,11 @@ impl Cascade {
             width = stage.outputs();
             stages.push(stage);
         }
-        Cascade { stages, r, target: width.min(r) }
+        Cascade {
+            stages,
+            r,
+            target: width.min(r),
+        }
     }
 
     /// The stages of the cascade, first to last.
@@ -94,12 +98,10 @@ impl Concentrator for Cascade {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn cascade_shrinks_geometrically() {
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = SplitMix64::seed_from_u64(21);
         let c = Cascade::new(243, 75, &mut rng);
         assert_eq!(c.inputs(), 243);
         assert!(c.outputs() <= 108); // 243 → 162 → 108 ≤ … stops ≥ target
@@ -110,7 +112,7 @@ mod tests {
 
     #[test]
     fn cascade_routes_small_loads() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SplitMix64::seed_from_u64(2);
         let c = Cascade::new(120, 40, &mut rng);
         let k = c.guaranteed().min(20);
         let active: Vec<usize> = (0..k).map(|i| i * 5).collect();
@@ -125,7 +127,7 @@ mod tests {
 
     #[test]
     fn cascade_rejects_overload() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = SplitMix64::seed_from_u64(4);
         let c = Cascade::new(90, 30, &mut rng);
         let active: Vec<usize> = (0..60).collect();
         assert!(c.route(&active).is_none());
@@ -133,21 +135,27 @@ mod tests {
 
     #[test]
     fn component_count_linear_in_r() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = SplitMix64::seed_from_u64(6);
         for &r in &[60usize, 120, 240, 480] {
             let c = Cascade::new(r, r / 4, &mut rng);
             // Geometric series: ≤ 6r·(1 + 2/3 + 4/9 + …) = 18r.
-            assert!(c.components() <= 18 * r, "components {} > 18r", c.components());
+            assert!(
+                c.components() <= 18 * r,
+                "components {} > 18r",
+                c.components()
+            );
         }
     }
 
     #[test]
     fn degenerate_cascade_identity() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = SplitMix64::seed_from_u64(8);
         let c = Cascade::new(10, 10, &mut rng);
         assert_eq!(c.depth(), 1);
         let active = vec![1usize, 3, 7];
-        let out = c.route(&active).expect("identity cascade routes anything ≤ target");
+        let out = c
+            .route(&active)
+            .expect("identity cascade routes anything ≤ target");
         assert_eq!(out, active);
     }
 }

@@ -74,7 +74,10 @@ fn dfs(
 ) -> bool {
     for &o in g.neighbors(active[j]) {
         let pv = pair_v[o as usize];
-        if pv == NIL || (dist[pv as usize] == dist[j] + 1 && dfs(g, active, pv as usize, pair_u, pair_v, dist)) {
+        if pv == NIL
+            || (dist[pv as usize] == dist[j] + 1
+                && dfs(g, active, pv as usize, pair_u, pair_v, dist))
+        {
             pair_u[j] = o;
             pair_v[o as usize] = j as u32;
             return true;
@@ -119,7 +122,14 @@ mod tests {
     fn matching_is_injective() {
         let g = BipartiteGraph::from_adj(
             5,
-            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0], vec![0, 2]],
+            vec![
+                vec![0, 1],
+                vec![1, 2],
+                vec![2, 3],
+                vec![3, 4],
+                vec![4, 0],
+                vec![0, 2],
+            ],
         );
         let active: Vec<usize> = (0..6).collect();
         let (size, m) = max_matching(&g, &active);

@@ -11,8 +11,7 @@
 use crate::bipartite::BipartiteGraph;
 use crate::matching::max_matching;
 use crate::Concentrator;
-use rand::seq::index::sample;
-use rand::Rng;
+use ft_core::rng::SplitMix64;
 
 /// Pippenger's input degree bound.
 pub const PIPPENGER_DIN: usize = 6;
@@ -31,7 +30,7 @@ pub struct PartialConcentrator {
 impl PartialConcentrator {
     /// Sample a Pippenger-style concentrator: `s = ⌈2r/3⌉` outputs,
     /// degrees (6, 9), α = 3/4.
-    pub fn pippenger<R: Rng>(r: usize, rng: &mut R) -> Self {
+    pub fn pippenger(r: usize, rng: &mut SplitMix64) -> Self {
         let s = r.div_ceil(3) * 2; // ⌈r/3⌉·2 ≥ 2r/3, keeps stub count feasible
         PartialConcentrator {
             graph: BipartiteGraph::random_regular(r, s, PIPPENGER_DIN, PIPPENGER_DOUT, rng),
@@ -66,11 +65,11 @@ impl PartialConcentrator {
     /// Empirically verify the concentration property on `trials` random
     /// active sets of the maximum guaranteed size. Returns the number of
     /// failures (0 means the sample looks like a true (r,s,α) concentrator).
-    pub fn verify_random<R: Rng>(&self, trials: usize, rng: &mut R) -> usize {
+    pub fn verify_random(&self, trials: usize, rng: &mut SplitMix64) -> usize {
         let k = self.guaranteed().min(self.graph.inputs());
         let mut failures = 0;
         for _ in 0..trials {
-            let active: Vec<usize> = sample(rng, self.graph.inputs(), k).into_iter().collect();
+            let active: Vec<usize> = rng.sample_indices(self.graph.inputs(), k);
             let (size, _) = max_matching(&self.graph, &active);
             if size < k {
                 failures += 1;
@@ -86,7 +85,10 @@ impl PartialConcentrator {
         let r = self.graph.inputs();
         let kmax = self.guaranteed().min(r);
         // Enumerate subsets by bitmask.
-        assert!(r <= 20, "exhaustive verification is exponential; r too large");
+        assert!(
+            r <= 20,
+            "exhaustive verification is exponential; r too large"
+        );
         for mask in 1u32..(1 << r) {
             let k = mask.count_ones() as usize;
             if k > kmax {
@@ -134,12 +136,10 @@ impl Concentrator for PartialConcentrator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn pippenger_dimensions() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SplitMix64::seed_from_u64(11);
         let pc = PartialConcentrator::pippenger(48, &mut rng);
         assert_eq!(pc.inputs(), 48);
         assert_eq!(pc.outputs(), 32);
@@ -151,7 +151,7 @@ mod tests {
     #[test]
     fn pippenger_concentrates_with_high_probability() {
         // Failures should be rare for moderate r; tolerate a tiny rate.
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SplitMix64::seed_from_u64(5);
         let pc = PartialConcentrator::pippenger(96, &mut rng);
         let failures = pc.verify_random(200, &mut rng);
         assert!(
@@ -162,7 +162,7 @@ mod tests {
 
     #[test]
     fn route_returns_injective_assignment() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let pc = PartialConcentrator::pippenger(60, &mut rng);
         let active: Vec<usize> = (0..pc.guaranteed()).collect();
         if let Some(out) = pc.route(&active) {
@@ -177,7 +177,7 @@ mod tests {
     #[test]
     fn overload_fails_to_route() {
         // More active inputs than outputs can never concentrate.
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SplitMix64::seed_from_u64(9);
         let pc = PartialConcentrator::pippenger(30, &mut rng);
         let active: Vec<usize> = (0..pc.inputs()).collect();
         assert!(active.len() > pc.outputs());

@@ -2,14 +2,13 @@
 //! capacities (§IV, Definition) and the volume-parameterized form.
 
 use crate::ids::{ilog2_ceil, is_pow2};
-use serde::{Deserialize, Serialize};
 
 /// How channel capacities vary with level in a fat-tree on `n` processors.
 ///
 /// Level `k` runs from 0 (root / external interface) to `L = lg n`
 /// (processor connections). All profiles are clamped to a minimum of 1 wire
 /// per channel.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CapacityProfile {
     /// The paper's universal fat-tree with root capacity `w`
     /// (`n^(2/3) ≤ w ≤ n`):
@@ -60,15 +59,15 @@ impl CapacityProfile {
         match self {
             CapacityProfile::Universal { root_capacity: w } => {
                 assert!(*w >= 1, "root capacity must be >= 1");
-                (0..levels).map(|k| universal_cap(n as u64, *w, k)).collect()
+                (0..levels)
+                    .map(|k| universal_cap(n as u64, *w, k))
+                    .collect()
             }
             CapacityProfile::Constant(c) => {
                 assert!(*c >= 1, "constant capacity must be >= 1");
                 vec![*c; levels as usize]
             }
-            CapacityProfile::FullDoubling => {
-                (0..levels).map(|k| (n as u64) >> k).collect()
-            }
+            CapacityProfile::FullDoubling => (0..levels).map(|k| (n as u64) >> k).collect(),
             CapacityProfile::PerLevel(v) => {
                 assert_eq!(
                     v.len(),
@@ -78,7 +77,10 @@ impl CapacityProfile {
                 assert!(v.iter().all(|&c| c >= 1), "capacities must be >= 1");
                 v.clone()
             }
-            CapacityProfile::UniversalWithDegree { root_capacity: w, degree: d } => {
+            CapacityProfile::UniversalWithDegree {
+                root_capacity: w,
+                degree: d,
+            } => {
                 assert!(*w >= 1 && *d >= 1);
                 (0..levels)
                     .map(|k| universal_cap_degree(n as u64, *w, *d, k))
@@ -138,7 +140,13 @@ mod tests {
     #[test]
     fn universal_endpoints() {
         // Root capacity is w; leaf capacity is 1 when n^(2/3) <= w <= n.
-        for &(n, w) in &[(64u64, 16u64), (64, 64), (1024, 128), (4096, 4096), (4096, 256)] {
+        for &(n, w) in &[
+            (64u64, 16u64),
+            (64, 64),
+            (1024, 128),
+            (4096, 4096),
+            (4096, 256),
+        ] {
             assert_eq!(universal_cap(n, w, 0), w.min(n));
             let l = (n as f64).log2() as u32;
             assert_eq!(universal_cap(n, w, l), 1, "n={n} w={w}");
@@ -198,7 +206,10 @@ mod tests {
     fn full_doubling_equals_universal_w_eq_n() {
         let n = 256u32;
         let a = CapacityProfile::FullDoubling.capacities(n);
-        let b = CapacityProfile::Universal { root_capacity: n as u64 }.capacities(n);
+        let b = CapacityProfile::Universal {
+            root_capacity: n as u64,
+        }
+        .capacities(n);
         assert_eq!(a, b);
     }
 
@@ -219,23 +230,32 @@ mod tests {
     fn degree_profile_scales_leaf_channels() {
         let n = 64u32;
         let d = 4u64;
-        let caps = CapacityProfile::UniversalWithDegree { root_capacity: 64, degree: d }
-            .capacities(n);
+        let caps = CapacityProfile::UniversalWithDegree {
+            root_capacity: 64,
+            degree: d,
+        }
+        .capacities(n);
         // Leaf channels carry d wires (one per processor connection).
         assert_eq!(*caps.last().unwrap(), d);
         // Root is still min(d·n, w) = w here.
         assert_eq!(caps[0], 64);
         // Degree 1 degenerates to the plain universal profile.
         let plain = CapacityProfile::Universal { root_capacity: 64 }.capacities(n);
-        let deg1 = CapacityProfile::UniversalWithDegree { root_capacity: 64, degree: 1 }
-            .capacities(n);
+        let deg1 = CapacityProfile::UniversalWithDegree {
+            root_capacity: 64,
+            degree: 1,
+        }
+        .capacities(n);
         assert_eq!(plain, deg1);
     }
 
     #[test]
     fn degree_profile_monotone_toward_root() {
-        let caps = CapacityProfile::UniversalWithDegree { root_capacity: 512, degree: 6 }
-            .capacities(256);
+        let caps = CapacityProfile::UniversalWithDegree {
+            root_capacity: 512,
+            degree: 6,
+        }
+        .capacities(256);
         for w in caps.windows(2) {
             assert!(w[0] >= w[1]);
         }

@@ -1,9 +1,7 @@
 //! Identifier newtypes and the paper's logarithm conventions.
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a processor (a leaf of the fat-tree), in `0..n`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ProcId(pub u32);
 
 impl ProcId {

@@ -32,12 +32,14 @@ pub mod capacity;
 pub mod ids;
 pub mod load;
 pub mod message;
+pub mod rng;
 pub mod route;
 pub mod topology;
 
 pub use capacity::CapacityProfile;
 pub use ids::{lg, ProcId};
-pub use load::{cycle_lower_bound, load_factor, wire_time_lower_bound, LoadMap};
+pub use load::{cycle_lower_bound, load_factor, wire_time_lower_bound, LoadMap, ScratchLoad};
 pub use message::{Message, MessageSet};
+pub use rng::{splitmix64, SplitMix64};
 pub use route::{path_channels, path_len};
 pub use topology::{ChannelId, Direction, FatTree};

@@ -18,7 +18,9 @@ pub struct LoadMap {
 impl LoadMap {
     /// Zero loads for every channel of `ft`.
     pub fn zeros(ft: &FatTree) -> Self {
-        LoadMap { counts: vec![0; ft.channel_index_bound()] }
+        LoadMap {
+            counts: vec![0; ft.channel_index_bound()],
+        }
     }
 
     /// Loads induced by the message set `M` on `ft`.
@@ -98,12 +100,103 @@ impl LoadMap {
     /// explicit per-level capacity vector (used for the fictitious
     /// capacities of Corollary 2).
     pub fn fits_levels(&self, ft: &FatTree, caps: &[u64]) -> bool {
-        ft.channels().all(|c| self.get(c) <= caps[c.level() as usize])
+        ft.channels()
+            .all(|c| self.get(c) <= caps[c.level() as usize])
     }
 
     /// Sum of all channel loads (= total path length of the message set).
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// Reset every count to zero without releasing the allocation (for
+    /// engines that reuse one `LoadMap` across delivery cycles).
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+    }
+}
+
+/// A reusable *sparse* load accumulator.
+///
+/// [`LoadMap`] is dense: building one costs a full `4n`-slot allocation (or
+/// zeroing), which is wasteful when a caller repeatedly checks small message
+/// subsets — exactly what Theorem 1's split recursion does. `ScratchLoad`
+/// keeps a dense counter array allocated once plus a stack of touched
+/// channel indices, so `clear` costs `O(channels touched)` rather than
+/// `O(n)`, and a feasibility check over a subset costs only the total path
+/// length of that subset.
+#[derive(Clone, Debug)]
+pub struct ScratchLoad {
+    counts: Vec<u64>,
+    touched: Vec<u32>,
+}
+
+impl ScratchLoad {
+    /// An empty accumulator sized for `ft`. Allocate once, reuse forever.
+    pub fn new(ft: &FatTree) -> Self {
+        ScratchLoad {
+            counts: vec![0; ft.channel_index_bound()],
+            touched: Vec::with_capacity(4 * ft.height() as usize + 8),
+        }
+    }
+
+    /// Add one message's path to the loads.
+    #[inline]
+    pub fn add(&mut self, ft: &FatTree, m: &Message) {
+        for_each_path_channel(ft, m, |c| {
+            let i = c.index();
+            if self.counts[i] == 0 {
+                self.touched.push(i as u32);
+            }
+            self.counts[i] += 1;
+        });
+    }
+
+    /// Current load on a channel.
+    #[inline]
+    pub fn get(&self, c: ChannelId) -> u64 {
+        self.counts[c.index()]
+    }
+
+    /// Number of distinct channels with nonzero load.
+    #[inline]
+    pub fn touched_len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Would the accumulated loads fit every capacity of `ft`? Only the
+    /// touched channels are inspected.
+    pub fn is_one_cycle(&self, ft: &FatTree) -> bool {
+        self.touched.iter().all(|&i| {
+            // Reconstruct the channel's level from its dense index:
+            // index = edge·2 + dir.
+            let edge = i >> 1;
+            self.counts[i as usize] <= ft.cap_at_level(31 - edge.leading_zeros())
+        })
+    }
+
+    /// Reset to all-zero loads in time proportional to the channels touched.
+    pub fn clear(&mut self) {
+        for &i in &self.touched {
+            self.counts[i as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    /// One-shot convenience: is the message subset `msgs` a one-cycle set on
+    /// `ft`? Leaves the accumulator cleared.
+    pub fn check_subset<'a, I: IntoIterator<Item = &'a Message>>(
+        &mut self,
+        ft: &FatTree,
+        msgs: I,
+    ) -> bool {
+        debug_assert!(self.touched.is_empty());
+        for m in msgs {
+            self.add(ft, m);
+        }
+        let ok = self.is_one_cycle(ft);
+        self.clear();
+        ok
     }
 }
 
@@ -234,6 +327,33 @@ mod tests {
         assert_eq!(lb, 8);
         assert!(wt <= lb && wt >= 1);
         assert_eq!(wire_time_lower_bound(&t, &MessageSet::new()), 0);
+    }
+
+    #[test]
+    fn scratch_load_matches_dense_loadmap() {
+        let n = 32u32;
+        let t = ft(n, CapacityProfile::Universal { root_capacity: 8 });
+        let msgs: Vec<Message> = (0..n).map(|i| Message::new(i, (i * 7 + 3) % n)).collect();
+        let mut sl = ScratchLoad::new(&t);
+        for m in &msgs {
+            sl.add(&t, m);
+        }
+        let lm = LoadMap::of(&t, &MessageSet::from_vec(msgs.clone()));
+        for c in t.channels() {
+            assert_eq!(sl.get(c), lm.get(c), "mismatch at {c}");
+        }
+        assert_eq!(sl.is_one_cycle(&t), lm.is_one_cycle(&t));
+        sl.clear();
+        assert_eq!(sl.touched_len(), 0);
+        for c in t.channels() {
+            assert_eq!(sl.get(c), 0);
+        }
+        // check_subset agrees with the dense answer on sub-slices.
+        for take in [1usize, 5, 16, 32] {
+            let sub = &msgs[..take];
+            let dense = LoadMap::of(&t, &MessageSet::from_vec(sub.to_vec())).is_one_cycle(&t);
+            assert_eq!(sl.check_subset(&t, sub.iter()), dense);
+        }
     }
 
     #[test]

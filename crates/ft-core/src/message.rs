@@ -4,14 +4,13 @@
 //! theory in `ft-sched` partitions a set into one-cycle sets.
 
 use crate::ids::ProcId;
-use serde::{Deserialize, Serialize};
 
 /// A point-to-point message `(src, dst)`.
 ///
 /// Message *contents* are irrelevant to the routing theory (the paper omits
 /// them too); `ft-sim` attaches payload bits when simulating the bit-serial
 /// protocol.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Message {
     /// Sending processor.
     pub src: ProcId,
@@ -23,7 +22,10 @@ impl Message {
     /// Construct a message from processor indices.
     #[inline]
     pub fn new(src: u32, dst: u32) -> Self {
-        Message { src: ProcId(src), dst: ProcId(dst) }
+        Message {
+            src: ProcId(src),
+            dst: ProcId(dst),
+        }
     }
 
     /// True if source equals destination (routes through no channels).
@@ -43,7 +45,7 @@ impl std::fmt::Display for Message {
 ///
 /// Duplicates are allowed (the theory is stated for sets, but all results
 /// hold verbatim for multisets, and k-relations need them).
-#[derive(Clone, Default, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
 pub struct MessageSet {
     msgs: Vec<Message>,
 }
@@ -61,7 +63,9 @@ impl MessageSet {
 
     /// With pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        MessageSet { msgs: Vec::with_capacity(cap) }
+        MessageSet {
+            msgs: Vec::with_capacity(cap),
+        }
     }
 
     /// Add a message.
@@ -114,7 +118,9 @@ impl MessageSet {
 
 impl FromIterator<Message> for MessageSet {
     fn from_iter<T: IntoIterator<Item = Message>>(iter: T) -> Self {
-        MessageSet { msgs: iter.into_iter().collect() }
+        MessageSet {
+            msgs: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -158,7 +164,10 @@ mod tests {
             Message::new(2, 1),
         ]);
         let v = s.sorted();
-        assert_eq!(v, vec![Message::new(0, 9), Message::new(2, 1), Message::new(2, 1)]);
+        assert_eq!(
+            v,
+            vec![Message::new(0, 9), Message::new(2, 1), Message::new(2, 1)]
+        );
     }
 
     #[test]

@@ -3,13 +3,12 @@
 
 use crate::capacity::CapacityProfile;
 use crate::ids::{is_pow2, ProcId};
-use serde::{Deserialize, Serialize};
 
 /// Direction of a channel along a tree edge.
 ///
 /// `Up` runs child→parent (toward the root / external interface); `Down`
 /// runs parent→child (toward the processors).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Direction {
     /// Child → parent.
     Up = 0,
@@ -35,7 +34,7 @@ impl Direction {
 /// beneath it. `edge == 1` is the external-interface edge above the root.
 /// For a fat-tree on `n` processors, valid edges are `1..2n` (edges `n..2n`
 /// attach the processors).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ChannelId {
     /// Heap index of the lower endpoint of the edge (1 = external edge).
     pub edge: u32,
@@ -47,13 +46,19 @@ impl ChannelId {
     /// Up-channel on `edge`.
     #[inline]
     pub fn up(edge: u32) -> Self {
-        ChannelId { edge, dir: Direction::Up }
+        ChannelId {
+            edge,
+            dir: Direction::Up,
+        }
     }
 
     /// Down-channel on `edge`.
     #[inline]
     pub fn down(edge: u32) -> Self {
-        ChannelId { edge, dir: Direction::Down }
+        ChannelId {
+            edge,
+            dir: Direction::Down,
+        }
     }
 
     /// Dense array index for this channel in a fat-tree on `n` processors:
@@ -87,7 +92,7 @@ impl std::fmt::Display for ChannelId {
 /// depend only on a channel's level (all the paper's constructions have this
 /// symmetry; the arbitrary-capacity generalization is available through
 /// [`CapacityProfile::PerLevel`]).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FatTree {
     n: u32,
     height: u32,
@@ -105,11 +110,19 @@ impl FatTree {
     /// If `n` is not a power of two ≥ 2, or the profile is invalid for `n`
     /// (see [`CapacityProfile::capacities`]).
     pub fn new(n: u32, profile: CapacityProfile) -> Self {
-        assert!(n >= 2 && is_pow2(n as u64), "n must be a power of two >= 2, got {n}");
+        assert!(
+            n >= 2 && is_pow2(n as u64),
+            "n must be a power of two >= 2, got {n}"
+        );
         let height = (n as u64).trailing_zeros();
         let caps = profile.capacities(n);
         debug_assert_eq!(caps.len() as u32, height + 1);
-        FatTree { n, height, profile, caps }
+        FatTree {
+            n,
+            height,
+            profile,
+            caps,
+        }
     }
 
     /// Convenience: a *universal fat-tree* on `n` processors with root
@@ -205,9 +218,7 @@ impl FatTree {
     /// Iterate over all directed channels of the fat-tree (external edge
     /// included), in increasing `(edge, dir)` order.
     pub fn channels(&self) -> impl Iterator<Item = ChannelId> + '_ {
-        (1..2 * self.n).flat_map(|edge| {
-            [ChannelId::up(edge), ChannelId::down(edge)].into_iter()
-        })
+        (1..2 * self.n).flat_map(|edge| [ChannelId::up(edge), ChannelId::down(edge)].into_iter())
     }
 
     /// Iterate over the internal switching nodes (heap indices `1..n`).
@@ -367,7 +378,12 @@ mod tests {
         let t = ft(8);
         let s = t.render_levels();
         for k in 0..=3 {
-            assert!(s.contains(&format!("\n{k:>5}  ")) || s.starts_with(&format!("{k:>5}")) || s.contains(&format!("{k:>5}  ")), "missing level {k}: {s}");
+            assert!(
+                s.contains(&format!("\n{k:>5}  "))
+                    || s.starts_with(&format!("{k:>5}"))
+                    || s.contains(&format!("{k:>5}  ")),
+                "missing level {k}: {s}"
+            );
         }
     }
 

@@ -1,6 +1,11 @@
 //! Property tests on the core invariants: routing paths, load accounting,
 //! and capacity profiles.
 
+#![cfg(feature = "proptest")]
+// Compiled only with `--features proptest`, which additionally requires
+// re-adding the `proptest` crate to dev-dependencies (not available in
+// offline builds).
+
 use ft_core::{
     capacity::universal_cap, load_factor, route, CapacityProfile, Direction, FatTree, LoadMap,
     Message, MessageSet,

@@ -167,7 +167,13 @@ fn build_node(
     let bandwidth = intervals_bandwidth(&intervals, ws, r);
     let total: usize = intervals.iter().map(|&(a, b)| b - a).sum();
     if procs <= 1 || total <= 1 {
-        return BalancedNode { intervals, procs, bandwidth, depth, children: None };
+        return BalancedNode {
+            intervals,
+            procs,
+            bandwidth,
+            depth,
+            children: None,
+        };
     }
 
     // Pearl-split the (≤ 2) strings.
@@ -289,7 +295,10 @@ mod tests {
         let t = balance_decomposition(&occupied, &ws);
         assert!(t.is_balanced());
         let ratio = t.worst_theorem8_ratio();
-        assert!(ratio <= 1.0 + 1e-9, "Theorem 8 bound violated: ratio {ratio}");
+        assert!(
+            ratio <= 1.0 + 1e-9,
+            "Theorem 8 bound violated: ratio {ratio}"
+        );
     }
 
     #[test]

@@ -185,7 +185,10 @@ mod tests {
         let rich = theorem4_volume_law(n, n);
         let hyper = hypercube_volume_law(n);
         assert!(cheap < rich);
-        assert!(rich >= hyper, "w = n fat-tree should cost at least a hypercube");
+        assert!(
+            rich >= hyper,
+            "w = n fat-tree should cost at least a hypercube"
+        );
         assert!(rich < 40.0 * hyper, "and at most polylog more");
         assert!(planar_volume_law(n) < cheap);
     }

@@ -53,7 +53,10 @@ impl DecompTree {
         let idx: Vec<u32> = (0..placement.n() as u32).collect();
         bisect(placement, bounds, idx, 0, 0, &mut paths);
         let r = paths.iter().map(|&(_, d, _)| d).max().unwrap_or(0);
-        assert!(r <= 62, "decomposition deeper than 62 levels; degenerate placement?");
+        assert!(
+            r <= 62,
+            "decomposition deeper than 62 levels; degenerate placement?"
+        );
 
         let mut slots = vec![None; 1usize << r];
         for &(bits, d, p) in &paths {
@@ -73,7 +76,12 @@ impl DecompTree {
             level_bandwidth.push(gamma * surface(boxdims));
         }
 
-        DecompTree { depth: r, slots, level_bandwidth, gamma }
+        DecompTree {
+            depth: r,
+            slots,
+            level_bandwidth,
+            gamma,
+        }
     }
 
     /// Number of leaf slots `2^r`.
@@ -135,7 +143,10 @@ fn bisect(
         }
         return;
     }
-    assert!(depth < 62, "placement cannot be separated (coincident processors?)");
+    assert!(
+        depth < 62,
+        "placement cannot be separated (coincident processors?)"
+    );
     let axis = (depth % 3) as usize;
     let mid = region.mid(axis);
     let (lo_box, hi_box) = region.halves(axis);
@@ -218,8 +229,7 @@ mod tests {
 
     #[test]
     fn random_placement_decomposes() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        let mut rng = ft_core::rng::SplitMix64::seed_from_u64(123);
         let p = Placement::random_in_cube(50, 8.0, &mut rng);
         let t = DecompTree::build(&p, DEFAULT_GAMMA);
         assert_eq!(t.num_procs(), 50);

@@ -102,7 +102,14 @@ impl FatTreeLayout {
         out
     }
 
-    fn place(&self, ft: &FatTree, node: u32, level: usize, origin: [f64; 3], out: &mut Vec<(u32, Cuboid)>) {
+    fn place(
+        &self,
+        ft: &FatTree,
+        node: u32,
+        level: usize,
+        origin: [f64; 3],
+        out: &mut Vec<(u32, Cuboid)>,
+    ) {
         let dims = self.level_dims[level];
         if level == ft.height() as usize {
             out.push((node, cuboid_at(origin, dims)));
@@ -133,7 +140,11 @@ impl FatTreeLayout {
 fn cuboid_at(origin: [f64; 3], dims: [f64; 3]) -> Cuboid {
     Cuboid {
         min: origin,
-        max: [origin[0] + dims[0], origin[1] + dims[1], origin[2] + dims[2]],
+        max: [
+            origin[0] + dims[0],
+            origin[1] + dims[1],
+            origin[2] + dims[2],
+        ],
     }
 }
 
@@ -224,7 +235,10 @@ mod tests {
             "skinny tree volume {} far above linear",
             layout.volume
         );
-        assert!(layout.volume > 1024.0, "cannot be below one unit per processor");
+        assert!(
+            layout.volume > 1024.0,
+            "cannot be below one unit per processor"
+        );
     }
 
     #[test]

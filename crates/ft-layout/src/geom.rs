@@ -13,13 +13,19 @@ impl Cuboid {
     /// A cube of side `s` with its minimum corner at the origin.
     pub fn cube(s: f64) -> Self {
         assert!(s > 0.0);
-        Cuboid { min: [0.0; 3], max: [s; 3] }
+        Cuboid {
+            min: [0.0; 3],
+            max: [s; 3],
+        }
     }
 
     /// A box with the given side lengths, minimum corner at the origin.
     pub fn with_sides(sides: [f64; 3]) -> Self {
         assert!(sides.iter().all(|&s| s > 0.0));
-        Cuboid { min: [0.0; 3], max: sides }
+        Cuboid {
+            min: [0.0; 3],
+            max: sides,
+        }
     }
 
     /// Side length along `axis`.

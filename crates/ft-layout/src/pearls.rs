@@ -181,7 +181,10 @@ mod tests {
         // Whites are then automatically within one of half.
         let wa = split.size_a() - ba;
         let w = n - b;
-        assert!(wa + 1 >= w / 2 && wa <= w / 2 + 1, "whites split badly: {wa} of {w}");
+        assert!(
+            wa + 1 >= w / 2 && wa <= w / 2 + 1,
+            "whites split badly: {wa} of {w}"
+        );
         split
     }
 

@@ -2,6 +2,7 @@
 //! inside its bounding cuboid. The input to the cutting-plane argument.
 
 use crate::geom::Cuboid;
+use ft_core::rng::SplitMix64;
 
 /// A placement of `n` processors (indexed `0..n`) at distinct points of a
 /// bounding cuboid.
@@ -101,17 +102,20 @@ impl Placement {
                 positions.push([(x as f64 + 0.5) * spacing, (y as f64 + 0.5) * spacing, 0.5]);
             }
         }
-        Placement::new(positions, Cuboid::with_sides([side, side, 1.0_f64.max(spacing)]))
+        Placement::new(
+            positions,
+            Cuboid::with_sides([side, side, 1.0_f64.max(spacing)]),
+        )
     }
 
     /// Uniformly random distinct positions in a cube of the given side
     /// (rejection-free: grid-jittered so distinctness is guaranteed).
-    pub fn random_in_cube<R: rand::Rng>(n: usize, side: f64, rng: &mut R) -> Self {
+    pub fn random_in_cube(n: usize, side: f64, rng: &mut SplitMix64) -> Self {
         assert!(n >= 1 && side > 0.0);
         let cells = (n as f64).cbrt().ceil() as usize;
         let cell = side / cells as f64;
         let mut slots: Vec<usize> = (0..cells * cells * cells).collect();
-        rand::seq::SliceRandom::shuffle(&mut slots[..], rng);
+        rng.shuffle(&mut slots[..]);
         let positions = slots[..n]
             .iter()
             .map(|&s| {
@@ -164,10 +168,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "coincident")]
     fn rejects_coincident() {
-        let _ = Placement::new(
-            vec![[0.5, 0.5, 0.5], [0.5, 0.5, 0.5]],
-            Cuboid::cube(1.0),
-        );
+        let _ = Placement::new(vec![[0.5, 0.5, 0.5], [0.5, 0.5, 0.5]], Cuboid::cube(1.0));
     }
 
     #[test]
@@ -178,8 +179,7 @@ mod tests {
 
     #[test]
     fn random_placement_distinct() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut rng = ft_core::rng::SplitMix64::seed_from_u64(77);
         let p = Placement::random_in_cube(100, 10.0, &mut rng);
         assert_eq!(p.n(), 100);
     }

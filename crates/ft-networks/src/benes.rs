@@ -111,7 +111,9 @@ fn route_rec(perm: &[usize], switches: &mut usize) -> Result<usize, String> {
         let t = i / 2;
         let u = perm[i] / 2;
         if sub[c][t] != usize::MAX {
-            return Err(format!("input switch {t} sends both terminals to subnet {c}"));
+            return Err(format!(
+                "input switch {t} sends both terminals to subnet {c}"
+            ));
         }
         sub[c][t] = u;
     }

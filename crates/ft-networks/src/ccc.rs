@@ -80,7 +80,11 @@ impl FixedConnectionNetwork for CubeConnectedCycles {
         // Walk the cycle to position k1 (short way).
         while k != k1 {
             let fwd = (k1 + d - k) % d;
-            k = if fwd <= d / 2 { (k + 1) % d } else { (k + d - 1) % d };
+            k = if fwd <= d / 2 {
+                (k + 1) % d
+            } else {
+                (k + d - 1) % d
+            };
             path.push(self.id(w, k));
         }
         dedup(&mut path);

@@ -7,9 +7,8 @@
 //! (oblivious FIFO-with-random-tiebreak, the standard neutral model).
 
 use crate::traits::FixedConnectionNetwork;
+use ft_core::rng::SplitMix64;
 use ft_core::MessageSet;
-use rand::seq::SliceRandom;
-use rand::Rng;
 use std::collections::HashMap;
 
 /// Result of a delivery simulation.
@@ -26,11 +25,11 @@ pub struct DeliveryOutcome {
 
 /// Simulate delivering `msgs` on `net`. `link_capacity` is the number of
 /// messages a directed link carries per step (1 = unit-bandwidth wires).
-pub fn simulate_delivery<R: Rng>(
+pub fn simulate_delivery(
     net: &dyn FixedConnectionNetwork,
     msgs: &MessageSet,
     link_capacity: usize,
-    rng: &mut R,
+    rng: &mut SplitMix64,
 ) -> DeliveryOutcome {
     assert!(link_capacity >= 1);
     // Precompute paths; messages already at destination are delivered at t=0.
@@ -38,13 +37,14 @@ pub fn simulate_delivery<R: Rng>(
     for m in msgs {
         let s = m.src.idx();
         let d = m.dst.idx();
-        assert!(s < net.n() && d < net.n(), "message endpoints outside network");
+        assert!(
+            s < net.n() && d < net.n(),
+            "message endpoints outside network"
+        );
         paths.push(net.route(s, d));
     }
     let mut pos: Vec<usize> = vec![0; paths.len()]; // index into path
-    let mut live: Vec<usize> = (0..paths.len())
-        .filter(|&i| paths[i].len() > 1)
-        .collect();
+    let mut live: Vec<usize> = (0..paths.len()).filter(|&i| paths[i].len() > 1).collect();
     let delivered_at_start = paths.len() - live.len();
 
     let mut steps = 0usize;
@@ -53,7 +53,7 @@ pub fn simulate_delivery<R: Rng>(
     while !live.is_empty() {
         steps += 1;
         used.clear();
-        live.shuffle(rng);
+        rng.shuffle(&mut live);
         let mut still = Vec::with_capacity(live.len());
         for &i in &live {
             let here = paths[i][pos[i]];
@@ -88,11 +88,9 @@ mod tests {
     use crate::hypercube::Hypercube;
     use crate::mesh::Mesh2D;
     use ft_core::Message;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(99)
+    fn rng() -> SplitMix64 {
+        SplitMix64::seed_from_u64(99)
     }
 
     #[test]
@@ -128,7 +126,11 @@ mod tests {
         let m2 = Mesh2D::square(16);
         let m: MessageSet = (1..16).map(|i| Message::new(i, 0)).collect();
         let out = simulate_delivery(&m2, &m, 1, &mut rng());
-        assert!(out.steps >= 7, "steps {} too small for a hotspot", out.steps);
+        assert!(
+            out.steps >= 7,
+            "steps {} too small for a hotspot",
+            out.steps
+        );
         assert_eq!(out.delivered, 15);
     }
 

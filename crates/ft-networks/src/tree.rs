@@ -95,7 +95,11 @@ impl FixedConnectionNetwork for TreeMachine {
         let positions = (0..n)
             .map(|u| {
                 let r = rank[Self::heap(u)];
-                let (x, y) = if r < half { (r, 0usize) } else { (n - 1 - r, 1usize) };
+                let (x, y) = if r < half {
+                    (r, 0usize)
+                } else {
+                    (n - 1 - r, 1usize)
+                };
                 [x as f64 + 0.5, y as f64 + 0.5, 0.5]
             })
             .collect();

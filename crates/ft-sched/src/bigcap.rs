@@ -80,8 +80,9 @@ pub fn schedule_bigcap(ft: &FatTree, m: &MessageSet) -> Result<(Schedule, Bigcap
         if q.is_empty() {
             continue;
         }
-        let (lr, rl): (Vec<Message>, Vec<Message>) =
-            q.into_iter().partition(|msg| is_under(ft.leaf(msg.src), 2 * node));
+        let (lr, rl): (Vec<Message>, Vec<Message>) = q
+            .into_iter()
+            .partition(|msg| is_under(ft.leaf(msg.src), 2 * node));
         for (dir, msgs) in [
             (CrossDirection::LeftToRight, lr),
             (CrossDirection::RightToLeft, rl),
@@ -197,10 +198,7 @@ mod tests {
     fn validates_on_universal_tree_with_big_root() {
         // Universal tree with capacities all > lg n: need a large w and small n.
         let n = 16u32;
-        let t = FatTree::new(
-            n,
-            CapacityProfile::PerLevel(vec![64, 48, 32, 16, 8]),
-        );
+        let t = FatTree::new(n, CapacityProfile::PerLevel(vec![64, 48, 32, 16, 8]));
         let mut msgs = Vec::new();
         for rep in 0..6 {
             for i in 0..n {

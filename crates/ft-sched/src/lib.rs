@@ -14,7 +14,10 @@
 //! * [`greedy`] — a first-fit baseline scheduler (ours, for ablation A2),
 //! * [`online`] — the randomized on-line delivery-cycle process the paper
 //!   attributes to \[8\] (Greenberg–Leiserson): retry until delivered, with
-//!   congested concentrators dropping random excess messages.
+//!   congested concentrators dropping random excess messages,
+//! * [`reference`] — the original clone-based Theorem 1 scheduler, retained
+//!   verbatim as the golden reference for the incremental one in
+//!   [`offline`].
 //!
 //! All schedulers produce a [`Schedule`], a partition of the input multiset
 //! into *one-cycle message sets* (load ≤ capacity on every channel).
@@ -24,6 +27,7 @@ pub mod compress;
 pub mod greedy;
 pub mod offline;
 pub mod online;
+pub mod reference;
 pub mod schedule;
 pub mod split;
 

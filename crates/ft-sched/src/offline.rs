@@ -7,10 +7,17 @@
 //! one-cycle message set. Left-to-right and right-to-left parts at a node
 //! use disjoint channels and are routed in the same delivery cycles; so do
 //! all nodes at the same level (their subtrees are disjoint).
+//!
+//! The split recursion works on *index lists* into each node's message
+//! bucket, and feasibility checks go through one reusable sparse
+//! [`ScratchLoad`] accumulator — no whole-tree `LoadMap` is built per
+//! subset and no subset is cloned just to be measured. The original
+//! clone-happy implementation is retained in [`crate::reference`] and
+//! `tests/golden_scheduler.rs` pins the two to identical output.
 
 use crate::schedule::Schedule;
 use crate::split::{split_even_indices, CrossDirection};
-use ft_core::{FatTree, LoadMap, Message, MessageSet};
+use ft_core::{FatTree, LoadMap, Message, MessageSet, ScratchLoad};
 
 /// Diagnostics from [`schedule_theorem1`].
 #[derive(Clone, Debug, Default)]
@@ -66,6 +73,10 @@ pub fn schedule_theorem1(ft: &FatTree, m: &MessageSet) -> (Schedule, Theorem1Sta
 
     let mut schedule = Schedule::new();
     let mut cycles_per_level = Vec::with_capacity(height as usize);
+    // Shared by every refine call: a sparse load accumulator (cleared in
+    // O(channels touched)) and a materialization buffer for the splitter.
+    let mut scratch = ScratchLoad::new(ft);
+    let mut buf: Vec<Message> = Vec::new();
 
     for level in 0..height {
         // For every node at this level, refine each direction into one-cycle
@@ -77,9 +88,9 @@ pub fn schedule_theorem1(ft: &FatTree, m: &MessageSet) -> (Schedule, Theorem1Sta
             if q.is_empty() {
                 continue;
             }
-            let (lr, rl): (Vec<Message>, Vec<Message>) = q.into_iter().partition(|msg| {
-                crate::split::is_under(ft.leaf(msg.src), 2 * node)
-            });
+            let (lr, rl): (Vec<Message>, Vec<Message>) = q
+                .into_iter()
+                .partition(|msg| crate::split::is_under(ft.leaf(msg.src), 2 * node));
             for (dir, msgs) in [
                 (CrossDirection::LeftToRight, lr),
                 (CrossDirection::RightToLeft, rl),
@@ -87,7 +98,14 @@ pub fn schedule_theorem1(ft: &FatTree, m: &MessageSet) -> (Schedule, Theorem1Sta
                 if msgs.is_empty() {
                     continue;
                 }
-                level_parts.push(refine_to_one_cycle(ft, node, msgs, dir));
+                level_parts.push(refine_to_one_cycle(
+                    ft,
+                    node,
+                    msgs,
+                    dir,
+                    &mut scratch,
+                    &mut buf,
+                ));
             }
         }
         let level_cycles = level_parts.iter().map(|p| p.len()).max().unwrap_or(0);
@@ -129,26 +147,38 @@ pub fn schedule_theorem1(ft: &FatTree, m: &MessageSet) -> (Schedule, Theorem1Sta
 
 /// Repeatedly halve `msgs` (which all cross `node` in direction `dir`) until
 /// every part is a one-cycle message set on `ft`.
+///
+/// The recursion stack holds index lists into `msgs`; a subset is only
+/// materialized (into the caller-provided `buf`) when it actually has to be
+/// split, and feasibility is measured on the reusable sparse `scratch`
+/// accumulator. Subset order — and hence the emitted schedule — is
+/// byte-identical to the clone-based reference.
 fn refine_to_one_cycle(
     ft: &FatTree,
     node: u32,
     msgs: Vec<Message>,
     dir: CrossDirection,
+    scratch: &mut ScratchLoad,
+    buf: &mut Vec<Message>,
 ) -> Vec<Vec<Message>> {
     let mut out = Vec::new();
-    let mut stack = vec![msgs];
-    while let Some(q) = stack.pop() {
-        if q.is_empty() {
+    let mut stack: Vec<Vec<u32>> = vec![(0..msgs.len() as u32).collect()];
+    while let Some(sub) = stack.pop() {
+        if sub.is_empty() {
             continue;
         }
-        let lm = LoadMap::of(ft, &MessageSet::from_vec(q.clone()));
-        if lm.is_one_cycle(ft) {
-            out.push(q);
+        if scratch.check_subset(ft, sub.iter().map(|&i| &msgs[i as usize])) {
+            out.push(sub.into_iter().map(|i| msgs[i as usize]).collect());
         } else {
-            let (a, b) = split_even_indices(ft, node, &q, dir);
-            debug_assert!(a.len() < q.len() || !b.is_empty(), "split must make progress");
-            stack.push(b.into_iter().map(|i| q[i]).collect());
-            stack.push(a.into_iter().map(|i| q[i]).collect());
+            buf.clear();
+            buf.extend(sub.iter().map(|&i| msgs[i as usize]));
+            let (a, b) = split_even_indices(ft, node, buf, dir);
+            debug_assert!(
+                a.len() < sub.len() || !b.is_empty(),
+                "split must make progress"
+            );
+            stack.push(b.into_iter().map(|i| sub[i]).collect());
+            stack.push(a.into_iter().map(|i| sub[i]).collect());
         }
     }
     out

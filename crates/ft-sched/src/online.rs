@@ -12,13 +12,11 @@
 //! messages are acknowledged and retire. Random arbitration order per cycle
 //! stands in for the random priorities of the Greenberg–Leiserson switch.
 
+use ft_core::rng::SplitMix64;
 use ft_core::{route::for_each_path_channel, FatTree, LoadMap, Message, MessageSet};
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// Configuration for the on-line routing process.
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct OnlineConfig {
     /// Safety valve: stop after this many delivery cycles even if messages
     /// remain (0 disables the valve). The process always terminates —
@@ -26,7 +24,6 @@ pub struct OnlineConfig {
     /// are easier to debug with a valve.
     pub max_cycles: usize,
 }
-
 
 /// Outcome of the on-line routing process.
 #[derive(Clone, Debug)]
@@ -47,10 +44,10 @@ impl OnlineResult {
 }
 
 /// Run the on-line delivery-cycle process for message set `m` on `ft`.
-pub fn route_online<R: Rng>(
+pub fn route_online(
     ft: &FatTree,
     m: &MessageSet,
-    rng: &mut R,
+    rng: &mut SplitMix64,
     config: OnlineConfig,
 ) -> OnlineResult {
     let mut alive: Vec<Message> = m.iter().copied().filter(|msg| !msg.is_local()).collect();
@@ -63,7 +60,7 @@ pub fn route_online<R: Rng>(
             truncated = true;
             break;
         }
-        alive.shuffle(rng);
+        rng.shuffle(&mut alive);
         let mut used = LoadMap::zeros(ft);
         let mut survivors = Vec::with_capacity(alive.len());
         let mut delivered = 0usize;
@@ -126,11 +123,9 @@ pub fn online_bound_shape(ft: &FatTree, load_factor: f64) -> f64 {
 mod tests {
     use super::*;
     use ft_core::CapacityProfile;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(0xFA7_EE)
+    fn rng() -> SplitMix64 {
+        SplitMix64::seed_from_u64(0xFA7_EE)
     }
 
     #[test]
@@ -152,7 +147,10 @@ mod tests {
         let t = FatTree::new(n, CapacityProfile::FullDoubling);
         let m: MessageSet = (0..n).map(|i| Message::new(i, n - 1 - i)).collect();
         let res = route_online(&t, &m, &mut rng(), OnlineConfig::default());
-        assert_eq!(res.cycles, 1, "no congestion possible, must finish in one cycle");
+        assert_eq!(
+            res.cycles, 1,
+            "no congestion possible, must finish in one cycle"
+        );
     }
 
     #[test]
@@ -190,9 +188,7 @@ mod tests {
         let n = 256u32;
         let t = FatTree::universal(n, 64);
         let mut r = rng();
-        let m: MessageSet = (0..n)
-            .map(|i| Message::new(i, rand::Rng::gen_range(&mut r, 0..n)))
-            .collect();
+        let m: MessageSet = (0..n).map(|i| Message::new(i, r.gen_range(0..n))).collect();
         let lam = ft_core::load_factor(&t, &m);
         let res = route_online(&t, &m, &mut r, OnlineConfig::default());
         // Generous constant: shape is λ + lg n lg lg n; allow 6×.

@@ -1,0 +1,125 @@
+//! The retained reference Theorem 1 scheduler.
+//!
+//! This is the original implementation of [`crate::offline`], kept verbatim
+//! as the *golden reference*: the incremental scheduler must emit identical
+//! schedules (see `tests/golden_scheduler.rs`). Every feasibility check here
+//! builds a fresh whole-tree [`LoadMap`] and every split clones its part —
+//! easy to audit against §III, wasteful on purpose.
+//!
+//! Do not "optimize" this module. Its value is that it stays dumb.
+
+use crate::offline::Theorem1Stats;
+use crate::schedule::Schedule;
+use crate::split::{split_even_indices, CrossDirection};
+use ft_core::{FatTree, LoadMap, Message, MessageSet};
+
+/// Schedule `m` on `ft` per Theorem 1 (reference implementation).
+pub fn schedule_theorem1_reference(ft: &FatTree, m: &MessageSet) -> (Schedule, Theorem1Stats) {
+    let n = ft.n();
+    let height = ft.height();
+    let lam = LoadMap::of(ft, m).load_factor(ft);
+
+    // Bucket messages by LCA node; local messages consume no channels and
+    // ride along in the first emitted cycle.
+    let mut by_lca: Vec<Vec<Message>> = vec![Vec::new(); (2 * n) as usize];
+    let mut locals: Vec<Message> = Vec::new();
+    for msg in m {
+        if msg.is_local() {
+            locals.push(*msg);
+        } else {
+            by_lca[ft.lca(msg.src, msg.dst) as usize].push(*msg);
+        }
+    }
+
+    let mut schedule = Schedule::new();
+    let mut cycles_per_level = Vec::with_capacity(height as usize);
+
+    for level in 0..height {
+        // For every node at this level, refine each direction into one-cycle
+        // parts; the level contributes max(part-count) cycles, with all
+        // nodes' t-th parts merged into the t-th cycle of the level.
+        let mut level_parts: Vec<Vec<Vec<Message>>> = Vec::new();
+        for node in (1u32 << level)..(1u32 << (level + 1)) {
+            let q = std::mem::take(&mut by_lca[node as usize]);
+            if q.is_empty() {
+                continue;
+            }
+            let (lr, rl): (Vec<Message>, Vec<Message>) = q
+                .into_iter()
+                .partition(|msg| crate::split::is_under(ft.leaf(msg.src), 2 * node));
+            for (dir, msgs) in [
+                (CrossDirection::LeftToRight, lr),
+                (CrossDirection::RightToLeft, rl),
+            ] {
+                if msgs.is_empty() {
+                    continue;
+                }
+                level_parts.push(refine_to_one_cycle(ft, node, msgs, dir));
+            }
+        }
+        let level_cycles = level_parts.iter().map(|p| p.len()).max().unwrap_or(0);
+        for t in 0..level_cycles {
+            let mut cyc = MessageSet::new();
+            for parts in &level_parts {
+                if let Some(p) = parts.get(t) {
+                    for msg in p {
+                        cyc.push(*msg);
+                    }
+                }
+            }
+            schedule.push_cycle(cyc);
+        }
+        cycles_per_level.push(level_cycles);
+    }
+
+    // Attach local messages (zero load) to the first cycle, or emit a cycle
+    // for them if the schedule is otherwise empty.
+    if !locals.is_empty() {
+        if schedule.num_cycles() == 0 {
+            schedule.push_cycle(MessageSet::from_vec(locals));
+        } else {
+            let mut cycles = std::mem::take(&mut schedule).into_cycles();
+            for msg in locals {
+                cycles[0].push(msg);
+            }
+            schedule = Schedule::from_cycles(cycles);
+        }
+    }
+
+    let stats = Theorem1Stats {
+        total_cycles: schedule.num_cycles(),
+        cycles_per_level,
+        load_factor: lam,
+    };
+    (schedule, stats)
+}
+
+/// Repeatedly halve `msgs` (which all cross `node` in direction `dir`) until
+/// every part is a one-cycle message set on `ft`.
+fn refine_to_one_cycle(
+    ft: &FatTree,
+    node: u32,
+    msgs: Vec<Message>,
+    dir: CrossDirection,
+) -> Vec<Vec<Message>> {
+    let mut out = Vec::new();
+    let mut stack = vec![msgs];
+    while let Some(q) = stack.pop() {
+        if q.is_empty() {
+            continue;
+        }
+        let lm = LoadMap::of(ft, &MessageSet::from_vec(q.clone()));
+        if lm.is_one_cycle(ft) {
+            out.push(q);
+        } else {
+            let (a, b) = split_even_indices(ft, node, &q, dir);
+            debug_assert!(
+                a.len() < q.len() || !b.is_empty(),
+                "split must make progress"
+            );
+            stack.push(b.into_iter().map(|i| q[i]).collect());
+            stack.push(a.into_iter().map(|i| q[i]).collect());
+        }
+    }
+    out
+}

@@ -62,11 +62,7 @@ impl Schedule {
                 ));
             }
         }
-        let mut got: Vec<_> = self
-            .cycles
-            .iter()
-            .flat_map(|c| c.iter().copied())
-            .collect();
+        let mut got: Vec<_> = self.cycles.iter().flat_map(|c| c.iter().copied()).collect();
         got.sort_unstable_by_key(|m| (m.src.0, m.dst.0));
         let want = original.sorted();
         if got != want {

@@ -48,7 +48,11 @@ pub fn split_even_indices(
     let _ = (node, dir);
     #[cfg(debug_assertions)]
     for m in q {
-        debug_assert_eq!(ft.lca(m.src, m.dst), node, "message {m} does not cross node {node}");
+        debug_assert_eq!(
+            ft.lca(m.src, m.dst),
+            node,
+            "message {m} does not cross node {node}"
+        );
         let src_left = is_under(ft.leaf(m.src), 2 * node);
         match dir {
             CrossDirection::LeftToRight => debug_assert!(src_left),
@@ -152,7 +156,8 @@ fn hierarchical_matching(
     let mut mate: Vec<Option<usize>> = vec![None; q.len()];
 
     // Group ends by leaf, in sorted leaf order.
-    let mut by_leaf: Vec<(u32, usize)> = q.iter().enumerate().map(|(i, m)| (leaf_of(m), i)).collect();
+    let mut by_leaf: Vec<(u32, usize)> =
+        q.iter().enumerate().map(|(i, m)| (leaf_of(m), i)).collect();
     by_leaf.sort_unstable_by_key(|&(leaf, i)| (leaf, i));
 
     // Step 1: pair within each processor; collect one leftover per leaf.
@@ -237,16 +242,18 @@ mod tests {
         let (a, b) = split_even(ftree, node, q, dir);
         assert_eq!(a.len() + b.len(), q.len(), "split must cover q");
         // Q₀ gets the ceiling half.
-        assert!(a.len() >= b.len() && a.len() - b.len() <= 1, "|Q0|={} |Q1|={}", a.len(), b.len());
+        assert!(
+            a.len() >= b.len() && a.len() - b.len() <= 1,
+            "|Q0|={} |Q1|={}",
+            a.len(),
+            b.len()
+        );
         let la = LoadMap::of(ftree, &MessageSet::from_vec(a));
         let lb = LoadMap::of(ftree, &MessageSet::from_vec(b));
         for c in ftree.channels() {
             let x = la.get(c);
             let y = lb.get(c);
-            assert!(
-                x.abs_diff(y) <= 1,
-                "uneven split at {c}: {x} vs {y}"
-            );
+            assert!(x.abs_diff(y) <= 1, "uneven split at {c}: {x} vs {y}");
             let total = LoadMap::of(ftree, &MessageSet::from_vec(q.to_vec())).get(c);
             assert_eq!(x + y, total);
             // Each half holds at most the ceiling (the odd message may land
@@ -279,7 +286,16 @@ mod tests {
     fn hotspot_destination_split() {
         let t = ft(16);
         // All 8 left processors send to right processor 12.
-        let q = cross_root_msgs(&[(0, 12), (1, 12), (2, 12), (3, 12), (4, 12), (5, 12), (6, 12), (7, 12)]);
+        let q = cross_root_msgs(&[
+            (0, 12),
+            (1, 12),
+            (2, 12),
+            (3, 12),
+            (4, 12),
+            (5, 12),
+            (6, 12),
+            (7, 12),
+        ]);
         check_even(&t, &q, CrossDirection::LeftToRight, 1);
     }
 

@@ -2,13 +2,21 @@
 //! arbitrary big-capacity trees, and compression safety on arbitrary
 //! schedules.
 
+#![cfg(feature = "proptest")]
+// Compiled only with `--features proptest`, which additionally requires
+// re-adding the `proptest` crate to dev-dependencies (not available in
+// offline builds).
+
 use ft_core::{lg, CapacityProfile, FatTree, Message, MessageSet};
 use ft_sched::bigcap::{corollary2_bound, schedule_bigcap};
 use ft_sched::{compress_schedule, schedule_greedy, schedule_theorem1};
 use proptest::prelude::*;
 
 fn msgs(n: u32, pairs: &[(u32, u32)]) -> MessageSet {
-    pairs.iter().map(|&(a, b)| Message::new(a % n, b % n)).collect()
+    pairs
+        .iter()
+        .map(|&(a, b)| Message::new(a % n, b % n))
+        .collect()
 }
 
 proptest! {

@@ -117,7 +117,9 @@ pub fn execute_compiled(
         for_each_path_channel(ft, m, |c| expected.push(c));
         let got: Vec<ChannelId> = claims.iter().map(|&(c, _)| c).collect();
         if got != expected {
-            return Err(format!("message {i} ({m}) has a claim sequence off its path"));
+            return Err(format!(
+                "message {i} ({m}) has a claim sequence off its path"
+            ));
         }
         for &(c, w) in claims {
             if w as u64 >= ft.cap(c) {
@@ -135,7 +137,10 @@ pub fn execute_compiled(
             max_ticks = max_ticks.max(2 * nodes_on_path.max(1) + frame.payload_bits);
         }
     }
-    Ok(CompiledRun { delivered: msgs.len(), ticks: max_ticks })
+    Ok(CompiledRun {
+        delivered: msgs.len(),
+        ticks: max_ticks,
+    })
 }
 
 #[cfg(test)]
@@ -174,7 +179,10 @@ mod tests {
         // simplest: duplicate message 0's claims into message 1 entirely.
         compiled.claims[1] = compiled.claims[0].clone();
         let err = execute_compiled(&t, &msgs, &compiled, 8).unwrap_err();
-        assert!(err.contains("off its path") || err.contains("conflict"), "{err}");
+        assert!(
+            err.contains("off its path") || err.contains("conflict"),
+            "{err}"
+        );
     }
 
     #[test]

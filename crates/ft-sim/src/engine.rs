@@ -1,4 +1,4 @@
-//! Delivery-cycle execution (§II).
+//! Delivery-cycle execution (§II) — the flat-array engine.
 //!
 //! A delivery cycle: every participating message snakes up from its source
 //! leaf toward the LCA and back down, claiming one wire per channel. At
@@ -13,11 +13,35 @@
 //! is established the remaining bits stream through, so a message's latency
 //! is `2·(nodes on path) + payload_bits` and the cycle time is the max over
 //! delivered messages — `O(lg n)` for fixed payload, as §II claims.
+//!
+//! # Engine structure
+//!
+//! All per-cycle state lives in a reusable [`SimArena`]. Per-message
+//! metadata (alive, local, LCA level, both leaves) is packed into one u64
+//! word, so each level pass streams two flat arrays instead of chasing hash
+//! maps. The serial path scatters each pass's contenders straight into a
+//! generation-stamped (node, slot) table and arbitrates by walking it —
+//! ascending-slot order falls out of the layout, with no sorting and no
+//! intermediate bucket arrays. Every scratch buffer is grow-only, so a
+//! steady-state [`run_to_completion`] does no per-cycle heap allocation on
+//! the ideal-switch path (asserted by `tests/alloc_steady.rs`; partial
+//! concentrators run Hopcroft–Karp matchings, which allocate).
+//!
+//! Because sibling subtrees use disjoint channels, the per-node arbitration
+//! of one level is embarrassingly parallel: with [`SimConfig::threads`] > 1
+//! contenders are counting-sorted into per-node buckets and the node range
+//! of each level is split into contiguous chunks handled by scoped threads.
+//! Results are byte-identical for every thread count — each bucket's outcome
+//! depends only on its own contenders, and the scatter back into per-message
+//! state is serial and in node order. The original HashMap-based engine is
+//! retained verbatim in [`crate::reference`] and the equivalence is enforced
+//! by `tests/golden_engine.rs`.
 
 use crate::faults::FaultModel;
 use crate::node::PortSwitch;
+use ft_concentrator::Concentrator;
+use ft_core::rng::splitmix64;
 use ft_core::{ChannelId, FatTree, LoadMap, Message, MessageSet};
-use std::collections::HashMap;
 
 /// Re-export for configuration convenience.
 pub use crate::node::SwitchFlavor as SwitchKind;
@@ -46,6 +70,10 @@ pub struct SimConfig {
     /// capacities; the dense-assignment convention drops messages whose
     /// assigned wire index falls beyond the surviving count.
     pub faults: FaultModel,
+    /// Worker threads for per-node port arbitration (0 and 1 both mean
+    /// serial). Sibling subtrees use disjoint channels, so any thread count
+    /// produces byte-identical results.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -55,6 +83,7 @@ impl Default for SimConfig {
             switch: SwitchKind::Ideal,
             arbitration: Arbitration::SlotOrder,
             faults: FaultModel::none(),
+            threads: 1,
         }
     }
 }
@@ -81,238 +110,907 @@ pub struct RunReport {
     pub delivered_per_cycle: Vec<usize>,
     /// Total ticks across all cycles.
     pub total_ticks: u64,
+    /// Original message indices in delivery order, grouped by cycle:
+    /// the first `delivered_per_cycle[0]` entries were delivered in cycle 1,
+    /// the next `delivered_per_cycle[1]` in cycle 2, and so on.
+    pub delivery_order: Vec<usize>,
+}
+
+/// Summary of one arena cycle (the full winner/loser detail stays in the
+/// arena's reusable buffers — see [`SimArena::delivered_indices`] etc.).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CycleStats {
+    /// Messages delivered this cycle.
+    pub delivered: usize,
+    /// Cycle time in bit ticks.
+    pub ticks: u32,
+}
+
+/// Sentinel wire value marking a dropped message in the bucket output array.
+const DROPPED: u32 = u32::MAX;
+
+// Per-message metadata packed into one u64 so each level pass reads a single
+// sequential stream: bit 0 alive, bit 1 local, bits 2..8 LCA level,
+// bits 8..36 source leaf, bits 36..64 destination leaf. 28-bit leaf fields
+// cap the flat engine at 2^26 processors (asserted in `SimArena::new`) —
+// far beyond any simulable size; the reference engine has no such limit.
+const META_ALIVE: u64 = 1;
+const META_LOCAL: u64 = 2;
+
+#[inline]
+fn meta_pack(local: bool, lca_level: u32, leaf_src: u32, leaf_dst: u32) -> u64 {
+    META_ALIVE
+        | (local as u64) << 1
+        | (lca_level as u64) << 2
+        | (leaf_src as u64) << 8
+        | (leaf_dst as u64) << 36
+}
+
+#[inline]
+fn meta_lca(m: u64) -> u32 {
+    (m >> 2) as u32 & 0x3F
+}
+
+#[inline]
+fn meta_src(m: u64) -> u32 {
+    (m >> 8) as u32 & 0x0FFF_FFFF
+}
+
+#[inline]
+fn meta_dst(m: u64) -> u32 {
+    (m >> 36) as u32 & 0x0FFF_FFFF
+}
+
+/// Parameters of one level pass (up or down) shared with worker threads.
+struct PhaseParams {
+    /// Up phase (toward the root) or down phase.
+    up: bool,
+    /// The switching-node level being processed.
+    node_level: u32,
+    /// Tree height (leaves live at this level).
+    height: u32,
+    /// Up: child-channel capacity (right-child slots start here).
+    /// Down: parent-channel capacity (turning slots start here).
+    slot_base: u32,
+    /// First heap node id whose buckets this pass owns.
+    lo: u32,
+}
+
+impl PhaseParams {
+    /// Input slot of a message with packed metadata `m` on wire `w` for
+    /// this pass.
+    #[inline]
+    fn slot(&self, m: u64, w: u32) -> u32 {
+        if self.up {
+            // Left child wires [0, capc), right child wires [capc, 2capc).
+            let child = meta_src(m) >> (self.height - (self.node_level + 1));
+            (child & 1) * self.slot_base + w
+        } else if meta_lca(m) == self.node_level {
+            // Turning at this node: came up from the other child.
+            self.slot_base + w
+        } else {
+            w
+        }
+    }
+
+    /// Output channel of bucket `k_rel` (node id `lo + k_rel`).
+    #[inline]
+    fn channel(&self, k_rel: usize) -> ChannelId {
+        let node = self.lo + k_rel as u32;
+        if self.up {
+            ChannelId::up(node)
+        } else {
+            ChannelId::down(node)
+        }
+    }
+}
+
+/// Reusable per-cycle scratch for the flat-array engine.
+///
+/// Construct once per `(tree, fault pattern)` and feed it any number of
+/// cycles; every buffer is grow-only, so after the first cycle of a given
+/// size the ideal-switch serial path performs no heap allocation at all.
+pub struct SimArena {
+    n: u32,
+    height: u32,
+    faults: FaultModel,
+    /// Effective capacity per dense channel index (fault pattern applied).
+    eff: Vec<u64>,
+    /// Port-switch cache keyed by (inputs, outputs); at most a few per level.
+    ports: Vec<((usize, usize), PortSwitch)>,
+    // --- per-message state, indexed by position in the submitted slice ---
+    /// Packed alive/local/LCA-level/leaf metadata (see `meta_pack`).
+    meta: Vec<u64>,
+    /// Current wire (rank) on the message's most recent channel.
+    wire: Vec<u32>,
+    /// Indices of the messages participating in the current pass.
+    eligible: Vec<u32>,
+    // --- counting-sort state (parallel path) ---
+    per_leaf: Vec<u32>,
+    offsets: Vec<u32>,
+    cursor: Vec<u32>,
+    bucket_msgs: Vec<u32>,
+    bucket_slots: Vec<u32>,
+    bucket_out: Vec<u32>,
+    // --- direct slot-table state (serial path) ---
+    /// Global (node, slot) table, one entry per `node_rel * r + slot`:
+    /// `gen << 32 | message index`, valid only where the stamp matches
+    /// `tbl_gen`. Bumping the generation per pass replaces clearing.
+    tbl: Vec<u64>,
+    /// Per-bucket `count << 32 | min_slot`, rebuilt each pass.
+    bucket_meta: Vec<u64>,
+    /// Current pass generation stamp for `tbl`.
+    tbl_gen: u32,
+    /// Per-thread arbitration scratch.
+    scratch: Vec<ArbScratch>,
+    // --- per-cycle outputs ---
+    delivered: Vec<u32>,
+    dropped: Vec<u32>,
+    channel_use: LoadMap,
+}
+
+impl SimArena {
+    /// Scratch sized for `ft`, with `cfg`'s fault pattern baked into the
+    /// effective capacities.
+    pub fn new(ft: &FatTree, cfg: &SimConfig) -> Self {
+        let n = ft.n();
+        assert!(
+            ft.height() <= 26,
+            "flat engine supports up to 2^26 processors"
+        );
+        let bound = ft.channel_index_bound();
+        let mut eff = vec![0u64; bound];
+        for c in ft.channels() {
+            eff[c.index()] = cfg.faults.effective_cap(ft, c);
+        }
+        SimArena {
+            n,
+            height: ft.height(),
+            faults: cfg.faults,
+            eff,
+            ports: Vec::new(),
+            meta: Vec::new(),
+            wire: Vec::new(),
+            eligible: Vec::new(),
+            per_leaf: vec![0; n as usize],
+            offsets: Vec::with_capacity(n as usize + 1),
+            cursor: Vec::with_capacity(n as usize),
+            bucket_msgs: Vec::new(),
+            bucket_slots: Vec::new(),
+            bucket_out: Vec::new(),
+            tbl: Vec::new(),
+            bucket_meta: Vec::new(),
+            tbl_gen: 0,
+            scratch: Vec::new(),
+            delivered: Vec::new(),
+            dropped: Vec::new(),
+            channel_use: LoadMap::zeros(ft),
+        }
+    }
+
+    /// Delivered message indices from the last cycle, ascending.
+    pub fn delivered_indices(&self) -> &[u32] {
+        &self.delivered
+    }
+
+    /// Dropped message indices from the last cycle, ascending.
+    pub fn dropped_indices(&self) -> &[u32] {
+        &self.dropped
+    }
+
+    /// Per-channel wire usage from the last cycle.
+    pub fn channel_use(&self) -> &LoadMap {
+        &self.channel_use
+    }
+
+    /// Cached port switch for a shape, creating it on first use. Partial
+    /// switches are sampled from a seed derived from the shape, so creation
+    /// order cannot change their wiring.
+    fn port_index(&mut self, kind: SwitchKind, r: usize, s: usize) -> usize {
+        if let Some(p) = self
+            .ports
+            .iter()
+            .position(|&((pr, ps), _)| pr == r && ps == s)
+        {
+            return p;
+        }
+        self.ports.push(((r, s), PortSwitch::new(kind, r, s)));
+        self.ports.len() - 1
+    }
+
+    /// Run one delivery cycle of `msgs` on `ft`, reusing all scratch.
+    ///
+    /// Winner/loser indices and channel usage are readable through the
+    /// accessors until the next call.
+    pub fn cycle(&mut self, ft: &FatTree, msgs: &[Message], cfg: &SimConfig) -> CycleStats {
+        debug_assert_eq!(self.n, ft.n(), "arena built for a different tree");
+        debug_assert_eq!(
+            self.faults, cfg.faults,
+            "arena built for a different fault pattern"
+        );
+        let n_msgs = msgs.len();
+        let height = self.height;
+
+        // --- Per-message metadata (grow-only buffers).
+        self.wire.clear();
+        self.wire.resize(n_msgs, 0);
+        self.meta.clear();
+        for m in msgs {
+            let lca = ft.lca(m.src, m.dst);
+            self.meta.push(meta_pack(
+                m.is_local(),
+                31 - lca.leading_zeros(),
+                ft.leaf(m.src),
+                ft.leaf(m.dst),
+            ));
+        }
+
+        // --- Injection: each processor assigns its messages to leaf up-wires.
+        self.per_leaf.fill(0);
+        self.channel_use.clear();
+        for i in 0..n_msgs {
+            let m = self.meta[i];
+            if m & META_LOCAL != 0 {
+                continue;
+            }
+            let up = ChannelId::up(meta_src(m));
+            let leaf_cap = self.eff[up.index()] as u32;
+            let cnt = &mut self.per_leaf[msgs[i].src.idx()];
+            if *cnt < leaf_cap {
+                self.wire[i] = *cnt;
+                *cnt += 1;
+                self.channel_use.add_one(up);
+            } else {
+                self.meta[i] = m & !META_ALIVE; // source port congested immediately
+            }
+        }
+
+        // --- Up phase (deepest node level first), then down phase.
+        for node_level in (0..height).rev() {
+            self.level_pass(ft, cfg, true, node_level);
+        }
+        for node_level in 0..height {
+            self.level_pass(ft, cfg, false, node_level);
+        }
+
+        // --- Bookkeeping.
+        self.delivered.clear();
+        self.dropped.clear();
+        let mut max_latency = 0u32;
+        for i in 0..n_msgs {
+            let m = self.meta[i];
+            if m & META_LOCAL != 0 {
+                self.delivered.push(i as u32);
+                continue;
+            }
+            if m & META_ALIVE != 0 {
+                self.delivered.push(i as u32);
+                let nodes_on_path = 2 * (height - meta_lca(m)) - 1;
+                max_latency = max_latency.max(2 * nodes_on_path + cfg.payload_bits);
+            } else {
+                self.dropped.push(i as u32);
+            }
+        }
+        CycleStats {
+            delivered: self.delivered.len(),
+            ticks: max_latency,
+        }
+    }
+
+    /// One level pass: counting-sort the contenders into per-node buckets,
+    /// arbitrate every bucket (in parallel for `cfg.threads > 1`), then
+    /// scatter the surviving wire assignments back.
+    fn level_pass(&mut self, ft: &FatTree, cfg: &SimConfig, up: bool, node_level: u32) {
+        let height = self.height;
+        let n_msgs = self.meta.len();
+        // Bucket keys: the switching node for the up phase, the destination
+        // child (which already encodes the `goes_right` side) for the down.
+        let key_level = if up { node_level } else { node_level + 1 };
+        let lo = 1u32 << key_level;
+        let nk = lo as usize; // nodes at key_level
+
+        let (r, s) = if up {
+            let capc = ft.cap_at_level(node_level + 1) as usize;
+            (2 * capc, ft.cap_at_level(node_level) as usize)
+        } else {
+            let cap_in_parent = ft.cap_at_level(node_level) as usize;
+            let cap_side = ft.cap_at_level(node_level + 1) as usize;
+            (cap_in_parent + cap_side, cap_side)
+        };
+        let params = PhaseParams {
+            up,
+            node_level,
+            height,
+            slot_base: if up {
+                ft.cap_at_level(node_level + 1) as u32
+            } else {
+                ft.cap_at_level(node_level) as u32
+            },
+            lo,
+        };
+
+        let shift = height - key_level;
+        let sw_idx = self.port_index(cfg.switch, r, s);
+        let threads = cfg.threads.max(1).min(nk);
+        if threads <= 1 {
+            self.level_pass_serial(cfg, &params, sw_idx, r, shift, nk);
+            return;
+        }
+
+        // Pass 1: find the participating messages and count bucket sizes.
+        self.offsets.clear();
+        self.offsets.resize(nk + 1, 0);
+        self.eligible.clear();
+        for i in 0..n_msgs {
+            let m = self.meta[i];
+            if m & (META_ALIVE | META_LOCAL) != META_ALIVE {
+                continue;
+            }
+            let ll = meta_lca(m);
+            // Up: still climbing through this node. Down: has turned at or
+            // above this node.
+            if (up && ll >= node_level) || (!up && ll > node_level) {
+                continue;
+            }
+            let leaf = if up { meta_src(m) } else { meta_dst(m) };
+            let k = (leaf >> shift) - lo;
+            self.offsets[k as usize + 1] += 1;
+            self.eligible.push(i as u32);
+        }
+        let total = self.eligible.len();
+        if total == 0 {
+            return;
+        }
+        for k in 0..nk {
+            self.offsets[k + 1] += self.offsets[k];
+        }
+
+        // Pass 2: place message indices and their input slots into buckets
+        // (stable: ascending message order within each bucket, like the
+        // reference — though with distinct slots any order arbitrates the
+        // same).
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.offsets[..nk]);
+        self.bucket_msgs.resize(total, 0);
+        self.bucket_slots.resize(total, 0);
+        for &iu in &self.eligible {
+            let i = iu as usize;
+            let m = self.meta[i];
+            let leaf = if up { meta_src(m) } else { meta_dst(m) };
+            let k = ((leaf >> shift) - lo) as usize;
+            let slot = params.slot(m, self.wire[i]);
+            let pos = self.cursor[k] as usize;
+            self.cursor[k] += 1;
+            self.bucket_msgs[pos] = iu;
+            self.bucket_slots[pos] = slot;
+        }
+
+        // Arbitrate each bucket through the (shared, read-only) port switch.
+        // Arbitration outcomes go into the bucket-aligned `bucket_out`
+        // array — the node range is split into contiguous chunks, and each
+        // chunk owns a contiguous slice of it, so plain disjoint mutable
+        // borrows suffice (no shared-state synchronization). The scatter
+        // back into per-message state stays serial, in node order.
+        if self.scratch.len() < threads {
+            self.scratch.resize_with(threads, Default::default);
+        }
+        let sw = &self.ports[sw_idx].1;
+        let offsets = &self.offsets[..nk + 1];
+        let bucket_msgs = &self.bucket_msgs[..total];
+        let bucket_slots = &self.bucket_slots[..total];
+        let eff = &self.eff[..];
+        let arb = cfg.arbitration;
+
+        self.bucket_out.resize(total, 0);
+        self.bucket_out[..total].fill(DROPPED);
+        let bucket_out = &mut self.bucket_out[..total];
+        let per = nk.div_ceil(threads);
+        std::thread::scope(|sc| {
+            let mut rest = bucket_out;
+            let mut done = 0usize;
+            for (t, scratch) in self.scratch[..threads].iter_mut().enumerate() {
+                let k0 = t * per;
+                let k1 = ((t + 1) * per).min(nk);
+                if k0 >= k1 {
+                    break;
+                }
+                let base = offsets[k0] as usize;
+                let end = offsets[k1] as usize;
+                let (chunk, tail) = rest.split_at_mut(end - done);
+                rest = tail;
+                done = end;
+                let params = &params;
+                sc.spawn(move || {
+                    arbitrate_chunk(
+                        k0..k1,
+                        base,
+                        chunk,
+                        offsets,
+                        bucket_msgs,
+                        bucket_slots,
+                        sw,
+                        eff,
+                        arb,
+                        params,
+                        r,
+                        scratch,
+                    );
+                });
+            }
+        });
+
+        for k_rel in 0..nk {
+            let (b0, b1) = (
+                self.offsets[k_rel] as usize,
+                self.offsets[k_rel + 1] as usize,
+            );
+            if b0 == b1 {
+                continue;
+            }
+            let chan = params.channel(k_rel);
+            for pos in b0..b1 {
+                let i = self.bucket_msgs[pos] as usize;
+                let out = self.bucket_out[pos];
+                if out == DROPPED {
+                    self.meta[i] &= !META_ALIVE;
+                } else {
+                    self.wire[i] = out;
+                    self.channel_use.add_one(chan);
+                }
+            }
+        }
+    }
+}
+
+impl SimArena {
+    /// Serial level pass: one scan scatters every contender straight into a
+    /// generation-stamped global (node, slot) table — `tbl[k·r + slot]`
+    /// holds `gen << 32 | message` — while `bucket_meta[k]` accumulates
+    /// `count << 32 | min_slot`. Arbitration then walks each bucket's slot
+    /// range in place: ascending-slot order falls out of the table layout,
+    /// so there is no counting sort, no prefix sum and no bucket array at
+    /// all. Winners and losers are written directly into per-message state.
+    ///
+    /// Correctness leans on slots within a bucket being distinct (wires on
+    /// a channel are unique ranks, injection wires are unique per leaf);
+    /// the walk visits exactly `count` stamped entries. Must arbitrate
+    /// exactly like [`arbitrate_chunk`] — the golden and determinism tests
+    /// pin the two together.
+    fn level_pass_serial(
+        &mut self,
+        cfg: &SimConfig,
+        params: &PhaseParams,
+        sw_idx: usize,
+        r: usize,
+        shift: u32,
+        nk: usize,
+    ) {
+        let n_msgs = self.meta.len();
+        self.tbl_gen = self.tbl_gen.wrapping_add(1);
+        if self.tbl_gen == 0 {
+            self.tbl.fill(0);
+            self.tbl_gen = 1;
+        }
+        let gen = self.tbl_gen as u64;
+        if self.tbl.len() < nk * r {
+            self.tbl.resize(nk * r, 0);
+        }
+        self.bucket_meta.clear();
+        self.bucket_meta.resize(nk, u32::MAX as u64); // count 0, min_slot MAX
+
+        let (up, node_level, lo) = (params.up, params.node_level, params.lo);
+        let mut any = false;
+        for i in 0..n_msgs {
+            let m = self.meta[i];
+            if m & (META_ALIVE | META_LOCAL) != META_ALIVE {
+                continue;
+            }
+            let ll = meta_lca(m);
+            if (up && ll >= node_level) || (!up && ll > node_level) {
+                continue;
+            }
+            let leaf = if up { meta_src(m) } else { meta_dst(m) };
+            let k = ((leaf >> shift) - lo) as usize;
+            let slot = params.slot(m, self.wire[i]);
+            let idx = k * r + slot as usize;
+            debug_assert!(self.tbl[idx] >> 32 != gen, "duplicate slot in bucket");
+            self.tbl[idx] = (gen << 32) | i as u64;
+            let bm = &mut self.bucket_meta[k];
+            *bm = (((*bm >> 32) + 1) << 32) | ((*bm as u32).min(slot) as u64);
+            any = true;
+        }
+        if !any {
+            return;
+        }
+
+        if self.scratch.is_empty() {
+            self.scratch.resize_with(1, Default::default);
+        }
+        let SimArena {
+            ports,
+            eff,
+            meta,
+            wire,
+            channel_use,
+            tbl,
+            bucket_meta,
+            scratch,
+            ..
+        } = self;
+        let sw = &ports[sw_idx].1;
+        let arb = cfg.arbitration;
+        let scratch = &mut scratch[0];
+
+        for (k_rel, &bm) in bucket_meta.iter().enumerate() {
+            let b = (bm >> 32) as u32;
+            if b == 0 {
+                continue;
+            }
+            let min_slot = bm as u32 as usize;
+            let chan = params.channel(k_rel);
+            let e = eff[chan.index()];
+            let base = k_rel * r;
+
+            // Singleton fast path: one contender on an ideal port always
+            // wins wire 0 (effective capacities are floored at 1). By far
+            // the common case at deep tree levels.
+            if b == 1 && matches!(sw, PortSwitch::Ideal(_)) && matches!(arb, Arbitration::SlotOrder)
+            {
+                let i = tbl[base + min_slot] as u32 as usize;
+                wire[i] = 0;
+                channel_use.add_one(chan);
+                continue;
+            }
+
+            match arb {
+                Arbitration::SlotOrder => match sw {
+                    PortSwitch::Ideal(cb) => {
+                        let winners = (cb.outputs() as u64).min(e).min(b as u64) as u32;
+                        let mut rank = 0u32;
+                        let mut idx = base + min_slot;
+                        while rank < b {
+                            let entry = tbl[idx];
+                            if entry >> 32 == gen {
+                                let i = entry as u32 as usize;
+                                if rank < winners {
+                                    wire[i] = rank;
+                                    channel_use.add_one(chan);
+                                } else {
+                                    meta[i] &= !META_ALIVE;
+                                }
+                                rank += 1;
+                            }
+                            idx += 1;
+                        }
+                    }
+                    PortSwitch::Partial { .. } => {
+                        scratch.sort_buf.clear();
+                        scratch.active.clear();
+                        let mut seen = 0u32;
+                        let mut idx = base + min_slot;
+                        while seen < b {
+                            let entry = tbl[idx];
+                            if entry >> 32 == gen {
+                                scratch
+                                    .sort_buf
+                                    .push((entry as u32, (idx - base) as u32, 0));
+                                scratch.active.push(idx - base);
+                                seen += 1;
+                            }
+                            idx += 1;
+                        }
+                        let routed = sw.concentrate(&scratch.active);
+                        for (&(i, _, _), w) in scratch.sort_buf.iter().zip(routed) {
+                            apply_outcome(i as usize, w, e, chan, meta, wire, channel_use);
+                        }
+                    }
+                },
+                Arbitration::Random(seed) => {
+                    // Collect all contenders (slot-ascending), then rank by
+                    // per-message hash as in the reference.
+                    scratch.sort_buf.clear();
+                    let mut seen = 0u32;
+                    let mut idx = base + min_slot;
+                    while seen < b {
+                        let entry = tbl[idx];
+                        if entry >> 32 == gen {
+                            scratch
+                                .sort_buf
+                                .push((entry as u32, (idx - base) as u32, 0));
+                            seen += 1;
+                        }
+                        idx += 1;
+                    }
+                    scratch.sort_buf.sort_unstable_by_key(|&(i, s, _)| {
+                        (
+                            splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                            s,
+                        )
+                    });
+                    match sw {
+                        PortSwitch::Ideal(cb) => {
+                            let s_out = cb.outputs();
+                            for (j, &(i, _, _)) in scratch.sort_buf.iter().enumerate() {
+                                let i = i as usize;
+                                if j < s_out && (j as u64) < e {
+                                    wire[i] = j as u32;
+                                    channel_use.add_one(chan);
+                                } else {
+                                    meta[i] &= !META_ALIVE;
+                                }
+                            }
+                        }
+                        PortSwitch::Partial { .. } => {
+                            scratch.active.clear();
+                            scratch
+                                .active
+                                .extend(scratch.sort_buf.iter().map(|&(_, s, _)| s as usize));
+                            let routed = sw.concentrate(&scratch.active);
+                            for (&(i, _, _), w) in scratch.sort_buf.iter().zip(routed) {
+                                apply_outcome(i as usize, w, e, chan, meta, wire, channel_use);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Apply one concentrator outcome to a message: a routed wire under the
+/// effective capacity advances, anything else dies.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn apply_outcome(
+    i: usize,
+    routed: Option<u32>,
+    e: u64,
+    chan: ChannelId,
+    meta: &mut [u64],
+    wire: &mut [u32],
+    channel_use: &mut LoadMap,
+) {
+    match routed {
+        Some(w) if (w as u64) < e => {
+            wire[i] = w;
+            channel_use.add_one(chan);
+        }
+        _ => meta[i] &= !META_ALIVE,
+    }
+}
+
+/// Arbitrate the buckets of nodes `k0..k1`. `out` is the chunk's slice of
+/// the bucket output array, whose global offset is `base`.
+/// Per-thread arbitration scratch: a sort buffer for random arbitration and
+/// a generation-stamped direct-mapped slot table for deterministic slot
+/// order (ranking contenders without sorting them).
+#[derive(Default)]
+struct ArbScratch {
+    /// (message index, slot, position-in-chunk) sort buffer.
+    sort_buf: Vec<(u32, u32, u32)>,
+    /// Active slot list handed to partial concentrators.
+    active: Vec<usize>,
+    /// slot → position-in-chunk, valid only where `gen_of[slot] == gen`.
+    pos_of: Vec<u32>,
+    /// Stamp marking `pos_of[slot]` as belonging to the current bucket.
+    gen_of: Vec<u32>,
+    /// Current bucket's generation stamp.
+    gen: u32,
+}
+
+impl ArbScratch {
+    /// Start a bucket: size the table for slot universe `r` and bump the
+    /// generation so stale entries are ignored without clearing.
+    fn begin_bucket(&mut self, r: usize) {
+        if self.pos_of.len() < r {
+            self.pos_of.resize(r, 0);
+            self.gen_of.resize(r, 0);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.gen_of.fill(0);
+            self.gen = 1;
+        }
+    }
+}
+
+/// Arbitrate the buckets of nodes `k0..k1`. `out` is the chunk's slice of
+/// the bucket output array, whose global offset is `base`; `r` is the slot
+/// universe (input wire count) of this pass's port shape.
+#[allow(clippy::too_many_arguments)]
+fn arbitrate_chunk(
+    nodes: std::ops::Range<usize>,
+    base: usize,
+    out: &mut [u32],
+    offsets: &[u32],
+    bucket_msgs: &[u32],
+    bucket_slots: &[u32],
+    sw: &PortSwitch,
+    eff: &[u64],
+    arb: Arbitration,
+    params: &PhaseParams,
+    r: usize,
+    scratch: &mut ArbScratch,
+) {
+    for k_rel in nodes {
+        let (b0, b1) = (offsets[k_rel] as usize, offsets[k_rel + 1] as usize);
+        if b0 == b1 {
+            continue;
+        }
+        let e = eff[params.channel(k_rel).index()];
+        match arb {
+            // Deterministic slot order: rank = position in ascending slot
+            // order. Slots within a bucket are distinct (wires on a channel
+            // are unique), so scattering them into a slot-indexed table and
+            // walking it upward yields exactly the reference's stable sort —
+            // without sorting.
+            Arbitration::SlotOrder => {
+                scratch.begin_bucket(r);
+                let mut min_slot = u32::MAX;
+                for pos in b0..b1 {
+                    let slot = bucket_slots[pos] as usize;
+                    scratch.gen_of[slot] = scratch.gen;
+                    scratch.pos_of[slot] = (pos - base) as u32;
+                    min_slot = min_slot.min(slot as u32);
+                }
+                let b = (b1 - b0) as u32;
+                match sw {
+                    // Ideal concentration inlined: the first min(s, eff)
+                    // contenders in slot order win wires 0, 1, …; everyone
+                    // else keeps the DROPPED prefill.
+                    PortSwitch::Ideal(cb) => {
+                        let winners = (cb.outputs() as u64).min(e).min(b as u64) as u32;
+                        let mut rank = 0u32;
+                        let mut slot = min_slot as usize;
+                        while rank < winners {
+                            if scratch.gen_of[slot] == scratch.gen {
+                                out[scratch.pos_of[slot] as usize] = rank;
+                                rank += 1;
+                            }
+                            slot += 1;
+                        }
+                    }
+                    PortSwitch::Partial { .. } => {
+                        // Collect (slot, position) in ascending slot order.
+                        scratch.sort_buf.clear();
+                        scratch.active.clear();
+                        let mut seen = 0u32;
+                        let mut slot = min_slot as usize;
+                        while seen < b {
+                            if scratch.gen_of[slot] == scratch.gen {
+                                scratch
+                                    .sort_buf
+                                    .push((0, slot as u32, scratch.pos_of[slot]));
+                                scratch.active.push(slot);
+                                seen += 1;
+                            }
+                            slot += 1;
+                        }
+                        let routed = sw.concentrate(&scratch.active);
+                        for (&(_, _, p), w) in scratch.sort_buf.iter().zip(routed) {
+                            out[p as usize] = match w {
+                                Some(w) if (w as u64) < e => w,
+                                _ => DROPPED,
+                            };
+                        }
+                    }
+                }
+            }
+            // Random priorities: the (distinct) hash of each message index
+            // is the primary key, so an unstable sort still matches the
+            // reference's stable sort exactly.
+            Arbitration::Random(seed) => {
+                scratch.sort_buf.clear();
+                for pos in b0..b1 {
+                    scratch.sort_buf.push((
+                        bucket_msgs[pos],
+                        bucket_slots[pos],
+                        (pos - base) as u32,
+                    ));
+                }
+                scratch.sort_buf.sort_unstable_by_key(|&(i, s, _)| {
+                    (
+                        splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                        s,
+                    )
+                });
+                match sw {
+                    PortSwitch::Ideal(cb) => {
+                        let s_out = cb.outputs();
+                        for (j, &(_, _, p)) in scratch.sort_buf.iter().enumerate() {
+                            out[p as usize] = if j < s_out && (j as u64) < e {
+                                j as u32
+                            } else {
+                                DROPPED
+                            };
+                        }
+                    }
+                    PortSwitch::Partial { .. } => {
+                        scratch.active.clear();
+                        scratch
+                            .active
+                            .extend(scratch.sort_buf.iter().map(|&(_, s, _)| s as usize));
+                        let routed = sw.concentrate(&scratch.active);
+                        for (&(_, _, p), w) in scratch.sort_buf.iter().zip(routed) {
+                            out[p as usize] = match w {
+                                Some(w) if (w as u64) < e => w,
+                                _ => DROPPED,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Simulate one delivery cycle of `msgs` on `ft`.
 ///
-/// Port switches are cached per `(r, s)` shape — all same-shape ports in a
-/// real machine are identical parts.
+/// One-shot convenience over [`SimArena`]; callers running many cycles
+/// should hold an arena and call [`SimArena::cycle`] to reuse its buffers.
 pub fn simulate_cycle(ft: &FatTree, msgs: &[Message], cfg: &SimConfig) -> CycleReport {
-    let mut ports: HashMap<(usize, usize), PortSwitch> = HashMap::new();
-    // Per-channel effective capacities under the fault pattern, memoized.
-    let mut eff_cache: HashMap<usize, u64> = HashMap::new();
-    let mut eff = |c: ChannelId| -> u64 {
-        *eff_cache
-            .entry(c.index())
-            .or_insert_with(|| cfg.faults.effective_cap(ft, c))
-    };
-
-    // Per-message state: current wire index on its current channel, or
-    // dropped. Messages with src == dst are delivered without the network.
-    let n_msgs = msgs.len();
-    let mut alive: Vec<bool> = vec![true; n_msgs];
-    let mut wire: Vec<u32> = vec![0; n_msgs];
-    let mut channel_use = LoadMap::zeros(ft);
-
-    // --- Injection: each processor assigns its messages to leaf up-wires.
-    let mut per_leaf: HashMap<u32, u32> = HashMap::new();
-    for (i, m) in msgs.iter().enumerate() {
-        if m.is_local() {
-            continue;
-        }
-        let leaf_cap = eff(ChannelId::up(ft.leaf(m.src))) as u32;
-        let cnt = per_leaf.entry(m.src.0).or_insert(0);
-        if *cnt < leaf_cap {
-            wire[i] = *cnt;
-            *cnt += 1;
-            channel_use.add_one(ChannelId::up(ft.leaf(m.src)));
-        } else {
-            alive[i] = false; // source port congested immediately
-        }
+    let mut arena = SimArena::new(ft, cfg);
+    let stats = arena.cycle(ft, msgs, cfg);
+    CycleReport {
+        delivered: arena.delivered.iter().map(|&i| i as usize).collect(),
+        dropped: arena.dropped.iter().map(|&i| i as usize).collect(),
+        ticks: stats.ticks,
+        channel_use: arena.channel_use,
     }
-
-    // Precompute per-message path metadata.
-    let lca: Vec<u32> = msgs.iter().map(|m| ft.lca(m.src, m.dst)).collect();
-
-    // --- Up phase: levels from the leaves to level 1 channels.
-    // At each level k (channel level), messages whose current position is a
-    // level-k up channel and whose LCA is above level k contend for the
-    // level-(k−1)... actually they pass through the node at level k−1 and
-    // contend for its up port (channel level k−1).
-    // We walk "node levels" from deepest to the root.
-    let height = ft.height();
-    for node_level in (0..height).rev() {
-        // Messages entering nodes at this level from below, still climbing.
-        // Group by (node, port = Up): inputs are left child wires [0, capc)
-        // and right child wires [capc, 2capc).
-        let capc = ft.cap_at_level(node_level + 1) as usize;
-        let cap_out = ft.cap_at_level(node_level) as usize;
-        let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
-        for (i, m) in msgs.iter().enumerate() {
-            if !alive[i] || m.is_local() {
-                continue;
-            }
-            let lca_level = 31 - lca[i].leading_zeros();
-            if lca_level >= node_level {
-                continue; // already turned around (or turning at this node)
-            }
-            // The message's current channel is the up channel at level
-            // node_level + 1 on the child edge; it passes through the node
-            // at node_level.
-            let node = ancestor_at_level(ft.leaf(msgs[i].src), height, node_level);
-            groups.entry(node).or_default().push(i);
-        }
-        for (node, group) in groups {
-            // Stable input slots: left child messages first.
-            let mut slots: Vec<(usize, usize)> = group
-                .iter()
-                .map(|&i| {
-                    let child = ancestor_at_level(ft.leaf(msgs[i].src), height, node_level + 1);
-                    let is_right = child == 2 * node + 1;
-                    (i, usize::from(is_right) * capc + wire[i] as usize)
-                })
-                .collect();
-            order_slots(&mut slots, cfg.arbitration);
-            let active: Vec<usize> = slots.iter().map(|&(_, s)| s).collect();
-            let sw = ports
-                .entry((2 * capc, cap_out))
-                .or_insert_with(|| PortSwitch::new(cfg.switch, 2 * capc, cap_out));
-            let routed = sw.concentrate(&active);
-            let eff_up = eff(ChannelId::up(node));
-            for ((i, _), out) in slots.into_iter().zip(routed) {
-                match out {
-                    Some(w) if (w as u64) < eff_up => {
-                        wire[i] = w;
-                        channel_use.add_one(ChannelId::up(node));
-                    }
-                    _ => alive[i] = false,
-                }
-            }
-        }
-    }
-
-    // --- Down phase: from node level 0 (root) to the leaves.
-    for node_level in 0..height {
-        let cap_in_parent = ft.cap_at_level(node_level) as usize;
-        let cap_side = ft.cap_at_level(node_level + 1) as usize;
-        // Port input slots: from parent [0, cap_in_parent), from sibling
-        // side (turning messages) [cap_in_parent, cap_in_parent + cap_side).
-        let mut groups: HashMap<(u32, bool), Vec<usize>> = HashMap::new();
-        for (i, m) in msgs.iter().enumerate() {
-            if !alive[i] || m.is_local() {
-                continue;
-            }
-            let lca_level = 31 - lca[i].leading_zeros();
-            if lca_level > node_level {
-                continue; // hasn't turned yet at this depth
-            }
-            let node = ancestor_at_level(ft.leaf(m.dst), height, node_level);
-            let down_child = ancestor_at_level(ft.leaf(m.dst), height, node_level + 1);
-            let goes_right = down_child == 2 * node + 1;
-            groups.entry((node, goes_right)).or_default().push(i);
-        }
-        for ((node, goes_right), group) in groups {
-            let down_child = 2 * node + u32::from(goes_right);
-            let mut slots: Vec<(usize, usize)> = group
-                .iter()
-                .map(|&i| {
-                    let lca_level = 31 - lca[i].leading_zeros();
-                    let slot = if lca_level == node_level {
-                        // Turning at this node: came up from the other child.
-                        cap_in_parent + wire[i] as usize
-                    } else {
-                        wire[i] as usize
-                    };
-                    (i, slot)
-                })
-                .collect();
-            order_slots(&mut slots, cfg.arbitration);
-            let active: Vec<usize> = slots.iter().map(|&(_, s)| s).collect();
-            let sw = ports
-                .entry((cap_in_parent + cap_side, cap_side))
-                .or_insert_with(|| PortSwitch::new(cfg.switch, cap_in_parent + cap_side, cap_side));
-            let routed = sw.concentrate(&active);
-            let eff_down = eff(ChannelId::down(down_child));
-            for ((i, _), out) in slots.into_iter().zip(routed) {
-                match out {
-                    Some(w) if (w as u64) < eff_down => {
-                        wire[i] = w;
-                        channel_use.add_one(ChannelId::down(down_child));
-                    }
-                    _ => alive[i] = false,
-                }
-            }
-        }
-    }
-
-    // --- Bookkeeping.
-    let mut delivered = Vec::new();
-    let mut dropped = Vec::new();
-    let mut max_latency = 0u32;
-    for (i, m) in msgs.iter().enumerate() {
-        if m.is_local() {
-            delivered.push(i);
-            continue;
-        }
-        if alive[i] {
-            delivered.push(i);
-            let lca_level = 31 - lca[i].leading_zeros();
-            let nodes_on_path = 2 * (height - lca_level) - 1;
-            max_latency = max_latency.max(2 * nodes_on_path + cfg.payload_bits);
-        } else {
-            dropped.push(i);
-        }
-    }
-
-    CycleReport { delivered, dropped, ticks: max_latency, channel_use }
 }
 
 /// Run repeated delivery cycles (with acknowledgments and retries) until
 /// every message is delivered.
+///
+/// The pending set is compacted in place between cycles (no rebuild through
+/// a hash set), and the identity of every delivered message is recorded in
+/// [`RunReport::delivery_order`].
 pub fn run_to_completion(ft: &FatTree, msgs: &MessageSet, cfg: &SimConfig) -> RunReport {
+    let mut arena = SimArena::new(ft, cfg);
     let mut pending: Vec<Message> = msgs.iter().copied().collect();
+    let mut ids: Vec<u32> = (0..pending.len() as u32).collect();
     let mut cycles = 0usize;
     let mut delivered_per_cycle = Vec::new();
+    let mut delivery_order = Vec::with_capacity(pending.len());
     let mut total_ticks = 0u64;
     while !pending.is_empty() {
         // Reseed random arbitration every cycle so drops are independent.
         let mut cycle_cfg = *cfg;
         if let Arbitration::Random(seed) = cfg.arbitration {
-            cycle_cfg.arbitration =
-                Arbitration::Random(seed.wrapping_add(cycles as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            cycle_cfg.arbitration = Arbitration::Random(
+                seed.wrapping_add(cycles as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
         }
-        let report = simulate_cycle(ft, &pending, &cycle_cfg);
+        let stats = arena.cycle(ft, &pending, &cycle_cfg);
         assert!(
-            !report.delivered.is_empty(),
+            stats.delivered > 0,
             "no progress in a delivery cycle — switch cannot route even one message"
         );
         cycles += 1;
-        delivered_per_cycle.push(report.delivered.len());
-        total_ticks += report.ticks as u64;
-        let keep: std::collections::HashSet<usize> = report.dropped.iter().copied().collect();
-        pending = pending
-            .into_iter()
-            .enumerate()
-            .filter_map(|(i, m)| keep.contains(&i).then_some(m))
-            .collect();
-    }
-    RunReport { cycles, delivered_per_cycle, total_ticks }
-}
-
-/// Order a port's contenders by the arbitration policy: stable wire order,
-/// or a keyed pseudo-random priority per message (reseed per cycle for the
-/// Greenberg–Leiserson behaviour).
-fn order_slots(slots: &mut [(usize, usize)], arb: Arbitration) {
-    match arb {
-        Arbitration::SlotOrder => slots.sort_by_key(|&(_, s)| s),
-        Arbitration::Random(seed) => {
-            slots.sort_by_key(|&(i, s)| (splitmix(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)), s));
+        delivered_per_cycle.push(stats.delivered);
+        total_ticks += stats.ticks as u64;
+        // One pass: emit delivered identities and compact survivors in
+        // place, preserving order (the retry queue of §II is FIFO).
+        let mut w = 0usize;
+        for i in 0..pending.len() {
+            if arena.meta[i] & (META_LOCAL | META_ALIVE) != 0 {
+                delivery_order.push(ids[i] as usize);
+            } else {
+                pending[w] = pending[i];
+                ids[w] = ids[i];
+                w += 1;
+            }
         }
+        pending.truncate(w);
+        ids.truncate(w);
     }
-}
-
-/// SplitMix64: a tiny, high-quality hash for arbitration priorities.
-fn splitmix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
-/// Heap ancestor of `leaf` at `level` (`leaf` is at `height`).
-#[inline]
-fn ancestor_at_level(leaf: u32, height: u32, level: u32) -> u32 {
-    leaf >> (height - level)
+    RunReport {
+        cycles,
+        delivered_per_cycle,
+        total_ticks,
+        delivery_order,
+    }
 }
 
 #[cfg(test)]
@@ -338,7 +1036,11 @@ mod tests {
         // ticks = 2·(2·lg n − 1) + payload for a root-crossing message.
         let t = full(64);
         let msgs = vec![Message::new(0, 63)];
-        let cfg = SimConfig { payload_bits: 10, switch: SwitchKind::Ideal, ..Default::default() };
+        let cfg = SimConfig {
+            payload_bits: 10,
+            switch: SwitchKind::Ideal,
+            ..Default::default()
+        };
         let r = simulate_cycle(&t, &msgs, &cfg);
         assert_eq!(r.ticks, 2 * (2 * 6 - 1) + 10);
     }
@@ -357,11 +1059,13 @@ mod tests {
         // Two messages from the same source on a unit-capacity tree: the
         // source leaf channel forces one drop; completion takes 2 cycles.
         let t = FatTree::new(8, CapacityProfile::Constant(1));
-        let msgs: MessageSet =
-            [Message::new(0, 5), Message::new(0, 6)].into_iter().collect();
+        let msgs: MessageSet = [Message::new(0, 5), Message::new(0, 6)]
+            .into_iter()
+            .collect();
         let run = run_to_completion(&t, &msgs, &SimConfig::default());
         assert_eq!(run.cycles, 2);
         assert_eq!(run.delivered_per_cycle, vec![1, 1]);
+        assert_eq!(run.delivery_order, vec![0, 1]);
     }
 
     #[test]
@@ -372,6 +1076,10 @@ mod tests {
         let run = run_to_completion(&t, &msgs, &SimConfig::default());
         // Destination leaf channel has capacity 1: exactly one per cycle.
         assert_eq!(run.cycles, (n - 1) as usize);
+        // Every original message shows up exactly once in the delivery log.
+        let mut seen = run.delivery_order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..(n - 1) as usize).collect::<Vec<_>>());
     }
 
     #[test]
@@ -399,7 +1107,11 @@ mod tests {
     fn partial_switches_complete_with_retries() {
         let t = FatTree::universal(32, 16);
         let msgs: MessageSet = (0..32).map(|i| Message::new(i, (i + 7) % 32)).collect();
-        let cfg = SimConfig { payload_bits: 16, switch: SwitchKind::Partial, ..Default::default() };
+        let cfg = SimConfig {
+            payload_bits: 16,
+            switch: SwitchKind::Partial,
+            ..Default::default()
+        };
         let run = run_to_completion(&t, &msgs, &cfg);
         assert!(run.cycles >= 1);
         assert_eq!(run.delivered_per_cycle.iter().sum::<usize>(), 32);
@@ -420,6 +1132,8 @@ mod tests {
         assert_eq!(det.cycles, (n - 1) as usize);
         assert_eq!(rnd.cycles, (n - 1) as usize);
         assert_eq!(rnd.delivered_per_cycle.iter().sum::<usize>(), msgs.len());
+        // The random winners differ from fixed-priority winners somewhere.
+        assert_ne!(det.delivery_order, rnd.delivery_order);
     }
 
     #[test]
@@ -430,7 +1144,10 @@ mod tests {
         let t = FatTree::universal(n, 8);
         let msgs: Vec<Message> = (0..n).map(|i| Message::new(i, (i + 32) % n)).collect();
         let first = |seed: u64| {
-            let cfg = SimConfig { arbitration: Arbitration::Random(seed), ..Default::default() };
+            let cfg = SimConfig {
+                arbitration: Arbitration::Random(seed),
+                ..Default::default()
+            };
             let mut d = simulate_cycle(&t, &msgs, &cfg).delivered;
             d.sort_unstable();
             d
@@ -449,7 +1166,10 @@ mod tests {
         let msgs: MessageSet = (0..n).map(|i| Message::new(i, (i + 32) % n)).collect();
         let healthy = run_to_completion(&t, &msgs, &SimConfig::default());
         let faulty_cfg = SimConfig {
-            faults: FaultModel { dead_wire_fraction: 0.3, seed: 5 },
+            faults: FaultModel {
+                dead_wire_fraction: 0.3,
+                seed: 5,
+            },
             ..Default::default()
         };
         let faulty = run_to_completion(&t, &msgs, &faulty_cfg);
@@ -470,7 +1190,10 @@ mod tests {
         let t = FatTree::new(16, CapacityProfile::FullDoubling);
         let msgs: MessageSet = (0..16).map(|i| Message::new(i, 15 - i)).collect();
         let cfg = SimConfig {
-            faults: FaultModel { dead_wire_fraction: 0.99, seed: 1 },
+            faults: FaultModel {
+                dead_wire_fraction: 0.99,
+                seed: 1,
+            },
             ..Default::default()
         };
         // Effective capacities floor at 1: the machine degrades to a skinny
@@ -488,7 +1211,11 @@ mod tests {
         let partial = run_to_completion(
             &t,
             &msgs,
-            &SimConfig { payload_bits: 64, switch: SwitchKind::Partial, ..Default::default() },
+            &SimConfig {
+                payload_bits: 64,
+                switch: SwitchKind::Partial,
+                ..Default::default()
+            },
         );
         assert!(partial.cycles >= ideal.cycles);
         assert!(
@@ -497,5 +1224,42 @@ mod tests {
             partial.cycles,
             ideal.cycles
         );
+    }
+
+    #[test]
+    fn arena_reuse_matches_one_shot() {
+        let t = FatTree::universal(64, 16);
+        let msgs: Vec<Message> = (0..64).map(|i| Message::new(i, (i + 13) % 64)).collect();
+        let cfg = SimConfig::default();
+        let one_shot = simulate_cycle(&t, &msgs, &cfg);
+        let mut arena = SimArena::new(&t, &cfg);
+        for _ in 0..3 {
+            let stats = arena.cycle(&t, &msgs, &cfg);
+            assert_eq!(stats.delivered, one_shot.delivered.len());
+            assert_eq!(stats.ticks, one_shot.ticks);
+            let got: Vec<usize> = arena
+                .delivered_indices()
+                .iter()
+                .map(|&i| i as usize)
+                .collect();
+            assert_eq!(got, one_shot.delivered);
+            assert_eq!(arena.channel_use(), &one_shot.channel_use);
+        }
+    }
+
+    #[test]
+    fn delivery_order_partitions_by_cycle() {
+        let n = 32u32;
+        let t = FatTree::universal(n, 4);
+        let msgs: MessageSet = (0..n).map(|i| Message::new(i, (i + n / 2) % n)).collect();
+        let run = run_to_completion(&t, &msgs, &SimConfig::default());
+        assert_eq!(run.delivery_order.len(), msgs.len());
+        assert_eq!(
+            run.delivered_per_cycle.iter().sum::<usize>(),
+            run.delivery_order.len()
+        );
+        let mut sorted = run.delivery_order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..msgs.len()).collect::<Vec<_>>());
     }
 }

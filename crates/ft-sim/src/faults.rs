@@ -23,7 +23,10 @@ pub struct FaultModel {
 impl FaultModel {
     /// No faults.
     pub fn none() -> Self {
-        FaultModel { dead_wire_fraction: 0.0, seed: 0 }
+        FaultModel {
+            dead_wire_fraction: 0.0,
+            seed: 0,
+        }
     }
 
     /// Effective capacity of channel `c`: surviving wires, at least 1
@@ -93,7 +96,10 @@ mod tests {
     #[test]
     fn fraction_tracks_probability() {
         let ft = FatTree::new(256, CapacityProfile::FullDoubling);
-        let fm = FaultModel { dead_wire_fraction: 0.2, seed: 9 };
+        let fm = FaultModel {
+            dead_wire_fraction: 0.2,
+            seed: 9,
+        };
         let got = fm.measured_fraction(&ft);
         assert!((got - 0.2).abs() < 0.05, "measured fraction {got}");
     }
@@ -101,7 +107,10 @@ mod tests {
     #[test]
     fn effective_cap_never_zero() {
         let ft = FatTree::new(32, CapacityProfile::Constant(1));
-        let fm = FaultModel { dead_wire_fraction: 0.95, seed: 3 };
+        let fm = FaultModel {
+            dead_wire_fraction: 0.95,
+            seed: 3,
+        };
         for c in ft.channels() {
             assert!(fm.effective_cap(&ft, c) >= 1);
         }
@@ -110,13 +119,26 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let ft = FatTree::universal(64, 32);
-        let a = FaultModel { dead_wire_fraction: 0.3, seed: 7 };
-        let b = FaultModel { dead_wire_fraction: 0.3, seed: 7 };
-        let c = FaultModel { dead_wire_fraction: 0.3, seed: 8 };
+        let a = FaultModel {
+            dead_wire_fraction: 0.3,
+            seed: 7,
+        };
+        let b = FaultModel {
+            dead_wire_fraction: 0.3,
+            seed: 7,
+        };
+        let c = FaultModel {
+            dead_wire_fraction: 0.3,
+            seed: 8,
+        };
         let caps = |fm: &FaultModel| -> Vec<u64> {
             ft.channels().map(|ch| fm.effective_cap(&ft, ch)).collect()
         };
         assert_eq!(caps(&a), caps(&b));
-        assert_ne!(caps(&a), caps(&c), "different seeds should differ somewhere");
+        assert_ne!(
+            caps(&a),
+            caps(&c),
+            "different seeds should differ somewhere"
+        );
     }
 }

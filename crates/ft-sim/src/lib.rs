@@ -16,7 +16,12 @@
 //! * [`engine`] — delivery-cycle execution: wormhole path establishment in
 //!   level order, per-port concentration, drops, acknowledgments, retries,
 //!   and tick-accurate cycle times (`O(lg n)` per cycle, Theorem 12 of our
-//!   experiment index E12),
+//!   experiment index E12). The engine groups port contenders with flat
+//!   counting-sorted arrays, reuses every scratch buffer across cycles
+//!   through [`SimArena`], and can arbitrate disjoint subtrees on scoped
+//!   threads ([`SimConfig::threads`]),
+//! * [`reference`] — the original HashMap-grouping engine, retained verbatim
+//!   as the golden reference the flat-array engine is tested against,
 //! * [`stats`] — utilization and delivery statistics.
 
 pub mod compiled;
@@ -24,10 +29,14 @@ pub mod engine;
 pub mod faults;
 pub mod node;
 pub mod protocol;
+pub mod reference;
 pub mod stats;
 
 pub use compiled::{compile_cycle, execute_compiled, CompiledCycle, CompiledRun};
-pub use engine::{run_to_completion, simulate_cycle, Arbitration, CycleReport, RunReport, SimConfig, SwitchKind};
+pub use engine::{
+    run_to_completion, simulate_cycle, Arbitration, CycleReport, CycleStats, RunReport, SimArena,
+    SimConfig, SwitchKind,
+};
 pub use faults::FaultModel;
 pub use protocol::MessageFrame;
 pub use stats::ChannelUtilization;

@@ -9,8 +9,7 @@
 //! some messages will be lost."
 
 use ft_concentrator::{max_matching, BipartiteGraph, Concentrator, Crossbar};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ft_core::rng::SplitMix64;
 
 /// Which concentrator hardware the simulated machine uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,7 +46,7 @@ impl PortSwitch {
         match kind {
             SwitchFlavor::Ideal => PortSwitch::Ideal(Crossbar::new(r, s)),
             SwitchFlavor::Partial => {
-                let mut rng = StdRng::seed_from_u64(0x5EED ^ ((r as u64) << 32) ^ s as u64);
+                let mut rng = SplitMix64::seed_from_u64(0x5EED ^ ((r as u64) << 32) ^ s as u64);
                 let mut stages = Vec::new();
                 let mut width = r;
                 while width > s {
@@ -56,7 +55,9 @@ impl PortSwitch {
                     // stubs (din·width ≤ 9·next).
                     let next = s.max(width.div_ceil(3) * 2).min(width - 1).max(s);
                     let din = (9 * next / width).clamp(1, 6);
-                    stages.push(BipartiteGraph::random_regular(width, next, din, 9, &mut rng));
+                    stages.push(BipartiteGraph::random_regular(
+                        width, next, din, 9, &mut rng,
+                    ));
                     width = next;
                 }
                 PortSwitch::Partial { stages }
@@ -84,8 +85,7 @@ impl PortSwitch {
             PortSwitch::Partial { stages } => {
                 // Thread each surviving message through the stages; per
                 // stage, the maximum matching decides who advances.
-                let mut result: Vec<Option<u32>> =
-                    active.iter().map(|&w| Some(w as u32)).collect();
+                let mut result: Vec<Option<u32>> = active.iter().map(|&w| Some(w as u32)).collect();
                 for stage in stages {
                     // Active inputs of this stage, with back-pointers.
                     let mut idx = Vec::new();
@@ -110,9 +110,7 @@ impl PortSwitch {
     pub fn outputs(&self) -> usize {
         match self {
             PortSwitch::Ideal(cb) => cb.outputs(),
-            PortSwitch::Partial { stages } => {
-                stages.last().map_or(1, |g| g.outputs())
-            }
+            PortSwitch::Partial { stages } => stages.last().map_or(1, |g| g.outputs()),
         }
     }
 
@@ -152,7 +150,10 @@ mod tests {
         let p = PortSwitch::new(SwitchFlavor::Partial, 24, 16);
         let out = p.concentrate(&[0, 5, 10, 15, 20]);
         let routed = out.iter().flatten().count();
-        assert!(routed >= 4, "partial concentrator dropped too much: {routed}/5");
+        assert!(
+            routed >= 4,
+            "partial concentrator dropped too much: {routed}/5"
+        );
         let mut wires: Vec<u32> = out.iter().flatten().copied().collect();
         wires.sort_unstable();
         wires.dedup();

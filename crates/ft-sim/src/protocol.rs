@@ -6,7 +6,6 @@
 //! the data bits follow. "A bit string of length at most 2·lg n is
 //! sufficient to represent the destination of any message."
 
-use bytes::{BufMut, BytesMut};
 use ft_core::{FatTree, Message};
 
 /// A message frame as it appears on a wire at the start of a delivery
@@ -30,7 +29,12 @@ impl MessageFrame {
     /// Build the frame for `msg` on `ft` with the given payload size.
     pub fn for_message(ft: &FatTree, msg: &Message, payload_bits: u32) -> Self {
         if msg.is_local() {
-            return MessageFrame { m_bit: true, address: Vec::new(), up_hops: 0, payload_bits };
+            return MessageFrame {
+                m_bit: true,
+                address: Vec::new(),
+                up_hops: 0,
+                payload_bits,
+            };
         }
         let lca = ft.lca(msg.src, msg.dst);
         let dst_leaf = ft.leaf(msg.dst);
@@ -41,7 +45,12 @@ impl MessageFrame {
         for k in (0..depth).rev() {
             address.push((dst_leaf >> k) & 1 == 1);
         }
-        MessageFrame { m_bit: true, address, up_hops: depth, payload_bits }
+        MessageFrame {
+            m_bit: true,
+            address,
+            up_hops: depth,
+            payload_bits,
+        }
     }
 
     /// Total bits on the wire: M + address + payload.
@@ -51,7 +60,7 @@ impl MessageFrame {
 
     /// Serialize the header (M bit + address) into a byte buffer, MSB-first
     /// bit packing. Returns the number of header bits.
-    pub fn encode_header(&self, buf: &mut BytesMut) -> u32 {
+    pub fn encode_header(&self, buf: &mut Vec<u8>) -> u32 {
         let bits: Vec<bool> = std::iter::once(self.m_bit)
             .chain(self.address.iter().copied())
             .collect();
@@ -59,13 +68,13 @@ impl MessageFrame {
         for (i, &b) in bits.iter().enumerate() {
             byte = (byte << 1) | u8::from(b);
             if i % 8 == 7 {
-                buf.put_u8(byte);
+                buf.push(byte);
                 byte = 0;
             }
         }
         let rem = bits.len() % 8;
         if rem != 0 {
-            buf.put_u8(byte << (8 - rem));
+            buf.push(byte << (8 - rem));
         }
         bits.len() as u32
     }
@@ -163,7 +172,7 @@ mod tests {
     fn header_encode_decode_roundtrip() {
         let t = ft(64);
         let f = MessageFrame::for_message(&t, &Message::new(5, 60), 128);
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         let nbits = f.encode_header(&mut buf);
         assert_eq!(nbits, 1 + f.address.len() as u32);
         let (m, addr) = MessageFrame::decode_header(&buf, nbits).unwrap();

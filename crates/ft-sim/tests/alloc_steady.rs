@@ -1,0 +1,76 @@
+//! Steady-state allocation discipline: once a [`SimArena`]'s buffers have
+//! grown to a workload's size, further cycles on the ideal-switch serial
+//! path must perform **zero** heap allocation, and a `run_to_completion`
+//! must not allocate per cycle (only setup and a few amortized growths).
+//!
+//! Measured with a counting global allocator, so this file must stay its
+//! own integration-test binary.
+
+use ft_core::{CapacityProfile, FatTree, Message, MessageSet};
+use ft_sim::{run_to_completion, SimArena, SimConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+// One test function: the counter is global, so the two measurements must
+// not run on concurrent test threads.
+#[test]
+fn steady_state_cycles_do_not_allocate() {
+    let n = 256u32;
+    let ft = FatTree::universal(n, 64);
+    let cfg = SimConfig::default(); // ideal switches, serial
+    let msgs: Vec<Message> = (0..n).map(|i| Message::new(i, (i + 3) % n)).collect();
+
+    // --- Part 1: a warmed arena re-runs cycles with zero allocations.
+    let mut arena = SimArena::new(&ft, &cfg);
+    arena.cycle(&ft, &msgs, &cfg); // warm-up: buffers grow to size
+    arena.cycle(&ft, &msgs, &cfg);
+    let before = allocs();
+    for _ in 0..10 {
+        arena.cycle(&ft, &msgs, &cfg);
+    }
+    let grew = allocs() - before;
+    assert_eq!(
+        grew, 0,
+        "steady-state SimArena::cycle allocated {grew} times in 10 cycles"
+    );
+
+    // --- Part 2: run_to_completion allocates set-up state, not per cycle.
+    // A hot spot on 64 processors serializes into 63 delivery cycles; far
+    // fewer than 63 allocations proves nothing allocates cycle by cycle.
+    let hot: MessageSet = (1..64u32).map(|i| Message::new(i, 0)).collect();
+    let small = FatTree::new(64, CapacityProfile::FullDoubling);
+    let before = allocs();
+    let run = run_to_completion(&small, &hot, &cfg);
+    let grew = allocs() - before;
+    assert_eq!(run.cycles, 63);
+    assert!(
+        grew < run.cycles as u64,
+        "run_to_completion allocated {grew} times over {} cycles",
+        run.cycles
+    );
+}

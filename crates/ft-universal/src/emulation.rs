@@ -67,7 +67,10 @@ impl Emulation {
         }
         let host = FatTree::new(
             n_ft,
-            CapacityProfile::UniversalWithDegree { root_capacity: lo, degree },
+            CapacityProfile::UniversalWithDegree {
+                root_capacity: lo,
+                degree,
+            },
         );
         let lam = LoadMap::of(&host, &translated).load_factor(&host);
         Emulation {
@@ -107,7 +110,10 @@ impl Emulation {
 fn lambda_for(n: u32, w: u64, d: u64, msgs: &MessageSet) -> f64 {
     let ft = FatTree::new(
         n,
-        CapacityProfile::UniversalWithDegree { root_capacity: w.max(1), degree: d },
+        CapacityProfile::UniversalWithDegree {
+            root_capacity: w.max(1),
+            degree: d,
+        },
     );
     LoadMap::of(&ft, msgs).load_factor(&ft)
 }
@@ -125,12 +131,7 @@ mod tests {
         assert_eq!(em.degree, 6);
         // Minimality: one less capacity must overload (unless already 1).
         if em.root_capacity > 1 {
-            let lam = super::lambda_for(
-                em.host.n(),
-                em.root_capacity - 1,
-                em.degree,
-                &em.edge_set,
-            );
+            let lam = super::lambda_for(em.host.n(), em.root_capacity - 1, em.degree, &em.edge_set);
             assert!(lam > 1.0, "root capacity not minimal");
         }
     }

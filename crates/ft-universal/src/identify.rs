@@ -120,8 +120,7 @@ mod tests {
         let mut edges = 0.0;
         for u in 0..net.n() {
             for v in net.neighbors(u) {
-                edge_dist +=
-                    (id.proc_to_leaf[u] as f64 - id.proc_to_leaf[v] as f64).abs();
+                edge_dist += (id.proc_to_leaf[u] as f64 - id.proc_to_leaf[v] as f64).abs();
                 edges += 1.0;
             }
         }

@@ -2,10 +2,10 @@
 
 use crate::bounds::{flux_report, FluxReport};
 use crate::identify::Identification;
+use ft_core::rng::SplitMix64;
 use ft_core::{lg, MessageSet};
 use ft_networks::{simulate_delivery, FixedConnectionNetwork};
 use ft_sched::schedule_theorem1;
-use rand::Rng;
 
 /// One universality measurement.
 #[derive(Clone, Debug)]
@@ -36,11 +36,11 @@ pub struct SimulationReport {
 
 /// Run the full Theorem 10 pipeline: identify, measure `t` on `net`,
 /// translate, schedule on the fat-tree, and compare.
-pub fn simulate_on_fat_tree<R: Rng>(
+pub fn simulate_on_fat_tree(
     net: &dyn FixedConnectionNetwork,
     msgs: &MessageSet,
     gamma: f64,
-    rng: &mut R,
+    rng: &mut SplitMix64,
 ) -> SimulationReport {
     let id = Identification::build(net, gamma);
     let out = simulate_delivery(net, msgs, 1, rng);
@@ -79,11 +79,9 @@ mod tests {
     use super::*;
     use ft_networks::{Hypercube, Mesh2D, Mesh3D, TreeMachine};
     use ft_workloads::{bit_complement, random_permutation};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(0xF00D)
+    fn rng() -> SplitMix64 {
+        SplitMix64::seed_from_u64(0xF00D)
     }
 
     #[test]
@@ -115,7 +113,10 @@ mod tests {
         let m = bit_complement(64);
         let mut r = rng();
         let rep = simulate_on_fat_tree(&net, &m, 1.0, &mut r);
-        assert!(rep.root_capacity >= 16, "hypercube volume should buy capacity");
+        assert!(
+            rep.root_capacity >= 16,
+            "hypercube volume should buy capacity"
+        );
         assert!(rep.slowdown <= 4.0 * rep.slowdown_bound.max(1.0));
     }
 

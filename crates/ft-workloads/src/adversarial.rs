@@ -2,22 +2,21 @@
 //! so the root channels determine λ(M) — the pattern that separates
 //! capacity profiles (ablation A1) and stresses the even splitter.
 
+use ft_core::rng::SplitMix64;
 use ft_core::{Message, MessageSet};
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// `k` rounds in which every left-half processor sends to a random
 /// right-half processor and vice versa: `n·k` messages, all crossing the
 /// root, with balanced per-processor degrees.
-pub fn cross_root<R: Rng>(n: u32, k: u32, rng: &mut R) -> MessageSet {
+pub fn cross_root(n: u32, k: u32, rng: &mut SplitMix64) -> MessageSet {
     assert!(n >= 2 && n.is_multiple_of(2));
     let half = n / 2;
     let mut m = MessageSet::with_capacity((n * k) as usize);
     for _ in 0..k {
         let mut right: Vec<u32> = (half..n).collect();
-        right.shuffle(rng);
+        rng.shuffle(&mut right);
         let mut left: Vec<u32> = (0..half).collect();
-        left.shuffle(rng);
+        rng.shuffle(&mut left);
         for i in 0..half {
             m.push(Message::new(i, right[i as usize]));
             m.push(Message::new(half + i, left[i as usize]));
@@ -30,12 +29,10 @@ pub fn cross_root<R: Rng>(n: u32, k: u32, rng: &mut R) -> MessageSet {
 mod tests {
     use super::*;
     use ft_core::{load_factor, FatTree};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn everything_crosses() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = SplitMix64::seed_from_u64(6);
         let n = 32u32;
         let m = cross_root(n, 2, &mut rng);
         assert_eq!(m.len(), 64);
@@ -46,13 +43,16 @@ mod tests {
 
     #[test]
     fn root_load_factor_scales_with_k() {
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = SplitMix64::seed_from_u64(12);
         let n = 64u32;
         let t = FatTree::universal(n, 16);
         let l1 = load_factor(&t, &cross_root(n, 1, &mut rng));
         let l4 = load_factor(&t, &cross_root(n, 4, &mut rng));
         // Root channels carry k·n/2 over capacity w per direction.
         assert!(l1 >= 2.0);
-        assert!(l4 >= 3.0 * l1 - 1.0, "λ must scale with rounds: {l1} -> {l4}");
+        assert!(
+            l4 >= 3.0 * l1 - 1.0,
+            "λ must scale with rounds: {l1} -> {l4}"
+        );
     }
 }

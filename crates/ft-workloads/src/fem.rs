@@ -88,7 +88,10 @@ impl FemGrid {
     /// which a universal fat-tree with root capacity Θ(n^(2/3)) absorbs with
     /// λ = O(1). Requires `side` to be a power of two.
     pub fn sweep_messages_morton(&self) -> MessageSet {
-        assert!(self.side.is_power_of_two(), "Morton order needs a power-of-two side");
+        assert!(
+            self.side.is_power_of_two(),
+            "Morton order needs a power-of-two side"
+        );
         let mut m = MessageSet::new();
         let morton = |id: u32| {
             let (r, c) = (id / self.side, id % self.side);

@@ -2,9 +2,8 @@
 //! channel becomes the load-factor bottleneck regardless of capacities —
 //! useful for exercising schedulers at high λ.
 
+use ft_core::rng::SplitMix64;
 use ft_core::{Message, MessageSet};
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// Everyone (except the target) sends one message to processor `target`.
 pub fn all_to_one(n: u32, target: u32) -> MessageSet {
@@ -17,10 +16,10 @@ pub fn all_to_one(n: u32, target: u32) -> MessageSet {
 
 /// Each processor sends `k` messages, each to one of `h` random hot
 /// destinations (chosen uniformly per message).
-pub fn hotspots<R: Rng>(n: u32, k: u32, h: u32, rng: &mut R) -> MessageSet {
+pub fn hotspots(n: u32, k: u32, h: u32, rng: &mut SplitMix64) -> MessageSet {
     assert!(h >= 1 && h <= n);
     let mut procs: Vec<u32> = (0..n).collect();
-    procs.shuffle(rng);
+    rng.shuffle(&mut procs);
     let hot = &procs[..h as usize];
     let mut m = MessageSet::with_capacity((n * k) as usize);
     for i in 0..n {
@@ -35,8 +34,6 @@ pub fn hotspots<R: Rng>(n: u32, k: u32, h: u32, rng: &mut R) -> MessageSet {
 mod tests {
     use super::*;
     use ft_core::{load_factor, CapacityProfile, FatTree};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn all_to_one_size_and_target() {
@@ -57,7 +54,7 @@ mod tests {
 
     #[test]
     fn hotspots_land_on_h_destinations() {
-        let mut rng = StdRng::seed_from_u64(44);
+        let mut rng = SplitMix64::seed_from_u64(44);
         let m = hotspots(32, 2, 3, &mut rng);
         assert_eq!(m.len(), 64);
         let mut dsts: Vec<u32> = m.iter().map(|x| x.dst.0).collect();

@@ -28,6 +28,8 @@ pub use adversarial::cross_root;
 pub use fem::FemGrid;
 pub use hotspot::{all_to_one, hotspots};
 pub use locality::{fraction_crossing_level, local_traffic};
-pub use parallel_algos::{ascend_rounds, broadcast_rounds, cannon_rounds, descend_rounds, total_exchange};
+pub use parallel_algos::{
+    ascend_rounds, broadcast_rounds, cannon_rounds, descend_rounds, total_exchange,
+};
 pub use perms::{bit_complement, bit_reversal, perfect_shuffle, random_permutation, transpose};
 pub use relations::{balanced_k_relation, random_k_relation};

@@ -6,15 +6,15 @@
 //! generator makes that measurable: destination offsets are drawn from a
 //! geometric-ish distribution so most messages stay in small subtrees.
 
+use ft_core::rng::SplitMix64;
 use ft_core::{Message, MessageSet};
-use rand::Rng;
 
 /// Each processor sends `k` messages. Destination offsets are sampled as
 /// `±2^g + jitter` where `g` is geometric with parameter `p_far` — larger
 /// `p_far` means more long-distance traffic (`p_far` in `(0, 1)`;
 /// 0.5 halves the probability per doubling of distance, the classic
 /// "rent's-rule-like" locality profile).
-pub fn local_traffic<R: Rng>(n: u32, k: u32, p_far: f64, rng: &mut R) -> MessageSet {
+pub fn local_traffic(n: u32, k: u32, p_far: f64, rng: &mut SplitMix64) -> MessageSet {
     assert!(n >= 2 && (0.0..1.0).contains(&p_far));
     let levels = 32 - (n - 1).leading_zeros();
     let mut m = MessageSet::with_capacity((n * k) as usize);
@@ -59,12 +59,10 @@ pub fn fraction_crossing_level(ft: &ft_core::FatTree, m: &MessageSet, level: u32
 mod tests {
     use super::*;
     use ft_core::{CapacityProfile, FatTree};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn sizes_and_range() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SplitMix64::seed_from_u64(2);
         let m = local_traffic(64, 2, 0.5, &mut rng);
         assert_eq!(m.len(), 128);
         for msg in &m {
@@ -74,7 +72,7 @@ mod tests {
 
     #[test]
     fn low_p_far_is_more_local_than_high() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SplitMix64::seed_from_u64(9);
         let n = 256u32;
         let ft = FatTree::new(n, CapacityProfile::Constant(1));
         let near = local_traffic(n, 4, 0.1, &mut rng);

@@ -16,11 +16,7 @@ pub fn ascend_rounds(n: u32) -> Vec<MessageSet> {
     assert!(n.is_power_of_two() && n >= 2);
     let d = n.trailing_zeros();
     (0..d)
-        .map(|b| {
-            (0..n)
-                .map(|i| Message::new(i, i ^ (1 << b)))
-                .collect()
-        })
+        .map(|b| (0..n).map(|i| Message::new(i, i ^ (1 << b))).collect())
         .collect()
 }
 

@@ -1,15 +1,16 @@
 //! Permutation workloads: every processor sends exactly one message and
 //! receives exactly one.
 
+use ft_core::rng::SplitMix64;
 use ft_core::{Message, MessageSet};
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// A uniformly random permutation on `n` processors.
-pub fn random_permutation<R: Rng>(n: u32, rng: &mut R) -> MessageSet {
+pub fn random_permutation(n: u32, rng: &mut SplitMix64) -> MessageSet {
     let mut targets: Vec<u32> = (0..n).collect();
-    targets.shuffle(rng);
-    (0..n).map(|i| Message::new(i, targets[i as usize])).collect()
+    rng.shuffle(&mut targets);
+    (0..n)
+        .map(|i| Message::new(i, targets[i as usize]))
+        .collect()
 }
 
 /// Bit-reversal: processor `b_{k−1}…b_1b_0` sends to `b_0b_1…b_{k−1}`.
@@ -84,13 +85,11 @@ pub fn is_permutation(m: &MessageSet, n: u32) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn all_generators_produce_permutations() {
         let n = 64;
-        let mut rng = StdRng::seed_from_u64(31);
+        let mut rng = SplitMix64::seed_from_u64(31);
         assert!(is_permutation(&random_permutation(n, &mut rng), n));
         assert!(is_permutation(&bit_reversal(n), n));
         assert!(is_permutation(&transpose(n), n));
@@ -134,7 +133,9 @@ mod tests {
 
     #[test]
     fn is_permutation_rejects_bad_sets() {
-        let m: MessageSet = [Message::new(0, 1), Message::new(1, 1)].into_iter().collect();
+        let m: MessageSet = [Message::new(0, 1), Message::new(1, 1)]
+            .into_iter()
+            .collect();
         assert!(!is_permutation(&m, 2));
         assert!(!is_permutation(&MessageSet::new(), 2));
     }

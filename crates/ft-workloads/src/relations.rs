@@ -2,11 +2,11 @@
 //! uniformly random destinations (so expected receive load is also `k`).
 //! Sweeping `k` sweeps the load factor λ(M) for the Theorem 1 experiments.
 
+use ft_core::rng::SplitMix64;
 use ft_core::{Message, MessageSet};
-use rand::Rng;
 
 /// A random k-relation on `n` processors.
-pub fn random_k_relation<R: Rng>(n: u32, k: u32, rng: &mut R) -> MessageSet {
+pub fn random_k_relation(n: u32, k: u32, rng: &mut SplitMix64) -> MessageSet {
     let mut m = MessageSet::with_capacity((n * k) as usize);
     for i in 0..n {
         for _ in 0..k {
@@ -18,7 +18,7 @@ pub fn random_k_relation<R: Rng>(n: u32, k: u32, rng: &mut R) -> MessageSet {
 
 /// A *balanced* k-relation: each processor sends **and receives** exactly
 /// `k` messages (the union of `k` independent random permutations).
-pub fn balanced_k_relation<R: Rng>(n: u32, k: u32, rng: &mut R) -> MessageSet {
+pub fn balanced_k_relation(n: u32, k: u32, rng: &mut SplitMix64) -> MessageSet {
     let mut m = MessageSet::with_capacity((n * k) as usize);
     for _ in 0..k {
         let perm = crate::perms::random_permutation(n, rng);
@@ -30,12 +30,10 @@ pub fn balanced_k_relation<R: Rng>(n: u32, k: u32, rng: &mut R) -> MessageSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn sizes() {
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = SplitMix64::seed_from_u64(17);
         let m = random_k_relation(32, 4, &mut rng);
         assert_eq!(m.len(), 128);
         let b = balanced_k_relation(32, 4, &mut rng);
@@ -44,7 +42,7 @@ mod tests {
 
     #[test]
     fn balanced_has_exact_degrees() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let n = 16u32;
         let k = 3u32;
         let m = balanced_k_relation(n, k, &mut rng);
@@ -60,7 +58,7 @@ mod tests {
 
     #[test]
     fn random_relation_has_exact_send_degree() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SplitMix64::seed_from_u64(5);
         let n = 16u32;
         let m = random_k_relation(n, 2, &mut rng);
         let mut out = vec![0u32; n as usize];

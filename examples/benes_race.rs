@@ -7,14 +7,13 @@
 //! cargo run --release --example benes_race
 //! ```
 
+use fat_tree::core::rng::SplitMix64;
 use fat_tree::networks::benes::{benes_depth, benes_switch_count, realize_benes};
 use fat_tree::prelude::*;
 use fat_tree::workloads::random_permutation;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(1965); // Beneš's year
+    let mut rng = SplitMix64::seed_from_u64(1965); // Beneš's year
     println!(
         "{:>6} {:>12} {:>12} {:>13} {:>13}",
         "n", "benes depth", "benes switch", "ft cycles", "ft time O(lgn)"

@@ -11,9 +11,8 @@
 //! cargo run --release --example bitonic_sort
 //! ```
 
+use fat_tree::core::rng::SplitMix64;
 use fat_tree::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One compare-exchange round of bitonic sort: stage `i`, substage `j`.
 fn round_messages(n: u32, values: &[u64], j: u32) -> MessageSet {
@@ -30,7 +29,10 @@ fn apply_round(values: &mut [u64], i: u32, j: u32) {
             continue;
         }
         let ascending = (p >> (i + 1)) & 1 == 0;
-        let (lo, hi) = (values[p as usize].min(values[q as usize]), values[p as usize].max(values[q as usize]));
+        let (lo, hi) = (
+            values[p as usize].min(values[q as usize]),
+            values[p as usize].max(values[q as usize]),
+        );
         if ascending {
             values[p as usize] = lo;
             values[q as usize] = hi;
@@ -44,7 +46,11 @@ fn apply_round(values: &mut [u64], i: u32, j: u32) {
 fn sort_on(ft: &FatTree, values: &mut [u64]) -> (usize, u64) {
     let n = values.len() as u32;
     let k = n.trailing_zeros();
-    let cfg = SimConfig { payload_bits: 64, switch: SwitchKind::Ideal, ..Default::default() };
+    let cfg = SimConfig {
+        payload_bits: 64,
+        switch: SwitchKind::Ideal,
+        ..Default::default()
+    };
     let mut cycles = 0usize;
     let mut ticks = 0u64;
     for i in 0..k {
@@ -61,8 +67,8 @@ fn sort_on(ft: &FatTree, values: &mut [u64]) -> (usize, u64) {
 
 fn main() {
     let n = 256u32;
-    let mut rng = StdRng::seed_from_u64(42);
-    let input: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+    let mut rng = SplitMix64::seed_from_u64(42);
+    let input: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1_000_000)).collect();
 
     println!("bitonic sort of {n} keys, one per processor — same program, two machines:\n");
     println!(
@@ -71,8 +77,14 @@ fn main() {
     );
     let rounds = (n.trailing_zeros() * (n.trailing_zeros() + 1) / 2) as usize;
     for (name, ft) in [
-        ("cheap: universal w = n^(2/3) = 41", FatTree::universal(n, 41)),
-        ("rich:  universal w = n = 256", FatTree::universal(n, n as u64)),
+        (
+            "cheap: universal w = n^(2/3) = 41",
+            FatTree::universal(n, 41),
+        ),
+        (
+            "rich:  universal w = n = 256",
+            FatTree::universal(n, n as u64),
+        ),
     ] {
         let mut values = input.clone();
         let (cycles, ticks) = sort_on(&ft, &mut values);

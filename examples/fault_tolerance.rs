@@ -8,16 +8,15 @@
 //! cargo run --release --example fault_tolerance
 //! ```
 
+use fat_tree::core::rng::SplitMix64;
 use fat_tree::prelude::*;
 use fat_tree::sim::FaultModel;
 use fat_tree::workloads::{balanced_k_relation, cannon_rounds};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let n = 256u32;
     let ft = FatTree::universal(n, 64);
-    let mut rng = StdRng::seed_from_u64(13);
+    let mut rng = SplitMix64::seed_from_u64(13);
     let traffic = balanced_k_relation(n, 4, &mut rng);
 
     println!("killing wires at random on a universal fat-tree (n = {n}, w = 64):\n");
@@ -27,13 +26,16 @@ fn main() {
     );
     let healthy = run_to_completion(&ft, &traffic, &SimConfig::default()).cycles;
     for p in [0.0, 0.1, 0.25, 0.5] {
-        let fm = FaultModel { dead_wire_fraction: p, seed: 7 };
-        let cfg = SimConfig { faults: fm, ..Default::default() };
+        let fm = FaultModel {
+            dead_wire_fraction: p,
+            seed: 7,
+        };
+        let cfg = SimConfig {
+            faults: fm,
+            ..Default::default()
+        };
         let run = run_to_completion(&ft, &traffic, &cfg);
-        let surviving: u64 = ft
-            .channels()
-            .map(|c| fm.effective_cap(&ft, c))
-            .sum();
+        let surviving: u64 = ft.channels().map(|c| fm.effective_cap(&ft, c)).sum();
         println!(
             "{:>9.0}% {:>14} {:>10} {:>9.2}×",
             100.0 * p,
@@ -46,14 +48,20 @@ fn main() {
     // A real algorithm under faults: Cannon's matrix multiply keeps working.
     println!("\nCannon's matrix-multiply rounds with 25% dead wires:");
     let cfg = SimConfig {
-        faults: FaultModel { dead_wire_fraction: 0.25, seed: 99 },
+        faults: FaultModel {
+            dead_wire_fraction: 0.25,
+            seed: 99,
+        },
         ..Default::default()
     };
     let mut total = 0usize;
     for round in cannon_rounds(n) {
         total += run_to_completion(&ft, &round, &cfg).cycles;
     }
-    println!("  all {} shift rounds delivered; {total} delivery cycles total", (n as f64).sqrt() as u32);
+    println!(
+        "  all {} shift rounds delivered; {total} delivery cycles total",
+        (n as f64).sqrt() as u32
+    );
 
     println!();
     println!("Dead wires degrade capacity roughly linearly and cycles follow suit —");

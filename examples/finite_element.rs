@@ -18,7 +18,11 @@ fn main() {
     let grid = FemGrid::with_n(n);
     let sweep = grid.sweep_messages_morton();
 
-    println!("planar FEM grid: {0}×{0} elements, one halo-exchange sweep = {1} messages", grid.side(), sweep.len());
+    println!(
+        "planar FEM grid: {0}×{0} elements, one halo-exchange sweep = {1} messages",
+        grid.side(),
+        sweep.len()
+    );
     println!("grid bisection width: {} = Θ(√n)\n", grid.bisection_width());
 
     println!(
@@ -68,9 +72,10 @@ fn main() {
     println!();
     println!("The cheapest universal fat-tree (w = n^(2/3)) already routes the FEM");
     println!("sweep in a handful of delivery cycles; the hypercube-priced tree only");
-    println!("shaves a cycle or two while costing ~{}× the volume.",
-        (cost::hypercube_volume_law(n as u64)
-            / cost::theorem4_volume_law(n as u64, w_min)).round());
+    println!(
+        "shaves a cycle or two while costing ~{}× the volume.",
+        (cost::hypercube_volume_law(n as u64) / cost::theorem4_volume_law(n as u64, w_min)).round()
+    );
     println!("This is §I's thesis: communication can be scaled independently of n,");
     println!("so planar problems don't have to buy hypercube bandwidth.");
 }

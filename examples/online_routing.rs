@@ -6,16 +6,15 @@
 //! cargo run --release --example online_routing
 //! ```
 
+use fat_tree::core::rng::SplitMix64;
 use fat_tree::prelude::*;
 use fat_tree::sched::online::online_bound_shape;
 use fat_tree::workloads;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let n = 256u32;
     let ft = FatTree::universal(n, 64);
-    let mut rng = StdRng::seed_from_u64(8);
+    let mut rng = SplitMix64::seed_from_u64(8);
 
     println!("on-line vs off-line delivery cycles, universal fat-tree n = {n}, w = 64\n");
     println!(

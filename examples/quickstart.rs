@@ -5,10 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use fat_tree::core::rng::SplitMix64;
 use fat_tree::prelude::*;
 use fat_tree::workloads;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let n = 256u32;
@@ -18,13 +17,22 @@ fn main() {
     println!("universal fat-tree: n = {n}, root capacity w = {w}");
     println!("{}", ft.render_levels());
 
-    let mut rng = StdRng::seed_from_u64(1985);
+    let mut rng = SplitMix64::seed_from_u64(1985);
     let workloads: Vec<(&str, MessageSet)> = vec![
-        ("random permutation", workloads::random_permutation(n, &mut rng)),
+        (
+            "random permutation",
+            workloads::random_permutation(n, &mut rng),
+        ),
         ("bit complement (worst case)", workloads::bit_complement(n)),
         ("bit reversal", workloads::bit_reversal(n)),
-        ("local traffic (p_far = 0.3)", workloads::local_traffic(n, 1, 0.3, &mut rng)),
-        ("random 4-relation", workloads::random_k_relation(n, 4, &mut rng)),
+        (
+            "local traffic (p_far = 0.3)",
+            workloads::local_traffic(n, 1, 0.3, &mut rng),
+        ),
+        (
+            "random 4-relation",
+            workloads::random_k_relation(n, 4, &mut rng),
+        ),
         ("all-to-one hotspot", workloads::all_to_one(n, 0)),
     ];
 

@@ -5,14 +5,15 @@
 //! cargo run --release --example universality
 //! ```
 
-use fat_tree::networks::{Butterfly, FixedConnectionNetwork, Hypercube, Mesh2D, Mesh3D, TreeMachine};
+use fat_tree::core::rng::SplitMix64;
+use fat_tree::networks::{
+    Butterfly, FixedConnectionNetwork, Hypercube, Mesh2D, Mesh3D, TreeMachine,
+};
 use fat_tree::universal::simulate_on_fat_tree;
 use fat_tree::workloads::random_permutation;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let mut rng = SplitMix64::seed_from_u64(0xCAFE);
     let nets: Vec<Box<dyn FixedConnectionNetwork>> = vec![
         Box::new(Mesh2D::new(16, 16)),
         Box::new(Mesh3D::new(6)),

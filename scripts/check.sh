@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo gate: build, test, format check, and a quick benchmark smoke pass.
+# Everything runs offline — no network, no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace --release"
+cargo test --workspace --release --quiet
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> ft-perf --smoke"
+cargo run --release -p ft-bench --bin ft-perf -- --smoke
+
+echo "All checks passed."

@@ -14,6 +14,7 @@
 //! `fem`, `hotspot`, `krel:K`, `local:P` (P = far-probability percent),
 //! `exchange`.
 
+use fat_tree::core::rng::SplitMix64;
 use fat_tree::layout::FatTreeLayout;
 use fat_tree::networks::{
     Butterfly, CubeConnectedCycles, FixedConnectionNetwork, Hypercube, Mesh2D, Mesh3D, Ring,
@@ -24,8 +25,6 @@ use fat_tree::sched::online::online_bound_shape;
 use fat_tree::sim::Arbitration;
 use fat_tree::universal::Emulation;
 use fat_tree::workloads;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -92,7 +91,7 @@ fn tree_from(opts: &HashMap<String, String>) -> FatTree {
     FatTree::universal(n, w)
 }
 
-fn workload_from(opts: &HashMap<String, String>, n: u32, rng: &mut StdRng) -> MessageSet {
+fn workload_from(opts: &HashMap<String, String>, n: u32, rng: &mut SplitMix64) -> MessageSet {
     let spec = opts.get("workload").map(String::as_str).unwrap_or("perm");
     match spec.split_once(':') {
         Some(("krel", k)) => workloads::balanced_k_relation(n, k.parse().unwrap_or(4), rng),
@@ -138,8 +137,8 @@ fn network_from(opts: &HashMap<String, String>) -> Box<dyn FixedConnectionNetwor
     }
 }
 
-fn rng_from(opts: &HashMap<String, String>) -> StdRng {
-    StdRng::seed_from_u64(get_u32(opts, "seed", 1985) as u64)
+fn rng_from(opts: &HashMap<String, String>) -> SplitMix64 {
+    SplitMix64::seed_from_u64(get_u32(opts, "seed", 1985) as u64)
 }
 
 fn cmd_tree(opts: &HashMap<String, String>) {
@@ -178,7 +177,9 @@ fn cmd_schedule(opts: &HashMap<String, String>) {
             exit(2);
         }
     };
-    schedule.validate(&ft, &msgs).expect("schedule invalid — bug");
+    schedule
+        .validate(&ft, &msgs)
+        .expect("schedule invalid — bug");
     println!(
         "{label}: {} messages, λ(M) = {lambda:.2}, lower bound {} ⇒ {} delivery cycles",
         msgs.len(),
@@ -221,7 +222,12 @@ fn cmd_simulate(opts: &HashMap<String, String>) {
             exit(2);
         }
     };
-    let cfg = SimConfig { payload_bits: get_u32(opts, "payload", 64), switch, arbitration, ..Default::default() };
+    let cfg = SimConfig {
+        payload_bits: get_u32(opts, "payload", 64),
+        switch,
+        arbitration,
+        ..Default::default()
+    };
     let run = run_to_completion(&ft, &msgs, &cfg);
     println!(
         "bit-serial machine: {} messages in {} delivery cycles, {} total ticks",

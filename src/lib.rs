@@ -36,10 +36,9 @@
 //!
 //! ```
 //! use fat_tree::prelude::*;
-//! use rand::SeedableRng;
 //!
 //! let mesh = fat_tree::networks::Mesh3D::new(4); // 64 processors, volume 64
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = fat_tree::core::rng::SplitMix64::seed_from_u64(7);
 //! let msgs = fat_tree::workloads::random_permutation(64, &mut rng);
 //! let report = fat_tree::universal::simulate_on_fat_tree(&mesh, &msgs, 1.0, &mut rng);
 //! // The measured slowdown respects the O(lg³ n) law (generous constant).
@@ -58,14 +57,13 @@ pub use ft_workloads as workloads;
 /// The commonly-used items in one import.
 pub mod prelude {
     pub use ft_core::{
-        load_factor, CapacityProfile, ChannelId, Direction, FatTree, LoadMap, Message,
-        MessageSet, ProcId,
+        load_factor, CapacityProfile, ChannelId, Direction, FatTree, LoadMap, Message, MessageSet,
+        ProcId,
     };
     pub use ft_layout::{balance_decomposition, Cuboid, DecompTree, Placement};
     pub use ft_networks::FixedConnectionNetwork;
     pub use ft_sched::{
-        route_online, schedule_bigcap, schedule_greedy, schedule_theorem1, OnlineConfig,
-        Schedule,
+        route_online, schedule_bigcap, schedule_greedy, schedule_theorem1, OnlineConfig, Schedule,
     };
     pub use ft_sim::{run_to_completion, simulate_cycle, SimConfig, SwitchKind};
     pub use ft_universal::{simulate_on_fat_tree, Identification};

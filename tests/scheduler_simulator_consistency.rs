@@ -3,15 +3,18 @@
 //! machine (with the ideal concentrators §III assumes) without a single
 //! drop — and the cycle time must be O(lg n).
 
+use fat_tree::core::rng::SplitMix64;
 use fat_tree::prelude::*;
 use fat_tree::workloads;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn check_schedule_runs_cleanly(ft: &FatTree, msgs: &MessageSet) {
     let (schedule, _) = schedule_theorem1(ft, msgs);
     schedule.validate(ft, msgs).unwrap();
-    let cfg = SimConfig { payload_bits: 32, switch: SwitchKind::Ideal, ..Default::default() };
+    let cfg = SimConfig {
+        payload_bits: 32,
+        switch: SwitchKind::Ideal,
+        ..Default::default()
+    };
     let lgn = ft.height();
     for (i, cycle) in schedule.cycles().iter().enumerate() {
         let report = simulate_cycle(ft, cycle.as_slice(), &cfg);
@@ -30,7 +33,7 @@ fn check_schedule_runs_cleanly(ft: &FatTree, msgs: &MessageSet) {
 
 #[test]
 fn scheduled_cycles_never_drop_random_relations() {
-    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut rng = SplitMix64::seed_from_u64(0xBEEF);
     for n in [16u32, 64, 256] {
         let ft = FatTree::universal(n, (n / 4).max(4) as u64);
         for k in [1u32, 3] {
@@ -42,7 +45,7 @@ fn scheduled_cycles_never_drop_random_relations() {
 
 #[test]
 fn scheduled_cycles_never_drop_adversarial_traffic() {
-    let mut rng = StdRng::seed_from_u64(0xD00D);
+    let mut rng = SplitMix64::seed_from_u64(0xD00D);
     let n = 128u32;
     for profile in [
         CapacityProfile::Constant(3),
@@ -62,7 +65,7 @@ fn corollary2_buckets_also_run_cleanly() {
     let n = 64u32;
     let cap = 4 * fat_tree::core::lg(n as u64) as u64; // a = 4
     let ft = FatTree::new(n, CapacityProfile::Constant(cap));
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = SplitMix64::seed_from_u64(11);
     let msgs = workloads::balanced_k_relation(n, 12, &mut rng);
     let (schedule, stats) = schedule_bigcap(&ft, &msgs).unwrap();
     schedule.validate(&ft, &msgs).unwrap();
@@ -81,7 +84,7 @@ fn online_and_simulator_agree_on_total_delivery() {
     // deliver everything, in comparable cycle counts.
     let n = 64u32;
     let ft = FatTree::universal(n, 16);
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = SplitMix64::seed_from_u64(5);
     let msgs = workloads::random_k_relation(n, 4, &mut rng);
     let online = route_online(&ft, &msgs, &mut rng, Default::default());
     let machine = run_to_completion(&ft, &msgs, &SimConfig::default());

