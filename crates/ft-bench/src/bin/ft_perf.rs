@@ -4,8 +4,15 @@
 //! `run_to_completion`, `schedule_theorem1`, and `compile_cycle` — on
 //! universal fat-trees at n ∈ {2¹⁰, 2¹⁴, 2¹⁷} across three workload
 //! families (random permutation, hot spot, random k-relation), and pits the
-//! flat-array engine against the retained HashMap reference at the sizes
-//! where the reference is still tolerable (2¹⁰ and 2¹⁴).
+//! flat-array engines against the retained HashMap/clone references at the
+//! sizes where those are still tolerable (2¹⁰ and 2¹⁴). Hot-spot
+//! `run_to_completion` serializes into n−1 delivery cycles (quadratic
+//! work), so that one cell is capped at n ≤ 2¹⁴ (reference at n ≤ 2¹⁰).
+//!
+//! Two acceptance gates are asserted on full (non-smoke) runs:
+//! `simulate_cycle` n=2¹⁴ permutation ≥ 5× the reference, and
+//! `schedule_theorem1` n=2¹⁴ random2 ≥ 4× the clone-based reference
+//! scheduler (the [`ft_sched::SchedArena`] rebuild).
 //!
 //! Results are written as hand-rolled JSON to `BENCH_engine.json` in the
 //! current directory (schema documented in EXPERIMENTS.md). Run with
@@ -21,7 +28,7 @@ use ft_bench::timing::{bench_duel, bench_with_budget, Measurement};
 use ft_core::rng::SplitMix64;
 use ft_core::{FatTree, Message, MessageSet};
 use ft_sched::reference::schedule_theorem1_reference;
-use ft_sched::schedule_theorem1;
+use ft_sched::SchedArena;
 use ft_sim::reference::{run_to_completion_reference, simulate_cycle_reference};
 use ft_sim::{compile_cycle, run_to_completion, SimArena, SimConfig};
 use std::time::Duration;
@@ -174,31 +181,48 @@ fn main() {
         }
 
         // --- run_to_completion: retries until drained. Hot spots serialize
-        // into n−1 cycles, which is quadratic work — permutations and
-        // 2-relations are the meaningful closed-loop workloads.
-        for wl in ["permutation", "random2"] {
+        // into n−1 cycles (quadratic work), so that family is capped at
+        // n ≤ 2¹⁴, with the reference twin only at n ≤ 2¹⁰.
+        for wl in ["permutation", "hotspot", "random2"] {
+            if wl == "hotspot" && n > 1 << 14 {
+                continue;
+            }
+            let rtc_ref = with_reference && (wl != "hotspot" || n <= 1 << 10);
             let msgs: MessageSet = workload(wl, n, 0xBEEF ^ n as u64).into_iter().collect();
             h.duel(
                 "run_to_completion",
                 n,
                 wl,
-                with_reference,
+                rtc_ref,
                 || run_to_completion(&ft, &msgs, &cfg).cycles,
                 || run_to_completion_reference(&ft, &msgs, &cfg).cycles,
             );
         }
 
-        // --- schedule_theorem1: the off-line scheduler.
-        for wl in ["permutation", "random2"] {
+        // --- schedule_theorem1: the off-line scheduler, arena reused
+        // across iterations (the intended steady-state usage).
+        for wl in ["permutation", "hotspot", "random2"] {
             let msgs: MessageSet = workload(wl, n, 0x5EED ^ n as u64).into_iter().collect();
+            let mut sarena = SchedArena::new(&ft);
             h.duel(
                 "schedule_theorem1",
                 n,
                 wl,
                 with_reference,
-                || schedule_theorem1(&ft, &msgs).1.total_cycles,
+                || sarena.schedule(&ft, &msgs, 1).1.total_cycles,
                 || schedule_theorem1_reference(&ft, &msgs).1.total_cycles,
             );
+
+            // --- schedule_theorem1 with scoped-thread subtree fan-out
+            // (byte-identical output; see ft-sched::arena).
+            if threads > 1 {
+                let mut sarena = SchedArena::new(&ft);
+                let name = format!("schedule_theorem1/flat-mt{threads}/n={n}/{wl}");
+                let m = bench_with_budget(&name, h.budget, &mut || {
+                    sarena.schedule(&ft, &msgs, threads).1.total_cycles
+                });
+                h.push("schedule_theorem1", "flat-mt", n, wl, &m);
+            }
         }
 
         // --- compile_cycle: one-cycle wire assignment (no reference twin;
@@ -220,20 +244,27 @@ fn main() {
             s.op, s.n, s.workload, s.speedup
         );
     }
-    let gate = h.speedups.iter().find(|s| {
-        s.op == "simulate_cycle" && s.workload == "permutation" && (smoke || s.n == 1 << 14)
-    });
-    if let Some(g) = gate {
-        println!(
-            "\nacceptance: simulate_cycle n={} permutation speedup = {:.2}x (target >= 5x)",
-            g.n, g.speedup
-        );
-        if !smoke {
-            assert!(
-                g.speedup >= 5.0,
-                "speedup gate failed: {:.2}x < 5x",
-                g.speedup
+    let gates: [(&str, &str, f64); 2] = [
+        ("simulate_cycle", "permutation", 5.0),
+        ("schedule_theorem1", "random2", 4.0),
+    ];
+    for (op, wl, target) in gates {
+        let gate = h
+            .speedups
+            .iter()
+            .find(|s| s.op == op && s.workload == wl && (smoke || s.n == 1 << 14));
+        if let Some(g) = gate {
+            println!(
+                "\nacceptance: {op} n={} {wl} speedup = {:.2}x (target >= {target}x)",
+                g.n, g.speedup
             );
+            if !smoke {
+                assert!(
+                    g.speedup >= target,
+                    "{op} speedup gate failed: {:.2}x < {target}x",
+                    g.speedup
+                );
+            }
         }
     }
 

@@ -107,7 +107,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(f(0.0), "0");
-        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(1.2345), "1.23");
         assert_eq!(f(42.4242), "42.4");
         assert_eq!(f(123456.0), "123456");
     }

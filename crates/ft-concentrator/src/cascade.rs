@@ -7,6 +7,7 @@
 //! stage ("a sequence of matchings on each level"), and the concentration
 //! guarantee holds as long as the load stays within every stage's α fraction.
 
+use crate::matching::MatchingArena;
 use crate::partial::PartialConcentrator;
 use crate::Concentrator;
 use ft_core::rng::SplitMix64;
@@ -61,6 +62,23 @@ impl Cascade {
             .unwrap_or(self.target)
             .min(self.target)
     }
+
+    /// [`Concentrator::route`] with caller-supplied matching buffers: one
+    /// [`MatchingArena`] serves every stage of the chain, so the
+    /// level-by-level matchings stop reallocating.
+    pub fn route_with(&self, arena: &mut MatchingArena, active: &[usize]) -> Option<Vec<usize>> {
+        if active.len() > self.target {
+            return None;
+        }
+        // Thread each message through the stages; `positions[j]` is where the
+        // j-th active message currently sits.
+        let mut positions: Vec<usize> = active.to_vec();
+        for stage in &self.stages {
+            let routed = stage.route_with(arena, &positions)?;
+            positions = routed;
+        }
+        Some(positions)
+    }
 }
 
 impl Concentrator for Cascade {
@@ -73,17 +91,7 @@ impl Concentrator for Cascade {
     }
 
     fn route(&self, active: &[usize]) -> Option<Vec<usize>> {
-        if active.len() > self.target {
-            return None;
-        }
-        // Thread each message through the stages; `positions[j]` is where the
-        // j-th active message currently sits.
-        let mut positions: Vec<usize> = active.to_vec();
-        for stage in &self.stages {
-            let routed = stage.route(&positions)?;
-            positions = routed;
-        }
-        Some(positions)
+        self.route_with(&mut MatchingArena::new(), active)
     }
 
     fn components(&self) -> usize {

@@ -31,7 +31,7 @@ pub mod partial;
 pub use bipartite::BipartiteGraph;
 pub use cascade::Cascade;
 pub use crossbar::Crossbar;
-pub use matching::max_matching;
+pub use matching::{max_matching, MatchingArena};
 pub use partial::PartialConcentrator;
 
 /// Behaviour common to all concentrator switches: route a set of active

@@ -9,59 +9,115 @@ use crate::bipartite::BipartiteGraph;
 
 const NIL: u32 = u32::MAX;
 
-/// Maximum matching between the *active* inputs of `g` and its outputs.
+/// Reusable buffers for Hopcroft–Karp: the pair, distance and BFS-queue
+/// arrays survive across [`MatchingArena::max_matching`] calls, so repeated
+/// matchings — a cascade routing stage by stage, a simulator concentrating
+/// every cycle, a verifier running thousands of trials — stop reallocating.
 ///
-/// Returns `(size, match_of_active)` where `match_of_active[j]` is the
-/// output matched to `active[j]` (or `None`).
-pub fn max_matching(g: &BipartiteGraph, active: &[usize]) -> (usize, Vec<Option<usize>>) {
-    let n = active.len();
-    let s = g.outputs();
-    // pair_u[j] = matched output of active j; pair_v[o] = matched active j.
-    let mut pair_u = vec![NIL; n];
-    let mut pair_v = vec![NIL; s];
-    let mut dist = vec![u32::MAX; n];
-    let mut queue = std::collections::VecDeque::new();
+/// The algorithm (and hence the matching produced) is identical to the
+/// one-shot [`max_matching`] wrapper; `tests/matching_brute.rs` pins
+/// arena-reuse runs to fresh-allocation runs.
+#[derive(Clone, Debug, Default)]
+pub struct MatchingArena {
+    /// `pair_u[j]` = matched output of `active[j]` (`NIL` = unmatched).
+    pair_u: Vec<u32>,
+    /// `pair_v[o]` = matched active index of output `o`.
+    pair_v: Vec<u32>,
+    dist: Vec<u32>,
+    /// FIFO realized as a grow-only vec with a head cursor.
+    queue: Vec<u32>,
+}
 
-    loop {
-        // BFS: layers from free inputs.
-        queue.clear();
-        let mut found_augmenting = false;
-        for j in 0..n {
-            if pair_u[j] == NIL {
-                dist[j] = 0;
-                queue.push_back(j as u32);
-            } else {
-                dist[j] = u32::MAX;
+impl MatchingArena {
+    /// An empty arena; buffers grow to the largest matching ever run.
+    pub fn new() -> Self {
+        MatchingArena::default()
+    }
+
+    /// Maximum matching between the *active* inputs of `g` and its outputs.
+    /// Returns the matching size; read the assignment off
+    /// [`MatchingArena::matched`] / [`MatchingArena::matches`].
+    pub fn max_matching(&mut self, g: &BipartiteGraph, active: &[usize]) -> usize {
+        let n = active.len();
+        let s = g.outputs();
+        self.pair_u.clear();
+        self.pair_u.resize(n, NIL);
+        self.pair_v.clear();
+        self.pair_v.resize(s, NIL);
+        self.dist.clear();
+        self.dist.resize(n, u32::MAX);
+
+        loop {
+            // BFS: layers from free inputs.
+            self.queue.clear();
+            let mut head = 0usize;
+            let mut found_augmenting = false;
+            for j in 0..n {
+                if self.pair_u[j] == NIL {
+                    self.dist[j] = 0;
+                    self.queue.push(j as u32);
+                } else {
+                    self.dist[j] = u32::MAX;
+                }
             }
-        }
-        while let Some(j) = queue.pop_front() {
-            for &o in g.neighbors(active[j as usize]) {
-                let pv = pair_v[o as usize];
-                if pv == NIL {
-                    found_augmenting = true;
-                } else if dist[pv as usize] == u32::MAX {
-                    dist[pv as usize] = dist[j as usize] + 1;
-                    queue.push_back(pv);
+            while head < self.queue.len() {
+                let j = self.queue[head] as usize;
+                head += 1;
+                for &o in g.neighbors(active[j]) {
+                    let pv = self.pair_v[o as usize];
+                    if pv == NIL {
+                        found_augmenting = true;
+                    } else if self.dist[pv as usize] == u32::MAX {
+                        self.dist[pv as usize] = self.dist[j] + 1;
+                        self.queue.push(pv);
+                    }
+                }
+            }
+            if !found_augmenting {
+                break;
+            }
+            // DFS along layered graph.
+            for j in 0..n {
+                if self.pair_u[j] == NIL {
+                    dfs(
+                        g,
+                        active,
+                        j,
+                        &mut self.pair_u,
+                        &mut self.pair_v,
+                        &mut self.dist,
+                    );
                 }
             }
         }
-        if !found_augmenting {
-            break;
-        }
-        // DFS along layered graph.
-        for j in 0..n {
-            if pair_u[j] == NIL {
-                dfs(g, active, j, &mut pair_u, &mut pair_v, &mut dist);
-            }
-        }
+
+        self.pair_u.iter().filter(|&&o| o != NIL).count()
     }
 
-    let size = pair_u.iter().filter(|&&o| o != NIL).count();
-    let matches = pair_u
-        .into_iter()
-        .map(|o| if o == NIL { None } else { Some(o as usize) })
-        .collect();
-    (size, matches)
+    /// The output matched to `active[j]` by the last `max_matching` run.
+    #[inline]
+    pub fn matched(&self, j: usize) -> Option<usize> {
+        let o = self.pair_u[j];
+        (o != NIL).then_some(o as usize)
+    }
+
+    /// Per-active-input matched outputs of the last `max_matching` run.
+    pub fn matches(&self) -> impl Iterator<Item = Option<usize>> + '_ {
+        self.pair_u
+            .iter()
+            .map(|&o| (o != NIL).then_some(o as usize))
+    }
+}
+
+/// Maximum matching between the *active* inputs of `g` and its outputs.
+///
+/// Returns `(size, match_of_active)` where `match_of_active[j]` is the
+/// output matched to `active[j]` (or `None`). One-shot convenience over
+/// [`MatchingArena`]; hot paths should hold an arena and reuse it.
+pub fn max_matching(g: &BipartiteGraph, active: &[usize]) -> (usize, Vec<Option<usize>>) {
+    let mut arena = MatchingArena::new();
+    let size = arena.max_matching(g, active);
+    (size, arena.matches().collect())
 }
 
 fn dfs(

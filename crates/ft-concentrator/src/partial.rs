@@ -9,7 +9,7 @@
 //! small `r`, exhaustively via Hall's condition).
 
 use crate::bipartite::BipartiteGraph;
-use crate::matching::max_matching;
+use crate::matching::MatchingArena;
 use crate::Concentrator;
 use ft_core::rng::SplitMix64;
 
@@ -62,16 +62,27 @@ impl PartialConcentrator {
         &self.graph
     }
 
+    /// [`Concentrator::route`] with caller-supplied matching buffers: the
+    /// hot path for simulators and cascades that concentrate repeatedly.
+    pub fn route_with(&self, arena: &mut MatchingArena, active: &[usize]) -> Option<Vec<usize>> {
+        let size = arena.max_matching(&self.graph, active);
+        if size == active.len() {
+            Some(arena.matches().map(|o| o.expect("full matching")).collect())
+        } else {
+            None
+        }
+    }
+
     /// Empirically verify the concentration property on `trials` random
     /// active sets of the maximum guaranteed size. Returns the number of
     /// failures (0 means the sample looks like a true (r,s,α) concentrator).
     pub fn verify_random(&self, trials: usize, rng: &mut SplitMix64) -> usize {
         let k = self.guaranteed().min(self.graph.inputs());
         let mut failures = 0;
+        let mut arena = MatchingArena::new();
         for _ in 0..trials {
             let active: Vec<usize> = rng.sample_indices(self.graph.inputs(), k);
-            let (size, _) = max_matching(&self.graph, &active);
-            if size < k {
+            if arena.max_matching(&self.graph, &active) < k {
                 failures += 1;
             }
         }
@@ -89,14 +100,14 @@ impl PartialConcentrator {
             r <= 20,
             "exhaustive verification is exponential; r too large"
         );
+        let mut arena = MatchingArena::new();
         for mask in 1u32..(1 << r) {
             let k = mask.count_ones() as usize;
             if k > kmax {
                 continue;
             }
             let active: Vec<usize> = (0..r).filter(|&i| mask >> i & 1 == 1).collect();
-            let (size, _) = max_matching(&self.graph, &active);
-            if size < k {
+            if arena.max_matching(&self.graph, &active) < k {
                 return Some(active);
             }
         }
@@ -114,12 +125,7 @@ impl Concentrator for PartialConcentrator {
     }
 
     fn route(&self, active: &[usize]) -> Option<Vec<usize>> {
-        let (size, m) = max_matching(&self.graph, active);
-        if size == active.len() {
-            Some(m.into_iter().map(|o| o.expect("full matching")).collect())
-        } else {
-            None
-        }
+        self.route_with(&mut MatchingArena::new(), active)
     }
 
     /// One switching element per edge (a pass-transistor / mux leg),

@@ -1,0 +1,122 @@
+//! Property tests for Hopcroft–Karp against a brute-force augmenting-path
+//! matcher (Kuhn's algorithm), plus a regression pinning [`MatchingArena`]
+//! reuse to fresh-allocation runs.
+//!
+//! Graphs are kept tiny (≤ 12 inputs/outputs) so the brute-force matcher is
+//! obviously correct: Kuhn's algorithm finds a maximum matching by repeated
+//! DFS augmentation, which is textbook-exact regardless of graph shape.
+
+use ft_concentrator::{max_matching, BipartiteGraph, MatchingArena};
+use ft_core::rng::SplitMix64;
+
+/// Kuhn's augmenting-path maximum matching — O(V·E), trivially correct.
+fn brute_force_size(g: &BipartiteGraph, active: &[usize]) -> usize {
+    fn try_kuhn(
+        g: &BipartiteGraph,
+        active: &[usize],
+        j: usize,
+        visited: &mut [bool],
+        owner: &mut [Option<usize>],
+    ) -> bool {
+        for &o in g.neighbors(active[j]) {
+            let o = o as usize;
+            if visited[o] {
+                continue;
+            }
+            visited[o] = true;
+            if owner[o].is_none() || try_kuhn(g, active, owner[o].unwrap(), visited, owner) {
+                owner[o] = Some(j);
+                return true;
+            }
+        }
+        false
+    }
+
+    let mut owner: Vec<Option<usize>> = vec![None; g.outputs()];
+    let mut size = 0;
+    for j in 0..active.len() {
+        let mut visited = vec![false; g.outputs()];
+        if try_kuhn(g, active, j, &mut visited, &mut owner) {
+            size += 1;
+        }
+    }
+    size
+}
+
+/// Random bipartite graph with `r` inputs, `s` outputs and per-input degree
+/// drawn in `0..=max_deg` (duplicate edges allowed — HK must tolerate them).
+fn random_graph(rng: &mut SplitMix64, r: usize, s: usize, max_deg: usize) -> BipartiteGraph {
+    let adj: Vec<Vec<u32>> = (0..r)
+        .map(|_| {
+            let deg = (rng.next_u64() as usize) % (max_deg + 1);
+            (0..deg)
+                .map(|_| (rng.next_u64() as usize % s) as u32)
+                .collect()
+        })
+        .collect();
+    BipartiteGraph::from_adj(s, adj)
+}
+
+#[test]
+fn hk_size_matches_brute_force_on_random_graphs() {
+    let mut rng = SplitMix64::seed_from_u64(0xB1_2026);
+    for trial in 0..300u64 {
+        let r = 1 + (rng.next_u64() as usize) % 12;
+        let s = 1 + (rng.next_u64() as usize) % 12;
+        let g = random_graph(&mut rng, r, s, 4);
+        // Random active subset (possibly all, possibly empty).
+        let active: Vec<usize> = (0..r)
+            .filter(|_| rng.next_u64().is_multiple_of(2))
+            .collect();
+        let (size, m) = max_matching(&g, &active);
+        assert_eq!(
+            size,
+            brute_force_size(&g, &active),
+            "trial {trial}: HK size differs from brute force (r={r}, s={s})"
+        );
+        // The returned assignment must be a real matching: injective, edges
+        // exist, and its cardinality is the reported size.
+        let mut used = vec![false; g.outputs()];
+        let mut count = 0;
+        for (j, o) in m.iter().enumerate() {
+            if let Some(o) = *o {
+                assert!(
+                    g.neighbors(active[j]).contains(&(o as u32)),
+                    "trial {trial}: matched along a non-edge"
+                );
+                assert!(!used[o], "trial {trial}: output {o} matched twice");
+                used[o] = true;
+                count += 1;
+            }
+        }
+        assert_eq!(count, size);
+    }
+}
+
+#[test]
+fn arena_reuse_matches_fresh_runs() {
+    // One arena driven across many graphs of varying shapes must produce
+    // exactly the matchings a fresh allocation would: stale buffer contents
+    // may never leak into a later run.
+    let mut rng = SplitMix64::seed_from_u64(0xA3_2026);
+    let mut reused = MatchingArena::new();
+    for trial in 0..200u64 {
+        let r = 1 + (rng.next_u64() as usize) % 12;
+        let s = 1 + (rng.next_u64() as usize) % 12;
+        let g = random_graph(&mut rng, r, s, 5);
+        let active: Vec<usize> = (0..r)
+            .filter(|_| !rng.next_u64().is_multiple_of(3))
+            .collect();
+
+        let mut fresh = MatchingArena::new();
+        let size_fresh = fresh.max_matching(&g, &active);
+        let size_reused = reused.max_matching(&g, &active);
+        assert_eq!(size_reused, size_fresh, "trial {trial}: sizes diverge");
+        let a: Vec<Option<usize>> = fresh.matches().collect();
+        let b: Vec<Option<usize>> = reused.matches().collect();
+        assert_eq!(a, b, "trial {trial}: assignments diverge");
+        for (j, o) in a.iter().enumerate() {
+            assert_eq!(reused.matched(j), *o);
+        }
+    }
+}

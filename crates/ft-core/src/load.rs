@@ -7,7 +7,7 @@
 
 use crate::message::{Message, MessageSet};
 use crate::route::for_each_path_channel;
-use crate::topology::{ChannelId, FatTree};
+use crate::topology::{ChannelId, Direction, FatTree};
 
 /// Dense per-channel load counters for a fixed fat-tree.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -143,19 +143,40 @@ impl ScratchLoad {
     /// Add one message's path to the loads.
     #[inline]
     pub fn add(&mut self, ft: &FatTree, m: &Message) {
-        for_each_path_channel(ft, m, |c| {
-            let i = c.index();
-            if self.counts[i] == 0 {
-                self.touched.push(i as u32);
-            }
-            self.counts[i] += 1;
-        });
+        for_each_path_channel(ft, m, |c| self.add_channel(c));
+    }
+
+    /// Add one unit of load on a single channel. Callers that already know a
+    /// message's path (e.g. Theorem 1's splitter, which walks source and
+    /// destination leaves up to a fixed LCA) can skip the generic path
+    /// enumeration of [`ScratchLoad::add`].
+    #[inline]
+    pub fn add_channel(&mut self, c: ChannelId) {
+        let i = c.index();
+        if self.counts[i] == 0 {
+            self.touched.push(i as u32);
+        }
+        self.counts[i] += 1;
     }
 
     /// Current load on a channel.
     #[inline]
     pub fn get(&self, c: ChannelId) -> u64 {
         self.counts[c.index()]
+    }
+
+    /// Iterate the channels with nonzero accumulated load, with their loads,
+    /// in first-touched order.
+    pub fn iter_touched(&self) -> impl Iterator<Item = (ChannelId, u64)> + '_ {
+        self.touched.iter().map(|&i| {
+            let dir = if i & 1 == 0 {
+                Direction::Up
+            } else {
+                Direction::Down
+            };
+            let c = ChannelId { edge: i >> 1, dir };
+            (c, self.counts[i as usize])
+        })
     }
 
     /// Number of distinct channels with nonzero load.
@@ -354,6 +375,40 @@ mod tests {
             let dense = LoadMap::of(&t, &MessageSet::from_vec(sub.to_vec())).is_one_cycle(&t);
             assert_eq!(sl.check_subset(&t, sub.iter()), dense);
         }
+    }
+
+    #[test]
+    fn add_channel_and_iter_touched_match_add() {
+        let t = ft(16, CapacityProfile::Constant(2));
+        let m = Message::new(1, 9);
+        let mut a = ScratchLoad::new(&t);
+        a.add(&t, &m);
+        // Walk the path by hand: up from leaf(src) to the LCA, down from
+        // leaf(dst) — the walk Theorem 1's splitter does.
+        let mut b = ScratchLoad::new(&t);
+        let lca = t.lca(m.src, m.dst);
+        let mut u = t.leaf(m.src);
+        while u != lca {
+            b.add_channel(ChannelId::up(u));
+            u >>= 1;
+        }
+        let mut v = t.leaf(m.dst);
+        while v != lca {
+            b.add_channel(ChannelId::down(v));
+            v >>= 1;
+        }
+        for c in t.channels() {
+            assert_eq!(a.get(c), b.get(c), "mismatch at {c}");
+        }
+        let total: u64 = a.iter_touched().map(|(_, l)| l).sum();
+        assert_eq!(
+            total,
+            LoadMap::of(&t, &MessageSet::from_vec(vec![m])).total()
+        );
+        for (c, l) in a.iter_touched() {
+            assert_eq!(l, a.get(c));
+        }
+        assert_eq!(a.iter_touched().count(), a.touched_len());
     }
 
     #[test]

@@ -223,9 +223,7 @@ mod tests {
         // All blacks at the far end of the long string: the initial prefix
         // has none, forcing the family to slide (stage 2).
         let mut long = vec![false; 12];
-        for i in 8..12 {
-            long[i] = true;
-        }
+        long[8..12].fill(true);
         check(&long, &[false; 4]);
     }
 

@@ -198,7 +198,7 @@ mod tests {
         let n = 1024usize;
         let mut perm: Vec<usize> = (0..n).collect();
         // Deterministic Fisher–Yates with an xorshift.
-        let mut st = 0x1234_5678_9ABC_DEFu64;
+        let mut st = 0x1234_5678_9ABC_DEF0_u64;
         for i in (1..n).rev() {
             st ^= st << 13;
             st ^= st >> 7;

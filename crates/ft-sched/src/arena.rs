@@ -1,0 +1,906 @@
+//! [`SchedArena`]: the flat, buffer-reusing engine behind Theorem 1.
+//!
+//! The clone-based scheduler in [`crate::reference`] (and the first
+//! incremental rewrite it was pinned against) materializes a `Vec<Message>`
+//! per LCA bucket and fresh index vectors, mate tables and `Q₀`/`Q₁` lists
+//! at every level of the split recursion. On large trees the deep levels
+//! degenerate into ~`3n/2` tiny buckets, so those allocations dominate the
+//! schedule time. This module rebuilds the pipeline the way `ft-sim`'s
+//! `SimArena` rebuilt delivery cycles:
+//!
+//! * **Counting-sort bucketing.** Messages are bucketed by the key
+//!   `2·lca + direction` — equivalently, by the child of the LCA holding the
+//!   source leaf — into one flat `Vec<Message>` with a prefix-offset table.
+//!   The sort is stable, so each bucket sees its messages in input order,
+//!   exactly like the reference's `partition` into lr/rl vectors.
+//! * **In-place refinement.** The split recursion permutes one global index
+//!   array; a segment `[s, e)` of it *is* a subset, so no recursion level
+//!   allocates. Feasible segments become parts recorded as end offsets.
+//! * **Flat matching-and-tracing.** Message ends are packed as
+//!   `leaf << 32 | position` u64s and sorted in place; mates live in
+//!   reusable u32 tables with a `NONE` sentinel. Same algorithm as
+//!   [`crate::split::split_even_indices`], zero steady-state allocation
+//!   (asserted by `tests/alloc_steady.rs`).
+//! * **Deterministic fan-out.** Distinct LCA nodes at one tree level own
+//!   disjoint messages and channels, so per-node work is sharded over scoped
+//!   threads by chunking the bucket range — like the simulator's per-subtree
+//!   arbitration. Parts are gathered serially in (node, direction) order, so
+//!   the schedule is byte-identical for any thread count (enforced by
+//!   `tests/golden_splitter.rs`).
+
+use crate::offline::Theorem1Stats;
+use crate::schedule::Schedule;
+use crate::split::CrossDirection;
+use ft_core::{ChannelId, FatTree, Message, MessageSet, ScratchLoad};
+
+const NONE: u32 = u32::MAX;
+
+/// Shared read-only state for one level's refinement, so worker methods
+/// stay within clippy's argument budget.
+struct LevelCtx<'a> {
+    ft: &'a FatTree,
+    bucket_off: &'a [u32],
+    sleaf: &'a [u32],
+    dleaf: &'a [u32],
+}
+
+/// Per-thread scratch: everything one worker needs to refine a contiguous
+/// range of buckets. All buffers are grow-only.
+struct Worker {
+    load: ScratchLoad,
+    /// Packed `(leaf << 32) | segment-position` end records, one side at a
+    /// time, sorted in place.
+    ends: Vec<u64>,
+    /// Ends left over after in-processor pairing (≤ 1 per leaf), packed the
+    /// same way and still sorted by leaf.
+    leftovers: Vec<u64>,
+    mate_src: Vec<u32>,
+    mate_dst: Vec<u32>,
+    assigned: Vec<u8>,
+    q0: Vec<u32>,
+    q1: Vec<u32>,
+    /// DFS stack of `(start, end, depth, dinf, dfeas)` index segments;
+    /// depth is relative to the walk that produced the `dinf`/`dfeas`
+    /// classification bounds (see [`Worker::refine_bucket`]).
+    stack: Vec<(u32, u32, u32, u32, u32)>,
+    /// Absolute part-end offsets for this worker's buckets, in bucket order.
+    parts: Vec<u32>,
+    /// Part count per bucket in this worker's chunk (0 for empty buckets).
+    nparts: Vec<u32>,
+}
+
+impl Worker {
+    fn new(ft: &FatTree) -> Self {
+        Worker {
+            load: ScratchLoad::new(ft),
+            ends: Vec::new(),
+            leftovers: Vec::new(),
+            mate_src: Vec::new(),
+            mate_dst: Vec::new(),
+            assigned: Vec::new(),
+            q0: Vec::new(),
+            q1: Vec::new(),
+            stack: Vec::new(),
+            parts: Vec::new(),
+            nparts: Vec::new(),
+        }
+    }
+
+    /// Refine every bucket in `[key_lo, key_hi)`. `idx_chunk` is the slice
+    /// of the global index array covering exactly those buckets and `base`
+    /// its absolute offset.
+    fn run_level(&mut self, ctx: &LevelCtx, key_lo: u32, key_hi: u32, idx_chunk: &mut [u32]) {
+        self.parts.clear();
+        self.nparts.clear();
+        let base = ctx.bucket_off[key_lo as usize];
+        for key in key_lo..key_hi {
+            let s = ctx.bucket_off[key as usize] - base;
+            let e = ctx.bucket_off[key as usize + 1] - base;
+            if s == e {
+                self.nparts.push(0);
+                continue;
+            }
+            let np = self.refine_bucket(
+                ctx,
+                key >> 1,
+                &mut idx_chunk[s as usize..e as usize],
+                base + s,
+            );
+            self.nparts.push(np);
+        }
+    }
+
+    /// The Theorem-1 split loop: repeatedly halve the bucket's index segment
+    /// until every part is a one-cycle message set. Parts are emitted as
+    /// absolute end offsets in increasing order (the DFS visits `Q₀` before
+    /// `Q₁`, and each split writes `Q₀` ahead of `Q₁` in place), matching
+    /// the reference's part order exactly.
+    ///
+    /// Feasibility is decided mostly without walking: an even split leaves
+    /// each channel's load in a child at `⌊L/2⌋` or `⌈L/2⌉`, so after `d`
+    /// splits every descendant's load on channel `c` lies in
+    /// `[⌊L(c)/2^d⌋, ⌈L(c)/2^d⌉]`. One walk therefore classifies whole
+    /// depth ranges: depths `≤ dinf` are certainly infeasible (split without
+    /// walking), depths `≥ dfeas` certainly feasible (emit without walking),
+    /// and only the narrow band in between re-walks for exact loads. The
+    /// decisions agree with the reference's per-segment `is_one_cycle`
+    /// check at every segment, so the output is byte-identical (pinned by
+    /// `tests/golden_scheduler.rs`).
+    fn refine_bucket(
+        &mut self,
+        ctx: &LevelCtx,
+        node: u32,
+        idx_seg: &mut [u32],
+        abs_base: u32,
+    ) -> u32 {
+        let mut np = 0u32;
+        self.stack.clear();
+        // (start, end, depth-below-last-walk, dinf, dfeas); the sentinel
+        // bounds force a walk at the root segment.
+        self.stack.push((0, idx_seg.len() as u32, 1, 0, u32::MAX));
+        while let Some((s, e, mut d, mut dinf, mut dfeas)) = self.stack.pop() {
+            let m = (e - s) as usize;
+            // A single message always fits: it loads each of its channels
+            // once and every capacity profile is clamped to ≥ 1 wire.
+            if m == 1 || d >= dfeas {
+                self.parts.push(abs_base + e);
+                np += 1;
+                continue;
+            }
+            if d > dinf {
+                // Undetermined: the bounds straddle some capacity. Get
+                // exact loads and re-classify from this segment down.
+                let (ndinf, ndfeas) =
+                    self.walk_classify(ctx, node, &idx_seg[s as usize..e as usize]);
+                if ndfeas == 0 {
+                    self.parts.push(abs_base + e);
+                    np += 1;
+                    continue;
+                }
+                (d, dinf, dfeas) = (0, ndinf, ndfeas);
+            }
+            self.split_segment(ctx.sleaf, ctx.dleaf, &idx_seg[s as usize..e as usize]);
+            debug_assert!(
+                self.q0.len() < m || !self.q1.is_empty(),
+                "split must make progress"
+            );
+            // Write Q₀ then Q₁ back into the segment.
+            let q0n = self.q0.len() as u32;
+            idx_seg[s as usize..(s + q0n) as usize].copy_from_slice(&self.q0);
+            idx_seg[(s + q0n) as usize..e as usize].copy_from_slice(&self.q1);
+            self.stack.push((s + q0n, e, d + 1, dinf, dfeas));
+            self.stack.push((s, s + q0n, d + 1, dinf, dfeas));
+        }
+        np
+    }
+
+    /// Walk the segment's loads and classify split depths. Every message's
+    /// LCA is `node`, so its path is an up-run from the source leaf and a
+    /// down-run from the destination leaf — no generic path enumeration.
+    ///
+    /// Returns `(dinf, dfeas)`: depths `d ≤ dinf` have some channel with
+    /// `⌊L/2^d⌋ > cap` (every depth-`d` descendant infeasible) and depths
+    /// `d ≥ dfeas` have `⌈L/2^d⌉ ≤ cap` on all channels (every depth-`d`
+    /// descendant feasible). `dfeas == 0` means the segment itself is a
+    /// one-cycle set. `dinf < dfeas` always holds.
+    fn walk_classify(&mut self, ctx: &LevelCtx, node: u32, seg: &[u32]) -> (u32, u32) {
+        for &id in seg {
+            let mut u = ctx.sleaf[id as usize];
+            while u != node {
+                self.load.add_channel(ChannelId::up(u));
+                u >>= 1;
+            }
+            let mut v = ctx.dleaf[id as usize];
+            while v != node {
+                self.load.add_channel(ChannelId::down(v));
+                v >>= 1;
+            }
+        }
+        let mut dinf = 0u32;
+        let mut dfeas = 0u32;
+        for (c, l) in self.load.iter_touched() {
+            let cap = ctx.ft.cap(c);
+            if l > cap {
+                // Smallest d with cap·2^d ≥ l: ceil(log2(ceil(l / cap))).
+                let q = l.div_ceil(cap);
+                dfeas = dfeas.max(64 - (q - 1).leading_zeros());
+                // Largest d with l / 2^d > cap: floor(log2(l / (cap + 1))).
+                let r = l / (cap + 1);
+                if r >= 1 {
+                    dinf = dinf.max(63 - r.leading_zeros());
+                }
+            }
+        }
+        self.load.clear();
+        (dinf, dfeas)
+    }
+
+    /// One even split of `idx_seg` (≥ 2 entries): the §III matching and the
+    /// alternating tracing pass, over flat index arrays. Results land in
+    /// `self.q0` / `self.q1` as the *entries* of `idx_seg` in traced order,
+    /// so write-back is a pair of plain copies; the induced partition is
+    /// identical to [`crate::split::split_even_indices`] on the
+    /// materialized segment.
+    fn split_segment(&mut self, sleaf: &[u32], dleaf: &[u32], idx_seg: &[u32]) {
+        let m = idx_seg.len();
+        debug_assert!(m >= 2);
+
+        // ---- Matching (per side) ----
+        let unmatched_src = match_side(
+            &mut self.ends,
+            &mut self.leftovers,
+            &mut self.mate_src,
+            idx_seg,
+            sleaf,
+        );
+        let _unmatched_dst = match_side(
+            &mut self.ends,
+            &mut self.leftovers,
+            &mut self.mate_dst,
+            idx_seg,
+            dleaf,
+        );
+
+        // ---- Tracing ----
+        self.assigned.clear();
+        self.assigned.resize(m, 0);
+        self.q0.clear();
+        self.q1.clear();
+        let mut next_start = 0u32;
+        let mut cur = unmatched_src;
+        loop {
+            let i = if cur != NONE && self.assigned[cur as usize] == 0 {
+                std::mem::replace(&mut cur, NONE)
+            } else {
+                cur = NONE;
+                // Pick a fresh unassigned message to start a new trace.
+                while (next_start as usize) < m && self.assigned[next_start as usize] != 0 {
+                    next_start += 1;
+                }
+                if next_start as usize == m {
+                    break;
+                }
+                next_start
+            };
+            // Traverse string i source→destination: goes into Q₀.
+            self.assigned[i as usize] = 1;
+            self.q0.push(idx_seg[i as usize]);
+            // Arrived at i's destination end; hop to its mate.
+            let j = self.mate_dst[i as usize];
+            if j == NONE || self.assigned[j as usize] != 0 {
+                continue;
+            }
+            // Traverse string j destination→source: goes into Q₁.
+            self.assigned[j as usize] = 1;
+            self.q1.push(idx_seg[j as usize]);
+            // Arrived at j's source end; hop to its mate and loop.
+            let k = self.mate_src[j as usize];
+            if k != NONE {
+                cur = k;
+            }
+        }
+    }
+
+    /// Recursive r-way even distribution for Corollary 2: split the segment
+    /// and recurse left then right until `width` reaches 1, emitting one
+    /// part end per bucket. Mirrors `bigcap`'s original `split_r_ways`
+    /// (empty and singleton segments short-circuit the way
+    /// `split_even_indices` does: everything stays in the left half).
+    fn distribute_rec(
+        &mut self,
+        sleaf: &[u32],
+        dleaf: &[u32],
+        idx_seg: &mut [u32],
+        abs_base: u32,
+        width: usize,
+    ) {
+        if width == 1 {
+            self.parts.push(abs_base + idx_seg.len() as u32);
+            return;
+        }
+        let q0n = if idx_seg.len() >= 2 {
+            self.split_segment(sleaf, dleaf, idx_seg);
+            let q0n = self.q0.len();
+            idx_seg[..q0n].copy_from_slice(&self.q0);
+            idx_seg[q0n..].copy_from_slice(&self.q1);
+            q0n
+        } else {
+            idx_seg.len() // 0 or 1 messages: Q₀ takes everything
+        };
+        let (a, b) = idx_seg.split_at_mut(q0n);
+        self.distribute_rec(sleaf, dleaf, a, abs_base, width / 2);
+        self.distribute_rec(sleaf, dleaf, b, abs_base + q0n as u32, width / 2);
+    }
+}
+
+/// Build one side's hierarchical matching over the segment: pair ends
+/// within each processor, then pair the ≤-one-per-leaf leftovers within
+/// 2-, 4-, …-leaf subtrees. Returns the surviving unmatched end (`NONE`
+/// when the segment has even length).
+fn match_side(
+    ends: &mut Vec<u64>,
+    leftovers: &mut Vec<u64>,
+    mate: &mut Vec<u32>,
+    idx_seg: &[u32],
+    leaf: &[u32],
+) -> u32 {
+    let m = idx_seg.len();
+    mate.clear();
+    mate.resize(m, NONE);
+
+    // Group ends by (leaf, position): the packed u64 sorts exactly like the
+    // reference's `(leaf, i)` key.
+    ends.clear();
+    for (t, &id) in idx_seg.iter().enumerate() {
+        ends.push(((leaf[id as usize] as u64) << 32) | t as u64);
+    }
+    ends.sort_unstable();
+
+    // Step 1: pair within each processor; collect one leftover per leaf.
+    leftovers.clear();
+    let mut pos = 0;
+    while pos < m {
+        let lf = ends[pos] >> 32;
+        let mut run_end = pos;
+        while run_end < m && (ends[run_end] >> 32) == lf {
+            run_end += 1;
+        }
+        let mut i = pos;
+        while i + 1 < run_end {
+            let a = ends[i] as u32;
+            let b = ends[i + 1] as u32;
+            mate[a as usize] = b;
+            mate[b as usize] = a;
+            i += 2;
+        }
+        if i < run_end {
+            leftovers.push(ends[i]);
+        }
+        pos = run_end;
+    }
+
+    // Step 2: hierarchical pairing of leftovers (distinct sorted leaves).
+    pair_range(leftovers, mate)
+}
+
+/// Recursively pair leftover ends within power-of-two aligned leaf ranges;
+/// returns the surviving unmatched end. Allocation-free twin of
+/// `split::pair_range` over packed ends.
+fn pair_range(leftovers: &[u64], mate: &mut [u32]) -> u32 {
+    match leftovers.len() {
+        0 => NONE,
+        1 => leftovers[0] as u32,
+        _ => {
+            // Split at the most significant differing bit of the first and
+            // last leaf: bit `msb` selects the child subtree of the range's
+            // common ancestor.
+            let lo = (leftovers[0] >> 32) as u32;
+            let hi = (leftovers[leftovers.len() - 1] >> 32) as u32;
+            debug_assert!(lo < hi);
+            let msb = 31 - (lo ^ hi).leading_zeros();
+            let split = leftovers.partition_point(|&e| ((e >> 32) as u32 >> msb) & 1 == 0);
+            debug_assert!(split > 0 && split < leftovers.len());
+            let a = pair_range(&leftovers[..split], mate);
+            let b = pair_range(&leftovers[split..], mate);
+            if a != NONE && b != NONE {
+                mate[a as usize] = b;
+                mate[b as usize] = a;
+                NONE
+            } else if a != NONE {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+/// Reusable scratch for [`crate::schedule_theorem1`]: allocate once, run
+/// many schedules. See the module docs for the design; construction is
+/// O(n), every buffer is grow-only, and one arena serves any number of
+/// `schedule` calls on same-size trees (it transparently rebuilds if the
+/// tree size changes).
+pub struct SchedArena {
+    n: u32,
+    locals: Vec<Message>,
+    /// Bucket key (`2·lca + direction` = child of the LCA on the source
+    /// side) per non-local input message, in input order.
+    keys: Vec<u32>,
+    /// Prefix offsets into `bucket_msgs` per key (len `2n + 1`).
+    bucket_off: Vec<u32>,
+    cursor: Vec<u32>,
+    /// Non-local messages, stably counting-sorted by bucket key.
+    bucket_msgs: Vec<Message>,
+    /// Source / destination heap leaves aligned with `bucket_msgs`.
+    sleaf: Vec<u32>,
+    dleaf: Vec<u32>,
+    /// The global index permutation the refinement works on.
+    idx: Vec<u32>,
+    /// Gathered per-level part table (absolute end offsets, bucket order).
+    part_ends: Vec<u32>,
+    nparts: Vec<u32>,
+    parts_start: Vec<u32>,
+    /// Heap-indexed subtree tallies for the λ(M) statistic: messages
+    /// sourced / destined under each node, and messages whose LCA lies at
+    /// or under it. `load(up(u)) = under_src[u] − lca_under[u]` (and the
+    /// `dst` twin for down channels), so λ falls out of one O(n) bottom-up
+    /// pass instead of an O(m·lg n) per-message walk.
+    under_src: Vec<u32>,
+    under_dst: Vec<u32>,
+    lca_under: Vec<u32>,
+    workers: Vec<Worker>,
+    /// Scratch for the public single-split / single-bucket entry points.
+    tmp_sleaf: Vec<u32>,
+    tmp_dleaf: Vec<u32>,
+    tmp_idx: Vec<u32>,
+}
+
+impl SchedArena {
+    /// An arena sized for `ft`.
+    pub fn new(ft: &FatTree) -> Self {
+        SchedArena {
+            n: ft.n(),
+            locals: Vec::new(),
+            keys: Vec::new(),
+            bucket_off: Vec::new(),
+            cursor: Vec::new(),
+            bucket_msgs: Vec::new(),
+            sleaf: Vec::new(),
+            dleaf: Vec::new(),
+            idx: Vec::new(),
+            part_ends: Vec::new(),
+            nparts: Vec::new(),
+            parts_start: Vec::new(),
+            under_src: Vec::new(),
+            under_dst: Vec::new(),
+            lca_under: Vec::new(),
+            workers: vec![Worker::new(ft)],
+            tmp_sleaf: Vec::new(),
+            tmp_dleaf: Vec::new(),
+            tmp_idx: Vec::new(),
+        }
+    }
+
+    fn ensure_tree(&mut self, ft: &FatTree) {
+        if self.n != ft.n() {
+            *self = SchedArena::new(ft);
+        }
+    }
+
+    fn ensure_workers(&mut self, ft: &FatTree, count: usize) {
+        while self.workers.len() < count {
+            self.workers.push(Worker::new(ft));
+        }
+    }
+
+    /// Schedule `m` on `ft` per Theorem 1, sharding per-node split work over
+    /// `threads` scoped threads (1 = serial). The emitted schedule is
+    /// byte-identical for every thread count *and* to
+    /// [`crate::reference::schedule_theorem1_reference`].
+    pub fn schedule(
+        &mut self,
+        ft: &FatTree,
+        m: &MessageSet,
+        threads: usize,
+    ) -> (Schedule, Theorem1Stats) {
+        self.ensure_tree(ft);
+        let n = ft.n();
+        let height = ft.height();
+
+        // ---- Counting-sort bucketing by (lca, direction). ----
+        self.locals.clear();
+        self.keys.clear();
+        self.bucket_off.clear();
+        self.bucket_off.resize(2 * n as usize + 1, 0);
+        self.under_src.clear();
+        self.under_src.resize(2 * n as usize, 0);
+        self.under_dst.clear();
+        self.under_dst.resize(2 * n as usize, 0);
+        self.lca_under.clear();
+        self.lca_under.resize(2 * n as usize, 0);
+        for msg in m {
+            if msg.is_local() {
+                self.locals.push(*msg);
+                continue;
+            }
+            let u = n + msg.src.0;
+            let v = n + msg.dst.0;
+            self.under_src[u as usize] += 1;
+            self.under_dst[v as usize] += 1;
+            // Both leaves sit at the same heap depth, so the position of
+            // the highest differing bit gives the LCA directly: shifting
+            // past it lands on the child of the LCA containing the source
+            // leaf (`cu`): even = left child = LeftToRight, odd =
+            // RightToLeft.
+            let p = 31 - (u ^ v).leading_zeros();
+            let cu = u >> p;
+            self.keys.push(cu);
+            self.bucket_off[cu as usize + 1] += 1;
+        }
+
+        // λ(M) from subtree tallies: summing leaf counts and LCA counts
+        // bottom-up gives every channel's load without touching messages
+        // again — load(up(u)) counts messages sourced under `u` whose LCA
+        // is a proper ancestor of `u` (locals contribute nothing).
+        let mut lam = 0.0f64;
+        for u in (1..2 * n as usize).rev() {
+            if (u as u32) < n {
+                self.under_src[u] = self.under_src[2 * u] + self.under_src[2 * u + 1];
+                self.under_dst[u] = self.under_dst[2 * u] + self.under_dst[2 * u + 1];
+                // `bucket_off` still holds raw counts here (key k's count
+                // sits at k + 1; the prefix sum runs below).
+                self.lca_under[u] = self.bucket_off[2 * u + 1]
+                    + self.bucket_off[2 * u + 2]
+                    + self.lca_under[2 * u]
+                    + self.lca_under[2 * u + 1];
+            }
+            if u >= 2 {
+                let up = (self.under_src[u] - self.lca_under[u]) as f64;
+                let down = (self.under_dst[u] - self.lca_under[u]) as f64;
+                let edge = u as u32;
+                lam = lam
+                    .max(up / ft.cap(ChannelId::up(edge)) as f64)
+                    .max(down / ft.cap(ChannelId::down(edge)) as f64);
+            }
+        }
+        for i in 1..self.bucket_off.len() {
+            self.bucket_off[i] += self.bucket_off[i - 1];
+        }
+        let nn = self.keys.len();
+        self.bucket_msgs.clear();
+        self.bucket_msgs.resize(nn, Message::new(0, 0));
+        self.sleaf.clear();
+        self.sleaf.resize(nn, 0);
+        self.dleaf.clear();
+        self.dleaf.resize(nn, 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.bucket_off);
+        let mut ki = 0usize;
+        for msg in m {
+            if msg.is_local() {
+                continue;
+            }
+            let key = self.keys[ki] as usize;
+            ki += 1;
+            let pos = self.cursor[key] as usize;
+            self.cursor[key] += 1;
+            self.bucket_msgs[pos] = *msg;
+            self.sleaf[pos] = n + msg.src.0;
+            self.dleaf[pos] = n + msg.dst.0;
+        }
+        self.idx.clear();
+        self.idx.extend(0..nn as u32);
+
+        // ---- Level-by-level refinement + emission. ----
+        let mut schedule = Schedule::new();
+        let mut cycles_per_level = Vec::with_capacity(height as usize);
+        for level in 0..height {
+            let key_lo = 1u32 << (level + 1);
+            let key_hi = key_lo << 1;
+            let lvl_start = self.bucket_off[key_lo as usize] as usize;
+            let lvl_end = self.bucket_off[key_hi as usize] as usize;
+            if lvl_start == lvl_end {
+                cycles_per_level.push(0);
+                continue;
+            }
+            let nk = (key_hi - key_lo) as usize;
+            // Sharding below ~4k messages costs more than it saves; the
+            // merge order makes the schedule identical either way.
+            let nthreads = if lvl_end - lvl_start >= 4096 {
+                threads.max(1).min(nk)
+            } else {
+                1
+            };
+            self.ensure_workers(ft, nthreads);
+            let SchedArena {
+                ref mut idx,
+                ref mut workers,
+                ref bucket_off,
+                ref sleaf,
+                ref dleaf,
+                ..
+            } = *self;
+            let ctx = LevelCtx {
+                ft,
+                bucket_off,
+                sleaf,
+                dleaf,
+            };
+            let lvl_idx = &mut idx[lvl_start..lvl_end];
+            // Buckets per worker chunk and the resulting chunk count (the
+            // last chunk may be short).
+            let per = nk.div_ceil(nthreads);
+            let used = nk.div_ceil(per);
+            if nthreads <= 1 {
+                workers[0].run_level(&ctx, key_lo, key_hi, lvl_idx);
+            } else {
+                let per = per as u32;
+                std::thread::scope(|scope| {
+                    let ctx = &ctx;
+                    let mut rest = lvl_idx;
+                    let mut wrest = &mut workers[..nthreads];
+                    let mut key = key_lo;
+                    while key < key_hi {
+                        let chunk_hi = (key + per).min(key_hi);
+                        let len =
+                            (bucket_off[chunk_hi as usize] - bucket_off[key as usize]) as usize;
+                        let (chunk, r) = rest.split_at_mut(len);
+                        rest = r;
+                        let (wslice, wr) = wrest.split_at_mut(1);
+                        wrest = wr;
+                        let w = &mut wslice[0];
+                        scope.spawn(move || w.run_level(ctx, key, chunk_hi, chunk));
+                        key = chunk_hi;
+                    }
+                });
+            }
+
+            // Gather worker part tables in bucket (= node, direction) order;
+            // chunks are contiguous key ranges, so concatenation suffices.
+            self.nparts.clear();
+            self.part_ends.clear();
+            for w in &self.workers[..used] {
+                self.nparts.extend_from_slice(&w.nparts);
+                self.part_ends.extend_from_slice(&w.parts);
+            }
+            debug_assert_eq!(self.nparts.len(), nk);
+            self.parts_start.clear();
+            let mut acc = 0u32;
+            for &np in &self.nparts {
+                self.parts_start.push(acc);
+                acc += np;
+            }
+
+            // Emission: cycle t of the level merges every bucket's t-th part.
+            let level_cycles = self.nparts.iter().copied().max().unwrap_or(0) as usize;
+            for t in 0..level_cycles {
+                let mut cyc = MessageSet::new();
+                for (bi, &np) in self.nparts.iter().enumerate() {
+                    if (t as u32) >= np {
+                        continue;
+                    }
+                    let p = self.parts_start[bi] as usize + t;
+                    let start = if t == 0 {
+                        self.bucket_off[key_lo as usize + bi]
+                    } else {
+                        self.part_ends[p - 1]
+                    };
+                    let end = self.part_ends[p];
+                    for q in start..end {
+                        cyc.push(self.bucket_msgs[self.idx[q as usize] as usize]);
+                    }
+                }
+                schedule.push_cycle(cyc);
+            }
+            cycles_per_level.push(level_cycles);
+        }
+
+        // Attach local messages (zero load) to the first cycle, or emit a
+        // cycle for them if the schedule is otherwise empty.
+        if !self.locals.is_empty() {
+            if schedule.num_cycles() == 0 {
+                schedule.push_cycle(MessageSet::from_vec(self.locals.clone()));
+            } else {
+                let mut cycles = std::mem::take(&mut schedule).into_cycles();
+                for &msg in &self.locals {
+                    cycles[0].push(msg);
+                }
+                schedule = Schedule::from_cycles(cycles);
+            }
+        }
+
+        let stats = Theorem1Stats {
+            total_cycles: schedule.num_cycles(),
+            cycles_per_level,
+            load_factor: lam,
+        };
+        (schedule, stats)
+    }
+
+    /// One even split over the arena's reusable buffers: partition `q`
+    /// (all crossing `node` in direction `dir`) into `(Q₀, Q₁)` index lists
+    /// with per-channel loads differing by at most one. Bit-for-bit the
+    /// same output as [`crate::split::split_even_indices`], without its
+    /// per-call allocations.
+    pub fn split_even_indices(
+        &mut self,
+        ft: &FatTree,
+        node: u32,
+        q: &[Message],
+        dir: CrossDirection,
+    ) -> (&[u32], &[u32]) {
+        self.ensure_tree(ft);
+        debug_validate(ft, node, q, dir);
+        let SchedArena {
+            ref mut workers,
+            ref mut tmp_sleaf,
+            ref mut tmp_dleaf,
+            ref mut tmp_idx,
+            ..
+        } = *self;
+        let w = &mut workers[0];
+        if q.len() <= 1 {
+            w.q0.clear();
+            w.q1.clear();
+            if q.len() == 1 {
+                w.q0.push(0);
+            }
+            return (&w.q0, &w.q1);
+        }
+        load_tmp(tmp_sleaf, tmp_dleaf, tmp_idx, ft, q);
+        w.split_segment(tmp_sleaf, tmp_dleaf, tmp_idx);
+        (&w.q0, &w.q1)
+    }
+
+    /// Run the full Theorem-1 split loop on one bucket: refine `q` into
+    /// one-cycle parts. Returns `(order, part_ends)` — a permutation of
+    /// `0..q.len()` and the cumulative end offset of each part within it.
+    /// Part contents and order match the reference scheduler's
+    /// `refine_to_one_cycle` exactly.
+    pub fn refine_even(
+        &mut self,
+        ft: &FatTree,
+        node: u32,
+        q: &[Message],
+        dir: CrossDirection,
+    ) -> (&[u32], &[u32]) {
+        self.ensure_tree(ft);
+        debug_validate(ft, node, q, dir);
+        let SchedArena {
+            ref mut workers,
+            ref mut tmp_sleaf,
+            ref mut tmp_dleaf,
+            ref mut tmp_idx,
+            ..
+        } = *self;
+        load_tmp(tmp_sleaf, tmp_dleaf, tmp_idx, ft, q);
+        let w = &mut workers[0];
+        w.parts.clear();
+        if !q.is_empty() {
+            let ctx = LevelCtx {
+                ft,
+                bucket_off: &[],
+                sleaf: tmp_sleaf,
+                dleaf: tmp_dleaf,
+            };
+            w.refine_bucket(&ctx, node, tmp_idx, 0);
+        }
+        (tmp_idx, &w.parts)
+    }
+
+    /// Evenly distribute `q` over `width` buckets (a power of two) by
+    /// recursive even splitting — the Corollary 2 partition. Returns
+    /// `(order, part_ends)` with exactly `width` parts; bucket `j` holds
+    /// `order[part_ends[j-1]..part_ends[j]]`.
+    pub fn distribute_pow2(
+        &mut self,
+        ft: &FatTree,
+        node: u32,
+        q: &[Message],
+        dir: CrossDirection,
+        width: usize,
+    ) -> (&[u32], &[u32]) {
+        debug_assert!(width.is_power_of_two());
+        self.ensure_tree(ft);
+        debug_validate(ft, node, q, dir);
+        let SchedArena {
+            ref mut workers,
+            ref mut tmp_sleaf,
+            ref mut tmp_dleaf,
+            ref mut tmp_idx,
+            ..
+        } = *self;
+        load_tmp(tmp_sleaf, tmp_dleaf, tmp_idx, ft, q);
+        let w = &mut workers[0];
+        w.parts.clear();
+        w.distribute_rec(tmp_sleaf, tmp_dleaf, tmp_idx, 0, width);
+        debug_assert_eq!(w.parts.len(), width);
+        (tmp_idx, &w.parts)
+    }
+}
+
+/// Fill the single-bucket scratch: leaves per message plus the identity
+/// index permutation.
+fn load_tmp(
+    tmp_sleaf: &mut Vec<u32>,
+    tmp_dleaf: &mut Vec<u32>,
+    tmp_idx: &mut Vec<u32>,
+    ft: &FatTree,
+    q: &[Message],
+) {
+    tmp_sleaf.clear();
+    tmp_dleaf.clear();
+    for msg in q {
+        tmp_sleaf.push(ft.leaf(msg.src));
+        tmp_dleaf.push(ft.leaf(msg.dst));
+    }
+    tmp_idx.clear();
+    tmp_idx.extend(0..q.len() as u32);
+}
+
+/// Debug-only contract check, same as the free splitter's: every message
+/// must have `node` as its LCA and cross it in direction `dir`.
+#[inline]
+fn debug_validate(ft: &FatTree, node: u32, q: &[Message], dir: CrossDirection) {
+    #[cfg(not(debug_assertions))]
+    let _ = (ft, node, q, dir);
+    #[cfg(debug_assertions)]
+    for m in q {
+        debug_assert_eq!(
+            ft.lca(m.src, m.dst),
+            node,
+            "message {m} does not cross node {node}"
+        );
+        let src_left = crate::split::is_under(ft.leaf(m.src), 2 * node);
+        match dir {
+            CrossDirection::LeftToRight => debug_assert!(src_left),
+            CrossDirection::RightToLeft => debug_assert!(!src_left),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::split_even_indices as split_reference;
+    use ft_core::{CapacityProfile, Message};
+
+    fn ft(n: u32) -> FatTree {
+        FatTree::new(n, CapacityProfile::Constant(1))
+    }
+
+    fn assert_split_matches(ftree: &FatTree, node: u32, q: &[Message], dir: CrossDirection) {
+        let (ra, rb) = split_reference(ftree, node, q, dir);
+        let mut arena = SchedArena::new(ftree);
+        let (aa, ab) = arena.split_even_indices(ftree, node, q, dir);
+        let aa: Vec<usize> = aa.iter().map(|&i| i as usize).collect();
+        let ab: Vec<usize> = ab.iter().map(|&i| i as usize).collect();
+        assert_eq!(aa, ra, "Q0 mismatch");
+        assert_eq!(ab, rb, "Q1 mismatch");
+    }
+
+    #[test]
+    fn split_matches_reference_on_basics() {
+        let t = ft(16);
+        assert_split_matches(&t, 1, &[], CrossDirection::LeftToRight);
+        assert_split_matches(&t, 1, &[Message::new(0, 12)], CrossDirection::LeftToRight);
+        let q: Vec<Message> = (0..8).map(|i| Message::new(i, 12)).collect();
+        assert_split_matches(&t, 1, &q, CrossDirection::LeftToRight);
+        let q: Vec<Message> = (0..8).map(|_| Message::new(3, 9)).collect();
+        assert_split_matches(&t, 1, &q, CrossDirection::LeftToRight);
+        let q: Vec<Message> = (8..16).map(|i| Message::new(i, 15 - i)).collect();
+        assert_split_matches(&t, 1, &q, CrossDirection::RightToLeft);
+    }
+
+    #[test]
+    fn schedule_matches_offline_on_small_trees() {
+        let t = FatTree::universal(32, 8);
+        let m: MessageSet = (0..32)
+            .map(|i| Message::new(i, (i * 11 + 5) % 32))
+            .collect();
+        let (sref, stref) = crate::reference::schedule_theorem1_reference(&t, &m);
+        let mut arena = SchedArena::new(&t);
+        for threads in [1usize, 2, 4] {
+            let (s, st) = arena.schedule(&t, &m, threads);
+            assert_eq!(s.num_cycles(), sref.num_cycles(), "threads={threads}");
+            for (a, b) in s.cycles().iter().zip(sref.cycles()) {
+                assert_eq!(a.as_slice(), b.as_slice(), "threads={threads}");
+            }
+            assert_eq!(st.cycles_per_level, stref.cycles_per_level);
+            assert_eq!(st.total_cycles, stref.total_cycles);
+        }
+    }
+
+    #[test]
+    fn arena_rebuilds_on_tree_size_change() {
+        let t8 = ft(8);
+        let t32 = ft(32);
+        let mut arena = SchedArena::new(&t8);
+        let m8: MessageSet = (0..8).map(|i| Message::new(i, 7 - i)).collect();
+        let (s, _) = arena.schedule(&t8, &m8, 1);
+        s.validate(&t8, &m8).unwrap();
+        let m32: MessageSet = (0..32).map(|i| Message::new(i, 31 - i)).collect();
+        let (s, _) = arena.schedule(&t32, &m32, 2);
+        s.validate(&t32, &m32).unwrap();
+    }
+}

@@ -12,8 +12,9 @@
 //! accumulates at most once per tree level. The real capacities absorb the
 //! `lg n` error, so every bucket is a one-cycle message set.
 
+use crate::arena::SchedArena;
 use crate::schedule::Schedule;
-use crate::split::{is_under, split_even_indices, CrossDirection};
+use crate::split::{is_under, CrossDirection};
 use ft_core::{lg, FatTree, LoadMap, Message, MessageSet};
 
 /// Result details from [`schedule_bigcap`].
@@ -75,6 +76,10 @@ pub fn schedule_bigcap(ft: &FatTree, m: &MessageSet) -> Result<(Schedule, Bigcap
         }
     }
 
+    // The r-way distribution runs on a SchedArena: one set of splitter
+    // buffers serves every node instead of fresh mate/trace vectors per
+    // recursion level.
+    let mut arena = SchedArena::new(ft);
     for node in 1..n {
         let q = std::mem::take(&mut by_lca[node as usize]);
         if q.is_empty() {
@@ -90,7 +95,14 @@ pub fn schedule_bigcap(ft: &FatTree, m: &MessageSet) -> Result<(Schedule, Bigcap
             if msgs.is_empty() {
                 continue;
             }
-            split_r_ways(ft, node, msgs, dir, &mut buckets, 0, r);
+            let (order, part_ends) = arena.distribute_pow2(ft, node, &msgs, dir, r);
+            let mut start = 0usize;
+            for (bucket, &end) in buckets.iter_mut().zip(part_ends) {
+                for &p in &order[start..end as usize] {
+                    bucket.push(msgs[p as usize]);
+                }
+                start = end as usize;
+            }
         }
     }
 
@@ -101,34 +113,6 @@ pub fn schedule_bigcap(ft: &FatTree, m: &MessageSet) -> Result<(Schedule, Bigcap
         buckets: r,
     };
     Ok((schedule, stats))
-}
-
-/// Evenly distribute `msgs` (crossing `node` in direction `dir`) over the
-/// bucket range `[base, base + width)` by recursive even splitting.
-/// `width` is a power of two.
-fn split_r_ways(
-    ft: &FatTree,
-    node: u32,
-    msgs: Vec<Message>,
-    dir: CrossDirection,
-    buckets: &mut [MessageSet],
-    base: usize,
-    width: usize,
-) {
-    if msgs.is_empty() {
-        return;
-    }
-    if width == 1 {
-        for msg in msgs {
-            buckets[base].push(msg);
-        }
-        return;
-    }
-    let (a, b) = split_even_indices(ft, node, &msgs, dir);
-    let bv: Vec<Message> = b.into_iter().map(|i| msgs[i]).collect();
-    let av: Vec<Message> = a.into_iter().map(|i| msgs[i]).collect();
-    split_r_ways(ft, node, av, dir, buckets, base, width / 2);
-    split_r_ways(ft, node, bv, dir, buckets, base + width / 2, width / 2);
 }
 
 /// The Corollary 2 bound `2·(a/(a−1))·λ(M)` for a tree whose minimum

@@ -8,34 +8,45 @@
 //! is in practice (the theorem itself needs no merging).
 
 use crate::schedule::Schedule;
-use ft_core::{FatTree, LoadMap, MessageSet};
+use ft_core::{FatTree, LoadMap, MessageSet, ScratchLoad};
 
 /// Greedily merge compatible delivery cycles. Cycles are considered in
 /// decreasing size and packed first-fit into merged slots.
+///
+/// The fit test inspects only the channels the candidate cycle actually
+/// touches (via a sparse [`ScratchLoad`]) rather than sweeping all `4n`
+/// channels per pair: each merged slot's loads already respect every
+/// capacity (the input cycles are one-cycle sets), so untouched channels
+/// cannot newly overflow.
 pub fn compress_schedule(ft: &FatTree, schedule: Schedule) -> Schedule {
     let mut cycles = schedule.into_cycles();
     cycles.sort_by_key(|c| std::cmp::Reverse(c.len()));
 
     let mut merged: Vec<(MessageSet, LoadMap)> = Vec::new();
+    let mut add = ScratchLoad::new(ft);
     'outer: for cyc in cycles {
-        let add = LoadMap::of(ft, &cyc);
+        for m in &cyc {
+            add.add(ft, m);
+        }
         for (set, lm) in merged.iter_mut() {
-            if fits_together(ft, lm, &add) {
+            let fits = add.iter_touched().all(|(c, l)| lm.get(c) + l <= ft.cap(c));
+            if fits {
                 for m in &cyc {
                     lm.add(ft, m);
                 }
                 set.extend_from(&cyc);
+                add.clear();
                 continue 'outer;
             }
         }
-        merged.push((cyc.clone(), add));
+        let mut lm = LoadMap::zeros(ft);
+        for m in &cyc {
+            lm.add(ft, m);
+        }
+        add.clear();
+        merged.push((cyc, lm));
     }
     Schedule::from_cycles(merged.into_iter().map(|(s, _)| s).collect())
-}
-
-/// Would the union of `base` and `add` stay within every capacity?
-fn fits_together(ft: &FatTree, base: &LoadMap, add: &LoadMap) -> bool {
-    ft.channels().all(|c| base.get(c) + add.get(c) <= ft.cap(c))
 }
 
 #[cfg(test)]

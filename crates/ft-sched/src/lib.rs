@@ -7,6 +7,9 @@
 //!   of messages crossing a node into two halves whose loads differ by at
 //!   most one on *every* channel (the engine of Theorem 1, reminiscent of
 //!   Beneš switch setting and Euler-tour routing),
+//! * [`arena`] — the flat, buffer-reusing [`SchedArena`] engine the Theorem-1
+//!   pipeline runs on: counting-sort bucketing, in-place index refinement,
+//!   packed-end matching, and deterministic scoped-thread fan-out,
 //! * [`offline`] — **Theorem 1**: any message set `M` can be scheduled
 //!   off-line in `d ≤ 2·λ(M)·⌈lg n⌉` delivery cycles,
 //! * [`bigcap`] — **Corollary 2**: when every capacity is at least `a·lg n`,
@@ -22,6 +25,7 @@
 //! All schedulers produce a [`Schedule`], a partition of the input multiset
 //! into *one-cycle message sets* (load ≤ capacity on every channel).
 
+pub mod arena;
 pub mod bigcap;
 pub mod compress;
 pub mod greedy;
@@ -31,10 +35,11 @@ pub mod reference;
 pub mod schedule;
 pub mod split;
 
+pub use arena::SchedArena;
 pub use bigcap::schedule_bigcap;
 pub use compress::compress_schedule;
 pub use greedy::schedule_greedy;
-pub use offline::{schedule_theorem1, Theorem1Stats};
+pub use offline::{schedule_theorem1, schedule_theorem1_threads, Theorem1Stats};
 pub use online::{route_online, OnlineConfig, OnlineResult};
 pub use schedule::Schedule;
 pub use split::{split_even, CrossDirection};

@@ -8,16 +8,17 @@
 //! use disjoint channels and are routed in the same delivery cycles; so do
 //! all nodes at the same level (their subtrees are disjoint).
 //!
-//! The split recursion works on *index lists* into each node's message
-//! bucket, and feasibility checks go through one reusable sparse
-//! [`ScratchLoad`] accumulator — no whole-tree `LoadMap` is built per
-//! subset and no subset is cloned just to be measured. The original
-//! clone-happy implementation is retained in [`crate::reference`] and
-//! `tests/golden_scheduler.rs` pins the two to identical output.
+//! The heavy lifting lives in [`crate::arena::SchedArena`]: messages are
+//! counting-sorted into flat per-(node, direction) buckets, the split
+//! recursion permutes one index array in place, and the matching-and-tracing
+//! splitter runs over packed, reusable end tables — no `Vec<Message>` subset
+//! or intermediate `MessageSet` is materialized per recursion level. The
+//! original clone-happy implementation is retained in [`crate::reference`]
+//! and `tests/golden_scheduler.rs` pins the two to identical output.
 
+use crate::arena::SchedArena;
 use crate::schedule::Schedule;
-use crate::split::{split_even_indices, CrossDirection};
-use ft_core::{FatTree, LoadMap, Message, MessageSet, ScratchLoad};
+use ft_core::{FatTree, MessageSet};
 
 /// Diagnostics from [`schedule_theorem1`].
 #[derive(Clone, Debug, Default)]
@@ -45,6 +46,10 @@ impl Theorem1Stats {
 /// `schedule.num_cycles() ≤ 2·⌈λ(M)⌉·⌈lg n⌉` (cycles for empty levels are
 /// skipped, so the measured count is usually far below the bound).
 ///
+/// One-shot convenience over [`SchedArena`]; callers scheduling many sets on
+/// one tree should hold an arena and call [`SchedArena::schedule`] to reuse
+/// its buffers.
+///
 /// ```
 /// use ft_core::{FatTree, Message, MessageSet};
 /// use ft_sched::schedule_theorem1;
@@ -55,139 +60,26 @@ impl Theorem1Stats {
 /// assert!(schedule.num_cycles() <= stats.paper_bound(&ft));
 /// ```
 pub fn schedule_theorem1(ft: &FatTree, m: &MessageSet) -> (Schedule, Theorem1Stats) {
-    let n = ft.n();
-    let height = ft.height();
-    let lam = LoadMap::of(ft, m).load_factor(ft);
-
-    // Bucket messages by LCA node; local messages consume no channels and
-    // ride along in the first emitted cycle.
-    let mut by_lca: Vec<Vec<Message>> = vec![Vec::new(); (2 * n) as usize];
-    let mut locals: Vec<Message> = Vec::new();
-    for msg in m {
-        if msg.is_local() {
-            locals.push(*msg);
-        } else {
-            by_lca[ft.lca(msg.src, msg.dst) as usize].push(*msg);
-        }
-    }
-
-    let mut schedule = Schedule::new();
-    let mut cycles_per_level = Vec::with_capacity(height as usize);
-    // Shared by every refine call: a sparse load accumulator (cleared in
-    // O(channels touched)) and a materialization buffer for the splitter.
-    let mut scratch = ScratchLoad::new(ft);
-    let mut buf: Vec<Message> = Vec::new();
-
-    for level in 0..height {
-        // For every node at this level, refine each direction into one-cycle
-        // parts; the level contributes max(part-count) cycles, with all
-        // nodes' t-th parts merged into the t-th cycle of the level.
-        let mut level_parts: Vec<Vec<Vec<Message>>> = Vec::new();
-        for node in (1u32 << level)..(1u32 << (level + 1)) {
-            let q = std::mem::take(&mut by_lca[node as usize]);
-            if q.is_empty() {
-                continue;
-            }
-            let (lr, rl): (Vec<Message>, Vec<Message>) = q
-                .into_iter()
-                .partition(|msg| crate::split::is_under(ft.leaf(msg.src), 2 * node));
-            for (dir, msgs) in [
-                (CrossDirection::LeftToRight, lr),
-                (CrossDirection::RightToLeft, rl),
-            ] {
-                if msgs.is_empty() {
-                    continue;
-                }
-                level_parts.push(refine_to_one_cycle(
-                    ft,
-                    node,
-                    msgs,
-                    dir,
-                    &mut scratch,
-                    &mut buf,
-                ));
-            }
-        }
-        let level_cycles = level_parts.iter().map(|p| p.len()).max().unwrap_or(0);
-        for t in 0..level_cycles {
-            let mut cyc = MessageSet::new();
-            for parts in &level_parts {
-                if let Some(p) = parts.get(t) {
-                    for msg in p {
-                        cyc.push(*msg);
-                    }
-                }
-            }
-            schedule.push_cycle(cyc);
-        }
-        cycles_per_level.push(level_cycles);
-    }
-
-    // Attach local messages (zero load) to the first cycle, or emit a cycle
-    // for them if the schedule is otherwise empty.
-    if !locals.is_empty() {
-        if schedule.num_cycles() == 0 {
-            schedule.push_cycle(MessageSet::from_vec(locals));
-        } else {
-            let mut cycles = std::mem::take(&mut schedule).into_cycles();
-            for msg in locals {
-                cycles[0].push(msg);
-            }
-            schedule = Schedule::from_cycles(cycles);
-        }
-    }
-
-    let stats = Theorem1Stats {
-        total_cycles: schedule.num_cycles(),
-        cycles_per_level,
-        load_factor: lam,
-    };
-    (schedule, stats)
+    SchedArena::new(ft).schedule(ft, m, 1)
 }
 
-/// Repeatedly halve `msgs` (which all cross `node` in direction `dir`) until
-/// every part is a one-cycle message set on `ft`.
-///
-/// The recursion stack holds index lists into `msgs`; a subset is only
-/// materialized (into the caller-provided `buf`) when it actually has to be
-/// split, and feasibility is measured on the reusable sparse `scratch`
-/// accumulator. Subset order — and hence the emitted schedule — is
-/// byte-identical to the clone-based reference.
-fn refine_to_one_cycle(
+/// [`schedule_theorem1`] with the per-node split work of each tree level
+/// sharded over `threads` scoped threads. Distinct nodes at one level own
+/// disjoint message sets and channels, so the parallelism is embarrassing;
+/// the parts are merged in deterministic (node, direction) order and the
+/// schedule is **byte-identical** for every thread count.
+pub fn schedule_theorem1_threads(
     ft: &FatTree,
-    node: u32,
-    msgs: Vec<Message>,
-    dir: CrossDirection,
-    scratch: &mut ScratchLoad,
-    buf: &mut Vec<Message>,
-) -> Vec<Vec<Message>> {
-    let mut out = Vec::new();
-    let mut stack: Vec<Vec<u32>> = vec![(0..msgs.len() as u32).collect()];
-    while let Some(sub) = stack.pop() {
-        if sub.is_empty() {
-            continue;
-        }
-        if scratch.check_subset(ft, sub.iter().map(|&i| &msgs[i as usize])) {
-            out.push(sub.into_iter().map(|i| msgs[i as usize]).collect());
-        } else {
-            buf.clear();
-            buf.extend(sub.iter().map(|&i| msgs[i as usize]));
-            let (a, b) = split_even_indices(ft, node, buf, dir);
-            debug_assert!(
-                a.len() < sub.len() || !b.is_empty(),
-                "split must make progress"
-            );
-            stack.push(b.into_iter().map(|i| sub[i]).collect());
-            stack.push(a.into_iter().map(|i| sub[i]).collect());
-        }
-    }
-    out
+    m: &MessageSet,
+    threads: usize,
+) -> (Schedule, Theorem1Stats) {
+    SchedArena::new(ft).schedule(ft, m, threads)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ft_core::{lg, CapacityProfile};
+    use ft_core::{lg, CapacityProfile, Message};
 
     fn check(ft: &FatTree, m: &MessageSet) -> Theorem1Stats {
         let (s, stats) = schedule_theorem1(ft, m);
@@ -301,5 +193,24 @@ mod tests {
         let (s, stats) = schedule_theorem1(&t, &m);
         let sum: usize = stats.cycles_per_level.iter().sum();
         assert_eq!(sum, s.num_cycles());
+    }
+
+    #[test]
+    fn threaded_wrapper_matches_serial() {
+        let n = 64u32;
+        let t = FatTree::universal(n, 16);
+        let m: MessageSet = (0..2 * n)
+            .map(|i| Message::new(i % n, (i * 13 + 7) % n))
+            .collect();
+        let (s1, st1) = schedule_theorem1(&t, &m);
+        for threads in [2usize, 4] {
+            let (s, st) = schedule_theorem1_threads(&t, &m, threads);
+            s.validate(&t, &m).unwrap();
+            assert_eq!(s.num_cycles(), s1.num_cycles());
+            for (a, b) in s.cycles().iter().zip(s1.cycles()) {
+                assert_eq!(a.as_slice(), b.as_slice());
+            }
+            assert_eq!(st.cycles_per_level, st1.cycles_per_level);
+        }
     }
 }

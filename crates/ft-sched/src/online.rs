@@ -125,7 +125,7 @@ mod tests {
     use ft_core::CapacityProfile;
 
     fn rng() -> SplitMix64 {
-        SplitMix64::seed_from_u64(0xFA7_EE)
+        SplitMix64::seed_from_u64(0xFA7EE)
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Steady-state allocation discipline for the scheduler arena: once a
+//! [`SchedArena`]'s buffers have grown to a workload's size, further split
+//! and refinement calls must perform **zero** heap allocation — the packed
+//! end tables, mate arrays, trace queues and segment stacks are all reused.
+//!
+//! Measured with a counting global allocator, so this file must stay its
+//! own integration-test binary.
+
+use ft_core::{FatTree, Message};
+use ft_sched::{CrossDirection, SchedArena};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+// One test function: the counter is global, so the measurements must not
+// run on concurrent test threads.
+#[test]
+fn warmed_arena_split_loop_does_not_allocate() {
+    let n = 256u32;
+    let ft = FatTree::universal(n, 64);
+    let mut arena = SchedArena::new(&ft);
+
+    // Root-crossing workload with duplicates and a hot spot — exercises
+    // within-processor pairing, range pairing and tracing.
+    let q: Vec<Message> = (0..4 * n)
+        .map(|i| Message::new(i % (n / 2), n / 2 + (i * 7) % (n / 2)))
+        .collect();
+
+    // Warm-up: buffers grow to size.
+    arena.split_even_indices(&ft, 1, &q, CrossDirection::LeftToRight);
+    arena.refine_even(&ft, 1, &q, CrossDirection::LeftToRight);
+
+    // --- Part 1: repeated even splits on a warmed arena are alloc-free.
+    let before = allocs();
+    for _ in 0..10 {
+        arena.split_even_indices(&ft, 1, &q, CrossDirection::LeftToRight);
+    }
+    let grew = allocs() - before;
+    assert_eq!(
+        grew, 0,
+        "steady-state SchedArena::split_even_indices allocated {grew} times in 10 calls"
+    );
+
+    // --- Part 2: full refinement to one-cycle parts — the split loop of the
+    // Theorem-1 engine — is also alloc-free once warm.
+    let before = allocs();
+    for _ in 0..10 {
+        arena.refine_even(&ft, 1, &q, CrossDirection::LeftToRight);
+    }
+    let grew = allocs() - before;
+    assert_eq!(
+        grew, 0,
+        "steady-state SchedArena::refine_even allocated {grew} times in 10 calls"
+    );
+}

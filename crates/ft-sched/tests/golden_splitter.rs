@@ -1,0 +1,146 @@
+//! Golden tests for the arena splitter: [`ft_sched::SchedArena`] must agree
+//! with the retained clone-based splitter (`ft_sched::split`) message for
+//! message, and the threaded Theorem-1 scheduler must be **byte-identical**
+//! for every thread count. The workloads lean adversarial: duplicate
+//! (src, dst) pairs (the matcher must pair equal keys stably), hot-spot
+//! destinations, and seeded random cross traffic in both directions.
+
+use ft_core::rng::SplitMix64;
+use ft_core::{FatTree, Message, MessageSet};
+use ft_sched::reference::schedule_theorem1_reference;
+use ft_sched::split::split_even_indices;
+use ft_sched::{schedule_theorem1, schedule_theorem1_threads, CrossDirection, SchedArena};
+
+/// Messages crossing the root of an `n`-leaf tree in direction `dir`.
+fn crossing(n: u32, dir: CrossDirection, pairs: &[(u32, u32)]) -> Vec<Message> {
+    pairs
+        .iter()
+        .map(|&(a, b)| match dir {
+            CrossDirection::LeftToRight => Message::new(a % (n / 2), n / 2 + b % (n / 2)),
+            CrossDirection::RightToLeft => Message::new(n / 2 + a % (n / 2), b % (n / 2)),
+        })
+        .collect()
+}
+
+/// Assert the arena splitter reproduces the reference splitter exactly.
+fn assert_split_matches(ft: &FatTree, arena: &mut SchedArena, q: &[Message], dir: CrossDirection) {
+    let (want0, want1) = split_even_indices(ft, 1, q, dir);
+    let (got0, got1) = arena.split_even_indices(ft, 1, q, dir);
+    let got0: Vec<usize> = got0.iter().map(|&i| i as usize).collect();
+    let got1: Vec<usize> = got1.iter().map(|&i| i as usize).collect();
+    assert_eq!(got0, want0, "Q0 mismatch on {} messages", q.len());
+    assert_eq!(got1, want1, "Q1 mismatch on {} messages", q.len());
+}
+
+#[test]
+fn arena_splitter_matches_reference_on_duplicates() {
+    // Duplicate (src, dst) pairs force ties everywhere: within-processor
+    // pairing, range pairing, and tracing must all break them identically.
+    let n = 32u32;
+    let ft = FatTree::universal(n, 8);
+    let mut arena = SchedArena::new(&ft);
+    for dir in [CrossDirection::LeftToRight, CrossDirection::RightToLeft] {
+        for copies in [2usize, 3, 7, 16] {
+            let mut pairs = Vec::new();
+            for c in 0..copies {
+                pairs.extend([(3u32, 5u32), (3, 5), (0, 0), (c as u32, 5)]);
+            }
+            let q = crossing(n, dir, &pairs);
+            assert_split_matches(&ft, &mut arena, &q, dir);
+        }
+    }
+}
+
+#[test]
+fn arena_splitter_matches_reference_on_adversarial_workloads() {
+    let n = 64u32;
+    let ft = FatTree::universal(n, 16);
+    let mut arena = SchedArena::new(&ft);
+    for dir in [CrossDirection::LeftToRight, CrossDirection::RightToLeft] {
+        // Hot-spot destination: everyone to one leaf.
+        let hot: Vec<(u32, u32)> = (0..n).map(|i| (i, 7)).collect();
+        // Hot-spot source: one processor sends everything.
+        let fan: Vec<(u32, u32)> = (0..n).map(|i| (9, i)).collect();
+        // Bit-complement style: i → !i within the half.
+        let comp: Vec<(u32, u32)> = (0..n).map(|i| (i, n / 2 - 1 - (i % (n / 2)))).collect();
+        for pairs in [&hot, &fan, &comp] {
+            let q = crossing(n, dir, pairs);
+            assert_split_matches(&ft, &mut arena, &q, dir);
+        }
+    }
+}
+
+#[test]
+fn arena_splitter_matches_reference_on_seeded_random() {
+    let n = 128u32;
+    let ft = FatTree::universal(n, 32);
+    let mut arena = SchedArena::new(&ft);
+    let mut rng = SplitMix64::seed_from_u64(0xF00D_2026);
+    for trial in 0..40u64 {
+        let dir = if trial % 2 == 0 {
+            CrossDirection::LeftToRight
+        } else {
+            CrossDirection::RightToLeft
+        };
+        let len = 1 + (rng.next_u64() % 200) as usize;
+        let pairs: Vec<(u32, u32)> = (0..len)
+            .map(|_| (rng.next_u64() as u32, rng.next_u64() as u32))
+            .collect();
+        let q = crossing(n, dir, &pairs);
+        assert_split_matches(&ft, &mut arena, &q, dir);
+    }
+}
+
+#[test]
+fn scheduler_is_byte_identical_across_thread_counts() {
+    let n = 256u32;
+    let ft = FatTree::universal(n, 64);
+    let mut rng = SplitMix64::seed_from_u64(0xDE7E_2026);
+    for trial in 0..6u64 {
+        let msgs: MessageSet = (0..4 * n)
+            .map(|_| {
+                Message::new(
+                    (rng.next_u64() % n as u64) as u32,
+                    if trial % 3 == 0 {
+                        0 // hot spot
+                    } else {
+                        (rng.next_u64() % n as u64) as u32
+                    },
+                )
+            })
+            .collect();
+        let (serial, stats1) = schedule_theorem1(&ft, &msgs);
+        serial.validate(&ft, &msgs).unwrap();
+        for threads in [2usize, 4] {
+            let (s, stats) = schedule_theorem1_threads(&ft, &msgs, threads);
+            assert_eq!(s.num_cycles(), serial.num_cycles(), "threads = {threads}");
+            for (a, b) in s.cycles().iter().zip(serial.cycles()) {
+                assert_eq!(a.as_slice(), b.as_slice(), "threads = {threads}");
+            }
+            assert_eq!(stats.cycles_per_level, stats1.cycles_per_level);
+        }
+    }
+}
+
+#[test]
+fn scheduler_matches_reference_on_duplicate_and_hotspot_sets() {
+    let n = 64u32;
+    let ft = FatTree::universal(n, 16);
+    // Heavy duplication: 8 copies of a permutation plus a hot spot.
+    let mut msgs: Vec<Message> = Vec::new();
+    for _ in 0..8 {
+        for i in 0..n {
+            msgs.push(Message::new(i, (i * 5 + 1) % n));
+        }
+    }
+    for i in 1..n {
+        msgs.push(Message::new(i, 0));
+    }
+    let m = MessageSet::from_vec(msgs);
+    let (want, _) = schedule_theorem1_reference(&ft, &m);
+    let (got, _) = schedule_theorem1(&ft, &m);
+    assert_eq!(got.num_cycles(), want.num_cycles());
+    for (a, b) in got.cycles().iter().zip(want.cycles()) {
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

@@ -39,7 +39,7 @@
 
 use crate::faults::FaultModel;
 use crate::node::PortSwitch;
-use ft_concentrator::Concentrator;
+use ft_concentrator::{Concentrator, MatchingArena};
 use ft_core::rng::splitmix64;
 use ft_core::{ChannelId, FatTree, LoadMap, Message, MessageSet};
 
@@ -348,14 +348,14 @@ impl SimArena {
         // --- Injection: each processor assigns its messages to leaf up-wires.
         self.per_leaf.fill(0);
         self.channel_use.clear();
-        for i in 0..n_msgs {
+        for (i, msg) in msgs.iter().enumerate() {
             let m = self.meta[i];
             if m & META_LOCAL != 0 {
                 continue;
             }
             let up = ChannelId::up(meta_src(m));
             let leaf_cap = self.eff[up.index()] as u32;
-            let cnt = &mut self.per_leaf[msgs[i].src.idx()];
+            let cnt = &mut self.per_leaf[msg.src.idx()];
             if *cnt < leaf_cap {
                 self.wire[i] = *cnt;
                 *cnt += 1;
@@ -699,7 +699,7 @@ impl SimArena {
                             }
                             idx += 1;
                         }
-                        let routed = sw.concentrate(&scratch.active);
+                        let routed = sw.concentrate_with(&mut scratch.matching, &scratch.active);
                         for (&(i, _, _), w) in scratch.sort_buf.iter().zip(routed) {
                             apply_outcome(i as usize, w, e, chan, meta, wire, channel_use);
                         }
@@ -745,7 +745,8 @@ impl SimArena {
                             scratch
                                 .active
                                 .extend(scratch.sort_buf.iter().map(|&(_, s, _)| s as usize));
-                            let routed = sw.concentrate(&scratch.active);
+                            let routed =
+                                sw.concentrate_with(&mut scratch.matching, &scratch.active);
                             for (&(i, _, _), w) in scratch.sort_buf.iter().zip(routed) {
                                 apply_outcome(i as usize, w, e, chan, meta, wire, channel_use);
                             }
@@ -790,6 +791,8 @@ struct ArbScratch {
     sort_buf: Vec<(u32, u32, u32)>,
     /// Active slot list handed to partial concentrators.
     active: Vec<usize>,
+    /// Reusable Hopcroft–Karp buffers for partial-concentrator matchings.
+    matching: MatchingArena,
     /// slot → position-in-chunk, valid only where `gen_of[slot] == gen`.
     pos_of: Vec<u32>,
     /// Stamp marking `pos_of[slot]` as belonging to the current bucket.
@@ -847,8 +850,8 @@ fn arbitrate_chunk(
             Arbitration::SlotOrder => {
                 scratch.begin_bucket(r);
                 let mut min_slot = u32::MAX;
-                for pos in b0..b1 {
-                    let slot = bucket_slots[pos] as usize;
+                for (pos, &slot) in (b0..b1).zip(&bucket_slots[b0..b1]) {
+                    let slot = slot as usize;
                     scratch.gen_of[slot] = scratch.gen;
                     scratch.pos_of[slot] = (pos - base) as u32;
                     min_slot = min_slot.min(slot as u32);
@@ -886,7 +889,7 @@ fn arbitrate_chunk(
                             }
                             slot += 1;
                         }
-                        let routed = sw.concentrate(&scratch.active);
+                        let routed = sw.concentrate_with(&mut scratch.matching, &scratch.active);
                         for (&(_, _, p), w) in scratch.sort_buf.iter().zip(routed) {
                             out[p as usize] = match w {
                                 Some(w) if (w as u64) < e => w,
@@ -930,7 +933,7 @@ fn arbitrate_chunk(
                         scratch
                             .active
                             .extend(scratch.sort_buf.iter().map(|&(_, s, _)| s as usize));
-                        let routed = sw.concentrate(&scratch.active);
+                        let routed = sw.concentrate_with(&mut scratch.matching, &scratch.active);
                         for (&(_, _, p), w) in scratch.sort_buf.iter().zip(routed) {
                             out[p as usize] = match w {
                                 Some(w) if (w as u64) < e => w,

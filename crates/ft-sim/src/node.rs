@@ -8,7 +8,7 @@
 //! wires. "Obviously, if there are more input messages than output wires,
 //! some messages will be lost."
 
-use ft_concentrator::{max_matching, BipartiteGraph, Concentrator, Crossbar};
+use ft_concentrator::{BipartiteGraph, Concentrator, Crossbar, MatchingArena};
 use ft_core::rng::SplitMix64;
 
 /// Which concentrator hardware the simulated machine uses.
@@ -73,6 +73,17 @@ impl PortSwitch {
     /// full set cannot be concentrated it routes a maximal subset (what the
     /// hardware does — some wires win, the rest see congestion).
     pub fn concentrate(&self, active: &[usize]) -> Vec<Option<u32>> {
+        self.concentrate_with(&mut MatchingArena::new(), active)
+    }
+
+    /// [`PortSwitch::concentrate`] with caller-supplied matching buffers:
+    /// one [`MatchingArena`] serves every cascade stage (and, when the
+    /// caller keeps it across calls, every bucket of every cycle).
+    pub fn concentrate_with(
+        &self,
+        arena: &mut MatchingArena,
+        active: &[usize],
+    ) -> Vec<Option<u32>> {
         match self {
             PortSwitch::Ideal(cb) => {
                 let s = cb.outputs();
@@ -84,22 +95,29 @@ impl PortSwitch {
             }
             PortSwitch::Partial { stages } => {
                 // Thread each surviving message through the stages; per
-                // stage, the maximum matching decides who advances.
+                // stage, the maximum matching decides who advances. The
+                // survivor lists are compacted in place, so only the result
+                // and two survivor vectors are allocated per call — the
+                // matching itself runs entirely in the arena.
                 let mut result: Vec<Option<u32>> = active.iter().map(|&w| Some(w as u32)).collect();
+                let mut slots: Vec<usize> = (0..active.len()).collect();
+                let mut wires: Vec<usize> = active.to_vec();
                 for stage in stages {
-                    // Active inputs of this stage, with back-pointers.
-                    let mut idx = Vec::new();
-                    let mut wires = Vec::new();
-                    for (i, r) in result.iter().enumerate() {
-                        if let Some(w) = r {
-                            idx.push(i);
-                            wires.push(*w as usize);
+                    arena.max_matching(stage, &wires);
+                    let mut keep = 0usize;
+                    for j in 0..slots.len() {
+                        match arena.matched(j) {
+                            Some(o) => {
+                                result[slots[j]] = Some(o as u32);
+                                slots[keep] = slots[j];
+                                wires[keep] = o;
+                                keep += 1;
+                            }
+                            None => result[slots[j]] = None,
                         }
                     }
-                    let (_, m) = max_matching(stage, &wires);
-                    for (slot, out) in idx.into_iter().zip(m) {
-                        result[slot] = out.map(|x| x as u32);
-                    }
+                    slots.truncate(keep);
+                    wires.truncate(keep);
                 }
                 result
             }

@@ -13,6 +13,9 @@ cargo test --workspace --release --quiet
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> ft-perf --smoke"
 cargo run --release -p ft-bench --bin ft-perf -- --smoke
 
