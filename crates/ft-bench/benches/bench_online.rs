@@ -1,9 +1,14 @@
 //! Bench for E10: on-line randomized routing.
+//!
+//! Compares the flat [`OnlineArena`] (buffers reused across calls, with and
+//! without the per-level contention counters) against the clone-based
+//! reference router on the same traffic and RNG seed.
 
 use ft_bench::timing::bench;
 use ft_core::rng::SplitMix64;
 use ft_core::FatTree;
-use ft_sched::{route_online, OnlineConfig};
+use ft_sched::reference::route_online_reference;
+use ft_sched::{OnlineArena, OnlineConfig};
 use ft_workloads::balanced_k_relation;
 
 fn main() {
@@ -11,7 +16,36 @@ fn main() {
     let ft = FatTree::universal(n, 128);
     let mut rng = SplitMix64::seed_from_u64(5);
     let msgs = balanced_k_relation(n, 8, &mut rng);
-    bench("online_512_k8", || {
-        route_online(&ft, &msgs, &mut rng, OnlineConfig::default())
+
+    let mut arena = OnlineArena::new(&ft);
+    bench("online_512_k8_arena", || {
+        arena.run(
+            &ft,
+            &msgs,
+            &mut SplitMix64::seed_from_u64(7),
+            OnlineConfig::default(),
+        );
+        arena.cycles()
+    });
+    bench("online_512_k8_arena_counters", || {
+        arena.run(
+            &ft,
+            &msgs,
+            &mut SplitMix64::seed_from_u64(7),
+            OnlineConfig {
+                counters: true,
+                ..Default::default()
+            },
+        );
+        arena.cycles()
+    });
+    bench("online_512_k8_reference", || {
+        route_online_reference(
+            &ft,
+            &msgs,
+            &mut SplitMix64::seed_from_u64(7),
+            OnlineConfig::default(),
+        )
+        .cycles
     });
 }

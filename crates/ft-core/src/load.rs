@@ -221,6 +221,103 @@ impl ScratchLoad {
     }
 }
 
+/// A generation-stamped dense scratch table.
+///
+/// Engines that rebuild a dense per-channel (or per-slot) array every
+/// delivery cycle pay an `O(len)` clear per cycle — exactly the cost
+/// [`LoadMap::zeros`] imposes on the on-line router and the slot tables
+/// impose on the simulator. `GenTable` removes it: each slot packs
+/// `generation << 32 | payload`, and a slot is live only while its stamp
+/// matches the table's current generation. [`GenTable::begin`] bumps the
+/// generation, invalidating every slot at once; the `fill(0)` happens only
+/// on the (once per ~4 billion passes) generation wrap. Shared by
+/// `ft_sim::SimArena` (slot and arbitration tables) and
+/// `ft_sched::OnlineArena` (used-wire counts and the saturated-leaf memo).
+#[derive(Clone, Debug, Default)]
+pub struct GenTable {
+    /// `gen << 32 | payload`, live iff the stamp equals `self.gen`.
+    slots: Vec<u64>,
+    gen: u32,
+}
+
+impl GenTable {
+    /// An empty table; size it with [`GenTable::begin`].
+    pub fn new() -> Self {
+        GenTable::default()
+    }
+
+    /// Start a pass over slot universe `0..len`: grow the table if needed
+    /// and bump the generation so every stale entry reads as absent.
+    pub fn begin(&mut self, len: usize) {
+        if self.slots.len() < len {
+            self.slots.resize(len, 0);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.slots.fill(0);
+            self.gen = 1;
+        }
+    }
+
+    /// Number of allocated slots (the high-water mark over all `begin`s).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no slots have been allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The payload stored at `i` this pass, or `None` if the slot is stale.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<u32> {
+        let e = self.slots[i];
+        if (e >> 32) as u32 == self.gen {
+            Some(e as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Store `v` at slot `i` for the current pass.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: u32) {
+        self.slots[i] = ((self.gen as u64) << 32) | v as u64;
+    }
+
+    /// Counter view: the payload at `i`, or 0 if the slot is stale.
+    #[inline]
+    pub fn count(&self, i: usize) -> u32 {
+        self.get(i).unwrap_or(0)
+    }
+
+    /// Counter view: increment slot `i` if its count is below `cap`.
+    /// Returns true on success — the claim idiom of wire-occupancy engines.
+    #[inline]
+    pub fn try_claim(&mut self, i: usize, cap: u64) -> bool {
+        let c = self.count(i);
+        if (c as u64) < cap {
+            self.set(i, c + 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Presence view: mark slot `i` for the current pass.
+    #[inline]
+    pub fn stamp(&mut self, i: usize) {
+        self.set(i, 0);
+    }
+
+    /// Presence view: was slot `i` marked this pass?
+    #[inline]
+    pub fn is_stamped(&self, i: usize) -> bool {
+        self.get(i).is_some()
+    }
+}
+
 /// Convenience: `λ(M)` on `ft` in one call.
 ///
 /// ```
@@ -409,6 +506,49 @@ mod tests {
             assert_eq!(l, a.get(c));
         }
         assert_eq!(a.iter_touched().count(), a.touched_len());
+    }
+
+    #[test]
+    fn gen_table_claims_and_invalidates() {
+        let mut t = GenTable::new();
+        t.begin(4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(0), None);
+        assert!(t.try_claim(0, 2));
+        assert!(t.try_claim(0, 2));
+        assert!(!t.try_claim(0, 2), "cap 2 must reject the third claim");
+        assert_eq!(t.count(0), 2);
+        t.set(3, 77);
+        assert_eq!(t.get(3), Some(77));
+        t.stamp(1);
+        assert!(t.is_stamped(1));
+        assert!(!t.is_stamped(2));
+        // A new pass invalidates everything without clearing.
+        t.begin(4);
+        assert_eq!(t.count(0), 0);
+        assert!(!t.is_stamped(1));
+        assert_eq!(t.get(3), None);
+        // Growth keeps earlier slots addressable.
+        t.begin(8);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.count(7), 0);
+    }
+
+    #[test]
+    fn gen_table_wrap_survives() {
+        // Force the generation to wrap: stale stamps from the old epoch must
+        // not leak through as live entries.
+        let mut t = GenTable::new();
+        t.begin(2);
+        t.set(0, 5);
+        t.gen = u32::MAX - 1;
+        t.slots[1] = ((u32::MAX as u64) << 32) | 9; // stamped in the last pre-wrap pass
+        t.begin(2); // gen -> MAX
+        assert_eq!(t.get(1), Some(9));
+        t.begin(2); // gen wraps -> slots cleared, gen = 1
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.get(1), None);
+        assert!(t.try_claim(1, 1));
     }
 
     #[test]

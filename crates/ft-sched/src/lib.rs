@@ -18,7 +18,8 @@
 //! * [`online`] — the randomized on-line delivery-cycle process the paper
 //!   attributes to \[8\] (Greenberg–Leiserson): retry until delivered, with
 //!   congested concentrators dropping random excess messages,
-//! * [`reference`] — the original clone-based Theorem 1 scheduler, retained
+//! * [`reference`] — the original clone-based Theorem 1 scheduler and
+//!   on-line router, retained
 //!   verbatim as the golden reference for the incremental one in
 //!   [`offline`].
 //!
@@ -40,6 +41,6 @@ pub use bigcap::schedule_bigcap;
 pub use compress::compress_schedule;
 pub use greedy::schedule_greedy;
 pub use offline::{schedule_theorem1, schedule_theorem1_threads, Theorem1Stats};
-pub use online::{route_online, OnlineConfig, OnlineResult};
+pub use online::{route_online, OnlineArena, OnlineConfig, OnlineCounters, OnlineResult};
 pub use schedule::Schedule;
 pub use split::{split_even, CrossDirection};

@@ -11,9 +11,54 @@
 //! the cycle, mirroring a partially-established bit-serial path; delivered
 //! messages are acknowledged and retire. Random arbitration order per cycle
 //! stands in for the random priorities of the Greenberg–Leiserson switch.
+//!
+//! # Engine structure
+//!
+//! The process runs on [`OnlineArena`], a flat reusable-buffer engine in the
+//! mold of `ft_sim::SimArena` / [`crate::arena::SchedArena`]:
+//!
+//! * each message's path metadata (source leaf, destination leaf, LCA depth)
+//!   is packed into one u64 up front — LCA depth is a single
+//!   `xor`/`leading_zeros` on the leaf ids — and the *alive list is the
+//!   packed metadata itself* (`Vec<u64>`), compacted in place: the per-cycle
+//!   claim walk reads one sequential word per message, with no index
+//!   indirection, no LCA recomputation, and no down-run stack (the node at
+//!   depth `d` on the down run is just `dleaf >> (height − d)`). Shuffling
+//!   it consumes *exactly* the same `SplitMix64` stream as shuffling the
+//!   reference's `Vec<Message>` (Fisher–Yates depends only on the length),
+//!   so outcomes are byte-identical to
+//!   [`crate::reference::route_online_reference`];
+//! * the per-cycle used-wire table is split by level and direction into
+//!   *compact remaining-wire counters*: u32 slots for any level whose
+//!   capacity exceeds `u16::MAX` (none, on simulable trees) and u16 slots
+//!   below, holding wires *left* so a probe is load / test-zero / decrement
+//!   with no capacity lookup. The u16 tables for a 4096-leaf universal tree
+//!   total ~32 KiB and stay cache-resident across a cycle's random probes —
+//!   the dominant cost of both engines — where the clone-based engine
+//!   allocates and zeroes a 4n-word `LoadMap` every cycle; resetting them
+//!   is a template `copy_from_slice` of cycle-start capacities, and indices
+//!   are masked to the power-of-two table lengths (over slices cut to
+//!   `mask + 1`), which lets the compiler drop every per-probe bounds
+//!   check;
+//! * the claim walk exits at the first full channel — the lowest saturated
+//!   level on the path rejects the message immediately (on capacity-1 leaf
+//!   channels that is the very first probe), where the reference walks the
+//!   whole path with a dead closure;
+//! * with [`OnlineConfig::threads`] > 1 claiming fans out over scoped
+//!   threads in three barrier-separated phases (see `threaded_cycle`), again
+//!   byte-identical for any thread count.
+//!
+//! Optional per-level contention counters ([`OnlineCounters`]) sit behind
+//! [`OnlineConfig::counters`]; the cycle engines are monomorphized over a
+//! `const COUNT: bool` and dispatch to separate counted / fast claim
+//! kernels, so the counters-off build carries zero cost.
+//!
+//! Once warmed, a steady-state serial [`OnlineArena::run`] performs **zero
+//! heap allocation** (asserted by `tests/alloc_online.rs`).
 
 use ft_core::rng::SplitMix64;
-use ft_core::{route::for_each_path_channel, FatTree, LoadMap, Message, MessageSet};
+use ft_core::{FatTree, GenTable, MessageSet};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Configuration for the on-line routing process.
 #[derive(Clone, Copy, Debug, Default)]
@@ -23,6 +68,66 @@ pub struct OnlineConfig {
     /// at least one message is delivered each cycle — but runaway parameters
     /// are easier to debug with a valve.
     pub max_cycles: usize,
+    /// Record per-level contention counters ([`OnlineCounters`]) while
+    /// routing. Off by default; the counters-off path is monomorphized
+    /// without any counter code.
+    pub counters: bool,
+    /// Worker threads for the claim fan-out (0 and 1 both mean serial).
+    /// Any thread count produces byte-identical results.
+    pub threads: usize,
+}
+
+/// Per-level contention telemetry for one on-line run, indexed by channel
+/// level (1 = root edges … `height` = leaf edges; index 0 is unused).
+///
+/// Together the three arrays explain *where* congestion concentrates and
+/// what the retry traffic costs: `blocked[l]` locates the saturated levels,
+/// and `wasted[l]` measures the partially-established paths that must be
+/// re-claimed when their message retries next cycle.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OnlineCounters {
+    /// Wire claims granted at each level (including claims by messages that
+    /// were blocked later the same cycle — the wires stayed consumed).
+    pub claimed: Vec<u64>,
+    /// Claim attempts rejected at each level; each failed message counts
+    /// once per cycle, at the level that dropped it.
+    pub blocked: Vec<u64>,
+    /// Granted claims that went to waste because the claiming message was
+    /// blocked further along its path the same cycle (the retry cost).
+    pub wasted: Vec<u64>,
+}
+
+impl OnlineCounters {
+    /// Total rejected claim attempts — equals the total number of resends.
+    pub fn total_blocked(&self) -> u64 {
+        self.blocked.iter().sum()
+    }
+
+    /// The level with the most rejections, or `None` if nothing blocked.
+    pub fn hottest_level(&self) -> Option<u32> {
+        let (l, &b) = self.blocked.iter().enumerate().max_by_key(|&(_, &b)| b)?;
+        (b > 0).then_some(l as u32)
+    }
+
+    fn reset(&mut self, height: u32, on: bool) {
+        let len = if on { height as usize + 1 } else { 0 };
+        for v in [&mut self.claimed, &mut self.blocked, &mut self.wasted] {
+            v.clear();
+            v.resize(len, 0);
+        }
+    }
+
+    fn drain_into(&mut self, dst: &mut OnlineCounters) {
+        for (d, s) in dst.claimed.iter_mut().zip(&mut self.claimed) {
+            *d += std::mem::take(s);
+        }
+        for (d, s) in dst.blocked.iter_mut().zip(&mut self.blocked) {
+            *d += std::mem::take(s);
+        }
+        for (d, s) in dst.wasted.iter_mut().zip(&mut self.wasted) {
+            *d += std::mem::take(s);
+        }
+    }
 }
 
 /// Outcome of the on-line routing process.
@@ -34,6 +139,8 @@ pub struct OnlineResult {
     pub delivered_per_cycle: Vec<usize>,
     /// True if the safety valve tripped before completion.
     pub truncated: bool,
+    /// Per-level contention counters, when [`OnlineConfig::counters`] is on.
+    pub counters: Option<OnlineCounters>,
 }
 
 impl OnlineResult {
@@ -44,72 +151,893 @@ impl OnlineResult {
 }
 
 /// Run the on-line delivery-cycle process for message set `m` on `ft`.
+///
+/// One-shot convenience over [`OnlineArena`]; callers running many trials
+/// should hold an arena and call [`OnlineArena::route`] (or the allocation-
+/// free [`OnlineArena::run`]) to reuse its buffers.
 pub fn route_online(
     ft: &FatTree,
     m: &MessageSet,
     rng: &mut SplitMix64,
     config: OnlineConfig,
 ) -> OnlineResult {
-    let mut alive: Vec<Message> = m.iter().copied().filter(|msg| !msg.is_local()).collect();
-    let locals = m.len() - alive.len();
-    let mut delivered_per_cycle = Vec::new();
-    let mut truncated = false;
+    OnlineArena::new(ft).route(ft, m, rng, config)
+}
 
-    while !alive.is_empty() {
-        if config.max_cycles != 0 && delivered_per_cycle.len() >= config.max_cycles {
-            truncated = true;
-            break;
+// Per-message path metadata packed into one u64: bits 0..28 source leaf,
+// bits 28..56 destination leaf, bits 56..62 LCA depth. 28-bit leaf fields
+// cap the engine at 2^26 processors, like the other flat engines.
+#[inline]
+fn pack(sleaf: u32, dleaf: u32, lca_depth: u32) -> u64 {
+    sleaf as u64 | (dleaf as u64) << 28 | (lca_depth as u64) << 56
+}
+
+#[inline]
+fn unpack(m: u64) -> (u32, u32, u32) {
+    (
+        m as u32 & 0x0FFF_FFFF,
+        (m >> 28) as u32 & 0x0FFF_FFFF,
+        (m >> 56) as u32,
+    )
+}
+
+// Per-message phase flags for the threaded claim fan-out.
+const DEAD: u8 = 0;
+const UP_OK: u8 = 1;
+const TOP_OK: u8 = 2;
+const DELIVERED: u8 = 3;
+
+/// Per-worker scratch for the threaded phases: a private generation-stamped
+/// claim table over the worker's subtree edges plus private counters, so
+/// phases share nothing but the read-only inputs and the atomic flags.
+#[derive(Default)]
+struct OnlineWorker {
+    tbl: GenTable,
+    cnt: OnlineCounters,
+}
+
+/// Reusable scratch for the on-line routing process.
+///
+/// Construct once per tree and feed it any number of runs; every buffer is
+/// grow-only. See the module docs for the engine design and
+/// `DESIGN.md` §"Flat-engine arenas" for the parallel-schedule argument.
+pub struct OnlineArena {
+    n: u32,
+    height: u32,
+    /// Channel capacity per level (level 0 unused).
+    caps: Vec<u64>,
+    /// First node id whose level uses the byte counters: node `u` sits at
+    /// level `lg u`, so `u >= usplit` is exactly "level ≥ `lsplit`", the
+    /// shallowest level from which every capacity fits a byte.
+    usplit: u32,
+    /// Packed path metadata of the still-undelivered messages, in the
+    /// current cycle's shuffled order; compacted in place after each cycle.
+    alive: Vec<u64>,
+    /// Per-cycle *remaining-wire* counters, one slot per directed channel,
+    /// indexed directly by heap node id: byte slots (tables of length 2n)
+    /// for nodes ≥ `usplit`, exact u32 slots (tables of length `usplit`)
+    /// for the wide top levels. Each slot starts a cycle at its channel's
+    /// capacity (copied from `init16`/`init32`) and counts down; a claim is
+    /// "load, test-zero, decrement" with no capacity lookup, and the level
+    /// is recomputed from the node id only on the rare block path.
+    /// Power-of-two lengths let the hot probes index through `u & mask`,
+    /// which the compiler proves in-bounds — no per-probe bounds check, no
+    /// `unsafe`.
+    up16: Vec<u16>,
+    down16: Vec<u16>,
+    up32: Vec<u32>,
+    down32: Vec<u32>,
+    /// Per-node capacity templates restored into the four tables at cycle
+    /// start (both directions share one template per width).
+    init16: Vec<u16>,
+    init32: Vec<u32>,
+    /// `2n − 1` (byte tables) and `usplit − 1` (wide tables).
+    mask16: u32,
+    mask32: u32,
+    /// Main counters (serial path + root-crossing pass + worker merge).
+    cnt: OnlineCounters,
+    counters_on: bool,
+    // --- threaded-phase scratch ---
+    workers: Vec<OnlineWorker>,
+    flags: Vec<AtomicU8>,
+    src_off: Vec<u32>,
+    dst_off: Vec<u32>,
+    cursor: Vec<u32>,
+    src_list: Vec<u32>,
+    dst_list: Vec<u32>,
+    cross_list: Vec<u32>,
+    // --- outputs ---
+    delivered_per_cycle: Vec<usize>,
+    truncated: bool,
+}
+
+impl OnlineArena {
+    /// Scratch sized for `ft`.
+    pub fn new(ft: &FatTree) -> Self {
+        assert!(
+            ft.height() <= 26,
+            "flat engine supports up to 2^26 processors"
+        );
+        let height = ft.height();
+        let caps: Vec<u64> = (0..=height).map(|k| ft.cap_at_level(k)).collect();
+        // Shallowest level from which every deeper capacity fits a byte
+        // (capacities need not be monotone, so scan the whole suffix).
+        let mut lsplit = height + 1;
+        while lsplit > 1 && caps[lsplit as usize - 1] <= u16::MAX as u64 {
+            lsplit -= 1;
         }
-        rng.shuffle(&mut alive);
-        let mut used = LoadMap::zeros(ft);
-        let mut survivors = Vec::with_capacity(alive.len());
-        let mut delivered = 0usize;
-        for msg in &alive {
-            if try_claim(ft, &mut used, msg) {
-                delivered += 1;
+        let usplit = 1u32 << lsplit;
+        let nodes = 2 * ft.n(); // heap node ids are 1..2n; 1 is the root
+                                // Narrow tables are allocated full-length even when every level is
+                                // wide, so `len == mask + 1` holds unconditionally — the claim
+                                // kernels re-slice on that identity to drop per-probe bounds checks.
+        let narrow = nodes as usize;
+        let wide = usplit.min(nodes) as usize;
+        let mut cap16 = [0u16; 32];
+        for (l, &c) in caps.iter().enumerate() {
+            cap16[l] = c.min(u16::MAX as u64) as u16;
+        }
+        let mut init16 = vec![0u16; narrow];
+        for u in usplit..nodes {
+            init16[u as usize] = cap16[(31 - u.leading_zeros()) as usize];
+        }
+        // Clamping a wide capacity to u32::MAX is exact in effect: a channel
+        // receives fewer than 2^32 claims per cycle, so the counter can
+        // never run down to zero — exactly "never full".
+        let mut init32 = vec![0u32; wide];
+        for u in 2..usplit.min(nodes) {
+            init32[u as usize] =
+                caps[(31 - u.leading_zeros()) as usize].min(u32::MAX as u64) as u32;
+        }
+        OnlineArena {
+            n: ft.n(),
+            height,
+            caps,
+            usplit,
+            alive: Vec::new(),
+            up16: init16.clone(),
+            down16: init16.clone(),
+            up32: init32.clone(),
+            down32: init32.clone(),
+            init16,
+            init32,
+            mask16: nodes - 1,
+            mask32: usplit.min(nodes) - 1,
+            cnt: OnlineCounters::default(),
+            counters_on: false,
+            workers: Vec::new(),
+            flags: Vec::new(),
+            src_off: Vec::new(),
+            dst_off: Vec::new(),
+            cursor: Vec::new(),
+            src_list: Vec::new(),
+            dst_list: Vec::new(),
+            cross_list: Vec::new(),
+            delivered_per_cycle: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// Delivery cycles used by the last run (0 before any run).
+    pub fn cycles(&self) -> usize {
+        self.delivered_per_cycle.len()
+    }
+
+    /// Messages delivered per cycle in the last run.
+    pub fn delivered_per_cycle(&self) -> &[usize] {
+        &self.delivered_per_cycle
+    }
+
+    /// Did the last run trip the safety valve?
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Total messages delivered in the last run.
+    pub fn total_delivered(&self) -> usize {
+        self.delivered_per_cycle.iter().sum()
+    }
+
+    /// Per-level counters from the last run, if it was configured with
+    /// [`OnlineConfig::counters`].
+    pub fn counters(&self) -> Option<&OnlineCounters> {
+        self.counters_on.then_some(&self.cnt)
+    }
+
+    /// Run the process and clone the outcome into an [`OnlineResult`].
+    pub fn route(
+        &mut self,
+        ft: &FatTree,
+        m: &MessageSet,
+        rng: &mut SplitMix64,
+        config: OnlineConfig,
+    ) -> OnlineResult {
+        self.run(ft, m, rng, config);
+        OnlineResult {
+            cycles: self.cycles(),
+            delivered_per_cycle: self.delivered_per_cycle.clone(),
+            truncated: self.truncated,
+            counters: self.counters().cloned(),
+        }
+    }
+
+    /// Run the process, leaving the outcome readable through the accessors
+    /// until the next call. Once warm, the serial path allocates nothing.
+    pub fn run(
+        &mut self,
+        ft: &FatTree,
+        m: &MessageSet,
+        rng: &mut SplitMix64,
+        config: OnlineConfig,
+    ) {
+        debug_assert_eq!(self.n, ft.n(), "arena built for a different tree");
+        let height = self.height;
+        self.counters_on = config.counters;
+        self.cnt.reset(height, config.counters);
+
+        // Pack path metadata once; locals never touch the network. The LCA
+        // depth falls out of the leaf ids without walking the tree: the
+        // leaves agree on their top `height − bitlen(sleaf ^ dleaf)` levels.
+        self.alive.clear();
+        let mut locals = 0usize;
+        for msg in m {
+            if msg.is_local() {
+                locals += 1;
+                continue;
+            }
+            let (sleaf, dleaf) = (ft.leaf(msg.src), ft.leaf(msg.dst));
+            let lca_d = height - (u32::BITS - (sleaf ^ dleaf).leading_zeros());
+            debug_assert_eq!(lca_d, 31 - ft.lca(msg.src, msg.dst).leading_zeros());
+            self.alive.push(pack(sleaf, dleaf, lca_d));
+        }
+        self.delivered_per_cycle.clear();
+        self.truncated = false;
+
+        // Bucket depth for the threaded fan-out: 2^ell subtrees, enough for
+        // one per thread. 0 selects the serial path (also when the tree is
+        // too shallow to split).
+        let threads = config.threads.max(1);
+        let ell = if threads <= 1 || height < 2 {
+            0
+        } else {
+            (u32::BITS - (threads as u32 - 1).leading_zeros()).clamp(1, height - 1)
+        };
+
+        while !self.alive.is_empty() {
+            if config.max_cycles != 0 && self.delivered_per_cycle.len() >= config.max_cycles {
+                self.truncated = true;
+                break;
+            }
+            // Shuffling the packed-meta list consumes the identical
+            // SplitMix64 stream as the reference's shuffle of its
+            // Vec<Message>: Fisher–Yates depends only on the slice length.
+            rng.shuffle(&mut self.alive);
+            let delivered = match (ell, config.counters) {
+                (0, false) => self.serial_cycle::<false>(),
+                (0, true) => self.serial_cycle::<true>(),
+                (_, false) => self.threaded_cycle::<false>(ell, threads),
+                (_, true) => self.threaded_cycle::<true>(ell, threads),
+            };
+            // Progress guarantee: the first message in the shuffled order
+            // always claims an empty network.
+            debug_assert!(delivered > 0);
+            self.delivered_per_cycle.push(delivered);
+        }
+
+        // Local messages are "delivered" in cycle 1 without using the
+        // network.
+        if locals > 0 {
+            if self.delivered_per_cycle.is_empty() {
+                self.delivered_per_cycle.push(locals);
             } else {
-                survivors.push(*msg);
+                self.delivered_per_cycle[0] += locals;
             }
         }
-        // Progress guarantee: the first message in the shuffled order always
-        // claims an empty network.
-        debug_assert!(delivered > 0);
-        delivered_per_cycle.push(delivered);
-        alive = survivors;
     }
 
-    // Local messages are "delivered" in cycle 1 without using the network.
-    if locals > 0 {
-        if delivered_per_cycle.is_empty() {
-            delivered_per_cycle.push(locals);
-        } else {
-            delivered_per_cycle[0] += locals;
+    /// One serial delivery cycle: walk the shuffled alive list, claim each
+    /// message's path with first-full-channel early exit, compact survivors
+    /// in place. Returns the number delivered.
+    fn serial_cycle<const COUNT: bool>(&mut self) -> usize {
+        let height = self.height;
+        let usplit = self.usplit;
+        let (mask16, mask32) = (self.mask16, self.mask32);
+        let OnlineArena {
+            alive,
+            up16,
+            down16,
+            up32,
+            down32,
+            init16,
+            init32,
+            cnt,
+            ..
+        } = self;
+        // A few-KiB template copy stands in for the reference's per-cycle
+        // 4n-word LoadMap allocation + zero.
+        up16.copy_from_slice(init16);
+        down16.copy_from_slice(init16);
+        up32.copy_from_slice(init32);
+        down32.copy_from_slice(init32);
+        // Identity re-slices that put `len == mask + 1` in the compiler's
+        // view: with it, `idx = node & mask < len` is provable and the
+        // per-probe bounds checks vanish from the claim kernels.
+        let up16 = &mut up16[..mask16 as usize + 1];
+        let down16 = &mut down16[..mask16 as usize + 1];
+        let up32 = &mut up32[..mask32 as usize + 1];
+        let down32 = &mut down32[..mask32 as usize + 1];
+
+        // Branchless stable compaction: always write the survivor slot and
+        // advance the cursor only on failure. The write is in-bounds and
+        // order-preserving because `w <= k`; a "delivered or not" branch
+        // here would be data-random in congested cycles and mispredict
+        // roughly every other message.
+        let mut w = 0usize;
+        for k in 0..alive.len() {
+            let mv = alive[k];
+            let ok = if COUNT {
+                try_claim_counted(
+                    up16, down16, up32, down32, usplit, mask16, mask32, height, cnt, mv,
+                )
+            } else {
+                try_claim_fast(
+                    up16, down16, up32, down32, usplit, mask16, mask32, height, mv,
+                )
+            };
+            alive[w] = mv;
+            w += !ok as usize;
         }
+        let delivered = alive.len() - w;
+        alive.truncate(w);
+        delivered
     }
 
-    OnlineResult {
-        cycles: delivered_per_cycle.len(),
-        delivered_per_cycle,
-        truncated,
+    /// One threaded delivery cycle, byte-identical to [`Self::serial_cycle`]
+    /// for any thread count.
+    ///
+    /// Messages are bucketed by their depth-`ell` subtree. A message whose
+    /// LCA lies at depth ≥ `ell` ("inside") touches only channels strictly
+    /// inside its bucket; a "root-crosser" (LCA depth < `ell`) touches its
+    /// source bucket below depth `ell` going up, the shared top segment,
+    /// and its destination bucket below depth `ell` going down. Claiming
+    /// therefore splits into three barrier-separated phases whose channel
+    /// sets are pairwise disjoint:
+    ///
+    /// 1. **Up** (parallel per source bucket): every up-channel claim at
+    ///    depth > `ell` — full up-runs for inside messages, up-tails for
+    ///    crossers. Up-claims are unconditional path prefixes, so they need
+    ///    nothing from other messages' fates.
+    /// 2. **Top** (sequential, shuffle order over crossers): claims on the
+    ///    depth ≤ `ell` segment, skipping crossers already dead from
+    ///    phase 1. Only crossers ever touch these channels.
+    /// 3. **Down** (parallel per destination bucket): every down-channel
+    ///    claim at depth > `ell`, conditional on the flag settled in
+    ///    phase 1 (inside) or phase 2 (crossers).
+    ///
+    /// Each directed channel is owned by exactly one worker in exactly one
+    /// phase, the per-channel attempt order is the shuffle order restricted
+    /// to its claimants (counting sort and the crosser filter are stable),
+    /// and every attempt's precondition — "did this message survive its
+    /// earlier channels?" — is fully resolved before the phase that attempts
+    /// it. By induction over (shuffle position, path position), every claim
+    /// sees exactly the multiset of prior grants it would see serially, so
+    /// outcomes are identical.
+    fn threaded_cycle<const COUNT: bool>(&mut self, ell: u32, threads: usize) -> usize {
+        let height = self.height;
+        let nb = 1usize << ell; // buckets = nodes at depth ell
+        let lo = 1u32 << ell; // first bucket node id
+        let shift = height - ell;
+        let usplit = self.usplit;
+        let OnlineArena {
+            caps,
+            alive,
+            up16,
+            down16,
+            up32,
+            down32,
+            init16,
+            init32,
+            cnt,
+            workers,
+            flags,
+            src_off,
+            dst_off,
+            cursor,
+            src_list,
+            dst_list,
+            cross_list,
+            ..
+        } = self;
+        let caps: &[u64] = caps;
+        // The phases read the alive list in place and index their lists and
+        // flags by *position* in it; the list itself is compacted only after
+        // the last phase.
+        let meta: &[u64] = alive;
+
+        if flags.len() < meta.len() {
+            flags.resize_with(meta.len(), || AtomicU8::new(0));
+        }
+        let flags: &[AtomicU8] = flags;
+
+        // Stable counting sort of the shuffled alive list into source and
+        // destination buckets, and the crosser sublist, all in shuffle
+        // order.
+        let total = meta.len();
+        src_off.clear();
+        src_off.resize(nb + 1, 0);
+        dst_off.clear();
+        dst_off.resize(nb + 1, 0);
+        cross_list.clear();
+        for (k, &mv) in meta.iter().enumerate() {
+            let (sleaf, dleaf, lca_d) = unpack(mv);
+            src_off[((sleaf >> shift) - lo) as usize + 1] += 1;
+            dst_off[((dleaf >> shift) - lo) as usize + 1] += 1;
+            if lca_d < ell {
+                cross_list.push(k as u32);
+            }
+        }
+        for b in 0..nb {
+            src_off[b + 1] += src_off[b];
+            dst_off[b + 1] += dst_off[b];
+        }
+        src_list.resize(total, 0);
+        dst_list.resize(total, 0);
+        cursor.clear();
+        cursor.extend_from_slice(&src_off[..nb]);
+        for (k, &mv) in meta.iter().enumerate() {
+            let b = ((unpack(mv).0 >> shift) - lo) as usize;
+            src_list[cursor[b] as usize] = k as u32;
+            cursor[b] += 1;
+        }
+        cursor.clear();
+        cursor.extend_from_slice(&dst_off[..nb]);
+        for (k, &mv) in meta.iter().enumerate() {
+            let b = ((unpack(mv).1 >> shift) - lo) as usize;
+            dst_list[cursor[b] as usize] = k as u32;
+            cursor[b] += 1;
+        }
+
+        let w = threads.min(nb);
+        if workers.len() < w {
+            workers.resize_with(w, Default::default);
+        }
+        if COUNT {
+            for wk in workers[..w].iter_mut() {
+                wk.cnt.reset(height, true);
+            }
+        }
+        let per = nb.div_ceil(w);
+        let src_off: &[u32] = src_off;
+        let dst_off: &[u32] = dst_off;
+        let src_list: &[u32] = src_list;
+        let dst_list: &[u32] = dst_list;
+
+        // Phase 1: up-claims inside source buckets.
+        std::thread::scope(|sc| {
+            for (t, wk) in workers[..w].iter_mut().enumerate() {
+                let (k0, k1) = (t * per, ((t + 1) * per).min(nb));
+                sc.spawn(move || {
+                    wk.phase_up::<COUNT>(
+                        k0..k1,
+                        lo,
+                        ell,
+                        height,
+                        src_off,
+                        src_list,
+                        meta,
+                        flags,
+                        caps,
+                    );
+                });
+            }
+        });
+
+        // Phase 2: the sequential root-crossing pass over the top segment,
+        // on the shared leveled counters (only levels ≤ ell are touched; the
+        // phase-1/3 channels live in the workers' private tables).
+        up16.copy_from_slice(init16);
+        down16.copy_from_slice(init16);
+        up32.copy_from_slice(init32);
+        down32.copy_from_slice(init32);
+        for &k in cross_list.iter() {
+            if flags[k as usize].load(Ordering::Relaxed) != UP_OK {
+                continue; // died on its up-tail; flag already DEAD
+            }
+            let (sleaf, dleaf, lca_d) = unpack(meta[k as usize]);
+            let mut ok = true;
+            let mut u = sleaf >> shift;
+            let mut lvl = ell;
+            while lvl > lca_d {
+                if !claim_one(up16, up32, usplit, u) {
+                    ok = false;
+                    if COUNT {
+                        cnt.blocked[lvl as usize] += 1;
+                        for l in (lvl + 1)..=height {
+                            cnt.wasted[l as usize] += 1;
+                        }
+                    }
+                    break;
+                }
+                if COUNT {
+                    cnt.claimed[lvl as usize] += 1;
+                }
+                u >>= 1;
+                lvl -= 1;
+            }
+            if ok {
+                for lvl in (lca_d + 1)..=ell {
+                    let v = dleaf >> (height - lvl);
+                    if !claim_one(down16, down32, usplit, v) {
+                        ok = false;
+                        if COUNT {
+                            cnt.blocked[lvl as usize] += 1;
+                            for l in (lca_d + 1)..=height {
+                                cnt.wasted[l as usize] += 1;
+                            }
+                            for l in (lca_d + 1)..lvl {
+                                cnt.wasted[l as usize] += 1;
+                            }
+                        }
+                        break;
+                    }
+                    if COUNT {
+                        cnt.claimed[lvl as usize] += 1;
+                    }
+                }
+            }
+            flags[k as usize].store(if ok { TOP_OK } else { DEAD }, Ordering::Relaxed);
+        }
+
+        // Phase 3: down-claims inside destination buckets.
+        std::thread::scope(|sc| {
+            for (t, wk) in workers[..w].iter_mut().enumerate() {
+                let (k0, k1) = (t * per, ((t + 1) * per).min(nb));
+                sc.spawn(move || {
+                    wk.phase_down::<COUNT>(
+                        k0..k1,
+                        lo,
+                        ell,
+                        height,
+                        dst_off,
+                        dst_list,
+                        meta,
+                        flags,
+                        caps,
+                    );
+                });
+            }
+        });
+        if COUNT {
+            for wk in workers[..w].iter_mut() {
+                wk.cnt.drain_into(cnt);
+            }
+        }
+
+        // Finalize: compact the alive list by the settled per-position flags.
+        let mut delivered = 0usize;
+        let mut wpos = 0usize;
+        for k in 0..total {
+            if flags[k].load(Ordering::Relaxed) == DELIVERED {
+                delivered += 1;
+            } else {
+                alive[wpos] = alive[k];
+                wpos += 1;
+            }
+        }
+        alive.truncate(wpos);
+        delivered
     }
 }
 
-/// Claim wires along the path of `msg`. On congestion the claims made so far
-/// remain consumed (the partial bit-serial path occupied them) and the
-/// message is dropped for this cycle. Returns true if fully delivered.
-fn try_claim(ft: &FatTree, used: &mut LoadMap, msg: &Message) -> bool {
-    let mut blocked = false;
-    for_each_path_channel(ft, msg, |c| {
-        if blocked {
-            return;
+/// Claim one wire on the directed channel above node `u` in the leveled
+/// remaining-wire counter pair, returning false when the channel is full.
+#[inline]
+fn claim_one(t16: &mut [u16], t32: &mut [u32], usplit: u32, u: u32) -> bool {
+    if u >= usplit {
+        let slot = &mut t16[u as usize];
+        if *slot == 0 {
+            return false;
         }
-        if used.get(c) < ft.cap(c) {
-            used.add_one(c);
-        } else {
-            blocked = true;
+        *slot -= 1;
+    } else {
+        let slot = &mut t32[u as usize];
+        if *slot == 0 {
+            return false;
         }
-    });
-    !blocked
+        *slot -= 1;
+    }
+    true
+}
+
+/// Claim the full path of one message on the leveled remaining-wire
+/// counters, exiting at the first full channel (earlier claims stay
+/// consumed) and attributing every grant/rejection to its level in the
+/// contention counters. Returns true if fully delivered. The counters-on
+/// serial twin of the three threaded phases.
+///
+/// A node id at level `l` lies in `[2^l, 2^{l+1})`, so each run splits into
+/// a byte-counter segment and a wide-counter segment with a single branch
+/// flip, and the loop guards reduce to one node-id compare against a
+/// precomputed stop node (up) or one shift-count compare (down). A probe is
+/// "load, test-zero, decrement": capacities are baked into the cycle-start
+/// counter values. Table indices are masked to the power-of-two table
+/// lengths (a no-op on valid node ids), which eliminates the per-probe
+/// bounds checks.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn try_claim_counted(
+    up16: &mut [u16],
+    down16: &mut [u16],
+    up32: &mut [u32],
+    down32: &mut [u32],
+    usplit: u32,
+    mask16: u32,
+    mask32: u32,
+    height: u32,
+    cnt: &mut OnlineCounters,
+    meta: u64,
+) -> bool {
+    let (sleaf, dleaf, lca_d) = unpack(meta);
+    let lca_node = sleaf >> (height - lca_d);
+
+    // Up run: edges at depths height .. lca_d+1, byte segment down to the
+    // deeper of the LCA and the wide-table boundary.
+    let stop16 = lca_node.max(usplit - 1);
+    let mut u = sleaf;
+    let mut lvl = height;
+    while u > stop16 {
+        let slot = &mut up16[(u & mask16) as usize];
+        if *slot == 0 {
+            cnt.blocked[lvl as usize] += 1;
+            for l in (lvl + 1)..=height {
+                cnt.wasted[l as usize] += 1;
+            }
+            return false;
+        }
+        *slot -= 1;
+        cnt.claimed[lvl as usize] += 1;
+        lvl -= 1;
+        u >>= 1;
+    }
+    while u > lca_node {
+        let slot = &mut up32[(u & mask32) as usize];
+        if *slot == 0 {
+            cnt.blocked[lvl as usize] += 1;
+            for l in (lvl + 1)..=height {
+                cnt.wasted[l as usize] += 1;
+            }
+            return false;
+        }
+        *slot -= 1;
+        cnt.claimed[lvl as usize] += 1;
+        lvl -= 1;
+        u >>= 1;
+    }
+
+    // Down run, top-down: the node at depth d is dleaf >> (height − d), so
+    // the shift count s runs from height − lca_d − 1 down to 0, crossing
+    // from the wide tables into the byte tables at `v >= usplit`, i.e.
+    // s ≤ height − lg usplit (computed in i32: every level may be wide).
+    let mut s = height - lca_d;
+    let s_split = height as i32 - usplit.trailing_zeros() as i32;
+    lvl = lca_d;
+    while s as i32 > s_split + 1 {
+        s -= 1;
+        let v = dleaf >> s;
+        let slot = &mut down32[(v & mask32) as usize];
+        if *slot == 0 {
+            count_down_block(cnt, lca_d, lvl + 1, height);
+            return false;
+        }
+        *slot -= 1;
+        lvl += 1;
+        cnt.claimed[lvl as usize] += 1;
+    }
+    while s > 0 {
+        s -= 1;
+        let v = dleaf >> s;
+        let slot = &mut down16[(v & mask16) as usize];
+        if *slot == 0 {
+            count_down_block(cnt, lca_d, lvl + 1, height);
+            return false;
+        }
+        *slot -= 1;
+        lvl += 1;
+        cnt.claimed[lvl as usize] += 1;
+    }
+    true
+}
+
+/// Branch-light twin of [`try_claim_counted`] for the counters-off build:
+/// the identical early-exit walk with all attribution bookkeeping stripped,
+/// so the hot loops carry nothing but the node id and the probe.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn try_claim_fast(
+    up16: &mut [u16],
+    down16: &mut [u16],
+    up32: &mut [u32],
+    down32: &mut [u32],
+    usplit: u32,
+    mask16: u32,
+    mask32: u32,
+    height: u32,
+    meta: u64,
+) -> bool {
+    let (sleaf, dleaf, lca_d) = unpack(meta);
+    let lca_node = sleaf >> (height - lca_d);
+
+    let stop16 = lca_node.max(usplit - 1);
+    let mut u = sleaf;
+    while u > stop16 {
+        let slot = &mut up16[(u & mask16) as usize];
+        if *slot == 0 {
+            return false;
+        }
+        *slot -= 1;
+        u >>= 1;
+    }
+    while u > lca_node {
+        let slot = &mut up32[(u & mask32) as usize];
+        if *slot == 0 {
+            return false;
+        }
+        *slot -= 1;
+        u >>= 1;
+    }
+
+    let mut s = height - lca_d;
+    let s_split = height as i32 - usplit.trailing_zeros() as i32;
+    while s as i32 > s_split + 1 {
+        s -= 1;
+        let v = dleaf >> s;
+        let slot = &mut down32[(v & mask32) as usize];
+        if *slot == 0 {
+            return false;
+        }
+        *slot -= 1;
+    }
+    while s > 0 {
+        s -= 1;
+        let v = dleaf >> s;
+        let slot = &mut down16[(v & mask16) as usize];
+        if *slot == 0 {
+            return false;
+        }
+        *slot -= 1;
+    }
+    true
+}
+
+/// Counter bookkeeping for a message dropped on its down run at `lvl`: its
+/// whole up run and the down prefix above `lvl` were claimed in vain.
+#[inline]
+fn count_down_block(cnt: &mut OnlineCounters, lca_d: u32, lvl: u32, height: u32) {
+    cnt.blocked[lvl as usize] += 1;
+    for l in (lca_d + 1)..=height {
+        cnt.wasted[l as usize] += 1;
+    }
+    for l in (lca_d + 1)..lvl {
+        cnt.wasted[l as usize] += 1;
+    }
+}
+
+impl OnlineWorker {
+    /// Relative index of the edge above node `u` (at depth `lvl`) within the
+    /// worker's private per-bucket table: depth layers are laid out
+    /// contiguously, `2^j − 2 + (u − bn·2^j)` for `j = lvl − ell`.
+    #[inline]
+    fn rel(bn: u32, ell: u32, lvl: u32, u: u32) -> usize {
+        let j = lvl - ell;
+        (u - (bn << j)) as usize + (1usize << j) - 2
+    }
+
+    /// Phase 1: claim the up-channels at depths > `ell` for every message
+    /// sourced in the owned buckets, in shuffle order, and record survival.
+    #[allow(clippy::too_many_arguments)]
+    fn phase_up<const COUNT: bool>(
+        &mut self,
+        buckets: std::ops::Range<usize>,
+        lo: u32,
+        ell: u32,
+        height: u32,
+        src_off: &[u32],
+        src_list: &[u32],
+        meta: &[u64],
+        flags: &[AtomicU8],
+        caps: &[u64],
+    ) {
+        let tbl_len = (1usize << (height - ell + 1)) - 2;
+        for b in buckets {
+            let bn = lo + b as u32;
+            // One generation per (phase, bucket): stale claims from other
+            // buckets or the previous phase read as zero.
+            self.tbl.begin(tbl_len);
+            for &i in &src_list[src_off[b] as usize..src_off[b + 1] as usize] {
+                let (sleaf, _, lca_d) = unpack(meta[i as usize]);
+                let stop = lca_d.max(ell);
+                let mut u = sleaf;
+                let mut lvl = height;
+                let mut ok = true;
+                while lvl > stop {
+                    if !self
+                        .tbl
+                        .try_claim(Self::rel(bn, ell, lvl, u), caps[lvl as usize])
+                    {
+                        ok = false;
+                        if COUNT {
+                            self.cnt.blocked[lvl as usize] += 1;
+                            for l in (lvl + 1)..=height {
+                                self.cnt.wasted[l as usize] += 1;
+                            }
+                        }
+                        break;
+                    }
+                    if COUNT {
+                        self.cnt.claimed[lvl as usize] += 1;
+                    }
+                    u >>= 1;
+                    lvl -= 1;
+                }
+                flags[i as usize].store(if ok { UP_OK } else { DEAD }, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Phase 3: claim the down-channels at depths > `ell` for every message
+    /// destined in the owned buckets, in shuffle order, conditional on the
+    /// flag settled in the earlier phases; record delivery.
+    #[allow(clippy::too_many_arguments)]
+    fn phase_down<const COUNT: bool>(
+        &mut self,
+        buckets: std::ops::Range<usize>,
+        lo: u32,
+        ell: u32,
+        height: u32,
+        dst_off: &[u32],
+        dst_list: &[u32],
+        meta: &[u64],
+        flags: &[AtomicU8],
+        caps: &[u64],
+    ) {
+        let tbl_len = (1usize << (height - ell + 1)) - 2;
+        for b in buckets {
+            let bn = lo + b as u32;
+            self.tbl.begin(tbl_len);
+            for &i in &dst_list[dst_off[b] as usize..dst_off[b + 1] as usize] {
+                let (_, dleaf, lca_d) = unpack(meta[i as usize]);
+                let need = if lca_d < ell { TOP_OK } else { UP_OK };
+                if flags[i as usize].load(Ordering::Relaxed) != need {
+                    continue; // blocked earlier; flag is already DEAD
+                }
+                let start = lca_d.max(ell) + 1;
+                let mut ok = true;
+                for lvl in start..=height {
+                    let v = dleaf >> (height - lvl);
+                    if !self
+                        .tbl
+                        .try_claim(Self::rel(bn, ell, lvl, v), caps[lvl as usize])
+                    {
+                        ok = false;
+                        if COUNT {
+                            self.cnt.blocked[lvl as usize] += 1;
+                            for l in (lca_d + 1)..=height {
+                                self.cnt.wasted[l as usize] += 1;
+                            }
+                            for l in (lca_d + 1)..lvl {
+                                self.cnt.wasted[l as usize] += 1;
+                            }
+                        }
+                        break;
+                    }
+                    if COUNT {
+                        self.cnt.claimed[lvl as usize] += 1;
+                    }
+                }
+                flags[i as usize].store(if ok { DELIVERED } else { DEAD }, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// The shape the paper quotes for the on-line bound:
@@ -122,7 +1050,8 @@ pub fn online_bound_shape(ft: &FatTree, load_factor: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ft_core::CapacityProfile;
+    use crate::reference::route_online_reference;
+    use ft_core::{CapacityProfile, Message};
 
     fn rng() -> SplitMix64 {
         SplitMix64::seed_from_u64(0xFA7EE)
@@ -137,6 +1066,7 @@ mod tests {
         assert!(!res.truncated);
         assert_eq!(res.total_delivered(), m.len());
         assert!(res.cycles >= 1);
+        assert!(res.counters.is_none(), "counters must be off by default");
     }
 
     #[test]
@@ -178,7 +1108,11 @@ mod tests {
         let n = 16u32;
         let t = FatTree::new(n, CapacityProfile::Constant(1));
         let m: MessageSet = (1..n).map(|i| Message::new(i, 0)).collect();
-        let res = route_online(&t, &m, &mut rng(), OnlineConfig { max_cycles: 3 });
+        let cfg = OnlineConfig {
+            max_cycles: 3,
+            ..Default::default()
+        };
+        let res = route_online(&t, &m, &mut rng(), cfg);
         assert!(res.truncated);
         assert_eq!(res.cycles, 3);
     }
@@ -198,5 +1132,183 @@ mod tests {
             "online cycles {} vs bound {bound:.1} (λ = {lam:.2})",
             res.cycles
         );
+    }
+
+    // --- locals / truncation semantics, pinned for BOTH engines ---
+    //
+    // The contract: local messages always land in cycle 1 exactly once
+    // (appended to an existing first cycle, or as the only cycle when no
+    // non-local work exists); `cycles == delivered_per_cycle.len()`; the
+    // valve trips — `truncated == true` and `cycles == max_cycles` — if and
+    // only if non-local messages remain after `max_cycles > 0` cycles, so an
+    // all-local set never counts toward (or against) the valve.
+
+    fn both(
+        t: &FatTree,
+        m: &MessageSet,
+        cfg: OnlineConfig,
+        seed: u64,
+    ) -> (OnlineResult, OnlineResult) {
+        let fast = route_online(t, m, &mut SplitMix64::seed_from_u64(seed), cfg);
+        let slow = route_online_reference(t, m, &mut SplitMix64::seed_from_u64(seed), cfg);
+        assert_eq!(fast.delivered_per_cycle, slow.delivered_per_cycle);
+        assert_eq!(fast.cycles, slow.cycles);
+        assert_eq!(fast.truncated, slow.truncated);
+        (fast, slow)
+    }
+
+    #[test]
+    fn all_local_reports_one_untruncated_cycle() {
+        let t = FatTree::new(8, CapacityProfile::Constant(1));
+        let m: MessageSet = (0..8).map(|i| Message::new(i, i)).collect();
+        for max_cycles in [0usize, 1, 5] {
+            let cfg = OnlineConfig {
+                max_cycles,
+                ..Default::default()
+            };
+            let (res, _) = both(&t, &m, cfg, 11);
+            assert_eq!(res.cycles, 1, "max_cycles={max_cycles}");
+            assert_eq!(res.delivered_per_cycle, vec![8]);
+            assert!(!res.truncated, "locals alone must never trip the valve");
+        }
+    }
+
+    #[test]
+    fn empty_set_routes_in_zero_cycles() {
+        let t = FatTree::new(8, CapacityProfile::Constant(1));
+        let m = MessageSet::new();
+        let (res, _) = both(&t, &m, OnlineConfig::default(), 12);
+        assert_eq!(res.cycles, 0);
+        assert!(res.delivered_per_cycle.is_empty());
+        assert!(!res.truncated);
+    }
+
+    #[test]
+    fn truncated_first_cycle_counts_locals_exactly_once() {
+        let n = 16u32;
+        let t = FatTree::new(n, CapacityProfile::Constant(1));
+        // Hot spot (one non-local delivery per cycle) plus two locals.
+        let mut m: MessageSet = (1..n).map(|i| Message::new(i, 0)).collect();
+        m.push(Message::new(3, 3));
+        m.push(Message::new(7, 7));
+        let cfg = OnlineConfig {
+            max_cycles: 1,
+            ..Default::default()
+        };
+        let (res, _) = both(&t, &m, cfg, 13);
+        assert!(res.truncated);
+        assert_eq!(res.cycles, 1);
+        // 1 non-local winner + 2 locals; locals must not be double-counted
+        // or spill into a phantom extra cycle.
+        assert_eq!(res.delivered_per_cycle, vec![3]);
+        assert_eq!(res.total_delivered(), 3);
+    }
+
+    #[test]
+    fn finishing_exactly_at_the_valve_is_not_truncated() {
+        let n = 4u32;
+        let t = FatTree::new(n, CapacityProfile::Constant(1));
+        let m: MessageSet = (1..n).map(|i| Message::new(i, 0)).collect();
+        // The hot spot needs exactly n−1 = 3 cycles; a valve of 3 is not hit.
+        let cfg = OnlineConfig {
+            max_cycles: 3,
+            ..Default::default()
+        };
+        let (res, _) = both(&t, &m, cfg, 14);
+        assert!(!res.truncated, "completing at the valve is not truncation");
+        assert_eq!(res.cycles, 3);
+        assert_eq!(res.total_delivered(), m.len());
+    }
+
+    // --- counters ---
+
+    #[test]
+    fn counters_balance_with_delivery_accounting() {
+        let n = 64u32;
+        let t = FatTree::universal(n, 8);
+        let mut r = rng();
+        let m: MessageSet = (0..2 * n)
+            .map(|_| Message::new(r.gen_range(0..n), r.gen_range(0..n)))
+            .collect();
+        let cfg = OnlineConfig {
+            counters: true,
+            ..Default::default()
+        };
+        let mut arena = OnlineArena::new(&t);
+        let res = arena.route(&t, &m, &mut rng(), cfg);
+        let c = res.counters.expect("counters requested");
+
+        // Each undelivered message is blocked exactly once per cycle, so
+        // total blocked = Σ_cycles (alive − delivered) = total resends.
+        let nonlocal = m.iter().filter(|msg| !msg.is_local()).count();
+        let mut alive = nonlocal;
+        let mut resends = 0usize;
+        for (cyc, &d) in res.delivered_per_cycle.iter().enumerate() {
+            let d_nonlocal = if cyc == 0 {
+                d - (m.len() - nonlocal)
+            } else {
+                d
+            };
+            alive -= d_nonlocal;
+            resends += alive;
+        }
+        assert_eq!(c.total_blocked(), resends as u64);
+        // Wasted claims are a subset of granted claims, level by level.
+        for l in 0..c.claimed.len() {
+            assert!(c.wasted[l] <= c.claimed[l], "level {l}");
+        }
+        // Delivered messages account for the non-wasted claims: a delivered
+        // message claims one wire at every level of its path.
+        let useful: u64 = c
+            .claimed
+            .iter()
+            .zip(&c.wasted)
+            .map(|(&cl, &wa)| cl - wa)
+            .sum();
+        assert!(useful > 0);
+        assert_eq!(c.hottest_level().is_some(), c.total_blocked() > 0);
+    }
+
+    #[test]
+    fn counters_do_not_change_outcomes() {
+        let n = 64u32;
+        let t = FatTree::universal(n, 8);
+        let mut r = SplitMix64::seed_from_u64(99);
+        let m: MessageSet = (0..n).map(|i| Message::new(i, r.gen_range(0..n))).collect();
+        let plain = route_online(
+            &t,
+            &m,
+            &mut SplitMix64::seed_from_u64(7),
+            OnlineConfig::default(),
+        );
+        let counted = route_online(
+            &t,
+            &m,
+            &mut SplitMix64::seed_from_u64(7),
+            OnlineConfig {
+                counters: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(plain.delivered_per_cycle, counted.delivered_per_cycle);
+        assert!(counted.counters.is_some());
+    }
+
+    #[test]
+    fn hotspot_counters_blame_the_skinny_levels() {
+        let n = 16u32;
+        let t = FatTree::new(n, CapacityProfile::Constant(1));
+        let m: MessageSet = (1..n).map(|i| Message::new(i, 0)).collect();
+        let cfg = OnlineConfig {
+            counters: true,
+            ..Default::default()
+        };
+        let res = route_online(&t, &m, &mut rng(), cfg);
+        let c = res.counters.unwrap();
+        assert!(c.total_blocked() > 0);
+        // All-to-one on a unit-capacity tree serializes on the down spine:
+        // every rejection is a down-channel collision, never level 0.
+        assert_eq!(c.blocked[0], 0);
+        assert_eq!(c.claimed[0], 0);
     }
 }

@@ -9,8 +9,10 @@
 //! Do not "optimize" this module. Its value is that it stays dumb.
 
 use crate::offline::Theorem1Stats;
+use crate::online::{OnlineConfig, OnlineResult};
 use crate::schedule::Schedule;
 use crate::split::{split_even_indices, CrossDirection};
+use ft_core::rng::SplitMix64;
 use ft_core::{FatTree, LoadMap, Message, MessageSet};
 
 /// Schedule `m` on `ft` per Theorem 1 (reference implementation).
@@ -122,4 +124,89 @@ fn refine_to_one_cycle(
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// On-line routing reference
+// ---------------------------------------------------------------------------
+
+/// Run the §VI on-line delivery-cycle process (reference implementation).
+///
+/// This is the original clone-based `route_online` kept verbatim as the
+/// golden oracle for [`crate::online::OnlineArena`]: a fresh [`LoadMap`] per
+/// cycle, a survivor `Vec` per cycle, and a full-path walk per message. The
+/// arena must produce byte-identical `delivered_per_cycle` for the same
+/// `SplitMix64` seed and any thread count (see `tests/golden_online.rs`).
+/// Counters are not implemented here; the result carries `counters: None`.
+pub fn route_online_reference(
+    ft: &FatTree,
+    m: &MessageSet,
+    rng: &mut SplitMix64,
+    config: OnlineConfig,
+) -> OnlineResult {
+    // Local messages are "delivered" in cycle 1 without using the network.
+    let mut alive: Vec<Message> = m.iter().copied().filter(|m| !m.is_local()).collect();
+    let locals = m.len() - alive.len();
+
+    let mut delivered_per_cycle: Vec<usize> = Vec::new();
+    let mut truncated = false;
+
+    while !alive.is_empty() {
+        if config.max_cycles != 0 && delivered_per_cycle.len() >= config.max_cycles {
+            truncated = true;
+            break;
+        }
+
+        // Random arbitration order for this cycle.
+        rng.shuffle(&mut alive);
+
+        let mut used = LoadMap::zeros(ft);
+        let mut survivors: Vec<Message> = Vec::new();
+        let mut delivered = 0usize;
+
+        for msg in &alive {
+            if try_claim_reference(ft, &mut used, msg) {
+                delivered += 1;
+            } else {
+                survivors.push(*msg);
+            }
+        }
+
+        debug_assert!(delivered > 0, "at least one message must win each cycle");
+        delivered_per_cycle.push(delivered);
+        alive = survivors;
+    }
+
+    if locals > 0 {
+        if delivered_per_cycle.is_empty() {
+            delivered_per_cycle.push(locals);
+        } else {
+            delivered_per_cycle[0] += locals;
+        }
+    }
+
+    OnlineResult {
+        cycles: delivered_per_cycle.len(),
+        delivered_per_cycle,
+        truncated,
+        counters: None,
+    }
+}
+
+/// Attempt to claim one wire on every channel of `msg`'s path. On the first
+/// congested channel the message is dropped; wires claimed so far stay
+/// consumed (they were physically driven this cycle).
+fn try_claim_reference(ft: &FatTree, used: &mut LoadMap, msg: &Message) -> bool {
+    let mut blocked = false;
+    ft_core::route::for_each_path_channel(ft, msg, |c| {
+        if blocked {
+            return;
+        }
+        if used.get(c) < ft.cap(c) {
+            used.add_one(c);
+        } else {
+            blocked = true;
+        }
+    });
+    !blocked
 }

@@ -1,0 +1,81 @@
+//! Steady-state allocation discipline for the on-line routing arena: once an
+//! [`OnlineArena`]'s buffers have grown to a workload's size, further serial
+//! [`OnlineArena::run`] calls must perform **zero** heap allocation — the
+//! packed-metadata alive list, the leveled used-wire counters, and the
+//! counter vectors are all reused.
+//!
+//! Measured with a counting global allocator, so this file is its own
+//! integration-test binary and runs with `harness = false`: the libtest
+//! harness's main thread allocates concurrently with the measured window,
+//! which would read as a spurious steady-state allocation.
+
+use ft_core::rng::SplitMix64;
+use ft_core::{FatTree, Message, MessageSet};
+use ft_sched::{OnlineArena, OnlineConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+// One test function on the sole thread: the counter is global, so nothing
+// else may allocate during the measured window.
+fn main() {
+    let n = 256u32;
+    let ft = FatTree::universal(n, 64);
+    let mut arena = OnlineArena::new(&ft);
+
+    // Congested random traffic with duplicates and locals: several delivery
+    // cycles per run, so the per-cycle loop (shuffle, claim walk, compact)
+    // is exercised many times per measured call. The fixed seed makes every
+    // run identical, so warmed capacity is exactly the needed capacity.
+    let mut wrng = SplitMix64::seed_from_u64(0xA110C);
+    let m: MessageSet = (0..4 * n)
+        .map(|_| Message::new(wrng.gen_range(0..n), wrng.gen_range(0..n)))
+        .collect();
+
+    for counters in [false, true] {
+        let cfg = OnlineConfig {
+            counters,
+            ..Default::default()
+        };
+        // Warm-up: buffers grow to size.
+        arena.run(&ft, &m, &mut SplitMix64::seed_from_u64(9), cfg);
+        let cycles = arena.cycles();
+        assert!(cycles > 1, "workload must be congested to be interesting");
+
+        let before = allocs();
+        for _ in 0..10 {
+            arena.run(&ft, &m, &mut SplitMix64::seed_from_u64(9), cfg);
+        }
+        let grew = allocs() - before;
+        assert_eq!(
+            grew, 0,
+            "steady-state OnlineArena::run (counters={counters}) allocated {grew} times in 10 calls"
+        );
+        assert_eq!(arena.cycles(), cycles);
+        assert_eq!(arena.total_delivered(), m.len());
+    }
+}

@@ -1,0 +1,192 @@
+//! Golden byte-identity tests: [`ft_sched::OnlineArena`] must reproduce the
+//! clone-based reference router *exactly* — same `SplitMix64` seed, same
+//! `delivered_per_cycle`, cycle for cycle — on every workload, tree shape,
+//! and thread count. The delivered set each cycle depends on the arbitration
+//! order, so this pins far more than totals: it pins the whole process.
+
+use ft_core::rng::SplitMix64;
+use ft_core::{CapacityProfile, FatTree, Message, MessageSet};
+use ft_sched::reference::route_online_reference;
+use ft_sched::{OnlineArena, OnlineConfig};
+
+/// Random k-relation-ish traffic: k·n messages with uniform endpoints.
+fn random_pairs(n: u32, k: u32, rng: &mut SplitMix64) -> MessageSet {
+    (0..k * n)
+        .map(|_| Message::new(rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect()
+}
+
+/// Hot spot: everyone sends to processor 0.
+fn hotspot(n: u32) -> MessageSet {
+    (1..n).map(|i| Message::new(i, 0)).collect()
+}
+
+/// Adversarial root-crossers: every message crosses the root (left half ↔
+/// right half, pairwise), k copies per pair — maximal pressure on the
+/// sequential root-crossing pass of the threaded engine.
+fn cross_root(n: u32, k: u32, rng: &mut SplitMix64) -> MessageSet {
+    let half = n / 2;
+    (0..k * half)
+        .flat_map(|_| {
+            let a = rng.gen_range(0..half);
+            let b = half + rng.gen_range(0..half);
+            [Message::new(a, b), Message::new(b, a)]
+        })
+        .collect()
+}
+
+fn trees(n: u32) -> Vec<FatTree> {
+    vec![
+        FatTree::universal(n, (n as u64 / 4).max(1)),
+        FatTree::new(n, CapacityProfile::Constant(1)),
+        FatTree::new(n, CapacityProfile::FullDoubling),
+    ]
+}
+
+/// Assert the arena matches the reference for the given config.
+fn assert_golden(
+    ft: &FatTree,
+    m: &MessageSet,
+    arena: &mut OnlineArena,
+    cfg: OnlineConfig,
+    seed: u64,
+) {
+    let golden = route_online_reference(
+        ft,
+        m,
+        &mut SplitMix64::seed_from_u64(seed),
+        OnlineConfig {
+            threads: 1,
+            counters: false,
+            ..cfg
+        },
+    );
+    let got = arena.route(ft, m, &mut SplitMix64::seed_from_u64(seed), cfg);
+    let tag = format!(
+        "n={} threads={} counters={} max_cycles={} msgs={}",
+        ft.n(),
+        cfg.threads,
+        cfg.counters,
+        cfg.max_cycles,
+        m.len()
+    );
+    assert_eq!(
+        got.delivered_per_cycle, golden.delivered_per_cycle,
+        "delivered_per_cycle diverged [{tag}]"
+    );
+    assert_eq!(got.cycles, golden.cycles, "cycles diverged [{tag}]");
+    assert_eq!(
+        got.truncated, golden.truncated,
+        "truncated diverged [{tag}]"
+    );
+}
+
+#[test]
+fn byte_identity_across_workloads_trees_and_threads() {
+    let mut wrng = SplitMix64::seed_from_u64(0x601D);
+    for n in [16u32, 64, 256] {
+        for ft in trees(n) {
+            let mut arena = OnlineArena::new(&ft);
+            let workloads = [
+                random_pairs(n, 1, &mut wrng),
+                random_pairs(n, 4, &mut wrng),
+                hotspot(n),
+                cross_root(n, 2, &mut wrng),
+            ];
+            for (wi, m) in workloads.iter().enumerate() {
+                for threads in [1usize, 2, 4] {
+                    let cfg = OnlineConfig {
+                        threads,
+                        ..Default::default()
+                    };
+                    assert_golden(
+                        &ft,
+                        m,
+                        &mut arena,
+                        cfg,
+                        0xFEED ^ (wi as u64) << 8 ^ n as u64,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn byte_identity_with_counters_and_more_threads_than_buckets() {
+    let mut wrng = SplitMix64::seed_from_u64(0xC0DE);
+    let n = 128u32;
+    for ft in trees(n) {
+        let mut arena = OnlineArena::new(&ft);
+        for m in [random_pairs(n, 2, &mut wrng), cross_root(n, 1, &mut wrng)] {
+            // Counters on, and thread counts past the bucket count (8 and a
+            // non-power-of-two), must not perturb outcomes.
+            for threads in [2usize, 3, 8, 64] {
+                let cfg = OnlineConfig {
+                    threads,
+                    counters: true,
+                    ..Default::default()
+                };
+                assert_golden(&ft, &m, &mut arena, cfg, 0xB0A7 ^ n as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn byte_identity_under_truncation() {
+    let n = 64u32;
+    let ft = FatTree::new(n, CapacityProfile::Constant(1));
+    let mut arena = OnlineArena::new(&ft);
+    let m = hotspot(n);
+    for max_cycles in [1usize, 2, 7] {
+        for threads in [1usize, 4] {
+            let cfg = OnlineConfig {
+                max_cycles,
+                threads,
+                ..Default::default()
+            };
+            assert_golden(&ft, &m, &mut arena, cfg, 0x7126);
+        }
+    }
+}
+
+#[test]
+fn counters_identical_for_any_thread_count() {
+    // Counter totals are also order-insensitive facts of the (identical)
+    // outcome trace: serial and threaded runs must agree level by level.
+    let mut wrng = SplitMix64::seed_from_u64(0x5EAF);
+    let n = 128u32;
+    let ft = FatTree::universal(n, 32);
+    let m = random_pairs(n, 4, &mut wrng);
+    let mut arena = OnlineArena::new(&ft);
+    let base = arena
+        .route(
+            &ft,
+            &m,
+            &mut SplitMix64::seed_from_u64(0xAA),
+            OnlineConfig {
+                counters: true,
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .counters
+        .expect("counters on");
+    for threads in [2usize, 4, 8] {
+        let c = arena
+            .route(
+                &ft,
+                &m,
+                &mut SplitMix64::seed_from_u64(0xAA),
+                OnlineConfig {
+                    counters: true,
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .counters
+            .expect("counters on");
+        assert_eq!(c, base, "counters diverged at threads={threads}");
+    }
+}

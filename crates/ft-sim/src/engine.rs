@@ -41,7 +41,7 @@ use crate::faults::FaultModel;
 use crate::node::PortSwitch;
 use ft_concentrator::{Concentrator, MatchingArena};
 use ft_core::rng::splitmix64;
-use ft_core::{ChannelId, FatTree, LoadMap, Message, MessageSet};
+use ft_core::{ChannelId, FatTree, GenTable, LoadMap, Message, MessageSet};
 
 /// Re-export for configuration convenience.
 pub use crate::node::SwitchFlavor as SwitchKind;
@@ -233,14 +233,12 @@ pub struct SimArena {
     bucket_slots: Vec<u32>,
     bucket_out: Vec<u32>,
     // --- direct slot-table state (serial path) ---
-    /// Global (node, slot) table, one entry per `node_rel * r + slot`:
-    /// `gen << 32 | message index`, valid only where the stamp matches
-    /// `tbl_gen`. Bumping the generation per pass replaces clearing.
-    tbl: Vec<u64>,
+    /// Generation-stamped global (node, slot) table, one entry per
+    /// `node_rel * r + slot` holding the contending message index. Bumping
+    /// the generation per pass replaces clearing (see [`GenTable`]).
+    tbl: GenTable,
     /// Per-bucket `count << 32 | min_slot`, rebuilt each pass.
     bucket_meta: Vec<u64>,
-    /// Current pass generation stamp for `tbl`.
-    tbl_gen: u32,
     /// Per-thread arbitration scratch.
     scratch: Vec<ArbScratch>,
     // --- per-cycle outputs ---
@@ -278,9 +276,8 @@ impl SimArena {
             bucket_msgs: Vec::new(),
             bucket_slots: Vec::new(),
             bucket_out: Vec::new(),
-            tbl: Vec::new(),
+            tbl: GenTable::new(),
             bucket_meta: Vec::new(),
-            tbl_gen: 0,
             scratch: Vec::new(),
             delivered: Vec::new(),
             dropped: Vec::new(),
@@ -586,15 +583,7 @@ impl SimArena {
         nk: usize,
     ) {
         let n_msgs = self.meta.len();
-        self.tbl_gen = self.tbl_gen.wrapping_add(1);
-        if self.tbl_gen == 0 {
-            self.tbl.fill(0);
-            self.tbl_gen = 1;
-        }
-        let gen = self.tbl_gen as u64;
-        if self.tbl.len() < nk * r {
-            self.tbl.resize(nk * r, 0);
-        }
+        self.tbl.begin(nk * r);
         self.bucket_meta.clear();
         self.bucket_meta.resize(nk, u32::MAX as u64); // count 0, min_slot MAX
 
@@ -613,8 +602,8 @@ impl SimArena {
             let k = ((leaf >> shift) - lo) as usize;
             let slot = params.slot(m, self.wire[i]);
             let idx = k * r + slot as usize;
-            debug_assert!(self.tbl[idx] >> 32 != gen, "duplicate slot in bucket");
-            self.tbl[idx] = (gen << 32) | i as u64;
+            debug_assert!(self.tbl.get(idx).is_none(), "duplicate slot in bucket");
+            self.tbl.set(idx, i as u32);
             let bm = &mut self.bucket_meta[k];
             *bm = (((*bm >> 32) + 1) << 32) | ((*bm as u32).min(slot) as u64);
             any = true;
@@ -656,7 +645,7 @@ impl SimArena {
             // the common case at deep tree levels.
             if b == 1 && matches!(sw, PortSwitch::Ideal(_)) && matches!(arb, Arbitration::SlotOrder)
             {
-                let i = tbl[base + min_slot] as u32 as usize;
+                let i = tbl.get(base + min_slot).expect("min_slot entry live") as usize;
                 wire[i] = 0;
                 channel_use.add_one(chan);
                 continue;
@@ -669,9 +658,8 @@ impl SimArena {
                         let mut rank = 0u32;
                         let mut idx = base + min_slot;
                         while rank < b {
-                            let entry = tbl[idx];
-                            if entry >> 32 == gen {
-                                let i = entry as u32 as usize;
+                            if let Some(i) = tbl.get(idx) {
+                                let i = i as usize;
                                 if rank < winners {
                                     wire[i] = rank;
                                     channel_use.add_one(chan);
@@ -689,11 +677,8 @@ impl SimArena {
                         let mut seen = 0u32;
                         let mut idx = base + min_slot;
                         while seen < b {
-                            let entry = tbl[idx];
-                            if entry >> 32 == gen {
-                                scratch
-                                    .sort_buf
-                                    .push((entry as u32, (idx - base) as u32, 0));
+                            if let Some(i) = tbl.get(idx) {
+                                scratch.sort_buf.push((i, (idx - base) as u32, 0));
                                 scratch.active.push(idx - base);
                                 seen += 1;
                             }
@@ -712,11 +697,8 @@ impl SimArena {
                     let mut seen = 0u32;
                     let mut idx = base + min_slot;
                     while seen < b {
-                        let entry = tbl[idx];
-                        if entry >> 32 == gen {
-                            scratch
-                                .sort_buf
-                                .push((entry as u32, (idx - base) as u32, 0));
+                        if let Some(i) = tbl.get(idx) {
+                            scratch.sort_buf.push((i, (idx - base) as u32, 0));
                             seen += 1;
                         }
                         idx += 1;
@@ -793,28 +775,9 @@ struct ArbScratch {
     active: Vec<usize>,
     /// Reusable Hopcroft–Karp buffers for partial-concentrator matchings.
     matching: MatchingArena,
-    /// slot → position-in-chunk, valid only where `gen_of[slot] == gen`.
-    pos_of: Vec<u32>,
-    /// Stamp marking `pos_of[slot]` as belonging to the current bucket.
-    gen_of: Vec<u32>,
-    /// Current bucket's generation stamp.
-    gen: u32,
-}
-
-impl ArbScratch {
-    /// Start a bucket: size the table for slot universe `r` and bump the
-    /// generation so stale entries are ignored without clearing.
-    fn begin_bucket(&mut self, r: usize) {
-        if self.pos_of.len() < r {
-            self.pos_of.resize(r, 0);
-            self.gen_of.resize(r, 0);
-        }
-        self.gen = self.gen.wrapping_add(1);
-        if self.gen == 0 {
-            self.gen_of.fill(0);
-            self.gen = 1;
-        }
-    }
+    /// slot → position-in-chunk, generation-stamped per bucket so stale
+    /// entries are ignored without clearing.
+    pos: GenTable,
 }
 
 /// Arbitrate the buckets of nodes `k0..k1`. `out` is the chunk's slice of
@@ -848,12 +811,11 @@ fn arbitrate_chunk(
             // walking it upward yields exactly the reference's stable sort —
             // without sorting.
             Arbitration::SlotOrder => {
-                scratch.begin_bucket(r);
+                scratch.pos.begin(r);
                 let mut min_slot = u32::MAX;
                 for (pos, &slot) in (b0..b1).zip(&bucket_slots[b0..b1]) {
                     let slot = slot as usize;
-                    scratch.gen_of[slot] = scratch.gen;
-                    scratch.pos_of[slot] = (pos - base) as u32;
+                    scratch.pos.set(slot, (pos - base) as u32);
                     min_slot = min_slot.min(slot as u32);
                 }
                 let b = (b1 - b0) as u32;
@@ -866,8 +828,8 @@ fn arbitrate_chunk(
                         let mut rank = 0u32;
                         let mut slot = min_slot as usize;
                         while rank < winners {
-                            if scratch.gen_of[slot] == scratch.gen {
-                                out[scratch.pos_of[slot] as usize] = rank;
+                            if let Some(p) = scratch.pos.get(slot) {
+                                out[p as usize] = rank;
                                 rank += 1;
                             }
                             slot += 1;
@@ -880,10 +842,8 @@ fn arbitrate_chunk(
                         let mut seen = 0u32;
                         let mut slot = min_slot as usize;
                         while seen < b {
-                            if scratch.gen_of[slot] == scratch.gen {
-                                scratch
-                                    .sort_buf
-                                    .push((0, slot as u32, scratch.pos_of[slot]));
+                            if let Some(p) = scratch.pos.get(slot) {
+                                scratch.sort_buf.push((0, slot as u32, p));
                                 scratch.active.push(slot);
                                 seen += 1;
                             }

@@ -16,6 +16,9 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo bench --no-run (bench-only code must keep compiling)"
+cargo bench --workspace --no-run
+
 echo "==> ft-perf --smoke"
 cargo run --release -p ft-bench --bin ft-perf -- --smoke
 

@@ -193,13 +193,31 @@ fn cmd_online(opts: &HashMap<String, String>) {
     let mut rng = rng_from(opts);
     let msgs = workload_from(opts, ft.n(), &mut rng);
     let lambda = load_factor(&ft, &msgs);
-    let res = route_online(&ft, &msgs, &mut rng, OnlineConfig::default());
+    let cfg = OnlineConfig {
+        counters: true,
+        ..Default::default()
+    };
+    let res = route_online(&ft, &msgs, &mut rng, cfg);
     println!(
         "on-line: {} messages, λ = {lambda:.2} → {} cycles (shape λ+lg n·lglg n = {:.1})",
         msgs.len(),
         res.cycles,
         online_bound_shape(&ft, lambda)
     );
+    let c = res.counters.expect("counters requested");
+    match c.hottest_level() {
+        Some(l) => println!(
+            "contention: {} resends, hottest at level {l} ({} blocked); blocked root→leaf: {}",
+            c.total_blocked(),
+            c.blocked[l as usize],
+            c.blocked[1..]
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join("/")
+        ),
+        None => println!("contention: no message was ever blocked"),
+    }
 }
 
 fn cmd_simulate(opts: &HashMap<String, String>) {

@@ -63,7 +63,8 @@ pub mod prelude {
     pub use ft_layout::{balance_decomposition, Cuboid, DecompTree, Placement};
     pub use ft_networks::FixedConnectionNetwork;
     pub use ft_sched::{
-        route_online, schedule_bigcap, schedule_greedy, schedule_theorem1, OnlineConfig, Schedule,
+        route_online, schedule_bigcap, schedule_greedy, schedule_theorem1, OnlineArena,
+        OnlineConfig, OnlineCounters, Schedule,
     };
     pub use ft_sim::{run_to_completion, simulate_cycle, SimConfig, SwitchKind};
     pub use ft_universal::{simulate_on_fat_tree, Identification};
