@@ -1,14 +1,15 @@
 //! Bench for E10: on-line randomized routing.
 //!
 //! Compares the flat [`OnlineArena`] (buffers reused across calls, with and
-//! without the per-level contention counters) against the clone-based
-//! reference router on the same traffic and RNG seed.
+//! without a telemetry recorder attached) against the clone-based reference
+//! router on the same traffic and RNG seed.
 
 use ft_bench::timing::bench;
 use ft_core::rng::SplitMix64;
 use ft_core::FatTree;
 use ft_sched::reference::route_online_reference;
 use ft_sched::{OnlineArena, OnlineConfig};
+use ft_telemetry::MetricsRecorder;
 use ft_workloads::balanced_k_relation;
 
 fn main() {
@@ -27,15 +28,15 @@ fn main() {
         );
         arena.cycles()
     });
-    bench("online_512_k8_arena_counters", || {
-        arena.run(
+    let mut rec = MetricsRecorder::new();
+    bench("online_512_k8_arena_recorder", || {
+        rec.reset();
+        arena.run_with(
             &ft,
             &msgs,
             &mut SplitMix64::seed_from_u64(7),
-            OnlineConfig {
-                counters: true,
-                ..Default::default()
-            },
+            OnlineConfig::default(),
+            &mut rec,
         );
         arena.cycles()
     });

@@ -20,7 +20,11 @@
 //! benchmark host is ~2.5×, see the gate-table comment in `main`).
 //!
 //! Results are written as hand-rolled JSON to `BENCH_engine.json` in the
-//! current directory (schema documented in EXPERIMENTS.md). Run with
+//! current directory (schema documented in EXPERIMENTS.md), including a
+//! `telemetry` block: the shared quadratic-size caps with every row they
+//! suppressed (no silent truncation), and one instrumented
+//! [`MetricsRecorder`] run per gate configuration so a perf regression
+//! arrives with its per-level congestion story attached. Run with
 //! `--smoke` for a seconds-long sanity pass on tiny trees that writes no
 //! file — `scripts/check.sh` uses it as a smoke test.
 //!
@@ -36,7 +40,21 @@ use ft_sched::reference::{route_online_reference, schedule_theorem1_reference};
 use ft_sched::{OnlineArena, OnlineConfig, SchedArena};
 use ft_sim::reference::{run_to_completion_reference, simulate_cycle_reference};
 use ft_sim::{compile_cycle, run_to_completion, SimArena, SimConfig};
+use ft_telemetry::MetricsRecorder;
 use std::time::Duration;
+
+/// Hot-spot `run_to_completion` serializes into n−1 delivery cycles
+/// (quadratic work), so the flat engine skips that family above this size…
+const RTC_HOTSPOT_CAP: u32 = 1 << 14;
+/// …and its HashMap reference twin — O(n) per level per cycle on top — is
+/// only duelled up to this size.
+const RTC_REF_HOTSPOT_CAP: u32 = 1 << 10;
+/// Hot-spot `online_route` duels are capped here for the same reason (the
+/// clone-based reference pays a fresh LoadMap per delivery cycle).
+const ONLINE_HOTSPOT_DUEL_CAP: u32 = 1 << 12;
+/// Reference engines for the non-quadratic ops run up to this size; above
+/// it the flat engines are benched solo (a full run stays minutes).
+const REFERENCE_DUEL_CAP: u32 = 1 << 14;
 
 /// One benchmark result row, ready for JSON.
 struct Row {
@@ -46,6 +64,17 @@ struct Row {
     workload: &'static str,
     median_ns: u128,
     iters: u64,
+}
+
+/// A row (or reference twin) left out because of a quadratic-size cap.
+/// Every cap is recorded in the `telemetry` block of `BENCH_engine.json`,
+/// so a missing cell is a documented decision, not silent truncation.
+struct CappedRow {
+    op: &'static str,
+    engine: &'static str,
+    n: u32,
+    workload: &'static str,
+    cap: u32,
 }
 
 /// A measured reference/flat pair on identical inputs.
@@ -85,6 +114,11 @@ struct Harness {
     budget: Duration,
     rows: Vec<Row>,
     speedups: Vec<Speedup>,
+    capped: Vec<CappedRow>,
+    /// Instrumented single runs of the gate configurations: `(op, n,
+    /// workload, MetricsRecorder::to_json())`, attached to the JSON so a
+    /// perf regression comes with its congestion story.
+    gate_runs: Vec<(&'static str, u32, &'static str, String)>,
 }
 
 impl Harness {
@@ -149,6 +183,8 @@ fn main() {
         budget,
         rows: Vec::new(),
         speedups: Vec::new(),
+        capped: Vec::new(),
+        gate_runs: Vec::new(),
     };
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
 
@@ -157,7 +193,25 @@ fn main() {
         let cfg = SimConfig::default();
         // The reference engine is O(n) hash-map traffic per level; keep it
         // off the largest size so a full run stays minutes, not hours.
-        let with_reference = smoke || n <= 1 << 14;
+        let with_reference = smoke || n <= REFERENCE_DUEL_CAP;
+        if !with_reference {
+            for op in ["simulate_cycle", "run_to_completion", "schedule_theorem1"] {
+                for wl in ["permutation", "hotspot", "random2"] {
+                    // The hot-spot run_to_completion flat row is capped
+                    // harder below and records itself there.
+                    if op == "run_to_completion" && wl == "hotspot" {
+                        continue;
+                    }
+                    h.capped.push(CappedRow {
+                        op,
+                        engine: "reference",
+                        n,
+                        workload: wl,
+                        cap: REFERENCE_DUEL_CAP,
+                    });
+                }
+            }
+        }
 
         for wl in ["permutation", "hotspot", "random2"] {
             let msgs = workload(wl, n, 0xC0FFEE ^ n as u64);
@@ -187,12 +241,29 @@ fn main() {
 
         // --- run_to_completion: retries until drained. Hot spots serialize
         // into n−1 cycles (quadratic work), so that family is capped at
-        // n ≤ 2¹⁴, with the reference twin only at n ≤ 2¹⁰.
+        // [`RTC_HOTSPOT_CAP`], with the reference twin only at
+        // [`RTC_REF_HOTSPOT_CAP`].
         for wl in ["permutation", "hotspot", "random2"] {
-            if wl == "hotspot" && n > 1 << 14 {
+            if wl == "hotspot" && n > RTC_HOTSPOT_CAP {
+                h.capped.push(CappedRow {
+                    op: "run_to_completion",
+                    engine: "flat",
+                    n,
+                    workload: wl,
+                    cap: RTC_HOTSPOT_CAP,
+                });
                 continue;
             }
-            let rtc_ref = with_reference && (wl != "hotspot" || n <= 1 << 10);
+            let rtc_ref = with_reference && (wl != "hotspot" || n <= RTC_REF_HOTSPOT_CAP);
+            if with_reference && !rtc_ref {
+                h.capped.push(CappedRow {
+                    op: "run_to_completion",
+                    engine: "reference",
+                    n,
+                    workload: wl,
+                    cap: RTC_REF_HOTSPOT_CAP,
+                });
+            }
             let msgs: MessageSet = workload(wl, n, 0xBEEF ^ n as u64).into_iter().collect();
             h.duel(
                 "run_to_completion",
@@ -245,8 +316,8 @@ fn main() {
     // reused across iterations. Each iteration re-seeds its own RNG so every
     // call routes the identical trace. The clone-based reference pays a
     // fresh O(n) LoadMap and a survivor Vec per delivery cycle, and the
-    // hot spot needs n−1 cycles, so that duel is capped at n ≤ 2¹²
-    // (flat-only above).
+    // hot spot needs n−1 cycles, so that duel is capped at
+    // [`ONLINE_HOTSPOT_DUEL_CAP`] (flat-only above).
     let online_sizes: &[u32] = if smoke {
         &[256]
     } else {
@@ -256,7 +327,16 @@ fn main() {
         let ft = tree(n);
         for wl in ["hotspot", "random2"] {
             let msgs: MessageSet = workload(wl, n, 0xF00D ^ n as u64).into_iter().collect();
-            let with_ref = smoke || wl != "hotspot" || n <= 1 << 12;
+            let with_ref = smoke || wl != "hotspot" || n <= ONLINE_HOTSPOT_DUEL_CAP;
+            if !with_ref {
+                h.capped.push(CappedRow {
+                    op: "online_route",
+                    engine: "reference",
+                    n,
+                    workload: wl,
+                    cap: ONLINE_HOTSPOT_DUEL_CAP,
+                });
+            }
             let seed = 0xD1CE ^ n as u64;
             let mut oarena = OnlineArena::new(&ft);
             h.duel(
@@ -339,6 +419,41 @@ fn main() {
         println!("\nsmoke pass complete; no file written");
         return;
     }
+
+    // --- Telemetry: one instrumented run per gate configuration, so the
+    // JSON explains *why* a gate is fast or slow (per-level contention, λ
+    // breakdown, load histograms), not just how fast it is.
+    {
+        let n = 1 << 14;
+        let ft = tree(n);
+        let cfg = SimConfig::default();
+        let msgs = workload("permutation", n, 0xC0FFEE ^ n as u64);
+        let mut arena = SimArena::new(&ft, &cfg);
+        let mut rec = MetricsRecorder::new();
+        arena.cycle_with(&ft, &msgs, &cfg, &mut rec);
+        h.gate_runs
+            .push(("simulate_cycle", n, "permutation", rec.to_json()));
+
+        let msgs: MessageSet = workload("random2", n, 0x5EED ^ n as u64)
+            .into_iter()
+            .collect();
+        let mut rec = MetricsRecorder::new();
+        SchedArena::new(&ft).schedule_with(&ft, &msgs, 1, &mut rec);
+        h.gate_runs
+            .push(("schedule_theorem1", n, "random2", rec.to_json()));
+
+        let n = 1 << 12;
+        let ft = tree(n);
+        let msgs: MessageSet = workload("random2", n, 0xF00D ^ n as u64)
+            .into_iter()
+            .collect();
+        let mut rng = SplitMix64::seed_from_u64(0xD1CE ^ n as u64);
+        let mut rec = MetricsRecorder::new();
+        OnlineArena::new(&ft).run_with(&ft, &msgs, &mut rng, OnlineConfig::default(), &mut rec);
+        h.gate_runs
+            .push(("online_route", n, "random2", rec.to_json()));
+    }
+
     let json = to_json(&h);
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\nwrote BENCH_engine.json ({} results)", h.rows.len());
@@ -363,6 +478,25 @@ fn to_json(h: &Harness) -> String {
             s.op, s.n, s.workload, s.speedup
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n  \"telemetry\": {\n");
+    out.push_str(&format!(
+        "    \"size_caps\": {{\"run_to_completion_hotspot\": {RTC_HOTSPOT_CAP}, \"run_to_completion_hotspot_reference\": {RTC_REF_HOTSPOT_CAP}, \"online_route_hotspot_duel\": {ONLINE_HOTSPOT_DUEL_CAP}, \"reference_duel\": {REFERENCE_DUEL_CAP}}},\n"
+    ));
+    out.push_str("    \"capped_rows\": [\n");
+    for (i, c) in h.capped.iter().enumerate() {
+        let sep = if i + 1 < h.capped.len() { "," } else { "" };
+        out.push_str(&format!(
+            "      {{\"op\": \"{}\", \"engine\": \"{}\", \"n\": {}, \"workload\": \"{}\", \"cap\": {}}}{sep}\n",
+            c.op, c.engine, c.n, c.workload, c.cap
+        ));
+    }
+    out.push_str("    ],\n    \"gate_runs\": [\n");
+    for (i, (op, n, wl, metrics)) in h.gate_runs.iter().enumerate() {
+        let sep = if i + 1 < h.gate_runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "      {{\"op\": \"{op}\", \"n\": {n}, \"workload\": \"{wl}\", \"metrics\": {metrics}}}{sep}\n"
+        ));
+    }
+    out.push_str("    ]\n  }\n}\n");
     out
 }

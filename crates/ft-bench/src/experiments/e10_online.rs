@@ -11,6 +11,7 @@ use crate::tables::{f, Table};
 use ft_core::{load_factor, FatTree};
 use ft_sched::online::online_bound_shape;
 use ft_sched::{OnlineArena, OnlineConfig};
+use ft_telemetry::MetricsRecorder;
 use ft_workloads::balanced_k_relation;
 
 /// Run E10.
@@ -45,20 +46,12 @@ pub fn run() -> Vec<Table> {
                 .collect();
             cycles.sort_unstable();
             let shape = online_bound_shape(&ft, lambda);
-            // One more run with the contention counters on: outcomes are
-            // unchanged (see ft-sched's counter tests), but we learn the
+            // One more run with a metrics recorder attached: outcomes are
+            // unchanged (see ft-sched's recorder tests), but we learn the
             // per-level congestion profile of a representative run.
-            arena.run(
-                &ft,
-                &msgs,
-                &mut rng,
-                OnlineConfig {
-                    counters: true,
-                    ..Default::default()
-                },
-            );
-            let c = arena.counters().expect("counters requested");
-            let by_level: Vec<String> = c.blocked[1..].iter().map(u64::to_string).collect();
+            let mut rec = MetricsRecorder::new();
+            arena.run_with(&ft, &msgs, &mut rng, OnlineConfig::default(), &mut rec);
+            let by_level: Vec<String> = rec.blocked[1..].iter().map(u64::to_string).collect();
             t.row(vec![
                 n.to_string(),
                 k.to_string(),
@@ -68,7 +61,7 @@ pub fn run() -> Vec<Table> {
                 cycles[19].to_string(),
                 f(shape),
                 f(cycles[19] as f64 / shape),
-                c.total_blocked().to_string(),
+                rec.total_blocked().to_string(),
                 by_level.join("/"),
             ]);
         }

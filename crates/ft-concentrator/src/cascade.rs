@@ -11,6 +11,7 @@ use crate::matching::MatchingArena;
 use crate::partial::PartialConcentrator;
 use crate::Concentrator;
 use ft_core::rng::SplitMix64;
+use ft_telemetry::{NoopRecorder, Recorder};
 
 /// A constant-depth chain of partial concentrators.
 #[derive(Clone, Debug)]
@@ -67,14 +68,26 @@ impl Cascade {
     /// [`MatchingArena`] serves every stage of the chain, so the
     /// level-by-level matchings stop reallocating.
     pub fn route_with(&self, arena: &mut MatchingArena, active: &[usize]) -> Option<Vec<usize>> {
+        self.route_traced(arena, active, &mut NoopRecorder)
+    }
+
+    /// [`Cascade::route_with`] that reports every stage's matching (size,
+    /// BFS rounds, augmenting paths) to a [`Recorder`], keyed by stage
+    /// index first-to-last. With a `NoopRecorder` this is `route_with`.
+    pub fn route_traced<R: Recorder>(
+        &self,
+        arena: &mut MatchingArena,
+        active: &[usize],
+        rec: &mut R,
+    ) -> Option<Vec<usize>> {
         if active.len() > self.target {
             return None;
         }
         // Thread each message through the stages; `positions[j]` is where the
         // j-th active message currently sits.
         let mut positions: Vec<usize> = active.to_vec();
-        for stage in &self.stages {
-            let routed = stage.route_with(arena, &positions)?;
+        for (i, stage) in self.stages.iter().enumerate() {
+            let routed = stage.route_traced(arena, &positions, i as u32, rec)?;
             positions = routed;
         }
         Some(positions)

@@ -6,6 +6,7 @@
 //! the paper requires.
 
 use crate::bipartite::BipartiteGraph;
+use ft_telemetry::Recorder;
 
 const NIL: u32 = u32::MAX;
 
@@ -26,6 +27,10 @@ pub struct MatchingArena {
     dist: Vec<u32>,
     /// FIFO realized as a grow-only vec with a head cursor.
     queue: Vec<u32>,
+    /// BFS phases run by the last `max_matching` call.
+    last_rounds: u32,
+    /// Augmenting paths applied by the last `max_matching` call.
+    last_paths: u32,
 }
 
 impl MatchingArena {
@@ -46,6 +51,8 @@ impl MatchingArena {
         self.pair_v.resize(s, NIL);
         self.dist.clear();
         self.dist.resize(n, u32::MAX);
+        self.last_rounds = 0;
+        self.last_paths = 0;
 
         loop {
             // BFS: layers from free inputs.
@@ -76,22 +83,61 @@ impl MatchingArena {
             if !found_augmenting {
                 break;
             }
+            self.last_rounds += 1;
             // DFS along layered graph.
             for j in 0..n {
-                if self.pair_u[j] == NIL {
-                    dfs(
+                if self.pair_u[j] == NIL
+                    && dfs(
                         g,
                         active,
                         j,
                         &mut self.pair_u,
                         &mut self.pair_v,
                         &mut self.dist,
-                    );
+                    )
+                {
+                    self.last_paths += 1;
                 }
             }
         }
 
         self.pair_u.iter().filter(|&&o| o != NIL).count()
+    }
+
+    /// [`MatchingArena::max_matching`] that additionally reports the run to
+    /// a [`Recorder`] as cascade stage `stage` (size, BFS rounds, augmenting
+    /// paths). With a `NoopRecorder` this compiles to `max_matching`.
+    pub fn max_matching_with<R: Recorder>(
+        &mut self,
+        g: &BipartiteGraph,
+        active: &[usize],
+        stage: u32,
+        rec: &mut R,
+    ) -> usize {
+        let size = self.max_matching(g, active);
+        if R::ENABLED {
+            rec.matching_stage(
+                stage,
+                active.len() as u32,
+                size as u32,
+                self.last_rounds,
+                self.last_paths,
+            );
+        }
+        size
+    }
+
+    /// BFS phases (Hopcroft–Karp rounds) run by the last matching.
+    #[inline]
+    pub fn last_rounds(&self) -> u32 {
+        self.last_rounds
+    }
+
+    /// Augmenting paths applied by the last matching (equals the matching
+    /// size when the arena started from an empty matching).
+    #[inline]
+    pub fn last_paths(&self) -> u32 {
+        self.last_paths
     }
 
     /// The output matched to `active[j]` by the last `max_matching` run.
@@ -203,6 +249,32 @@ mod tests {
         assert_eq!(size, 2);
         assert_eq!(m.len(), 2);
         assert_eq!(m[0], Some(1));
+    }
+
+    #[test]
+    fn round_and_path_counters_report_through_recorder() {
+        use ft_telemetry::MetricsRecorder;
+        // 0: {0}, 1: {0,1} — HK needs an augmenting path, so ≥ 1 round and
+        // exactly 2 successful paths (matching built from empty).
+        let g = BipartiteGraph::from_adj(2, vec![vec![0], vec![0, 1]]);
+        let mut arena = MatchingArena::new();
+        let mut rec = MetricsRecorder::new();
+        let size = arena.max_matching_with(&g, &[0, 1], 3, &mut rec);
+        assert_eq!(size, 2);
+        assert_eq!(arena.last_paths(), 2);
+        assert!(arena.last_rounds() >= 1);
+        assert_eq!(rec.stages.len(), 4, "stage table grows to stage index");
+        let s = &rec.stages[3];
+        assert_eq!((s.runs, s.active, s.matched), (1, 2, 2));
+        assert_eq!(s.paths, 2);
+        assert!(s.rounds >= 1);
+        // A NoopRecorder run leaves the matching identical.
+        let mut arena2 = MatchingArena::new();
+        let size2 = arena2.max_matching(&g, &[0, 1]);
+        assert_eq!(size, size2);
+        let a: Vec<_> = arena.matches().collect();
+        let b: Vec<_> = arena2.matches().collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::bipartite::BipartiteGraph;
 use crate::matching::MatchingArena;
 use crate::Concentrator;
 use ft_core::rng::SplitMix64;
+use ft_telemetry::{NoopRecorder, Recorder};
 
 /// Pippenger's input degree bound.
 pub const PIPPENGER_DIN: usize = 6;
@@ -65,7 +66,20 @@ impl PartialConcentrator {
     /// [`Concentrator::route`] with caller-supplied matching buffers: the
     /// hot path for simulators and cascades that concentrate repeatedly.
     pub fn route_with(&self, arena: &mut MatchingArena, active: &[usize]) -> Option<Vec<usize>> {
-        let size = arena.max_matching(&self.graph, active);
+        self.route_traced(arena, active, 0, &mut NoopRecorder)
+    }
+
+    /// [`PartialConcentrator::route_with`] that reports the matching to a
+    /// [`Recorder`] as cascade stage `stage` (ROADMAP: matching-size and
+    /// augmenting-path counters for the concentrator stack).
+    pub fn route_traced<R: Recorder>(
+        &self,
+        arena: &mut MatchingArena,
+        active: &[usize],
+        stage: u32,
+        rec: &mut R,
+    ) -> Option<Vec<usize>> {
+        let size = arena.max_matching_with(&self.graph, active, stage, rec);
         if size == active.len() {
             Some(arena.matches().map(|o| o.expect("full matching")).collect())
         } else {

@@ -41,7 +41,7 @@ pub use hypercube::Hypercube;
 pub use mesh::{Mesh2D, Mesh3D};
 pub use ring::Ring;
 pub use shuffle::ShuffleExchange;
-pub use sim::{simulate_delivery, DeliveryOutcome};
+pub use sim::{simulate_delivery, simulate_delivery_with, DeliveryOutcome};
 pub use torus::Torus2D;
 pub use traits::FixedConnectionNetwork;
 pub use tree::TreeMachine;

@@ -9,6 +9,7 @@
 use crate::traits::FixedConnectionNetwork;
 use ft_core::rng::SplitMix64;
 use ft_core::MessageSet;
+use ft_telemetry::{NoopRecorder, Recorder};
 use std::collections::HashMap;
 
 /// Result of a delivery simulation.
@@ -31,6 +32,21 @@ pub fn simulate_delivery(
     link_capacity: usize,
     rng: &mut SplitMix64,
 ) -> DeliveryOutcome {
+    simulate_delivery_with(net, msgs, link_capacity, rng, &mut NoopRecorder)
+}
+
+/// [`simulate_delivery`] with a telemetry [`Recorder`] observing the run:
+/// [`Recorder::cycle_start`] / [`Recorder::cycle_end`] per step and one
+/// [`Recorder::channel_load`] per used directed link per step (baseline
+/// networks have no channel levels, so links report as level 0). With a
+/// [`NoopRecorder`] this is exactly [`simulate_delivery`].
+pub fn simulate_delivery_with<R: Recorder>(
+    net: &dyn FixedConnectionNetwork,
+    msgs: &MessageSet,
+    link_capacity: usize,
+    rng: &mut SplitMix64,
+    rec: &mut R,
+) -> DeliveryOutcome {
     assert!(link_capacity >= 1);
     // Precompute paths; messages already at destination are delivered at t=0.
     let mut paths: Vec<Vec<usize>> = Vec::with_capacity(msgs.len());
@@ -51,6 +67,9 @@ pub fn simulate_delivery(
     let mut total_hops = 0usize;
     let mut used: HashMap<(u32, u32), usize> = HashMap::new();
     while !live.is_empty() {
+        if R::ENABLED {
+            rec.cycle_start(steps as u32, live.len() as u32);
+        }
         steps += 1;
         used.clear();
         rng.shuffle(&mut live);
@@ -70,6 +89,12 @@ pub fn simulate_delivery(
             } else {
                 still.push(i);
             }
+        }
+        if R::ENABLED {
+            for &load in used.values() {
+                rec.channel_load(0, load as u64, link_capacity as u64);
+            }
+            rec.cycle_end(steps as u32 - 1, (live.len() - still.len()) as u32);
         }
         live = still;
         debug_assert!(steps <= 1_000_000, "delivery stuck");
@@ -142,6 +167,27 @@ mod tests {
         let fast = simulate_delivery(&m2, &msgs, 4, &mut rng());
         assert!(fast.steps <= slow.steps);
         assert_eq!(fast.total_hops, slow.total_hops);
+    }
+
+    #[test]
+    fn recorder_does_not_change_outcome_and_accounts_every_delivery() {
+        use ft_telemetry::MetricsRecorder;
+        let m2 = Mesh2D::square(16);
+        let m: MessageSet = (1..16).map(|i| Message::new(i, 0)).collect();
+        let plain = simulate_delivery(&m2, &m, 1, &mut rng());
+        let mut rec = MetricsRecorder::new();
+        let traced = simulate_delivery_with(&m2, &m, 1, &mut rng(), &mut rec);
+        assert_eq!(plain.steps, traced.steps);
+        assert_eq!(plain.total_hops, traced.total_hops);
+        assert_eq!(rec.cycles as usize, traced.steps);
+        // Every non-local message retires in exactly one step.
+        assert_eq!(rec.total_delivered(), 15);
+        // Links report as level 0; a hotspot must saturate some of them.
+        assert!(rec.load_hist[0].total() > 0);
+        assert!(
+            rec.load_hist[0].buckets[7] > 0,
+            "no saturated link at a hotspot"
+        );
     }
 
     #[test]

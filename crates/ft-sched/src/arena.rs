@@ -32,6 +32,7 @@ use crate::offline::Theorem1Stats;
 use crate::schedule::Schedule;
 use crate::split::CrossDirection;
 use ft_core::{ChannelId, FatTree, Message, MessageSet, ScratchLoad};
+use ft_telemetry::{NoopRecorder, Recorder};
 
 const NONE: u32 = u32::MAX;
 
@@ -483,7 +484,27 @@ impl SchedArena {
         m: &MessageSet,
         threads: usize,
     ) -> (Schedule, Theorem1Stats) {
+        self.schedule_with(ft, m, threads, &mut NoopRecorder)
+    }
+
+    /// [`SchedArena::schedule`] with a telemetry [`Recorder`] observing the
+    /// run: every channel tally in the λ(M) sweep is fed through
+    /// [`Recorder::lambda_site`], and each non-empty LCA bucket reports its
+    /// size and part count through [`Recorder::bucket_split`] after the
+    /// level's refinement. Hooks fire only on the main thread — worker
+    /// splitters are untouched — so the schedule stays byte-identical to
+    /// [`SchedArena::schedule`] for any recorder and thread count.
+    pub fn schedule_with<R: Recorder>(
+        &mut self,
+        ft: &FatTree,
+        m: &MessageSet,
+        threads: usize,
+        rec: &mut R,
+    ) -> (Schedule, Theorem1Stats) {
         self.ensure_tree(ft);
+        if R::ENABLED {
+            rec.run_start(ft.height());
+        }
         let n = ft.n();
         let height = ft.height();
 
@@ -535,12 +556,19 @@ impl SchedArena {
                     + self.lca_under[2 * u + 1];
             }
             if u >= 2 {
-                let up = (self.under_src[u] - self.lca_under[u]) as f64;
-                let down = (self.under_dst[u] - self.lca_under[u]) as f64;
+                let up = self.under_src[u] - self.lca_under[u];
+                let down = self.under_dst[u] - self.lca_under[u];
                 let edge = u as u32;
+                let up_cap = ft.cap(ChannelId::up(edge));
+                let down_cap = ft.cap(ChannelId::down(edge));
                 lam = lam
-                    .max(up / ft.cap(ChannelId::up(edge)) as f64)
-                    .max(down / ft.cap(ChannelId::down(edge)) as f64);
+                    .max(up as f64 / up_cap as f64)
+                    .max(down as f64 / down_cap as f64);
+                if R::ENABLED {
+                    let lvl = ChannelId::up(edge).level();
+                    rec.lambda_site(lvl, up as u64, up_cap);
+                    rec.lambda_site(lvl, down as u64, down_cap);
+                }
             }
         }
         for i in 1..self.bucket_off.len() {
@@ -649,6 +677,18 @@ impl SchedArena {
             for &np in &self.nparts {
                 self.parts_start.push(acc);
                 acc += np;
+            }
+            if R::ENABLED {
+                // Buckets at this refinement step live at channel level
+                // `level + 1` (their keys are nodes at heap depth
+                // `level + 1`, owning the edges to their parents).
+                for (bi, &np) in self.nparts.iter().enumerate() {
+                    let start = self.bucket_off[key_lo as usize + bi];
+                    let end = self.bucket_off[key_lo as usize + bi + 1];
+                    if end > start {
+                        rec.bucket_split(level + 1, end - start, np);
+                    }
+                }
             }
 
             // Emission: cycle t of the level merges every bucket's t-th part.

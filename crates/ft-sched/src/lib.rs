@@ -41,6 +41,6 @@ pub use bigcap::schedule_bigcap;
 pub use compress::compress_schedule;
 pub use greedy::schedule_greedy;
 pub use offline::{schedule_theorem1, schedule_theorem1_threads, Theorem1Stats};
-pub use online::{route_online, OnlineArena, OnlineConfig, OnlineCounters, OnlineResult};
+pub use online::{route_online, OnlineArena, OnlineConfig, OnlineResult};
 pub use schedule::Schedule;
 pub use split::{split_even, CrossDirection};

@@ -48,16 +48,22 @@
 //!   threads in three barrier-separated phases (see `threaded_cycle`), again
 //!   byte-identical for any thread count.
 //!
-//! Optional per-level contention counters ([`OnlineCounters`]) sit behind
-//! [`OnlineConfig::counters`]; the cycle engines are monomorphized over a
-//! `const COUNT: bool` and dispatch to separate counted / fast claim
-//! kernels, so the counters-off build carries zero cost.
+//! Contention instrumentation reports through the [`Recorder`] trait from
+//! ft-telemetry: [`OnlineArena::run_with`] is monomorphized over the
+//! recorder type, the cycle engines dispatch on the compile-time
+//! [`Recorder::ENABLED`] constant to separate counted / fast claim kernels
+//! (exactly the old `const COUNT: bool` scheme), and per-(cycle, level)
+//! claimed / blocked / wasted aggregates are fed to
+//! [`Recorder::wire_claims`] from the main thread between cycles — so a
+//! [`NoopRecorder`] run carries zero instrumentation cost and is
+//! byte-identical to the untraced engine.
 //!
 //! Once warmed, a steady-state serial [`OnlineArena::run`] performs **zero
 //! heap allocation** (asserted by `tests/alloc_online.rs`).
 
 use ft_core::rng::SplitMix64;
 use ft_core::{FatTree, GenTable, MessageSet};
+use ft_telemetry::{NoopRecorder, Recorder};
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Configuration for the on-line routing process.
@@ -68,47 +74,30 @@ pub struct OnlineConfig {
     /// at least one message is delivered each cycle — but runaway parameters
     /// are easier to debug with a valve.
     pub max_cycles: usize,
-    /// Record per-level contention counters ([`OnlineCounters`]) while
-    /// routing. Off by default; the counters-off path is monomorphized
-    /// without any counter code.
-    pub counters: bool,
     /// Worker threads for the claim fan-out (0 and 1 both mean serial).
     /// Any thread count produces byte-identical results.
     pub threads: usize,
 }
 
-/// Per-level contention telemetry for one on-line run, indexed by channel
-/// level (1 = root edges … `height` = leaf edges; index 0 is unused).
+/// Internal per-level contention scratch, indexed by channel level
+/// (1 = root edges … `height` = leaf edges; index 0 is unused).
 ///
-/// Together the three arrays explain *where* congestion concentrates and
-/// what the retry traffic costs: `blocked[l]` locates the saturated levels,
-/// and `wasted[l]` measures the partially-established paths that must be
-/// re-claimed when their message retries next cycle.
+/// `claimed[l]` counts granted wire claims (including claims by messages
+/// blocked later the same cycle — the wires stayed consumed), `blocked[l]`
+/// counts rejected claim attempts (one per failed message per cycle, at the
+/// level that dropped it), and `wasted[l]` counts grants that went to waste
+/// because the claiming message was blocked further along its path. The
+/// arena accumulates here (and in per-worker twins that drain into it) and
+/// reports per-cycle deltas through [`Recorder::wire_claims`]; the public
+/// mechanism is `ft_telemetry::MetricsRecorder`, not this struct.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct OnlineCounters {
-    /// Wire claims granted at each level (including claims by messages that
-    /// were blocked later the same cycle — the wires stayed consumed).
-    pub claimed: Vec<u64>,
-    /// Claim attempts rejected at each level; each failed message counts
-    /// once per cycle, at the level that dropped it.
-    pub blocked: Vec<u64>,
-    /// Granted claims that went to waste because the claiming message was
-    /// blocked further along its path the same cycle (the retry cost).
-    pub wasted: Vec<u64>,
+pub(crate) struct OnlineCounters {
+    pub(crate) claimed: Vec<u64>,
+    pub(crate) blocked: Vec<u64>,
+    pub(crate) wasted: Vec<u64>,
 }
 
 impl OnlineCounters {
-    /// Total rejected claim attempts — equals the total number of resends.
-    pub fn total_blocked(&self) -> u64 {
-        self.blocked.iter().sum()
-    }
-
-    /// The level with the most rejections, or `None` if nothing blocked.
-    pub fn hottest_level(&self) -> Option<u32> {
-        let (l, &b) = self.blocked.iter().enumerate().max_by_key(|&(_, &b)| b)?;
-        (b > 0).then_some(l as u32)
-    }
-
     fn reset(&mut self, height: u32, on: bool) {
         let len = if on { height as usize + 1 } else { 0 };
         for v in [&mut self.claimed, &mut self.blocked, &mut self.wasted] {
@@ -139,8 +128,6 @@ pub struct OnlineResult {
     pub delivered_per_cycle: Vec<usize>,
     /// True if the safety valve tripped before completion.
     pub truncated: bool,
-    /// Per-level contention counters, when [`OnlineConfig::counters`] is on.
-    pub counters: Option<OnlineCounters>,
 }
 
 impl OnlineResult {
@@ -236,7 +223,9 @@ pub struct OnlineArena {
     mask32: u32,
     /// Main counters (serial path + root-crossing pass + worker merge).
     cnt: OnlineCounters,
-    counters_on: bool,
+    /// Snapshot of `cnt` at the previous cycle boundary, so the recorder is
+    /// fed per-(cycle, level) deltas.
+    prev: OnlineCounters,
     // --- threaded-phase scratch ---
     workers: Vec<OnlineWorker>,
     flags: Vec<AtomicU8>,
@@ -304,7 +293,7 @@ impl OnlineArena {
             mask16: nodes - 1,
             mask32: usplit.min(nodes) - 1,
             cnt: OnlineCounters::default(),
-            counters_on: false,
+            prev: OnlineCounters::default(),
             workers: Vec::new(),
             flags: Vec::new(),
             src_off: Vec::new(),
@@ -338,12 +327,6 @@ impl OnlineArena {
         self.delivered_per_cycle.iter().sum()
     }
 
-    /// Per-level counters from the last run, if it was configured with
-    /// [`OnlineConfig::counters`].
-    pub fn counters(&self) -> Option<&OnlineCounters> {
-        self.counters_on.then_some(&self.cnt)
-    }
-
     /// Run the process and clone the outcome into an [`OnlineResult`].
     pub fn route(
         &mut self,
@@ -352,12 +335,23 @@ impl OnlineArena {
         rng: &mut SplitMix64,
         config: OnlineConfig,
     ) -> OnlineResult {
-        self.run(ft, m, rng, config);
+        self.route_with(ft, m, rng, config, &mut NoopRecorder)
+    }
+
+    /// [`Self::route`] with a telemetry [`Recorder`] observing the run.
+    pub fn route_with<R: Recorder>(
+        &mut self,
+        ft: &FatTree,
+        m: &MessageSet,
+        rng: &mut SplitMix64,
+        config: OnlineConfig,
+        rec: &mut R,
+    ) -> OnlineResult {
+        self.run_with(ft, m, rng, config, rec);
         OnlineResult {
             cycles: self.cycles(),
             delivered_per_cycle: self.delivered_per_cycle.clone(),
             truncated: self.truncated,
-            counters: self.counters().cloned(),
         }
     }
 
@@ -370,10 +364,36 @@ impl OnlineArena {
         rng: &mut SplitMix64,
         config: OnlineConfig,
     ) {
+        self.run_with(ft, m, rng, config, &mut NoopRecorder)
+    }
+
+    /// [`Self::run`] with a telemetry [`Recorder`] observing the run.
+    ///
+    /// The engine is monomorphized over the recorder type: with
+    /// [`NoopRecorder`] (`R::ENABLED == false`) every instrumentation site
+    /// compiles out and the run is instruction-identical to [`Self::run`];
+    /// with `R::ENABLED` the counted claim kernels attribute every grant /
+    /// rejection / wasted grant to its level and the recorder receives
+    /// [`Recorder::cycle_start`] / [`Recorder::cycle_end`] per delivery
+    /// cycle plus [`Recorder::wire_claims`] per-(cycle, level) aggregates —
+    /// called from the main thread between cycles, never from the claim
+    /// kernels or worker threads, so the hot path stays untouched and a
+    /// warmed `MetricsRecorder` adds no steady-state allocation.
+    pub fn run_with<R: Recorder>(
+        &mut self,
+        ft: &FatTree,
+        m: &MessageSet,
+        rng: &mut SplitMix64,
+        config: OnlineConfig,
+        rec: &mut R,
+    ) {
         debug_assert_eq!(self.n, ft.n(), "arena built for a different tree");
         let height = self.height;
-        self.counters_on = config.counters;
-        self.cnt.reset(height, config.counters);
+        self.cnt.reset(height, R::ENABLED);
+        self.prev.reset(height, R::ENABLED);
+        if R::ENABLED {
+            rec.run_start(height);
+        }
 
         // Pack path metadata once; locals never touch the network. The LCA
         // depth falls out of the leaf ids without walking the tree: the
@@ -408,11 +428,18 @@ impl OnlineArena {
                 self.truncated = true;
                 break;
             }
+            let cycle = self.delivered_per_cycle.len() as u32;
+            if R::ENABLED {
+                // Locals retire alongside the first cycle (see below), so
+                // the recorder's view matches `delivered_per_cycle`.
+                let extra = if cycle == 0 { locals } else { 0 };
+                rec.cycle_start(cycle, (self.alive.len() + extra) as u32);
+            }
             // Shuffling the packed-meta list consumes the identical
             // SplitMix64 stream as the reference's shuffle of its
             // Vec<Message>: Fisher–Yates depends only on the slice length.
             rng.shuffle(&mut self.alive);
-            let delivered = match (ell, config.counters) {
+            let delivered = match (ell, R::ENABLED) {
                 (0, false) => self.serial_cycle::<false>(),
                 (0, true) => self.serial_cycle::<true>(),
                 (_, false) => self.threaded_cycle::<false>(ell, threads),
@@ -422,6 +449,21 @@ impl OnlineArena {
             // always claims an empty network.
             debug_assert!(delivered > 0);
             self.delivered_per_cycle.push(delivered);
+            if R::ENABLED {
+                for lvl in 1..=height as usize {
+                    let dc = self.cnt.claimed[lvl] - self.prev.claimed[lvl];
+                    let db = self.cnt.blocked[lvl] - self.prev.blocked[lvl];
+                    let dw = self.cnt.wasted[lvl] - self.prev.wasted[lvl];
+                    if dc | db | dw != 0 {
+                        rec.wire_claims(cycle, lvl as u32, dc, db, dw);
+                    }
+                    self.prev.claimed[lvl] = self.cnt.claimed[lvl];
+                    self.prev.blocked[lvl] = self.cnt.blocked[lvl];
+                    self.prev.wasted[lvl] = self.cnt.wasted[lvl];
+                }
+                let extra = if cycle == 0 { locals } else { 0 };
+                rec.cycle_end(cycle, (delivered + extra) as u32);
+            }
         }
 
         // Local messages are "delivered" in cycle 1 without using the
@@ -429,6 +471,10 @@ impl OnlineArena {
         if locals > 0 {
             if self.delivered_per_cycle.is_empty() {
                 self.delivered_per_cycle.push(locals);
+                if R::ENABLED {
+                    rec.cycle_start(0, locals as u32);
+                    rec.cycle_end(0, locals as u32);
+                }
             } else {
                 self.delivered_per_cycle[0] += locals;
             }
@@ -1066,7 +1112,6 @@ mod tests {
         assert!(!res.truncated);
         assert_eq!(res.total_delivered(), m.len());
         assert!(res.cycles >= 1);
-        assert!(res.counters.is_none(), "counters must be off by default");
     }
 
     #[test]
@@ -1220,23 +1265,19 @@ mod tests {
         assert_eq!(res.total_delivered(), m.len());
     }
 
-    // --- counters ---
+    // --- recorder-fed contention telemetry ---
 
     #[test]
-    fn counters_balance_with_delivery_accounting() {
+    fn recorder_counters_balance_with_delivery_accounting() {
         let n = 64u32;
         let t = FatTree::universal(n, 8);
         let mut r = rng();
         let m: MessageSet = (0..2 * n)
             .map(|_| Message::new(r.gen_range(0..n), r.gen_range(0..n)))
             .collect();
-        let cfg = OnlineConfig {
-            counters: true,
-            ..Default::default()
-        };
         let mut arena = OnlineArena::new(&t);
-        let res = arena.route(&t, &m, &mut rng(), cfg);
-        let c = res.counters.expect("counters requested");
+        let mut rec = ft_telemetry::MetricsRecorder::new();
+        let res = arena.route_with(&t, &m, &mut rng(), OnlineConfig::default(), &mut rec);
 
         // Each undelivered message is blocked exactly once per cycle, so
         // total blocked = Σ_cycles (alive − delivered) = total resends.
@@ -1252,25 +1293,30 @@ mod tests {
             alive -= d_nonlocal;
             resends += alive;
         }
-        assert_eq!(c.total_blocked(), resends as u64);
+        assert_eq!(rec.total_blocked(), resends as u64);
         // Wasted claims are a subset of granted claims, level by level.
-        for l in 0..c.claimed.len() {
-            assert!(c.wasted[l] <= c.claimed[l], "level {l}");
+        for l in 0..rec.claimed.len() {
+            assert!(rec.wasted[l] <= rec.claimed[l], "level {l}");
         }
         // Delivered messages account for the non-wasted claims: a delivered
         // message claims one wire at every level of its path.
-        let useful: u64 = c
+        let useful: u64 = rec
             .claimed
             .iter()
-            .zip(&c.wasted)
+            .zip(&rec.wasted)
             .map(|(&cl, &wa)| cl - wa)
             .sum();
         assert!(useful > 0);
-        assert_eq!(c.hottest_level().is_some(), c.total_blocked() > 0);
+        assert_eq!(rec.hottest_level().is_some(), rec.total_blocked() > 0);
+        // The recorder's per-cycle view (fed by cycle_end, including the
+        // locals that retire alongside cycle 1) matches the engine's.
+        let per_cycle: Vec<u64> = res.delivered_per_cycle.iter().map(|&d| d as u64).collect();
+        assert_eq!(rec.delivered_per_cycle, per_cycle);
+        assert_eq!(rec.cycles as usize, res.cycles);
     }
 
     #[test]
-    fn counters_do_not_change_outcomes() {
+    fn recorder_does_not_change_outcomes() {
         let n = 64u32;
         let t = FatTree::universal(n, 8);
         let mut r = SplitMix64::seed_from_u64(99);
@@ -1281,17 +1327,16 @@ mod tests {
             &mut SplitMix64::seed_from_u64(7),
             OnlineConfig::default(),
         );
-        let counted = route_online(
+        let mut rec = ft_telemetry::MetricsRecorder::new();
+        let counted = OnlineArena::new(&t).route_with(
             &t,
             &m,
             &mut SplitMix64::seed_from_u64(7),
-            OnlineConfig {
-                counters: true,
-                ..Default::default()
-            },
+            OnlineConfig::default(),
+            &mut rec,
         );
         assert_eq!(plain.delivered_per_cycle, counted.delivered_per_cycle);
-        assert!(counted.counters.is_some());
+        assert!(rec.total_claimed() > 0);
     }
 
     #[test]
@@ -1299,16 +1344,12 @@ mod tests {
         let n = 16u32;
         let t = FatTree::new(n, CapacityProfile::Constant(1));
         let m: MessageSet = (1..n).map(|i| Message::new(i, 0)).collect();
-        let cfg = OnlineConfig {
-            counters: true,
-            ..Default::default()
-        };
-        let res = route_online(&t, &m, &mut rng(), cfg);
-        let c = res.counters.unwrap();
-        assert!(c.total_blocked() > 0);
+        let mut rec = ft_telemetry::MetricsRecorder::new();
+        OnlineArena::new(&t).run_with(&t, &m, &mut rng(), OnlineConfig::default(), &mut rec);
+        assert!(rec.total_blocked() > 0);
         // All-to-one on a unit-capacity tree serializes on the down spine:
         // every rejection is a down-channel collision, never level 0.
-        assert_eq!(c.blocked[0], 0);
-        assert_eq!(c.claimed[0], 0);
+        assert_eq!(rec.blocked[0], 0);
+        assert_eq!(rec.claimed[0], 0);
     }
 }

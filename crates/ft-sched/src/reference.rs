@@ -137,7 +137,8 @@ fn refine_to_one_cycle(
 /// cycle, a survivor `Vec` per cycle, and a full-path walk per message. The
 /// arena must produce byte-identical `delivered_per_cycle` for the same
 /// `SplitMix64` seed and any thread count (see `tests/golden_online.rs`).
-/// Counters are not implemented here; the result carries `counters: None`.
+/// Telemetry is not implemented here; observe the arena engine through a
+/// `ft_telemetry::Recorder` instead.
 pub fn route_online_reference(
     ft: &FatTree,
     m: &MessageSet,
@@ -189,7 +190,6 @@ pub fn route_online_reference(
         cycles: delivered_per_cycle.len(),
         delivered_per_cycle,
         truncated,
-        counters: None,
     }
 }
 

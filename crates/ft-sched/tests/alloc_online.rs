@@ -2,7 +2,10 @@
 //! [`OnlineArena`]'s buffers have grown to a workload's size, further serial
 //! [`OnlineArena::run`] calls must perform **zero** heap allocation — the
 //! packed-metadata alive list, the leveled used-wire counters, and the
-//! counter vectors are all reused.
+//! counter vectors are all reused. The same discipline holds with telemetry
+//! attached: a warmed `MetricsRecorder` observing `run_with` allocates
+//! nothing in steady state (its tables are grow-only and `reset` never
+//! frees).
 //!
 //! Measured with a counting global allocator, so this file is its own
 //! integration-test binary and runs with `harness = false`: the libtest
@@ -12,6 +15,7 @@
 use ft_core::rng::SplitMix64;
 use ft_core::{FatTree, Message, MessageSet};
 use ft_sched::{OnlineArena, OnlineConfig};
+use ft_telemetry::MetricsRecorder;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -56,26 +60,46 @@ fn main() {
         .map(|_| Message::new(wrng.gen_range(0..n), wrng.gen_range(0..n)))
         .collect();
 
-    for counters in [false, true] {
-        let cfg = OnlineConfig {
-            counters,
-            ..Default::default()
-        };
-        // Warm-up: buffers grow to size.
-        arena.run(&ft, &m, &mut SplitMix64::seed_from_u64(9), cfg);
-        let cycles = arena.cycles();
-        assert!(cycles > 1, "workload must be congested to be interesting");
+    let cfg = OnlineConfig::default();
 
-        let before = allocs();
-        for _ in 0..10 {
-            arena.run(&ft, &m, &mut SplitMix64::seed_from_u64(9), cfg);
-        }
-        let grew = allocs() - before;
-        assert_eq!(
-            grew, 0,
-            "steady-state OnlineArena::run (counters={counters}) allocated {grew} times in 10 calls"
-        );
-        assert_eq!(arena.cycles(), cycles);
-        assert_eq!(arena.total_delivered(), m.len());
+    // --- No-op recorder path (the default `run`) ---
+    // Warm-up: buffers grow to size.
+    arena.run(&ft, &m, &mut SplitMix64::seed_from_u64(9), cfg);
+    let cycles = arena.cycles();
+    assert!(cycles > 1, "workload must be congested to be interesting");
+
+    let before = allocs();
+    for _ in 0..10 {
+        arena.run(&ft, &m, &mut SplitMix64::seed_from_u64(9), cfg);
     }
+    let grew = allocs() - before;
+    assert_eq!(
+        grew, 0,
+        "steady-state OnlineArena::run allocated {grew} times in 10 calls"
+    );
+    assert_eq!(arena.cycles(), cycles);
+    assert_eq!(arena.total_delivered(), m.len());
+
+    // --- MetricsRecorder path (`run_with`) ---
+    // One warm run grows the recorder's per-level tables and the
+    // delivered-per-cycle series; `reset` zeroes without freeing, so the
+    // measured window must stay allocation-free end to end.
+    let mut rec = MetricsRecorder::new();
+    arena.run_with(&ft, &m, &mut SplitMix64::seed_from_u64(9), cfg, &mut rec);
+    let blocked = rec.total_blocked();
+    assert!(blocked > 0, "congested workload must block some claims");
+
+    let before = allocs();
+    for _ in 0..10 {
+        rec.reset();
+        arena.run_with(&ft, &m, &mut SplitMix64::seed_from_u64(9), cfg, &mut rec);
+    }
+    let grew = allocs() - before;
+    assert_eq!(
+        grew, 0,
+        "steady-state OnlineArena::run_with + MetricsRecorder allocated {grew} times in 10 calls"
+    );
+    assert_eq!(arena.cycles(), cycles);
+    assert_eq!(rec.total_blocked(), blocked);
+    assert_eq!(rec.total_delivered() as usize, m.len());
 }

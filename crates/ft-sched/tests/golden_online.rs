@@ -8,6 +8,7 @@ use ft_core::rng::SplitMix64;
 use ft_core::{CapacityProfile, FatTree, Message, MessageSet};
 use ft_sched::reference::route_online_reference;
 use ft_sched::{OnlineArena, OnlineConfig};
+use ft_telemetry::MetricsRecorder;
 
 /// Random k-relation-ish traffic: k·n messages with uniform endpoints.
 fn random_pairs(n: u32, k: u32, rng: &mut SplitMix64) -> MessageSet {
@@ -55,18 +56,13 @@ fn assert_golden(
         ft,
         m,
         &mut SplitMix64::seed_from_u64(seed),
-        OnlineConfig {
-            threads: 1,
-            counters: false,
-            ..cfg
-        },
+        OnlineConfig { threads: 1, ..cfg },
     );
     let got = arena.route(ft, m, &mut SplitMix64::seed_from_u64(seed), cfg);
     let tag = format!(
-        "n={} threads={} counters={} max_cycles={} msgs={}",
+        "n={} threads={} max_cycles={} msgs={}",
         ft.n(),
         cfg.threads,
-        cfg.counters,
         cfg.max_cycles,
         m.len()
     );
@@ -113,21 +109,35 @@ fn byte_identity_across_workloads_trees_and_threads() {
 }
 
 #[test]
-fn byte_identity_with_counters_and_more_threads_than_buckets() {
+fn byte_identity_with_recorder_and_more_threads_than_buckets() {
     let mut wrng = SplitMix64::seed_from_u64(0xC0DE);
     let n = 128u32;
     for ft in trees(n) {
         let mut arena = OnlineArena::new(&ft);
         for m in [random_pairs(n, 2, &mut wrng), cross_root(n, 1, &mut wrng)] {
-            // Counters on, and thread counts past the bucket count (8 and a
-            // non-power-of-two), must not perturb outcomes.
+            // A metrics recorder attached, and thread counts past the bucket
+            // count (8 and a non-power-of-two), must not perturb outcomes.
             for threads in [2usize, 3, 8, 64] {
                 let cfg = OnlineConfig {
                     threads,
-                    counters: true,
                     ..Default::default()
                 };
-                assert_golden(&ft, &m, &mut arena, cfg, 0xB0A7 ^ n as u64);
+                let seed = 0xB0A7 ^ n as u64;
+                let golden = route_online_reference(
+                    &ft,
+                    &m,
+                    &mut SplitMix64::seed_from_u64(seed),
+                    OnlineConfig { threads: 1, ..cfg },
+                );
+                let mut rec = MetricsRecorder::new();
+                let got =
+                    arena.route_with(&ft, &m, &mut SplitMix64::seed_from_u64(seed), cfg, &mut rec);
+                assert_eq!(
+                    got.delivered_per_cycle, golden.delivered_per_cycle,
+                    "recorder perturbed outcomes at threads={threads}"
+                );
+                assert_eq!(got.truncated, golden.truncated);
+                assert_eq!(rec.cycles as usize, got.cycles);
             }
         }
     }
@@ -144,7 +154,6 @@ fn byte_identity_under_truncation() {
             let cfg = OnlineConfig {
                 max_cycles,
                 threads,
-                ..Default::default()
             };
             assert_golden(&ft, &m, &mut arena, cfg, 0x7126);
         }
@@ -152,41 +161,49 @@ fn byte_identity_under_truncation() {
 }
 
 #[test]
-fn counters_identical_for_any_thread_count() {
-    // Counter totals are also order-insensitive facts of the (identical)
-    // outcome trace: serial and threaded runs must agree level by level.
+fn recorded_counters_identical_for_any_thread_count() {
+    // Counter totals are order-insensitive facts of the (identical) outcome
+    // trace: serial and threaded runs must agree level by level.
     let mut wrng = SplitMix64::seed_from_u64(0x5EAF);
     let n = 128u32;
     let ft = FatTree::universal(n, 32);
     let m = random_pairs(n, 4, &mut wrng);
     let mut arena = OnlineArena::new(&ft);
-    let base = arena
-        .route(
+    let mut base = MetricsRecorder::new();
+    arena.run_with(
+        &ft,
+        &m,
+        &mut SplitMix64::seed_from_u64(0xAA),
+        OnlineConfig {
+            threads: 1,
+            ..Default::default()
+        },
+        &mut base,
+    );
+    for threads in [2usize, 4, 8] {
+        let mut rec = MetricsRecorder::new();
+        arena.run_with(
             &ft,
             &m,
             &mut SplitMix64::seed_from_u64(0xAA),
             OnlineConfig {
-                counters: true,
-                threads: 1,
+                threads,
                 ..Default::default()
             },
-        )
-        .counters
-        .expect("counters on");
-    for threads in [2usize, 4, 8] {
-        let c = arena
-            .route(
-                &ft,
-                &m,
-                &mut SplitMix64::seed_from_u64(0xAA),
-                OnlineConfig {
-                    counters: true,
-                    threads,
-                    ..Default::default()
-                },
-            )
-            .counters
-            .expect("counters on");
-        assert_eq!(c, base, "counters diverged at threads={threads}");
+            &mut rec,
+        );
+        assert_eq!(
+            rec.claimed, base.claimed,
+            "claimed diverged at threads={threads}"
+        );
+        assert_eq!(
+            rec.blocked, base.blocked,
+            "blocked diverged at threads={threads}"
+        );
+        assert_eq!(
+            rec.wasted, base.wasted,
+            "wasted diverged at threads={threads}"
+        );
+        assert_eq!(rec.delivered_per_cycle, base.delivered_per_cycle);
     }
 }

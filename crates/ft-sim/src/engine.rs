@@ -42,6 +42,7 @@ use crate::node::PortSwitch;
 use ft_concentrator::{Concentrator, MatchingArena};
 use ft_core::rng::splitmix64;
 use ft_core::{ChannelId, FatTree, GenTable, LoadMap, Message, MessageSet};
+use ft_telemetry::{NoopRecorder, Recorder};
 
 /// Re-export for configuration convenience.
 pub use crate::node::SwitchFlavor as SwitchKind;
@@ -320,6 +321,34 @@ impl SimArena {
     /// Winner/loser indices and channel usage are readable through the
     /// accessors until the next call.
     pub fn cycle(&mut self, ft: &FatTree, msgs: &[Message], cfg: &SimConfig) -> CycleStats {
+        self.cycle_with(ft, msgs, cfg, &mut NoopRecorder)
+    }
+
+    /// [`Self::cycle`] with a telemetry [`Recorder`] observing the cycle.
+    ///
+    /// After the cycle completes (and only when `R::ENABLED` — the no-op
+    /// path compiles to exactly [`Self::cycle`]), every channel's load is
+    /// fed to [`Recorder::channel_load`] against its capacity, giving the
+    /// per-level load-vs-capacity histograms of `ftsim report`. The engine
+    /// itself is untouched: recording reads the same [`LoadMap`] the
+    /// accessors expose, after arbitration is done.
+    pub fn cycle_with<R: Recorder>(
+        &mut self,
+        ft: &FatTree,
+        msgs: &[Message],
+        cfg: &SimConfig,
+        rec: &mut R,
+    ) -> CycleStats {
+        let stats = self.cycle_inner(ft, msgs, cfg);
+        if R::ENABLED {
+            for c in ft.channels() {
+                rec.channel_load(c.level(), self.channel_use.get(c), ft.cap(c));
+            }
+        }
+        stats
+    }
+
+    fn cycle_inner(&mut self, ft: &FatTree, msgs: &[Message], cfg: &SimConfig) -> CycleStats {
         debug_assert_eq!(self.n, ft.n(), "arena built for a different tree");
         debug_assert_eq!(
             self.faults, cfg.faults,
@@ -929,7 +958,24 @@ pub fn simulate_cycle(ft: &FatTree, msgs: &[Message], cfg: &SimConfig) -> CycleR
 /// a hash set), and the identity of every delivered message is recorded in
 /// [`RunReport::delivery_order`].
 pub fn run_to_completion(ft: &FatTree, msgs: &MessageSet, cfg: &SimConfig) -> RunReport {
+    run_to_completion_with(ft, msgs, cfg, &mut NoopRecorder)
+}
+
+/// [`run_to_completion`] with a telemetry [`Recorder`] observing the run:
+/// [`Recorder::cycle_start`] / [`Recorder::cycle_end`] per delivery cycle
+/// and [`Recorder::channel_load`] per channel per cycle (via
+/// [`SimArena::cycle_with`]). With [`NoopRecorder`] this is exactly
+/// [`run_to_completion`].
+pub fn run_to_completion_with<R: Recorder>(
+    ft: &FatTree,
+    msgs: &MessageSet,
+    cfg: &SimConfig,
+    rec: &mut R,
+) -> RunReport {
     let mut arena = SimArena::new(ft, cfg);
+    if R::ENABLED {
+        rec.run_start(ft.height());
+    }
     let mut pending: Vec<Message> = msgs.iter().copied().collect();
     let mut ids: Vec<u32> = (0..pending.len() as u32).collect();
     let mut cycles = 0usize;
@@ -945,11 +991,17 @@ pub fn run_to_completion(ft: &FatTree, msgs: &MessageSet, cfg: &SimConfig) -> Ru
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15),
             );
         }
-        let stats = arena.cycle(ft, &pending, &cycle_cfg);
+        if R::ENABLED {
+            rec.cycle_start(cycles as u32, pending.len() as u32);
+        }
+        let stats = arena.cycle_with(ft, &pending, &cycle_cfg, rec);
         assert!(
             stats.delivered > 0,
             "no progress in a delivery cycle — switch cannot route even one message"
         );
+        if R::ENABLED {
+            rec.cycle_end(cycles as u32, stats.delivered as u32);
+        }
         cycles += 1;
         delivered_per_cycle.push(stats.delivered);
         total_ticks += stats.ticks as u64;

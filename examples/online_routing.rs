@@ -16,13 +16,11 @@ fn main() {
     let ft = FatTree::universal(n, 64);
     let mut rng = SplitMix64::seed_from_u64(8);
     // One arena reused for every workload: buffers grow once, then the
-    // per-cycle loop is allocation-free. Counters are on so each row can
-    // report its retry traffic.
+    // per-cycle loop is allocation-free. A metrics recorder rides along so
+    // each row can report its retry traffic.
     let mut arena = OnlineArena::new(&ft);
-    let cfg = OnlineConfig {
-        counters: true,
-        ..Default::default()
-    };
+    let mut rec = MetricsRecorder::new();
+    let cfg = OnlineConfig::default();
 
     println!("on-line vs off-line delivery cycles, universal fat-tree n = {n}, w = 64\n");
     println!(
@@ -30,11 +28,16 @@ fn main() {
         "workload", "λ(M)", "off-line", "on-line", "λ+lg n·lglg n", "resends"
     );
 
-    let row = |name: String, msgs: &MessageSet, rng: &mut SplitMix64, arena: &mut OnlineArena| {
+    let row = |name: String,
+               msgs: &MessageSet,
+               rng: &mut SplitMix64,
+               arena: &mut OnlineArena,
+               rec: &mut MetricsRecorder| {
         let lambda = load_factor(&ft, msgs);
         let (offline, _) = schedule_theorem1(&ft, msgs);
-        arena.run(&ft, msgs, rng, cfg);
-        let resends = arena.counters().expect("counters on").total_blocked();
+        rec.reset();
+        arena.run_with(&ft, msgs, rng, cfg, rec);
+        let resends = rec.total_blocked();
         println!(
             "{:<26} {:>7.2} {:>9} {:>9} {:>14.1} {:>8}",
             name,
@@ -53,11 +56,18 @@ fn main() {
             &msgs,
             &mut rng,
             &mut arena,
+            &mut rec,
         );
     }
 
     let msgs = workloads::bit_complement(n);
-    row("bit complement".to_string(), &msgs, &mut rng, &mut arena);
+    row(
+        "bit complement".to_string(),
+        &msgs,
+        &mut rng,
+        &mut arena,
+        &mut rec,
+    );
 
     println!();
     println!("The on-line process needs no global knowledge — congested concentrators");

@@ -22,4 +22,15 @@ cargo bench --workspace --no-run
 echo "==> ft-perf --smoke"
 cargo run --release -p ft-bench --bin ft-perf -- --smoke
 
+echo "==> ftsim report / trace smoke (telemetry)"
+report_json="$(cargo run --release --quiet --bin ftsim -- \
+  report --n 64 --w 16 --workload krel:2 --format json)"
+case "$report_json" in
+  '{"schema":"ftsim-report/v1"'*'}') ;;
+  *) echo "ftsim report --format json emitted an unexpected document" >&2
+     exit 1 ;;
+esac
+cargo run --release --quiet --bin ftsim -- \
+  trace --n 32 --w 8 --workload perm --events 256 --verify 1 > /dev/null
+
 echo "All checks passed."

@@ -5,6 +5,9 @@
 //! ftsim schedule   --n 256 --w 64 --workload perm [--scheduler thm1] [--seed 1]
 //! ftsim online     --n 256 --w 64 --workload krel:8
 //! ftsim simulate   --n 256 --w 64 --workload complement [--switch partial] [--arb random]
+//! ftsim report     --n 256 --w 64 --workload perm [--format json]
+//! ftsim trace      --n 64 --workload perm [--engine online|simulate|schedule]
+//!                  [--events 4096] [--format jsonl|csv] [--verify 1]
 //! ftsim universality --net mesh3d --side 4
 //! ftsim emulate    --net hypercube --dim 6
 //! ftsim layout     --n 1024 --w 128
@@ -13,7 +16,15 @@
 //! Workloads: `perm`, `complement`, `reversal`, `transpose`, `shuffle`,
 //! `fem`, `hotspot`, `krel:K`, `local:P` (P = far-probability percent),
 //! `exchange`.
+//!
+//! `report` runs the workload through every engine with a
+//! [`MetricsRecorder`] and prints the per-level λ breakdown, on-line
+//! contention, channel load histograms, and cascade matching statistics
+//! (one JSON object with `--format json`). `trace` captures packed events
+//! from one engine in a ring buffer and writes them as JSONL or CSV;
+//! `--verify 1` re-parses the JSONL and fails on any mismatch.
 
+use fat_tree::concentrator::{Cascade, Concentrator, MatchingArena};
 use fat_tree::core::rng::SplitMix64;
 use fat_tree::layout::FatTreeLayout;
 use fat_tree::networks::{
@@ -22,7 +33,9 @@ use fat_tree::networks::{
 };
 use fat_tree::prelude::*;
 use fat_tree::sched::online::online_bound_shape;
-use fat_tree::sim::Arbitration;
+use fat_tree::sched::SchedArena;
+use fat_tree::sim::{run_to_completion_with, Arbitration};
+use fat_tree::telemetry::parse_jsonl;
 use fat_tree::universal::Emulation;
 use fat_tree::workloads;
 use std::collections::HashMap;
@@ -40,6 +53,8 @@ fn main() {
         "schedule" => cmd_schedule(&opts),
         "online" => cmd_online(&opts),
         "simulate" => cmd_simulate(&opts),
+        "report" => cmd_report(&opts),
+        "trace" => cmd_trace(&opts),
         "universality" => cmd_universality(&opts),
         "emulate" => cmd_emulate(&opts),
         "layout" => cmd_layout(&opts),
@@ -54,7 +69,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: ftsim <tree|schedule|online|simulate|universality|emulate|layout> [--key value]…\n\
+        "usage: ftsim <tree|schedule|online|simulate|report|trace|universality|emulate|layout> [--key value]…\n\
          see the module docs (src/bin/ftsim.rs) for options"
     );
 }
@@ -193,24 +208,21 @@ fn cmd_online(opts: &HashMap<String, String>) {
     let mut rng = rng_from(opts);
     let msgs = workload_from(opts, ft.n(), &mut rng);
     let lambda = load_factor(&ft, &msgs);
-    let cfg = OnlineConfig {
-        counters: true,
-        ..Default::default()
-    };
-    let res = route_online(&ft, &msgs, &mut rng, cfg);
+    let mut rec = MetricsRecorder::new();
+    let res =
+        OnlineArena::new(&ft).route_with(&ft, &msgs, &mut rng, OnlineConfig::default(), &mut rec);
     println!(
         "on-line: {} messages, λ = {lambda:.2} → {} cycles (shape λ+lg n·lglg n = {:.1})",
         msgs.len(),
         res.cycles,
         online_bound_shape(&ft, lambda)
     );
-    let c = res.counters.expect("counters requested");
-    match c.hottest_level() {
+    match rec.hottest_level() {
         Some(l) => println!(
             "contention: {} resends, hottest at level {l} ({} blocked); blocked root→leaf: {}",
-            c.total_blocked(),
-            c.blocked[l as usize],
-            c.blocked[1..]
+            rec.total_blocked(),
+            rec.blocked[l as usize],
+            rec.blocked[1..]
                 .iter()
                 .map(u64::to_string)
                 .collect::<Vec<_>>()
@@ -254,6 +266,168 @@ fn cmd_simulate(opts: &HashMap<String, String>) {
         run.total_ticks
     );
     println!("per-cycle deliveries: {:?}", run.delivered_per_cycle);
+}
+
+/// Every engine, one workload, one machine-readable story: per-level λ
+/// breakdown from the Theorem 1 sweep, on-line wire contention, bit-serial
+/// channel load histograms, and cascade matching statistics.
+fn cmd_report(opts: &HashMap<String, String>) {
+    let ft = tree_from(opts);
+    let mut rng = rng_from(opts);
+    let spec = opts
+        .get("workload")
+        .cloned()
+        .unwrap_or_else(|| "perm".into());
+    let msgs = workload_from(opts, ft.n(), &mut rng);
+    let as_json = opts.get("format").map(String::as_str) == Some("json");
+    let lambda = load_factor(&ft, &msgs);
+
+    // Off-line: the λ(M) sweep and the splitter's bucket behaviour.
+    let mut sched_rec = MetricsRecorder::new();
+    let (schedule, _) = SchedArena::new(&ft).schedule_with(&ft, &msgs, 1, &mut sched_rec);
+
+    // On-line: per-level claimed/blocked/wasted contention.
+    let mut online_rec = MetricsRecorder::new();
+    let online_res = OnlineArena::new(&ft).route_with(
+        &ft,
+        &msgs,
+        &mut rng,
+        OnlineConfig::default(),
+        &mut online_rec,
+    );
+
+    // Bit-serial machine: channel load vs. capacity per level per cycle.
+    let mut sim_rec = MetricsRecorder::new();
+    let run = run_to_completion_with(&ft, &msgs, &SimConfig::default(), &mut sim_rec);
+
+    // Concentrator hardware at the root width: matching sizes, BFS rounds,
+    // and augmenting paths per cascade stage over random guaranteed loads.
+    let mut conc_rec = MetricsRecorder::new();
+    let r = (ft.root_capacity() as usize * 3).max(12);
+    let cascade = Cascade::new(r, (r / 3).max(4), &mut rng);
+    let k = cascade.guaranteed().min(r);
+    let mut matching = MatchingArena::new();
+    for _ in 0..8 {
+        let active = rng.sample_indices(r, k);
+        let _ = cascade.route_traced(&mut matching, &active, &mut conc_rec);
+    }
+
+    if as_json {
+        println!(
+            "{{\"schema\":\"ftsim-report/v1\",\"workload\":\"{spec}\",\"n\":{},\"w\":{},\"messages\":{},\"lambda\":{lambda:.6},\"offline_cycles\":{},\"online_cycles\":{},\"sim_cycles\":{},\"cascade\":{{\"inputs\":{r},\"outputs\":{},\"guaranteed\":{k}}},\"schedule\":{},\"online\":{},\"simulate\":{},\"concentrator\":{}}}",
+            ft.n(),
+            ft.root_capacity(),
+            msgs.len(),
+            schedule.num_cycles(),
+            online_res.cycles,
+            run.cycles,
+            cascade.outputs(),
+            sched_rec.to_json(),
+            online_rec.to_json(),
+            sim_rec.to_json(),
+            conc_rec.to_json(),
+        );
+        return;
+    }
+
+    println!(
+        "report: workload {spec}, n = {}, w = {}, {} messages",
+        ft.n(),
+        ft.root_capacity(),
+        msgs.len()
+    );
+    println!(
+        "λ(M) = {lambda:.2} (max over levels {:.2}); Theorem 1 schedules {} cycles, on-line {}, bit-serial {}",
+        sched_rec.lambda_max(),
+        schedule.num_cycles(),
+        online_res.cycles,
+        run.cycles
+    );
+    println!("λ contribution by level (root = 1):");
+    print!("{}", sched_rec.render_lambda());
+    println!(
+        "splitter: {} buckets split, sizes(log2) {}",
+        sched_rec.splits.iter().sum::<u64>(),
+        sched_rec.split_sizes.render()
+    );
+    match online_rec.hottest_level() {
+        Some(l) => println!(
+            "on-line contention: {} resends, hottest level {l} ({} blocked)",
+            online_rec.total_blocked(),
+            online_rec.blocked[l as usize]
+        ),
+        None => println!("on-line contention: no message was ever blocked"),
+    }
+    print!("{}", online_rec.render_contention());
+    println!("channel load vs. capacity (eighths of cap, per level):");
+    print!("{}", sim_rec.render_load());
+    println!(
+        "concentrator cascade {r} → {} wires (guaranteed load {k}), 8 random trials:",
+        cascade.outputs()
+    );
+    print!("{}", conc_rec.render_stages());
+}
+
+/// Capture packed trace events from one engine and export them.
+fn cmd_trace(opts: &HashMap<String, String>) {
+    let ft = tree_from(opts);
+    let mut rng = rng_from(opts);
+    let msgs = workload_from(opts, ft.n(), &mut rng);
+    let events = get_u32(opts, "events", 4096) as usize;
+    let engine = opts.get("engine").map(String::as_str).unwrap_or("online");
+    let format = opts.get("format").map(String::as_str).unwrap_or("jsonl");
+    let verify = opts.get("verify").is_some_and(|v| v != "0" && v != "false");
+
+    let mut rec = MetricsRecorder::with_trace(events);
+    match engine {
+        "online" => {
+            OnlineArena::new(&ft).route_with(
+                &ft,
+                &msgs,
+                &mut rng,
+                OnlineConfig::default(),
+                &mut rec,
+            );
+        }
+        "simulate" => {
+            run_to_completion_with(&ft, &msgs, &SimConfig::default(), &mut rec);
+        }
+        "schedule" => {
+            SchedArena::new(&ft).schedule_with(&ft, &msgs, 1, &mut rec);
+        }
+        other => {
+            eprintln!("unknown engine: {other} (expected online|simulate|schedule)");
+            exit(2);
+        }
+    }
+
+    match format {
+        "jsonl" => {
+            let out = rec.ring.export_jsonl();
+            if verify {
+                let parsed = parse_jsonl(&out).unwrap_or_else(|e| {
+                    eprintln!("trace verify failed: {e}");
+                    exit(1);
+                });
+                let original: Vec<_> = rec.ring.iter().collect();
+                if parsed != original {
+                    eprintln!("trace verify failed: round-trip mismatch");
+                    exit(1);
+                }
+                eprintln!(
+                    "trace verified: {} events round-tripped ({} dropped by the ring)",
+                    parsed.len(),
+                    rec.ring.dropped()
+                );
+            }
+            print!("{out}");
+        }
+        "csv" => print!("{}", rec.ring.export_csv()),
+        other => {
+            eprintln!("unknown format: {other} (expected jsonl|csv)");
+            exit(2);
+        }
+    }
 }
 
 fn cmd_universality(opts: &HashMap<String, String>) {

@@ -12,6 +12,7 @@
 //! | [`networks`] | §I, §VI | hypercube, meshes, torus, tree, butterfly, CCC, Beneš |
 //! | [`workloads`] | §I–§III | permutations, k-relations, locality, FEM, hot-spots |
 //! | [`universal`] | §VI | the Theorem 10 pipeline |
+//! | [`telemetry`] | — | recorder trait, metrics registry, packed event tracing |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use ft_layout as layout;
 pub use ft_networks as networks;
 pub use ft_sched as sched;
 pub use ft_sim as sim;
+pub use ft_telemetry as telemetry;
 pub use ft_universal as universal;
 pub use ft_workloads as workloads;
 
@@ -64,8 +66,9 @@ pub mod prelude {
     pub use ft_networks::FixedConnectionNetwork;
     pub use ft_sched::{
         route_online, schedule_bigcap, schedule_greedy, schedule_theorem1, OnlineArena,
-        OnlineConfig, OnlineCounters, Schedule,
+        OnlineConfig, Schedule,
     };
     pub use ft_sim::{run_to_completion, simulate_cycle, SimConfig, SwitchKind};
+    pub use ft_telemetry::{MetricsRecorder, NoopRecorder, Recorder};
     pub use ft_universal::{simulate_on_fat_tree, Identification};
 }

@@ -78,6 +78,80 @@ fn online_universality_emulate_layout() {
 }
 
 #[test]
+fn report_prints_every_section() {
+    let (ok, stdout, stderr) = ftsim(&["report", "--n", "64", "--w", "16", "--workload", "perm"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("λ contribution by level"), "{stdout}");
+    assert!(stdout.contains("on-line contention"), "{stdout}");
+    assert!(stdout.contains("load/cap eighths"), "{stdout}");
+    assert!(stdout.contains("concentrator cascade"), "{stdout}");
+    assert!(stdout.contains("stage 0"), "{stdout}");
+}
+
+#[test]
+fn report_json_carries_every_engine_block() {
+    let (ok, stdout, stderr) = ftsim(&[
+        "report",
+        "--n",
+        "64",
+        "--w",
+        "16",
+        "--workload",
+        "perm",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "{stderr}");
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{stdout}");
+    for key in [
+        "\"schema\":\"ftsim-report/v1\"",
+        "\"lambda\":",
+        "\"schedule\":{",
+        "\"online\":{",
+        "\"simulate\":{",
+        "\"concentrator\":{",
+        "\"stages\":[",
+    ] {
+        assert!(line.contains(key), "missing {key} in {line}");
+    }
+}
+
+#[test]
+fn trace_jsonl_round_trips_and_csv_has_header() {
+    let (ok, stdout, stderr) = ftsim(&[
+        "trace",
+        "--n",
+        "32",
+        "--w",
+        "8",
+        "--workload",
+        "perm",
+        "--events",
+        "64",
+        "--verify",
+        "1",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("trace verified"), "{stderr}");
+    assert!(stdout.lines().count() > 0);
+    let parsed = fat_tree::telemetry::parse_jsonl(&stdout).expect("CLI JSONL must parse");
+    assert!(!parsed.is_empty());
+
+    for engine in ["simulate", "schedule"] {
+        let (ok, stdout, stderr) = ftsim(&[
+            "trace", "--n", "32", "--w", "8", "--engine", engine, "--format", "csv",
+        ]);
+        assert!(ok, "engine {engine}: {stderr}");
+        assert!(
+            stdout.starts_with(fat_tree::telemetry::CSV_HEADER),
+            "engine {engine}: {stdout}"
+        );
+        assert!(stdout.lines().count() > 1, "engine {engine} traced nothing");
+    }
+}
+
+#[test]
 fn rejects_garbage() {
     let (ok, _, stderr) = ftsim(&["frobnicate"]);
     assert!(!ok);
