@@ -38,6 +38,7 @@ use ft_core::rng::SplitMix64;
 use ft_core::{FatTree, Message, MessageSet};
 use ft_sched::reference::{route_online_reference, schedule_theorem1_reference};
 use ft_sched::{OnlineArena, OnlineConfig, SchedArena};
+use ft_shard::{run_sharded, ShardConfig, ShardRunStats};
 use ft_sim::reference::{run_to_completion_reference, simulate_cycle_reference};
 use ft_sim::{compile_cycle, run_to_completion, SimArena, SimConfig};
 use ft_telemetry::MetricsRecorder;
@@ -119,6 +120,9 @@ struct Harness {
     /// workload, MetricsRecorder::to_json())`, attached to the JSON so a
     /// perf regression comes with its congestion story.
     gate_runs: Vec<(&'static str, u32, &'static str, String)>,
+    /// Barrier/transport telemetry from the sharded duel's verification
+    /// run: `(n, shards, stats, matches_single_arena)`.
+    shard_stats: Option<(u32, u32, ShardRunStats, bool)>,
 }
 
 impl Harness {
@@ -185,6 +189,7 @@ fn main() {
         speedups: Vec::new(),
         capped: Vec::new(),
         gate_runs: Vec::new(),
+        shard_stats: None,
     };
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
 
@@ -374,6 +379,54 @@ fn main() {
         }
     }
 
+    // --- run_sharded vs run_to_completion: the distributed engine against
+    // the single arena it must reproduce byte for byte. Each iteration
+    // pays the full protocol — worker spawn, INIT, per-cycle Batch/Claims/
+    // Incoming/Outcomes barriers — so the ratio *is* the sharding overhead
+    // on one host. No gate: the duel documents the barrier cost (a ratio
+    // below 1.0 is expected here), it does not assert a win.
+    {
+        let n: u32 = if smoke { 256 } else { 1 << 14 };
+        let ft = tree(n);
+        let cfg = SimConfig::default();
+        let shards = 4u32;
+        let msgs: MessageSet = workload("random2", n, 0xBEEF ^ n as u64)
+            .into_iter()
+            .collect();
+        let shard_cfg = ShardConfig::new(shards, cfg);
+        let name_a = format!("run_sharded/sharded{shards}-inproc/n={n}/random2");
+        let name_b = format!("run_sharded/single-arena/n={n}/random2");
+        let d = bench_duel(
+            &name_a,
+            &name_b,
+            2 * h.budget,
+            &mut || {
+                run_sharded(&ft, &msgs, &shard_cfg)
+                    .expect("sharded run")
+                    .run
+                    .cycles
+            },
+            &mut || run_to_completion(&ft, &msgs, &cfg).cycles,
+        );
+        h.push("run_sharded", "sharded-inproc", n, "random2", &d.a);
+        h.push("run_sharded", "single-arena", n, "random2", &d.b);
+        h.speedups.push(Speedup {
+            op: "run_sharded",
+            n,
+            workload: "random2",
+            speedup: d.ratio,
+        });
+        // One verification run whose transport telemetry lands in the JSON
+        // `shard` block alongside the equality check.
+        let got = run_sharded(&ft, &msgs, &shard_cfg).expect("sharded run");
+        let want = run_to_completion(&ft, &msgs, &cfg);
+        let matches = got.run.delivered_per_cycle == want.delivered_per_cycle
+            && got.run.delivery_order == want.delivery_order
+            && got.run.total_ticks == want.total_ticks;
+        assert!(matches, "sharded run diverged from the single arena");
+        h.shard_stats = Some((n, shards, got.stats, matches));
+    }
+
     // --- Report.
     println!();
     for s in &h.speedups {
@@ -390,9 +443,17 @@ fn main() {
     // semantics. DESIGN.md section 9 records the optimization journey and
     // the rejected alternatives. 2.25 leaves the same ~12% noise margin the
     // other two gates carry.
+    //
+    // The schedule_theorem1 gate was originally 4x, set when the host
+    // measured 4.14-4.21x — a ~4% margin that day-to-day frequency drift
+    // eats: the *unchanged seed commit* later measured 3.55-3.97x on the
+    // same machine across four full runs. The gate exists to catch real
+    // regressions (the arena is ~4x the clone-based reference), not to
+    // re-litigate host clocking, so it now carries the same ~12% margin
+    // below the observed floor that the other gates do.
     let gates: [(&str, &str, u32, f64); 3] = [
         ("simulate_cycle", "permutation", 1 << 14, 5.0),
-        ("schedule_theorem1", "random2", 1 << 14, 4.0),
+        ("schedule_theorem1", "random2", 1 << 14, 3.25),
         ("online_route", "random2", 1 << 12, 2.25),
     ];
     for (op, wl, gate_n, target) in gates {
@@ -478,7 +539,26 @@ fn to_json(h: &Harness) -> String {
             s.op, s.n, s.workload, s.speedup
         ));
     }
-    out.push_str("  ],\n  \"telemetry\": {\n");
+    out.push_str("  ],\n");
+    if let Some((n, shards, st, matches)) = &h.shard_stats {
+        let ns_list = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+        out.push_str(&format!(
+            "  \"shard\": {{\"n\": {n}, \"shards\": {shards}, \"transport\": \"{}\", \"matches_single_arena\": {matches}, \"frames_sent\": {}, \"frames_received\": {}, \"bytes_sent\": {}, \"bytes_received\": {}, \"retries\": {}, \"checksum_rejects\": {}, \"duplicates\": {}, \"barrier_wait_ns\": {}, \"top_ns\": {}, \"shard_up_ns\": [{}], \"shard_down_ns\": [{}]}},\n",
+            st.transport,
+            st.frames_sent,
+            st.frames_received,
+            st.words_sent * 8,
+            st.words_received * 8,
+            st.retries,
+            st.checksum_rejects,
+            st.duplicates,
+            st.barrier_wait_ns,
+            st.top_ns,
+            ns_list(&st.shard_up_ns),
+            ns_list(&st.shard_down_ns),
+        ));
+    }
+    out.push_str("  \"telemetry\": {\n");
     out.push_str(&format!(
         "    \"size_caps\": {{\"run_to_completion_hotspot\": {RTC_HOTSPOT_CAP}, \"run_to_completion_hotspot_reference\": {RTC_REF_HOTSPOT_CAP}, \"online_route_hotspot_duel\": {ONLINE_HOTSPOT_DUEL_CAP}, \"reference_duel\": {REFERENCE_DUEL_CAP}}},\n"
     ));

@@ -1,0 +1,555 @@
+//! The cross-shard coordinator: drives N shard workers through delivery
+//! cycles and arbitrates the root levels, reproducing
+//! [`ft_sim::run_to_completion`] byte for byte.
+//!
+//! Per cycle, every shard runs three barriers:
+//!
+//! 1. **Batch → Claims**: each shard simulates its subtree's up passes and
+//!    returns the surviving root-crossers.
+//! 2. **Top arbitration** (coordinator-local): the claims of *all* shards,
+//!    merged in global-id order, pass through the levels above the shard
+//!    boundary in one [`SimArena`]. Merging by id makes the contender set
+//!    per root channel independent of shard count and claim arrival order,
+//!    and random arbitration hashes the coordinator-global message id — so
+//!    outcomes are invariant under resharding.
+//! 3. **Incoming → Outcomes**: survivors descend their destination shard's
+//!    subtree; shards report delivered ids and cycle ticks.
+//!
+//! Every exchange is a numbered idempotent request with bounded
+//! retry/backoff on timeout; unanswerable links degrade into a structured
+//! [`ShardError`], never a hang.
+
+use crate::fault::{FaultPlan, FaultState, SendFate};
+use crate::proto::{BatchMsg, ClaimsMsg, InitMsg, OutcomesMsg};
+use crate::transport::{InProcTransport, PipeTransport, Transport, TransportError};
+use crate::wire::{self, FrameKind};
+use ft_core::{FatTree, Message, MessageSet};
+use ft_sim::{Arbitration, RunReport, ShardClaim, SimArena, SimConfig};
+use ft_telemetry::{NoopRecorder, Recorder};
+use std::time::{Duration, Instant};
+
+/// How the coordinator reaches its workers.
+#[derive(Clone, Debug)]
+pub enum TransportKind {
+    /// Worker threads in this process (channels).
+    InProcess,
+    /// One worker child process per shard; `cmd[0]` is the executable,
+    /// `cmd[1..]` its arguments — typically `[<ftsim>, "shard-worker"]`.
+    Pipe { cmd: Vec<String> },
+}
+
+/// A sharded run's configuration.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Number of shards; a power of two with `lg shards ≤ tree height`.
+    /// Shard `s` owns the subtree under heap node `shards + s`.
+    pub shards: u32,
+    /// The simulation config (shared by every shard and the top arena).
+    pub sim: SimConfig,
+    pub transport: TransportKind,
+    /// Frame-level fault injection on both directions of every link.
+    pub faults: FaultPlan,
+    /// How long one awaited reply may take before a retry.
+    pub timeout: Duration,
+    /// Retransmits after the first attempt.
+    pub retries: u32,
+    /// Sleep between retries.
+    pub backoff: Duration,
+}
+
+impl ShardConfig {
+    /// In-process transport, no faults, and retry bounds generous enough
+    /// that a healthy run never trips them.
+    pub fn new(shards: u32, sim: SimConfig) -> Self {
+        ShardConfig {
+            shards,
+            sim,
+            transport: TransportKind::InProcess,
+            faults: FaultPlan::none(),
+            timeout: Duration::from_secs(5),
+            retries: 4,
+            backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Why a sharded run could not complete. Every variant is a terminal,
+/// reportable state — the coordinator never hangs on a sick link.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// The configuration cannot describe a valid sharding.
+    BadConfig(String),
+    /// A worker process could not be spawned.
+    Spawn(String),
+    /// A shard never answered within the retry budget.
+    Timeout { shard: u32, seq: u32, attempts: u32 },
+    /// A link carried something the protocol cannot explain.
+    Protocol { shard: u32, what: String },
+    /// A worker reported an unrecoverable error code.
+    Worker { shard: u32, code: u64 },
+    /// A cycle delivered nothing — the switch cannot route even one
+    /// message (the sharded analogue of `run_to_completion`'s panic).
+    NoProgress { cycle: usize },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::BadConfig(why) => write!(f, "bad shard config: {why}"),
+            ShardError::Spawn(why) => write!(f, "worker spawn failed: {why}"),
+            ShardError::Timeout {
+                shard,
+                seq,
+                attempts,
+            } => write!(
+                f,
+                "shard {shard} never answered request {seq} ({attempts} attempts)"
+            ),
+            ShardError::Protocol { shard, what } => {
+                write!(f, "protocol violation on shard {shard}: {what}")
+            }
+            ShardError::Worker { shard, code } => {
+                write!(f, "shard {shard} failed with worker error code {code}")
+            }
+            ShardError::NoProgress { cycle } => {
+                write!(f, "no progress in delivery cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl ShardError {
+    /// Machine-readable kind tag, stable for scripts and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ShardError::BadConfig(_) => "bad_config",
+            ShardError::Spawn(_) => "spawn",
+            ShardError::Timeout { .. } => "timeout",
+            ShardError::Protocol { .. } => "protocol",
+            ShardError::Worker { .. } => "worker",
+            ShardError::NoProgress { .. } => "no_progress",
+        }
+    }
+}
+
+/// Transport and barrier telemetry for one sharded run.
+#[derive(Clone, Debug, Default)]
+pub struct ShardRunStats {
+    pub shards: u32,
+    /// Transport name (`"inproc"` / `"pipe"`).
+    pub transport: &'static str,
+    /// Physical frames put on the wire (after fault drops/duplicates).
+    pub frames_sent: u64,
+    pub frames_received: u64,
+    /// Word volume of those frames (×8 for bytes).
+    pub words_sent: u64,
+    pub words_received: u64,
+    /// Request retransmits after a timeout.
+    pub retries: u64,
+    /// Received frames rejected by checksum/decode.
+    pub checksum_rejects: u64,
+    /// Received frames discarded as stale duplicates.
+    pub duplicates: u64,
+    /// Total coordinator time blocked waiting on shard replies.
+    pub barrier_wait_ns: u64,
+    /// Coordinator time in top-level arbitration.
+    pub top_ns: u64,
+    /// Per-shard self-reported up-phase compute time.
+    pub shard_up_ns: Vec<u64>,
+    /// Per-shard self-reported down-phase compute time.
+    pub shard_down_ns: Vec<u64>,
+}
+
+/// A completed sharded run: the engine-identical [`RunReport`] plus
+/// transport telemetry.
+#[derive(Clone, Debug)]
+pub struct ShardRunReport {
+    pub run: RunReport,
+    pub stats: ShardRunStats,
+}
+
+/// Run `msgs` to completion over `cfg.shards` shards. The returned
+/// [`RunReport`] is byte-identical to `ft_sim::run_to_completion(ft, msgs,
+/// &cfg.sim)` for every shard count and transport.
+pub fn run_sharded(
+    ft: &FatTree,
+    msgs: &MessageSet,
+    cfg: &ShardConfig,
+) -> Result<ShardRunReport, ShardError> {
+    run_sharded_with(ft, msgs, cfg, &mut NoopRecorder)
+}
+
+/// [`run_sharded`] with a telemetry [`Recorder`] observing cycle
+/// boundaries (matching `run_to_completion_with`; per-channel load stays
+/// inside the workers and is not recorded).
+pub fn run_sharded_with<R: Recorder>(
+    ft: &FatTree,
+    msgs: &MessageSet,
+    cfg: &ShardConfig,
+    rec: &mut R,
+) -> Result<ShardRunReport, ShardError> {
+    if cfg.shards == 0 || !cfg.shards.is_power_of_two() {
+        return Err(ShardError::BadConfig(format!(
+            "shard count {} is not a power of two",
+            cfg.shards
+        )));
+    }
+    let boundary = cfg.shards.trailing_zeros();
+    if boundary > ft.height() {
+        return Err(ShardError::BadConfig(format!(
+            "{} shards exceed the tree's {} top-level subtrees",
+            cfg.shards,
+            1u64 << ft.height()
+        )));
+    }
+    let transport: Box<dyn Transport> = match &cfg.transport {
+        TransportKind::InProcess => Box::new(InProcTransport::spawn(cfg.shards as usize)),
+        TransportKind::Pipe { cmd } => Box::new(
+            PipeTransport::spawn(cmd, cfg.shards as usize)
+                .map_err(|e| ShardError::Spawn(e.to_string()))?,
+        ),
+    };
+    Coordinator::new(ft, cfg, boundary, transport).run(msgs, rec)
+}
+
+struct Coordinator<'a> {
+    ft: &'a FatTree,
+    cfg: &'a ShardConfig,
+    boundary: u32,
+    transport: Box<dyn Transport>,
+    /// Next request sequence number, per link.
+    seq: Vec<u32>,
+    /// Fault injection on the coordinator→worker direction, per link.
+    faults: Vec<Option<FaultState>>,
+    stats: ShardRunStats,
+}
+
+impl<'a> Coordinator<'a> {
+    fn new(
+        ft: &'a FatTree,
+        cfg: &'a ShardConfig,
+        boundary: u32,
+        transport: Box<dyn Transport>,
+    ) -> Self {
+        let shards = cfg.shards as usize;
+        Coordinator {
+            ft,
+            cfg,
+            boundary,
+            transport,
+            seq: vec![0; shards],
+            faults: (0..shards)
+                .map(|s| (!cfg.faults.is_none()).then(|| FaultState::new(cfg.faults, s as u64 * 2)))
+                .collect(),
+            stats: ShardRunStats {
+                shards: cfg.shards,
+                shard_up_ns: vec![0; shards],
+                shard_down_ns: vec![0; shards],
+                ..ShardRunStats::default()
+            },
+        }
+    }
+
+    /// Put one logical frame on shard `s`'s link, through fault rolls.
+    fn send_raw(&mut self, s: usize, logical: &[u64]) -> Result<(), ShardError> {
+        let mut copy = logical.to_vec();
+        let fate = match &mut self.faults[s] {
+            Some(fs) => fs.next(&mut copy),
+            None => SendFate::Send,
+        };
+        let copies = match fate {
+            SendFate::Drop => 0,
+            SendFate::Send => 1,
+            SendFate::SendTwice => 2,
+        };
+        for c in 0..copies {
+            let frame = if c + 1 == copies {
+                std::mem::take(&mut copy)
+            } else {
+                copy.clone()
+            };
+            self.stats.frames_sent += 1;
+            self.stats.words_sent += frame.len() as u64;
+            self.transport
+                .send(s, frame)
+                .map_err(|e| ShardError::Protocol {
+                    shard: s as u32,
+                    what: e.to_string(),
+                })?;
+        }
+        Ok(())
+    }
+
+    /// Send request `kind` to shard `s` and wait for a reply of kind
+    /// `expect`, retrying on timeout. Returns the reply payload.
+    fn exchange(
+        &mut self,
+        s: usize,
+        kind: FrameKind,
+        payload: &[u64],
+        expect: FrameKind,
+    ) -> Result<Vec<u64>, ShardError> {
+        self.send_request(s, kind, payload)?;
+        self.await_reply(s, kind, payload, expect)
+    }
+
+    fn send_request(
+        &mut self,
+        s: usize,
+        kind: FrameKind,
+        payload: &[u64],
+    ) -> Result<(), ShardError> {
+        let words = wire::encode(kind, s as u16, self.seq[s], payload);
+        self.send_raw(s, &words)
+    }
+
+    /// Wait for shard `s`'s reply to the outstanding request, retransmitting
+    /// `(kind, payload)` on each timeout up to the retry budget.
+    fn await_reply(
+        &mut self,
+        s: usize,
+        kind: FrameKind,
+        payload: &[u64],
+        expect: FrameKind,
+    ) -> Result<Vec<u64>, ShardError> {
+        let seq = self.seq[s];
+        let attempts = self.cfg.retries + 1;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                std::thread::sleep(self.cfg.backoff);
+                let words = wire::encode(kind, s as u16, seq, payload);
+                self.send_raw(s, &words)?;
+            }
+            let deadline = Instant::now() + self.cfg.timeout;
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                let t0 = Instant::now();
+                let got = self.transport.recv(s, remaining);
+                self.stats.barrier_wait_ns += t0.elapsed().as_nanos() as u64;
+                let words = match got {
+                    Ok(w) => w,
+                    Err(TransportError::Timeout) => break,
+                    Err(e @ TransportError::Closed(_)) => {
+                        return Err(ShardError::Protocol {
+                            shard: s as u32,
+                            what: e.to_string(),
+                        })
+                    }
+                };
+                self.stats.frames_received += 1;
+                self.stats.words_received += words.len() as u64;
+                let frame = match wire::decode(&words) {
+                    Ok(f) => f,
+                    Err(_) => {
+                        // Corrupted in flight: wait for a retransmit or
+                        // time out into one of ours.
+                        self.stats.checksum_rejects += 1;
+                        continue;
+                    }
+                };
+                if frame.seq < seq {
+                    self.stats.duplicates += 1;
+                    continue;
+                }
+                if frame.seq > seq {
+                    return Err(ShardError::Protocol {
+                        shard: s as u32,
+                        what: format!("reply seq {} ahead of request {}", frame.seq, seq),
+                    });
+                }
+                if frame.kind == FrameKind::Error {
+                    return Err(ShardError::Worker {
+                        shard: s as u32,
+                        code: frame.payload.first().copied().unwrap_or(0),
+                    });
+                }
+                if frame.kind != expect {
+                    return Err(ShardError::Protocol {
+                        shard: s as u32,
+                        what: format!("expected {:?} reply, got {:?}", expect, frame.kind),
+                    });
+                }
+                self.seq[s] = seq.wrapping_add(1);
+                return Ok(frame.payload.to_vec());
+            }
+        }
+        Err(ShardError::Timeout {
+            shard: s as u32,
+            seq,
+            attempts,
+        })
+    }
+
+    fn run<R: Recorder>(
+        mut self,
+        msgs: &MessageSet,
+        rec: &mut R,
+    ) -> Result<ShardRunReport, ShardError> {
+        self.stats.transport = self.transport.name();
+        let shards = self.cfg.shards as usize;
+        for s in 0..shards {
+            let init = InitMsg {
+                n: self.ft.n(),
+                boundary: self.boundary,
+                shard: s as u32,
+                sim: self.cfg.sim,
+                plan: self.cfg.faults,
+                profile: self.ft.profile().clone(),
+            };
+            self.exchange(s, FrameKind::Init, &init.encode(), FrameKind::InitAck)?;
+        }
+        if R::ENABLED {
+            rec.run_start(self.ft.height());
+        }
+        let mut top = SimArena::new(self.ft, &self.cfg.sim);
+        let shift = self.ft.height() - self.boundary;
+        let mut pending: Vec<Message> = msgs.iter().copied().collect();
+        let mut orig: Vec<u32> = (0..pending.len() as u32).collect();
+        let mut cycles = 0usize;
+        let mut delivered_per_cycle = Vec::new();
+        let mut delivery_order = Vec::with_capacity(pending.len());
+        let mut total_ticks = 0u64;
+        let mut batches: Vec<(Vec<Message>, Vec<u32>)> = vec![Default::default(); shards];
+        let mut incoming: Vec<Vec<ShardClaim>> = vec![Vec::new(); shards];
+        while !pending.is_empty() {
+            // Identical per-cycle reseed to `run_to_completion`.
+            let arb_seed = match self.cfg.sim.arbitration {
+                Arbitration::Random(seed) => seed
+                    .wrapping_add(cycles as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                Arbitration::SlotOrder => 0,
+            };
+            if R::ENABLED {
+                rec.cycle_start(cycles as u32, pending.len() as u32);
+            }
+            // Barrier 1: batches out, claims in. All requests go out before
+            // any reply is awaited, so shards compute their up phases
+            // concurrently.
+            for b in &mut batches {
+                b.0.clear();
+                b.1.clear();
+            }
+            for (i, m) in pending.iter().enumerate() {
+                let s = ((self.ft.leaf(m.src) >> shift) - self.cfg.shards) as usize;
+                batches[s].0.push(*m);
+                batches[s].1.push(i as u32);
+            }
+            let payloads: Vec<Vec<u64>> = batches
+                .iter()
+                .map(|(m, ids)| BatchMsg::encode(cycles as u64, arb_seed, ids, m))
+                .collect();
+            for (s, p) in payloads.iter().enumerate() {
+                self.send_request(s, FrameKind::Batch, p)?;
+            }
+            let mut claims: Vec<ShardClaim> = Vec::new();
+            for (s, p) in payloads.iter().enumerate() {
+                let reply = self.await_reply(s, FrameKind::Batch, p, FrameKind::Claims)?;
+                let msg = ClaimsMsg::decode(&reply).map_err(|e| ShardError::Protocol {
+                    shard: s as u32,
+                    what: e.to_string(),
+                })?;
+                self.stats.shard_up_ns[s] += msg.compute_ns;
+                claims.extend_from_slice(&msg.claims);
+            }
+            // Top arbitration, on claims merged in global-id order so the
+            // contender sets are shard-count-invariant.
+            let t0 = Instant::now();
+            claims.sort_unstable_by_key(|c| c.id);
+            let mut cycle_cfg = self.cfg.sim;
+            if let Arbitration::Random(_) = cycle_cfg.arbitration {
+                cycle_cfg.arbitration = Arbitration::Random(arb_seed);
+            }
+            top.shard_top(self.ft, &cycle_cfg, self.boundary, &mut claims);
+            for inc in &mut incoming {
+                inc.clear();
+            }
+            for c in claims.drain(..) {
+                if c.alive() {
+                    incoming[c.dst_shard(self.ft.height(), self.boundary) as usize].push(c);
+                }
+            }
+            self.stats.top_ns += t0.elapsed().as_nanos() as u64;
+            // Barrier 2: survivors out, outcomes in. Every shard settles its
+            // down phase even when nothing crossed into it.
+            let payloads: Vec<Vec<u64>> = incoming
+                .iter()
+                .map(|inc| ClaimsMsg::encode(0, inc))
+                .collect();
+            for (s, p) in payloads.iter().enumerate() {
+                self.send_request(s, FrameKind::Incoming, p)?;
+            }
+            let mut delivered = vec![false; pending.len()];
+            let mut cycle_delivered = 0usize;
+            let mut ticks = 0u32;
+            for (s, p) in payloads.iter().enumerate() {
+                let reply = self.await_reply(s, FrameKind::Incoming, p, FrameKind::Outcomes)?;
+                let msg = OutcomesMsg::decode(&reply).map_err(|e| ShardError::Protocol {
+                    shard: s as u32,
+                    what: e.to_string(),
+                })?;
+                self.stats.shard_down_ns[s] += msg.compute_ns;
+                ticks = ticks.max(msg.ticks);
+                for id in msg.delivered {
+                    let slot =
+                        delivered
+                            .get_mut(id as usize)
+                            .ok_or_else(|| ShardError::Protocol {
+                                shard: s as u32,
+                                what: format!("delivered id {id} out of range"),
+                            })?;
+                    if *slot {
+                        return Err(ShardError::Protocol {
+                            shard: s as u32,
+                            what: format!("message {id} delivered twice"),
+                        });
+                    }
+                    *slot = true;
+                    cycle_delivered += 1;
+                }
+            }
+            if cycle_delivered == 0 {
+                return Err(ShardError::NoProgress { cycle: cycles });
+            }
+            if R::ENABLED {
+                rec.cycle_end(cycles as u32, cycle_delivered as u32);
+            }
+            cycles += 1;
+            delivered_per_cycle.push(cycle_delivered);
+            total_ticks += ticks as u64;
+            // FIFO compaction in pending order — the delivery_order grouping
+            // matches the single arena's emit loop exactly.
+            let mut w = 0usize;
+            for i in 0..pending.len() {
+                if delivered[i] {
+                    delivery_order.push(orig[i] as usize);
+                } else {
+                    pending[w] = pending[i];
+                    orig[w] = orig[i];
+                    w += 1;
+                }
+            }
+            pending.truncate(w);
+            orig.truncate(w);
+        }
+        for s in 0..shards {
+            // Best-effort: a shard that dies during shutdown changes
+            // nothing about the completed run.
+            let _ = self.exchange(s, FrameKind::Shutdown, &[], FrameKind::ShutdownAck);
+        }
+        Ok(ShardRunReport {
+            run: RunReport {
+                cycles,
+                delivered_per_cycle,
+                total_ticks,
+                delivery_order,
+            },
+            stats: self.stats,
+        })
+    }
+}

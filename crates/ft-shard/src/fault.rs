@@ -1,0 +1,195 @@
+//! Transport fault injection: deterministic drops, duplicates, corruption,
+//! and slow shards.
+//!
+//! Faults apply at the frame layer, on the *sending* side of a link — both
+//! directions run the same model, each with its own salt, so a run's fault
+//! pattern is a pure function of `(seed, link, direction, send counter)`.
+//! Because retries advance the counter, a retransmitted frame rolls fresh
+//! faults: any drop/corruption rate below 1.0 eventually lets a request
+//! through, and 1.0 deterministically exhausts the retry budget into a
+//! structured [`crate::ShardError`] instead of a hang.
+//!
+//! Corruption flips one bit in a word at index ≥ 2 (payload or checksum).
+//! Words 0–1 are spared by design: the length word is what keeps a byte
+//! stream (pipes) self-framing, so this models a payload corrupted in
+//! flight — caught by the checksum — rather than a desynchronized stream,
+//! which no checksum could recover.
+
+use ft_core::rng::splitmix64;
+
+/// Frame-level fault probabilities and delays. All decisions are
+/// deterministic per seed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a sent frame is silently dropped.
+    pub drop: f64,
+    /// Probability a sent frame is sent twice.
+    pub duplicate: f64,
+    /// Probability one payload/checksum bit is flipped.
+    pub corrupt: f64,
+    /// Fixed delay a worker sleeps before answering (a slow shard).
+    pub delay_ms: u32,
+    /// Seed for every fault decision.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A healthy transport.
+    pub fn none() -> Self {
+        FaultPlan {
+            drop: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            delay_ms: 0,
+            seed: 0,
+        }
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn is_none(&self) -> bool {
+        self.drop <= 0.0 && self.duplicate <= 0.0 && self.corrupt <= 0.0 && self.delay_ms == 0
+    }
+}
+
+/// What to do with the next outgoing frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendFate {
+    /// Deliver it once (possibly corrupted in place).
+    Send,
+    /// Deliver it twice.
+    SendTwice,
+    /// Do not deliver it.
+    Drop,
+}
+
+/// Per-link, per-direction fault state: a send counter driving the
+/// deterministic decision stream.
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    salt: u64,
+    nonce: u64,
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultState {
+    /// State for one direction of one link: `salt` should encode the shard
+    /// index and direction (e.g. `shard * 2 + dir`) so the two directions
+    /// draw independent streams.
+    pub fn new(plan: FaultPlan, salt: u64) -> Self {
+        FaultState {
+            plan,
+            salt,
+            nonce: 0,
+        }
+    }
+
+    /// The worker-side answer delay, if any.
+    pub fn delay(&self) -> Option<std::time::Duration> {
+        (self.plan.delay_ms > 0)
+            .then(|| std::time::Duration::from_millis(self.plan.delay_ms as u64))
+    }
+
+    /// Decide the fate of the next frame send, corrupting `words` in place
+    /// when the corruption draw fires. Advances the decision stream.
+    pub fn next(&mut self, words: &mut [u64]) -> SendFate {
+        if self.plan.is_none() {
+            return SendFate::Send;
+        }
+        let h = splitmix64(
+            self.plan.seed ^ self.salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.nonce << 20,
+        );
+        self.nonce += 1;
+        if unit(h) < self.plan.drop {
+            return SendFate::Drop;
+        }
+        let h2 = splitmix64(h ^ 0xC0);
+        if unit(h2) < self.plan.corrupt && words.len() > 2 {
+            let h3 = splitmix64(h2 ^ 0xB1);
+            let idx = 2 + (h3 as usize % (words.len() - 2));
+            words[idx] ^= 1 << ((h3 >> 32) & 63);
+        }
+        let h4 = splitmix64(h2 ^ 0xD2);
+        if unit(h4) < self.plan.duplicate {
+            SendFate::SendTwice
+        } else {
+            SendFate::Send
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_never_interferes() {
+        let mut fs = FaultState::new(FaultPlan::none(), 0);
+        let mut w = vec![1u64, 2, 3, 4];
+        for _ in 0..100 {
+            assert_eq!(fs.next(&mut w), SendFate::Send);
+        }
+        assert_eq!(w, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_salt() {
+        let plan = FaultPlan {
+            drop: 0.3,
+            duplicate: 0.2,
+            corrupt: 0.2,
+            delay_ms: 0,
+            seed: 42,
+        };
+        let run = |salt: u64| {
+            let mut fs = FaultState::new(plan, salt);
+            (0..64)
+                .map(|_| {
+                    let mut w = vec![0u64; 8];
+                    let fate = fs.next(&mut w);
+                    (fate, w)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "salts should decorrelate the streams");
+    }
+
+    #[test]
+    fn drop_rate_one_drops_everything() {
+        let mut fs = FaultState::new(
+            FaultPlan {
+                drop: 1.0,
+                ..FaultPlan::none()
+            },
+            7,
+        );
+        for _ in 0..32 {
+            assert_eq!(fs.next(&mut [0, 0, 0]), SendFate::Drop);
+        }
+    }
+
+    #[test]
+    fn corruption_spares_the_framing_words() {
+        let mut fs = FaultState::new(
+            FaultPlan {
+                corrupt: 1.0,
+                ..FaultPlan::none()
+            },
+            3,
+        );
+        for _ in 0..64 {
+            let mut w = vec![11u64, 22, 33, 44, 55];
+            fs.next(&mut w);
+            assert_eq!((w[0], w[1]), (11, 22), "framing words must stay intact");
+            assert_ne!(
+                &w[2..],
+                &[33, 44, 55],
+                "corruption draw at 1.0 must flip a bit"
+            );
+        }
+    }
+}

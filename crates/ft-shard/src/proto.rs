@@ -1,0 +1,347 @@
+//! Payload codecs for each frame kind: plain `Vec<u64>` in, typed request
+//! out. Everything is fixed-width words — no varints, no strings — so the
+//! encodings are trivially deterministic and platform-independent.
+
+use crate::fault::FaultPlan;
+use ft_core::{CapacityProfile, FatTree, Message};
+use ft_sim::{Arbitration, FaultModel, ShardClaim, SimConfig, SwitchKind};
+
+/// A malformed payload (valid frame, nonsense contents) — a protocol bug
+/// or an adversarial peer, never something to retry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed payload: {}", self.0)
+    }
+}
+
+fn err<T>(what: &str) -> Result<T, ProtoError> {
+    Err(ProtoError(what.to_string()))
+}
+
+/// Worker-side error codes carried by an `Error` frame.
+pub const ERR_UNINITIALIZED: u64 = 1;
+pub const ERR_SEQ_DESYNC: u64 = 2;
+pub const ERR_BAD_PAYLOAD: u64 = 3;
+
+/// The INIT request: everything a worker needs to build its arena.
+#[derive(Clone, Debug)]
+pub struct InitMsg {
+    pub n: u32,
+    pub boundary: u32,
+    pub shard: u32,
+    pub sim: SimConfig,
+    pub plan: FaultPlan,
+    pub profile: CapacityProfile,
+}
+
+impl InitMsg {
+    pub fn encode(&self) -> Vec<u64> {
+        let mut p = vec![
+            self.n as u64,
+            self.boundary as u64,
+            self.shard as u64,
+            self.sim.payload_bits as u64,
+            match self.sim.switch {
+                SwitchKind::Ideal => 0,
+                SwitchKind::Partial => 1,
+            },
+            match self.sim.arbitration {
+                Arbitration::SlotOrder => 0,
+                Arbitration::Random(_) => 1,
+            },
+            match self.sim.arbitration {
+                Arbitration::SlotOrder => 0,
+                Arbitration::Random(seed) => seed,
+            },
+            self.sim.faults.dead_wire_fraction.to_bits(),
+            self.sim.faults.seed,
+            self.plan.drop.to_bits(),
+            self.plan.duplicate.to_bits(),
+            self.plan.corrupt.to_bits(),
+            self.plan.delay_ms as u64,
+            self.plan.seed,
+        ];
+        match &self.profile {
+            CapacityProfile::Universal { root_capacity } => p.extend([0, *root_capacity, 0]),
+            CapacityProfile::Constant(c) => p.extend([1, *c, 0]),
+            CapacityProfile::FullDoubling => p.extend([2, 0, 0]),
+            CapacityProfile::PerLevel(caps) => {
+                p.extend([3, caps.len() as u64, 0]);
+                p.extend(caps.iter().copied());
+            }
+            CapacityProfile::UniversalWithDegree {
+                root_capacity,
+                degree,
+            } => p.extend([4, *root_capacity, *degree]),
+        }
+        p
+    }
+
+    pub fn decode(p: &[u64]) -> Result<InitMsg, ProtoError> {
+        if p.len() < 17 {
+            return err("INIT too short");
+        }
+        let profile = match p[14] {
+            0 => CapacityProfile::Universal {
+                root_capacity: p[15],
+            },
+            1 => CapacityProfile::Constant(p[15]),
+            2 => CapacityProfile::FullDoubling,
+            3 => {
+                let len = p[15] as usize;
+                if p.len() != 17 + len {
+                    return err("INIT per-level capacity count mismatch");
+                }
+                CapacityProfile::PerLevel(p[17..].to_vec())
+            }
+            4 => CapacityProfile::UniversalWithDegree {
+                root_capacity: p[15],
+                degree: p[16],
+            },
+            _ => return err("INIT unknown capacity profile"),
+        };
+        Ok(InitMsg {
+            n: p[0] as u32,
+            boundary: p[1] as u32,
+            shard: p[2] as u32,
+            sim: SimConfig {
+                payload_bits: p[3] as u32,
+                switch: match p[4] {
+                    0 => SwitchKind::Ideal,
+                    1 => SwitchKind::Partial,
+                    _ => return err("INIT unknown switch kind"),
+                },
+                arbitration: match p[5] {
+                    0 => Arbitration::SlotOrder,
+                    1 => Arbitration::Random(p[6]),
+                    _ => return err("INIT unknown arbitration"),
+                },
+                faults: FaultModel {
+                    dead_wire_fraction: f64::from_bits(p[7]),
+                    seed: p[8],
+                },
+                // Shards *are* the parallelism; each worker arena is serial.
+                threads: 1,
+            },
+            plan: FaultPlan {
+                drop: f64::from_bits(p[9]),
+                duplicate: f64::from_bits(p[10]),
+                corrupt: f64::from_bits(p[11]),
+                delay_ms: p[12] as u32,
+                seed: p[13],
+            },
+            profile,
+        })
+    }
+
+    /// Rebuild the tree this INIT describes.
+    pub fn tree(&self) -> FatTree {
+        FatTree::new(self.n, self.profile.clone())
+    }
+}
+
+/// One cycle's worth of a shard's pending messages.
+pub struct BatchMsg {
+    pub cycle: u64,
+    /// This cycle's reseeded random-arbitration seed (ignored under
+    /// slot-order arbitration).
+    pub arb_seed: u64,
+    pub ids: Vec<u32>,
+    pub msgs: Vec<Message>,
+}
+
+impl BatchMsg {
+    pub fn encode(cycle: u64, arb_seed: u64, ids: &[u32], msgs: &[Message]) -> Vec<u64> {
+        debug_assert_eq!(ids.len(), msgs.len());
+        let mut p = Vec::with_capacity(3 + 2 * msgs.len());
+        p.extend([cycle, arb_seed, msgs.len() as u64]);
+        for (&id, m) in ids.iter().zip(msgs) {
+            p.push(id as u64);
+            p.push((m.src.0 as u64) << 32 | m.dst.0 as u64);
+        }
+        p
+    }
+
+    pub fn decode(p: &[u64]) -> Result<BatchMsg, ProtoError> {
+        if p.len() < 3 {
+            return err("BATCH too short");
+        }
+        let count = p[2] as usize;
+        if p.len() != 3 + 2 * count {
+            return err("BATCH length mismatch");
+        }
+        let mut ids = Vec::with_capacity(count);
+        let mut msgs = Vec::with_capacity(count);
+        for pair in p[3..].chunks_exact(2) {
+            ids.push(pair[0] as u32);
+            msgs.push(Message::new((pair[1] >> 32) as u32, pair[1] as u32));
+        }
+        Ok(BatchMsg {
+            cycle: p[0],
+            arb_seed: p[1],
+            ids,
+            msgs,
+        })
+    }
+}
+
+/// Claim lists ride in two frame kinds with the same body: `Claims`
+/// (worker → coordinator, with the shard's up-phase compute time) and
+/// `Incoming` (coordinator → worker, compute time 0).
+pub struct ClaimsMsg {
+    pub compute_ns: u64,
+    pub claims: Vec<ShardClaim>,
+}
+
+impl ClaimsMsg {
+    pub fn encode(compute_ns: u64, claims: &[ShardClaim]) -> Vec<u64> {
+        let mut p = Vec::with_capacity(2 + 3 * claims.len());
+        p.extend([compute_ns, claims.len() as u64]);
+        for c in claims {
+            p.extend([c.id as u64, c.meta, c.wire as u64]);
+        }
+        p
+    }
+
+    pub fn decode(p: &[u64]) -> Result<ClaimsMsg, ProtoError> {
+        if p.len() < 2 {
+            return err("CLAIMS too short");
+        }
+        let count = p[1] as usize;
+        if p.len() != 2 + 3 * count {
+            return err("CLAIMS length mismatch");
+        }
+        let claims = p[2..]
+            .chunks_exact(3)
+            .map(|c| ShardClaim {
+                id: c[0] as u32,
+                meta: c[1],
+                wire: c[2] as u32,
+            })
+            .collect();
+        Ok(ClaimsMsg {
+            compute_ns: p[0],
+            claims,
+        })
+    }
+}
+
+/// A shard's settled cycle: delivered global ids and the local tick max.
+pub struct OutcomesMsg {
+    pub compute_ns: u64,
+    pub ticks: u32,
+    pub delivered: Vec<u32>,
+}
+
+impl OutcomesMsg {
+    pub fn encode(compute_ns: u64, ticks: u32, delivered: &[u32]) -> Vec<u64> {
+        let mut p = Vec::with_capacity(3 + delivered.len());
+        p.extend([compute_ns, ticks as u64, delivered.len() as u64]);
+        p.extend(delivered.iter().map(|&d| d as u64));
+        p
+    }
+
+    pub fn decode(p: &[u64]) -> Result<OutcomesMsg, ProtoError> {
+        if p.len() < 3 {
+            return err("OUTCOMES too short");
+        }
+        if p.len() != 3 + p[2] as usize {
+            return err("OUTCOMES length mismatch");
+        }
+        Ok(OutcomesMsg {
+            compute_ns: p[0],
+            ticks: p[1] as u32,
+            delivered: p[3..].iter().map(|&d| d as u32).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_roundtrip_every_profile() {
+        let profiles = [
+            CapacityProfile::Universal { root_capacity: 16 },
+            CapacityProfile::Constant(2),
+            CapacityProfile::FullDoubling,
+            CapacityProfile::PerLevel(vec![8, 4, 2, 1]),
+            CapacityProfile::UniversalWithDegree {
+                root_capacity: 32,
+                degree: 3,
+            },
+        ];
+        for profile in profiles {
+            let init = InitMsg {
+                n: 64,
+                boundary: 2,
+                shard: 3,
+                sim: SimConfig {
+                    payload_bits: 48,
+                    switch: SwitchKind::Partial,
+                    arbitration: Arbitration::Random(77),
+                    faults: FaultModel {
+                        dead_wire_fraction: 0.25,
+                        seed: 5,
+                    },
+                    threads: 1,
+                },
+                plan: FaultPlan {
+                    drop: 0.5,
+                    duplicate: 0.25,
+                    corrupt: 0.125,
+                    delay_ms: 9,
+                    seed: 11,
+                },
+                profile: profile.clone(),
+            };
+            let back = InitMsg::decode(&init.encode()).unwrap();
+            assert_eq!(back.n, 64);
+            assert_eq!(back.boundary, 2);
+            assert_eq!(back.shard, 3);
+            assert_eq!(back.sim.payload_bits, 48);
+            assert_eq!(back.sim.arbitration, Arbitration::Random(77));
+            assert_eq!(back.sim.faults.dead_wire_fraction, 0.25);
+            assert_eq!(back.plan.delay_ms, 9);
+            assert_eq!(back.profile, profile);
+        }
+    }
+
+    #[test]
+    fn batch_claims_outcomes_roundtrip() {
+        let ids = [0u32, 5, 9];
+        let msgs = [Message::new(1, 2), Message::new(3, 3), Message::new(0, 7)];
+        let b = BatchMsg::decode(&BatchMsg::encode(4, 0xFEED, &ids, &msgs)).unwrap();
+        assert_eq!((b.cycle, b.arb_seed), (4, 0xFEED));
+        assert_eq!(b.ids, ids);
+        assert_eq!(b.msgs, msgs);
+
+        let claims = [
+            ShardClaim {
+                id: 7,
+                meta: 0xABCD_EF01,
+                wire: 3,
+            },
+            ShardClaim {
+                id: 8,
+                meta: 1,
+                wire: 0,
+            },
+        ];
+        let c = ClaimsMsg::decode(&ClaimsMsg::encode(1234, &claims)).unwrap();
+        assert_eq!(c.compute_ns, 1234);
+        assert_eq!(c.claims, claims);
+
+        let o = OutcomesMsg::decode(&OutcomesMsg::encode(9, 88, &[2, 4, 6])).unwrap();
+        assert_eq!((o.compute_ns, o.ticks), (9, 88));
+        assert_eq!(o.delivered, vec![2, 4, 6]);
+
+        assert!(BatchMsg::decode(&[1]).is_err());
+        assert!(ClaimsMsg::decode(&[0, 5, 1]).is_err());
+        assert!(OutcomesMsg::decode(&[0, 0, 9]).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Pluggable shard transports.
+//!
+//! A [`Transport`] owns one duplex link per shard and moves whole frames
+//! (flat `u64` vectors, see [`crate::wire`]). Two implementations:
+//!
+//! * [`InProcTransport`] — each shard is a thread running the worker loop,
+//!   linked by `mpsc` channels. Zero-copy, no processes; what tests and
+//!   benchmarks use.
+//! * [`PipeTransport`] — each shard is a child *process* (`ftsim
+//!   shard-worker`) speaking little-endian frames over stdin/stdout. A
+//!   reader thread per child feeds an `mpsc` channel so receives can time
+//!   out; children are killed on drop, so a wedged worker cannot outlive
+//!   the coordinator.
+//!
+//! Every receive is bounded by a timeout — the coordinator's retry loop,
+//! not the transport, decides what a missed deadline means.
+
+use std::io::Write as _;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Transport-level failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// No frame arrived within the timeout.
+    Timeout,
+    /// The link is gone (worker exited, pipe closed, spawn failed).
+    Closed(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Timeout => write!(f, "receive timed out"),
+            TransportError::Closed(why) => write!(f, "link closed: {why}"),
+        }
+    }
+}
+
+/// One duplex frame link per shard.
+pub trait Transport {
+    /// Number of shard links.
+    fn shards(&self) -> usize;
+    /// Deliver a frame to shard `shard`.
+    fn send(&mut self, shard: usize, frame: Vec<u64>) -> Result<(), TransportError>;
+    /// Next frame from shard `shard`, waiting at most `timeout`.
+    fn recv(&mut self, shard: usize, timeout: Duration) -> Result<Vec<u64>, TransportError>;
+    /// Human-readable transport name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Worker threads linked by in-process channels.
+pub struct InProcTransport {
+    to_worker: Vec<Sender<Vec<u64>>>,
+    from_worker: Vec<Receiver<Vec<u64>>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl InProcTransport {
+    /// Spawn `shards` worker threads running the standard worker loop.
+    pub fn spawn(shards: usize) -> Self {
+        let mut to_worker = Vec::with_capacity(shards);
+        let mut from_worker = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let (req_tx, req_rx) = mpsc::channel::<Vec<u64>>();
+            let (resp_tx, resp_rx) = mpsc::channel::<Vec<u64>>();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ft-shard-worker-{s}"))
+                    .spawn(move || crate::worker::run_channel(req_rx, resp_tx))
+                    .expect("spawn shard worker thread"),
+            );
+            to_worker.push(req_tx);
+            from_worker.push(resp_rx);
+        }
+        InProcTransport {
+            to_worker,
+            from_worker,
+            handles,
+        }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn shards(&self) -> usize {
+        self.to_worker.len()
+    }
+
+    fn send(&mut self, shard: usize, frame: Vec<u64>) -> Result<(), TransportError> {
+        self.to_worker[shard]
+            .send(frame)
+            .map_err(|_| TransportError::Closed("worker thread exited".into()))
+    }
+
+    fn recv(&mut self, shard: usize, timeout: Duration) -> Result<Vec<u64>, TransportError> {
+        match self.from_worker[shard].recv_timeout(timeout) {
+            Ok(frame) => Ok(frame),
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(TransportError::Closed("worker thread exited".into()))
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "inproc"
+    }
+}
+
+impl Drop for InProcTransport {
+    fn drop(&mut self) {
+        // Closing the request channels makes every worker loop exit; the
+        // joins then cannot block (workers only sleep for bounded fault
+        // delays).
+        self.to_worker.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Child processes speaking length-prefixed frames over stdin/stdout.
+pub struct PipeTransport {
+    children: Vec<Child>,
+    stdin: Vec<std::process::ChildStdin>,
+    from_worker: Vec<Receiver<Vec<u64>>>,
+    readers: Vec<JoinHandle<()>>,
+}
+
+impl PipeTransport {
+    /// Spawn one worker process per shard: `cmd[0]` is the executable,
+    /// `cmd[1..]` its arguments (typically `[ftsim, "shard-worker"]`).
+    pub fn spawn(cmd: &[String], shards: usize) -> Result<Self, TransportError> {
+        if cmd.is_empty() {
+            return Err(TransportError::Closed("empty worker command".into()));
+        }
+        let mut children = Vec::with_capacity(shards);
+        let mut stdin = Vec::with_capacity(shards);
+        let mut from_worker = Vec::with_capacity(shards);
+        let mut readers = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let mut child = Command::new(&cmd[0])
+                .args(&cmd[1..])
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .map_err(|e| TransportError::Closed(format!("spawn {}: {e}", cmd[0])))?;
+            let child_in = child.stdin.take().expect("piped stdin");
+            let mut child_out = child.stdout.take().expect("piped stdout");
+            let (tx, rx): (Sender<Vec<u64>>, _) = mpsc::channel();
+            readers.push(
+                std::thread::Builder::new()
+                    .name(format!("ft-shard-pipe-reader-{s}"))
+                    .spawn(move || {
+                        // Exits on EOF, stream error, or the receiver side
+                        // hanging up — all of which end the link.
+                        while let Ok(Some(frame)) = crate::wire::read_frame(&mut child_out) {
+                            if tx.send(frame).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn pipe reader thread"),
+            );
+            children.push(child);
+            stdin.push(child_in);
+            from_worker.push(rx);
+        }
+        Ok(PipeTransport {
+            children,
+            stdin,
+            from_worker,
+            readers,
+        })
+    }
+}
+
+impl Transport for PipeTransport {
+    fn shards(&self) -> usize {
+        self.children.len()
+    }
+
+    fn send(&mut self, shard: usize, frame: Vec<u64>) -> Result<(), TransportError> {
+        crate::wire::write_frame(&mut self.stdin[shard], &frame)
+            .map_err(|e| TransportError::Closed(format!("worker stdin: {e}")))
+    }
+
+    fn recv(&mut self, shard: usize, timeout: Duration) -> Result<Vec<u64>, TransportError> {
+        match self.from_worker[shard].recv_timeout(timeout) {
+            Ok(frame) => Ok(frame),
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed(
+                "worker process closed its pipe".into(),
+            )),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "pipe"
+    }
+}
+
+impl Drop for PipeTransport {
+    fn drop(&mut self) {
+        // Closing stdin asks each worker to exit at the next frame
+        // boundary; the kill guarantees no orphan survives a wedged or
+        // fault-frozen worker.
+        for mut child_in in self.stdin.drain(..) {
+            let _ = child_in.flush();
+        }
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        for h in self.readers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! The cross-shard wire format: length-prefixed packed-u64 frames.
+//!
+//! Every coordinator↔worker exchange is one *frame* — a flat `u64` vector
+//! so the in-process transport moves it without serialization and the pipe
+//! transport writes it as little-endian words:
+//!
+//! ```text
+//! word 0   magic(16) | kind(8) | shard(16) | seq(24)
+//! word 1   payload length in words
+//! word 2…  payload
+//! last     checksum over every preceding word
+//! ```
+//!
+//! The sequence number makes requests idempotent (workers answer a replayed
+//! request from cache), the checksum catches corrupted frames, and the
+//! length prefix keeps a byte stream self-framing. Fault injection never
+//! touches words 0–1 on purpose: a byte-stream transport (pipes) relies on
+//! the length word for framing, so injected corruption models a payload
+//! flipped in flight, not a desynchronized stream (see [`crate::fault`]).
+
+/// Frame magic, in the top 16 bits of word 0.
+pub const MAGIC: u64 = 0xF75D;
+
+/// Hard cap on payload length: a frame announcing more than this is
+/// rejected as a protocol error instead of a giant allocation or a hang.
+pub const MAX_PAYLOAD_WORDS: u64 = 1 << 24;
+
+/// Frame header + checksum overhead, in words.
+pub const OVERHEAD_WORDS: usize = 3;
+
+/// Frame kinds. Requests flow coordinator → worker, responses back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Coordinator → worker: tree shape, sim config, shard index, fault
+    /// plan. First frame on every link (seq 0).
+    Init = 1,
+    /// Worker → coordinator: INIT applied.
+    InitAck = 2,
+    /// Coordinator → worker: this cycle's pending messages owned by the
+    /// shard, plus the per-cycle arbitration seed.
+    Batch = 3,
+    /// Worker → coordinator: surviving root-crossers after the up passes.
+    Claims = 4,
+    /// Coordinator → worker: top-arbitration survivors destined for this
+    /// shard's subtree.
+    Incoming = 5,
+    /// Worker → coordinator: delivered ids and the shard's cycle ticks.
+    Outcomes = 6,
+    /// Coordinator → worker: drain and exit.
+    Shutdown = 7,
+    /// Worker → coordinator: exiting.
+    ShutdownAck = 8,
+    /// Worker → coordinator: unrecoverable worker-side failure (code in
+    /// payload word 0, see [`crate::ShardError::Worker`]).
+    Error = 9,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Option<FrameKind> {
+        Some(match v {
+            1 => FrameKind::Init,
+            2 => FrameKind::InitAck,
+            3 => FrameKind::Batch,
+            4 => FrameKind::Claims,
+            5 => FrameKind::Incoming,
+            6 => FrameKind::Outcomes,
+            7 => FrameKind::Shutdown,
+            8 => FrameKind::ShutdownAck,
+            9 => FrameKind::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a received word vector is not a valid frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer than the header + checksum words.
+    TooShort,
+    /// Word 0 does not carry the magic.
+    BadMagic,
+    /// Unknown frame kind.
+    BadKind(u8),
+    /// Announced payload length exceeds [`MAX_PAYLOAD_WORDS`].
+    Oversize(u64),
+    /// Announced payload length disagrees with the vector length.
+    LengthMismatch,
+    /// Checksum failed — the frame was corrupted in flight.
+    BadChecksum,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::TooShort => write!(f, "frame too short"),
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Oversize(n) => write!(f, "oversize frame ({n} payload words)"),
+            WireError::LengthMismatch => write!(f, "frame length mismatch"),
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+/// A decoded view into a frame's words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Frame<'a> {
+    pub kind: FrameKind,
+    pub shard: u16,
+    pub seq: u32,
+    pub payload: &'a [u64],
+}
+
+/// FNV-1a over the words, splitmix-finalized: cheap, and plenty to catch
+/// injected bit flips (this is an integrity check, not cryptography).
+pub fn checksum(words: &[u64]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &w in words {
+        h = (h ^ w).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    ft_core::rng::splitmix64(h)
+}
+
+/// Encode one frame. `seq` is truncated to 24 bits (the coordinator issues
+/// seqs sequentially; 16M requests outlive any simulated run).
+pub fn encode(kind: FrameKind, shard: u16, seq: u32, payload: &[u64]) -> Vec<u64> {
+    debug_assert!((payload.len() as u64) < MAX_PAYLOAD_WORDS);
+    let mut words = Vec::with_capacity(payload.len() + OVERHEAD_WORDS);
+    words.push(
+        MAGIC << 48 | (kind as u64) << 40 | (shard as u64) << 24 | (seq as u64 & 0x00FF_FFFF),
+    );
+    words.push(payload.len() as u64);
+    words.extend_from_slice(payload);
+    words.push(checksum(&words));
+    words
+}
+
+/// Validate and decode a frame.
+pub fn decode(words: &[u64]) -> Result<Frame<'_>, WireError> {
+    if words.len() < OVERHEAD_WORDS {
+        return Err(WireError::TooShort);
+    }
+    let w0 = words[0];
+    if w0 >> 48 != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let kind = FrameKind::from_u8((w0 >> 40) as u8).ok_or(WireError::BadKind((w0 >> 40) as u8))?;
+    let len = words[1];
+    if len >= MAX_PAYLOAD_WORDS {
+        return Err(WireError::Oversize(len));
+    }
+    if words.len() != len as usize + OVERHEAD_WORDS {
+        return Err(WireError::LengthMismatch);
+    }
+    let body = &words[..words.len() - 1];
+    if checksum(body) != words[words.len() - 1] {
+        return Err(WireError::BadChecksum);
+    }
+    Ok(Frame {
+        kind,
+        shard: (w0 >> 24) as u16,
+        seq: w0 as u32 & 0x00FF_FFFF,
+        payload: &words[2..words.len() - 1],
+    })
+}
+
+/// Write a frame as little-endian bytes (the pipe transport's encoding).
+pub fn write_frame<W: std::io::Write>(w: &mut W, words: &[u64]) -> std::io::Result<()> {
+    let mut bytes = Vec::with_capacity(words.len() * 8);
+    for &word in words {
+        bytes.extend_from_slice(&word.to_le_bytes());
+    }
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+/// Read one frame from a little-endian byte stream. Returns `Ok(None)` on a
+/// clean EOF at a frame boundary (the peer closed the stream); propagates a
+/// protocol-shaped [`std::io::Error`] on a torn header, bad magic, or an
+/// oversize length word — a byte stream that desynchronizes cannot be
+/// re-framed, so the reader gives up rather than scanning.
+pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Option<Vec<u64>>> {
+    use std::io::{Error, ErrorKind};
+    let mut head = [0u8; 16];
+    match r.read(&mut head[..1])? {
+        0 => return Ok(None),
+        _ => r.read_exact(&mut head[1..])?,
+    }
+    let w0 = u64::from_le_bytes(head[..8].try_into().unwrap());
+    let len = u64::from_le_bytes(head[8..].try_into().unwrap());
+    if w0 >> 48 != MAGIC {
+        return Err(Error::new(ErrorKind::InvalidData, "bad frame magic"));
+    }
+    if len >= MAX_PAYLOAD_WORDS {
+        return Err(Error::new(ErrorKind::InvalidData, "oversize frame"));
+    }
+    let mut words = Vec::with_capacity(len as usize + OVERHEAD_WORDS);
+    words.push(w0);
+    words.push(len);
+    let mut rest = vec![0u8; (len as usize + 1) * 8];
+    r.read_exact(&mut rest)?;
+    for c in rest.chunks_exact(8) {
+        words.push(u64::from_le_bytes(c.try_into().unwrap()));
+    }
+    Ok(Some(words))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let payload = [7u64, 0, u64::MAX, 42];
+        let words = encode(FrameKind::Claims, 3, 0x00AB_CDEF, &payload);
+        let f = decode(&words).unwrap();
+        assert_eq!(f.kind, FrameKind::Claims);
+        assert_eq!(f.shard, 3);
+        assert_eq!(f.seq, 0x00AB_CDEF);
+        assert_eq!(f.payload, &payload);
+    }
+
+    #[test]
+    fn corruption_detected_everywhere() {
+        let words = encode(FrameKind::Batch, 0, 5, &[1, 2, 3]);
+        for i in 2..words.len() {
+            for bit in [0, 17, 63] {
+                let mut bad = words.clone();
+                bad[i] ^= 1 << bit;
+                assert!(decode(&bad).is_err(), "flip word {i} bit {bit} accepted");
+            }
+        }
+    }
+
+    #[test]
+    fn header_validation() {
+        assert_eq!(decode(&[1, 2]), Err(WireError::TooShort));
+        assert_eq!(decode(&[0, 0, 0]), Err(WireError::BadMagic));
+        let mut f = encode(FrameKind::Init, 0, 0, &[]);
+        f[0] = MAGIC << 48 | 200u64 << 40;
+        assert_eq!(decode(&f), Err(WireError::BadKind(200)));
+        let mut f = encode(FrameKind::Init, 0, 0, &[9]);
+        f[1] = MAX_PAYLOAD_WORDS;
+        assert_eq!(decode(&f), Err(WireError::Oversize(MAX_PAYLOAD_WORDS)));
+        let f = encode(FrameKind::Init, 0, 0, &[9]);
+        assert_eq!(decode(&f[..3]), Err(WireError::LengthMismatch));
+    }
+
+    #[test]
+    fn byte_stream_roundtrip() {
+        let a = encode(FrameKind::Batch, 1, 1, &[10, 20]);
+        let b = encode(FrameKind::Shutdown, 1, 2, &[]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &a).unwrap();
+        write_frame(&mut buf, &b).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), a);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b);
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+}

@@ -1,0 +1,343 @@
+//! The shard worker: one subtree's half of the cycle protocol.
+//!
+//! A worker is a pure request/response state machine over frames — the same
+//! [`WorkerCore`] runs as a thread behind channels
+//! ([`crate::transport::InProcTransport`]) or as a child process behind
+//! pipes (`ftsim shard-worker`). It holds the shard's [`SimArena`] between
+//! the up and down phases of a cycle, so suspended root-crossers keep their
+//! slots while the coordinator arbitrates the top.
+//!
+//! Requests are idempotent: the coordinator numbers them sequentially per
+//! link, and the worker caches its last logical reply. A replayed sequence
+//! number re-sends the cached reply (through fresh fault rolls) instead of
+//! re-running the phase, so coordinator retries after a lost response never
+//! double-execute a cycle step. Corrupted requests are dropped silently —
+//! the coordinator's timeout owns recovery.
+
+use crate::fault::{FaultState, SendFate};
+use crate::proto::{
+    BatchMsg, ClaimsMsg, InitMsg, OutcomesMsg, ERR_BAD_PAYLOAD, ERR_SEQ_DESYNC, ERR_UNINITIALIZED,
+};
+use crate::wire::{self, Frame, FrameKind};
+use ft_core::FatTree;
+use ft_sim::{Arbitration, SimArena, SimConfig};
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Instant;
+
+/// Post-INIT worker state: the shard's arena and its slice of the tree.
+struct ShardState {
+    ft: FatTree,
+    sim: SimConfig,
+    /// Config of the cycle in flight (per-cycle arbitration seed applied by
+    /// the last `Batch`); the following `Incoming` must use the same seed.
+    cycle_cfg: SimConfig,
+    boundary: u32,
+    arena: SimArena,
+    claims: Vec<ft_sim::ShardClaim>,
+}
+
+/// The transport-agnostic worker state machine.
+pub struct WorkerCore {
+    state: Option<ShardState>,
+    /// Sequence number of the last request processed, once any has been.
+    last_seq: Option<u32>,
+    /// Logical reply to `last_seq`, replayed on duplicate requests.
+    cached: Vec<u64>,
+    /// Fault injection on this worker's outgoing frames.
+    faults: Option<FaultState>,
+    delay: Option<std::time::Duration>,
+}
+
+impl WorkerCore {
+    pub fn new() -> Self {
+        WorkerCore {
+            state: None,
+            last_seq: None,
+            cached: Vec::new(),
+            faults: None,
+            delay: None,
+        }
+    }
+
+    /// Feed one received frame; returns the physical frames to send (after
+    /// fault rolls — possibly none, possibly a duplicate) and whether the
+    /// worker should exit.
+    pub fn step(&mut self, words: Vec<u64>) -> (Vec<Vec<u64>>, bool) {
+        let frame = match wire::decode(&words) {
+            Ok(f) => f,
+            // Corrupted or malformed: say nothing, let the coordinator's
+            // timeout drive a retransmit.
+            Err(_) => return (Vec::new(), false),
+        };
+        let expected = self.last_seq.map_or(0, |s| s.wrapping_add(1));
+        if self.last_seq == Some(frame.seq) {
+            // A replay of the request we already answered: the reply frame
+            // must have been lost. Re-send it, with fresh fault rolls.
+            if let Some(d) = self.delay {
+                std::thread::sleep(d);
+            }
+            let cached = std::mem::take(&mut self.cached);
+            let out = self.roll_faults(&cached);
+            self.cached = cached;
+            let quit = matches!(
+                wire::decode(&self.cached).map(|f| f.kind),
+                Ok(FrameKind::ShutdownAck)
+            );
+            return (out, quit);
+        }
+        if frame.seq != expected {
+            // Behind by more than one: a stale duplicate, ignore. Ahead:
+            // the link lost a whole exchange — unrecoverable desync.
+            if frame.seq < expected {
+                return (Vec::new(), false);
+            }
+            let reply = wire::encode(FrameKind::Error, frame.shard, frame.seq, &[ERR_SEQ_DESYNC]);
+            return (self.reply(frame.seq, reply), false);
+        }
+        let shard = frame.shard;
+        let seq = frame.seq;
+        let (reply, quit) = self.handle(&frame);
+        if let Some(d) = self.delay {
+            std::thread::sleep(d);
+        }
+        let reply = match reply {
+            Ok((kind, payload)) => wire::encode(kind, shard, seq, &payload),
+            Err(code) => wire::encode(FrameKind::Error, shard, seq, &[code]),
+        };
+        (self.reply(seq, reply), quit)
+    }
+
+    /// Record `reply` as the logical answer to `seq` and roll send faults.
+    fn reply(&mut self, seq: u32, reply: Vec<u64>) -> Vec<Vec<u64>> {
+        self.last_seq = Some(seq);
+        self.cached = reply;
+        let cached = std::mem::take(&mut self.cached);
+        let out = self.roll_faults(&cached);
+        self.cached = cached;
+        out
+    }
+
+    fn roll_faults(&mut self, logical: &[u64]) -> Vec<Vec<u64>> {
+        let mut copy = logical.to_vec();
+        let fate = match &mut self.faults {
+            Some(fs) => fs.next(&mut copy),
+            None => SendFate::Send,
+        };
+        match fate {
+            SendFate::Drop => Vec::new(),
+            SendFate::Send => vec![copy],
+            SendFate::SendTwice => vec![copy.clone(), copy],
+        }
+    }
+
+    /// Execute a fresh request; `Ok` is the logical reply, `Err` a worker
+    /// error code.
+    fn handle(&mut self, frame: &Frame<'_>) -> (Result<(FrameKind, Vec<u64>), u64>, bool) {
+        match frame.kind {
+            FrameKind::Init => {
+                let init = match InitMsg::decode(frame.payload) {
+                    Ok(i) => i,
+                    Err(_) => return (Err(ERR_BAD_PAYLOAD), false),
+                };
+                let ft = init.tree();
+                let arena = SimArena::new(&ft, &init.sim);
+                self.faults = (!init.plan.is_none())
+                    .then(|| FaultState::new(init.plan, init.shard as u64 * 2 + 1));
+                self.delay = self.faults.as_ref().and_then(|f| f.delay());
+                self.state = Some(ShardState {
+                    cycle_cfg: init.sim,
+                    sim: init.sim,
+                    boundary: init.boundary,
+                    arena,
+                    ft,
+                    claims: Vec::new(),
+                });
+                (Ok((FrameKind::InitAck, Vec::new())), false)
+            }
+            FrameKind::Batch => {
+                let st = match &mut self.state {
+                    Some(s) => s,
+                    None => return (Err(ERR_UNINITIALIZED), false),
+                };
+                let batch = match BatchMsg::decode(frame.payload) {
+                    Ok(b) => b,
+                    Err(_) => return (Err(ERR_BAD_PAYLOAD), false),
+                };
+                st.cycle_cfg = st.sim;
+                if let Arbitration::Random(_) = st.sim.arbitration {
+                    st.cycle_cfg.arbitration = Arbitration::Random(batch.arb_seed);
+                }
+                let t0 = Instant::now();
+                st.claims.clear();
+                st.arena.shard_up(
+                    &st.ft,
+                    &batch.msgs,
+                    &batch.ids,
+                    &st.cycle_cfg,
+                    st.boundary,
+                    &mut st.claims,
+                );
+                let ns = t0.elapsed().as_nanos() as u64;
+                (
+                    Ok((FrameKind::Claims, ClaimsMsg::encode(ns, &st.claims))),
+                    false,
+                )
+            }
+            FrameKind::Incoming => {
+                let st = match &mut self.state {
+                    Some(s) => s,
+                    None => return (Err(ERR_UNINITIALIZED), false),
+                };
+                let incoming = match ClaimsMsg::decode(frame.payload) {
+                    Ok(c) => c,
+                    Err(_) => return (Err(ERR_BAD_PAYLOAD), false),
+                };
+                let t0 = Instant::now();
+                let stats =
+                    st.arena
+                        .shard_down(&st.ft, &st.cycle_cfg, st.boundary, &incoming.claims);
+                let ns = t0.elapsed().as_nanos() as u64;
+                let payload = OutcomesMsg::encode(ns, stats.ticks, st.arena.delivered_ids());
+                (Ok((FrameKind::Outcomes, payload)), false)
+            }
+            FrameKind::Shutdown => (Ok((FrameKind::ShutdownAck, Vec::new())), true),
+            // Response kinds arriving as requests: a confused peer.
+            _ => (Err(ERR_BAD_PAYLOAD), false),
+        }
+    }
+}
+
+impl Default for WorkerCore {
+    fn default() -> Self {
+        WorkerCore::new()
+    }
+}
+
+/// Worker loop over in-process channels ([`crate::transport::InProcTransport`]).
+/// Exits when the request channel closes, the response channel closes, or a
+/// shutdown is acknowledged.
+pub fn run_channel(rx: Receiver<Vec<u64>>, tx: Sender<Vec<u64>>) {
+    let mut core = WorkerCore::new();
+    while let Ok(words) = rx.recv() {
+        let (replies, quit) = core.step(words);
+        for f in replies {
+            if tx.send(f).is_err() {
+                return;
+            }
+        }
+        if quit {
+            return;
+        }
+    }
+}
+
+/// Worker loop over a little-endian byte stream (`ftsim shard-worker` on
+/// stdin/stdout). Returns on clean EOF or acknowledged shutdown; propagates
+/// stream errors (torn frames, closed pipes).
+pub fn run_pipe<R: std::io::Read, W: std::io::Write>(mut r: R, mut w: W) -> std::io::Result<()> {
+    let mut core = WorkerCore::new();
+    while let Some(words) = wire::read_frame(&mut r)? {
+        let (replies, quit) = core.step(words);
+        for f in &replies {
+            wire::write_frame(&mut w, f)?;
+        }
+        if quit {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use ft_core::{CapacityProfile, Message};
+
+    fn init_frame(seq: u32) -> Vec<u64> {
+        let init = InitMsg {
+            n: 16,
+            boundary: 1,
+            shard: 0,
+            sim: SimConfig::default(),
+            plan: FaultPlan::none(),
+            profile: CapacityProfile::FullDoubling,
+        };
+        wire::encode(FrameKind::Init, 0, seq, &init.encode())
+    }
+
+    #[test]
+    fn init_batch_incoming_shutdown_happy_path() {
+        let mut core = WorkerCore::new();
+        let (out, quit) = core.step(init_frame(0));
+        assert!(!quit);
+        assert_eq!(wire::decode(&out[0]).unwrap().kind, FrameKind::InitAck);
+
+        // Messages local to shard 0's subtree (leaves 0..8 of n=16).
+        let msgs = [Message::new(0, 7), Message::new(3, 4)];
+        let batch = BatchMsg::encode(0, 0, &[0, 1], &msgs);
+        let (out, _) = core.step(wire::encode(FrameKind::Batch, 0, 1, &batch));
+        let f = wire::decode(&out[0]).unwrap();
+        assert_eq!(f.kind, FrameKind::Claims);
+        let claims = ClaimsMsg::decode(f.payload).unwrap();
+        assert!(
+            claims.claims.is_empty(),
+            "intra-shard traffic never crosses"
+        );
+
+        let inc = ClaimsMsg::encode(0, &[]);
+        let (out, _) = core.step(wire::encode(FrameKind::Incoming, 0, 2, &inc));
+        let f = wire::decode(&out[0]).unwrap();
+        assert_eq!(f.kind, FrameKind::Outcomes);
+        let outc = OutcomesMsg::decode(f.payload).unwrap();
+        let mut got = outc.delivered;
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+
+        let (out, quit) = core.step(wire::encode(FrameKind::Shutdown, 0, 3, &[]));
+        assert!(quit);
+        assert_eq!(wire::decode(&out[0]).unwrap().kind, FrameKind::ShutdownAck);
+    }
+
+    #[test]
+    fn replayed_request_resends_cached_reply_without_reexecution() {
+        let mut core = WorkerCore::new();
+        core.step(init_frame(0));
+        let msgs = [Message::new(1, 2)];
+        let batch = wire::encode(FrameKind::Batch, 0, 1, &BatchMsg::encode(0, 0, &[5], &msgs));
+        let (first, _) = core.step(batch.clone());
+        let (replay, _) = core.step(batch);
+        assert_eq!(first, replay, "replay must return the identical frame");
+    }
+
+    #[test]
+    fn uninitialized_and_desynced_requests_error() {
+        let mut core = WorkerCore::new();
+        let batch = BatchMsg::encode(0, 0, &[], &[]);
+        let (out, _) = core.step(wire::encode(FrameKind::Batch, 0, 0, &batch));
+        let f = wire::decode(&out[0]).unwrap();
+        assert_eq!(f.kind, FrameKind::Error);
+        assert_eq!(f.payload, &[ERR_UNINITIALIZED]);
+
+        let mut core = WorkerCore::new();
+        core.step(init_frame(0));
+        // Seq jumps from 0 to 5: a whole exchange was lost.
+        let (out, _) = core.step(wire::encode(FrameKind::Shutdown, 0, 5, &[]));
+        let f = wire::decode(&out[0]).unwrap();
+        assert_eq!(f.kind, FrameKind::Error);
+        assert_eq!(f.payload, &[ERR_SEQ_DESYNC]);
+    }
+
+    #[test]
+    fn corrupted_request_is_silently_ignored() {
+        let mut core = WorkerCore::new();
+        let mut f = init_frame(0);
+        let last = f.len() - 1;
+        f[last] ^= 1;
+        let (out, quit) = core.step(f);
+        assert!(out.is_empty() && !quit);
+        // The pristine retransmit still works.
+        let (out, _) = core.step(init_frame(0));
+        assert_eq!(wire::decode(&out[0]).unwrap().kind, FrameKind::InitAck);
+    }
+}

@@ -130,6 +130,11 @@ pub struct CycleStats {
 /// Sentinel wire value marking a dropped message in the bucket output array.
 const DROPPED: u32 = u32::MAX;
 
+/// Sentinel wire value marking a message handed off to the coordinator as a
+/// [`ShardClaim`] (suspended locally, not lost to congestion). Real wires
+/// are ranks below a channel capacity, so the sentinel cannot collide.
+const CROSSED: u32 = u32::MAX;
+
 // Per-message metadata packed into one u64 so each level pass reads a single
 // sequential stream: bit 0 alive, bit 1 local, bits 2..8 LCA level,
 // bits 8..36 source leaf, bits 36..64 destination leaf. 28-bit leaf fields
@@ -224,6 +229,12 @@ pub struct SimArena {
     meta: Vec<u64>,
     /// Current wire (rank) on the message's most recent channel.
     wire: Vec<u32>,
+    /// Arbitration identity of each message. For plain cycles this is the
+    /// identity map (position in the submitted slice, matching the
+    /// reference engine); the shard entry points load coordinator-global
+    /// ids here instead, so random arbitration hashes the same key no
+    /// matter which arena a message currently sits in.
+    ids: Vec<u32>,
     /// Indices of the messages participating in the current pass.
     eligible: Vec<u32>,
     // --- counting-sort state (parallel path) ---
@@ -270,6 +281,7 @@ impl SimArena {
             ports: Vec::new(),
             meta: Vec::new(),
             wire: Vec::new(),
+            ids: Vec::new(),
             eligible: Vec::new(),
             per_leaf: vec![0; n as usize],
             offsets: Vec::with_capacity(n as usize + 1),
@@ -348,14 +360,12 @@ impl SimArena {
         stats
     }
 
-    fn cycle_inner(&mut self, ft: &FatTree, msgs: &[Message], cfg: &SimConfig) -> CycleStats {
-        debug_assert_eq!(self.n, ft.n(), "arena built for a different tree");
-        debug_assert_eq!(
-            self.faults, cfg.faults,
-            "arena built for a different fault pattern"
-        );
+    /// Fill per-message metadata, arbitration ids (`None` = identity map,
+    /// matching the reference engine), and inject every message onto its
+    /// source leaf's up-wires. Shared by [`Self::cycle`] and the shard
+    /// entry points.
+    fn load_and_inject(&mut self, ft: &FatTree, msgs: &[Message], ids: Option<&[u32]>) {
         let n_msgs = msgs.len();
-        let height = self.height;
 
         // --- Per-message metadata (grow-only buffers).
         self.wire.clear();
@@ -369,6 +379,11 @@ impl SimArena {
                 ft.leaf(m.src),
                 ft.leaf(m.dst),
             ));
+        }
+        self.ids.clear();
+        match ids {
+            Some(ids) => self.ids.extend_from_slice(ids),
+            None => self.ids.extend(0..n_msgs as u32),
         }
 
         // --- Injection: each processor assigns its messages to leaf up-wires.
@@ -390,6 +405,17 @@ impl SimArena {
                 self.meta[i] = m & !META_ALIVE; // source port congested immediately
             }
         }
+    }
+
+    fn cycle_inner(&mut self, ft: &FatTree, msgs: &[Message], cfg: &SimConfig) -> CycleStats {
+        debug_assert_eq!(self.n, ft.n(), "arena built for a different tree");
+        debug_assert_eq!(
+            self.faults, cfg.faults,
+            "arena built for a different fault pattern"
+        );
+        let n_msgs = msgs.len();
+        let height = self.height;
+        self.load_and_inject(ft, msgs, None);
 
         // --- Up phase (deepest node level first), then down phase.
         for node_level in (0..height).rev() {
@@ -525,6 +551,7 @@ impl SimArena {
         let bucket_msgs = &self.bucket_msgs[..total];
         let bucket_slots = &self.bucket_slots[..total];
         let eff = &self.eff[..];
+        let ids = &self.ids[..];
         let arb = cfg.arbitration;
 
         self.bucket_out.resize(total, 0);
@@ -554,6 +581,7 @@ impl SimArena {
                         offsets,
                         bucket_msgs,
                         bucket_slots,
+                        ids,
                         sw,
                         eff,
                         arb,
@@ -649,6 +677,7 @@ impl SimArena {
             eff,
             meta,
             wire,
+            ids,
             channel_use,
             tbl,
             bucket_meta,
@@ -721,7 +750,9 @@ impl SimArena {
                 },
                 Arbitration::Random(seed) => {
                     // Collect all contenders (slot-ascending), then rank by
-                    // per-message hash as in the reference.
+                    // per-message hash as in the reference. The hash key is
+                    // the message's arbitration id (identity map for plain
+                    // cycles, coordinator-global for shard cycles).
                     scratch.sort_buf.clear();
                     let mut seen = 0u32;
                     let mut idx = base + min_slot;
@@ -734,7 +765,9 @@ impl SimArena {
                     }
                     scratch.sort_buf.sort_unstable_by_key(|&(i, s, _)| {
                         (
-                            splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                            splitmix64(
+                                seed ^ (ids[i as usize] as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                            ),
                             s,
                         )
                     });
@@ -766,6 +799,214 @@ impl SimArena {
                 }
             }
         }
+    }
+}
+
+/// A root-crossing message suspended at a shard boundary: everything the
+/// coordinator needs to finish routing it. `id` is the coordinator-global
+/// arbitration id (position in the coordinator's pending slice), `meta` the
+/// packed metadata word, and `wire` the message's rank on the boundary-level
+/// channel — the up channel of its source-side boundary node after
+/// [`SimArena::shard_up`], the down channel of its destination-side boundary
+/// node after [`SimArena::shard_top`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardClaim {
+    /// Coordinator-global arbitration id.
+    pub id: u32,
+    /// Packed metadata word (alive/local/LCA level/leaves).
+    pub meta: u64,
+    /// Rank on the boundary-level channel.
+    pub wire: u32,
+}
+
+impl ShardClaim {
+    /// Has this claim survived every arbitration so far?
+    #[inline]
+    pub fn alive(&self) -> bool {
+        self.meta & META_ALIVE != 0
+    }
+
+    /// Source leaf (heap id).
+    #[inline]
+    pub fn src_leaf(&self) -> u32 {
+        meta_src(self.meta)
+    }
+
+    /// Destination leaf (heap id).
+    #[inline]
+    pub fn dst_leaf(&self) -> u32 {
+        meta_dst(self.meta)
+    }
+
+    /// Index of the shard owning this claim's destination subtree, for a
+    /// tree of the given height sharded at `boundary` levels below the root.
+    #[inline]
+    pub fn dst_shard(&self, height: u32, boundary: u32) -> u32 {
+        (meta_dst(self.meta) >> (height - boundary)) - (1 << boundary)
+    }
+}
+
+/// Shard-phase entry points: a distributed delivery cycle splits the plain
+/// [`SimArena::cycle`] into three phases at a *boundary* level `k` (shard
+/// `s` of `2^k` owns heap node `2^k + s` and the leaves below it). Sibling
+/// subtrees use disjoint channels below the boundary, so
+///
+/// * [`Self::shard_up`] runs injection plus the up passes from the leaves
+///   through the boundary nodes — exactly the passes of the single arena
+///   restricted to one shard's messages, which are *all* the messages those
+///   buckets ever see;
+/// * [`Self::shard_top`] arbitrates the levels above the boundary over the
+///   concatenation of every shard's surviving root-crossers;
+/// * [`Self::shard_down`] finishes the down passes from the boundary to the
+///   leaves of the destination shard.
+///
+/// Byte identity with the single arena holds for any shard count because
+/// every bucket of every pass sees the same contender set with the same
+/// (slot, arbitration-id) pairs, and bucket arbitration is a pure function
+/// of those: slot order depends only on the (distinct) slots, and random
+/// order hashes the coordinator-global id — never the position within
+/// whichever arena the message happens to occupy.
+impl SimArena {
+    /// Phase 1 (shard side): load this shard's pending messages (`ids[i]`
+    /// is the coordinator-global id of `msgs[i]`), inject, and run the up
+    /// passes from the leaves through the boundary-level nodes. Every
+    /// surviving message whose LCA lies *above* the boundary is appended to
+    /// `claims` — carrying its rank on the boundary node's up channel — and
+    /// suspended locally; the coordinator and the destination shard finish
+    /// routing it. All of `msgs` must originate inside this shard's subtree.
+    pub fn shard_up(
+        &mut self,
+        ft: &FatTree,
+        msgs: &[Message],
+        ids: &[u32],
+        cfg: &SimConfig,
+        boundary: u32,
+        claims: &mut Vec<ShardClaim>,
+    ) {
+        debug_assert_eq!(self.n, ft.n(), "arena built for a different tree");
+        debug_assert_eq!(self.faults, cfg.faults);
+        assert_eq!(msgs.len(), ids.len());
+        assert!(boundary <= self.height, "boundary below the leaves");
+        self.load_and_inject(ft, msgs, Some(ids));
+        for node_level in (boundary..self.height).rev() {
+            self.level_pass(ft, cfg, true, node_level);
+        }
+        for i in 0..self.meta.len() {
+            let m = self.meta[i];
+            if m & (META_ALIVE | META_LOCAL) != META_ALIVE {
+                continue;
+            }
+            if meta_lca(m) < boundary {
+                claims.push(ShardClaim {
+                    id: self.ids[i],
+                    meta: m,
+                    wire: self.wire[i],
+                });
+                self.meta[i] = m & !META_ALIVE;
+                self.wire[i] = CROSSED;
+            }
+        }
+    }
+
+    /// Phase 2 (coordinator side): arbitrate the levels above the boundary
+    /// over every shard's claims (the concatenation of all
+    /// [`Self::shard_up`] outputs; order does not affect outcomes). On
+    /// return each claim is either dead (lost to top contention) or alive
+    /// with `wire` holding its rank on the boundary-level down channel of
+    /// its destination subtree, ready for [`Self::shard_down`].
+    pub fn shard_top(
+        &mut self,
+        ft: &FatTree,
+        cfg: &SimConfig,
+        boundary: u32,
+        claims: &mut [ShardClaim],
+    ) {
+        debug_assert_eq!(self.n, ft.n(), "arena built for a different tree");
+        debug_assert_eq!(self.faults, cfg.faults);
+        assert!(boundary <= self.height, "boundary below the leaves");
+        self.meta.clear();
+        self.wire.clear();
+        self.ids.clear();
+        for c in claims.iter() {
+            debug_assert!(c.alive(), "dead claim submitted to shard_top");
+            debug_assert!(meta_lca(c.meta) < boundary, "claim turns below boundary");
+            self.meta.push(c.meta);
+            self.wire.push(c.wire);
+            self.ids.push(c.id);
+        }
+        self.channel_use.clear();
+        for node_level in (0..boundary).rev() {
+            self.level_pass(ft, cfg, true, node_level);
+        }
+        for node_level in 0..boundary {
+            self.level_pass(ft, cfg, false, node_level);
+        }
+        for (i, c) in claims.iter_mut().enumerate() {
+            c.meta = self.meta[i];
+            c.wire = self.wire[i];
+        }
+    }
+
+    /// Phase 3 (shard side): append the surviving claims whose destination
+    /// lies in this shard's subtree, run the down passes from the boundary
+    /// to the leaves, and settle the cycle. Must follow this arena's
+    /// [`Self::shard_up`] of the same cycle. Afterwards
+    /// [`Self::delivered_ids`] and [`Self::dropped_ids`] report
+    /// coordinator-global ids; claims this shard exported are in neither
+    /// list (their fate is decided by the top and destination arenas).
+    pub fn shard_down(
+        &mut self,
+        ft: &FatTree,
+        cfg: &SimConfig,
+        boundary: u32,
+        incoming: &[ShardClaim],
+    ) -> CycleStats {
+        debug_assert_eq!(self.n, ft.n(), "arena built for a different tree");
+        debug_assert_eq!(self.faults, cfg.faults);
+        for c in incoming {
+            debug_assert!(c.alive(), "dead claim submitted to shard_down");
+            self.meta.push(c.meta);
+            self.wire.push(c.wire);
+            self.ids.push(c.id);
+        }
+        for node_level in boundary..self.height {
+            self.level_pass(ft, cfg, false, node_level);
+        }
+        self.delivered.clear();
+        self.dropped.clear();
+        let mut max_latency = 0u32;
+        for i in 0..self.meta.len() {
+            let m = self.meta[i];
+            if m & META_LOCAL != 0 {
+                self.delivered.push(self.ids[i]);
+                continue;
+            }
+            if m & META_ALIVE != 0 {
+                self.delivered.push(self.ids[i]);
+                let nodes_on_path = 2 * (self.height - meta_lca(m)) - 1;
+                max_latency = max_latency.max(2 * nodes_on_path + cfg.payload_bits);
+            } else if self.wire[i] != CROSSED {
+                self.dropped.push(self.ids[i]);
+            }
+        }
+        CycleStats {
+            delivered: self.delivered.len(),
+            ticks: max_latency,
+        }
+    }
+
+    /// Coordinator-global ids delivered by the last [`Self::shard_down`]
+    /// (locals, intra-shard survivors, and incoming claims that survived
+    /// the final descent).
+    pub fn delivered_ids(&self) -> &[u32] {
+        &self.delivered
+    }
+
+    /// Coordinator-global ids this arena dropped to congestion in the last
+    /// [`Self::shard_down`] cycle (injection, up-pass, or down-pass losses
+    /// of messages it owned — exported claims excluded).
+    pub fn dropped_ids(&self) -> &[u32] {
+        &self.dropped
     }
 }
 
@@ -820,6 +1061,7 @@ fn arbitrate_chunk(
     offsets: &[u32],
     bucket_msgs: &[u32],
     bucket_slots: &[u32],
+    ids: &[u32],
     sw: &PortSwitch,
     eff: &[u64],
     arb: Arbitration,
@@ -888,9 +1130,9 @@ fn arbitrate_chunk(
                     }
                 }
             }
-            // Random priorities: the (distinct) hash of each message index
-            // is the primary key, so an unstable sort still matches the
-            // reference's stable sort exactly.
+            // Random priorities: the (distinct) hash of each message's
+            // arbitration id is the primary key, so an unstable sort still
+            // matches the reference's stable sort exactly.
             Arbitration::Random(seed) => {
                 scratch.sort_buf.clear();
                 for pos in b0..b1 {
@@ -902,7 +1144,9 @@ fn arbitrate_chunk(
                 }
                 scratch.sort_buf.sort_unstable_by_key(|&(i, s, _)| {
                     (
-                        splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                        splitmix64(
+                            seed ^ (ids[i as usize] as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        ),
                         s,
                     )
                 });
@@ -1259,6 +1503,118 @@ mod tests {
                 .collect();
             assert_eq!(got, one_shot.delivered);
             assert_eq!(arena.channel_use(), &one_shot.channel_use);
+        }
+    }
+
+    /// Run one delivery cycle through the three shard phases, manually
+    /// composed (the in-process equivalent of what ft-shard's coordinator
+    /// does over a transport): partition by source subtree, `shard_up` per
+    /// shard, merge claims, `shard_top`, route survivors to their
+    /// destination shard, `shard_down` per shard.
+    fn sharded_cycle(
+        ft: &FatTree,
+        msgs: &[Message],
+        cfg: &SimConfig,
+        boundary: u32,
+    ) -> (Vec<u32>, u32) {
+        let shards = 1u32 << boundary;
+        let shift = ft.height() - boundary;
+        let mut batches: Vec<(Vec<Message>, Vec<u32>)> =
+            vec![(Vec::new(), Vec::new()); shards as usize];
+        for (i, m) in msgs.iter().enumerate() {
+            let s = ((ft.leaf(m.src) >> shift) - shards) as usize;
+            batches[s].0.push(*m);
+            batches[s].1.push(i as u32);
+        }
+        let mut arenas: Vec<SimArena> = (0..shards).map(|_| SimArena::new(ft, cfg)).collect();
+        let mut claims = Vec::new();
+        for (s, (msgs, ids)) in batches.iter().enumerate() {
+            arenas[s].shard_up(ft, msgs, ids, cfg, boundary, &mut claims);
+        }
+        claims.sort_unstable_by_key(|c| c.id);
+        let mut top = SimArena::new(ft, cfg);
+        top.shard_top(ft, cfg, boundary, &mut claims);
+        let mut incoming: Vec<Vec<ShardClaim>> = vec![Vec::new(); shards as usize];
+        for c in claims {
+            if c.alive() {
+                incoming[c.dst_shard(ft.height(), boundary) as usize].push(c);
+            }
+        }
+        let mut delivered = Vec::new();
+        let mut ticks = 0u32;
+        for (s, arena) in arenas.iter_mut().enumerate() {
+            let stats = arena.shard_down(ft, cfg, boundary, &incoming[s]);
+            ticks = ticks.max(stats.ticks);
+            delivered.extend_from_slice(arena.delivered_ids());
+        }
+        delivered.sort_unstable();
+        (delivered, ticks)
+    }
+
+    #[test]
+    fn shard_phases_compose_to_single_arena_cycle() {
+        let mut rng = ft_core::rng::SplitMix64::seed_from_u64(0x5AAD);
+        for n in [16u32, 64] {
+            let trees = [
+                FatTree::universal(n, (n as u64 / 4).max(1)),
+                FatTree::new(n, CapacityProfile::Constant(1)),
+                FatTree::new(n, CapacityProfile::FullDoubling),
+            ];
+            for ft in &trees {
+                let msgs: Vec<Message> = (0..2 * n)
+                    .map(|_| Message::new(rng.gen_range(0..n), rng.gen_range(0..n)))
+                    .collect();
+                for (switch, arb) in [
+                    (SwitchKind::Ideal, Arbitration::SlotOrder),
+                    (SwitchKind::Ideal, Arbitration::Random(0xAB5E)),
+                    (SwitchKind::Partial, Arbitration::SlotOrder),
+                    (SwitchKind::Partial, Arbitration::Random(0x11)),
+                ] {
+                    let cfg = SimConfig {
+                        switch,
+                        arbitration: arb,
+                        ..Default::default()
+                    };
+                    let single = simulate_cycle(ft, &msgs, &cfg);
+                    let want: Vec<u32> = single.delivered.iter().map(|&i| i as u32).collect();
+                    for boundary in 0..=3u32.min(ft.height()) {
+                        let (got, ticks) = sharded_cycle(ft, &msgs, &cfg, boundary);
+                        assert_eq!(
+                            got, want,
+                            "delivered diverged: n={n} boundary={boundary} {switch:?} {arb:?}"
+                        );
+                        assert_eq!(
+                            ticks, single.ticks,
+                            "ticks diverged: n={n} boundary={boundary} {switch:?} {arb:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_phases_compose_under_faults_and_threads() {
+        use crate::faults::FaultModel;
+        let n = 64u32;
+        let ft = FatTree::universal(n, 16);
+        let msgs: Vec<Message> = (0..n).map(|i| Message::new(i, (i * 7 + 3) % n)).collect();
+        for threads in [1usize, 4] {
+            let cfg = SimConfig {
+                faults: FaultModel {
+                    dead_wire_fraction: 0.3,
+                    seed: 5,
+                },
+                arbitration: Arbitration::Random(9),
+                threads,
+                ..Default::default()
+            };
+            let single = simulate_cycle(&ft, &msgs, &cfg);
+            let want: Vec<u32> = single.delivered.iter().map(|&i| i as u32).collect();
+            for boundary in [1u32, 2] {
+                let (got, _) = sharded_cycle(&ft, &msgs, &cfg, boundary);
+                assert_eq!(got, want, "boundary={boundary} threads={threads}");
+            }
         }
     }
 

@@ -35,7 +35,7 @@ pub mod stats;
 pub use compiled::{compile_cycle, execute_compiled, CompiledCycle, CompiledRun};
 pub use engine::{
     run_to_completion, run_to_completion_with, simulate_cycle, Arbitration, CycleReport,
-    CycleStats, RunReport, SimArena, SimConfig, SwitchKind,
+    CycleStats, RunReport, ShardClaim, SimArena, SimConfig, SwitchKind,
 };
 pub use faults::FaultModel;
 pub use protocol::MessageFrame;

@@ -726,50 +726,93 @@ impl EventRing {
 /// Parse the output of [`EventRing::export_jsonl`] back into events.
 ///
 /// Strict by design: every non-empty line must be exactly one event object
-/// with the four known fields. Returns the 1-based offending line in the
-/// error. This is the round-trip half used by `ftsim trace --verify` and
-/// the exporter tests — hand-rolled, like every JSON in this workspace.
+/// with exactly the four known fields, each appearing once — duplicate
+/// keys, unknown keys, and trailing garbage after the closing brace (e.g.
+/// two concatenated objects on one line) are all rejected. Returns the
+/// 1-based offending line in the error. This is the round-trip half used
+/// by `ftsim trace --verify` and the exporter tests — hand-rolled, like
+/// every JSON in this workspace.
 pub fn parse_jsonl(src: &str) -> Result<Vec<Event>, String> {
-    fn field<'a>(line: &'a str, key: &str, lineno: usize) -> Result<&'a str, String> {
-        let pat = format!("\"{key}\":");
-        let at = line
-            .find(&pat)
-            .ok_or_else(|| format!("line {lineno}: missing field {key:?}"))?;
-        let rest = &line[at + pat.len()..];
-        let end = rest
-            .find([',', '}'])
-            .ok_or_else(|| format!("line {lineno}: unterminated field {key:?}"))?;
-        Ok(rest[..end].trim())
-    }
-    fn int(s: &str, key: &str, lineno: usize) -> Result<u32, String> {
-        s.parse::<u32>()
-            .map_err(|_| format!("line {lineno}: field {key:?} is not an integer: {s:?}"))
-    }
     let mut out = Vec::new();
-    for (i, line) in src.lines().enumerate() {
+    for (i, raw) in src.lines().enumerate() {
         let lineno = i + 1;
-        let line = line.trim();
+        let line = raw.trim();
         if line.is_empty() {
             continue;
         }
-        if !line.starts_with('{') || !line.ends_with('}') {
-            return Err(format!("line {lineno}: not a JSON object: {line:?}"));
-        }
-        let kind_raw = field(line, "kind", lineno)?;
-        let kind_name = kind_raw
-            .strip_prefix('"')
-            .and_then(|s| s.strip_suffix('"'))
-            .ok_or_else(|| format!("line {lineno}: kind is not a string: {kind_raw:?}"))?;
-        let kind = EventKind::from_name(kind_name)
-            .ok_or_else(|| format!("line {lineno}: unknown event kind {kind_name:?}"))?;
-        out.push(Event::new(
-            kind,
-            int(field(line, "tag", lineno)?, "tag", lineno)?,
-            int(field(line, "level", lineno)?, "level", lineno)?,
-            int(field(line, "value", lineno)?, "value", lineno)?,
-        ));
+        out.push(parse_event_line(line, lineno)?);
     }
     Ok(out)
+}
+
+/// One strict event object. Field values never contain braces or commas,
+/// so splitting on them is exact, not approximate.
+fn parse_event_line(line: &str, lineno: usize) -> Result<Event, String> {
+    let inner = line
+        .strip_prefix('{')
+        .ok_or_else(|| format!("line {lineno}: not a JSON object: {line:?}"))?;
+    let (inner, rest) = inner
+        .split_once('}')
+        .ok_or_else(|| format!("line {lineno}: unterminated object: {line:?}"))?;
+    if !rest.trim().is_empty() {
+        return Err(format!(
+            "line {lineno}: trailing garbage after object: {rest:?}"
+        ));
+    }
+    let mut kind: Option<EventKind> = None;
+    let mut tag: Option<u32> = None;
+    let mut level: Option<u32> = None;
+    let mut value: Option<u32> = None;
+    for part in inner.split(',') {
+        let part = part.trim();
+        let (k, v) = part
+            .split_once(':')
+            .ok_or_else(|| format!("line {lineno}: not a \"key\":value pair: {part:?}"))?;
+        let key = k
+            .trim()
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("line {lineno}: key is not a string: {:?}", k.trim()))?;
+        let v = v.trim();
+        match key {
+            "kind" => {
+                if kind.is_some() {
+                    return Err(format!("line {lineno}: duplicate field \"kind\""));
+                }
+                let name = v
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {lineno}: kind is not a string: {v:?}"))?;
+                kind = Some(
+                    EventKind::from_name(name)
+                        .ok_or_else(|| format!("line {lineno}: unknown event kind {name:?}"))?,
+                );
+            }
+            "tag" | "level" | "value" => {
+                let slot = match key {
+                    "tag" => &mut tag,
+                    "level" => &mut level,
+                    _ => &mut value,
+                };
+                if slot.is_some() {
+                    return Err(format!("line {lineno}: duplicate field {key:?}"));
+                }
+                *slot = Some(v.parse::<u32>().map_err(|_| {
+                    format!("line {lineno}: field {key:?} is not an integer: {v:?}")
+                })?);
+            }
+            other => {
+                return Err(format!("line {lineno}: unknown field {other:?}"));
+            }
+        }
+    }
+    let missing = |key: &str| format!("line {lineno}: missing field {key:?}");
+    Ok(Event::new(
+        kind.ok_or_else(|| missing("kind"))?,
+        tag.ok_or_else(|| missing("tag"))?,
+        level.ok_or_else(|| missing("level"))?,
+        value.ok_or_else(|| missing("value"))?,
+    ))
 }
 
 #[cfg(test)]
@@ -855,6 +898,36 @@ mod tests {
         assert!(parse_jsonl("{\"kind\":\"cycle_end\",\"tag\":0,\"level\":0}").is_err());
         // Empty lines are fine.
         assert_eq!(parse_jsonl("\n\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn jsonl_parser_rejects_duplicate_keys() {
+        // A duplicate key must not be resolved by find-first or last-wins.
+        let dup_int = "{\"kind\":\"cycle_end\",\"tag\":1,\"tag\":2,\"level\":0,\"value\":0}";
+        let err = parse_jsonl(dup_int).unwrap_err();
+        assert!(err.contains("duplicate field \"tag\""), "got: {err}");
+        let dup_kind =
+            "{\"kind\":\"cycle_end\",\"kind\":\"cycle_start\",\"tag\":0,\"level\":0,\"value\":0}";
+        let err = parse_jsonl(dup_kind).unwrap_err();
+        assert!(err.contains("duplicate field \"kind\""), "got: {err}");
+    }
+
+    #[test]
+    fn jsonl_parser_rejects_trailing_garbage() {
+        let ok = "{\"kind\":\"cycle_end\",\"tag\":0,\"level\":0,\"value\":7}";
+        assert_eq!(parse_jsonl(ok).unwrap().len(), 1);
+        // Two concatenated objects start with '{' and end with '}' — they
+        // must still be rejected, not parsed as the first object.
+        let glued = format!("{ok}{ok}");
+        let err = parse_jsonl(&glued).unwrap_err();
+        assert!(err.contains("trailing garbage"), "got: {err}");
+        let trailing = format!("{ok} x");
+        assert!(parse_jsonl(&trailing).is_err());
+        // Unknown fields and non-string keys are rejected too.
+        let unknown = "{\"kind\":\"cycle_end\",\"tag\":0,\"level\":0,\"value\":0,\"extra\":1}";
+        assert!(parse_jsonl(unknown).unwrap_err().contains("unknown field"));
+        let bare_key = "{kind:\"cycle_end\",\"tag\":0,\"level\":0,\"value\":0}";
+        assert!(parse_jsonl(bare_key).is_err());
     }
 
     #[test]

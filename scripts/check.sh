@@ -32,5 +32,36 @@ case "$report_json" in
 esac
 cargo run --release --quiet --bin ftsim -- \
   trace --n 32 --w 8 --workload perm --events 256 --verify 1 > /dev/null
+# --verify must run (and be able to fail) with csv output too.
+cargo run --release --quiet --bin ftsim -- \
+  trace --n 32 --w 8 --workload perm --format csv --verify 1 > /dev/null
+
+echo "==> ftsim shard smoke (distributed engine)"
+shard_json="$(cargo run --release --quiet --bin ftsim -- \
+  shard --n 64 --w 16 --workload perm --shards 2 --format json)"
+case "$shard_json" in
+  '{"schema":"ftsim-shard/v1"'*'"matches_single_arena":true'*'}') ;;
+  *) echo "ftsim shard --format json emitted an unexpected document" >&2
+     echo "$shard_json" >&2
+     exit 1 ;;
+esac
+
+echo "==> ftsim shard fault smoke (dead link must fail structured, not hang)"
+# A 100% drop plan can never complete: the run must terminate within the
+# timeout wrapper with a structured error and a non-zero exit, never hang.
+fault_json="$(timeout 60 cargo run --release --quiet --bin ftsim -- \
+  shard --n 32 --shards 2 --drop 1.0 --timeout-ms 100 --retries 1 --format json)" \
+  && { echo "ftsim shard with a dead link unexpectedly succeeded" >&2; exit 1; }
+rc=$?
+if [ "$rc" -eq 124 ]; then
+  echo "ftsim shard with a dead link hung until the timeout wrapper killed it" >&2
+  exit 1
+fi
+case "$fault_json" in
+  '{"schema":"ftsim-shard/v1","error":{"kind":"timeout"'*'}') ;;
+  *) echo "ftsim shard fault run emitted an unexpected document" >&2
+     echo "$fault_json" >&2
+     exit 1 ;;
+esac
 
 echo "All checks passed."

@@ -8,6 +8,10 @@
 //! ftsim report     --n 256 --w 64 --workload perm [--format json]
 //! ftsim trace      --n 64 --workload perm [--engine online|simulate|schedule]
 //!                  [--events 4096] [--format jsonl|csv] [--verify 1]
+//! ftsim shard      --n 256 --w 64 --workload perm --shards 4
+//!                  [--transport inproc|pipe] [--drop 0.1] [--dup 0.1]
+//!                  [--corrupt 0.1] [--delay-ms 5] [--fault-seed 7]
+//!                  [--timeout-ms 5000] [--retries 4] [--format text|json]
 //! ftsim universality --net mesh3d --side 4
 //! ftsim emulate    --net hypercube --dim 6
 //! ftsim layout     --n 1024 --w 128
@@ -22,7 +26,13 @@
 //! contention, channel load histograms, and cascade matching statistics
 //! (one JSON object with `--format json`). `trace` captures packed events
 //! from one engine in a ring buffer and writes them as JSONL or CSV;
-//! `--verify 1` re-parses the JSONL and fails on any mismatch.
+//! `--verify 1` re-parses the JSONL and fails on any mismatch (with any
+//! output format). `shard` runs the workload through the distributed
+//! sharded engine — worker threads (`--transport inproc`) or worker
+//! processes speaking frames over pipes (`--transport pipe`), optionally
+//! under injected frame faults — and checks the result is byte-identical
+//! to the single-arena engine. The internal `shard-worker` command is what
+//! `--transport pipe` spawns; it is not for interactive use.
 
 use fat_tree::concentrator::{Cascade, Concentrator, MatchingArena};
 use fat_tree::core::rng::SplitMix64;
@@ -34,6 +44,7 @@ use fat_tree::networks::{
 use fat_tree::prelude::*;
 use fat_tree::sched::online::online_bound_shape;
 use fat_tree::sched::SchedArena;
+use fat_tree::shard::{run_sharded, FaultPlan, ShardConfig, TransportKind};
 use fat_tree::sim::{run_to_completion_with, Arbitration};
 use fat_tree::telemetry::parse_jsonl;
 use fat_tree::universal::Emulation;
@@ -55,6 +66,17 @@ fn main() {
         "simulate" => cmd_simulate(&opts),
         "report" => cmd_report(&opts),
         "trace" => cmd_trace(&opts),
+        "shard" => cmd_shard(&opts),
+        "shard-worker" => {
+            // Internal: the pipe-transport worker half. Speaks frames on
+            // stdin/stdout until shutdown or EOF.
+            if let Err(e) =
+                fat_tree::shard::run_pipe(std::io::stdin().lock(), std::io::stdout().lock())
+            {
+                eprintln!("shard-worker: {e}");
+                exit(1);
+            }
+        }
         "universality" => cmd_universality(&opts),
         "emulate" => cmd_emulate(&opts),
         "layout" => cmd_layout(&opts),
@@ -69,7 +91,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: ftsim <tree|schedule|online|simulate|report|trace|universality|emulate|layout> [--key value]…\n\
+        "usage: ftsim <tree|schedule|online|simulate|report|trace|shard|universality|emulate|layout> [--key value]…\n\
          see the module docs (src/bin/ftsim.rs) for options"
     );
 }
@@ -89,6 +111,15 @@ fn parse_opts(args: Vec<String>) -> HashMap<String, String> {
         map.insert(key.to_string(), v);
     }
     map
+}
+
+fn get_f64(opts: &HashMap<String, String>, key: &str, default: f64) -> f64 {
+    opts.get(key).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--{key} expects a number, got {v}");
+            exit(2)
+        })
+    })
 }
 
 fn get_u32(opts: &HashMap<String, String>, key: &str, default: u32) -> u32 {
@@ -232,10 +263,7 @@ fn cmd_online(opts: &HashMap<String, String>) {
     }
 }
 
-fn cmd_simulate(opts: &HashMap<String, String>) {
-    let ft = tree_from(opts);
-    let mut rng = rng_from(opts);
-    let msgs = workload_from(opts, ft.n(), &mut rng);
+fn sim_config_from(opts: &HashMap<String, String>) -> SimConfig {
     let switch = match opts.get("switch").map(String::as_str).unwrap_or("ideal") {
         "ideal" => SwitchKind::Ideal,
         "partial" => SwitchKind::Partial,
@@ -252,12 +280,19 @@ fn cmd_simulate(opts: &HashMap<String, String>) {
             exit(2);
         }
     };
-    let cfg = SimConfig {
+    SimConfig {
         payload_bits: get_u32(opts, "payload", 64),
         switch,
         arbitration,
         ..Default::default()
-    };
+    }
+}
+
+fn cmd_simulate(opts: &HashMap<String, String>) {
+    let ft = tree_from(opts);
+    let mut rng = rng_from(opts);
+    let msgs = workload_from(opts, ft.n(), &mut rng);
+    let cfg = sim_config_from(opts);
     let run = run_to_completion(&ft, &msgs, &cfg);
     println!(
         "bit-serial machine: {} messages in {} delivery cycles, {} total ticks",
@@ -401,32 +436,162 @@ fn cmd_trace(opts: &HashMap<String, String>) {
         }
     }
 
-    match format {
-        "jsonl" => {
-            let out = rec.ring.export_jsonl();
-            if verify {
-                let parsed = parse_jsonl(&out).unwrap_or_else(|e| {
-                    eprintln!("trace verify failed: {e}");
-                    exit(1);
-                });
-                let original: Vec<_> = rec.ring.iter().collect();
-                if parsed != original {
-                    eprintln!("trace verify failed: round-trip mismatch");
-                    exit(1);
-                }
-                eprintln!(
-                    "trace verified: {} events round-tripped ({} dropped by the ring)",
-                    parsed.len(),
-                    rec.ring.dropped()
-                );
-            }
-            print!("{out}");
+    // Verification always runs on the JSONL round-trip, whatever format is
+    // printed: a mismatch must exit non-zero in every branch.
+    if verify {
+        let out = rec.ring.export_jsonl();
+        let parsed = parse_jsonl(&out).unwrap_or_else(|e| {
+            eprintln!("trace verify failed: {e}");
+            exit(1);
+        });
+        let original: Vec<_> = rec.ring.iter().collect();
+        if parsed != original {
+            eprintln!("trace verify failed: round-trip mismatch");
+            exit(1);
         }
+        eprintln!(
+            "trace verified: {} events round-tripped ({} dropped by the ring)",
+            parsed.len(),
+            rec.ring.dropped()
+        );
+    }
+
+    match format {
+        "jsonl" => print!("{}", rec.ring.export_jsonl()),
         "csv" => print!("{}", rec.ring.export_csv()),
         other => {
             eprintln!("unknown format: {other} (expected jsonl|csv)");
             exit(2);
         }
+    }
+}
+
+/// Run the workload through the distributed sharded engine and check the
+/// result against the single-arena engine.
+fn cmd_shard(opts: &HashMap<String, String>) {
+    let ft = tree_from(opts);
+    let mut rng = rng_from(opts);
+    let spec = opts
+        .get("workload")
+        .cloned()
+        .unwrap_or_else(|| "perm".into());
+    let msgs = workload_from(opts, ft.n(), &mut rng);
+    let sim = sim_config_from(opts);
+    let shards = get_u32(opts, "shards", 4);
+    let as_json = opts.get("format").map(String::as_str) == Some("json");
+
+    let mut cfg = ShardConfig::new(shards, sim);
+    cfg.transport = match opts
+        .get("transport")
+        .map(String::as_str)
+        .unwrap_or("inproc")
+    {
+        "inproc" => TransportKind::InProcess,
+        "pipe" => {
+            let exe = std::env::current_exe().unwrap_or_else(|e| {
+                eprintln!("cannot locate own executable for pipe workers: {e}");
+                exit(1);
+            });
+            TransportKind::Pipe {
+                cmd: vec![exe.to_string_lossy().into_owned(), "shard-worker".into()],
+            }
+        }
+        other => {
+            eprintln!("unknown transport: {other} (expected inproc|pipe)");
+            exit(2);
+        }
+    };
+    cfg.faults = FaultPlan {
+        drop: get_f64(opts, "drop", 0.0),
+        duplicate: get_f64(opts, "dup", 0.0),
+        corrupt: get_f64(opts, "corrupt", 0.0),
+        delay_ms: get_u32(opts, "delay-ms", 0),
+        seed: get_u32(opts, "fault-seed", 7) as u64,
+    };
+    cfg.timeout = std::time::Duration::from_millis(get_u32(opts, "timeout-ms", 5000) as u64);
+    cfg.retries = get_u32(opts, "retries", 4);
+
+    let report = match run_sharded(&ft, &msgs, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            if as_json {
+                println!(
+                    "{{\"schema\":\"ftsim-shard/v1\",\"error\":{{\"kind\":\"{}\",\"detail\":\"{}\"}}}}",
+                    e.kind(),
+                    e.to_string().replace('"', "'")
+                );
+            } else {
+                eprintln!("sharded run failed: {e}");
+            }
+            exit(1);
+        }
+    };
+    let single = run_to_completion(&ft, &msgs, &sim);
+    let matches = report.run.delivered_per_cycle == single.delivered_per_cycle
+        && report.run.delivery_order == single.delivery_order
+        && report.run.total_ticks == single.total_ticks;
+    let st = &report.stats;
+
+    if as_json {
+        let per_cycle: Vec<String> = report
+            .run
+            .delivered_per_cycle
+            .iter()
+            .map(usize::to_string)
+            .collect();
+        let ns_list = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        println!(
+            "{{\"schema\":\"ftsim-shard/v1\",\"workload\":\"{spec}\",\"n\":{},\"w\":{},\"messages\":{},\"shards\":{},\"transport\":\"{}\",\"cycles\":{},\"total_ticks\":{},\"delivered_per_cycle\":[{}],\"matches_single_arena\":{matches},\"stats\":{{\"frames_sent\":{},\"frames_received\":{},\"bytes_sent\":{},\"bytes_received\":{},\"retries\":{},\"checksum_rejects\":{},\"duplicates\":{},\"barrier_wait_ns\":{},\"top_ns\":{},\"shard_up_ns\":[{}],\"shard_down_ns\":[{}]}}}}",
+            ft.n(),
+            ft.root_capacity(),
+            msgs.len(),
+            st.shards,
+            st.transport,
+            report.run.cycles,
+            report.run.total_ticks,
+            per_cycle.join(","),
+            st.frames_sent,
+            st.frames_received,
+            st.words_sent * 8,
+            st.words_received * 8,
+            st.retries,
+            st.checksum_rejects,
+            st.duplicates,
+            st.barrier_wait_ns,
+            st.top_ns,
+            ns_list(&st.shard_up_ns),
+            ns_list(&st.shard_down_ns),
+        );
+    } else {
+        println!(
+            "sharded engine: {} messages over {} shards ({}), {} delivery cycles, {} total ticks",
+            msgs.len(),
+            st.shards,
+            st.transport,
+            report.run.cycles,
+            report.run.total_ticks
+        );
+        println!(
+            "barrier: {} frames / {} bytes exchanged, {} retries, {} checksum rejects, {} duplicates, {:.2} ms waiting",
+            st.frames_sent + st.frames_received,
+            (st.words_sent + st.words_received) * 8,
+            st.retries,
+            st.checksum_rejects,
+            st.duplicates,
+            st.barrier_wait_ns as f64 / 1e6
+        );
+        println!(
+            "single-arena cross-check: {}",
+            if matches {
+                "byte-identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+    if !matches {
+        eprintln!("sharded run diverged from the single-arena engine — bug");
+        exit(1);
     }
 }
 

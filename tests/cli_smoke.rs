@@ -152,6 +152,75 @@ fn trace_jsonl_round_trips_and_csv_has_header() {
 }
 
 #[test]
+fn trace_verify_runs_under_every_output_format() {
+    // --verify must verify (and be able to fail non-zero) with csv output
+    // too, not just jsonl.
+    let (ok, stdout, stderr) = ftsim(&[
+        "trace", "--n", "32", "--w", "8", "--format", "csv", "--verify", "1",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stderr.contains("trace verified"),
+        "csv branch skipped verification: {stderr}"
+    );
+    assert!(
+        stdout.starts_with(fat_tree::telemetry::CSV_HEADER),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn shard_json_smoke_and_structured_fault_error() {
+    let (ok, stdout, stderr) = ftsim(&[
+        "shard",
+        "--n",
+        "64",
+        "--w",
+        "16",
+        "--workload",
+        "perm",
+        "--shards",
+        "2",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "{stderr}");
+    let line = stdout.trim();
+    for key in [
+        "\"schema\":\"ftsim-shard/v1\"",
+        "\"shards\":2",
+        "\"transport\":\"inproc\"",
+        "\"matches_single_arena\":true",
+        "\"barrier_wait_ns\":",
+        "\"shard_up_ns\":[",
+    ] {
+        assert!(line.contains(key), "missing {key} in {line}");
+    }
+
+    // A fully dead link must terminate with a structured error, not hang.
+    let (ok, stdout, _) = ftsim(&[
+        "shard",
+        "--n",
+        "32",
+        "--shards",
+        "2",
+        "--drop",
+        "1.0",
+        "--timeout-ms",
+        "50",
+        "--retries",
+        "1",
+        "--format",
+        "json",
+    ]);
+    assert!(!ok, "dead link must exit non-zero");
+    assert!(
+        stdout.contains("\"error\":{\"kind\":\"timeout\""),
+        "{stdout}"
+    );
+}
+
+#[test]
 fn rejects_garbage() {
     let (ok, _, stderr) = ftsim(&["frobnicate"]);
     assert!(!ok);
