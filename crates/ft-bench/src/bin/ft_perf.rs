@@ -11,13 +11,18 @@
 //! work), so that one cell is capped at n ≤ 2¹⁴ (reference at n ≤ 2¹⁰);
 //! hot-spot `online_route` is duelled at n ≤ 2¹² for the same reason.
 //!
-//! Three acceptance gates are asserted on full (non-smoke) runs:
+//! Four acceptance gates are asserted on full (non-smoke) runs:
 //! `simulate_cycle` n=2¹⁴ permutation ≥ 5× the reference,
 //! `schedule_theorem1` n=2¹⁴ random2 ≥ 4× the clone-based reference
-//! scheduler (the [`ft_sched::SchedArena`] rebuild), and `online_route`
+//! scheduler (the [`ft_sched::SchedArena`] rebuild), `online_route`
 //! n=2¹² random2 ≥ 2.25× the clone-based reference router (the
 //! [`ft_sched::OnlineArena`] rebuild; the measured ceiling on the
-//! benchmark host is ~2.5×, see the gate-table comment in `main`).
+//! benchmark host is ~2.5×, see the gate-table comment in `main`), and
+//! `run_sharded` n=2¹⁴ random2 (4 shards, inproc) against the single
+//! arena — ≥ 1.0× when the host has two or more cores, a documented
+//! overhead floor on one core (see the gate comment). A `shard_scaling`
+//! weak-scaling curve (shards ∈ {1, 2, 4, 8}, n = 4096·shards) rides
+//! along in the JSON.
 //!
 //! Results are written as hand-rolled JSON to `BENCH_engine.json` in the
 //! current directory (schema documented in EXPERIMENTS.md), including a
@@ -38,7 +43,7 @@ use ft_core::rng::SplitMix64;
 use ft_core::{FatTree, Message, MessageSet};
 use ft_sched::reference::{route_online_reference, schedule_theorem1_reference};
 use ft_sched::{OnlineArena, OnlineConfig, SchedArena};
-use ft_shard::{run_sharded, ShardConfig, ShardRunStats};
+use ft_shard::{run_sharded, run_sharded_with, ShardConfig, ShardRunStats};
 use ft_sim::reference::{run_to_completion_reference, simulate_cycle_reference};
 use ft_sim::{compile_cycle, run_to_completion, SimArena, SimConfig};
 use ft_telemetry::MetricsRecorder;
@@ -123,6 +128,17 @@ struct Harness {
     /// Barrier/transport telemetry from the sharded duel's verification
     /// run: `(n, shards, stats, matches_single_arena)`.
     shard_stats: Option<(u32, u32, ShardRunStats, bool)>,
+    /// Weak-scaling curve: sharded vs single arena at n = 4096·shards.
+    shard_scaling: Vec<ScalingPoint>,
+}
+
+/// One weak-scaling measurement (`shard_scaling` block in the JSON).
+struct ScalingPoint {
+    shards: u32,
+    n: u32,
+    sharded_ns: u128,
+    single_ns: u128,
+    speedup: f64,
 }
 
 impl Harness {
@@ -178,6 +194,9 @@ impl Harness {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    // Focused mode for scripts/check.sh: run only the run_sharded duel and
+    // assert its gate (full engine sweep skipped, no file written).
+    let shard_gate_only = std::env::args().any(|a| a == "--shard-gate");
     let (sizes, budget): (&[u32], Duration) = if smoke {
         (&[256], Duration::from_millis(30))
     } else {
@@ -190,9 +209,11 @@ fn main() {
         capped: Vec::new(),
         gate_runs: Vec::new(),
         shard_stats: None,
+        shard_scaling: Vec::new(),
     };
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
 
+    let sizes: &[u32] = if shard_gate_only { &[] } else { sizes };
     for &n in sizes {
         let ft = tree(n);
         let cfg = SimConfig::default();
@@ -381,10 +402,11 @@ fn main() {
 
     // --- run_sharded vs run_to_completion: the distributed engine against
     // the single arena it must reproduce byte for byte. Each iteration
-    // pays the full protocol — worker spawn, INIT, per-cycle Batch/Claims/
-    // Incoming/Outcomes barriers — so the ratio *is* the sharding overhead
-    // on one host. No gate: the duel documents the barrier cost (a ratio
-    // below 1.0 is expected here), it does not assert a win.
+    // pays the full protocol — worker spawn, INIT/LOAD, per-cycle
+    // Cycle/Claims2/Incoming2/Outcomes exchanges — so the ratio *is* the
+    // sharding overhead on one host. Since the overlapped coordinator
+    // (incremental claim merge, retained pending, compact v2 frames) this
+    // duel carries a gate: see `shard_gate_target` at the gate table.
     {
         let n: u32 = if smoke { 256 } else { 1 << 14 };
         let ft = tree(n);
@@ -416,15 +438,58 @@ fn main() {
             workload: "random2",
             speedup: d.ratio,
         });
-        // One verification run whose transport telemetry lands in the JSON
-        // `shard` block alongside the equality check.
-        let got = run_sharded(&ft, &msgs, &shard_cfg).expect("sharded run");
+        // One instrumented verification run: transport telemetry lands in
+        // the JSON `shard` block alongside the equality check, and the
+        // recorder captures the coordinator's per-cycle barrier-wait /
+        // merge / top-arbitration overlap counters.
+        let mut rec = MetricsRecorder::new();
+        let got = run_sharded_with(&ft, &msgs, &shard_cfg, &mut rec).expect("sharded run");
         let want = run_to_completion(&ft, &msgs, &cfg);
         let matches = got.run.delivered_per_cycle == want.delivered_per_cycle
             && got.run.delivery_order == want.delivery_order
             && got.run.total_ticks == want.total_ticks;
         assert!(matches, "sharded run diverged from the single arena");
         h.shard_stats = Some((n, shards, got.stats, matches));
+        h.gate_runs
+            .push(("run_sharded", n, "random2", rec.to_json()));
+    }
+
+    // --- Weak scaling: shards ∈ {1, 2, 4, 8} with the problem growing in
+    // proportion (n = 4096·shards), sharded vs single arena on identical
+    // inputs. On a multi-core host the curve shows the overlap win
+    // compounding; on one core it shows the protocol overhead staying flat
+    // as the per-shard slice shrinks.
+    if !smoke && !shard_gate_only {
+        for shards in [1u32, 2, 4, 8] {
+            let n = 4096 * shards;
+            let ft = tree(n);
+            let cfg = SimConfig::default();
+            let msgs: MessageSet = workload("random2", n, 0xBEEF ^ n as u64)
+                .into_iter()
+                .collect();
+            let shard_cfg = ShardConfig::new(shards, cfg);
+            let name_a = format!("shard_scaling/sharded{shards}-inproc/n={n}/random2");
+            let name_b = format!("shard_scaling/single-arena/n={n}/random2");
+            let d = bench_duel(
+                &name_a,
+                &name_b,
+                h.budget,
+                &mut || {
+                    run_sharded(&ft, &msgs, &shard_cfg)
+                        .expect("sharded run")
+                        .run
+                        .cycles
+                },
+                &mut || run_to_completion(&ft, &msgs, &cfg).cycles,
+            );
+            h.shard_scaling.push(ScalingPoint {
+                shards,
+                n,
+                sharded_ns: d.a.median.as_nanos(),
+                single_ns: d.b.median.as_nanos(),
+                speedup: d.ratio,
+            });
+        }
     }
 
     // --- Report.
@@ -476,8 +541,46 @@ fn main() {
         }
     }
 
+    // The run_sharded gate is parallelism-aware. With two or more cores the
+    // overlapped coordinator must beat the single arena outright — four
+    // workers compute their subtrees concurrently while the coordinator
+    // merges. On a one-core host parallel speedup is physically impossible
+    // (every "concurrent" worker timeslices the same CPU and the protocol
+    // is pure overhead on top of the identical arbitration work), so the
+    // gate instead pins the overhead floor the v2 protocol achieves there:
+    // the overlapped coordinator + compact frames measure 0.81-0.82x on
+    // the 1-core benchmark host (the v1 lock-step barrier measured 0.76x,
+    // and moved 1.7x as many wire bytes); 0.70 carries the same ~12% noise
+    // margin as the other gates.
+    {
+        let shard_gate_target = if threads >= 2 { 1.0 } else { 0.70 };
+        if let Some(g) = h.speedups.iter().find(|s| s.op == "run_sharded") {
+            println!(
+                "\nacceptance: run_sharded n={} random2 speedup = {:.2}x (target >= {shard_gate_target}x on {threads} core(s))",
+                g.n, g.speedup
+            );
+            if !smoke {
+                assert!(
+                    g.speedup >= shard_gate_target,
+                    "run_sharded speedup gate failed: {:.2}x < {shard_gate_target}x",
+                    g.speedup
+                );
+            }
+        }
+        for p in &h.shard_scaling {
+            println!(
+                "scaling  run_sharded shards={} n={:<7} {:6.2}x vs single arena",
+                p.shards, p.n, p.speedup
+            );
+        }
+    }
+
     if smoke {
         println!("\nsmoke pass complete; no file written");
+        return;
+    }
+    if shard_gate_only {
+        println!("\nshard gate pass complete; no file written");
         return;
     }
 
@@ -543,7 +646,7 @@ fn to_json(h: &Harness) -> String {
     if let Some((n, shards, st, matches)) = &h.shard_stats {
         let ns_list = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
         out.push_str(&format!(
-            "  \"shard\": {{\"n\": {n}, \"shards\": {shards}, \"transport\": \"{}\", \"matches_single_arena\": {matches}, \"frames_sent\": {}, \"frames_received\": {}, \"bytes_sent\": {}, \"bytes_received\": {}, \"retries\": {}, \"checksum_rejects\": {}, \"duplicates\": {}, \"barrier_wait_ns\": {}, \"top_ns\": {}, \"shard_up_ns\": [{}], \"shard_down_ns\": [{}]}},\n",
+            "  \"shard\": {{\"n\": {n}, \"shards\": {shards}, \"transport\": \"{}\", \"matches_single_arena\": {matches}, \"frames_sent\": {}, \"frames_received\": {}, \"bytes_sent\": {}, \"bytes_received\": {}, \"retries\": {}, \"checksum_rejects\": {}, \"duplicates\": {}, \"barrier_wait_ns\": {}, \"top_ns\": {}, \"merge_ns\": {}, \"shard_up_ns\": [{}], \"shard_down_ns\": [{}]}},\n",
             st.transport,
             st.frames_sent,
             st.frames_received,
@@ -554,9 +657,25 @@ fn to_json(h: &Harness) -> String {
             st.duplicates,
             st.barrier_wait_ns,
             st.top_ns,
+            st.merge_ns,
             ns_list(&st.shard_up_ns),
             ns_list(&st.shard_down_ns),
         ));
+    }
+    if !h.shard_scaling.is_empty() {
+        out.push_str("  \"shard_scaling\": [\n");
+        for (i, p) in h.shard_scaling.iter().enumerate() {
+            let sep = if i + 1 < h.shard_scaling.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "    {{\"shards\": {}, \"n\": {}, \"workload\": \"random2\", \"sharded_median_ns\": {}, \"single_median_ns\": {}, \"speedup\": {:.3}}}{sep}\n",
+                p.shards, p.n, p.sharded_ns, p.single_ns, p.speedup
+            ));
+        }
+        out.push_str("  ],\n");
     }
     out.push_str("  \"telemetry\": {\n");
     out.push_str(&format!(

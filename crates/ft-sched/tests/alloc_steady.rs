@@ -3,8 +3,11 @@
 //! and refinement calls must perform **zero** heap allocation — the packed
 //! end tables, mate arrays, trace queues and segment stacks are all reused.
 //!
-//! Measured with a counting global allocator, so this file must stay its
-//! own integration-test binary.
+//! Measured with a counting global allocator, so this file is its own
+//! integration-test binary and runs with `harness = false`: the libtest
+//! harness's main thread allocates concurrently with the measured window
+//! (its mpsc receiver lazily initializes a thread-local context), which
+//! would read as a spurious steady-state allocation.
 
 use ft_core::{FatTree, Message};
 use ft_sched::{CrossDirection, SchedArena};
@@ -36,10 +39,9 @@ fn allocs() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
 }
 
-// One test function: the counter is global, so the measurements must not
-// run on concurrent test threads.
-#[test]
-fn warmed_arena_split_loop_does_not_allocate() {
+// One function on the sole thread: the counter is global, so nothing else
+// may allocate during the measured windows.
+fn main() {
     let n = 256u32;
     let ft = FatTree::universal(n, 64);
     let mut arena = SchedArena::new(&ft);

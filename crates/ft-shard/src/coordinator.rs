@@ -2,26 +2,42 @@
 //! cycles and arbitrates the root levels, reproducing
 //! [`ft_sim::run_to_completion`] byte for byte.
 //!
-//! Per cycle, every shard runs three barriers:
+//! The protocol is v2 ("retained pending"): `Load` ships each shard its
+//! messages once, and every cycle exchanges only deltas —
 //!
-//! 1. **Batch → Claims**: each shard simulates its subtree's up passes and
-//!    returns the surviving root-crossers.
+//! 1. **Cycle → Claims2**: the request carries the arbitration seed, a
+//!    verdict bitmap retiring last cycle's exported claims, and the
+//!    shard's arbitration-id remap (½ word per pending message); the reply
+//!    is the surviving root-crossers in a two-word compact encoding.
 //! 2. **Top arbitration** (coordinator-local): the claims of *all* shards,
 //!    merged in global-id order, pass through the levels above the shard
 //!    boundary in one [`SimArena`]. Merging by id makes the contender set
 //!    per root channel independent of shard count and claim arrival order,
 //!    and random arbitration hashes the coordinator-global message id — so
 //!    outcomes are invariant under resharding.
-//! 3. **Incoming → Outcomes**: survivors descend their destination shard's
-//!    subtree; shards report delivered ids and cycle ticks.
+//! 3. **Incoming2 → Outcomes**: survivors descend their destination
+//!    shard's subtree; shards report delivered ids and cycle ticks.
 //!
-//! Every exchange is a numbered idempotent request with bounded
-//! retry/backoff on timeout; unanswerable links degrade into a structured
-//! [`ShardError`], never a hang.
+//! Unlike the lock-step v1 engine, the coordinator is an *event loop*: it
+//! keeps every link's outstanding request in a deque with its own deadline
+//! and retransmit schedule, receives from whichever shard answers first,
+//! and processes each reply the moment it lands — claim frames are merged
+//! incrementally while slower shards are still computing, down-frames go
+//! out one by one as they are encoded, and the next cycle's requests are
+//! dispatched the instant the last outcome arrives. The only barrier left
+//! is the data dependency itself: root arbitration needs every claim, and
+//! the next cycle's id remap needs every delivery verdict. Timeouts and
+//! backoffs never sleep the loop — a late shard's retransmit is just
+//! another scheduled event.
+//!
+//! The steady-state loop is allocation-free: request frames come from a
+//! buffer pool, replies land in one reused receive buffer, and every
+//! per-cycle structure (merge runs, verdict bitmaps, remaps, delivery
+//! flags) is grow-only scratch.
 
 use crate::fault::{FaultPlan, FaultState, SendFate};
-use crate::proto::{BatchMsg, ClaimsMsg, InitMsg, OutcomesMsg};
-use crate::transport::{InProcTransport, PipeTransport, Transport, TransportError};
+use crate::proto::{ClaimsV2, CycleView, InitMsg, LoadMsg, OutcomesView};
+use crate::transport::{InProcTransport, PipeTransport, ShmTransport, Transport, TransportError};
 use crate::wire::{self, FrameKind};
 use ft_core::{FatTree, Message, MessageSet};
 use ft_sim::{Arbitration, RunReport, ShardClaim, SimArena, SimConfig};
@@ -33,6 +49,8 @@ use std::time::{Duration, Instant};
 pub enum TransportKind {
     /// Worker threads in this process (channels).
     InProcess,
+    /// Worker threads behind zero-copy shared-memory rings.
+    Shm,
     /// One worker child process per shard; `cmd[0]` is the executable,
     /// `cmd[1..]` its arguments — typically `[<ftsim>, "shard-worker"]`.
     Pipe { cmd: Vec<String> },
@@ -53,7 +71,8 @@ pub struct ShardConfig {
     pub timeout: Duration,
     /// Retransmits after the first attempt.
     pub retries: u32,
-    /// Sleep between retries.
+    /// Delay between a timeout and its retransmit (scheduled, not slept —
+    /// other links keep being served).
     pub backoff: Duration,
 }
 
@@ -138,7 +157,7 @@ impl ShardError {
 #[derive(Clone, Debug, Default)]
 pub struct ShardRunStats {
     pub shards: u32,
-    /// Transport name (`"inproc"` / `"pipe"`).
+    /// Transport name (`"inproc"` / `"shm"` / `"pipe"`).
     pub transport: &'static str,
     /// Physical frames put on the wire (after fault drops/duplicates).
     pub frames_sent: u64,
@@ -156,6 +175,10 @@ pub struct ShardRunStats {
     pub barrier_wait_ns: u64,
     /// Coordinator time in top-level arbitration.
     pub top_ns: u64,
+    /// Coordinator time merging claim frames (overlapped with shard
+    /// compute: all but the last run's merge happens while other shards
+    /// are still in their up phase).
+    pub merge_ns: u64,
     /// Per-shard self-reported up-phase compute time.
     pub shard_up_ns: Vec<u64>,
     /// Per-shard self-reported down-phase compute time.
@@ -182,8 +205,9 @@ pub fn run_sharded(
 }
 
 /// [`run_sharded`] with a telemetry [`Recorder`] observing cycle
-/// boundaries (matching `run_to_completion_with`; per-channel load stays
-/// inside the workers and is not recorded).
+/// boundaries and the coordinator's per-cycle barrier/merge/top counters
+/// (matching `run_to_completion_with`; per-channel load stays inside the
+/// workers and is not recorded).
 pub fn run_sharded_with<R: Recorder>(
     ft: &FatTree,
     msgs: &MessageSet,
@@ -206,350 +230,555 @@ pub fn run_sharded_with<R: Recorder>(
     }
     let transport: Box<dyn Transport> = match &cfg.transport {
         TransportKind::InProcess => Box::new(InProcTransport::spawn(cfg.shards as usize)),
+        TransportKind::Shm => {
+            // Each ring must hold the largest single frame (LOAD, at two
+            // words per message when one shard owns everything) with room
+            // for a duplicate behind it.
+            let ring_words = (4 * msgs.len() + 4096).next_power_of_two();
+            Box::new(ShmTransport::spawn(cfg.shards as usize, ring_words))
+        }
         TransportKind::Pipe { cmd } => Box::new(
             PipeTransport::spawn(cmd, cfg.shards as usize)
                 .map_err(|e| ShardError::Spawn(e.to_string()))?,
         ),
     };
-    Coordinator::new(ft, cfg, boundary, transport).run(msgs, rec)
+    let links = Links::new(transport, cfg);
+    run_loop(ft, cfg, boundary, links, msgs, rec)
 }
 
-struct Coordinator<'a> {
-    ft: &'a FatTree,
-    cfg: &'a ShardConfig,
-    boundary: u32,
+/// What reply kind an outstanding request is waiting for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ReplyTag {
+    InitAck,
+    LoadAck,
+    Claims,
+    Outcomes,
+    ShutdownAck,
+}
+
+impl ReplyTag {
+    fn expect(self) -> FrameKind {
+        match self {
+            ReplyTag::InitAck => FrameKind::InitAck,
+            ReplyTag::LoadAck => FrameKind::LoadAck,
+            ReplyTag::Claims => FrameKind::Claims2,
+            ReplyTag::Outcomes => FrameKind::Outcomes,
+            ReplyTag::ShutdownAck => FrameKind::ShutdownAck,
+        }
+    }
+}
+
+/// One in-flight request: the pristine frame (kept for retransmission),
+/// its reply deadline, and — after a timeout — the scheduled retransmit.
+struct OutReq {
+    seq: u32,
+    tag: ReplyTag,
+    frame: Vec<u64>,
+    deadline: Instant,
+    retransmit_at: Option<Instant>,
+    attempts: u32,
+}
+
+/// The transport plus everything needed to run it as an event loop:
+/// per-link sequence numbers, outstanding requests, fault state, a frame
+/// pool, and the shared receive buffer.
+struct Links {
     transport: Box<dyn Transport>,
-    /// Next request sequence number, per link.
-    seq: Vec<u32>,
-    /// Fault injection on the coordinator→worker direction, per link.
+    seq_next: Vec<u32>,
+    outstanding: Vec<Vec<OutReq>>,
     faults: Vec<Option<FaultState>>,
+    /// Recycled frame buffers (requests return here when their reply
+    /// lands).
+    pool: Vec<Vec<u64>>,
+    /// Scratch for the faulted copy of an outgoing frame.
+    fault_scratch: Vec<u64>,
+    /// Where `poll` leaves the received frame; `payload()` slices it.
+    rbuf: Vec<u64>,
+    timeout: Duration,
+    retries: u32,
+    backoff: Duration,
     stats: ShardRunStats,
 }
 
-impl<'a> Coordinator<'a> {
-    fn new(
-        ft: &'a FatTree,
-        cfg: &'a ShardConfig,
-        boundary: u32,
-        transport: Box<dyn Transport>,
-    ) -> Self {
+/// Upper bound on one idle `recv_any` wait when no deadline is near.
+const IDLE_WAIT: Duration = Duration::from_millis(100);
+
+impl Links {
+    fn new(transport: Box<dyn Transport>, cfg: &ShardConfig) -> Self {
         let shards = cfg.shards as usize;
-        Coordinator {
-            ft,
-            cfg,
-            boundary,
+        let stats = ShardRunStats {
+            shards: cfg.shards,
+            transport: transport.name(),
+            shard_up_ns: vec![0; shards],
+            shard_down_ns: vec![0; shards],
+            ..ShardRunStats::default()
+        };
+        Links {
             transport,
-            seq: vec![0; shards],
+            seq_next: vec![0; shards],
+            outstanding: (0..shards).map(|_| Vec::new()).collect(),
             faults: (0..shards)
                 .map(|s| (!cfg.faults.is_none()).then(|| FaultState::new(cfg.faults, s as u64 * 2)))
                 .collect(),
-            stats: ShardRunStats {
-                shards: cfg.shards,
-                shard_up_ns: vec![0; shards],
-                shard_down_ns: vec![0; shards],
-                ..ShardRunStats::default()
-            },
+            pool: Vec::new(),
+            fault_scratch: Vec::new(),
+            rbuf: Vec::new(),
+            timeout: cfg.timeout,
+            retries: cfg.retries,
+            backoff: cfg.backoff,
+            stats,
         }
     }
 
-    /// Put one logical frame on shard `s`'s link, through fault rolls.
-    fn send_raw(&mut self, s: usize, logical: &[u64]) -> Result<(), ShardError> {
-        let mut copy = logical.to_vec();
-        let fate = match &mut self.faults[s] {
-            Some(fs) => fs.next(&mut copy),
-            None => SendFate::Send,
-        };
-        let copies = match fate {
-            SendFate::Drop => 0,
-            SendFate::Send => 1,
-            SendFate::SendTwice => 2,
-        };
-        for c in 0..copies {
-            let frame = if c + 1 == copies {
-                std::mem::take(&mut copy)
-            } else {
-                copy.clone()
-            };
-            self.stats.frames_sent += 1;
-            self.stats.words_sent += frame.len() as u64;
-            self.transport
-                .send(s, frame)
-                .map_err(|e| ShardError::Protocol {
-                    shard: s as u32,
-                    what: e.to_string(),
-                })?;
-        }
+    /// Compose and send a request to shard `s` and register it as
+    /// outstanding. `payload` appends the body to the open frame.
+    fn request(
+        &mut self,
+        s: usize,
+        kind: FrameKind,
+        tag: ReplyTag,
+        payload: impl FnOnce(&mut Vec<u64>),
+    ) -> Result<(), ShardError> {
+        let mut frame = self.pool.pop().unwrap_or_default();
+        let seq = self.seq_next[s];
+        wire::begin_frame(&mut frame, kind, s as u16, seq);
+        payload(&mut frame);
+        wire::end_frame(&mut frame);
+        self.seq_next[s] = seq.wrapping_add(1);
+        self.send_faulted(s, &frame)?;
+        self.outstanding[s].push(OutReq {
+            seq,
+            tag,
+            frame,
+            deadline: Instant::now() + self.timeout,
+            retransmit_at: None,
+            attempts: 1,
+        });
         Ok(())
     }
 
-    /// Send request `kind` to shard `s` and wait for a reply of kind
-    /// `expect`, retrying on timeout. Returns the reply payload.
-    fn exchange(
-        &mut self,
-        s: usize,
-        kind: FrameKind,
-        payload: &[u64],
-        expect: FrameKind,
-    ) -> Result<Vec<u64>, ShardError> {
-        self.send_request(s, kind, payload)?;
-        self.await_reply(s, kind, payload, expect)
-    }
-
-    fn send_request(
-        &mut self,
-        s: usize,
-        kind: FrameKind,
-        payload: &[u64],
-    ) -> Result<(), ShardError> {
-        let words = wire::encode(kind, s as u16, self.seq[s], payload);
-        self.send_raw(s, &words)
-    }
-
-    /// Wait for shard `s`'s reply to the outstanding request, retransmitting
-    /// `(kind, payload)` on each timeout up to the retry budget.
-    fn await_reply(
-        &mut self,
-        s: usize,
-        kind: FrameKind,
-        payload: &[u64],
-        expect: FrameKind,
-    ) -> Result<Vec<u64>, ShardError> {
-        let seq = self.seq[s];
-        let attempts = self.cfg.retries + 1;
-        for attempt in 0..attempts {
-            if attempt > 0 {
-                self.stats.retries += 1;
-                std::thread::sleep(self.cfg.backoff);
-                let words = wire::encode(kind, s as u16, seq, payload);
-                self.send_raw(s, &words)?;
+    /// Put one logical frame on shard `s`'s link, through fault rolls.
+    fn send_faulted(&mut self, s: usize, logical: &[u64]) -> Result<(), ShardError> {
+        let closed = |e: TransportError| ShardError::Protocol {
+            shard: s as u32,
+            what: e.to_string(),
+        };
+        match &mut self.faults[s] {
+            None => {
+                self.stats.frames_sent += 1;
+                self.stats.words_sent += logical.len() as u64;
+                self.transport.send(s, logical).map_err(closed)
             }
-            let deadline = Instant::now() + self.cfg.timeout;
-            loop {
-                let remaining = deadline.saturating_duration_since(Instant::now());
-                if remaining.is_zero() {
-                    break;
+            Some(fs) => {
+                self.fault_scratch.clear();
+                self.fault_scratch.extend_from_slice(logical);
+                let copies = match fs.next(&mut self.fault_scratch) {
+                    SendFate::Drop => 0,
+                    SendFate::Send => 1,
+                    SendFate::SendTwice => 2,
+                };
+                for _ in 0..copies {
+                    self.stats.frames_sent += 1;
+                    self.stats.words_sent += self.fault_scratch.len() as u64;
+                    self.transport
+                        .send(s, &self.fault_scratch)
+                        .map_err(closed)?;
                 }
-                let t0 = Instant::now();
-                let got = self.transport.recv(s, remaining);
-                self.stats.barrier_wait_ns += t0.elapsed().as_nanos() as u64;
-                let words = match got {
-                    Ok(w) => w,
-                    Err(TransportError::Timeout) => break,
-                    Err(e @ TransportError::Closed(_)) => {
-                        return Err(ShardError::Protocol {
-                            shard: s as u32,
-                            what: e.to_string(),
-                        })
+                Ok(())
+            }
+        }
+    }
+
+    /// Drive the event loop until one outstanding request completes:
+    /// receives from any shard, discards duplicates and corrupt frames,
+    /// retransmits whatever times out (without sleeping the loop), and
+    /// fails structurally when a retry budget is exhausted. On `Ok((s,
+    /// tag))` the reply frame is in `rbuf` — read it via [`payload`].
+    fn poll(&mut self) -> Result<(usize, ReplyTag), ShardError> {
+        loop {
+            // Fire every due deadline and find the next scheduled event.
+            let now = Instant::now();
+            let mut next_event = now + IDLE_WAIT;
+            for s in 0..self.outstanding.len() {
+                for i in 0..self.outstanding[s].len() {
+                    let req = &mut self.outstanding[s][i];
+                    if let Some(rt) = req.retransmit_at {
+                        if now >= rt {
+                            req.retransmit_at = None;
+                            req.deadline = now + self.timeout;
+                            req.attempts += 1;
+                            self.stats.retries += 1;
+                            let frame = std::mem::take(&mut self.outstanding[s][i].frame);
+                            self.send_faulted(s, &frame)?;
+                            self.outstanding[s][i].frame = frame;
+                        }
+                    } else if now >= req.deadline {
+                        if req.attempts > self.retries {
+                            return Err(ShardError::Timeout {
+                                shard: s as u32,
+                                seq: req.seq,
+                                attempts: req.attempts,
+                            });
+                        }
+                        req.retransmit_at = Some(now + self.backoff);
                     }
-                };
-                self.stats.frames_received += 1;
-                self.stats.words_received += words.len() as u64;
-                let frame = match wire::decode(&words) {
-                    Ok(f) => f,
-                    Err(_) => {
-                        // Corrupted in flight: wait for a retransmit or
-                        // time out into one of ours.
-                        self.stats.checksum_rejects += 1;
-                        continue;
+                    let req = &self.outstanding[s][i];
+                    let t = req.retransmit_at.unwrap_or(req.deadline);
+                    if t < next_event {
+                        next_event = t;
                     }
-                };
-                if frame.seq < seq {
-                    self.stats.duplicates += 1;
+                }
+            }
+            let wait = next_event
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_micros(100));
+            let t0 = Instant::now();
+            let got = self.transport.recv_any(wait, &mut self.rbuf);
+            self.stats.barrier_wait_ns += t0.elapsed().as_nanos() as u64;
+            let s = match got {
+                Ok(s) => s,
+                Err(TransportError::Timeout) => continue,
+                Err(e @ TransportError::Closed(_)) => {
+                    // Attribute the dead transport to the earliest waiter.
+                    let shard = (0..self.outstanding.len())
+                        .find(|&s| !self.outstanding[s].is_empty())
+                        .unwrap_or(0) as u32;
+                    return Err(ShardError::Protocol {
+                        shard,
+                        what: e.to_string(),
+                    });
+                }
+            };
+            self.stats.frames_received += 1;
+            self.stats.words_received += self.rbuf.len() as u64;
+            let (kind, seq, code) = match wire::decode(&self.rbuf) {
+                Ok(f) => (f.kind, f.seq, f.payload.first().copied().unwrap_or(0)),
+                Err(_) => {
+                    // Corrupted in flight: the sender's retransmit (or our
+                    // timeout) recovers.
+                    self.stats.checksum_rejects += 1;
                     continue;
                 }
-                if frame.seq > seq {
-                    return Err(ShardError::Protocol {
-                        shard: s as u32,
-                        what: format!("reply seq {} ahead of request {}", frame.seq, seq),
-                    });
-                }
-                if frame.kind == FrameKind::Error {
-                    return Err(ShardError::Worker {
-                        shard: s as u32,
-                        code: frame.payload.first().copied().unwrap_or(0),
-                    });
-                }
-                if frame.kind != expect {
-                    return Err(ShardError::Protocol {
-                        shard: s as u32,
-                        what: format!("expected {:?} reply, got {:?}", expect, frame.kind),
-                    });
-                }
-                self.seq[s] = seq.wrapping_add(1);
-                return Ok(frame.payload.to_vec());
-            }
-        }
-        Err(ShardError::Timeout {
-            shard: s as u32,
-            seq,
-            attempts,
-        })
-    }
-
-    fn run<R: Recorder>(
-        mut self,
-        msgs: &MessageSet,
-        rec: &mut R,
-    ) -> Result<ShardRunReport, ShardError> {
-        self.stats.transport = self.transport.name();
-        let shards = self.cfg.shards as usize;
-        for s in 0..shards {
-            let init = InitMsg {
-                n: self.ft.n(),
-                boundary: self.boundary,
-                shard: s as u32,
-                sim: self.cfg.sim,
-                plan: self.cfg.faults,
-                profile: self.ft.profile().clone(),
             };
-            self.exchange(s, FrameKind::Init, &init.encode(), FrameKind::InitAck)?;
-        }
-        if R::ENABLED {
-            rec.run_start(self.ft.height());
-        }
-        let mut top = SimArena::new(self.ft, &self.cfg.sim);
-        let shift = self.ft.height() - self.boundary;
-        let mut pending: Vec<Message> = msgs.iter().copied().collect();
-        let mut orig: Vec<u32> = (0..pending.len() as u32).collect();
-        let mut cycles = 0usize;
-        let mut delivered_per_cycle = Vec::new();
-        let mut delivery_order = Vec::with_capacity(pending.len());
-        let mut total_ticks = 0u64;
-        let mut batches: Vec<(Vec<Message>, Vec<u32>)> = vec![Default::default(); shards];
-        let mut incoming: Vec<Vec<ShardClaim>> = vec![Vec::new(); shards];
-        while !pending.is_empty() {
-            // Identical per-cycle reseed to `run_to_completion`.
-            let arb_seed = match self.cfg.sim.arbitration {
-                Arbitration::Random(seed) => seed
-                    .wrapping_add(cycles as u64)
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                Arbitration::SlotOrder => 0,
-            };
-            if R::ENABLED {
-                rec.cycle_start(cycles as u32, pending.len() as u32);
-            }
-            // Barrier 1: batches out, claims in. All requests go out before
-            // any reply is awaited, so shards compute their up phases
-            // concurrently.
-            for b in &mut batches {
-                b.0.clear();
-                b.1.clear();
-            }
-            for (i, m) in pending.iter().enumerate() {
-                let s = ((self.ft.leaf(m.src) >> shift) - self.cfg.shards) as usize;
-                batches[s].0.push(*m);
-                batches[s].1.push(i as u32);
-            }
-            let payloads: Vec<Vec<u64>> = batches
-                .iter()
-                .map(|(m, ids)| BatchMsg::encode(cycles as u64, arb_seed, ids, m))
-                .collect();
-            for (s, p) in payloads.iter().enumerate() {
-                self.send_request(s, FrameKind::Batch, p)?;
-            }
-            let mut claims: Vec<ShardClaim> = Vec::new();
-            for (s, p) in payloads.iter().enumerate() {
-                let reply = self.await_reply(s, FrameKind::Batch, p, FrameKind::Claims)?;
-                let msg = ClaimsMsg::decode(&reply).map_err(|e| ShardError::Protocol {
-                    shard: s as u32,
-                    what: e.to_string(),
-                })?;
-                self.stats.shard_up_ns[s] += msg.compute_ns;
-                claims.extend_from_slice(&msg.claims);
-            }
-            // Top arbitration, on claims merged in global-id order so the
-            // contender sets are shard-count-invariant.
-            let t0 = Instant::now();
-            claims.sort_unstable_by_key(|c| c.id);
-            let mut cycle_cfg = self.cfg.sim;
-            if let Arbitration::Random(_) = cycle_cfg.arbitration {
-                cycle_cfg.arbitration = Arbitration::Random(arb_seed);
-            }
-            top.shard_top(self.ft, &cycle_cfg, self.boundary, &mut claims);
-            for inc in &mut incoming {
-                inc.clear();
-            }
-            for c in claims.drain(..) {
-                if c.alive() {
-                    incoming[c.dst_shard(self.ft.height(), self.boundary) as usize].push(c);
-                }
-            }
-            self.stats.top_ns += t0.elapsed().as_nanos() as u64;
-            // Barrier 2: survivors out, outcomes in. Every shard settles its
-            // down phase even when nothing crossed into it.
-            let payloads: Vec<Vec<u64>> = incoming
-                .iter()
-                .map(|inc| ClaimsMsg::encode(0, inc))
-                .collect();
-            for (s, p) in payloads.iter().enumerate() {
-                self.send_request(s, FrameKind::Incoming, p)?;
-            }
-            let mut delivered = vec![false; pending.len()];
-            let mut cycle_delivered = 0usize;
-            let mut ticks = 0u32;
-            for (s, p) in payloads.iter().enumerate() {
-                let reply = self.await_reply(s, FrameKind::Incoming, p, FrameKind::Outcomes)?;
-                let msg = OutcomesMsg::decode(&reply).map_err(|e| ShardError::Protocol {
-                    shard: s as u32,
-                    what: e.to_string(),
-                })?;
-                self.stats.shard_down_ns[s] += msg.compute_ns;
-                ticks = ticks.max(msg.ticks);
-                for id in msg.delivered {
-                    let slot =
-                        delivered
-                            .get_mut(id as usize)
-                            .ok_or_else(|| ShardError::Protocol {
-                                shard: s as u32,
-                                what: format!("delivered id {id} out of range"),
-                            })?;
-                    if *slot {
-                        return Err(ShardError::Protocol {
+            match self.outstanding[s].iter().position(|r| r.seq == seq) {
+                Some(i) => {
+                    if kind == FrameKind::Error {
+                        return Err(ShardError::Worker {
                             shard: s as u32,
-                            what: format!("message {id} delivered twice"),
+                            code,
                         });
                     }
-                    *slot = true;
-                    cycle_delivered += 1;
+                    let tag = self.outstanding[s][i].tag;
+                    if kind != tag.expect() {
+                        return Err(ShardError::Protocol {
+                            shard: s as u32,
+                            what: format!("expected {:?} reply, got {:?}", tag.expect(), kind),
+                        });
+                    }
+                    let req = self.outstanding[s].swap_remove(i);
+                    self.pool.push(req.frame);
+                    return Ok((s, tag));
+                }
+                None => {
+                    if seq >= self.seq_next[s] {
+                        return Err(ShardError::Protocol {
+                            shard: s as u32,
+                            what: format!("reply seq {seq} was never requested"),
+                        });
+                    }
+                    // A reply to an already-completed request: the echo of
+                    // a retransmit or a duplicate roll.
+                    self.stats.duplicates += 1;
                 }
             }
-            if cycle_delivered == 0 {
-                return Err(ShardError::NoProgress { cycle: cycles });
-            }
-            if R::ENABLED {
-                rec.cycle_end(cycles as u32, cycle_delivered as u32);
-            }
-            cycles += 1;
-            delivered_per_cycle.push(cycle_delivered);
-            total_ticks += ticks as u64;
-            // FIFO compaction in pending order — the delivery_order grouping
-            // matches the single arena's emit loop exactly.
-            let mut w = 0usize;
-            for i in 0..pending.len() {
-                if delivered[i] {
-                    delivery_order.push(orig[i] as usize);
-                } else {
-                    pending[w] = pending[i];
-                    orig[w] = orig[i];
-                    w += 1;
-                }
-            }
-            pending.truncate(w);
-            orig.truncate(w);
         }
-        for s in 0..shards {
-            // Best-effort: a shard that dies during shutdown changes
-            // nothing about the completed run.
-            let _ = self.exchange(s, FrameKind::Shutdown, &[], FrameKind::ShutdownAck);
-        }
-        Ok(ShardRunReport {
-            run: RunReport {
-                cycles,
-                delivered_per_cycle,
-                total_ticks,
-                delivery_order,
-            },
-            stats: self.stats,
-        })
     }
+
+    /// The payload of the frame `poll` just completed with.
+    fn payload(&self) -> &[u64] {
+        let len = self.rbuf[1] as usize;
+        &self.rbuf[2..2 + len]
+    }
+}
+
+/// Merge two id-sorted claim runs (disjoint ids) into `out`.
+fn merge_sorted(a: &[ShardClaim], b: &[ShardClaim], out: &mut Vec<ShardClaim>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].id <= b[j].id {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+fn run_loop<R: Recorder>(
+    ft: &FatTree,
+    cfg: &ShardConfig,
+    boundary: u32,
+    mut links: Links,
+    msgs: &MessageSet,
+    rec: &mut R,
+) -> Result<ShardRunReport, ShardError> {
+    let shards = cfg.shards as usize;
+    let shift = ft.height() - boundary;
+    let proto_err = |s: usize| {
+        move |e: crate::proto::ProtoError| ShardError::Protocol {
+            shard: s as u32,
+            what: e.to_string(),
+        }
+    };
+
+    // Partition the message set once; `shard_of[orig]` never changes.
+    let all: Vec<Message> = msgs.iter().copied().collect();
+    let m_total = all.len();
+    let mut shard_of = vec![0u32; m_total];
+    let mut load_ids: Vec<Vec<u32>> = vec![Vec::new(); shards];
+    let mut load_msgs: Vec<Vec<Message>> = vec![Vec::new(); shards];
+    for (i, m) in all.iter().enumerate() {
+        let s = ((ft.leaf(m.src) >> shift) - cfg.shards) as usize;
+        shard_of[i] = s as u32;
+        load_ids[s].push(i as u32);
+        load_msgs[s].push(*m);
+    }
+
+    // INIT and LOAD ride the pipeline window together: both go out
+    // back-to-back per link, workers answer them in order.
+    for s in 0..shards {
+        let init = InitMsg {
+            n: ft.n(),
+            boundary,
+            shard: s as u32,
+            proto: wire::PROTO_VERSION,
+            sim: cfg.sim,
+            plan: cfg.faults,
+            profile: ft.profile().clone(),
+        };
+        let enc = init.encode();
+        links.request(s, FrameKind::Init, ReplyTag::InitAck, |b| {
+            b.extend_from_slice(&enc)
+        })?;
+        links.request(s, FrameKind::Load, ReplyTag::LoadAck, |b| {
+            LoadMsg::encode_into(b, m_total as u32, &load_ids[s], &load_msgs[s])
+        })?;
+    }
+    for _ in 0..2 * shards {
+        links.poll()?;
+    }
+    if R::ENABLED {
+        rec.run_start(ft.height());
+    }
+
+    let mut top = SimArena::new(ft, &cfg.sim);
+    // The coordinator's id mirror: original ids still pending, FIFO. Its
+    // positions ARE this cycle's arbitration ids.
+    let mut mirror: Vec<u32> = (0..m_total as u32).collect();
+    let mut cycles = 0usize;
+    // At least one message delivers per cycle, so `m_total` bounds both.
+    let mut delivered_per_cycle = Vec::with_capacity(m_total);
+    let mut delivery_order = Vec::with_capacity(m_total);
+    let mut total_ticks = 0u64;
+
+    // Grow-only per-cycle scratch.
+    let mut remap: Vec<Vec<u32>> = vec![Vec::new(); shards];
+    let mut verdict_bits: Vec<Vec<u64>> = vec![Vec::new(); shards];
+    let mut exports_count = vec![0usize; shards];
+    // `attr[id]` = (generation, source shard, export index) of the claim
+    // with arbitration id `id` this cycle; stale entries are ignored via
+    // the generation stamp.
+    let mut attr: Vec<(u32, u32, u32)> = vec![(0, 0, 0); m_total];
+    let mut merged: Vec<ShardClaim> = Vec::new();
+    let mut merge_scratch: Vec<ShardClaim> = Vec::new();
+    let mut run_scratch: Vec<ShardClaim> = Vec::new();
+    let mut incoming: Vec<Vec<ShardClaim>> = vec![Vec::new(); shards];
+    let mut delivered: Vec<bool> = Vec::new();
+
+    for (s, r) in remap.iter_mut().enumerate() {
+        r.extend_from_slice(&load_ids[s]);
+    }
+
+    while !mirror.is_empty() {
+        // Identical per-cycle reseed to `run_to_completion`.
+        let arb_seed = match cfg.sim.arbitration {
+            Arbitration::Random(seed) => seed
+                .wrapping_add(cycles as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            Arbitration::SlotOrder => 0,
+        };
+        if R::ENABLED {
+            rec.cycle_start(cycles as u32, mirror.len() as u32);
+        }
+        let barrier_before = links.stats.barrier_wait_ns;
+        // Dispatch the whole cycle: seed + verdicts + remap per shard.
+        for s in 0..shards {
+            links.request(s, FrameKind::Cycle, ReplyTag::Claims, |b| {
+                CycleView::encode_into(
+                    b,
+                    cycles as u64,
+                    arb_seed,
+                    exports_count[s] as u32,
+                    &verdict_bits[s],
+                    &remap[s],
+                )
+            })?;
+        }
+        // Claims phase: merge each shard's sorted run the moment it lands,
+        // while the stragglers are still computing their up passes.
+        let gen = cycles as u32 + 1;
+        let mut merge_ns = 0u64;
+        merged.clear();
+        for _ in 0..shards {
+            let (s, tag) = links.poll()?;
+            debug_assert_eq!(tag, ReplyTag::Claims);
+            run_scratch.clear();
+            let ns =
+                ClaimsV2::decode_into(links.payload(), &mut run_scratch).map_err(proto_err(s))?;
+            links.stats.shard_up_ns[s] += ns;
+            exports_count[s] = run_scratch.len();
+            verdict_bits[s].clear();
+            verdict_bits[s].resize(run_scratch.len().div_ceil(64), 0);
+            let t0 = Instant::now();
+            for (i, c) in run_scratch.iter().enumerate() {
+                if c.id as usize >= mirror.len() {
+                    return Err(ShardError::Protocol {
+                        shard: s as u32,
+                        what: format!("claim id {} out of range", c.id),
+                    });
+                }
+                attr[c.id as usize] = (gen, s as u32, i as u32);
+            }
+            merge_sorted(&merged, &run_scratch, &mut merge_scratch);
+            std::mem::swap(&mut merged, &mut merge_scratch);
+            merge_ns += t0.elapsed().as_nanos() as u64;
+        }
+        links.stats.merge_ns += merge_ns;
+        // Top arbitration over the claims merged in global-id order.
+        let t0 = Instant::now();
+        let mut cycle_cfg = cfg.sim;
+        if let Arbitration::Random(_) = cycle_cfg.arbitration {
+            cycle_cfg.arbitration = Arbitration::Random(arb_seed);
+        }
+        top.shard_top(ft, &cycle_cfg, boundary, &mut merged);
+        for inc in &mut incoming {
+            inc.clear();
+        }
+        for c in &merged {
+            if c.alive() {
+                incoming[c.dst_shard(ft.height(), boundary) as usize].push(*c);
+            }
+        }
+        let top_ns = t0.elapsed().as_nanos() as u64;
+        links.stats.top_ns += top_ns;
+        // Down-frames stream out one by one — the first shard starts
+        // settling while the rest are still being encoded.
+        for (s, inc) in incoming.iter().enumerate() {
+            links.request(s, FrameKind::Incoming2, ReplyTag::Outcomes, |b| {
+                ClaimsV2::encode_into(b, 0, inc)
+            })?;
+        }
+        // Outcomes phase: apply each verdict as it lands.
+        delivered.clear();
+        delivered.resize(mirror.len(), false);
+        let mut cycle_delivered = 0usize;
+        let mut ticks = 0u32;
+        for _ in 0..shards {
+            let (s, tag) = links.poll()?;
+            debug_assert_eq!(tag, ReplyTag::Outcomes);
+            let v = OutcomesView::parse(links.payload()).map_err(proto_err(s))?;
+            let down_ns = v.compute_ns;
+            ticks = ticks.max(v.ticks);
+            for &d in v.delivered {
+                let id = d as usize;
+                let slot = delivered.get_mut(id).ok_or_else(|| ShardError::Protocol {
+                    shard: s as u32,
+                    what: format!("delivered id {d} out of range"),
+                })?;
+                if *slot {
+                    return Err(ShardError::Protocol {
+                        shard: s as u32,
+                        what: format!("message {d} delivered twice"),
+                    });
+                }
+                *slot = true;
+                cycle_delivered += 1;
+                // If this id was an exported claim, tell its source shard
+                // to retire it via the next cycle's verdict bitmap.
+                let (g, src, idx) = attr[id];
+                if g == gen {
+                    verdict_bits[src as usize][idx as usize / 64] |= 1 << (idx % 64);
+                }
+            }
+            links.stats.shard_down_ns[s] += down_ns;
+        }
+        if cycle_delivered == 0 {
+            return Err(ShardError::NoProgress { cycle: cycles });
+        }
+        if R::ENABLED {
+            rec.cycle_end(cycles as u32, cycle_delivered as u32);
+            rec.shard_cycle(
+                cycles as u32,
+                links.stats.barrier_wait_ns - barrier_before,
+                merge_ns,
+                top_ns,
+            );
+        }
+        cycles += 1;
+        delivered_per_cycle.push(cycle_delivered);
+        total_ticks += ticks as u64;
+        // FIFO compaction in pending order — the delivery_order grouping
+        // matches the single arena's emit loop exactly — then the next
+        // cycle's per-shard id remaps fall out of the surviving positions.
+        let mut w = 0usize;
+        for i in 0..mirror.len() {
+            if delivered[i] {
+                delivery_order.push(mirror[i] as usize);
+            } else {
+                mirror[w] = mirror[i];
+                w += 1;
+            }
+        }
+        mirror.truncate(w);
+        for r in &mut remap {
+            r.clear();
+        }
+        for (i, &orig) in mirror.iter().enumerate() {
+            remap[shard_of[orig as usize] as usize].push(i as u32);
+        }
+        // The next iteration's Cycle dispatch happens immediately — the
+        // workers' up passes for cycle c+1 overlap this loop's bookkeeping
+        // and each other.
+    }
+    // Best-effort shutdown: a shard that dies here changes nothing about
+    // the completed run.
+    'shutdown: {
+        for s in 0..shards {
+            if links
+                .request(s, FrameKind::Shutdown, ReplyTag::ShutdownAck, |_| {})
+                .is_err()
+            {
+                break 'shutdown;
+            }
+        }
+        for _ in 0..shards {
+            if links.poll().is_err() {
+                break 'shutdown;
+            }
+        }
+    }
+    Ok(ShardRunReport {
+        run: RunReport {
+            cycles,
+            delivered_per_cycle,
+            total_ticks,
+            delivery_order,
+        },
+        stats: links.stats,
+    })
 }

@@ -25,14 +25,22 @@
 //! enforces equality across shard counts and transports.
 //!
 //! Shards talk through a pluggable [`Transport`]: worker threads over
-//! channels ([`InProcTransport`]) or worker *processes* over stdin/stdout
-//! pipes ([`PipeTransport`], speaking the little-endian frame encoding of
-//! [`wire`]). The protocol is robust by construction — frames carry
-//! checksums and sequence numbers, requests are idempotent, lost or
+//! channels ([`InProcTransport`]), worker threads behind zero-copy
+//! shared-memory rings ([`ShmTransport`]), or worker *processes* over
+//! stdin/stdout pipes ([`PipeTransport`], speaking the little-endian frame
+//! encoding of [`wire`]). The protocol is robust by construction — frames
+//! carry checksums and sequence numbers, requests are idempotent, lost or
 //! corrupted exchanges are retried with bounded backoff, and anything
 //! unanswerable degrades into a structured [`ShardError`] instead of a
 //! hang. [`FaultPlan`] injects deterministic drops, duplicates, bit flips,
 //! and slow shards to prove it.
+//!
+//! Since protocol v2 the coordinator is an overlapped event loop rather
+//! than a lock-step barrier: messages are loaded onto shards once, each
+//! cycle exchanges only deltas (verdict bitmaps, id remaps, compact claim
+//! descriptors), claim frames are merged as they arrive, and down-frames
+//! stream out as they are encoded. The steady-state cycle loop performs no
+//! heap allocation (`tests/alloc_steady.rs` pins this).
 
 pub mod coordinator;
 pub mod fault;
@@ -46,7 +54,7 @@ pub use coordinator::{
     TransportKind,
 };
 pub use fault::{FaultPlan, FaultState, SendFate};
-pub use transport::{InProcTransport, PipeTransport, Transport, TransportError};
+pub use transport::{InProcTransport, PipeTransport, ShmTransport, Transport, TransportError};
 pub use worker::{run_channel, run_pipe, WorkerCore};
 
 #[cfg(test)]

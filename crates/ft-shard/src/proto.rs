@@ -25,6 +25,8 @@ fn err<T>(what: &str) -> Result<T, ProtoError> {
 pub const ERR_UNINITIALIZED: u64 = 1;
 pub const ERR_SEQ_DESYNC: u64 = 2;
 pub const ERR_BAD_PAYLOAD: u64 = 3;
+/// A `Cycle` arrived before the pending set was shipped with `Load`.
+pub const ERR_NOT_LOADED: u64 = 4;
 
 /// The INIT request: everything a worker needs to build its arena.
 #[derive(Clone, Debug)]
@@ -32,6 +34,11 @@ pub struct InitMsg {
     pub n: u32,
     pub boundary: u32,
     pub shard: u32,
+    /// Peer protocol version ([`crate::wire::PROTO_VERSION`] when encoded
+    /// by this build). Rides in the previously-always-zero high bits of the
+    /// shard word, so a version-1 frame decodes as `proto == 0` instead of
+    /// failing — the decode-fallback contract for the v2 format bump.
+    pub proto: u32,
     pub sim: SimConfig,
     pub plan: FaultPlan,
     pub profile: CapacityProfile,
@@ -42,7 +49,7 @@ impl InitMsg {
         let mut p = vec![
             self.n as u64,
             self.boundary as u64,
-            self.shard as u64,
+            self.shard as u64 | (self.proto as u64) << 32,
             self.sim.payload_bits as u64,
             match self.sim.switch {
                 SwitchKind::Ideal => 0,
@@ -107,6 +114,7 @@ impl InitMsg {
             n: p[0] as u32,
             boundary: p[1] as u32,
             shard: p[2] as u32,
+            proto: (p[2] >> 32) as u32,
             sim: SimConfig {
                 payload_bits: p[3] as u32,
                 switch: match p[4] {
@@ -239,9 +247,15 @@ pub struct OutcomesMsg {
 impl OutcomesMsg {
     pub fn encode(compute_ns: u64, ticks: u32, delivered: &[u32]) -> Vec<u64> {
         let mut p = Vec::with_capacity(3 + delivered.len());
-        p.extend([compute_ns, ticks as u64, delivered.len() as u64]);
-        p.extend(delivered.iter().map(|&d| d as u64));
+        Self::encode_into(&mut p, compute_ns, ticks, delivered);
         p
+    }
+
+    /// Append the OUTCOMES payload to an open frame.
+    pub fn encode_into(out: &mut Vec<u64>, compute_ns: u64, ticks: u32, delivered: &[u32]) {
+        out.reserve(3 + delivered.len());
+        out.extend([compute_ns, ticks as u64, delivered.len() as u64]);
+        out.extend(delivered.iter().map(|&d| d as u64));
     }
 
     pub fn decode(p: &[u64]) -> Result<OutcomesMsg, ProtoError> {
@@ -255,6 +269,195 @@ impl OutcomesMsg {
             compute_ns: p[0],
             ticks: p[1] as u32,
             delivered: p[3..].iter().map(|&d| d as u32).collect(),
+        })
+    }
+}
+
+/// The v2 LOAD request: a shard's complete pending-message set, shipped
+/// once per run. `total` is the coordinator-global message count, which
+/// bounds every id the worker will ever see (its own and incoming claims'),
+/// so the worker can size its membership table up front.
+pub struct LoadMsg {
+    pub total: u32,
+    pub ids: Vec<u32>,
+    pub msgs: Vec<Message>,
+}
+
+impl LoadMsg {
+    /// Append the LOAD payload to an open frame (see
+    /// [`crate::wire::begin_frame`]).
+    pub fn encode_into(out: &mut Vec<u64>, total: u32, ids: &[u32], msgs: &[Message]) {
+        debug_assert_eq!(ids.len(), msgs.len());
+        out.reserve(2 + 2 * msgs.len());
+        out.extend([total as u64, msgs.len() as u64]);
+        for (&id, m) in ids.iter().zip(msgs) {
+            out.push(id as u64);
+            out.push((m.src.0 as u64) << 32 | m.dst.0 as u64);
+        }
+    }
+
+    pub fn decode(p: &[u64]) -> Result<LoadMsg, ProtoError> {
+        if p.len() < 2 {
+            return err("LOAD too short");
+        }
+        let count = p[1] as usize;
+        if p.len() != 2 + 2 * count {
+            return err("LOAD length mismatch");
+        }
+        let mut ids = Vec::with_capacity(count);
+        let mut msgs = Vec::with_capacity(count);
+        for pair in p[2..].chunks_exact(2) {
+            ids.push(pair[0] as u32);
+            msgs.push(Message::new((pair[1] >> 32) as u32, pair[1] as u32));
+        }
+        Ok(LoadMsg {
+            total: p[0] as u32,
+            ids,
+            msgs,
+        })
+    }
+}
+
+/// The v2 CYCLE request: the per-cycle arbitration seed, the verdict
+/// bitmap over the claims the shard exported last cycle, and the shard's
+/// id *remap* for this cycle.
+///
+/// The bitmap is in export order (both sides hold that list sorted by
+/// global id). Bit set = the claim was delivered in its destination shard,
+/// retire it; clear = it lost top or destination arbitration, keep it
+/// pending and retry.
+///
+/// Arbitration ids are positions in the coordinator's compacted pending
+/// array, so they change every cycle as messages around a survivor
+/// deliver; the remap lists this shard's survivors' new ids, in pending
+/// (FIFO) order, packed two per word. After retiring the bitmap's verdicts
+/// and its own local deliveries, the worker's compacted pending aligns
+/// with the remap one-to-one — a length mismatch is a protocol error.
+/// This replaces v1's per-cycle re-send of the whole pending set (½ word
+/// per message instead of 3).
+pub struct CycleView<'a> {
+    pub cycle: u64,
+    pub arb_seed: u64,
+    /// Number of meaningful bits (= previous export count).
+    pub verdicts: u32,
+    pub bits: &'a [u64],
+    /// Number of remapped ids (= the shard's pending count this cycle).
+    pub nids: u32,
+    ids: &'a [u64],
+}
+
+impl<'a> CycleView<'a> {
+    pub fn encode_into(
+        out: &mut Vec<u64>,
+        cycle: u64,
+        arb_seed: u64,
+        verdicts: u32,
+        bits: &[u64],
+        ids: &[u32],
+    ) {
+        debug_assert_eq!(bits.len(), verdicts.div_ceil(64) as usize);
+        out.reserve(3 + bits.len() + ids.len().div_ceil(2));
+        out.extend([cycle, arb_seed, (verdicts as u64) << 32 | ids.len() as u64]);
+        out.extend_from_slice(bits);
+        for pair in ids.chunks(2) {
+            let hi = pair.get(1).copied().unwrap_or(0) as u64;
+            out.push(hi << 32 | pair[0] as u64);
+        }
+    }
+
+    pub fn parse(p: &'a [u64]) -> Result<CycleView<'a>, ProtoError> {
+        if p.len() < 3 {
+            return err("CYCLE too short");
+        }
+        let verdicts = (p[2] >> 32) as u32;
+        let nids = p[2] as u32;
+        let nbits = verdicts.div_ceil(64) as usize;
+        if p.len() != 3 + nbits + (nids as usize).div_ceil(2) {
+            return err("CYCLE length mismatch");
+        }
+        Ok(CycleView {
+            cycle: p[0],
+            arb_seed: p[1],
+            verdicts,
+            bits: &p[3..3 + nbits],
+            nids,
+            ids: &p[3 + nbits..],
+        })
+    }
+
+    /// Verdict for export index `i`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits[i / 64] >> (i % 64) & 1 != 0
+    }
+
+    /// Remapped id at pending position `i`.
+    #[inline]
+    pub fn id(&self, i: usize) -> u32 {
+        (self.ids[i / 2] >> (32 * (i % 2))) as u32
+    }
+}
+
+/// The v2 claim-list body, two words per claim instead of v1's three:
+/// `id | wire` packed in one word (the wire rank is the claim's *winner
+/// index* on its boundary channel) and the 62-bit descriptor (LCA + leaves,
+/// flags implied — see [`ShardClaim::descriptor`]). Rides in `Claims2`
+/// (worker → coordinator, `header` = up-phase compute ns) and `Incoming2`
+/// (coordinator → worker, `header` = 0).
+pub struct ClaimsV2;
+
+impl ClaimsV2 {
+    pub fn encode_into(out: &mut Vec<u64>, header: u64, claims: &[ShardClaim]) {
+        out.reserve(2 + 2 * claims.len());
+        out.extend([header, claims.len() as u64]);
+        for c in claims {
+            out.push((c.id as u64) << 32 | c.wire as u64);
+            out.push(c.descriptor());
+        }
+    }
+
+    /// Append the decoded claims to `out` (cleared by the caller when a
+    /// fresh list is wanted) and return the header word.
+    pub fn decode_into(p: &[u64], out: &mut Vec<ShardClaim>) -> Result<u64, ProtoError> {
+        if p.len() < 2 {
+            return err("CLAIMS2 too short");
+        }
+        let count = p[1] as usize;
+        if p.len() != 2 + 2 * count {
+            return err("CLAIMS2 length mismatch");
+        }
+        out.reserve(count);
+        for pair in p[2..].chunks_exact(2) {
+            out.push(ShardClaim::from_descriptor(
+                (pair[0] >> 32) as u32,
+                pair[0] as u32,
+                pair[1],
+            ));
+        }
+        Ok(p[0])
+    }
+}
+
+/// Borrowing view of an OUTCOMES payload — the coordinator's hot loop
+/// walks delivered ids in place instead of materializing a vector.
+pub struct OutcomesView<'a> {
+    pub compute_ns: u64,
+    pub ticks: u32,
+    pub delivered: &'a [u64],
+}
+
+impl<'a> OutcomesView<'a> {
+    pub fn parse(p: &'a [u64]) -> Result<OutcomesView<'a>, ProtoError> {
+        if p.len() < 3 {
+            return err("OUTCOMES too short");
+        }
+        if p.len() != 3 + p[2] as usize {
+            return err("OUTCOMES length mismatch");
+        }
+        Ok(OutcomesView {
+            compute_ns: p[0],
+            ticks: p[1] as u32,
+            delivered: &p[3..],
         })
     }
 }
@@ -280,6 +483,7 @@ mod tests {
                 n: 64,
                 boundary: 2,
                 shard: 3,
+                proto: crate::wire::PROTO_VERSION,
                 sim: SimConfig {
                     payload_bits: 48,
                     switch: SwitchKind::Partial,
@@ -303,6 +507,7 @@ mod tests {
             assert_eq!(back.n, 64);
             assert_eq!(back.boundary, 2);
             assert_eq!(back.shard, 3);
+            assert_eq!(back.proto, crate::wire::PROTO_VERSION);
             assert_eq!(back.sim.payload_bits, 48);
             assert_eq!(back.sim.arbitration, Arbitration::Random(77));
             assert_eq!(back.sim.faults.dead_wire_fraction, 0.25);
@@ -343,5 +548,69 @@ mod tests {
         assert!(BatchMsg::decode(&[1]).is_err());
         assert!(ClaimsMsg::decode(&[0, 5, 1]).is_err());
         assert!(OutcomesMsg::decode(&[0, 0, 9]).is_err());
+    }
+
+    #[test]
+    fn v1_init_decodes_with_proto_zero() {
+        // A version-1 peer left the shard word's high bits zero; the v2
+        // decoder must fall back cleanly instead of rejecting the frame.
+        let mut init = InitMsg {
+            n: 64,
+            boundary: 2,
+            shard: 3,
+            proto: crate::wire::PROTO_VERSION,
+            sim: SimConfig::default(),
+            plan: FaultPlan::none(),
+            profile: CapacityProfile::FullDoubling,
+        };
+        init.proto = 0; // exactly the bytes a v1 encoder produced
+        let back = InitMsg::decode(&init.encode()).unwrap();
+        assert_eq!(back.shard, 3);
+        assert_eq!(back.proto, 0);
+    }
+
+    #[test]
+    fn load_cycle_claims2_outcomes_roundtrip() {
+        let ids = [2u32, 7, 8];
+        let msgs = [Message::new(1, 9), Message::new(4, 0), Message::new(2, 6)];
+        let mut p = Vec::new();
+        LoadMsg::encode_into(&mut p, 12, &ids, &msgs);
+        let l = LoadMsg::decode(&p).unwrap();
+        assert_eq!(l.total, 12);
+        assert_eq!(l.ids, ids);
+        assert_eq!(l.msgs, msgs);
+
+        let mut p = Vec::new();
+        CycleView::encode_into(&mut p, 5, 0xFEED, 66, &[u64::MAX, 0b10], &[4, 9, 1000]);
+        let c = CycleView::parse(&p).unwrap();
+        assert_eq!(
+            (c.cycle, c.arb_seed, c.verdicts, c.nids),
+            (5, 0xFEED, 66, 3)
+        );
+        assert!(c.bit(0) && c.bit(63) && !c.bit(64) && c.bit(65));
+        assert_eq!((c.id(0), c.id(1), c.id(2)), (4, 9, 1000));
+
+        // Claims survive the two-word compact encoding exactly, including
+        // the descriptor round-trip through `ShardClaim::from_descriptor`.
+        let claims = [
+            ShardClaim::from_descriptor(7, 3, (5 << 34) | (9 << 6) | 1),
+            ShardClaim::from_descriptor(8, 0, 2),
+        ];
+        let mut p = Vec::new();
+        ClaimsV2::encode_into(&mut p, 1234, &claims);
+        let mut back = Vec::new();
+        assert_eq!(ClaimsV2::decode_into(&p, &mut back).unwrap(), 1234);
+        assert_eq!(back, claims);
+        // Two words per claim on the wire, down from v1's three.
+        assert_eq!(p.len(), 2 + 2 * claims.len());
+        assert!(ClaimsV2::decode_into(&p[..3], &mut back).is_err());
+
+        let p = OutcomesMsg::encode(9, 88, &[2, 4, 6]);
+        let v = OutcomesView::parse(&p).unwrap();
+        assert_eq!((v.compute_ns, v.ticks), (9, 88));
+        assert_eq!(v.delivered, &[2, 4, 6]);
+
+        assert!(LoadMsg::decode(&[5]).is_err());
+        assert!(CycleView::parse(&[0, 0, 65, 1]).is_err());
     }
 }

@@ -21,6 +21,15 @@
 /// Frame magic, in the top 16 bits of word 0.
 pub const MAGIC: u64 = 0xF75D;
 
+/// Protocol version spoken by this build. Version 2 added the overlapped
+/// coordinator's frame kinds (`Load`/`Cycle`/`Claims2`/`Incoming2`) and the
+/// compact two-word claim encodings; version 1 peers (the original
+/// lock-step `Batch`/`Claims`/`Incoming` cycle) are still decoded — the
+/// worker keeps the v1 request arms, and [`crate::proto::InitMsg`] carries
+/// the version in previously-zero header bits so v1 frames decode as
+/// version 0/1 instead of failing.
+pub const PROTO_VERSION: u32 = 2;
+
 /// Hard cap on payload length: a frame announcing more than this is
 /// rejected as a protocol error instead of a giant allocation or a hang.
 pub const MAX_PAYLOAD_WORDS: u64 = 1 << 24;
@@ -54,6 +63,23 @@ pub enum FrameKind {
     /// Worker → coordinator: unrecoverable worker-side failure (code in
     /// payload word 0, see [`crate::ShardError::Worker`]).
     Error = 9,
+    /// Coordinator → worker (v2): the shard's full pending-message set,
+    /// shipped once per run. The worker retains and compacts it locally, so
+    /// per-cycle traffic no longer carries message bodies.
+    Load = 10,
+    /// Worker → coordinator (v2): LOAD applied.
+    LoadAck = 11,
+    /// Coordinator → worker (v2): start a delivery cycle — the per-cycle
+    /// arbitration seed plus a verdict bitmap over the claims this shard
+    /// exported last cycle (bit set = delivered remotely, drop it from
+    /// pending; clear = retry it).
+    Cycle = 12,
+    /// Worker → coordinator (v2): surviving root-crossers, two words per
+    /// claim (`id|wire`, descriptor) instead of v1 `Claims`' three.
+    Claims2 = 13,
+    /// Coordinator → worker (v2): top-arbitration winners descending into
+    /// this shard, in the same two-word encoding.
+    Incoming2 = 14,
 }
 
 impl FrameKind {
@@ -68,6 +94,11 @@ impl FrameKind {
             7 => FrameKind::Shutdown,
             8 => FrameKind::ShutdownAck,
             9 => FrameKind::Error,
+            10 => FrameKind::Load,
+            11 => FrameKind::LoadAck,
+            12 => FrameKind::Cycle,
+            13 => FrameKind::Claims2,
+            14 => FrameKind::Incoming2,
             _ => return None,
         })
     }
@@ -125,15 +156,32 @@ pub fn checksum(words: &[u64]) -> u64 {
 /// Encode one frame. `seq` is truncated to 24 bits (the coordinator issues
 /// seqs sequentially; 16M requests outlive any simulated run).
 pub fn encode(kind: FrameKind, shard: u16, seq: u32, payload: &[u64]) -> Vec<u64> {
-    debug_assert!((payload.len() as u64) < MAX_PAYLOAD_WORDS);
     let mut words = Vec::with_capacity(payload.len() + OVERHEAD_WORDS);
-    words.push(
-        MAGIC << 48 | (kind as u64) << 40 | (shard as u64) << 24 | (seq as u64 & 0x00FF_FFFF),
-    );
-    words.push(payload.len() as u64);
+    begin_frame(&mut words, kind, shard, seq);
     words.extend_from_slice(payload);
-    words.push(checksum(&words));
+    end_frame(&mut words);
     words
+}
+
+/// Start composing a frame directly into `buf` (cleared first): header
+/// words only. Push the payload, then seal with [`end_frame`]. Splitting
+/// the composition this way lets hot paths build payloads in place in a
+/// grow-only buffer — no intermediate payload vector, no per-frame
+/// allocation once the buffer has reached steady-state size.
+pub fn begin_frame(buf: &mut Vec<u64>, kind: FrameKind, shard: u16, seq: u32) {
+    buf.clear();
+    buf.push(MAGIC << 48 | (kind as u64) << 40 | (shard as u64) << 24 | (seq as u64 & 0x00FF_FFFF));
+    buf.push(0); // payload length, patched by `end_frame`
+}
+
+/// Seal a frame begun with [`begin_frame`]: patch the length word and
+/// append the checksum.
+pub fn end_frame(buf: &mut Vec<u64>) {
+    debug_assert!(buf.len() >= 2, "end_frame without begin_frame");
+    let payload_len = (buf.len() - 2) as u64;
+    debug_assert!(payload_len < MAX_PAYLOAD_WORDS);
+    buf[1] = payload_len;
+    buf.push(checksum(buf));
 }
 
 /// Validate and decode a frame.
@@ -168,10 +216,22 @@ pub fn decode(words: &[u64]) -> Result<Frame<'_>, WireError> {
 /// Write a frame as little-endian bytes (the pipe transport's encoding).
 pub fn write_frame<W: std::io::Write>(w: &mut W, words: &[u64]) -> std::io::Result<()> {
     let mut bytes = Vec::with_capacity(words.len() * 8);
+    write_frame_buf(w, words, &mut bytes)
+}
+
+/// [`write_frame`] through a caller-owned scratch buffer, so a transport
+/// thread streaming many frames byte-encodes them without per-frame
+/// allocation.
+pub fn write_frame_buf<W: std::io::Write>(
+    w: &mut W,
+    words: &[u64],
+    bytes: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    bytes.clear();
     for &word in words {
         bytes.extend_from_slice(&word.to_le_bytes());
     }
-    w.write_all(&bytes)?;
+    w.write_all(bytes)?;
     w.flush()
 }
 
@@ -219,6 +279,17 @@ mod tests {
         assert_eq!(f.shard, 3);
         assert_eq!(f.seq, 0x00AB_CDEF);
         assert_eq!(f.payload, &payload);
+    }
+
+    #[test]
+    fn in_place_composition_matches_encode() {
+        let payload = [3u64, 1, 4, 1, 5];
+        let want = encode(FrameKind::Incoming2, 2, 9, &payload);
+        let mut buf = vec![0xDEAD; 7]; // stale contents must not leak in
+        begin_frame(&mut buf, FrameKind::Incoming2, 2, 9);
+        buf.extend_from_slice(&payload);
+        end_frame(&mut buf);
+        assert_eq!(buf, want);
     }
 
     #[test]

@@ -826,6 +826,34 @@ impl ShardClaim {
         self.meta & META_ALIVE != 0
     }
 
+    /// Compact 62-bit wire descriptor: the LCA level and both leaves,
+    /// without the alive/local flags. Exchanged claims are always alive and
+    /// never local (locals settle inside their shard; dead claims are not
+    /// shipped), so the flags carry no information on the wire and
+    /// [`Self::from_descriptor`] reconstructs `meta` exactly.
+    #[inline]
+    pub fn descriptor(&self) -> u64 {
+        debug_assert!(self.alive() && self.meta & META_LOCAL == 0);
+        self.meta >> 2
+    }
+
+    /// Rebuild a claim from its [`Self::descriptor`] (alive, non-local).
+    #[inline]
+    pub fn from_descriptor(id: u32, wire: u32, desc: u64) -> ShardClaim {
+        ShardClaim {
+            id,
+            meta: desc << 2 | META_ALIVE,
+            wire,
+        }
+    }
+
+    /// Index of the shard owning this claim's source subtree (the shard
+    /// that exported it), mirroring [`Self::dst_shard`].
+    #[inline]
+    pub fn src_shard(&self, height: u32, boundary: u32) -> u32 {
+        (meta_src(self.meta) >> (height - boundary)) - (1 << boundary)
+    }
+
     /// Source leaf (heap id).
     #[inline]
     pub fn src_leaf(&self) -> u32 {

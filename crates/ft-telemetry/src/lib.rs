@@ -55,6 +55,13 @@ pub trait Recorder {
     fn cycle_end(&mut self, cycle: u32, delivered: u32) {
         let _ = (cycle, delivered);
     }
+    /// The sharded coordinator finished a cycle having spent
+    /// `barrier_wait_ns` blocked on shard replies, `merge_ns` merging claim
+    /// frames (overlapped with shard compute), and `top_ns` in top-level
+    /// arbitration. Only [`run_sharded_with`]-style engines call this.
+    fn shard_cycle(&mut self, cycle: u32, barrier_wait_ns: u64, merge_ns: u64, top_ns: u64) {
+        let _ = (cycle, barrier_wait_ns, merge_ns, top_ns);
+    }
     /// Wire-claim outcome aggregate for one (cycle, level): `claimed` wires
     /// were granted, `blocked` claim attempts were rejected (= resends), and
     /// `wasted` grants were rolled back because the message died higher up.
@@ -200,6 +207,13 @@ pub struct MetricsRecorder {
     pub split_sizes: Histogram,
     /// Per-cascade-stage matching statistics.
     pub stages: Vec<StageStats>,
+    /// Coordinator barrier wait per cycle (ns); empty for unsharded runs.
+    pub barrier_wait_ns_per_cycle: Vec<u64>,
+    /// Coordinator claim-merge time per cycle (ns); empty for unsharded runs.
+    pub merge_ns_per_cycle: Vec<u64>,
+    /// Coordinator top-arbitration time per cycle (ns); empty for unsharded
+    /// runs.
+    pub top_ns_per_cycle: Vec<u64>,
     /// Optional event trace; capacity 0 = tracing off.
     pub ring: EventRing,
     cur_cycle: u32,
@@ -236,6 +250,9 @@ impl MetricsRecorder {
         for s in &mut self.stages {
             *s = StageStats::default();
         }
+        self.barrier_wait_ns_per_cycle.clear();
+        self.merge_ns_per_cycle.clear();
+        self.top_ns_per_cycle.clear();
         self.ring.clear();
     }
 
@@ -376,7 +393,7 @@ impl MetricsRecorder {
             })
             .collect();
         format!(
-            "{{\"height\":{},\"cycles\":{},\"delivered_per_cycle\":{},\"claimed\":{},\"blocked\":{},\"wasted\":{},\"lambda\":[{}],\"load_hist\":[{}],\"splits\":{},\"split_sizes\":{},\"stages\":[{}],\"events_dropped\":{}}}",
+            "{{\"height\":{},\"cycles\":{},\"delivered_per_cycle\":{},\"claimed\":{},\"blocked\":{},\"wasted\":{},\"lambda\":[{}],\"load_hist\":[{}],\"splits\":{},\"split_sizes\":{},\"stages\":[{}],\"barrier_wait_ns\":{},\"merge_ns\":{},\"top_arb_ns\":{},\"events_dropped\":{}}}",
             self.height,
             self.cycles,
             nums(self.delivered_per_cycle.iter().copied()),
@@ -388,8 +405,39 @@ impl MetricsRecorder {
             nums(self.splits.iter().copied()),
             nums(self.split_sizes.buckets.iter().copied()),
             stages.join(","),
+            nums(self.barrier_wait_ns_per_cycle.iter().copied()),
+            nums(self.merge_ns_per_cycle.iter().copied()),
+            nums(self.top_ns_per_cycle.iter().copied()),
             self.ring.dropped()
         )
+    }
+
+    /// Coordinator overlap table: per-cycle barrier wait vs. merge vs. top
+    /// arbitration time, with totals. Empty string for unsharded runs.
+    pub fn render_shard_cycles(&self) -> String {
+        if self.barrier_wait_ns_per_cycle.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let (mut bw, mut mg, mut tp) = (0u64, 0u64, 0u64);
+        for c in 0..self.barrier_wait_ns_per_cycle.len() {
+            let (b, m, t) = (
+                self.barrier_wait_ns_per_cycle[c],
+                self.merge_ns_per_cycle[c],
+                self.top_ns_per_cycle[c],
+            );
+            bw += b;
+            mg += m;
+            tp += t;
+            out.push_str(&format!(
+                "  cycle {c:>3}: barrier-wait {:>9}ns  merge {:>8}ns  top-arb {:>8}ns\n",
+                b, m, t
+            ));
+        }
+        out.push_str(&format!(
+            "  total    : barrier-wait {bw:>9}ns  merge {mg:>8}ns  top-arb {tp:>8}ns\n"
+        ));
+        out
     }
 }
 
@@ -410,6 +458,12 @@ impl Recorder for MetricsRecorder {
         self.delivered_per_cycle.push(delivered as u64);
         self.ring
             .push(Event::new(EventKind::CycleEnd, cycle, 0, delivered));
+    }
+
+    fn shard_cycle(&mut self, _cycle: u32, barrier_wait_ns: u64, merge_ns: u64, top_ns: u64) {
+        self.barrier_wait_ns_per_cycle.push(barrier_wait_ns);
+        self.merge_ns_per_cycle.push(merge_ns);
+        self.top_ns_per_cycle.push(top_ns);
     }
 
     fn wire_claims(&mut self, cycle: u32, level: u32, claimed: u64, blocked: u64, wasted: u64) {

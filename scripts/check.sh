@@ -46,6 +46,19 @@ case "$shard_json" in
      exit 1 ;;
 esac
 
+echo "==> ftsim shard shm smoke (shared-memory rings)"
+shm_json="$(cargo run --release --quiet --bin ftsim -- \
+  shard --n 64 --w 16 --workload perm --shards 4 --transport shm --format json)"
+case "$shm_json" in
+  '{"schema":"ftsim-shard/v1"'*'"transport":"shm"'*'"matches_single_arena":true'*'"merge_ns":'*'}') ;;
+  *) echo "ftsim shard --transport shm emitted an unexpected document" >&2
+     echo "$shm_json" >&2
+     exit 1 ;;
+esac
+
+echo "==> run_sharded perf gate (overlapped coordinator vs single arena)"
+cargo run --release -p ft-bench --bin ft-perf -- --shard-gate
+
 echo "==> ftsim shard fault smoke (dead link must fail structured, not hang)"
 # A 100% drop plan can never complete: the run must terminate within the
 # timeout wrapper with a structured error and a non-zero exit, never hang.

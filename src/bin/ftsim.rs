@@ -9,7 +9,7 @@
 //! ftsim trace      --n 64 --workload perm [--engine online|simulate|schedule]
 //!                  [--events 4096] [--format jsonl|csv] [--verify 1]
 //! ftsim shard      --n 256 --w 64 --workload perm --shards 4
-//!                  [--transport inproc|pipe] [--drop 0.1] [--dup 0.1]
+//!                  [--transport inproc|shm|pipe] [--drop 0.1] [--dup 0.1]
 //!                  [--corrupt 0.1] [--delay-ms 5] [--fault-seed 7]
 //!                  [--timeout-ms 5000] [--retries 4] [--format text|json]
 //! ftsim universality --net mesh3d --side 4
@@ -28,7 +28,8 @@
 //! from one engine in a ring buffer and writes them as JSONL or CSV;
 //! `--verify 1` re-parses the JSONL and fails on any mismatch (with any
 //! output format). `shard` runs the workload through the distributed
-//! sharded engine — worker threads (`--transport inproc`) or worker
+//! sharded engine — worker threads over channels (`--transport inproc`)
+//! or zero-copy shared-memory rings (`--transport shm`), or worker
 //! processes speaking frames over pipes (`--transport pipe`), optionally
 //! under injected frame faults — and checks the result is byte-identical
 //! to the single-arena engine. The internal `shard-worker` command is what
@@ -44,7 +45,7 @@ use fat_tree::networks::{
 use fat_tree::prelude::*;
 use fat_tree::sched::online::online_bound_shape;
 use fat_tree::sched::SchedArena;
-use fat_tree::shard::{run_sharded, FaultPlan, ShardConfig, TransportKind};
+use fat_tree::shard::{run_sharded, run_sharded_with, FaultPlan, ShardConfig, TransportKind};
 use fat_tree::sim::{run_to_completion_with, Arbitration};
 use fat_tree::telemetry::parse_jsonl;
 use fat_tree::universal::Emulation;
@@ -335,6 +336,18 @@ fn cmd_report(opts: &HashMap<String, String>) {
     let mut sim_rec = MetricsRecorder::new();
     let run = run_to_completion_with(&ft, &msgs, &SimConfig::default(), &mut sim_rec);
 
+    // Sharded coordinator: per-cycle barrier-wait / merge / top-arbitration
+    // counters showing how much communication overlaps compute.
+    let mut shard_rec = MetricsRecorder::new();
+    let shards = get_u32(opts, "shards", 4).min(1 << ft.height());
+    let shard_ok = run_sharded_with(
+        &ft,
+        &msgs,
+        &ShardConfig::new(shards, SimConfig::default()),
+        &mut shard_rec,
+    )
+    .is_ok();
+
     // Concentrator hardware at the root width: matching sizes, BFS rounds,
     // and augmenting paths per cascade stage over random guaranteed loads.
     let mut conc_rec = MetricsRecorder::new();
@@ -349,7 +362,7 @@ fn cmd_report(opts: &HashMap<String, String>) {
 
     if as_json {
         println!(
-            "{{\"schema\":\"ftsim-report/v1\",\"workload\":\"{spec}\",\"n\":{},\"w\":{},\"messages\":{},\"lambda\":{lambda:.6},\"offline_cycles\":{},\"online_cycles\":{},\"sim_cycles\":{},\"cascade\":{{\"inputs\":{r},\"outputs\":{},\"guaranteed\":{k}}},\"schedule\":{},\"online\":{},\"simulate\":{},\"concentrator\":{}}}",
+            "{{\"schema\":\"ftsim-report/v1\",\"workload\":\"{spec}\",\"n\":{},\"w\":{},\"messages\":{},\"lambda\":{lambda:.6},\"offline_cycles\":{},\"online_cycles\":{},\"sim_cycles\":{},\"cascade\":{{\"inputs\":{r},\"outputs\":{},\"guaranteed\":{k}}},\"schedule\":{},\"online\":{},\"simulate\":{},\"concentrator\":{},\"shard\":{}}}",
             ft.n(),
             ft.root_capacity(),
             msgs.len(),
@@ -361,6 +374,11 @@ fn cmd_report(opts: &HashMap<String, String>) {
             online_rec.to_json(),
             sim_rec.to_json(),
             conc_rec.to_json(),
+            if shard_ok {
+                shard_rec.to_json()
+            } else {
+                "null".into()
+            },
         );
         return;
     }
@@ -401,6 +419,10 @@ fn cmd_report(opts: &HashMap<String, String>) {
         cascade.outputs()
     );
     print!("{}", conc_rec.render_stages());
+    if shard_ok {
+        println!("sharded coordinator overlap ({shards} shards, inproc):");
+        print!("{}", shard_rec.render_shard_cycles());
+    }
 }
 
 /// Capture packed trace events from one engine and export them.
@@ -487,6 +509,7 @@ fn cmd_shard(opts: &HashMap<String, String>) {
         .unwrap_or("inproc")
     {
         "inproc" => TransportKind::InProcess,
+        "shm" => TransportKind::Shm,
         "pipe" => {
             let exe = std::env::current_exe().unwrap_or_else(|e| {
                 eprintln!("cannot locate own executable for pipe workers: {e}");
@@ -497,7 +520,7 @@ fn cmd_shard(opts: &HashMap<String, String>) {
             }
         }
         other => {
-            eprintln!("unknown transport: {other} (expected inproc|pipe)");
+            eprintln!("unknown transport: {other} (expected inproc|shm|pipe)");
             exit(2);
         }
     };
@@ -541,7 +564,7 @@ fn cmd_shard(opts: &HashMap<String, String>) {
             .collect();
         let ns_list = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
         println!(
-            "{{\"schema\":\"ftsim-shard/v1\",\"workload\":\"{spec}\",\"n\":{},\"w\":{},\"messages\":{},\"shards\":{},\"transport\":\"{}\",\"cycles\":{},\"total_ticks\":{},\"delivered_per_cycle\":[{}],\"matches_single_arena\":{matches},\"stats\":{{\"frames_sent\":{},\"frames_received\":{},\"bytes_sent\":{},\"bytes_received\":{},\"retries\":{},\"checksum_rejects\":{},\"duplicates\":{},\"barrier_wait_ns\":{},\"top_ns\":{},\"shard_up_ns\":[{}],\"shard_down_ns\":[{}]}}}}",
+            "{{\"schema\":\"ftsim-shard/v1\",\"workload\":\"{spec}\",\"n\":{},\"w\":{},\"messages\":{},\"shards\":{},\"transport\":\"{}\",\"cycles\":{},\"total_ticks\":{},\"delivered_per_cycle\":[{}],\"matches_single_arena\":{matches},\"stats\":{{\"frames_sent\":{},\"frames_received\":{},\"bytes_sent\":{},\"bytes_received\":{},\"retries\":{},\"checksum_rejects\":{},\"duplicates\":{},\"barrier_wait_ns\":{},\"top_ns\":{},\"merge_ns\":{},\"shard_up_ns\":[{}],\"shard_down_ns\":[{}]}}}}",
             ft.n(),
             ft.root_capacity(),
             msgs.len(),
@@ -559,6 +582,7 @@ fn cmd_shard(opts: &HashMap<String, String>) {
             st.duplicates,
             st.barrier_wait_ns,
             st.top_ns,
+            st.merge_ns,
             ns_list(&st.shard_up_ns),
             ns_list(&st.shard_down_ns),
         );
@@ -579,6 +603,11 @@ fn cmd_shard(opts: &HashMap<String, String>) {
             st.checksum_rejects,
             st.duplicates,
             st.barrier_wait_ns as f64 / 1e6
+        );
+        println!(
+            "overlap: {:.2} ms merging claims, {:.2} ms top arbitration (merge runs while shards compute)",
+            st.merge_ns as f64 / 1e6,
+            st.top_ns as f64 / 1e6
         );
         println!(
             "single-arena cross-check: {}",

@@ -197,6 +197,35 @@ fn shard_json_smoke_and_structured_fault_error() {
         assert!(line.contains(key), "missing {key} in {line}");
     }
 
+    // The shared-memory transport must produce the same document shape
+    // (and the same bytes of simulation output, asserted in-process by
+    // matches_single_arena).
+    let (ok, stdout, stderr) = ftsim(&[
+        "shard",
+        "--n",
+        "64",
+        "--w",
+        "16",
+        "--workload",
+        "perm",
+        "--shards",
+        "4",
+        "--transport",
+        "shm",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "{stderr}");
+    let line = stdout.trim();
+    for key in [
+        "\"schema\":\"ftsim-shard/v1\"",
+        "\"transport\":\"shm\"",
+        "\"matches_single_arena\":true",
+        "\"merge_ns\":",
+    ] {
+        assert!(line.contains(key), "missing {key} in {line}");
+    }
+
     // A fully dead link must terminate with a structured error, not hang.
     let (ok, stdout, _) = ftsim(&[
         "shard",
