@@ -1,0 +1,143 @@
+//! `bench_check` — schema validation for `BENCH_engine.json`.
+//!
+//! `ft-perf` hand-rolls its JSON (the workspace builds offline, no serde),
+//! so a formatting slip would ship a file downstream tooling cannot read.
+//! This binary parses the file with the strict reader in [`ft_bench::json`]
+//! and asserts the `ft-perf/v1` schema: required blocks present, rows carry
+//! the documented fields with sane values. `scripts/check.sh` runs it on a
+//! `--smoke --out` pass so malformed bench output fails CI.
+//!
+//! ```text
+//! cargo run --release -p ft-bench --bin bench_check -- BENCH_engine.json
+//! ```
+//!
+//! Exits non-zero with a description of the first violation found.
+
+use ft_bench::json::{parse, Value};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_check: {msg}");
+    std::process::exit(1);
+}
+
+/// `doc[key]` must be an array; return it.
+fn req_arr<'a>(doc: &'a Value, key: &str) -> &'a [Value] {
+    doc.get(key)
+        .unwrap_or_else(|| fail(&format!("missing required block \"{key}\"")))
+        .as_arr()
+        .unwrap_or_else(|| fail(&format!("\"{key}\" is not an array")))
+}
+
+/// `row[key]` must be a finite number; return it.
+fn req_num(row: &Value, key: &str, ctx: &str) -> f64 {
+    let x = row
+        .get(key)
+        .and_then(Value::as_num)
+        .unwrap_or_else(|| fail(&format!("{ctx}: missing numeric \"{key}\"")));
+    if !x.is_finite() {
+        fail(&format!("{ctx}: \"{key}\" is not finite"));
+    }
+    x
+}
+
+/// `row[key]` must be a non-empty string; return it.
+fn req_str<'a>(row: &'a Value, key: &str, ctx: &str) -> &'a str {
+    let s = row
+        .get(key)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| fail(&format!("{ctx}: missing string \"{key}\"")));
+    if s.is_empty() {
+        fail(&format!("{ctx}: \"{key}\" is empty"));
+    }
+    s
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+
+    match doc.get("schema").and_then(Value::as_str) {
+        Some("ft-perf/v1") => {}
+        Some(other) => fail(&format!("unexpected schema \"{other}\"")),
+        None => fail("missing \"schema\""),
+    }
+
+    let results = req_arr(&doc, "results");
+    if results.is_empty() {
+        fail("\"results\" is empty");
+    }
+    for (i, r) in results.iter().enumerate() {
+        let ctx = format!("results[{i}]");
+        req_str(r, "op", &ctx);
+        req_str(r, "engine", &ctx);
+        req_str(r, "workload", &ctx);
+        if req_num(r, "n", &ctx) < 1.0 {
+            fail(&format!("{ctx}: n < 1"));
+        }
+        req_num(r, "median_ns", &ctx);
+        if req_num(r, "iters", &ctx) < 1.0 {
+            fail(&format!("{ctx}: iters < 1"));
+        }
+    }
+
+    for (i, s) in req_arr(&doc, "speedups").iter().enumerate() {
+        let ctx = format!("speedups[{i}]");
+        req_str(s, "op", &ctx);
+        req_str(s, "workload", &ctx);
+        req_num(s, "n", &ctx);
+        if req_num(s, "speedup", &ctx) <= 0.0 {
+            fail(&format!("{ctx}: speedup <= 0"));
+        }
+    }
+
+    // The streamed tier: every row times the streamed engine; the
+    // materialized twin and the ratio are null above the duel cap.
+    let large = req_arr(&doc, "large_n");
+    if large.is_empty() {
+        fail("\"large_n\" is empty");
+    }
+    for (i, r) in large.iter().enumerate() {
+        let ctx = format!("large_n[{i}]");
+        req_str(r, "workload", &ctx);
+        req_num(r, "n", &ctx);
+        req_num(r, "streamed_median_ns", &ctx);
+        req_num(r, "cycles", &ctx);
+        let mat = r
+            .get("materialized_median_ns")
+            .unwrap_or_else(|| fail(&format!("{ctx}: missing \"materialized_median_ns\"")));
+        let sp = r
+            .get("speedup")
+            .unwrap_or_else(|| fail(&format!("{ctx}: missing \"speedup\"")));
+        match (mat, sp) {
+            (Value::Null, Value::Null) => {}
+            (Value::Num(m), Value::Num(x)) if *m >= 0.0 && *x > 0.0 => {}
+            _ => fail(&format!(
+                "{ctx}: materialized_median_ns/speedup must both be numbers or both null"
+            )),
+        }
+    }
+
+    let telemetry = doc
+        .get("telemetry")
+        .unwrap_or_else(|| fail("missing \"telemetry\""));
+    if telemetry.get("size_caps").is_none() {
+        fail("telemetry: missing \"size_caps\"");
+    }
+    for (i, c) in req_arr(telemetry, "capped_rows").iter().enumerate() {
+        let ctx = format!("capped_rows[{i}]");
+        req_str(c, "op", &ctx);
+        req_num(c, "cap", &ctx);
+    }
+    req_arr(telemetry, "gate_runs");
+
+    println!(
+        "bench_check: {path} ok ({} results, {} speedups, {} large_n rows)",
+        results.len(),
+        req_arr(&doc, "speedups").len(),
+        large.len()
+    );
+}

@@ -20,6 +20,7 @@
 //! Run them all: `cargo run --release -p ft-bench --bin repro -- all`.
 
 pub mod experiments;
+pub mod json;
 pub mod tables;
 pub mod timing;
 

@@ -34,6 +34,7 @@ pub mod load;
 pub mod message;
 pub mod rng;
 pub mod route;
+pub mod stream;
 pub mod topology;
 
 pub use capacity::CapacityProfile;
@@ -44,4 +45,5 @@ pub use load::{
 pub use message::{Message, MessageSet};
 pub use rng::{splitmix64, SplitMix64};
 pub use route::{path_channels, path_len};
+pub use stream::{MessageStream, StreamIter};
 pub use topology::{ChannelId, Direction, FatTree};

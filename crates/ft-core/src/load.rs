@@ -63,6 +63,13 @@ impl LoadMap {
         self.counts[c.index()] += 1;
     }
 
+    /// Add `k` units of load on a single channel (bulk form of
+    /// [`Self::add_one`] for engines that settle a whole channel at once).
+    #[inline]
+    pub fn add_count(&mut self, c: ChannelId, k: u64) {
+        self.counts[c.index()] += k;
+    }
+
     /// Maximum load over all channels.
     pub fn max_load(&self, ft: &FatTree) -> u64 {
         ft.channels().map(|c| self.get(c)).max().unwrap_or(0)

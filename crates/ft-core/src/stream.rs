@@ -1,0 +1,152 @@
+//! Lazily generated message sequences.
+//!
+//! A [`MessageStream`] describes a message set as a *pure indexed function*
+//! `j ↦ message(j)` with an exact length, instead of a materialized
+//! `Vec<Message>`. That makes every stream
+//!
+//! * **seeded** — generators derive message `j` from `(seed, j)` alone,
+//! * **restartable** — replaying the stream is just re-running the index
+//!   range; a two-pass consumer (count, then fill) re-runs the generator
+//!   instead of buffering its output,
+//! * **`size_hint`-exact** — [`MessageStream::iter`] reports the precise
+//!   remaining length, so consumers can size flat buffers up front.
+//!
+//! The engines in `ft-sim`/`ft-sched` ingest streams directly into their
+//! flat arenas, so at no point does a length-`m` `Vec<Message>` exist on
+//! those paths; `ft-workloads` provides the lazy generators (permutations,
+//! hotspots, k-relations, and datacenter patterns). [`MessageSet`]
+//! implements the trait too, as the trivial materialized stream.
+//!
+//! The trait is object-safe: runtime-selected workloads travel as
+//! `&dyn MessageStream` (the CLI does this), while hot paths monomorphize.
+
+use crate::message::{Message, MessageSet};
+
+/// A restartable, exactly-sized source of messages.
+///
+/// Implementations must be *pure*: `message(j)` depends only on `self` and
+/// `j`, so any number of passes over `0..len()` observe the same sequence.
+pub trait MessageStream {
+    /// Exact number of messages; every replay yields exactly this many.
+    fn len(&self) -> usize;
+
+    /// Workload family tag for telemetry (e.g. `"permutation"`,
+    /// `"bursty"`, `"incast"`).
+    fn family(&self) -> &'static str;
+
+    /// The `j`-th message (`j < len()`), as a pure function of `(self, j)`.
+    fn message(&self, j: usize) -> Message;
+
+    /// True if the stream holds no messages.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize the whole stream (for golden oracles and consumers that
+    /// genuinely need a set).
+    fn collect_set(&self) -> MessageSet {
+        let mut set = MessageSet::with_capacity(self.len());
+        for j in 0..self.len() {
+            set.push(self.message(j));
+        }
+        set
+    }
+
+    /// Iterate the stream with an exact `size_hint`.
+    fn iter(&self) -> StreamIter<'_, Self>
+    where
+        Self: Sized,
+    {
+        StreamIter {
+            stream: self,
+            next: 0,
+            len: self.len(),
+        }
+    }
+}
+
+/// Exact-size iterator over a [`MessageStream`].
+pub struct StreamIter<'a, S: ?Sized> {
+    stream: &'a S,
+    next: usize,
+    len: usize,
+}
+
+impl<S: MessageStream + ?Sized> Iterator for StreamIter<'_, S> {
+    type Item = Message;
+
+    fn next(&mut self) -> Option<Message> {
+        if self.next == self.len {
+            return None;
+        }
+        let m = self.stream.message(self.next);
+        self.next += 1;
+        Some(m)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.len - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl<S: MessageStream + ?Sized> ExactSizeIterator for StreamIter<'_, S> {}
+
+/// A `MessageSet` is the trivial (already materialized) stream.
+impl MessageStream for MessageSet {
+    fn len(&self) -> usize {
+        MessageSet::len(self)
+    }
+
+    fn family(&self) -> &'static str {
+        "materialized"
+    }
+
+    fn message(&self, j: usize) -> Message {
+        self.as_slice()[j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_set_is_a_stream() {
+        let set: MessageSet = (0..5).map(|i| Message::new(i, 4 - i)).collect();
+        let s: &dyn MessageStream = &set;
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert_eq!(s.family(), "materialized");
+        assert_eq!(s.message(2), Message::new(2, 2));
+        assert_eq!(s.collect_set(), set);
+    }
+
+    #[test]
+    fn iter_is_exact_and_restartable() {
+        let set: MessageSet = (0..7).map(|i| Message::new(i, (i + 1) % 7)).collect();
+        let it = set.iter_stream_check();
+        assert_eq!(it, set.as_slice().to_vec());
+        // Replay observes the same sequence.
+        assert_eq!(set.iter_stream_check(), it);
+    }
+
+    trait IterCheck {
+        fn iter_stream_check(&self) -> Vec<Message>;
+    }
+    impl IterCheck for MessageSet {
+        fn iter_stream_check(&self) -> Vec<Message> {
+            let mut it = MessageStream::iter(self);
+            assert_eq!(it.size_hint(), (self.len(), Some(self.len())));
+            assert_eq!(it.len(), MessageStream::len(self));
+            let first = it.next();
+            if MessageStream::is_empty(self) {
+                assert!(first.is_none());
+                return Vec::new();
+            }
+            let mut v = vec![first.unwrap()];
+            v.extend(it);
+            v
+        }
+    }
+}

@@ -31,7 +31,7 @@
 use crate::offline::Theorem1Stats;
 use crate::schedule::Schedule;
 use crate::split::CrossDirection;
-use ft_core::{ChannelId, FatTree, Message, MessageSet, ScratchLoad};
+use ft_core::{ChannelId, FatTree, Message, MessageSet, MessageStream, ScratchLoad};
 use ft_telemetry::{NoopRecorder, Recorder};
 
 const NONE: u32 = u32::MAX;
@@ -501,6 +501,49 @@ impl SchedArena {
         threads: usize,
         rec: &mut R,
     ) -> (Schedule, Theorem1Stats) {
+        self.schedule_src(ft, m, threads, rec)
+    }
+
+    /// Schedule a lazily generated stream per Theorem 1. The bucketing is
+    /// two-pass streamed: the count pass replays the generator to size the
+    /// buckets, the fill pass replays it again scattering straight into the
+    /// arena's flat bucket buffer — no intermediate input `Vec<Message>`
+    /// ever exists. Byte-identical to [`SchedArena::schedule`] on
+    /// [`MessageStream::collect_set`].
+    pub fn schedule_stream(
+        &mut self,
+        ft: &FatTree,
+        stream: &dyn MessageStream,
+        threads: usize,
+    ) -> (Schedule, Theorem1Stats) {
+        self.schedule_stream_with(ft, stream, threads, &mut NoopRecorder)
+    }
+
+    /// [`SchedArena::schedule_stream`] with a telemetry [`Recorder`]
+    /// ([`Recorder::stream_ingest`] once, then the usual hooks).
+    pub fn schedule_stream_with<R: Recorder>(
+        &mut self,
+        ft: &FatTree,
+        stream: &dyn MessageStream,
+        threads: usize,
+        rec: &mut R,
+    ) -> (Schedule, Theorem1Stats) {
+        if R::ENABLED {
+            rec.stream_ingest(stream.family(), stream.len() as u64);
+        }
+        self.schedule_src(ft, stream, threads, rec)
+    }
+
+    /// The scheduler body, generic over the message source: a materialized
+    /// [`MessageSet`] (static dispatch, the classic path) or a lazy
+    /// `dyn MessageStream` replayed once per bucketing pass.
+    fn schedule_src<S: MessageStream + ?Sized, R: Recorder>(
+        &mut self,
+        ft: &FatTree,
+        m: &S,
+        threads: usize,
+        rec: &mut R,
+    ) -> (Schedule, Theorem1Stats) {
         self.ensure_tree(ft);
         if R::ENABLED {
             rec.run_start(ft.height());
@@ -519,9 +562,10 @@ impl SchedArena {
         self.under_dst.resize(2 * n as usize, 0);
         self.lca_under.clear();
         self.lca_under.resize(2 * n as usize, 0);
-        for msg in m {
+        for j in 0..m.len() {
+            let msg = m.message(j);
             if msg.is_local() {
-                self.locals.push(*msg);
+                self.locals.push(msg);
                 continue;
             }
             let u = n + msg.src.0;
@@ -584,7 +628,8 @@ impl SchedArena {
         self.cursor.clear();
         self.cursor.extend_from_slice(&self.bucket_off);
         let mut ki = 0usize;
-        for msg in m {
+        for j in 0..m.len() {
+            let msg = m.message(j);
             if msg.is_local() {
                 continue;
             }
@@ -592,7 +637,7 @@ impl SchedArena {
             ki += 1;
             let pos = self.cursor[key] as usize;
             self.cursor[key] += 1;
-            self.bucket_msgs[pos] = *msg;
+            self.bucket_msgs[pos] = msg;
             self.sleaf[pos] = n + msg.src.0;
             self.dleaf[pos] = n + msg.dst.0;
         }

@@ -62,7 +62,7 @@
 //! heap allocation** (asserted by `tests/alloc_online.rs`).
 
 use ft_core::rng::SplitMix64;
-use ft_core::{FatTree, GenTable, MessageSet};
+use ft_core::{FatTree, GenTable, MessageSet, MessageStream};
 use ft_telemetry::{NoopRecorder, Recorder};
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -387,6 +387,51 @@ impl OnlineArena {
         config: OnlineConfig,
         rec: &mut R,
     ) {
+        self.run_src(ft, m, rng, config, rec)
+    }
+
+    /// Run the process on a lazy [`MessageStream`] without materializing it:
+    /// path metadata is packed in one generator pass straight into the alive
+    /// list, so no `Vec<Message>` of the stream's length ever exists here.
+    /// Byte-identical to [`Self::run`] on `stream.collect_set()` — the alive
+    /// list and hence the Fisher–Yates stream are the same either way.
+    pub fn run_stream(
+        &mut self,
+        ft: &FatTree,
+        stream: &dyn MessageStream,
+        rng: &mut SplitMix64,
+        config: OnlineConfig,
+    ) {
+        self.run_stream_with(ft, stream, rng, config, &mut NoopRecorder)
+    }
+
+    /// [`Self::run_stream`] with a telemetry [`Recorder`] observing the run.
+    pub fn run_stream_with<R: Recorder>(
+        &mut self,
+        ft: &FatTree,
+        stream: &dyn MessageStream,
+        rng: &mut SplitMix64,
+        config: OnlineConfig,
+        rec: &mut R,
+    ) {
+        if R::ENABLED {
+            rec.stream_ingest(stream.family(), stream.len() as u64);
+        }
+        self.run_src(ft, stream, rng, config, rec)
+    }
+
+    /// The engine body, generic over the message source: `MessageSet` runs
+    /// statically dispatched (the classic path is unchanged instruction for
+    /// instruction), streams replay their generator for the single packing
+    /// pass.
+    fn run_src<S: MessageStream + ?Sized, R: Recorder>(
+        &mut self,
+        ft: &FatTree,
+        m: &S,
+        rng: &mut SplitMix64,
+        config: OnlineConfig,
+        rec: &mut R,
+    ) {
         debug_assert_eq!(self.n, ft.n(), "arena built for a different tree");
         let height = self.height;
         self.cnt.reset(height, R::ENABLED);
@@ -400,7 +445,8 @@ impl OnlineArena {
         // leaves agree on their top `height − bitlen(sleaf ^ dleaf)` levels.
         self.alive.clear();
         let mut locals = 0usize;
-        for msg in m {
+        for j in 0..m.len() {
+            let msg = m.message(j);
             if msg.is_local() {
                 locals += 1;
                 continue;

@@ -4,7 +4,7 @@
 
 use crate::fault::FaultPlan;
 use ft_core::{CapacityProfile, FatTree, Message};
-use ft_sim::{Arbitration, FaultModel, ShardClaim, SimConfig, SwitchKind};
+use ft_sim::{Arbitration, FaultModel, MetaWidth, ShardClaim, SimConfig, SwitchKind};
 
 /// A malformed payload (valid frame, nonsense contents) — a protocol bug
 /// or an adversarial peer, never something to retry.
@@ -133,6 +133,9 @@ impl InitMsg {
                 },
                 // Shards *are* the parallelism; each worker arena is serial.
                 threads: 1,
+                // Claims carry u64 metadata words on the wire: shard
+                // cycles always run the wide layout.
+                meta: MetaWidth::Wide,
             },
             plan: FaultPlan {
                 drop: f64::from_bits(p[9]),
@@ -493,6 +496,7 @@ mod tests {
                         seed: 5,
                     },
                     threads: 1,
+                    meta: MetaWidth::Wide,
                 },
                 plan: FaultPlan {
                     drop: 0.5,

@@ -41,7 +41,7 @@ use crate::faults::FaultModel;
 use crate::node::PortSwitch;
 use ft_concentrator::{Concentrator, MatchingArena};
 use ft_core::rng::splitmix64;
-use ft_core::{ChannelId, FatTree, GenTable, LoadMap, Message, MessageSet};
+use ft_core::{ChannelId, FatTree, GenTable, LoadMap, Message, MessageSet, MessageStream};
 use ft_telemetry::{NoopRecorder, Recorder};
 
 /// Re-export for configuration convenience.
@@ -56,6 +56,21 @@ pub enum Arbitration {
     /// arbitration of the Greenberg–Leiserson on-line switch \[8\]: no
     /// message can be starved forever by an unlucky wire position.
     Random(u64),
+}
+
+/// Width of the packed per-message metadata word (see [`MetaWord`] docs at
+/// the packing constants below). Both widths arbitrate byte-identically;
+/// the narrow layout streams half the metadata bytes per level pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MetaWidth {
+    /// Narrow u32 words whenever the tree fits (`height ≤ 20`, i.e.
+    /// n ≤ 2²⁰ leaves), wide u64 otherwise.
+    #[default]
+    Auto,
+    /// Always the u64 layout (both leaves resident in the word).
+    Wide,
+    /// Force the u32 layout; panics at arena construction if `height > 20`.
+    Narrow,
 }
 
 /// Engine configuration.
@@ -75,6 +90,9 @@ pub struct SimConfig {
     /// serial). Sibling subtrees use disjoint channels, so any thread count
     /// produces byte-identical results.
     pub threads: usize,
+    /// Per-message metadata width for plain cycles (shard phases always use
+    /// the wide layout — [`ShardClaim`] words travel between arenas).
+    pub meta: MetaWidth,
 }
 
 impl Default for SimConfig {
@@ -85,12 +103,13 @@ impl Default for SimConfig {
             arbitration: Arbitration::SlotOrder,
             faults: FaultModel::none(),
             threads: 1,
+            meta: MetaWidth::Auto,
         }
     }
 }
 
 /// Outcome of one delivery cycle.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CycleReport {
     /// Indices (into the submitted set) of delivered messages.
     pub delivered: Vec<usize>,
@@ -103,7 +122,7 @@ pub struct CycleReport {
 }
 
 /// Outcome of running a message set to completion over repeated cycles.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunReport {
     /// Number of delivery cycles executed.
     pub cycles: usize,
@@ -119,7 +138,7 @@ pub struct RunReport {
 
 /// Summary of one arena cycle (the full winner/loser detail stays in the
 /// arena's reusable buffers — see [`SimArena::delivered_indices`] etc.).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CycleStats {
     /// Messages delivered this cycle.
     pub delivered: usize,
@@ -135,11 +154,27 @@ const DROPPED: u32 = u32::MAX;
 /// are ranks below a channel capacity, so the sentinel cannot collide.
 const CROSSED: u32 = u32::MAX;
 
-// Per-message metadata packed into one u64 so each level pass reads a single
-// sequential stream: bit 0 alive, bit 1 local, bits 2..8 LCA level,
-// bits 8..36 source leaf, bits 36..64 destination leaf. 28-bit leaf fields
-// cap the flat engine at 2^26 processors (asserted in `SimArena::new`) —
-// far beyond any simulable size; the reference engine has no such limit.
+// Per-message metadata packed into one word so each level pass reads a
+// single sequential stream. Two layouts share all arbitration code through
+// the [`MetaWord`] trait:
+//
+// * **wide (u64)**: bit 0 alive, bit 1 local, bits 2..8 LCA level,
+//   bits 8..36 source leaf, bits 36..64 destination leaf. 28-bit leaf
+//   fields cap the flat engine at 2^26 processors (asserted in
+//   `SimArena::new`) — far beyond any simulable size; the reference engine
+//   has no such limit.
+// * **narrow (u32)**: bit 0 alive, bit 1 local, bits 2..7 LCA level,
+//   bits 7..28 *one* leaf — the one the current phase keys on (source while
+//   climbing, destination while descending). The other leaf waits in the
+//   side array `SimArena::peer32`; a sequential flip swaps the two at the
+//   up→down turn (and back when compacting retries). 21-bit leaf fields fit
+//   `height ≤ 20` (n ≤ 2²⁰), and every level pass streams 4 bytes per
+//   message instead of 8.
+//
+// Both layouts feed identical (slot, arbitration-id) pairs to identical
+// bucket arbitration, so outcomes are byte-identical — pinned by the golden
+// tests. Shard phases always use the wide layout: [`ShardClaim`] carries
+// the full word between arenas.
 const META_ALIVE: u64 = 1;
 const META_LOCAL: u64 = 2;
 
@@ -167,6 +202,211 @@ fn meta_dst(m: u64) -> u32 {
     (m >> 36) as u32 & 0x0FFF_FFFF
 }
 
+/// Tallest tree the narrow (u32) metadata layout can address: leaf heap ids
+/// need `height + 1` bits and the word has 21 leaf bits.
+pub const NARROW_MAX_HEIGHT: u32 = 20;
+
+const NMETA_ALIVE: u32 = 1;
+const NMETA_LOCAL: u32 = 2;
+const NMETA_LEAF_SHIFT: u32 = 7;
+
+/// One packed per-message metadata word. The engine's level passes, loads,
+/// and bookkeeping are generic over this, so the u64 and u32 layouts run
+/// the exact same arbitration code.
+trait MetaWord: Copy {
+    /// Narrow layouts keep the off-phase leaf in `SimArena::peer32` and
+    /// need the phase flip; the wide layout holds both leaves.
+    const NARROW: bool;
+
+    /// Pack a fresh (alive) word; the second value is the off-phase leaf
+    /// for narrow layouts (ignored by wide).
+    fn pack(local: bool, lca_level: u32, leaf_src: u32, leaf_dst: u32) -> (Self, u32);
+
+    fn alive(self) -> bool;
+    fn local(self) -> bool;
+    /// Participates in level passes: alive and not local.
+    fn eligible(self) -> bool;
+    fn lca(self) -> u32;
+    /// The leaf this pass keys on: source going up, destination going down
+    /// (the narrow layout stores exactly that leaf and ignores `up`).
+    fn key_leaf(self, up: bool) -> u32;
+    fn kill(self) -> Self;
+    fn revive(self) -> Self;
+    /// Swap the resident leaf with `peer` (narrow); identity for wide.
+    fn flip(self, peer: u32) -> (Self, u32);
+}
+
+impl MetaWord for u64 {
+    const NARROW: bool = false;
+
+    #[inline]
+    fn pack(local: bool, lca_level: u32, leaf_src: u32, leaf_dst: u32) -> (u64, u32) {
+        (meta_pack(local, lca_level, leaf_src, leaf_dst), 0)
+    }
+
+    #[inline]
+    fn alive(self) -> bool {
+        self & META_ALIVE != 0
+    }
+
+    #[inline]
+    fn local(self) -> bool {
+        self & META_LOCAL != 0
+    }
+
+    #[inline]
+    fn eligible(self) -> bool {
+        self & (META_ALIVE | META_LOCAL) == META_ALIVE
+    }
+
+    #[inline]
+    fn lca(self) -> u32 {
+        meta_lca(self)
+    }
+
+    #[inline]
+    fn key_leaf(self, up: bool) -> u32 {
+        if up {
+            meta_src(self)
+        } else {
+            meta_dst(self)
+        }
+    }
+
+    #[inline]
+    fn kill(self) -> u64 {
+        self & !META_ALIVE
+    }
+
+    #[inline]
+    fn revive(self) -> u64 {
+        self | META_ALIVE
+    }
+
+    #[inline]
+    fn flip(self, peer: u32) -> (u64, u32) {
+        (self, peer)
+    }
+}
+
+impl MetaWord for u32 {
+    const NARROW: bool = true;
+
+    #[inline]
+    fn pack(local: bool, lca_level: u32, leaf_src: u32, leaf_dst: u32) -> (u32, u32) {
+        (
+            NMETA_ALIVE | (local as u32) << 1 | lca_level << 2 | leaf_src << NMETA_LEAF_SHIFT,
+            leaf_dst,
+        )
+    }
+
+    #[inline]
+    fn alive(self) -> bool {
+        self & NMETA_ALIVE != 0
+    }
+
+    #[inline]
+    fn local(self) -> bool {
+        self & NMETA_LOCAL != 0
+    }
+
+    #[inline]
+    fn eligible(self) -> bool {
+        self & (NMETA_ALIVE | NMETA_LOCAL) == NMETA_ALIVE
+    }
+
+    #[inline]
+    fn lca(self) -> u32 {
+        (self >> 2) & 0x1F
+    }
+
+    #[inline]
+    fn key_leaf(self, _up: bool) -> u32 {
+        self >> NMETA_LEAF_SHIFT
+    }
+
+    #[inline]
+    fn kill(self) -> u32 {
+        self & !NMETA_ALIVE
+    }
+
+    #[inline]
+    fn revive(self) -> u32 {
+        self | NMETA_ALIVE
+    }
+
+    #[inline]
+    fn flip(self, peer: u32) -> (u32, u32) {
+        (
+            (self & ((1 << NMETA_LEAF_SHIFT) - 1)) | peer << NMETA_LEAF_SHIFT,
+            self >> NMETA_LEAF_SHIFT,
+        )
+    }
+}
+
+/// Indexed message source the loader packs metadata from: either a
+/// materialized slice or a lazy [`MessageStream`] replayed on demand.
+trait MsgSource {
+    fn len(&self) -> usize;
+    fn get(&self, j: usize) -> Message;
+}
+
+struct SliceSource<'a>(&'a [Message]);
+
+impl MsgSource for SliceSource<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline]
+    fn get(&self, j: usize) -> Message {
+        self.0[j]
+    }
+}
+
+/// Pass-scan driver: either the full metadata slice or a pre-filtered
+/// ascending live-index list. Both yield `(index, word)` in ascending index
+/// order — the stable bucket fill depends on it.
+enum Scan<'a, W> {
+    All(std::iter::Enumerate<std::slice::Iter<'a, W>>),
+    Active(std::slice::Iter<'a, u32>, &'a [W]),
+}
+
+impl<W: Copy> Iterator for Scan<'_, W> {
+    type Item = (usize, W);
+
+    #[inline]
+    fn next(&mut self) -> Option<(usize, W)> {
+        match self {
+            Scan::All(it) => it.next().map(|(i, &m)| (i, m)),
+            Scan::Active(it, meta) => it.next().map(|&i| (i as usize, meta[i as usize])),
+        }
+    }
+}
+
+#[inline]
+fn scan<'a, W: Copy>(meta: &'a [W], active: Option<&'a [u32]>) -> Scan<'a, W> {
+    match active {
+        Some(list) => Scan::Active(list.iter(), meta),
+        None => Scan::All(meta.iter().enumerate()),
+    }
+}
+
+struct StreamSource<'a>(&'a dyn MessageStream);
+
+impl MsgSource for StreamSource<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline]
+    fn get(&self, j: usize) -> Message {
+        self.0.message(j)
+    }
+}
+
 /// Parameters of one level pass (up or down) shared with worker threads.
 struct PhaseParams {
     /// Up phase (toward the root) or down phase.
@@ -186,12 +426,12 @@ impl PhaseParams {
     /// Input slot of a message with packed metadata `m` on wire `w` for
     /// this pass.
     #[inline]
-    fn slot(&self, m: u64, w: u32) -> u32 {
+    fn slot<W: MetaWord>(&self, m: W, w: u32) -> u32 {
         if self.up {
             // Left child wires [0, capc), right child wires [capc, 2capc).
-            let child = meta_src(m) >> (self.height - (self.node_level + 1));
+            let child = m.key_leaf(true) >> (self.height - (self.node_level + 1));
             (child & 1) * self.slot_base + w
-        } else if meta_lca(m) == self.node_level {
+        } else if m.lca() == self.node_level {
             // Turning at this node: came up from the other child.
             self.slot_base + w
         } else {
@@ -224,9 +464,19 @@ pub struct SimArena {
     eff: Vec<u64>,
     /// Port-switch cache keyed by (inputs, outputs); at most a few per level.
     ports: Vec<((usize, usize), PortSwitch)>,
+    /// Narrow (u32) metadata selected for plain cycles — resolved from
+    /// [`SimConfig::meta`] at construction. Shard phases ignore this and
+    /// always run wide.
+    narrow: bool,
     // --- per-message state, indexed by position in the submitted slice ---
-    /// Packed alive/local/LCA-level/leaf metadata (see `meta_pack`).
+    /// Packed alive/local/LCA-level/leaf metadata, wide layout (see the
+    /// `MetaWord` docs). Shard phases and wide plain cycles live here.
     meta: Vec<u64>,
+    /// Narrow-layout metadata words (plain cycles with `narrow` set).
+    meta32: Vec<u32>,
+    /// Narrow layout only: the off-phase leaf of each message (destination
+    /// while climbing, source while descending).
+    peer32: Vec<u32>,
     /// Current wire (rank) on the message's most recent channel.
     wire: Vec<u32>,
     /// Arbitration identity of each message. For plain cycles this is the
@@ -237,6 +487,12 @@ pub struct SimArena {
     ids: Vec<u32>,
     /// Indices of the messages participating in the current pass.
     eligible: Vec<u32>,
+    /// Narrow cycles only: surviving message indices counting-sorted by
+    /// destination leaf at the up→down turn. Driving the down passes from
+    /// this list keeps every down-phase slot-table fill an ascending sweep
+    /// (ingest order is source-major, so the raw scan would scatter) and
+    /// skips injection overflow and up-phase corpses.
+    live: Vec<u32>,
     // --- counting-sort state (parallel path) ---
     per_leaf: Vec<u32>,
     offsets: Vec<u32>,
@@ -249,8 +505,11 @@ pub struct SimArena {
     /// `node_rel * r + slot` holding the contending message index. Bumping
     /// the generation per pass replaces clearing (see [`GenTable`]).
     tbl: GenTable,
-    /// Per-bucket `count << 32 | min_slot`, rebuilt each pass.
+    /// Per-bucket `count << 32 | min_slot`, rebuilt densely each pass.
     bucket_meta: Vec<u64>,
+    /// `(slot, message)` contenders of the bucket currently open in a
+    /// run-based pass (see [`Self::level_pass_serial_runs`]).
+    run: Vec<(u32, u32)>,
     /// Per-thread arbitration scratch.
     scratch: Vec<ArbScratch>,
     // --- per-cycle outputs ---
@@ -273,16 +532,31 @@ impl SimArena {
         for c in ft.channels() {
             eff[c.index()] = cfg.faults.effective_cap(ft, c);
         }
+        let narrow = match cfg.meta {
+            MetaWidth::Auto => ft.height() <= NARROW_MAX_HEIGHT,
+            MetaWidth::Wide => false,
+            MetaWidth::Narrow => {
+                assert!(
+                    ft.height() <= NARROW_MAX_HEIGHT,
+                    "narrow metadata supports up to 2^{NARROW_MAX_HEIGHT} processors"
+                );
+                true
+            }
+        };
         SimArena {
             n,
             height: ft.height(),
             faults: cfg.faults,
             eff,
             ports: Vec::new(),
+            narrow,
             meta: Vec::new(),
+            meta32: Vec::new(),
+            peer32: Vec::new(),
             wire: Vec::new(),
             ids: Vec::new(),
             eligible: Vec::new(),
+            live: Vec::new(),
             per_leaf: vec![0; n as usize],
             offsets: Vec::with_capacity(n as usize + 1),
             cursor: Vec::with_capacity(n as usize),
@@ -291,6 +565,7 @@ impl SimArena {
             bucket_out: Vec::new(),
             tbl: GenTable::new(),
             bucket_meta: Vec::new(),
+            run: Vec::new(),
             scratch: Vec::new(),
             delivered: Vec::new(),
             dropped: Vec::new(),
@@ -360,84 +635,230 @@ impl SimArena {
         stats
     }
 
+    /// Run one delivery cycle of a lazily generated stream: metadata is
+    /// packed directly from the generator in a single replay, so no
+    /// `Vec<Message>` of the stream's length ever exists.
+    ///
+    /// Byte-identical to [`Self::cycle`] on the materialized set (same
+    /// arena width, same arbitration outcomes).
+    pub fn cycle_stream(
+        &mut self,
+        ft: &FatTree,
+        stream: &dyn MessageStream,
+        cfg: &SimConfig,
+    ) -> CycleStats {
+        self.cycle_stream_with(ft, stream, cfg, &mut NoopRecorder)
+    }
+
+    /// [`Self::cycle_stream`] with a telemetry [`Recorder`] observing the
+    /// cycle ([`Recorder::stream_ingest`] once, then per-channel loads as
+    /// in [`Self::cycle_with`]).
+    pub fn cycle_stream_with<R: Recorder>(
+        &mut self,
+        ft: &FatTree,
+        stream: &dyn MessageStream,
+        cfg: &SimConfig,
+        rec: &mut R,
+    ) -> CycleStats {
+        if R::ENABLED {
+            rec.stream_ingest(stream.family(), stream.len() as u64);
+        }
+        let stats = if self.narrow {
+            let mut meta = std::mem::take(&mut self.meta32);
+            let s = self.cycle_generic(ft, &StreamSource(stream), cfg, &mut meta);
+            self.meta32 = meta;
+            s
+        } else {
+            let mut meta = std::mem::take(&mut self.meta);
+            let s = self.cycle_generic(ft, &StreamSource(stream), cfg, &mut meta);
+            self.meta = meta;
+            s
+        };
+        if R::ENABLED {
+            for c in ft.channels() {
+                rec.channel_load(c.level(), self.channel_use.get(c), ft.cap(c));
+            }
+        }
+        stats
+    }
+
     /// Fill per-message metadata, arbitration ids (`None` = identity map,
     /// matching the reference engine), and inject every message onto its
-    /// source leaf's up-wires. Shared by [`Self::cycle`] and the shard
-    /// entry points.
+    /// source leaf's up-wires — wide layout, shared by the shard entry
+    /// points.
     fn load_and_inject(&mut self, ft: &FatTree, msgs: &[Message], ids: Option<&[u32]>) {
-        let n_msgs = msgs.len();
+        let mut meta = std::mem::take(&mut self.meta);
+        self.load_generic(ft, &SliceSource(msgs), ids, &mut meta);
+        self.meta = meta;
+    }
+
+    /// Width-generic load: pack metadata straight from a message source (a
+    /// slice or a lazy stream — no intermediate `Vec<Message>`), set
+    /// arbitration ids, and inject onto leaf up-wires. `meta` is this
+    /// arena's width-matching metadata buffer, temporarily moved out so the
+    /// method can borrow the rest of the arena freely.
+    fn load_generic<W: MetaWord, M: MsgSource + ?Sized>(
+        &mut self,
+        ft: &FatTree,
+        src: &M,
+        ids: Option<&[u32]>,
+        meta: &mut Vec<W>,
+    ) {
+        let n_msgs = src.len();
 
         // --- Per-message metadata (grow-only buffers).
         self.wire.clear();
         self.wire.resize(n_msgs, 0);
-        self.meta.clear();
-        for m in msgs {
+        meta.clear();
+        if W::NARROW {
+            self.peer32.clear();
+        }
+        for j in 0..n_msgs {
+            let m = src.get(j);
             let lca = ft.lca(m.src, m.dst);
-            self.meta.push(meta_pack(
+            let (word, peer) = W::pack(
                 m.is_local(),
                 31 - lca.leading_zeros(),
                 ft.leaf(m.src),
                 ft.leaf(m.dst),
-            ));
+            );
+            meta.push(word);
+            if W::NARROW {
+                self.peer32.push(peer);
+            }
         }
         self.ids.clear();
         match ids {
             Some(ids) => self.ids.extend_from_slice(ids),
             None => self.ids.extend(0..n_msgs as u32),
         }
+        self.inject(meta);
+    }
 
-        // --- Injection: each processor assigns its messages to leaf up-wires.
+    /// Injection: each processor assigns its (alive, non-local) messages to
+    /// leaf up-wires in submission order; overflow beyond the leaf channel
+    /// capacity dies immediately. Metadata words must hold the source leaf
+    /// (fresh from a load, or flipped back by retry compaction).
+    fn inject<W: MetaWord>(&mut self, meta: &mut [W]) {
         self.per_leaf.fill(0);
         self.channel_use.clear();
-        for (i, msg) in msgs.iter().enumerate() {
-            let m = self.meta[i];
-            if m & META_LOCAL != 0 {
+        for (i, w) in meta.iter_mut().enumerate() {
+            let m = *w;
+            if m.local() {
                 continue;
             }
-            let up = ChannelId::up(meta_src(m));
+            let sleaf = m.key_leaf(true);
+            let up = ChannelId::up(sleaf);
             let leaf_cap = self.eff[up.index()] as u32;
-            let cnt = &mut self.per_leaf[msg.src.idx()];
+            let cnt = &mut self.per_leaf[(sleaf - self.n) as usize];
             if *cnt < leaf_cap {
                 self.wire[i] = *cnt;
                 *cnt += 1;
                 self.channel_use.add_one(up);
             } else {
-                self.meta[i] = m & !META_ALIVE; // source port congested immediately
+                *w = m.kill(); // source port congested immediately
             }
         }
     }
 
     fn cycle_inner(&mut self, ft: &FatTree, msgs: &[Message], cfg: &SimConfig) -> CycleStats {
+        if self.narrow {
+            let mut meta = std::mem::take(&mut self.meta32);
+            let stats = self.cycle_generic(ft, &SliceSource(msgs), cfg, &mut meta);
+            self.meta32 = meta;
+            stats
+        } else {
+            let mut meta = std::mem::take(&mut self.meta);
+            let stats = self.cycle_generic(ft, &SliceSource(msgs), cfg, &mut meta);
+            self.meta = meta;
+            stats
+        }
+    }
+
+    fn cycle_generic<W: MetaWord, M: MsgSource + ?Sized>(
+        &mut self,
+        ft: &FatTree,
+        src: &M,
+        cfg: &SimConfig,
+        meta: &mut Vec<W>,
+    ) -> CycleStats {
         debug_assert_eq!(self.n, ft.n(), "arena built for a different tree");
         debug_assert_eq!(
             self.faults, cfg.faults,
             "arena built for a different fault pattern"
         );
-        let n_msgs = msgs.len();
-        let height = self.height;
-        self.load_and_inject(ft, msgs, None);
+        self.load_generic(ft, src, None, meta);
+        self.passes_and_settle(ft, cfg, meta)
+    }
 
-        // --- Up phase (deepest node level first), then down phase.
-        for node_level in (0..height).rev() {
-            self.level_pass(ft, cfg, true, node_level);
+    /// Run the level passes of one injected cycle and settle the outcome
+    /// (delivered/dropped lists, cycle ticks). Shared by fresh cycles and
+    /// streamed-retry cycles.
+    fn passes_and_settle<W: MetaWord>(
+        &mut self,
+        ft: &FatTree,
+        cfg: &SimConfig,
+        meta: &mut [W],
+    ) -> CycleStats {
+        let height = self.height;
+
+        // --- Up phase (deepest node level first), then down phase. Narrow
+        // words carry one leaf: swap in the destination at the turn.
+        //
+        // Narrow cycles counting-sort the survivors by the phase key leaf
+        // (source after injection, destination at the turn) and drive the
+        // passes from that list. A key-sorted scan visits each bucket's
+        // contenders contiguously at every level, which keeps slot-table
+        // fills ascending instead of scattering across a table bigger than
+        // L2 — and at deep levels lets the pass skip the table entirely
+        // and arbitrate run-by-run out of the scan (see
+        // [`Self::level_pass_serial_runs`]). The list also skips injection
+        // overflow and up-phase corpses. Outcomes are byte-identical:
+        // slots within a bucket are distinct, so arbitration never depends
+        // on scan order (pinned by the goldens). The wide layout keeps the
+        // plain scan — it is the shard/compat path and the bench baseline.
+        let mut live = std::mem::take(&mut self.live);
+        let list = W::NARROW;
+        if list {
+            sort_eligible(meta, true, self.n, &mut self.offsets, &mut live);
+        }
+        // Ideal switches with slot-order arbitration admit a fully fused up
+        // phase over the source-sorted list (see [`Self::up_phase_fused`]);
+        // every other configuration runs the per-level passes.
+        let fused_up = list
+            && cfg.threads <= 1
+            && matches!(cfg.switch, SwitchKind::Ideal)
+            && matches!(cfg.arbitration, Arbitration::SlotOrder);
+        if fused_up {
+            self.up_phase_fused(ft, meta, &live);
+        } else {
+            for node_level in (0..height).rev() {
+                self.level_pass(ft, cfg, true, node_level, meta, list.then_some(&live[..]));
+            }
+        }
+        if W::NARROW {
+            for (m, p) in meta.iter_mut().zip(self.peer32.iter_mut()) {
+                (*m, *p) = m.flip(*p);
+            }
+            sort_eligible(meta, false, self.n, &mut self.offsets, &mut live);
         }
         for node_level in 0..height {
-            self.level_pass(ft, cfg, false, node_level);
+            self.level_pass(ft, cfg, false, node_level, meta, list.then_some(&live[..]));
         }
+        self.live = live;
 
         // --- Bookkeeping.
         self.delivered.clear();
         self.dropped.clear();
         let mut max_latency = 0u32;
-        for i in 0..n_msgs {
-            let m = self.meta[i];
-            if m & META_LOCAL != 0 {
+        for (i, &m) in meta.iter().enumerate() {
+            if m.local() {
                 self.delivered.push(i as u32);
                 continue;
             }
-            if m & META_ALIVE != 0 {
+            if m.alive() {
                 self.delivered.push(i as u32);
-                let nodes_on_path = 2 * (height - meta_lca(m)) - 1;
+                let nodes_on_path = 2 * (height - m.lca()) - 1;
                 max_latency = max_latency.max(2 * nodes_on_path + cfg.payload_bits);
             } else {
                 self.dropped.push(i as u32);
@@ -449,12 +870,81 @@ impl SimArena {
         }
     }
 
+    /// One retry cycle over the survivors left in the arena by
+    /// [`Self::compact_retry`]: re-inject from the already-packed metadata
+    /// (no stream replay, no message rebuild) and run the passes.
+    fn retry_cycle<W: MetaWord>(
+        &mut self,
+        ft: &FatTree,
+        cfg: &SimConfig,
+        meta: &mut [W],
+    ) -> CycleStats {
+        self.inject(meta);
+        self.passes_and_settle(ft, cfg, meta)
+    }
+
+    /// Between streamed delivery cycles: emit delivered original indices
+    /// (via `orig`, the position → original-index map) and compact the
+    /// survivors' metadata in place, preserving FIFO retry order. Narrow
+    /// words are flipped back so they hold the source leaf again, dead
+    /// words are revived, and the arbitration ids are reset to the identity
+    /// over the compacted range — exactly the state a fresh
+    /// [`run_to_completion`] load would produce for the same pending set,
+    /// which is what keeps the streamed path byte-identical. Returns the
+    /// number of survivors.
+    fn compact_retry<W: MetaWord>(
+        &mut self,
+        meta: &mut Vec<W>,
+        orig: &mut Vec<u32>,
+        delivery_order: &mut Vec<usize>,
+    ) -> usize {
+        let delivered = std::mem::take(&mut self.delivered);
+        let mut d = delivered.iter().peekable();
+        let mut w = 0usize;
+        for i in 0..meta.len() {
+            if d.next_if(|&&di| di as usize == i).is_some() {
+                delivery_order.push(orig[i] as usize);
+            } else {
+                let mut m = meta[i].revive();
+                if W::NARROW {
+                    let (m2, p2) = m.flip(self.peer32[i]);
+                    m = m2;
+                    self.peer32[w] = p2;
+                }
+                meta[w] = m;
+                orig[w] = orig[i];
+                w += 1;
+            }
+        }
+        self.delivered = delivered;
+        meta.truncate(w);
+        orig.truncate(w);
+        if W::NARROW {
+            self.peer32.truncate(w);
+        }
+        self.wire.truncate(w);
+        self.ids.clear();
+        self.ids.extend(0..w as u32);
+        w
+    }
+
     /// One level pass: counting-sort the contenders into per-node buckets,
     /// arbitrate every bucket (in parallel for `cfg.threads > 1`), then
     /// scatter the surviving wire assignments back.
-    fn level_pass(&mut self, ft: &FatTree, cfg: &SimConfig, up: bool, node_level: u32) {
+    ///
+    /// `active` — when present — is an ascending pre-filter of live message
+    /// indices; only those are scanned for eligibility (ascending order
+    /// keeps the stable bucket fill identical to a full scan).
+    fn level_pass<W: MetaWord>(
+        &mut self,
+        ft: &FatTree,
+        cfg: &SimConfig,
+        up: bool,
+        node_level: u32,
+        meta: &mut [W],
+        active: Option<&[u32]>,
+    ) {
         let height = self.height;
-        let n_msgs = self.meta.len();
         // Bucket keys: the switching node for the up phase, the destination
         // child (which already encodes the `goes_right` side) for the down.
         let key_level = if up { node_level } else { node_level + 1 };
@@ -485,7 +975,16 @@ impl SimArena {
         let sw_idx = self.port_index(cfg.switch, r, s);
         let threads = cfg.threads.max(1).min(nk);
         if threads <= 1 {
-            self.level_pass_serial(cfg, &params, sw_idx, r, shift, nk);
+            // Key-sorted active lists arbitrate straight out of the scan
+            // where runs stay short (`r` bounds the bucket size); fat
+            // channels keep the slot-table walk, which beats sorting a
+            // root-sized run.
+            match active {
+                Some(list) if r <= RUN_ARB_MAX_R => {
+                    self.level_pass_serial_runs(cfg, &params, sw_idx, shift, meta, list);
+                }
+                _ => self.level_pass_serial(cfg, &params, sw_idx, r, shift, nk, meta, active),
+            }
             return;
         }
 
@@ -493,19 +992,17 @@ impl SimArena {
         self.offsets.clear();
         self.offsets.resize(nk + 1, 0);
         self.eligible.clear();
-        for i in 0..n_msgs {
-            let m = self.meta[i];
-            if m & (META_ALIVE | META_LOCAL) != META_ALIVE {
+        for (i, m) in scan(meta, active) {
+            if !m.eligible() {
                 continue;
             }
-            let ll = meta_lca(m);
+            let ll = m.lca();
             // Up: still climbing through this node. Down: has turned at or
             // above this node.
             if (up && ll >= node_level) || (!up && ll > node_level) {
                 continue;
             }
-            let leaf = if up { meta_src(m) } else { meta_dst(m) };
-            let k = (leaf >> shift) - lo;
+            let k = (m.key_leaf(up) >> shift) - lo;
             self.offsets[k as usize + 1] += 1;
             self.eligible.push(i as u32);
         }
@@ -527,9 +1024,8 @@ impl SimArena {
         self.bucket_slots.resize(total, 0);
         for &iu in &self.eligible {
             let i = iu as usize;
-            let m = self.meta[i];
-            let leaf = if up { meta_src(m) } else { meta_dst(m) };
-            let k = ((leaf >> shift) - lo) as usize;
+            let m = meta[i];
+            let k = ((m.key_leaf(up) >> shift) - lo) as usize;
             let slot = params.slot(m, self.wire[i]);
             let pos = self.cursor[k] as usize;
             self.cursor[k] += 1;
@@ -606,13 +1102,22 @@ impl SimArena {
                 let i = self.bucket_msgs[pos] as usize;
                 let out = self.bucket_out[pos];
                 if out == DROPPED {
-                    self.meta[i] &= !META_ALIVE;
+                    meta[i] = meta[i].kill();
                 } else {
                     self.wire[i] = out;
                     self.channel_use.add_one(chan);
                 }
             }
         }
+    }
+
+    /// Wide-only level pass over the arena's own `meta` buffer — the shard
+    /// phases use this (claims carry u64 words on the wire, so shard cycles
+    /// always run the wide layout regardless of [`SimConfig::meta`]).
+    fn level_pass_wide(&mut self, ft: &FatTree, cfg: &SimConfig, up: bool, node_level: u32) {
+        let mut meta = std::mem::take(&mut self.meta);
+        self.level_pass(ft, cfg, up, node_level, &mut meta, None);
+        self.meta = meta;
     }
 }
 
@@ -630,7 +1135,8 @@ impl SimArena {
     /// the walk visits exactly `count` stamped entries. Must arbitrate
     /// exactly like [`arbitrate_chunk`] — the golden and determinism tests
     /// pin the two together.
-    fn level_pass_serial(
+    #[allow(clippy::too_many_arguments)]
+    fn level_pass_serial<W: MetaWord>(
         &mut self,
         cfg: &SimConfig,
         params: &PhaseParams,
@@ -638,25 +1144,27 @@ impl SimArena {
         r: usize,
         shift: u32,
         nk: usize,
+        meta: &mut [W],
+        active: Option<&[u32]>,
     ) {
-        let n_msgs = self.meta.len();
         self.tbl.begin(nk * r);
+        // Bucket table: `count << 32 | min_slot` per node, empty =
+        // `EMPTY_BUCKET` (count 0, min-slot MAX).
+        const EMPTY_BUCKET: u64 = u32::MAX as u64;
         self.bucket_meta.clear();
-        self.bucket_meta.resize(nk, u32::MAX as u64); // count 0, min_slot MAX
+        self.bucket_meta.resize(nk, EMPTY_BUCKET);
 
         let (up, node_level, lo) = (params.up, params.node_level, params.lo);
         let mut any = false;
-        for i in 0..n_msgs {
-            let m = self.meta[i];
-            if m & (META_ALIVE | META_LOCAL) != META_ALIVE {
+        for (i, m) in scan(meta, active) {
+            if !m.eligible() {
                 continue;
             }
-            let ll = meta_lca(m);
+            let ll = m.lca();
             if (up && ll >= node_level) || (!up && ll > node_level) {
                 continue;
             }
-            let leaf = if up { meta_src(m) } else { meta_dst(m) };
-            let k = ((leaf >> shift) - lo) as usize;
+            let k = ((m.key_leaf(up) >> shift) - lo) as usize;
             let slot = params.slot(m, self.wire[i]);
             let idx = k * r + slot as usize;
             debug_assert!(self.tbl.get(idx).is_none(), "duplicate slot in bucket");
@@ -675,7 +1183,6 @@ impl SimArena {
         let SimArena {
             ports,
             eff,
-            meta,
             wire,
             ids,
             channel_use,
@@ -688,11 +1195,8 @@ impl SimArena {
         let arb = cfg.arbitration;
         let scratch = &mut scratch[0];
 
-        for (k_rel, &bm) in bucket_meta.iter().enumerate() {
+        let mut arbitrate_bucket = |k_rel: usize, bm: u64| {
             let b = (bm >> 32) as u32;
-            if b == 0 {
-                continue;
-            }
             let min_slot = bm as u32 as usize;
             let chan = params.channel(k_rel);
             let e = eff[chan.index()];
@@ -706,7 +1210,7 @@ impl SimArena {
                 let i = tbl.get(base + min_slot).expect("min_slot entry live") as usize;
                 wire[i] = 0;
                 channel_use.add_one(chan);
-                continue;
+                return;
             }
 
             match arb {
@@ -722,7 +1226,7 @@ impl SimArena {
                                     wire[i] = rank;
                                     channel_use.add_one(chan);
                                 } else {
-                                    meta[i] &= !META_ALIVE;
+                                    meta[i] = meta[i].kill();
                                 }
                                 rank += 1;
                             }
@@ -780,7 +1284,7 @@ impl SimArena {
                                     wire[i] = j as u32;
                                     channel_use.add_one(chan);
                                 } else {
-                                    meta[i] &= !META_ALIVE;
+                                    meta[i] = meta[i].kill();
                                 }
                             }
                         }
@@ -798,6 +1302,319 @@ impl SimArena {
                     }
                 }
             }
+        };
+
+        for (k_rel, &bm) in bucket_meta.iter().enumerate() {
+            if (bm >> 32) as u32 != 0 {
+                arbitrate_bucket(k_rel, bm);
+            }
+        }
+    }
+
+    /// The whole up phase in one sweep over the source-sorted live list —
+    /// ideal switches with slot-order arbitration only.
+    ///
+    /// Two facts make this exact. First, within any up bucket slot order
+    /// equals list order: injection hands out wires in list order per
+    /// leaf, and inductively a level's winners take `wire = rank` assigned
+    /// in slot order, which in a source-sorted scan is list order again
+    /// (left-child contenders precede right-child ones, and each side's
+    /// wires ascend). Second, an ideal port's win condition is
+    /// `rank < min(outputs, eff)` — the `min(…, b)` bound on winners never
+    /// bites because `rank < b` trivially — so a message's fate at a level
+    /// depends only on how many earlier-in-list survivors share its node,
+    /// never on later contenders. One counter per level therefore replaces
+    /// the per-level scan/fill/arbitrate machinery: each message walks its
+    /// own climb (levels `height-1 ..= lca+1`), loses at the first full
+    /// channel, and otherwise records its final wire (its rank on the
+    /// channel into the LCA). Channel loads settle per (level, node) when
+    /// the sweep leaves the node's contiguous span. Byte-identical to the
+    /// per-level passes — the goldens and the narrow/wide equality tests
+    /// pin it.
+    fn up_phase_fused<W: MetaWord>(&mut self, ft: &FatTree, meta: &mut [W], list: &[u32]) {
+        let height = self.height as usize;
+        debug_assert!(height < 32, "narrow layout caps height below 32");
+        let mut cur_node = [u32::MAX; 32];
+        let mut count = [0u32; 32];
+        let mut wincap = [0u32; 32];
+        // The ideal port at level `L` concentrates onto `cap_at_level(L)`
+        // output wires (the `s` of [`Self::level_pass`]'s `(r, s)`).
+        let mut outputs = [0u64; 32];
+        for (l, o) in outputs.iter_mut().enumerate().take(height) {
+            *o = ft.cap_at_level(l as u32);
+        }
+        let eff = &self.eff[..];
+        let wire = &mut self.wire[..];
+        let channel_use = &mut self.channel_use;
+
+        for &iu in list {
+            let i = iu as usize;
+            let m = meta[i];
+            debug_assert!(m.eligible(), "live list holds eligible messages");
+            let ll = m.lca() as usize;
+            let s = m.key_leaf(true);
+            let mut w = wire[i]; // injection wire, kept when lca is the leaf's parent
+            let mut dead = false;
+            for lvl in (ll + 1..height).rev() {
+                let node = s >> (height - lvl);
+                if cur_node[lvl] != node {
+                    if cur_node[lvl] != u32::MAX {
+                        channel_use.add_count(ChannelId::up(cur_node[lvl]), count[lvl] as u64);
+                    }
+                    cur_node[lvl] = node;
+                    count[lvl] = 0;
+                    wincap[lvl] = outputs[lvl].min(eff[ChannelId::up(node).index()]) as u32;
+                }
+                let rank = count[lvl];
+                if rank >= wincap[lvl] {
+                    meta[i] = m.kill();
+                    dead = true;
+                    break;
+                }
+                count[lvl] += 1;
+                w = rank;
+            }
+            if !dead {
+                wire[i] = w;
+            }
+        }
+        for lvl in 0..height {
+            if cur_node[lvl] != u32::MAX {
+                channel_use.add_count(ChannelId::up(cur_node[lvl]), count[lvl] as u64);
+            }
+        }
+    }
+
+    /// Serial level pass over a key-sorted active list: the scan is
+    /// monotone in the bucket key, so each bucket's contenders form one
+    /// contiguous run and arbitration happens straight out of the scan —
+    /// no slot table, no per-node bucket array, no dense sweep. Chosen
+    /// when the channel order `r` (which bounds the run length) is at most
+    /// [`RUN_ARB_MAX_R`]: deep levels, where almost every bucket is a
+    /// singleton and the table machinery dwarfs the real work. Fat
+    /// channels near the root keep [`Self::level_pass_serial`]'s table
+    /// walk instead, which beats sorting a root-sized run.
+    ///
+    /// Must arbitrate exactly like the table path — slots within a bucket
+    /// are distinct, so sorting a run by slot reproduces the table walk's
+    /// ascending-slot order and the goldens pin the two together.
+    #[allow(clippy::too_many_arguments)]
+    fn level_pass_serial_runs<W: MetaWord>(
+        &mut self,
+        cfg: &SimConfig,
+        params: &PhaseParams,
+        sw_idx: usize,
+        shift: u32,
+        meta: &mut [W],
+        list: &[u32],
+    ) {
+        if self.scratch.is_empty() {
+            self.scratch.resize_with(1, Default::default);
+        }
+        let SimArena {
+            ports,
+            eff,
+            wire,
+            ids,
+            channel_use,
+            run,
+            scratch,
+            ..
+        } = self;
+        let sw = &ports[sw_idx].1;
+        let arb = cfg.arbitration;
+        let scratch = &mut scratch[0];
+        let (up, node_level, lo) = (params.up, params.node_level, params.lo);
+
+        run.clear();
+        let mut cur_k = u32::MAX; // sentinel: no bucket open
+        for &iu in list {
+            let i = iu as usize;
+            let m = meta[i];
+            if !m.eligible() {
+                continue;
+            }
+            let ll = m.lca();
+            if (up && ll >= node_level) || (!up && ll > node_level) {
+                continue;
+            }
+            let k = (m.key_leaf(up) >> shift) - lo;
+            if k != cur_k {
+                debug_assert!(cur_k == u32::MAX || k > cur_k, "active list not key-sorted");
+                if !run.is_empty() {
+                    arbitrate_run(
+                        run,
+                        cur_k as usize,
+                        params,
+                        sw,
+                        arb,
+                        eff,
+                        ids,
+                        meta,
+                        wire,
+                        channel_use,
+                        scratch,
+                    );
+                    run.clear();
+                }
+                cur_k = k;
+            }
+            run.push((params.slot(m, wire[i]), iu));
+        }
+        if !run.is_empty() {
+            arbitrate_run(
+                run,
+                cur_k as usize,
+                params,
+                sw,
+                arb,
+                eff,
+                ids,
+                meta,
+                wire,
+                channel_use,
+                scratch,
+            );
+            run.clear();
+        }
+    }
+}
+
+/// Largest channel order arbitrated run-by-run out of a key-sorted scan;
+/// above this the slot-table walk wins (see
+/// [`SimArena::level_pass_serial_runs`]).
+const RUN_ARB_MAX_R: usize = 64;
+
+/// Arbitrate one contiguous bucket run of `(slot, message)` contenders for
+/// node `lo + k_rel`. Exactly mirrors the table walk in
+/// [`SimArena::level_pass_serial`]: ascending-slot order via an explicit
+/// sort (slots are distinct), the same singleton fast path, the same
+/// random-ranking key.
+#[allow(clippy::too_many_arguments)]
+fn arbitrate_run<W: MetaWord>(
+    run: &mut [(u32, u32)],
+    k_rel: usize,
+    params: &PhaseParams,
+    sw: &PortSwitch,
+    arb: Arbitration,
+    eff: &[u64],
+    ids: &[u32],
+    meta: &mut [W],
+    wire: &mut [u32],
+    channel_use: &mut LoadMap,
+    scratch: &mut ArbScratch,
+) {
+    let chan = params.channel(k_rel);
+    let e = eff[chan.index()];
+    let b = run.len() as u32;
+
+    // Singleton fast path: one contender on an ideal port always wins
+    // wire 0 (effective capacities are floored at 1). By far the common
+    // case at deep tree levels.
+    if b == 1 && matches!(sw, PortSwitch::Ideal(_)) && matches!(arb, Arbitration::SlotOrder) {
+        let i = run[0].1 as usize;
+        wire[i] = 0;
+        channel_use.add_one(chan);
+        return;
+    }
+
+    match arb {
+        Arbitration::SlotOrder => {
+            run.sort_unstable();
+            match sw {
+                PortSwitch::Ideal(cb) => {
+                    let winners = (cb.outputs() as u64).min(e).min(b as u64) as u32;
+                    for (rank, &(_, iu)) in run.iter().enumerate() {
+                        let i = iu as usize;
+                        if (rank as u32) < winners {
+                            wire[i] = rank as u32;
+                            channel_use.add_one(chan);
+                        } else {
+                            meta[i] = meta[i].kill();
+                        }
+                    }
+                }
+                PortSwitch::Partial { .. } => {
+                    scratch.sort_buf.clear();
+                    scratch.active.clear();
+                    for &(slot, iu) in run.iter() {
+                        scratch.sort_buf.push((iu, slot, 0));
+                        scratch.active.push(slot as usize);
+                    }
+                    let routed = sw.concentrate_with(&mut scratch.matching, &scratch.active);
+                    for (&(i, _, _), w) in scratch.sort_buf.iter().zip(routed) {
+                        apply_outcome(i as usize, w, e, chan, meta, wire, channel_use);
+                    }
+                }
+            }
+        }
+        Arbitration::Random(seed) => {
+            scratch.sort_buf.clear();
+            for &(slot, iu) in run.iter() {
+                scratch.sort_buf.push((iu, slot, 0));
+            }
+            scratch.sort_buf.sort_unstable_by_key(|&(i, s, _)| {
+                (
+                    splitmix64(seed ^ (ids[i as usize] as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    s,
+                )
+            });
+            match sw {
+                PortSwitch::Ideal(cb) => {
+                    let s_out = cb.outputs();
+                    for (j, &(i, _, _)) in scratch.sort_buf.iter().enumerate() {
+                        let i = i as usize;
+                        if j < s_out && (j as u64) < e {
+                            wire[i] = j as u32;
+                            channel_use.add_one(chan);
+                        } else {
+                            meta[i] = meta[i].kill();
+                        }
+                    }
+                }
+                PortSwitch::Partial { .. } => {
+                    scratch.active.clear();
+                    scratch
+                        .active
+                        .extend(scratch.sort_buf.iter().map(|&(_, s, _)| s as usize));
+                    let routed = sw.concentrate_with(&mut scratch.matching, &scratch.active);
+                    for (&(i, _, _), w) in scratch.sort_buf.iter().zip(routed) {
+                        apply_outcome(i as usize, w, e, chan, meta, wire, channel_use);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Counting-sort the eligible (alive, non-local) message indices of `meta`
+/// by their phase key leaf (`up`: source, else destination) into `out`,
+/// ascending index within a leaf. Leaf heap ids are `[n, 2n)`; `counts` is
+/// the reused `n + 1` scratch.
+fn sort_eligible<W: MetaWord>(
+    meta: &[W],
+    up: bool,
+    n: u32,
+    counts: &mut Vec<u32>,
+    out: &mut Vec<u32>,
+) {
+    counts.clear();
+    counts.resize(n as usize + 1, 0);
+    for m in meta.iter() {
+        if m.eligible() {
+            counts[(m.key_leaf(up) - n) as usize + 1] += 1;
+        }
+    }
+    for k in 0..n as usize {
+        counts[k + 1] += counts[k];
+    }
+    out.clear();
+    out.resize(counts[n as usize] as usize, 0);
+    for (i, m) in meta.iter().enumerate() {
+        if m.eligible() {
+            let c = &mut counts[(m.key_leaf(up) - n) as usize];
+            out[*c as usize] = i as u32;
+            *c += 1;
         }
     }
 }
@@ -917,7 +1734,7 @@ impl SimArena {
         assert!(boundary <= self.height, "boundary below the leaves");
         self.load_and_inject(ft, msgs, Some(ids));
         for node_level in (boundary..self.height).rev() {
-            self.level_pass(ft, cfg, true, node_level);
+            self.level_pass_wide(ft, cfg, true, node_level);
         }
         for i in 0..self.meta.len() {
             let m = self.meta[i];
@@ -964,10 +1781,10 @@ impl SimArena {
         }
         self.channel_use.clear();
         for node_level in (0..boundary).rev() {
-            self.level_pass(ft, cfg, true, node_level);
+            self.level_pass_wide(ft, cfg, true, node_level);
         }
         for node_level in 0..boundary {
-            self.level_pass(ft, cfg, false, node_level);
+            self.level_pass_wide(ft, cfg, false, node_level);
         }
         for (i, c) in claims.iter_mut().enumerate() {
             c.meta = self.meta[i];
@@ -998,7 +1815,7 @@ impl SimArena {
             self.ids.push(c.id);
         }
         for node_level in boundary..self.height {
-            self.level_pass(ft, cfg, false, node_level);
+            self.level_pass_wide(ft, cfg, false, node_level);
         }
         self.delivered.clear();
         self.dropped.clear();
@@ -1042,12 +1859,12 @@ impl SimArena {
 /// effective capacity advances, anything else dies.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn apply_outcome(
+fn apply_outcome<W: MetaWord>(
     i: usize,
     routed: Option<u32>,
     e: u64,
     chan: ChannelId,
-    meta: &mut [u64],
+    meta: &mut [W],
     wire: &mut [u32],
     channel_use: &mut LoadMap,
 ) {
@@ -1056,7 +1873,7 @@ fn apply_outcome(
             wire[i] = w;
             channel_use.add_one(chan);
         }
-        _ => meta[i] &= !META_ALIVE,
+        _ => meta[i] = meta[i].kill(),
     }
 }
 
@@ -1278,10 +2095,14 @@ pub fn run_to_completion_with<R: Recorder>(
         delivered_per_cycle.push(stats.delivered);
         total_ticks += stats.ticks as u64;
         // One pass: emit delivered identities and compact survivors in
-        // place, preserving order (the retry queue of §II is FIFO).
+        // place, preserving order (the retry queue of §II is FIFO). The
+        // arena's delivered list is ascending, so a merge-walk against it
+        // classifies every pending index without touching arena metadata
+        // (which may be either width).
         let mut w = 0usize;
+        let mut d = arena.delivered_indices().iter().peekable();
         for i in 0..pending.len() {
-            if arena.meta[i] & (META_LOCAL | META_ALIVE) != 0 {
+            if d.next_if(|&&di| di as usize == i).is_some() {
                 delivery_order.push(ids[i] as usize);
             } else {
                 pending[w] = pending[i];
@@ -1291,6 +2112,107 @@ pub fn run_to_completion_with<R: Recorder>(
         }
         pending.truncate(w);
         ids.truncate(w);
+    }
+    RunReport {
+        cycles,
+        delivered_per_cycle,
+        total_ticks,
+        delivery_order,
+    }
+}
+
+/// [`run_to_completion`] over a lazily generated stream.
+///
+/// The first cycle packs per-message metadata straight from the generator
+/// (two-pass streamed ingest: the only per-message state is the arena's
+/// flat metadata/wire arrays plus a `u32` original-index map — no
+/// `Vec<Message>` of the stream's length exists at any point). Retry
+/// cycles re-inject from the compacted metadata without replaying the
+/// stream. Byte-identical to [`run_to_completion`] on
+/// [`MessageStream::collect_set`] for the same arena width, and — via the
+/// width goldens — to the wide reference engine.
+pub fn run_stream_to_completion(
+    ft: &FatTree,
+    stream: &dyn MessageStream,
+    cfg: &SimConfig,
+) -> RunReport {
+    run_stream_to_completion_with(ft, stream, cfg, &mut NoopRecorder)
+}
+
+/// [`run_stream_to_completion`] with a telemetry [`Recorder`] observing the
+/// run: [`Recorder::stream_ingest`] once, then the same per-cycle hooks as
+/// [`run_to_completion_with`].
+pub fn run_stream_to_completion_with<R: Recorder>(
+    ft: &FatTree,
+    stream: &dyn MessageStream,
+    cfg: &SimConfig,
+    rec: &mut R,
+) -> RunReport {
+    let mut arena = SimArena::new(ft, cfg);
+    if R::ENABLED {
+        rec.run_start(ft.height());
+        rec.stream_ingest(stream.family(), stream.len() as u64);
+    }
+    if arena.narrow {
+        let mut meta = std::mem::take(&mut arena.meta32);
+        let report = run_stream_inner(&mut arena, ft, stream, cfg, rec, &mut meta);
+        arena.meta32 = meta;
+        report
+    } else {
+        let mut meta = std::mem::take(&mut arena.meta);
+        let report = run_stream_inner(&mut arena, ft, stream, cfg, rec, &mut meta);
+        arena.meta = meta;
+        report
+    }
+}
+
+fn run_stream_inner<W: MetaWord, R: Recorder>(
+    arena: &mut SimArena,
+    ft: &FatTree,
+    stream: &dyn MessageStream,
+    cfg: &SimConfig,
+    rec: &mut R,
+    meta: &mut Vec<W>,
+) -> RunReport {
+    let total = stream.len();
+    let mut orig: Vec<u32> = (0..total as u32).collect();
+    let mut cycles = 0usize;
+    let mut delivered_per_cycle = Vec::new();
+    let mut delivery_order = Vec::with_capacity(total);
+    let mut total_ticks = 0u64;
+    let mut pending = total;
+    while pending > 0 {
+        // Reseed random arbitration every cycle so drops are independent —
+        // same schedule as `run_to_completion`.
+        let mut cycle_cfg = *cfg;
+        if let Arbitration::Random(seed) = cfg.arbitration {
+            cycle_cfg.arbitration = Arbitration::Random(
+                seed.wrapping_add(cycles as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+        }
+        if R::ENABLED {
+            rec.cycle_start(cycles as u32, pending as u32);
+        }
+        let stats = if cycles == 0 {
+            arena.cycle_generic(ft, &StreamSource(stream), &cycle_cfg, meta)
+        } else {
+            arena.retry_cycle(ft, &cycle_cfg, meta)
+        };
+        assert!(
+            stats.delivered > 0,
+            "no progress in a delivery cycle — switch cannot route even one message"
+        );
+        if R::ENABLED {
+            for c in ft.channels() {
+                rec.channel_load(c.level(), arena.channel_use.get(c), ft.cap(c));
+            }
+            rec.cycle_end(cycles as u32, stats.delivered as u32);
+        }
+        cycles += 1;
+        delivered_per_cycle.push(stats.delivered);
+        total_ticks += stats.ticks as u64;
+        pending = arena.compact_retry(meta, &mut orig, &mut delivery_order);
     }
     RunReport {
         cycles,

@@ -34,8 +34,9 @@ pub mod stats;
 
 pub use compiled::{compile_cycle, execute_compiled, CompiledCycle, CompiledRun};
 pub use engine::{
-    run_to_completion, run_to_completion_with, simulate_cycle, Arbitration, CycleReport,
-    CycleStats, RunReport, ShardClaim, SimArena, SimConfig, SwitchKind,
+    run_stream_to_completion, run_stream_to_completion_with, run_to_completion,
+    run_to_completion_with, simulate_cycle, Arbitration, CycleReport, CycleStats, MetaWidth,
+    RunReport, ShardClaim, SimArena, SimConfig, SwitchKind, NARROW_MAX_HEIGHT,
 };
 pub use faults::FaultModel;
 pub use protocol::MessageFrame;

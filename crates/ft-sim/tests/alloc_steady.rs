@@ -10,7 +10,8 @@
 //! would read as a spurious steady-state allocation.
 
 use ft_core::{CapacityProfile, FatTree, Message, MessageSet};
-use ft_sim::{run_to_completion, SimArena, SimConfig};
+use ft_sim::{run_to_completion, MetaWidth, SimArena, SimConfig};
+use ft_workloads::PermutationStream;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -74,5 +75,28 @@ fn main() {
         grew < run.cycles as u64,
         "run_to_completion allocated {grew} times over {} cycles",
         run.cycles
+    );
+
+    // --- Part 3: the streamed ingest on the packed u32 path is just as
+    // disciplined. Once the counting-sort offsets, narrow metadata words,
+    // peer halves, and live list have grown, replaying the generator cycle
+    // after cycle allocates nothing — the lazy stream really does go
+    // straight into reused buffers.
+    let narrow_cfg = SimConfig {
+        meta: MetaWidth::Narrow,
+        ..SimConfig::default()
+    };
+    let stream = PermutationStream::new(n, 0x5EED);
+    let mut arena = SimArena::new(&ft, &narrow_cfg);
+    arena.cycle_stream(&ft, &stream, &narrow_cfg); // warm-up
+    arena.cycle_stream(&ft, &stream, &narrow_cfg);
+    let before = allocs();
+    for _ in 0..10 {
+        arena.cycle_stream(&ft, &stream, &narrow_cfg);
+    }
+    let grew = allocs() - before;
+    assert_eq!(
+        grew, 0,
+        "steady-state streamed narrow cycle allocated {grew} times in 10 cycles"
     );
 }

@@ -7,7 +7,9 @@
 use ft_core::rng::SplitMix64;
 use ft_core::{CapacityProfile, FatTree, Message, MessageSet};
 use ft_sim::reference::{run_to_completion_reference, simulate_cycle_reference};
-use ft_sim::{run_to_completion, simulate_cycle, Arbitration, FaultModel, SimConfig, SwitchKind};
+use ft_sim::{
+    run_to_completion, simulate_cycle, Arbitration, FaultModel, MetaWidth, SimConfig, SwitchKind,
+};
 
 /// The tree shapes under test.
 fn trees() -> Vec<FatTree> {
@@ -20,7 +22,10 @@ fn trees() -> Vec<FatTree> {
     ]
 }
 
-/// The engine configurations under test.
+/// The engine configurations under test. Both metadata widths are pinned
+/// against the (wide, HashMap-based) reference — `Narrow` is what `Auto`
+/// picks on these small trees, `Wide` keeps the u64 path honest, and their
+/// shared oracle makes the two layouts byte-identical to each other.
 fn configs() -> Vec<SimConfig> {
     let mut cfgs = Vec::new();
     for switch in [SwitchKind::Ideal, SwitchKind::Partial] {
@@ -32,13 +37,16 @@ fn configs() -> Vec<SimConfig> {
                     seed: 3,
                 },
             ] {
-                cfgs.push(SimConfig {
-                    payload_bits: 16,
-                    switch,
-                    arbitration,
-                    faults,
-                    threads: 1,
-                });
+                for meta in [MetaWidth::Narrow, MetaWidth::Wide] {
+                    cfgs.push(SimConfig {
+                        payload_bits: 16,
+                        switch,
+                        arbitration,
+                        faults,
+                        threads: 1,
+                        meta,
+                    });
+                }
             }
         }
     }

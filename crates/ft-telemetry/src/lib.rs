@@ -90,6 +90,12 @@ pub trait Recorder {
     fn matching_stage(&mut self, stage: u32, active: u32, matched: u32, rounds: u32, paths: u32) {
         let _ = (stage, active, matched, rounds, paths);
     }
+    /// An engine ingested a lazily generated message stream of the given
+    /// workload family (`"permutation"`, `"bursty"`, `"incast"`, …) holding
+    /// `messages` messages. Called once per streamed run, not per cycle.
+    fn stream_ingest(&mut self, family: &'static str, messages: u64) {
+        let _ = (family, messages);
+    }
 }
 
 /// The do-nothing recorder: `ENABLED = false`, every hook inherits its empty
@@ -214,6 +220,11 @@ pub struct MetricsRecorder {
     /// Coordinator top-arbitration time per cycle (ns); empty for unsharded
     /// runs.
     pub top_ns_per_cycle: Vec<u64>,
+    /// Streamed-ingest tally per workload family: `(family, runs, messages)`.
+    /// Empty unless an engine ingested a lazy [`stream_ingest`] workload.
+    ///
+    /// [`stream_ingest`]: Recorder::stream_ingest
+    pub stream_families: Vec<(&'static str, u64, u64)>,
     /// Optional event trace; capacity 0 = tracing off.
     pub ring: EventRing,
     cur_cycle: u32,
@@ -253,6 +264,7 @@ impl MetricsRecorder {
         self.barrier_wait_ns_per_cycle.clear();
         self.merge_ns_per_cycle.clear();
         self.top_ns_per_cycle.clear();
+        self.stream_families.clear();
         self.ring.clear();
     }
 
@@ -392,8 +404,15 @@ impl MetricsRecorder {
                 )
             })
             .collect();
+        let streams: Vec<String> = self
+            .stream_families
+            .iter()
+            .map(|&(f, runs, messages)| {
+                format!("{{\"family\":\"{f}\",\"runs\":{runs},\"messages\":{messages}}}")
+            })
+            .collect();
         format!(
-            "{{\"height\":{},\"cycles\":{},\"delivered_per_cycle\":{},\"claimed\":{},\"blocked\":{},\"wasted\":{},\"lambda\":[{}],\"load_hist\":[{}],\"splits\":{},\"split_sizes\":{},\"stages\":[{}],\"barrier_wait_ns\":{},\"merge_ns\":{},\"top_arb_ns\":{},\"events_dropped\":{}}}",
+            "{{\"height\":{},\"cycles\":{},\"delivered_per_cycle\":{},\"claimed\":{},\"blocked\":{},\"wasted\":{},\"lambda\":[{}],\"load_hist\":[{}],\"splits\":{},\"split_sizes\":{},\"stages\":[{}],\"stream_ingest\":[{}],\"barrier_wait_ns\":{},\"merge_ns\":{},\"top_arb_ns\":{},\"events_dropped\":{}}}",
             self.height,
             self.cycles,
             nums(self.delivered_per_cycle.iter().copied()),
@@ -405,11 +424,24 @@ impl MetricsRecorder {
             nums(self.splits.iter().copied()),
             nums(self.split_sizes.buckets.iter().copied()),
             stages.join(","),
+            streams.join(","),
             nums(self.barrier_wait_ns_per_cycle.iter().copied()),
             nums(self.merge_ns_per_cycle.iter().copied()),
             nums(self.top_ns_per_cycle.iter().copied()),
             self.ring.dropped()
         )
+    }
+
+    /// Streamed-workload ingest table: `family: runs, messages`. Empty
+    /// string when nothing was streamed.
+    pub fn render_streams(&self) -> String {
+        let mut out = String::new();
+        for &(family, runs, messages) in &self.stream_families {
+            out.push_str(&format!(
+                "  {family:<12}: runs {runs:>4}  messages {messages:>12}\n"
+            ));
+        }
+        out
     }
 
     /// Coordinator overlap table: per-cycle barrier wait vs. merge vs. top
@@ -536,6 +568,17 @@ impl Recorder for MetricsRecorder {
         s.sizes.record_log2(matched as u64);
         self.ring
             .push(Event::new(EventKind::MatchingRound, stage, 0, matched));
+    }
+
+    fn stream_ingest(&mut self, family: &'static str, messages: u64) {
+        for entry in &mut self.stream_families {
+            if entry.0 == family {
+                entry.1 += 1;
+                entry.2 += messages;
+                return;
+            }
+        }
+        self.stream_families.push((family, 1, messages));
     }
 }
 
@@ -1031,6 +1074,24 @@ mod tests {
         assert_eq!(m.claimed.len(), levels, "reset must keep level tables");
         assert_eq!(m.claimed.capacity(), cap, "reset must not free");
         assert!(m.ring.is_empty());
+    }
+
+    #[test]
+    fn stream_ingest_accumulates_per_family() {
+        let mut m = MetricsRecorder::new();
+        m.stream_ingest("permutation", 1024);
+        m.stream_ingest("bursty", 4096);
+        m.stream_ingest("permutation", 512);
+        assert_eq!(
+            m.stream_families,
+            vec![("permutation", 2, 1536), ("bursty", 1, 4096)]
+        );
+        assert!(m.render_streams().contains("permutation"));
+        let json = m.to_json();
+        assert!(json.contains("\"stream_ingest\":[{\"family\":\"permutation\",\"runs\":2,\"messages\":1536},{\"family\":\"bursty\",\"runs\":1,\"messages\":4096}]"), "got: {json}");
+        m.reset();
+        assert!(m.stream_families.is_empty());
+        assert!(m.to_json().contains("\"stream_ingest\":[]"));
     }
 
     #[test]

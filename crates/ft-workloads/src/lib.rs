@@ -14,7 +14,10 @@
 //!   planar graphs have O(√n) bisection, so a hypercube wastes most of its
 //!   bandwidth on them),
 //! * [`hotspot`] — all-to-one and few-hot-destination traffic,
-//! * [`adversarial`] — bisection stress: everything crosses the root.
+//! * [`adversarial`] — bisection stress: everything crosses the root,
+//! * [`stream`] — lazy [`ft_core::MessageStream`] generators (pointwise
+//!   seeded twins of the above plus bursty/incast/collective datacenter
+//!   patterns) for million-leaf runs that never materialize the set.
 
 pub mod adversarial;
 pub mod fem;
@@ -23,6 +26,7 @@ pub mod locality;
 pub mod parallel_algos;
 pub mod perms;
 pub mod relations;
+pub mod stream;
 
 pub use adversarial::cross_root;
 pub use fem::FemGrid;
@@ -33,3 +37,7 @@ pub use parallel_algos::{
 };
 pub use perms::{bit_complement, bit_reversal, perfect_shuffle, random_permutation, transpose};
 pub use relations::{balanced_k_relation, random_k_relation};
+pub use stream::{
+    AllReduceStream, AllToAllStream, BurstyStream, HotspotStream, IncastStream, PermutationStream,
+    RelationStream,
+};

@@ -19,8 +19,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo bench --no-run (bench-only code must keep compiling)"
 cargo bench --workspace --no-run
 
-echo "==> ft-perf --smoke"
-cargo run --release -p ft-bench --bin ft-perf -- --smoke
+echo "==> ft-perf --smoke (+ bench_check schema validation)"
+smoke_json="$(mktemp --suffix .json)"
+trap 'rm -f "$smoke_json"' EXIT
+cargo run --release -p ft-bench --bin ft-perf -- --smoke --out "$smoke_json"
+cargo run --release -p ft-bench --bin bench_check -- "$smoke_json"
+
+echo "==> streamed million-leaf smoke (n = 2^20, lazy ingest, time-capped)"
+# One full streamed permutation at 2^20 leaves through the packed engine:
+# proves the lazy path works at the scale it exists for, and that it does
+# so in interactive time (the cap is generous; ~1s on the validation host).
+timeout 120 cargo run --release -p ft-bench --bin ft-perf -- --stream-million
 
 echo "==> ftsim report / trace smoke (telemetry)"
 report_json="$(cargo run --release --quiet --bin ftsim -- \

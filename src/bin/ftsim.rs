@@ -5,6 +5,7 @@
 //! ftsim schedule   --n 256 --w 64 --workload perm [--scheduler thm1] [--seed 1]
 //! ftsim online     --n 256 --w 64 --workload krel:8
 //! ftsim simulate   --n 256 --w 64 --workload complement [--switch partial] [--arb random]
+//!                  [--format json]
 //! ftsim report     --n 256 --w 64 --workload perm [--format json]
 //! ftsim trace      --n 64 --workload perm [--engine online|simulate|schedule]
 //!                  [--events 4096] [--format jsonl|csv] [--verify 1]
@@ -20,6 +21,14 @@
 //! Workloads: `perm`, `complement`, `reversal`, `transpose`, `shuffle`,
 //! `fem`, `hotspot`, `krel:K`, `local:P` (P = far-probability percent),
 //! `exchange`.
+//!
+//! Streamed workloads (lazy generators, never materialized by `simulate`):
+//! `streamperm`, `bursty[:BURST]` (2n messages in bursts of BURST, default
+//! 8), `incast[:FANIN]` (FANIN sources per sink over 4 waves, default n/2),
+//! `allreduce[:POD]` (ring reduce-scatter + all-gather over pods, default
+//! n/4), `alltoall[:POD]` (full exchange inside each pod, default n/8).
+//! Every command accepts them; `simulate` feeds the generator straight into
+//! the arena via the streamed ingest path.
 //!
 //! `report` runs the workload through every engine with a
 //! [`MetricsRecorder`] and prints the per-level λ breakdown, on-line
@@ -50,6 +59,9 @@ use fat_tree::sim::{run_to_completion_with, Arbitration};
 use fat_tree::telemetry::parse_jsonl;
 use fat_tree::universal::Emulation;
 use fat_tree::workloads;
+use fat_tree::workloads::{
+    AllReduceStream, AllToAllStream, BurstyStream, IncastStream, PermutationStream,
+};
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -155,12 +167,63 @@ fn workload_from(opts: &HashMap<String, String>, n: u32, rng: &mut SplitMix64) -
             "fem" => workloads::FemGrid::with_n(n).sweep_messages_morton(),
             "hotspot" => workloads::all_to_one(n, 0),
             "exchange" => workloads::total_exchange(n),
-            other => {
-                eprintln!("unknown workload: {other}");
-                exit(2);
-            }
+            other => match stream_from(opts, n) {
+                Some(stream) => stream.collect_set(),
+                None => {
+                    eprintln!("unknown workload: {other}");
+                    exit(2);
+                }
+            },
         },
     }
+}
+
+/// Parse a streamed-workload spec into a lazy generator, or `None` when the
+/// spec names one of the materialized workloads above. Specs take an
+/// optional `:ARG` suffix (burst size, fan-in, pod size).
+fn stream_from(opts: &HashMap<String, String>, n: u32) -> Option<Box<dyn MessageStream>> {
+    let spec = opts.get("workload").map(String::as_str).unwrap_or("perm");
+    let seed = get_u32(opts, "seed", 1985) as u64;
+    let (name, arg) = match spec.split_once(':') {
+        Some((name, arg)) => (name, Some(arg)),
+        None => (spec, None),
+    };
+    let arg_or = |default: u32| -> u32 {
+        arg.map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("workload {name}: expected an integer after ':', got {v:?}");
+                exit(2)
+            })
+        })
+    };
+    Some(match name {
+        "streamperm" => Box::new(PermutationStream::new(n, seed)),
+        "bursty" => {
+            let burst = arg_or(8).max(1);
+            Box::new(BurstyStream::new(n, 2 * n as usize, burst, seed))
+        }
+        "incast" => {
+            let fanin = arg_or((n / 2).max(1)).clamp(1, n.saturating_sub(1).max(1));
+            Box::new(IncastStream::new(n, fanin, 4, seed))
+        }
+        "allreduce" => {
+            let pod = arg_or((n / 4).max(2)).clamp(2, n);
+            if !pod.is_power_of_two() {
+                eprintln!("workload allreduce: pod size {pod} is not a power of two");
+                exit(2);
+            }
+            Box::new(AllReduceStream::new(n, pod, seed))
+        }
+        "alltoall" => {
+            let pod = arg_or((n / 8).max(2)).clamp(2, n);
+            if !pod.is_power_of_two() {
+                eprintln!("workload alltoall: pod size {pod} is not a power of two");
+                exit(2);
+            }
+            Box::new(AllToAllStream::new(n, pod))
+        }
+        _ => return None,
+    })
 }
 
 fn network_from(opts: &HashMap<String, String>) -> Box<dyn FixedConnectionNetwork> {
@@ -289,17 +352,67 @@ fn sim_config_from(opts: &HashMap<String, String>) -> SimConfig {
     }
 }
 
+/// FNV-1a over the delivery order — one u64 that pins the exact
+/// per-message outcome, so smoke tests can assert determinism without
+/// embedding the full order in the output.
+fn order_fingerprint(order: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &i in order {
+        for b in (i as u64).to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 fn cmd_simulate(opts: &HashMap<String, String>) {
     let ft = tree_from(opts);
-    let mut rng = rng_from(opts);
-    let msgs = workload_from(opts, ft.n(), &mut rng);
     let cfg = sim_config_from(opts);
-    let run = run_to_completion(&ft, &msgs, &cfg);
+    let spec = opts
+        .get("workload")
+        .cloned()
+        .unwrap_or_else(|| "perm".into());
+    // Streamed specs never build a message vector: the generator feeds the
+    // arena's two-pass counting-sort ingest directly.
+    let (run, n_msgs, streamed) = match stream_from(opts, ft.n()) {
+        Some(stream) => {
+            let len = stream.len();
+            (
+                run_stream_to_completion(&ft, stream.as_ref(), &cfg),
+                len,
+                true,
+            )
+        }
+        None => {
+            let mut rng = rng_from(opts);
+            let msgs = workload_from(opts, ft.n(), &mut rng);
+            let len = msgs.len();
+            (run_to_completion(&ft, &msgs, &cfg), len, false)
+        }
+    };
+    if opts.get("format").map(String::as_str) == Some("json") {
+        let per_cycle = run
+            .delivered_per_cycle
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        println!(
+            "{{\"schema\":\"ftsim-simulate/v1\",\"workload\":\"{spec}\",\"n\":{},\"w\":{},\
+             \"messages\":{n_msgs},\"streamed\":{streamed},\"cycles\":{},\"total_ticks\":{},\
+             \"delivered_per_cycle\":[{per_cycle}],\"order_fnv\":\"{:016x}\"}}",
+            ft.n(),
+            ft.root_capacity(),
+            run.cycles,
+            run.total_ticks,
+            order_fingerprint(&run.delivery_order),
+        );
+        return;
+    }
     println!(
         "bit-serial machine: {} messages in {} delivery cycles, {} total ticks",
-        msgs.len(),
-        run.cycles,
-        run.total_ticks
+        n_msgs, run.cycles, run.total_ticks
     );
     println!("per-cycle deliveries: {:?}", run.delivered_per_cycle);
 }

@@ -62,7 +62,7 @@ pub use ft_workloads as workloads;
 pub mod prelude {
     pub use ft_core::{
         load_factor, CapacityProfile, ChannelId, Direction, FatTree, LoadMap, Message, MessageSet,
-        ProcId,
+        MessageStream, ProcId,
     };
     pub use ft_layout::{balance_decomposition, Cuboid, DecompTree, Placement};
     pub use ft_networks::FixedConnectionNetwork;
@@ -70,7 +70,9 @@ pub mod prelude {
         route_online, schedule_bigcap, schedule_greedy, schedule_theorem1, OnlineArena,
         OnlineConfig, Schedule,
     };
-    pub use ft_sim::{run_to_completion, simulate_cycle, SimConfig, SwitchKind};
+    pub use ft_sim::{
+        run_stream_to_completion, run_to_completion, simulate_cycle, SimConfig, SwitchKind,
+    };
     pub use ft_telemetry::{MetricsRecorder, NoopRecorder, Recorder};
     pub use ft_universal::{simulate_on_fat_tree, Identification};
 }
