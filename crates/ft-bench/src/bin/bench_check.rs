@@ -121,6 +121,67 @@ fn main() {
         }
     }
 
+    // The streamed collective rows ride in large_n; both families must be
+    // present so a full run can't silently drop them.
+    for wl in ["allreduce", "alltoall"] {
+        if !large
+            .iter()
+            .any(|r| r.get("workload").and_then(Value::as_str) == Some(wl))
+        {
+            fail(&format!("large_n: missing \"{wl}\" collective row"));
+        }
+    }
+
+    // The serve block: the coalescing service measurement. The process
+    // baseline pair follows the large_n null rule — both null (binary not
+    // built, gate skipped) or both positive numbers.
+    let serve = doc
+        .get("serve")
+        .unwrap_or_else(|| fail("missing \"serve\" block"));
+    let ctx = "serve";
+    for key in [
+        "n",
+        "w",
+        "slots",
+        "clients",
+        "requests",
+        "messages_per_request",
+        "requests_per_sec",
+        "p50_us",
+        "p99_us",
+        "busy",
+        "reject_rate",
+        "batches",
+        "batch_max",
+        "batch_mean_x1000",
+        "lambda_max",
+        "baseline_cold_arena_ns",
+        "speedup_vs_cold",
+    ] {
+        req_num(serve, key, ctx);
+    }
+    if req_num(serve, "requests_per_sec", ctx) <= 0.0 {
+        fail("serve: requests_per_sec <= 0");
+    }
+    match serve.get("outputs_match_solo") {
+        Some(Value::Bool(true)) => {}
+        Some(Value::Bool(false)) => fail("serve: outputs_match_solo is false"),
+        _ => fail("serve: missing boolean \"outputs_match_solo\""),
+    }
+    let proc_ns = serve
+        .get("baseline_process_ns")
+        .unwrap_or_else(|| fail("serve: missing \"baseline_process_ns\""));
+    let proc_sp = serve
+        .get("speedup_vs_process")
+        .unwrap_or_else(|| fail("serve: missing \"speedup_vs_process\""));
+    match (proc_ns, proc_sp) {
+        (Value::Null, Value::Null) => {}
+        (Value::Num(m), Value::Num(x)) if *m > 0.0 && *x > 0.0 => {}
+        _ => {
+            fail("serve: baseline_process_ns/speedup_vs_process must both be positive or both null")
+        }
+    }
+
     let telemetry = doc
         .get("telemetry")
         .unwrap_or_else(|| fail("missing \"telemetry\""));

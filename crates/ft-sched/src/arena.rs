@@ -36,6 +36,67 @@ use ft_telemetry::{NoopRecorder, Recorder};
 
 const NONE: u32 = u32::MAX;
 
+/// Sink for the scheduler's emission pass. The refinement is emission-
+/// agnostic; what varies is what a delivery-cycle placement *becomes*:
+/// [`BuildSchedule`] materializes the classic [`Schedule`] (one
+/// `MessageSet` per cycle), [`AssignCycles`] writes a per-input-slot cycle
+/// id into a caller-owned flat buffer without materializing anything —
+/// the zero-allocation path `ft-serve`'s request loop runs on.
+trait Emit {
+    /// Non-local input message `msg` (input slot `slot`) placed into
+    /// delivery cycle `cycle`. Cycles arrive in non-decreasing order and
+    /// are dense: every cycle id in `0..total` receives at least one call.
+    fn place(&mut self, cycle: u32, slot: u32, msg: Message);
+    /// Local messages (zero load) attached per the locals rule: they ride
+    /// in cycle 0, or form a lone cycle 0 when the schedule is otherwise
+    /// empty (`lone`).
+    fn locals(&mut self, locals: &[Message], slots: &[u32], lone: bool);
+}
+
+/// Builds the classic [`Schedule`], byte-identical to the historical
+/// emission loop (cycle sets filled in bucket order, locals appended to
+/// cycle 0 last).
+#[derive(Default)]
+struct BuildSchedule {
+    cycles: Vec<MessageSet>,
+}
+
+impl Emit for BuildSchedule {
+    fn place(&mut self, cycle: u32, _slot: u32, msg: Message) {
+        if self.cycles.len() == cycle as usize {
+            self.cycles.push(MessageSet::new());
+        }
+        self.cycles[cycle as usize].push(msg);
+    }
+
+    fn locals(&mut self, locals: &[Message], _slots: &[u32], lone: bool) {
+        if lone {
+            self.cycles.push(MessageSet::from_vec(locals.to_vec()));
+        } else {
+            for &msg in locals {
+                self.cycles[0].push(msg);
+            }
+        }
+    }
+}
+
+/// Writes `out[slot] = cycle` for every input slot; local slots get cycle 0.
+struct AssignCycles<'a> {
+    out: &'a mut [u32],
+}
+
+impl Emit for AssignCycles<'_> {
+    fn place(&mut self, cycle: u32, slot: u32, _msg: Message) {
+        self.out[slot as usize] = cycle;
+    }
+
+    fn locals(&mut self, _locals: &[Message], slots: &[u32], _lone: bool) {
+        for &s in slots {
+            self.out[s as usize] = 0;
+        }
+    }
+}
+
 /// Shared read-only state for one level's refinement, so worker methods
 /// stay within clippy's argument budget.
 struct LevelCtx<'a> {
@@ -404,6 +465,8 @@ fn pair_range(leftovers: &[u64], mate: &mut [u32]) -> u32 {
 pub struct SchedArena {
     n: u32,
     locals: Vec<Message>,
+    /// Input slots of the local messages, aligned with `locals`.
+    local_slots: Vec<u32>,
     /// Bucket key (`2·lca + direction` = child of the LCA on the source
     /// side) per non-local input message, in input order.
     keys: Vec<u32>,
@@ -415,6 +478,12 @@ pub struct SchedArena {
     /// Source / destination heap leaves aligned with `bucket_msgs`.
     sleaf: Vec<u32>,
     dleaf: Vec<u32>,
+    /// Original input slot per bucket position, aligned with `bucket_msgs`
+    /// (lets [`SchedArena::schedule_assign`] report cycles per input slot).
+    slot: Vec<u32>,
+    /// Per-level emitted cycle counts, reused across runs (the classic
+    /// entry points clone it into [`Theorem1Stats`]).
+    cpl: Vec<usize>,
     /// The global index permutation the refinement works on.
     idx: Vec<u32>,
     /// Gathered per-level part table (absolute end offsets, bucket order).
@@ -442,12 +511,15 @@ impl SchedArena {
         SchedArena {
             n: ft.n(),
             locals: Vec::new(),
+            local_slots: Vec::new(),
             keys: Vec::new(),
             bucket_off: Vec::new(),
             cursor: Vec::new(),
             bucket_msgs: Vec::new(),
             sleaf: Vec::new(),
             dleaf: Vec::new(),
+            slot: Vec::new(),
+            cpl: Vec::new(),
             idx: Vec::new(),
             part_ends: Vec::new(),
             nparts: Vec::new(),
@@ -501,7 +573,61 @@ impl SchedArena {
         threads: usize,
         rec: &mut R,
     ) -> (Schedule, Theorem1Stats) {
-        self.schedule_src(ft, m, threads, rec)
+        self.schedule_build(ft, m, threads, rec)
+    }
+
+    /// Theorem-1 scheduling that reports *where* each input message goes
+    /// instead of materializing the schedule: after the call,
+    /// `out[j]` is the delivery-cycle index of input message `j` (local
+    /// messages ride in cycle 0, like [`SchedArena::schedule`] places
+    /// them). Returns `(num_cycles, λ(M))`.
+    ///
+    /// The cycle contents implied by `out` are exactly the cycles
+    /// [`SchedArena::schedule`] would emit for the same input — only the
+    /// per-cycle `MessageSet` materialization is skipped, so the call
+    /// performs **zero steady-state allocation** (`out` is grow-only);
+    /// `ft-serve`'s request loop depends on that.
+    pub fn schedule_assign<S: MessageStream + ?Sized>(
+        &mut self,
+        ft: &FatTree,
+        m: &S,
+        threads: usize,
+        out: &mut Vec<u32>,
+    ) -> (u32, f64) {
+        self.schedule_assign_with(ft, m, threads, out, &mut NoopRecorder)
+    }
+
+    /// [`SchedArena::schedule_assign`] with a telemetry [`Recorder`].
+    pub fn schedule_assign_with<S: MessageStream + ?Sized, R: Recorder>(
+        &mut self,
+        ft: &FatTree,
+        m: &S,
+        threads: usize,
+        out: &mut Vec<u32>,
+        rec: &mut R,
+    ) -> (u32, f64) {
+        out.clear();
+        out.resize(m.len(), 0);
+        let mut emit = AssignCycles { out };
+        self.schedule_src(ft, m, threads, rec, &mut emit)
+    }
+
+    /// Shared body of the `Schedule`-building entry points.
+    fn schedule_build<S: MessageStream + ?Sized, R: Recorder>(
+        &mut self,
+        ft: &FatTree,
+        m: &S,
+        threads: usize,
+        rec: &mut R,
+    ) -> (Schedule, Theorem1Stats) {
+        let mut emit = BuildSchedule::default();
+        let (total, lam) = self.schedule_src(ft, m, threads, rec, &mut emit);
+        let stats = Theorem1Stats {
+            total_cycles: total as usize,
+            cycles_per_level: self.cpl.clone(),
+            load_factor: lam,
+        };
+        (Schedule::from_cycles(emit.cycles), stats)
     }
 
     /// Schedule a lazily generated stream per Theorem 1. The bucketing is
@@ -531,19 +657,22 @@ impl SchedArena {
         if R::ENABLED {
             rec.stream_ingest(stream.family(), stream.len() as u64);
         }
-        self.schedule_src(ft, stream, threads, rec)
+        self.schedule_build(ft, stream, threads, rec)
     }
 
-    /// The scheduler body, generic over the message source: a materialized
+    /// The scheduler body, generic over the message source — a materialized
     /// [`MessageSet`] (static dispatch, the classic path) or a lazy
-    /// `dyn MessageStream` replayed once per bucketing pass.
-    fn schedule_src<S: MessageStream + ?Sized, R: Recorder>(
+    /// `dyn MessageStream` replayed once per bucketing pass — and over the
+    /// emission sink (see [`Emit`]). Returns `(total_cycles, λ(M))`;
+    /// per-level cycle counts land in `self.cpl`.
+    fn schedule_src<S: MessageStream + ?Sized, R: Recorder, E: Emit>(
         &mut self,
         ft: &FatTree,
         m: &S,
         threads: usize,
         rec: &mut R,
-    ) -> (Schedule, Theorem1Stats) {
+        emit: &mut E,
+    ) -> (u32, f64) {
         self.ensure_tree(ft);
         if R::ENABLED {
             rec.run_start(ft.height());
@@ -553,6 +682,7 @@ impl SchedArena {
 
         // ---- Counting-sort bucketing by (lca, direction). ----
         self.locals.clear();
+        self.local_slots.clear();
         self.keys.clear();
         self.bucket_off.clear();
         self.bucket_off.resize(2 * n as usize + 1, 0);
@@ -566,6 +696,7 @@ impl SchedArena {
             let msg = m.message(j);
             if msg.is_local() {
                 self.locals.push(msg);
+                self.local_slots.push(j as u32);
                 continue;
             }
             let u = n + msg.src.0;
@@ -625,6 +756,8 @@ impl SchedArena {
         self.sleaf.resize(nn, 0);
         self.dleaf.clear();
         self.dleaf.resize(nn, 0);
+        self.slot.clear();
+        self.slot.resize(nn, 0);
         self.cursor.clear();
         self.cursor.extend_from_slice(&self.bucket_off);
         let mut ki = 0usize;
@@ -640,20 +773,21 @@ impl SchedArena {
             self.bucket_msgs[pos] = msg;
             self.sleaf[pos] = n + msg.src.0;
             self.dleaf[pos] = n + msg.dst.0;
+            self.slot[pos] = j as u32;
         }
         self.idx.clear();
         self.idx.extend(0..nn as u32);
 
         // ---- Level-by-level refinement + emission. ----
-        let mut schedule = Schedule::new();
-        let mut cycles_per_level = Vec::with_capacity(height as usize);
+        let mut next_cycle = 0u32;
+        self.cpl.clear();
         for level in 0..height {
             let key_lo = 1u32 << (level + 1);
             let key_hi = key_lo << 1;
             let lvl_start = self.bucket_off[key_lo as usize] as usize;
             let lvl_end = self.bucket_off[key_hi as usize] as usize;
             if lvl_start == lvl_end {
-                cycles_per_level.push(0);
+                self.cpl.push(0);
                 continue;
             }
             let nk = (key_hi - key_lo) as usize;
@@ -739,7 +873,6 @@ impl SchedArena {
             // Emission: cycle t of the level merges every bucket's t-th part.
             let level_cycles = self.nparts.iter().copied().max().unwrap_or(0) as usize;
             for t in 0..level_cycles {
-                let mut cyc = MessageSet::new();
                 for (bi, &np) in self.nparts.iter().enumerate() {
                     if (t as u32) >= np {
                         continue;
@@ -752,34 +885,26 @@ impl SchedArena {
                     };
                     let end = self.part_ends[p];
                     for q in start..end {
-                        cyc.push(self.bucket_msgs[self.idx[q as usize] as usize]);
+                        let pos = self.idx[q as usize] as usize;
+                        emit.place(next_cycle, self.slot[pos], self.bucket_msgs[pos]);
                     }
                 }
-                schedule.push_cycle(cyc);
+                next_cycle += 1;
             }
-            cycles_per_level.push(level_cycles);
+            self.cpl.push(level_cycles);
         }
 
         // Attach local messages (zero load) to the first cycle, or emit a
         // cycle for them if the schedule is otherwise empty.
+        let mut total = next_cycle;
         if !self.locals.is_empty() {
-            if schedule.num_cycles() == 0 {
-                schedule.push_cycle(MessageSet::from_vec(self.locals.clone()));
-            } else {
-                let mut cycles = std::mem::take(&mut schedule).into_cycles();
-                for &msg in &self.locals {
-                    cycles[0].push(msg);
-                }
-                schedule = Schedule::from_cycles(cycles);
+            let lone = next_cycle == 0;
+            emit.locals(&self.locals, &self.local_slots, lone);
+            if lone {
+                total = 1;
             }
         }
-
-        let stats = Theorem1Stats {
-            total_cycles: schedule.num_cycles(),
-            cycles_per_level,
-            load_factor: lam,
-        };
-        (schedule, stats)
+        (total, lam)
     }
 
     /// One even split over the arena's reusable buffers: partition `q`
@@ -974,6 +1099,51 @@ mod tests {
             assert_eq!(st.cycles_per_level, stref.cycles_per_level);
             assert_eq!(st.total_cycles, stref.total_cycles);
         }
+    }
+
+    #[test]
+    fn schedule_assign_agrees_with_schedule() {
+        let t = FatTree::universal(32, 8);
+        // Mixed input: crossings, duplicates, and locals at assorted slots.
+        let mut v: Vec<Message> = (0..32).map(|i| Message::new(i, (i * 7 + 3) % 32)).collect();
+        v.push(Message::new(5, 5)); // local
+        v.push(Message::new(0, 31)); // duplicate-ish crosser
+        v.push(Message::new(9, 9)); // local
+        let m = MessageSet::from_vec(v);
+        let mut arena = SchedArena::new(&t);
+        let (sched, stats) = arena.schedule(&t, &m, 1);
+        let mut out = Vec::new();
+        let (cycles, lam) = arena.schedule_assign(&t, &m, 1, &mut out);
+        assert_eq!(cycles as usize, stats.total_cycles);
+        assert_eq!(lam, stats.load_factor);
+        assert_eq!(out.len(), m.len());
+        // Reconstruct each cycle's multiset from the assignments; it must
+        // match the materialized schedule cycle for cycle.
+        for (c, cyc) in sched.cycles().iter().enumerate() {
+            let mut got: Vec<Message> = out
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a as usize == c)
+                .map(|(j, _)| m.as_slice()[j])
+                .collect();
+            got.sort_unstable_by_key(|m| (m.src.0, m.dst.0));
+            let want = cyc.sorted();
+            assert_eq!(got, want, "cycle {c} multiset mismatch");
+        }
+    }
+
+    #[test]
+    fn schedule_assign_locals_only_and_empty() {
+        let t = ft(8);
+        let mut arena = SchedArena::new(&t);
+        let mut out = Vec::new();
+        let empty = MessageSet::new();
+        let (cycles, _) = arena.schedule_assign(&t, &empty, 1, &mut out);
+        assert_eq!((cycles, out.len()), (0, 0));
+        let locals = MessageSet::from_vec(vec![Message::new(2, 2), Message::new(6, 6)]);
+        let (cycles, _) = arena.schedule_assign(&t, &locals, 1, &mut out);
+        assert_eq!(cycles, 1);
+        assert_eq!(out, vec![0, 0]);
     }
 
     #[test]

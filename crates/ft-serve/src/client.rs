@@ -1,0 +1,383 @@
+//! The benchmarking client: N concurrent connections driving deterministic
+//! request streams in closed-loop, open-loop (fixed pipeline depth), or
+//! burst mode, with optional per-response verification against in-process
+//! solo runs.
+//!
+//! Request workloads are pure functions of `(seed, client, index)`, so two
+//! bench runs against equivalent servers produce the *same request set* —
+//! and, because coalescing is byte-identical to solo scheduling, the same
+//! response set. [`BenchResult::resp_fnv`] folds every `Resp` payload's
+//! checksum with a commutative sum, giving an order- and
+//! connection-independent fingerprint that the determinism smoke tests
+//! compare across runs and client interleavings.
+
+use crate::core::{solo_online_frame, solo_schedule_frame};
+use crate::proto::{self, decode_hello_ack, encode_hello, Engine};
+use ft_core::rng::{splitmix64, SplitMix64};
+use ft_core::{FatTree, Message};
+use ft_sched::online::OnlineArena;
+use ft_sched::SchedArena;
+use ft_shard::wire::{self, checksum, end_frame, read_frame, write_frame_buf, FrameKind};
+use std::io;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// How long a client waits on a silent socket before counting an error.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Load-generation mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchMode {
+    /// One request in flight per client: send, await the response, repeat.
+    Closed,
+    /// Fixed pipeline depth per client: keep `depth` requests outstanding.
+    Open { depth: usize },
+    /// Fire `size` requests back-to-back, then collect all responses;
+    /// exercises the admission-control `Busy` path.
+    Burst { size: usize },
+    /// Handshake, then hold the connection silent for `hold_ms` without
+    /// ever sending a request — a dead client for the server's idle
+    /// timeout to reap.
+    Dead { hold_ms: u64 },
+}
+
+/// Bench-client configuration (defaults match the server's).
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    pub addr: String,
+    pub n: u32,
+    pub w: u64,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total requests across all clients.
+    pub requests: u64,
+    /// Messages per request.
+    pub messages: usize,
+    pub seed: u64,
+    pub engine: Engine,
+    pub mode: BenchMode,
+    /// Recompute every response solo (in-process) and compare frames
+    /// word-for-word.
+    pub verify: bool,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            addr: String::new(),
+            n: 256,
+            w: 64,
+            clients: 4,
+            requests: 200,
+            messages: 64,
+            seed: 1985,
+            engine: Engine::Schedule,
+            mode: BenchMode::Closed,
+            verify: false,
+        }
+    }
+}
+
+/// Aggregated outcome of a bench run.
+#[derive(Clone, Debug, Default)]
+pub struct BenchResult {
+    pub sent: u64,
+    pub ok: u64,
+    pub busy: u64,
+    pub errors: u64,
+    /// Responses verified against solo recomputation (with
+    /// [`BenchConfig::verify`]).
+    pub verified: u64,
+    /// Verified responses that did NOT match solo output (must be 0).
+    pub mismatches: u64,
+    pub elapsed_ns: u64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    /// Order/connection-independent fingerprint of all `Resp` payloads.
+    pub resp_fnv: u64,
+}
+
+impl BenchResult {
+    /// Completed requests per second of wall clock.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.ok as f64 * 1e9 / self.elapsed_ns as f64
+        }
+    }
+}
+
+/// The per-request seed: a pure function of the bench seed, client index,
+/// and request index, shared by generation and verification.
+pub fn request_seed(seed: u64, client: usize, index: u64) -> u64 {
+    splitmix64(seed ^ (client as u64) << 40 ^ index)
+}
+
+/// Generate the deterministic message list for one request, packed for the
+/// wire. `n` leaves, uniform random endpoints.
+pub fn request_msgs(req_seed: u64, count: usize, n: u32, out: &mut Vec<u64>) {
+    out.clear();
+    let mut rng = SplitMix64::seed_from_u64(req_seed);
+    for _ in 0..count {
+        let src = (rng.next_u64() % n as u64) as u32;
+        let dst = (rng.next_u64() % n as u64) as u32;
+        out.push((src as u64) << 32 | dst as u64);
+    }
+}
+
+struct ClientTally {
+    sent: u64,
+    ok: u64,
+    busy: u64,
+    errors: u64,
+    verified: u64,
+    mismatches: u64,
+    latencies_us: Vec<u64>,
+    fnv: u64,
+}
+
+struct Verifier {
+    solo: FatTree,
+    sched: SchedArena,
+    online: OnlineArena,
+    msgs: Vec<Message>,
+    scratch: Vec<u32>,
+    frame: Vec<u64>,
+}
+
+impl Verifier {
+    fn new(n: u32, w: u64) -> Self {
+        let solo = FatTree::universal(n, w);
+        Verifier {
+            sched: SchedArena::new(&solo),
+            online: OnlineArena::new(&solo),
+            solo,
+            msgs: Vec::new(),
+            scratch: Vec::new(),
+            frame: Vec::new(),
+        }
+    }
+
+    /// Recompute the response solo and compare the whole frame (the
+    /// served frame's conn/seq header words are echoed into the oracle).
+    fn check(&mut self, engine: Engine, req_seed: u64, packed: &[u64], served: &[u64]) -> bool {
+        let Ok(frame) = wire::decode(served) else {
+            return false;
+        };
+        self.msgs.clear();
+        self.msgs.extend(
+            packed
+                .iter()
+                .map(|&w| Message::new((w >> 32) as u32, w as u32)),
+        );
+        match engine {
+            Engine::Schedule => solo_schedule_frame(
+                &self.solo,
+                &mut self.sched,
+                &self.msgs,
+                frame.shard,
+                frame.seq,
+                req_seed,
+                &mut self.scratch,
+                &mut self.frame,
+            ),
+            Engine::Online => solo_online_frame(
+                &self.solo,
+                &mut self.online,
+                &self.msgs,
+                req_seed,
+                frame.shard,
+                frame.seq,
+                req_seed,
+                &mut self.frame,
+            ),
+        }
+        self.frame == served
+    }
+}
+
+/// Run the bench: `clients` threads split `requests` between them, drive
+/// the server at `addr`, and the tallies merge into one [`BenchResult`].
+pub fn bench(cfg: &BenchConfig) -> io::Result<BenchResult> {
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..cfg.clients.max(1) {
+        let share = per_client(cfg.requests, cfg.clients.max(1), c);
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || client_thread(&cfg, c, share)));
+    }
+    let mut agg = BenchResult::default();
+    let mut latencies = Vec::new();
+    let mut first_err: Option<io::Error> = None;
+    for h in handles {
+        match h.join().expect("client thread panicked") {
+            Ok(t) => {
+                agg.sent += t.sent;
+                agg.ok += t.ok;
+                agg.busy += t.busy;
+                agg.errors += t.errors;
+                agg.verified += t.verified;
+                agg.mismatches += t.mismatches;
+                agg.fold_fnv(t.fnv);
+                latencies.extend(t.latencies_us);
+            }
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    if let Some(e) = first_err {
+        if agg.sent == 0 {
+            return Err(e);
+        }
+        agg.errors += 1;
+    }
+    agg.elapsed_ns = start.elapsed().as_nanos() as u64;
+    latencies.sort_unstable();
+    agg.p50_us = percentile(&latencies, 50);
+    agg.p99_us = percentile(&latencies, 99);
+    Ok(agg)
+}
+
+impl BenchResult {
+    fn fold_fnv(&mut self, v: u64) {
+        self.resp_fnv = self.resp_fnv.wrapping_add(v);
+    }
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (sorted.len() - 1) * p / 100;
+    sorted[idx]
+}
+
+fn per_client(total: u64, clients: usize, c: usize) -> u64 {
+    let base = total / clients as u64;
+    let extra = (c as u64) < (total % clients as u64);
+    base + extra as u64
+}
+
+/// Connect and complete the serve handshake.
+fn handshake(cfg: &BenchConfig) -> io::Result<TcpStream> {
+    let mut stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut buf = Vec::new();
+    let mut bytes = Vec::new();
+    encode_hello(&mut buf, 0, cfg.n, cfg.w);
+    write_frame_buf(&mut stream, &buf, &mut bytes)?;
+    let words = read_frame(&mut stream)?.ok_or_else(|| {
+        io::Error::new(io::ErrorKind::UnexpectedEof, "server closed in handshake")
+    })?;
+    let frame = wire::decode(&words)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    match frame.kind {
+        FrameKind::HelloAck => {
+            decode_hello_ack(frame.payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            Ok(stream)
+        }
+        FrameKind::Error => Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            format!(
+                "server rejected handshake (code {})",
+                frame.payload.first().copied().unwrap_or(0)
+            ),
+        )),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unexpected handshake reply",
+        )),
+    }
+}
+
+fn client_thread(cfg: &BenchConfig, c: usize, share: u64) -> io::Result<ClientTally> {
+    let mut t = ClientTally {
+        sent: 0,
+        ok: 0,
+        busy: 0,
+        errors: 0,
+        verified: 0,
+        mismatches: 0,
+        latencies_us: Vec::new(),
+        fnv: 0,
+    };
+    let mut stream = handshake(cfg)?;
+    if let BenchMode::Dead { hold_ms } = cfg.mode {
+        std::thread::sleep(Duration::from_millis(hold_ms));
+        return Ok(t);
+    }
+    let mut verifier = cfg.verify.then(|| Verifier::new(cfg.n, cfg.w));
+    let mut req_buf = Vec::new();
+    let mut packed = Vec::new();
+    let mut bytes = Vec::new();
+    // Send times (and packed message copies, for verification) by seq.
+    let mut sent_at: Vec<Instant> = Vec::new();
+    let mut sent_msgs: Vec<Vec<u64>> = Vec::new();
+    let depth = match cfg.mode {
+        BenchMode::Closed => 1,
+        BenchMode::Open { depth } => depth.max(1),
+        BenchMode::Burst { size } => size.max(1),
+        BenchMode::Dead { .. } => unreachable!(),
+    };
+    let burst = matches!(cfg.mode, BenchMode::Burst { .. });
+    let mut outstanding = 0usize;
+    let mut next: u64 = 0;
+    while next < share || outstanding > 0 {
+        // Fill the window (or the whole burst) before reading.
+        while next < share && outstanding < depth {
+            let rs = request_seed(cfg.seed, c, next);
+            request_msgs(rs, cfg.messages, cfg.n, &mut packed);
+            proto::begin_req(&mut req_buf, 0, next as u32, rs, cfg.engine, rs);
+            req_buf.extend_from_slice(&packed);
+            end_frame(&mut req_buf);
+            sent_at.push(Instant::now());
+            sent_msgs.push(if verifier.is_some() {
+                packed.clone()
+            } else {
+                Vec::new()
+            });
+            write_frame_buf(&mut stream, &req_buf, &mut bytes)?;
+            t.sent += 1;
+            next += 1;
+            outstanding += 1;
+        }
+        // In burst mode drain everything outstanding; otherwise read one.
+        let want = if burst { outstanding } else { 1 };
+        for _ in 0..want {
+            let Some(words) = read_frame(&mut stream)? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed mid-run",
+                ));
+            };
+            outstanding -= 1;
+            let Ok(frame) = wire::decode(&words) else {
+                t.errors += 1;
+                continue;
+            };
+            let seq = frame.seq as usize;
+            match frame.kind {
+                FrameKind::Resp => {
+                    t.ok += 1;
+                    t.fnv = t.fnv.wrapping_add(checksum(frame.payload));
+                    if seq < sent_at.len() {
+                        t.latencies_us
+                            .push(sent_at[seq].elapsed().as_micros() as u64);
+                    }
+                    if let Some(v) = verifier.as_mut() {
+                        let rs = request_seed(cfg.seed, c, seq as u64);
+                        let ok = seq < sent_msgs.len()
+                            && v.check(cfg.engine, rs, &sent_msgs[seq], &words);
+                        t.verified += 1;
+                        t.mismatches += !ok as u64;
+                    }
+                }
+                FrameKind::Busy => t.busy += 1,
+                _ => t.errors += 1,
+            }
+        }
+    }
+    Ok(t)
+}

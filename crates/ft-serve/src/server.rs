@@ -1,0 +1,657 @@
+//! The serving shell: accept loop, per-connection reader/writer threads,
+//! and the double-buffered batcher/compute pipeline.
+//!
+//! Thread topology (all std, no async):
+//!
+//! ```text
+//! accept ──spawns──► reader(conn) ──admit queue──► batcher ◄─ping-pong─► compute
+//!                    writer(conn) ◄────────────────┘  (encode k-1 + fill k+1
+//!                                                      overlap compute of k)
+//! ```
+//!
+//! * **readers** speak the handshake, enforce admission control (bounded
+//!   in-flight queue; over-limit requests get structured `Busy` frames),
+//!   and time out dead clients (no complete frame within the idle window
+//!   closes the connection, so a hung client never wedges shutdown).
+//! * **batcher** owns two [`BatchBuf`]s in a ping-pong with the compute
+//!   thread: while compute crunches batch *k*, the batcher encodes and
+//!   dispatches batch *k−1*'s responses and decodes/coalesces batch *k+1*
+//!   — the decode + encode halves of the loop fully overlap the
+//!   λ/refinement compute.
+//! * **compute** runs [`ServeCompute::run`] and *steers admission*: each
+//!   batch's λ and reject tally (via [`MetricsRecorder`]) raise or halve
+//!   the effective in-flight limit between the configured ceiling and the
+//!   batch width.
+//!
+//! [`MetricsRecorder`]: ft_telemetry::MetricsRecorder
+
+use crate::core::{BatchBuf, ServeCompute};
+use crate::proto::{
+    self, decode_hello, encode_busy, encode_hello_ack, Engine, HelloAck, MAX_REQ_MSGS,
+};
+use ft_shard::wire::{self, begin_frame, end_frame, read_frame, write_frame_buf, FrameKind};
+use ft_telemetry::MetricsRecorder;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// `Error` frame code: handshake shape (n, w) mismatch.
+pub const ERR_SHAPE: u64 = 1;
+/// `Error` frame code: malformed or out-of-order frame.
+pub const ERR_PROTO: u64 = 2;
+/// `Error` frame code: request payload failed validation.
+pub const ERR_REQUEST: u64 = 3;
+
+/// λ threshold above which the admission controller halves the in-flight
+/// limit toward the batch width (contention feedback; see module docs).
+const STEER_LAMBDA: f64 = 4.0;
+
+/// Server configuration. `Default` gives the benchmark shape: n=256 w=64,
+/// 8-slot batches, a 200 µs window, 64 requests in flight.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Solo tree leaves (power of two).
+    pub n: u32,
+    /// Solo root capacity.
+    pub w: u64,
+    /// Schedule requests coalesced per batch (power of two).
+    pub slots: u32,
+    /// Batching window: after the first request of a batch arrives, wait
+    /// at most this long for more before dispatching.
+    pub window_us: u64,
+    /// Admission ceiling: maximum requests in flight (queued + batched,
+    /// responses not yet dispatched). The effective limit floats between
+    /// `slots` and this under λ steering.
+    pub inflight: usize,
+    /// Dead-client timeout: a connection with no complete frame for this
+    /// long is closed.
+    pub idle_ms: u64,
+    /// Stop after serving this many requests (0 = run until stopped).
+    pub max_requests: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            n: 256,
+            w: 64,
+            slots: 8,
+            window_us: 200,
+            inflight: 64,
+            idle_ms: 5000,
+            max_requests: 0,
+        }
+    }
+}
+
+/// Counters reported at shutdown.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Requests answered with a `Resp` frame.
+    pub served: u64,
+    /// Requests rejected with a `Busy` frame.
+    pub busy: u64,
+    /// Coalesced batches computed.
+    pub batches: u64,
+    /// Largest batch (requests).
+    pub batch_max: u64,
+    /// Mean batch size ×1000 (integer fixed-point, like the harness's
+    /// speedup ratios).
+    pub batch_mean_x1000: u64,
+    /// Maximum combined-pass λ observed.
+    pub lambda_max: f64,
+    /// Connections accepted.
+    pub conns: u64,
+}
+
+struct Shared {
+    stop: AtomicBool,
+    inflight: AtomicUsize,
+    limit: AtomicUsize,
+    /// Busy rejects since the last batch (drained into
+    /// [`Recorder::serve_batch`]).
+    rejected: AtomicU64,
+    served: AtomicU64,
+    busy_total: AtomicU64,
+    conns: AtomicU64,
+    batches: AtomicU64,
+    batch_req_total: AtomicU64,
+    batch_max: AtomicU64,
+    lambda_max_bits: AtomicU64,
+    writers: Mutex<HashMap<u16, mpsc::Sender<Vec<u64>>>>,
+}
+
+impl Shared {
+    fn max_u64(slot: &AtomicU64, v: u64) {
+        let mut cur = slot.load(Ordering::Relaxed);
+        while v > cur {
+            match slot.compare_exchange(cur, v, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn max_f64(slot: &AtomicU64, v: f64) {
+        let mut cur = slot.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match slot.compare_exchange(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// One admitted request travelling from a reader to the batcher: the
+/// validated frame words plus the originating connection.
+struct Admit {
+    conn: u16,
+    seq: u32,
+    words: Vec<u64>,
+}
+
+/// A running server. Stop it (and collect stats) with
+/// [`ServerHandle::stop`]; `Drop` without `stop` aborts the threads
+/// detached.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    compute: Option<JoinHandle<()>>,
+}
+
+/// A cloneable stop trigger (for stdin watchers and signal shims).
+#[derive(Clone)]
+pub struct Stopper(Arc<Shared>);
+
+impl Stopper {
+    /// Request shutdown; idempotent.
+    pub fn stop(&self) {
+        self.0.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A detached stop trigger.
+    pub fn stopper(&self) -> Stopper {
+        Stopper(Arc::clone(&self.shared))
+    }
+
+    /// True once shutdown has been requested (e.g. `max_requests` hit).
+    pub fn stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Block until shutdown is requested (polling).
+    pub fn wait(&self) {
+        while !self.stopping() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Request shutdown, join every thread, and report the run's counters.
+    pub fn stop(mut self) -> ServerStats {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for h in [self.accept.take(), self.batcher.take(), self.compute.take()]
+            .into_iter()
+            .flatten()
+        {
+            let _ = h.join();
+        }
+        let s = &self.shared;
+        let batches = s.batches.load(Ordering::Relaxed);
+        let reqs = s.batch_req_total.load(Ordering::Relaxed);
+        ServerStats {
+            served: s.served.load(Ordering::Relaxed),
+            busy: s.busy_total.load(Ordering::Relaxed),
+            batches,
+            batch_max: s.batch_max.load(Ordering::Relaxed),
+            batch_mean_x1000: (reqs * 1000).checked_div(batches).unwrap_or(0),
+            lambda_max: f64::from_bits(s.lambda_max_bits.load(Ordering::Relaxed)),
+            conns: s.conns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Bind and start serving. Returns once the listener is live; everything
+/// else runs on background threads until [`ServerHandle::stop`].
+pub fn spawn(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        inflight: AtomicUsize::new(0),
+        limit: AtomicUsize::new(cfg.inflight.max(1)),
+        rejected: AtomicU64::new(0),
+        served: AtomicU64::new(0),
+        busy_total: AtomicU64::new(0),
+        conns: AtomicU64::new(0),
+        batches: AtomicU64::new(0),
+        batch_req_total: AtomicU64::new(0),
+        batch_max: AtomicU64::new(0),
+        lambda_max_bits: AtomicU64::new(0),
+        writers: Mutex::new(HashMap::new()),
+    });
+    let (admit_tx, admit_rx) = mpsc::sync_channel::<Admit>(cfg.inflight.max(1));
+    let (work_tx, work_rx) = mpsc::channel::<BatchBuf>();
+    let (done_tx, done_rx) = mpsc::channel::<BatchBuf>();
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let cfg = cfg.clone();
+        std::thread::spawn(move || accept_loop(listener, shared, cfg, admit_tx))
+    };
+    let batcher = {
+        let shared = Arc::clone(&shared);
+        let cfg = cfg.clone();
+        std::thread::spawn(move || batcher_loop(admit_rx, work_tx, done_rx, shared, cfg))
+    };
+    let compute = {
+        let shared = Arc::clone(&shared);
+        let cfg = cfg.clone();
+        std::thread::spawn(move || compute_loop(work_rx, done_tx, shared, cfg))
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        batcher: Some(batcher),
+        compute: Some(compute),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    cfg: ServerConfig,
+    admit_tx: SyncSender<Admit>,
+) {
+    let mut readers = Vec::new();
+    let mut next_conn: u16 = 1;
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn = next_conn;
+                next_conn = next_conn.wrapping_add(1).max(1);
+                shared.conns.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nodelay(true);
+                let (wtx, wrx) = mpsc::channel::<Vec<u64>>();
+                shared.writers.lock().unwrap().insert(conn, wtx.clone());
+                let wstream = match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                let writer = std::thread::spawn(move || writer_loop(wstream, wrx));
+                let rshared = Arc::clone(&shared);
+                let rtx = admit_tx.clone();
+                let rcfg = cfg.clone();
+                readers.push(std::thread::spawn(move || {
+                    reader_loop(stream, conn, rshared, rcfg, rtx, wtx);
+                }));
+                readers.push(writer);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    drop(admit_tx);
+    for h in readers {
+        let _ = h.join();
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Vec<u64>>) {
+    let mut bytes = Vec::new();
+    for words in rx {
+        if write_frame_buf(&mut stream, &words, &mut bytes).is_err() {
+            break;
+        }
+    }
+}
+
+fn error_frame(conn: u16, seq: u32, code: u64) -> Vec<u64> {
+    let mut buf = Vec::new();
+    begin_frame(&mut buf, FrameKind::Error, conn, seq);
+    buf.push(code);
+    end_frame(&mut buf);
+    buf
+}
+
+fn dbg_exit(conn: u16, why: &str) {
+    if std::env::var_os("FT_SERVE_DEBUG").is_some() {
+        eprintln!("[serve dbg] conn {conn}: {why}");
+    }
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    conn: u16,
+    shared: Arc<Shared>,
+    cfg: ServerConfig,
+    admit_tx: SyncSender<Admit>,
+    writer: mpsc::Sender<Vec<u64>>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let idle = Duration::from_millis(cfg.idle_ms.max(1));
+    let mut last = Instant::now();
+    let mut hello_done = false;
+    let mut busy_buf = Vec::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            dbg_exit(conn, "stop flag");
+            break;
+        }
+        let words = match read_frame(&mut stream) {
+            Ok(None) => {
+                if std::env::var_os("FT_SERVE_DEBUG").is_some() {
+                    eprintln!("[serve dbg] conn {conn}: client EOF");
+                }
+                break;
+            }
+            Ok(Some(w)) => w,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Dead-client timeout: no complete frame within the idle
+                // window closes the connection.
+                if last.elapsed() >= idle {
+                    dbg_exit(conn, "idle timeout");
+                    break;
+                }
+                continue;
+            }
+            Err(e) => {
+                if std::env::var_os("FT_SERVE_DEBUG").is_some() {
+                    eprintln!("[serve dbg] conn {conn}: read error {e}");
+                }
+                break;
+            }
+        };
+        last = Instant::now();
+        let frame = match wire::decode(&words) {
+            Ok(f) => f,
+            Err(_) => {
+                let _ = writer.send(error_frame(conn, 0, ERR_PROTO));
+                break;
+            }
+        };
+        match frame.kind {
+            FrameKind::Hello => {
+                let ok = match decode_hello(frame.payload) {
+                    Ok((n, w)) => n == cfg.n && w == cfg.w,
+                    Err(_) => false,
+                };
+                if !ok {
+                    dbg_exit(conn, "hello shape mismatch");
+                    let _ = writer.send(error_frame(conn, frame.seq, ERR_SHAPE));
+                    break;
+                }
+                let mut ack = Vec::new();
+                encode_hello_ack(
+                    &mut ack,
+                    conn,
+                    &HelloAck {
+                        n: cfg.n,
+                        w: cfg.w,
+                        slots: cfg.slots,
+                        window_us: cfg.window_us as u32,
+                        inflight: shared.limit.load(Ordering::SeqCst) as u32,
+                        max_msgs: MAX_REQ_MSGS as u32,
+                    },
+                );
+                if writer.send(ack).is_err() {
+                    dbg_exit(conn, "ack send failed");
+                    break;
+                }
+                hello_done = true;
+            }
+            FrameKind::Req if hello_done => {
+                // Validate the payload here so malformed requests answer
+                // with an Error frame instead of poisoning a batch.
+                if let Err(_e) = proto::decode_req(frame.payload) {
+                    let _ = writer.send(error_frame(conn, frame.seq, ERR_REQUEST));
+                    continue;
+                }
+                let req_id = frame.payload[0];
+                let seq = frame.seq;
+                let cur = shared.inflight.fetch_add(1, Ordering::SeqCst);
+                let limit = shared.limit.load(Ordering::SeqCst);
+                let over_limit = cur >= limit;
+                let verdict = if over_limit {
+                    Err(())
+                } else {
+                    admit_tx
+                        .try_send(Admit { conn, seq, words })
+                        .map_err(|e| match e {
+                            TrySendError::Full(_) => (),
+                            TrySendError::Disconnected(_) => (),
+                        })
+                };
+                if verdict.is_err() {
+                    shared.inflight.fetch_sub(1, Ordering::SeqCst);
+                    shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    shared.busy_total.fetch_add(1, Ordering::Relaxed);
+                    encode_busy(
+                        &mut busy_buf,
+                        conn,
+                        seq,
+                        req_id,
+                        (cur + 1) as u32,
+                        limit as u32,
+                    );
+                    if writer.send(busy_buf.clone()).is_err() {
+                        dbg_exit(conn, "busy send failed");
+                        break;
+                    }
+                }
+            }
+            _ => {
+                if std::env::var_os("FT_SERVE_DEBUG").is_some() {
+                    eprintln!("[serve dbg] conn {conn}: unexpected kind {:?}", frame.kind);
+                }
+                let _ = writer.send(error_frame(conn, frame.seq, ERR_PROTO));
+                break;
+            }
+        }
+    }
+    if std::env::var_os("FT_SERVE_DEBUG").is_some() {
+        eprintln!("[serve dbg] conn {conn}: reader exit");
+    }
+    shared.writers.lock().unwrap().remove(&conn);
+}
+
+fn batcher_loop(
+    admit_rx: mpsc::Receiver<Admit>,
+    work_tx: mpsc::Sender<BatchBuf>,
+    done_rx: mpsc::Receiver<BatchBuf>,
+    shared: Arc<Shared>,
+    cfg: ServerConfig,
+) {
+    let window = Duration::from_micros(cfg.window_us);
+    let mut spare = BatchBuf::new();
+    let mut in_compute = false;
+    let mut carry: Option<Admit> = None;
+    'serve: loop {
+        // Open a batch: the carried-over request, or the next arrival.
+        // While compute is busy with batch k, wait only one window for
+        // batch k+1 to start forming before draining k's responses: a
+        // steady arrival stream keeps the pipeline fully overlapped, but
+        // when arrivals stall (e.g. closed-loop clients all waiting on
+        // k's responses) the finished batch must dispatch *now* — holding
+        // it for the next arrival would deadlock the loop.
+        let first = match carry.take() {
+            Some(a) => a,
+            None => loop {
+                let wait = if in_compute {
+                    window.max(Duration::from_micros(50))
+                } else {
+                    Duration::from_millis(50)
+                };
+                match admit_rx.recv_timeout(wait) {
+                    Ok(a) => break a,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if in_compute {
+                            match done_rx.recv() {
+                                Ok(mut done) => {
+                                    dispatch(&mut done, &shared, &cfg);
+                                    done.reset();
+                                    spare = done;
+                                    in_compute = false;
+                                }
+                                Err(_) => break 'serve,
+                            }
+                        }
+                        if shared.stop.load(Ordering::SeqCst) {
+                            break 'serve;
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break 'serve,
+                }
+            },
+        };
+        admit_into(&mut spare, first, &shared, &cfg);
+        // Coalesce arrivals until the window closes or the batch fills.
+        let deadline = Instant::now() + window;
+        while carry.is_none() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match admit_rx.recv_timeout(left) {
+                Ok(a) => {
+                    let engine = admit_engine(&a);
+                    if engine.is_some_and(|e| !spare.has_room(e, cfg.slots)) {
+                        carry = Some(a);
+                    } else {
+                        admit_into(&mut spare, a, &shared, &cfg);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Ping-pong: ship the filled buffer to compute, then (overlapping
+        // compute of batch k) encode and dispatch batch k−1.
+        spare.rejected = shared.rejected.swap(0, Ordering::Relaxed);
+        let filled = std::mem::take(&mut spare);
+        if work_tx.send(filled).is_err() {
+            break;
+        }
+        if in_compute {
+            match done_rx.recv() {
+                Ok(mut done) => {
+                    dispatch(&mut done, &shared, &cfg);
+                    done.reset();
+                    spare = done;
+                }
+                Err(_) => break,
+            }
+        } else {
+            in_compute = true;
+        }
+    }
+    // Drain the pipeline so every admitted request is answered.
+    drop(work_tx);
+    if in_compute {
+        if let Ok(mut done) = done_rx.recv() {
+            dispatch(&mut done, &shared, &cfg);
+        }
+    }
+    if let Ok(mut done) = done_rx.recv() {
+        dispatch(&mut done, &shared, &cfg);
+    }
+}
+
+fn admit_engine(a: &Admit) -> Option<Engine> {
+    wire::decode(&a.words)
+        .ok()
+        .and_then(|f| proto::decode_req(f.payload).ok())
+        .map(|r| r.engine)
+}
+
+fn admit_into(b: &mut BatchBuf, a: Admit, shared: &Shared, cfg: &ServerConfig) {
+    let Ok(frame) = wire::decode(&a.words) else {
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        return;
+    };
+    let Ok(req) = proto::decode_req(frame.payload) else {
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        return;
+    };
+    if b.admit(a.conn, a.seq, &req, cfg.n).is_err() {
+        // Validation already ran reader-side; a failure here means the
+        // connection raced shape changes — drop the request.
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Encode the computed batch's responses and hand each frame to its
+/// connection's writer.
+fn dispatch(b: &mut BatchBuf, shared: &Shared, cfg: &ServerConfig) {
+    b.encode_responses();
+    let writers = shared.writers.lock().unwrap();
+    for span in b.spans() {
+        if let Some(tx) = writers.get(&span.conn) {
+            let _ = tx.send(b.frame(span).to_vec());
+        }
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        shared.served.fetch_add(1, Ordering::Relaxed);
+    }
+    drop(writers);
+    if cfg.max_requests > 0 && shared.served.load(Ordering::Relaxed) >= cfg.max_requests {
+        shared.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+fn compute_loop(
+    work_rx: mpsc::Receiver<BatchBuf>,
+    done_tx: mpsc::Sender<BatchBuf>,
+    shared: Arc<Shared>,
+    cfg: ServerConfig,
+) {
+    let mut compute = ServeCompute::new(cfg.n, cfg.w, cfg.slots);
+    let mut rec = MetricsRecorder::new();
+    for mut b in work_rx {
+        compute.run(&mut b, &mut rec);
+        let lam = rec.lambda_max();
+        Shared::max_f64(&shared.lambda_max_bits, lam);
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .batch_req_total
+            .fetch_add(b.len() as u64, Ordering::Relaxed);
+        Shared::max_u64(&shared.batch_max, b.len() as u64);
+        // Contention-steered admission: high λ halves the in-flight limit
+        // toward the batch width; calm batches grow it back toward the
+        // configured ceiling.
+        let cur = shared.limit.load(Ordering::SeqCst);
+        let next = if lam > STEER_LAMBDA {
+            (cur / 2).max(cfg.slots as usize)
+        } else {
+            (cur + 1 + cur / 8).min(cfg.inflight.max(1))
+        };
+        shared.limit.store(next, Ordering::SeqCst);
+        rec.reset();
+        if done_tx.send(b).is_err() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Steady-state allocation discipline for the serve loop: once the batch
+//! buffers, arenas, and response pools have grown to the workload's shape,
+//! the full request path — decode, coalesce (`admit`), schedule (`run`),
+//! demux + encode (`encode_responses`) — must perform **zero** heap
+//! allocation.
+//!
+//! Measured with a counting global allocator, so this file is its own
+//! integration-test binary and runs with `harness = false` — the libtest
+//! harness thread's own machinery would otherwise allocate concurrently
+//! with the measured window. Unlike the sharded coordinator test (which
+//! tolerates transport noise), this loop is single-threaded and the bound
+//! is strict: zero allocations over the measured batches.
+
+use ft_serve::core::BatchBuf;
+use ft_serve::proto::{self, Engine};
+use ft_serve::ServeCompute;
+use ft_shard::wire::{self, end_frame};
+use ft_telemetry::NoopRecorder;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+const N: u32 = 64;
+const W: u64 = 16;
+const SLOTS: u32 = 4;
+const MSGS: usize = 48;
+
+/// Build a full batch's worth of raw request frames once; the measured
+/// loop only ever *reads* them (the server's reader would hand the
+/// batcher pooled frame buffers the same way).
+fn build_frames(engine: Engine, salt: u64) -> Vec<Vec<u64>> {
+    (0..SLOTS as u64)
+        .map(|i| {
+            let mut buf = Vec::new();
+            proto::begin_req(&mut buf, 1, i as u32, salt + i, engine, salt + i);
+            for j in 0..MSGS as u64 {
+                let h = (salt + i)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(j);
+                let src = (h >> 7) % N as u64;
+                let dst = (h >> 29) % N as u64;
+                buf.push(src << 32 | dst);
+            }
+            end_frame(&mut buf);
+            buf
+        })
+        .collect()
+}
+
+/// One serve iteration over pre-framed requests: decode, coalesce,
+/// schedule, demux, encode. Returns the number of response words
+/// produced (so the work can't be optimized away).
+fn serve_batch(
+    compute: &mut ServeCompute,
+    batch: &mut BatchBuf,
+    frames: &[Vec<u64>],
+    engine: Engine,
+) -> usize {
+    batch.reset();
+    for f in frames {
+        let frame = wire::decode(f).expect("frame decodes");
+        let req = proto::decode_req(frame.payload).expect("request decodes");
+        assert!(batch.has_room(engine, SLOTS));
+        batch
+            .admit(frame.shard, frame.seq, &req, N)
+            .expect("request admits");
+    }
+    compute.run(batch, &mut NoopRecorder);
+    batch.encode_responses();
+    batch.spans().iter().map(|s| batch.frame(s).len()).sum()
+}
+
+fn main() {
+    let mut compute = ServeCompute::new(N, W, SLOTS);
+    let mut batch = BatchBuf::default();
+    let sched_frames = build_frames(Engine::Schedule, 100);
+    let online_frames = build_frames(Engine::Online, 900);
+
+    // Warm: grow every pool to the workload's shape (arena high-water,
+    // response buffers, cycle maps) for both engines.
+    let mut warm_words = 0;
+    for _ in 0..3 {
+        warm_words += serve_batch(&mut compute, &mut batch, &sched_frames, Engine::Schedule);
+        warm_words += serve_batch(&mut compute, &mut batch, &online_frames, Engine::Online);
+    }
+    assert!(warm_words > 0, "warmup produced no response payload");
+
+    // Measure: the steady-state loop must not touch the allocator at all.
+    let before = allocs();
+    let mut words = 0;
+    for _ in 0..16 {
+        words += serve_batch(&mut compute, &mut batch, &sched_frames, Engine::Schedule);
+        words += serve_batch(&mut compute, &mut batch, &online_frames, Engine::Online);
+    }
+    let extra = allocs() - before;
+    assert!(words > 0, "measured batches produced no response payload");
+    assert_eq!(
+        extra, 0,
+        "serve loop allocated {extra} times over 32 warmed batches — the \
+         decode → coalesce → schedule → encode path is supposed to be \
+         allocation-free"
+    );
+}

@@ -1,0 +1,270 @@
+//! Golden byte-identity tests for request coalescing: every response
+//! frame a coalesced batch produces must be word-for-word identical to
+//! the frame a solo (one-request) run produces for the same request —
+//! across batch sizes, admission interleavings, engines, and degenerate
+//! workloads (locals-only, empty, duplicated requests).
+//!
+//! This is the load-bearing property of `ftsim serve`: clients cannot
+//! tell whether their request shared an arena pass with seven strangers
+//! or ran alone.
+
+use ft_core::rng::SplitMix64;
+use ft_core::{FatTree, Message};
+use ft_sched::online::OnlineArena;
+use ft_sched::SchedArena;
+use ft_serve::core::{solo_online_frame, solo_schedule_frame, BatchBuf};
+use ft_serve::proto::{Engine, ReqView};
+use ft_serve::ServeCompute;
+use ft_telemetry::NoopRecorder;
+
+const N: u32 = 64;
+const W: u64 = 16;
+const SLOTS: u32 = 8;
+
+/// One request's worth of workload, owned so ReqViews can borrow it.
+#[derive(Clone)]
+struct Req {
+    engine: Engine,
+    req_id: u64,
+    seed: u64,
+    packed: Vec<u64>,
+}
+
+impl Req {
+    fn view(&self) -> ReqView<'_> {
+        ReqView {
+            req_id: self.req_id,
+            engine: self.engine,
+            seed: self.seed,
+            msgs: &self.packed,
+        }
+    }
+
+    fn msgs(&self) -> Vec<Message> {
+        self.packed
+            .iter()
+            .map(|&w| Message::new((w >> 32) as u32, w as u32))
+            .collect()
+    }
+}
+
+fn random_req(engine: Engine, seed: u64, count: usize) -> Req {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let packed = (0..count)
+        .map(|_| {
+            let src = rng.next_u64() % N as u64;
+            let dst = rng.next_u64() % N as u64;
+            src << 32 | dst
+        })
+        .collect();
+    Req {
+        engine,
+        req_id: seed,
+        seed,
+        packed,
+    }
+}
+
+fn hotspot_req(engine: Engine, seed: u64) -> Req {
+    // Everyone talks to leaf 0: maximal root contention, many cycles.
+    let packed = (1..N as u64).map(|src| src << 32).collect();
+    Req {
+        engine,
+        req_id: seed,
+        seed,
+        packed,
+    }
+}
+
+fn locals_req(engine: Engine, seed: u64) -> Req {
+    let packed = (0..N as u64).step_by(3).map(|p| p << 32 | p).collect();
+    Req {
+        engine,
+        req_id: seed,
+        seed,
+        packed,
+    }
+}
+
+fn empty_req(engine: Engine, seed: u64) -> Req {
+    Req {
+        engine,
+        req_id: seed,
+        seed,
+        packed: Vec::new(),
+    }
+}
+
+/// Coalesce `reqs` (in the given admission order) through one
+/// ServeCompute pass and return each request's encoded `Resp` frame, in
+/// admission order. conn/seq are synthesized from the admission index.
+fn serve_frames(compute: &mut ServeCompute, reqs: &[&Req]) -> Vec<Vec<u64>> {
+    let mut b = BatchBuf::new();
+    for (i, r) in reqs.iter().enumerate() {
+        assert!(b.has_room(r.engine, SLOTS), "batch overfull at {i}");
+        b.admit(1 + i as u16, i as u32, &r.view(), N)
+            .expect("admit golden request");
+    }
+    compute.run(&mut b, &mut NoopRecorder);
+    b.encode_responses();
+    let frames: Vec<Vec<u64>> = b.spans().iter().map(|s| b.frame(s).to_vec()).collect();
+    assert_eq!(frames.len(), reqs.len(), "one Resp frame per request");
+    frames
+}
+
+/// The solo oracle for request `r` served as admission index `i`.
+fn solo_frame(oracle: &mut Oracle, r: &Req, i: usize) -> Vec<u64> {
+    let msgs = r.msgs();
+    let mut out = Vec::new();
+    match r.engine {
+        Engine::Schedule => solo_schedule_frame(
+            &oracle.ft,
+            &mut oracle.sched,
+            &msgs,
+            1 + i as u16,
+            i as u32,
+            r.req_id,
+            &mut oracle.scratch,
+            &mut out,
+        ),
+        Engine::Online => solo_online_frame(
+            &oracle.ft,
+            &mut oracle.online,
+            &msgs,
+            r.seed,
+            1 + i as u16,
+            i as u32,
+            r.req_id,
+            &mut out,
+        ),
+    }
+    out
+}
+
+struct Oracle {
+    ft: FatTree,
+    sched: SchedArena,
+    online: OnlineArena,
+    scratch: Vec<u32>,
+}
+
+impl Oracle {
+    fn new() -> Self {
+        let ft = FatTree::universal(N, W);
+        Oracle {
+            sched: SchedArena::new(&ft),
+            online: OnlineArena::new(&ft),
+            ft,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+fn assert_batch_matches_solo(compute: &mut ServeCompute, oracle: &mut Oracle, reqs: &[&Req]) {
+    let served = serve_frames(compute, reqs);
+    for (i, (frame, r)) in served.iter().zip(reqs).enumerate() {
+        let want = solo_frame(oracle, r, i);
+        assert_eq!(
+            frame,
+            &want,
+            "request {i} ({:?}, {} msgs) diverged from its solo run in a \
+             batch of {}",
+            r.engine,
+            r.packed.len(),
+            reqs.len()
+        );
+    }
+}
+
+#[test]
+fn coalesced_schedule_batches_match_solo_across_sizes() {
+    let mut compute = ServeCompute::new(N, W, SLOTS);
+    let mut oracle = Oracle::new();
+    let pool: Vec<Req> = (0..8)
+        .map(|i| random_req(Engine::Schedule, 1000 + i, 32 + 7 * i as usize))
+        .collect();
+    for size in [1usize, 2, 4, 8] {
+        let batch: Vec<&Req> = pool.iter().take(size).collect();
+        assert_batch_matches_solo(&mut compute, &mut oracle, &batch);
+    }
+}
+
+#[test]
+fn admission_order_does_not_change_any_response() {
+    let mut compute = ServeCompute::new(N, W, SLOTS);
+    let mut oracle = Oracle::new();
+    let a = random_req(Engine::Schedule, 7, 48);
+    let b = hotspot_req(Engine::Schedule, 8);
+    let c = random_req(Engine::Schedule, 9, 5);
+    let d = locals_req(Engine::Schedule, 10);
+    let orders: [[&Req; 4]; 3] = [[&a, &b, &c, &d], [&d, &c, &b, &a], [&b, &d, &a, &c]];
+    for order in &orders {
+        assert_batch_matches_solo(&mut compute, &mut oracle, order);
+    }
+}
+
+#[test]
+fn degenerate_requests_survive_coalescing() {
+    let mut compute = ServeCompute::new(N, W, SLOTS);
+    let mut oracle = Oracle::new();
+    let empty = empty_req(Engine::Schedule, 20);
+    let locals = locals_req(Engine::Schedule, 21);
+    let busy = hotspot_req(Engine::Schedule, 22);
+    let single = random_req(Engine::Schedule, 23, 1);
+    // Degenerates sandwiched between heavy requests, and alone.
+    assert_batch_matches_solo(
+        &mut compute,
+        &mut oracle,
+        &[&busy, &empty, &locals, &single],
+    );
+    assert_batch_matches_solo(&mut compute, &mut oracle, &[&empty]);
+    assert_batch_matches_solo(&mut compute, &mut oracle, &[&locals]);
+    assert_batch_matches_solo(&mut compute, &mut oracle, &[&empty, &locals]);
+}
+
+#[test]
+fn duplicate_requests_get_identical_payloads() {
+    let mut compute = ServeCompute::new(N, W, SLOTS);
+    let mut oracle = Oracle::new();
+    let r = random_req(Engine::Schedule, 33, 40);
+    let reqs = [&r, &r, &r, &r];
+    let served = serve_frames(&mut compute, &reqs);
+    for (i, frame) in served.iter().enumerate() {
+        let want = solo_frame(&mut oracle, &r, i);
+        assert_eq!(frame, &want, "duplicate copy {i} diverged from solo");
+    }
+    // Same request, same payload: frames differ only in conn/seq header.
+    let payload = |f: &[u64]| f[2..f.len() - 1].to_vec();
+    for f in &served[1..] {
+        assert_eq!(payload(f), payload(&served[0]));
+    }
+}
+
+#[test]
+fn mixed_engine_batches_match_solo() {
+    let mut compute = ServeCompute::new(N, W, SLOTS);
+    let mut oracle = Oracle::new();
+    let s1 = random_req(Engine::Schedule, 50, 30);
+    let o1 = random_req(Engine::Online, 51, 30);
+    let s2 = hotspot_req(Engine::Schedule, 52);
+    let o2 = random_req(Engine::Online, 53, 12);
+    let o3 = locals_req(Engine::Online, 54);
+    assert_batch_matches_solo(&mut compute, &mut oracle, &[&s1, &o1, &s2, &o2, &o3]);
+    // Online-only batch (no schedule pass at all).
+    assert_batch_matches_solo(&mut compute, &mut oracle, &[&o1, &o2]);
+}
+
+#[test]
+fn repeated_batches_reuse_warm_arenas_correctly() {
+    // The same compute instance serves many batches back to back; pooled
+    // state from one batch must never leak into the next.
+    let mut compute = ServeCompute::new(N, W, SLOTS);
+    let mut oracle = Oracle::new();
+    for round in 0..6u64 {
+        let reqs: Vec<Req> = (0..4)
+            .map(|i| random_req(Engine::Schedule, 100 * round + i, 24))
+            .collect();
+        let batch: Vec<&Req> = reqs.iter().collect();
+        assert_batch_matches_solo(&mut compute, &mut oracle, &batch);
+    }
+}

@@ -80,6 +80,22 @@ pub enum FrameKind {
     /// Coordinator → worker (v2): top-arbitration winners descending into
     /// this shard, in the same two-word encoding.
     Incoming2 = 14,
+    /// Client → server (serve): handshake — protocol version and the tree
+    /// shape the client expects. First frame on every connection.
+    Hello = 15,
+    /// Server → client (serve): handshake accepted; echoes the version and
+    /// shape, and announces the server's batching/admission limits.
+    HelloAck = 16,
+    /// Client → server (serve): one routing request — engine selector,
+    /// seed, and the message set to schedule.
+    Req = 17,
+    /// Server → client (serve): the scheduled response for one request,
+    /// byte-identical to what a solo run would produce.
+    Resp = 18,
+    /// Server → client (serve): request rejected by admission control —
+    /// the in-flight queue is full. Payload carries the request id and the
+    /// queue occupancy/limit so clients can back off.
+    Busy = 19,
 }
 
 impl FrameKind {
@@ -99,6 +115,11 @@ impl FrameKind {
             12 => FrameKind::Cycle,
             13 => FrameKind::Claims2,
             14 => FrameKind::Incoming2,
+            15 => FrameKind::Hello,
+            16 => FrameKind::HelloAck,
+            17 => FrameKind::Req,
+            18 => FrameKind::Resp,
+            19 => FrameKind::Busy,
             _ => return None,
         })
     }

@@ -68,6 +68,57 @@ esac
 echo "==> run_sharded perf gate (overlapped coordinator vs single arena)"
 cargo run --release -p ft-bench --bin ft-perf -- --shard-gate
 
+echo "==> ftsim serve smoke (coalescing service, verified clients, reaping)"
+# Spawn the service with its stdin on a fifo we hold open (closing it is
+# the graceful-shutdown signal), drive it with four verifying clients plus
+# one dead client the 500ms idle reaper must clear, then close the fifo
+# and check the summary line. Everything is time-capped: a hang here is a
+# bug, not slowness.
+serve_fifo="$(mktemp -u).fifo"; mkfifo "$serve_fifo"
+serve_log="$(mktemp --suffix .serve)"
+trap 'rm -f "$smoke_json" "$serve_fifo" "$serve_log"' EXIT
+target/release/ftsim serve --n 64 --w 16 --slots 4 --idle-ms 500 \
+  --addr 127.0.0.1:0 < "$serve_fifo" > "$serve_log" &
+serve_pid=$!
+exec 9> "$serve_fifo"   # hold the write end open: server stays up
+for _ in $(seq 50); do
+  grep -q '"event":"listening"' "$serve_log" && break
+  sleep 0.1
+done
+serve_addr="$(sed -n 's/.*"addr":"\([^"]*\)".*/\1/p;q' "$serve_log")"
+if [ -z "$serve_addr" ]; then
+  echo "ftsim serve never printed its listening line" >&2
+  cat "$serve_log" >&2; exit 1
+fi
+# A dead client (handshake then silence) in the background while four
+# verifying clients hammer the service — reaping must not disturb them.
+timeout 60 target/release/ftsim bench-client --addr "$serve_addr" \
+  --n 64 --w 16 --clients 1 --requests 0 --mode dead --hold-ms 1000 &
+dead_pid=$!
+timeout 60 target/release/ftsim bench-client --addr "$serve_addr" \
+  --n 64 --w 16 --clients 4 --requests 120 --messages 32 --verify 1
+timeout 60 target/release/ftsim bench-client --addr "$serve_addr" \
+  --n 64 --w 16 --clients 4 --requests 80 --engine online --verify 1
+wait "$dead_pid"
+exec 9>&-               # close the fifo: graceful shutdown
+for _ in $(seq 50); do
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+  echo "ftsim serve did not exit after stdin EOF" >&2
+  kill "$serve_pid"; exit 1
+fi
+wait "$serve_pid"
+grep -q '"event":"summary"' "$serve_log" || {
+  echo "ftsim serve exited without a summary line" >&2
+  cat "$serve_log" >&2; exit 1
+}
+grep -q '"served":200' "$serve_log" || {
+  echo "ftsim serve summary did not count 200 served requests" >&2
+  cat "$serve_log" >&2; exit 1
+}
+
 echo "==> ftsim shard fault smoke (dead link must fail structured, not hang)"
 # A 100% drop plan can never complete: the run must terminate within the
 # timeout wrapper with a structured error and a non-zero exit, never hang.

@@ -13,6 +13,13 @@
 //!                  [--transport inproc|shm|pipe] [--drop 0.1] [--dup 0.1]
 //!                  [--corrupt 0.1] [--delay-ms 5] [--fault-seed 7]
 //!                  [--timeout-ms 5000] [--retries 4] [--format text|json]
+//! ftsim serve      --n 256 --w 64 [--addr 127.0.0.1:0] [--slots 8]
+//!                  [--window-us 200] [--inflight 64] [--idle-ms 5000]
+//!                  [--max-requests 0]
+//! ftsim bench-client --addr HOST:PORT --n 256 --w 64 [--clients 4]
+//!                  [--requests 200] [--messages 64] [--seed 1985]
+//!                  [--engine schedule|online] [--mode closed|open|burst|dead]
+//!                  [--depth 8] [--hold-ms 500] [--verify 1]
 //! ftsim universality --net mesh3d --side 4
 //! ftsim emulate    --net hypercube --dim 6
 //! ftsim layout     --n 1024 --w 128
@@ -43,6 +50,17 @@
 //! under injected frame faults — and checks the result is byte-identical
 //! to the single-arena engine. The internal `shard-worker` command is what
 //! `--transport pipe` spawns; it is not for interactive use.
+//!
+//! `serve` runs the streaming scheduler service: concurrent clients submit
+//! routing requests over checksummed frames, small requests coalesce into
+//! shared arena passes, and responses are byte-identical to solo runs. It
+//! prints one `ftsim-serve/v1` JSON line when listening (with the resolved
+//! address) and one summary line at shutdown; it stops on stdin EOF or
+//! after `--max-requests`. `bench-client` drives a running server with N
+//! concurrent connections (closed-loop, fixed-depth open-loop, burst, or
+//! dead-client modes) and prints a `ftsim-serve/v1` bench summary;
+//! `--verify 1` recomputes every response solo in-process and fails on any
+//! mismatch.
 
 use fat_tree::concentrator::{Cascade, Concentrator, MatchingArena};
 use fat_tree::core::rng::SplitMix64;
@@ -90,6 +108,8 @@ fn main() {
                 exit(1);
             }
         }
+        "serve" => cmd_serve(&opts),
+        "bench-client" => cmd_bench_client(&opts),
         "universality" => cmd_universality(&opts),
         "emulate" => cmd_emulate(&opts),
         "layout" => cmd_layout(&opts),
@@ -104,7 +124,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: ftsim <tree|schedule|online|simulate|report|trace|shard|universality|emulate|layout> [--key value]…\n\
+        "usage: ftsim <tree|schedule|online|simulate|report|trace|shard|serve|bench-client|universality|emulate|layout> [--key value]…\n\
          see the module docs (src/bin/ftsim.rs) for options"
     );
 }
@@ -733,6 +753,159 @@ fn cmd_shard(opts: &HashMap<String, String>) {
     }
     if !matches {
         eprintln!("sharded run diverged from the single-arena engine — bug");
+        exit(1);
+    }
+}
+
+/// Run the streaming scheduler service until stdin EOF (or
+/// `--max-requests`). One JSON line announces the resolved listen address,
+/// one summarizes the run at shutdown — both `ftsim-serve/v1`.
+fn cmd_serve(opts: &HashMap<String, String>) {
+    use fat_tree::serve::{spawn, ServerConfig};
+    use std::io::{Read, Write};
+
+    let n = get_u32(opts, "n", 256);
+    let cfg = ServerConfig {
+        addr: opts
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:0".into()),
+        n,
+        w: get_u32(opts, "w", (n / 4).max(1)) as u64,
+        slots: get_u32(opts, "slots", 8).max(1),
+        window_us: get_u32(opts, "window-us", 200) as u64,
+        inflight: get_u32(opts, "inflight", 64).max(1) as usize,
+        idle_ms: get_u32(opts, "idle-ms", 5000) as u64,
+        max_requests: get_u32(opts, "max-requests", 0) as u64,
+    };
+    if !cfg.n.is_power_of_two() || cfg.n < 2 {
+        eprintln!("--n must be a power of two ≥ 2, got {}", cfg.n);
+        exit(2);
+    }
+    if !cfg.slots.is_power_of_two() {
+        eprintln!("--slots must be a power of two, got {}", cfg.slots);
+        exit(2);
+    }
+    let server = spawn(cfg.clone()).unwrap_or_else(|e| {
+        eprintln!("serve: cannot bind {}: {e}", cfg.addr);
+        exit(1);
+    });
+    println!(
+        "{{\"schema\":\"ftsim-serve/v1\",\"event\":\"listening\",\"addr\":\"{}\",\"n\":{},\"w\":{},\
+         \"slots\":{},\"window_us\":{},\"inflight\":{},\"idle_ms\":{},\"max_requests\":{}}}",
+        server.addr(),
+        cfg.n,
+        cfg.w,
+        cfg.slots,
+        cfg.window_us,
+        cfg.inflight,
+        cfg.idle_ms,
+        cfg.max_requests,
+    );
+    let _ = std::io::stdout().flush();
+    // stdin EOF is the shutdown signal: a driver holds the pipe open while
+    // clients run, then closes it (or the user hits ^D).
+    let stopper = server.stopper();
+    std::thread::spawn(move || {
+        let mut sink = [0u8; 256];
+        let mut stdin = std::io::stdin().lock();
+        while matches!(stdin.read(&mut sink), Ok(k) if k > 0) {}
+        stopper.stop();
+    });
+    server.wait();
+    let stats = server.stop();
+    println!(
+        "{{\"schema\":\"ftsim-serve/v1\",\"event\":\"summary\",\"served\":{},\"busy\":{},\
+         \"batches\":{},\"batch_max\":{},\"batch_mean_x1000\":{},\"lambda_max\":{:.6},\"conns\":{}}}",
+        stats.served,
+        stats.busy,
+        stats.batches,
+        stats.batch_max,
+        stats.batch_mean_x1000,
+        stats.lambda_max,
+        stats.conns,
+    );
+}
+
+/// Drive a running `ftsim serve` with N concurrent clients and print a
+/// bench summary line.
+fn cmd_bench_client(opts: &HashMap<String, String>) {
+    use fat_tree::serve::{bench, BenchConfig, BenchMode, Engine};
+
+    let Some(addr) = opts.get("addr").cloned() else {
+        eprintln!("bench-client: --addr HOST:PORT is required");
+        exit(2);
+    };
+    let n = get_u32(opts, "n", 256);
+    let engine = match opts.get("engine").map(String::as_str).unwrap_or("schedule") {
+        "schedule" => Engine::Schedule,
+        "online" => Engine::Online,
+        other => {
+            eprintln!("unknown engine: {other} (expected schedule|online)");
+            exit(2);
+        }
+    };
+    let mode_name = opts.get("mode").map(String::as_str).unwrap_or("closed");
+    let mode = match mode_name {
+        "closed" => BenchMode::Closed,
+        "open" => BenchMode::Open {
+            depth: get_u32(opts, "depth", 8).max(1) as usize,
+        },
+        "burst" => BenchMode::Burst {
+            size: get_u32(opts, "depth", 32).max(1) as usize,
+        },
+        "dead" => BenchMode::Dead {
+            hold_ms: get_u32(opts, "hold-ms", 500) as u64,
+        },
+        other => {
+            eprintln!("unknown mode: {other} (expected closed|open|burst|dead)");
+            exit(2);
+        }
+    };
+    let cfg = BenchConfig {
+        addr,
+        n,
+        w: get_u32(opts, "w", (n / 4).max(1)) as u64,
+        clients: get_u32(opts, "clients", 4).max(1) as usize,
+        requests: get_u32(opts, "requests", 200) as u64,
+        messages: get_u32(opts, "messages", 64) as usize,
+        seed: get_u32(opts, "seed", 1985) as u64,
+        engine,
+        mode,
+        verify: opts.get("verify").is_some_and(|v| v != "0" && v != "false"),
+    };
+    let r = bench(&cfg).unwrap_or_else(|e| {
+        eprintln!("bench-client: {e}");
+        exit(1);
+    });
+    println!(
+        "{{\"schema\":\"ftsim-serve/v1\",\"event\":\"bench\",\"mode\":\"{mode_name}\",\
+         \"engine\":\"{}\",\"clients\":{},\"sent\":{},\"ok\":{},\"busy\":{},\"errors\":{},\
+         \"verified\":{},\"mismatches\":{},\"elapsed_ns\":{},\"requests_per_sec\":{:.1},\
+         \"p50_us\":{},\"p99_us\":{},\"resp_fnv\":\"{:016x}\"}}",
+        if engine == Engine::Schedule {
+            "schedule"
+        } else {
+            "online"
+        },
+        cfg.clients,
+        r.sent,
+        r.ok,
+        r.busy,
+        r.errors,
+        r.verified,
+        r.mismatches,
+        r.elapsed_ns,
+        r.requests_per_sec(),
+        r.p50_us,
+        r.p99_us,
+        r.resp_fnv,
+    );
+    if r.mismatches > 0 || r.errors > 0 {
+        eprintln!(
+            "bench-client: {} mismatches, {} errors — failing",
+            r.mismatches, r.errors
+        );
         exit(1);
     }
 }

@@ -9,6 +9,7 @@
 //! | [`sched`] | §III, §VI | Theorem 1 / Corollary 2 schedulers, greedy baseline, on-line routing |
 //! | [`sim`] | §II | bit-serial delivery-cycle simulator (Figs. 2–3) |
 //! | [`shard`] | §II | distributed sharded delivery-cycle engine with cross-shard barrier |
+//! | [`serve`] | §III | streaming scheduler service: coalesced batches, pipelined λ passes |
 //! | [`layout`] | §IV–§V | 3-D VLSI model, decomposition trees, pearl lemma, cost laws |
 //! | [`networks`] | §I, §VI | hypercube, meshes, torus, tree, butterfly, CCC, Beneš |
 //! | [`workloads`] | §I–§III | permutations, k-relations, locality, FEM, hot-spots |
@@ -52,6 +53,7 @@ pub use ft_core as core;
 pub use ft_layout as layout;
 pub use ft_networks as networks;
 pub use ft_sched as sched;
+pub use ft_serve as serve;
 pub use ft_shard as shard;
 pub use ft_sim as sim;
 pub use ft_telemetry as telemetry;

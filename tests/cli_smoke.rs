@@ -367,6 +367,194 @@ fn streamed_specs_feed_every_engine() {
     assert!(stdout.contains("delivery cycles"), "{stdout}");
 }
 
+/// A running `ftsim serve` child: stdin held open (closing it is the
+/// shutdown signal), stdout buffered so the listening and summary event
+/// lines can be read in order.
+struct ServeProc {
+    child: std::process::Child,
+    reader: std::io::BufReader<std::process::ChildStdout>,
+    addr: String,
+}
+
+fn spawn_serve(extra: &[&str]) -> ServeProc {
+    use std::io::BufRead;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ftsim"))
+        .args(["serve", "--n", "64", "--w", "16", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn ftsim serve");
+    let stdout = child.stdout.take().expect("serve stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read listening line");
+    assert!(
+        line.contains("\"schema\":\"ftsim-serve/v1\"") && line.contains("\"event\":\"listening\""),
+        "{line}"
+    );
+    let addr = json_field(&line, "addr").trim_matches('"').to_string();
+    assert!(addr.contains(':'), "no port in listening line: {line}");
+    ServeProc {
+        child,
+        reader,
+        addr,
+    }
+}
+
+impl ServeProc {
+    /// Close stdin (graceful shutdown), wait for exit, return the summary
+    /// event line.
+    fn shutdown(mut self) -> String {
+        use std::io::BufRead;
+        drop(self.child.stdin.take());
+        let mut summary = String::new();
+        self.reader.read_line(&mut summary).expect("summary line");
+        let status = self.child.wait().expect("serve exit status");
+        assert!(status.success(), "serve exited non-zero");
+        assert!(
+            summary.contains("\"event\":\"summary\""),
+            "missing summary event: {summary}"
+        );
+        summary
+    }
+}
+
+#[test]
+fn serve_listening_bench_and_summary_shapes() {
+    let server = spawn_serve(&[]);
+    let (ok, stdout, stderr) = ftsim(&[
+        "bench-client",
+        "--addr",
+        &server.addr,
+        "--n",
+        "64",
+        "--w",
+        "16",
+        "--clients",
+        "2",
+        "--requests",
+        "40",
+        "--messages",
+        "16",
+        "--seed",
+        "7",
+        "--verify",
+        "1",
+    ]);
+    assert!(ok, "{stderr}");
+    for key in [
+        "\"schema\":\"ftsim-serve/v1\"",
+        "\"event\":\"bench\"",
+        "\"mode\":\"closed\"",
+        "\"engine\":\"schedule\"",
+        "\"resp_fnv\":\"",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+    assert_eq!(json_field(&stdout, "ok"), "40", "{stdout}");
+    assert_eq!(json_field(&stdout, "verified"), "40", "{stdout}");
+    assert_eq!(json_field(&stdout, "mismatches"), "0", "{stdout}");
+    assert_eq!(json_field(&stdout, "errors"), "0", "{stdout}");
+    let summary = server.shutdown();
+    assert_eq!(json_field(&summary, "served"), "40", "{summary}");
+    assert!(summary.contains("\"lambda_max\":"), "{summary}");
+}
+
+#[test]
+fn serve_bench_fingerprint_is_deterministic_per_seed() {
+    // The resp_fnv fold is connection- and order-independent, so two runs
+    // of the same (seed, clients, requests) workload against fresh servers
+    // must agree bit for bit; a different seed must not.
+    let run = |seed: &str| {
+        let server = spawn_serve(&[]);
+        let (ok, stdout, stderr) = ftsim(&[
+            "bench-client",
+            "--addr",
+            &server.addr,
+            "--n",
+            "64",
+            "--w",
+            "16",
+            "--clients",
+            "2",
+            "--requests",
+            "30",
+            "--messages",
+            "16",
+            "--seed",
+            seed,
+        ]);
+        assert!(ok, "{stderr}");
+        server.shutdown();
+        json_field(&stdout, "resp_fnv").to_string()
+    };
+    assert_eq!(run("1985"), run("1985"));
+    assert_ne!(run("1985"), run("7"));
+}
+
+#[test]
+fn serve_burst_gets_busy_rejects_not_errors() {
+    let server = spawn_serve(&["--inflight", "2", "--window-us", "5000"]);
+    let (ok, stdout, stderr) = ftsim(&[
+        "bench-client",
+        "--addr",
+        &server.addr,
+        "--n",
+        "64",
+        "--w",
+        "16",
+        "--clients",
+        "2",
+        "--requests",
+        "80",
+        "--messages",
+        "16",
+        "--mode",
+        "burst",
+        "--depth",
+        "40",
+    ]);
+    assert!(ok, "{stderr}");
+    let ok_n: u64 = json_field(&stdout, "ok").parse().unwrap();
+    let busy: u64 = json_field(&stdout, "busy").parse().unwrap();
+    assert_eq!(ok_n + busy, 80, "{stdout}");
+    assert!(busy > 0, "burst at inflight=2 must trip Busy: {stdout}");
+    assert_eq!(json_field(&stdout, "errors"), "0", "{stdout}");
+    let summary = server.shutdown();
+    assert_eq!(
+        json_field(&summary, "served"),
+        &ok_n.to_string(),
+        "{summary}"
+    );
+    assert_eq!(json_field(&summary, "busy"), &busy.to_string(), "{summary}");
+}
+
+#[test]
+fn serve_rejects_bad_invocations() {
+    let (ok, _, stderr) = ftsim(&["serve", "--n", "63"]);
+    assert!(!ok);
+    assert!(stderr.contains("power of two"), "{stderr}");
+    let (ok, _, stderr) = ftsim(&["bench-client"]);
+    assert!(!ok);
+    assert!(stderr.contains("--addr"), "{stderr}");
+    // Nothing listens on a fresh ephemeral port that was bound and dropped.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let (ok, _, stderr) = ftsim(&[
+        "bench-client",
+        "--addr",
+        &format!("127.0.0.1:{port}"),
+        "--requests",
+        "1",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("bench-client:"), "{stderr}");
+}
+
 #[test]
 fn streamed_spec_argument_errors_are_rejected() {
     let (ok, _, stderr) = ftsim(&["simulate", "--n", "64", "--workload", "bursty:lots"]);
