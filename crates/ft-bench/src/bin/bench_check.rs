@@ -182,6 +182,26 @@ fn main() {
         }
     }
 
+    // The telemetry_overhead block: metrics-on vs metrics-off serve
+    // throughput. Both sides must have measured real traffic; the ratio
+    // itself gates inside ft-perf (full runs only), so here we only reject
+    // impossible values that would mean the duel never ran.
+    let overhead = doc
+        .get("telemetry_overhead")
+        .unwrap_or_else(|| fail("missing \"telemetry_overhead\" block"));
+    let ctx = "telemetry_overhead";
+    for key in ["full_rps", "noop_rps", "ratio"] {
+        if req_num(overhead, key, ctx) <= 0.0 {
+            fail(&format!("{ctx}: {key} <= 0"));
+        }
+    }
+    if req_num(overhead, "rounds", ctx) < 1.0 {
+        fail("telemetry_overhead: rounds < 1");
+    }
+    if req_num(overhead, "requests_per_round", ctx) < 1.0 {
+        fail("telemetry_overhead: requests_per_round < 1");
+    }
+
     let telemetry = doc
         .get("telemetry")
         .unwrap_or_else(|| fail("missing \"telemetry\""));

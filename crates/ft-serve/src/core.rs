@@ -123,6 +123,25 @@ pub struct FrameSpan {
     pub len: usize,
 }
 
+/// Per-request pipeline timestamps (ns since the metrics hub's epoch),
+/// maintained by the server front end when live metrics are enabled and
+/// left empty otherwise — the compute path never reads them. Entry `i`
+/// describes the same request as [`BatchBuf::spans`]`()[i]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ReqTiming {
+    /// Monotone request id (span events key on this).
+    pub rid: u64,
+    pub engine: Engine,
+    /// Messages in the request.
+    pub msgs: u32,
+    /// Frame fully read off the socket.
+    pub recv_ns: u64,
+    /// Request decoded and validated.
+    pub decoded_ns: u64,
+    /// Accepted into this batch.
+    pub admitted_ns: u64,
+}
+
 /// A pooled request batch: admitted requests, their coalesced message
 /// pools, the compute pass's outputs, and the encoded response frames.
 /// All storage is grow-only; [`BatchBuf::reset`] never frees.
@@ -138,6 +157,15 @@ pub struct BatchBuf {
     /// `Busy` rejects since the previous batch (set by the server front
     /// end; reported through [`Recorder::serve_batch`]).
     pub rejected: u64,
+    /// Stage timestamps per admitted request (see [`ReqTiming`]); empty
+    /// unless the server runs with live metrics.
+    pub timings: Vec<ReqTiming>,
+    /// When the batcher closed this batch and handed it to compute
+    /// (ns since the metrics epoch; 0 when metrics are off).
+    pub closed_ns: u64,
+    /// Compute-pass bounds stamped by the compute thread.
+    pub sched_start_ns: u64,
+    pub sched_end_ns: u64,
     num_cycles_combined: u32,
     assign: Vec<u32>,
     online_data: Vec<u32>,
@@ -159,6 +187,10 @@ impl BatchBuf {
         self.reqs.clear();
         self.sched_reqs = 0;
         self.rejected = 0;
+        self.timings.clear();
+        self.closed_ns = 0;
+        self.sched_start_ns = 0;
+        self.sched_end_ns = 0;
         self.num_cycles_combined = 0;
         self.assign.clear();
         self.online_data.clear();

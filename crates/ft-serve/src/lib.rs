@@ -19,7 +19,10 @@
 //! * [`server`] / [`client`] — the TCP shell: a double-buffered
 //!   batcher/compute thread pair with telemetry-steered admission control,
 //!   and the load-generating bench client (`ftsim serve` /
-//!   `ftsim bench-client`).
+//!   `ftsim bench-client`);
+//! * [`metrics`] — the live observability hub (request spans, stage
+//!   latency histograms, the seqlock λ-budget block) and the scrape
+//!   listener behind `ftsim serve --metrics-addr`.
 //!
 //! [`SchedArena`]: ft_sched::SchedArena
 //! [`BatchBuf`]: core::BatchBuf
@@ -27,10 +30,12 @@
 
 pub mod client;
 pub mod core;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 
 pub use crate::core::{BatchBuf, ServeCompute};
 pub use client::{bench, BenchConfig, BenchMode, BenchResult};
+pub use metrics::{http_get, spawn_metrics_listener, MetricsSource, ServeMetrics};
 pub use proto::{Engine, ServeError, SERVE_PROTO_VERSION};
 pub use server::{spawn, ServerConfig, ServerHandle, ServerStats};

@@ -25,12 +25,15 @@
 //!
 //! [`MetricsRecorder`]: ft_telemetry::MetricsRecorder
 
-use crate::core::{BatchBuf, ServeCompute};
+use crate::core::{BatchBuf, ReqTiming, ServeCompute};
+use crate::metrics::{
+    spawn_metrics_listener, LambdaBudget, MetricsSource, ServeCounters, ServeMetrics,
+};
 use crate::proto::{
     self, decode_hello, encode_busy, encode_hello_ack, Engine, HelloAck, MAX_REQ_MSGS,
 };
 use ft_shard::wire::{self, begin_frame, end_frame, read_frame, write_frame_buf, FrameKind};
-use ft_telemetry::MetricsRecorder;
+use ft_telemetry::{Event, EventKind, MetricsRecorder};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -76,6 +79,15 @@ pub struct ServerConfig {
     pub idle_ms: u64,
     /// Stop after serving this many requests (0 = run until stopped).
     pub max_requests: u64,
+    /// Live metrics hub (request spans + stage histograms + λ-budget
+    /// seqlock). `false` is the overhead gate's no-op baseline: the λ
+    /// steering recorder stays on (admission depends on it) but no spans,
+    /// stamps, or histograms are touched.
+    pub metrics: bool,
+    /// Bind a second listener here exposing `/metrics`, `/metrics.json`,
+    /// and `/spans` (port 0 picks a free port; read it back from
+    /// [`ServerHandle::metrics_addr`]). Implies `metrics`.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +101,8 @@ impl Default for ServerConfig {
             inflight: 64,
             idle_ms: 5000,
             max_requests: 0,
+            metrics: true,
+            metrics_addr: None,
         }
     }
 }
@@ -111,6 +125,8 @@ pub struct ServerStats {
     pub lambda_max: f64,
     /// Connections accepted.
     pub conns: u64,
+    /// Connections closed by the idle timer.
+    pub reaped: u64,
 }
 
 struct Shared {
@@ -127,7 +143,11 @@ struct Shared {
     batch_req_total: AtomicU64,
     batch_max: AtomicU64,
     lambda_max_bits: AtomicU64,
+    reaped: AtomicU64,
     writers: Mutex<HashMap<u16, mpsc::Sender<Vec<u64>>>>,
+    /// Live observability hub; `None` runs the pipeline with zero
+    /// metrics-side work (the overhead gate's baseline).
+    metrics: Option<Arc<ServeMetrics>>,
 }
 
 impl Shared {
@@ -150,14 +170,59 @@ impl Shared {
             }
         }
     }
+
+    /// Counter snapshot for the scrape renderers.
+    fn counters(&self) -> ServeCounters {
+        ServeCounters {
+            served: self.served.load(Ordering::Relaxed),
+            busy: self.busy_total.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::SeqCst) as u64,
+            inflight_limit: self.limit.load(Ordering::SeqCst) as u64,
+            conns: self.conns.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_max: self.batch_max.load(Ordering::Relaxed),
+            reaped: self.reaped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The serve pipeline's scrape pages, rendered from the hub plus the
+/// live counters. Every render is atomics-and-seqlock only — a slow or
+/// hostile scraper cannot slow admission or compute.
+struct Scrape(Arc<Shared>);
+
+impl MetricsSource for Scrape {
+    fn stopped(&self) -> bool {
+        self.0.stop.load(Ordering::SeqCst)
+    }
+
+    fn render(&self, path: &str) -> Option<(&'static str, String)> {
+        let hub = self.0.metrics.as_ref()?;
+        match path {
+            "/metrics" => Some((
+                "text/plain; version=0.0.4",
+                hub.render_prometheus(&self.0.counters()),
+            )),
+            "/metrics.json" => Some(("application/json", hub.render_json(&self.0.counters()))),
+            "/spans" => Some(("application/x-ndjson", hub.render_spans())),
+            _ => None,
+        }
+    }
 }
 
 /// One admitted request travelling from a reader to the batcher: the
-/// validated frame words plus the originating connection.
+/// validated frame words plus the originating connection and — when live
+/// metrics are on — its request id and reader-side stage timestamps.
 struct Admit {
     conn: u16,
     seq: u32,
     words: Vec<u64>,
+    /// Monotone request id (0 when metrics are off).
+    rid: u64,
+    /// Frame fully read (ns since the hub epoch; 0 when metrics are off).
+    recv_ns: u64,
+    /// Request decoded and validated.
+    decoded_ns: u64,
 }
 
 /// A running server. Stop it (and collect stats) with
@@ -165,10 +230,12 @@ struct Admit {
 /// detached.
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
     compute: Option<JoinHandle<()>>,
+    scrape: Option<JoinHandle<()>>,
 }
 
 /// A cloneable stop trigger (for stdin watchers and signal shims).
@@ -186,6 +253,11 @@ impl ServerHandle {
     /// The bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The metrics listener's bound address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// A detached stop trigger.
@@ -208,9 +280,14 @@ impl ServerHandle {
     /// Request shutdown, join every thread, and report the run's counters.
     pub fn stop(mut self) -> ServerStats {
         self.shared.stop.store(true, Ordering::SeqCst);
-        for h in [self.accept.take(), self.batcher.take(), self.compute.take()]
-            .into_iter()
-            .flatten()
+        for h in [
+            self.accept.take(),
+            self.batcher.take(),
+            self.compute.take(),
+            self.scrape.take(),
+        ]
+        .into_iter()
+        .flatten()
         {
             let _ = h.join();
         }
@@ -225,6 +302,7 @@ impl ServerHandle {
             batch_mean_x1000: (reqs * 1000).checked_div(batches).unwrap_or(0),
             lambda_max: f64::from_bits(s.lambda_max_bits.load(Ordering::Relaxed)),
             conns: s.conns.load(Ordering::Relaxed),
+            reaped: s.reaped.load(Ordering::Relaxed),
         }
     }
 }
@@ -235,6 +313,8 @@ pub fn spawn(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let hub =
+        (cfg.metrics || cfg.metrics_addr.is_some()).then(|| Arc::new(ServeMetrics::default()));
     let shared = Arc::new(Shared {
         stop: AtomicBool::new(false),
         inflight: AtomicUsize::new(0),
@@ -247,8 +327,18 @@ pub fn spawn(cfg: ServerConfig) -> io::Result<ServerHandle> {
         batch_req_total: AtomicU64::new(0),
         batch_max: AtomicU64::new(0),
         lambda_max_bits: AtomicU64::new(0),
+        reaped: AtomicU64::new(0),
         writers: Mutex::new(HashMap::new()),
+        metrics: hub,
     });
+    let (metrics_addr, scrape) = match &cfg.metrics_addr {
+        Some(maddr) => {
+            let (bound, handle) =
+                spawn_metrics_listener(maddr, Arc::new(Scrape(Arc::clone(&shared))))?;
+            (Some(bound), Some(handle))
+        }
+        None => (None, None),
+    };
     let (admit_tx, admit_rx) = mpsc::sync_channel::<Admit>(cfg.inflight.max(1));
     let (work_tx, work_rx) = mpsc::channel::<BatchBuf>();
     let (done_tx, done_rx) = mpsc::channel::<BatchBuf>();
@@ -270,10 +360,12 @@ pub fn spawn(cfg: ServerConfig) -> io::Result<ServerHandle> {
     };
     Ok(ServerHandle {
         addr,
+        metrics_addr,
         shared,
         accept: Some(accept),
         batcher: Some(batcher),
         compute: Some(compute),
+        scrape,
     })
 }
 
@@ -352,6 +444,7 @@ fn reader_loop(
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
     let idle = Duration::from_millis(cfg.idle_ms.max(1));
+    let hub = shared.metrics.clone();
     let mut last = Instant::now();
     let mut hello_done = false;
     let mut busy_buf = Vec::new();
@@ -374,6 +467,10 @@ fn reader_loop(
                 // Dead-client timeout: no complete frame within the idle
                 // window closes the connection.
                 if last.elapsed() >= idle {
+                    shared.reaped.fetch_add(1, Ordering::Relaxed);
+                    if let Some(h) = &hub {
+                        h.span(EventKind::ConnReap, conn as u32, 0, 0);
+                    }
                     dbg_exit(conn, "idle timeout");
                     break;
                 }
@@ -387,6 +484,7 @@ fn reader_loop(
             }
         };
         last = Instant::now();
+        let recv_ns = hub.as_ref().map_or(0, |h| h.now_ns());
         let frame = match wire::decode(&words) {
             Ok(f) => f,
             Err(_) => {
@@ -433,6 +531,12 @@ fn reader_loop(
                 }
                 let req_id = frame.payload[0];
                 let seq = frame.seq;
+                // Decode finished and the request is validated: assign its
+                // span id and stamp the decode-stage boundary.
+                let (rid, decoded_ns) = match &hub {
+                    Some(h) => (h.next_rid(), h.now_ns()),
+                    None => (0, 0),
+                };
                 let cur = shared.inflight.fetch_add(1, Ordering::SeqCst);
                 let limit = shared.limit.load(Ordering::SeqCst);
                 let over_limit = cur >= limit;
@@ -440,7 +544,14 @@ fn reader_loop(
                     Err(())
                 } else {
                     admit_tx
-                        .try_send(Admit { conn, seq, words })
+                        .try_send(Admit {
+                            conn,
+                            seq,
+                            words,
+                            rid,
+                            recv_ns,
+                            decoded_ns,
+                        })
                         .map_err(|e| match e {
                             TrySendError::Full(_) => (),
                             TrySendError::Disconnected(_) => (),
@@ -450,6 +561,14 @@ fn reader_loop(
                     shared.inflight.fetch_sub(1, Ordering::SeqCst);
                     shared.rejected.fetch_add(1, Ordering::Relaxed);
                     shared.busy_total.fetch_add(1, Ordering::Relaxed);
+                    if let Some(h) = &hub {
+                        h.span(
+                            EventKind::ReqBusy,
+                            rid.min(u32::MAX as u64) as u32,
+                            0,
+                            (cur + 1) as u32,
+                        );
+                    }
                     encode_busy(
                         &mut busy_buf,
                         conn,
@@ -490,6 +609,7 @@ fn batcher_loop(
     let mut spare = BatchBuf::new();
     let mut in_compute = false;
     let mut carry: Option<Admit> = None;
+    let mut batch_seq: u64 = 0;
     'serve: loop {
         // Open a batch: the carried-over request, or the next arrival.
         // While compute is busy with batch k, wait only one window for
@@ -552,6 +672,22 @@ fn batcher_loop(
         // Ping-pong: ship the filled buffer to compute, then (overlapping
         // compute of batch k) encode and dispatch batch k−1.
         spare.rejected = shared.rejected.swap(0, Ordering::Relaxed);
+        if let Some(h) = &shared.metrics {
+            // The batch is closed: stamp the batch-wait boundary and flush
+            // the admission + coalescing spans for every request in it
+            // under one ring lock.
+            spare.closed_ns = h.now_ns();
+            let width = spare.len() as u32;
+            let seq32 = batch_seq.min(u32::MAX as u64) as u32;
+            h.span_many(spare.timings.iter().flat_map(|t| {
+                let rid = t.rid.min(u32::MAX as u64) as u32;
+                [
+                    Event::new(EventKind::ReqAdmit, rid, t.engine as u32, t.msgs),
+                    Event::new(EventKind::ReqBatch, rid, width, seq32),
+                ]
+            }));
+        }
+        batch_seq += 1;
         let filled = std::mem::take(&mut spare);
         if work_tx.send(filled).is_err() {
             break;
@@ -597,17 +733,36 @@ fn admit_into(b: &mut BatchBuf, a: Admit, shared: &Shared, cfg: &ServerConfig) {
         shared.inflight.fetch_sub(1, Ordering::SeqCst);
         return;
     };
+    let (engine, msgs) = (req.engine, req.msgs.len() as u32);
     if b.admit(a.conn, a.seq, &req, cfg.n).is_err() {
         // Validation already ran reader-side; a failure here means the
         // connection raced shape changes — drop the request.
         shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
+    if let Some(h) = &shared.metrics {
+        // Pushed iff the admit succeeded, so `timings[i]` always describes
+        // the same request as `spans()[i]` after encoding. The ReqAdmit
+        // span is emitted from this record at batch close — one ring lock
+        // per batch instead of one per admission.
+        b.timings.push(ReqTiming {
+            rid: a.rid,
+            engine,
+            msgs,
+            recv_ns: a.recv_ns,
+            decoded_ns: a.decoded_ns,
+            admitted_ns: h.now_ns(),
+        });
     }
 }
 
 /// Encode the computed batch's responses and hand each frame to its
-/// connection's writer.
+/// connection's writer, then (metrics on) settle the batch's stage
+/// histograms and completion spans.
 fn dispatch(b: &mut BatchBuf, shared: &Shared, cfg: &ServerConfig) {
+    let enc_start = shared.metrics.as_ref().map_or(0, |h| h.now_ns());
     b.encode_responses();
+    let enc_end = shared.metrics.as_ref().map_or(0, |h| h.now_ns());
     let writers = shared.writers.lock().unwrap();
     for span in b.spans() {
         if let Some(tx) = writers.get(&span.conn) {
@@ -617,6 +772,38 @@ fn dispatch(b: &mut BatchBuf, shared: &Shared, cfg: &ServerConfig) {
         shared.served.fetch_add(1, Ordering::Relaxed);
     }
     drop(writers);
+    if let Some(h) = &shared.metrics {
+        let width = b.len();
+        if width > 0 {
+            h.batch_occupancy.record(width as u64);
+        }
+        // Schedule and encode are batch-level stages; every request in
+        // the batch shares them. The per-request stages come from its
+        // `ReqTiming` stamps.
+        let sched_ns = b.sched_end_ns.saturating_sub(b.sched_start_ns);
+        let enc_ns = enc_end.saturating_sub(enc_start);
+        let now = h.now_ns();
+        debug_assert_eq!(b.timings.len(), b.spans().len());
+        for t in &b.timings {
+            let st = h.stage(t.engine);
+            st.decode.record(t.decoded_ns.saturating_sub(t.recv_ns));
+            st.admit_wait
+                .record(t.admitted_ns.saturating_sub(t.decoded_ns));
+            st.batch_wait
+                .record(b.closed_ns.saturating_sub(t.admitted_ns));
+            st.schedule.record(sched_ns);
+            st.encode.record(enc_ns);
+            h.record_wall(t.engine, width, now.saturating_sub(t.recv_ns));
+        }
+        h.span_many(b.timings.iter().map(|t| {
+            Event::new(
+                EventKind::ReqDone,
+                t.rid.min(u32::MAX as u64) as u32,
+                t.engine as u32,
+                (now.saturating_sub(t.recv_ns) / 1_000).min(u32::MAX as u64) as u32,
+            )
+        }));
+    }
     if cfg.max_requests > 0 && shared.served.load(Ordering::Relaxed) >= cfg.max_requests {
         shared.stop.store(true, Ordering::SeqCst);
     }
@@ -631,7 +818,13 @@ fn compute_loop(
     let mut compute = ServeCompute::new(cfg.n, cfg.w, cfg.slots);
     let mut rec = MetricsRecorder::new();
     for mut b in work_rx {
+        if let Some(h) = &shared.metrics {
+            b.sched_start_ns = h.now_ns();
+        }
         compute.run(&mut b, &mut rec);
+        if let Some(h) = &shared.metrics {
+            b.sched_end_ns = h.now_ns();
+        }
         let lam = rec.lambda_max();
         Shared::max_f64(&shared.lambda_max_bits, lam);
         shared.batches.fetch_add(1, Ordering::Relaxed);
@@ -649,6 +842,16 @@ fn compute_loop(
             (cur + 1 + cur / 8).min(cfg.inflight.max(1))
         };
         shared.limit.store(next, Ordering::SeqCst);
+        if let Some(h) = &shared.metrics {
+            // One seqlock write per batch: limit, λ, width, and batch
+            // count always read back as one consistent generation.
+            h.write_budget(LambdaBudget {
+                limit: next as u64,
+                lambda_max: f64::from_bits(shared.lambda_max_bits.load(Ordering::Relaxed)),
+                last_batch: b.len() as u64,
+                batches: shared.batches.load(Ordering::Relaxed),
+            });
+        }
         rec.reset();
         if done_tx.send(b).is_err() {
             break;

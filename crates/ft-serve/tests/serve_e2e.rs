@@ -16,6 +16,8 @@ fn server_cfg() -> ServerConfig {
         idle_ms: 5_000,
         max_requests: 0,
         addr: "127.0.0.1:0".to_string(),
+        metrics: true,
+        metrics_addr: None,
     }
 }
 

@@ -42,6 +42,8 @@ use crate::wire::{self, FrameKind};
 use ft_core::{FatTree, Message, MessageSet};
 use ft_sim::{Arbitration, RunReport, ShardClaim, SimArena, SimConfig};
 use ft_telemetry::{NoopRecorder, Recorder};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How the coordinator reaches its workers.
@@ -74,6 +76,11 @@ pub struct ShardConfig {
     /// Delay between a timeout and its retransmit (scheduled, not slept —
     /// other links keep being served).
     pub backoff: Duration,
+    /// Optional live per-link counter hub: when set, every transport
+    /// event also bumps these atomics, so a scrape endpoint can watch the
+    /// run while it is still in flight (post-hoc totals stay in
+    /// [`ShardRunStats`]).
+    pub live: Option<Arc<LinkCounters>>,
 }
 
 impl ShardConfig {
@@ -88,6 +95,37 @@ impl ShardConfig {
             timeout: Duration::from_secs(5),
             retries: 4,
             backoff: Duration::from_millis(10),
+            live: None,
+        }
+    }
+}
+
+/// Live per-link transport counters (index = shard), updated at the same
+/// sites as [`ShardRunStats`]'s per-link vectors. All stores are relaxed
+/// — readers see each counter monotonically, which is all a scrape page
+/// needs.
+#[derive(Debug, Default)]
+pub struct LinkCounters {
+    pub frames_sent: Vec<AtomicU64>,
+    pub frames_received: Vec<AtomicU64>,
+    pub retries: Vec<AtomicU64>,
+    pub checksum_rejects: Vec<AtomicU64>,
+}
+
+impl LinkCounters {
+    pub fn new(shards: usize) -> Self {
+        let col = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect();
+        LinkCounters {
+            frames_sent: col(shards),
+            frames_received: col(shards),
+            retries: col(shards),
+            checksum_rejects: col(shards),
+        }
+    }
+
+    fn bump(col: &[AtomicU64], s: usize) {
+        if let Some(c) = col.get(s) {
+            c.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -183,6 +221,15 @@ pub struct ShardRunStats {
     pub shard_up_ns: Vec<u64>,
     /// Per-shard self-reported down-phase compute time.
     pub shard_down_ns: Vec<u64>,
+    /// Per-link physical frames sent (index = shard; sums to
+    /// `frames_sent`).
+    pub link_frames_sent: Vec<u64>,
+    /// Per-link frames received.
+    pub link_frames_received: Vec<u64>,
+    /// Per-link request retransmits.
+    pub link_retries: Vec<u64>,
+    /// Per-link received frames rejected by checksum/decode.
+    pub link_checksum_rejects: Vec<u64>,
 }
 
 /// A completed sharded run: the engine-identical [`RunReport`] plus
@@ -298,6 +345,8 @@ struct Links {
     retries: u32,
     backoff: Duration,
     stats: ShardRunStats,
+    /// Mirror of the per-link stats for live scraping (see [`ShardConfig::live`]).
+    live: Option<Arc<LinkCounters>>,
 }
 
 /// Upper bound on one idle `recv_any` wait when no deadline is near.
@@ -311,6 +360,10 @@ impl Links {
             transport: transport.name(),
             shard_up_ns: vec![0; shards],
             shard_down_ns: vec![0; shards],
+            link_frames_sent: vec![0; shards],
+            link_frames_received: vec![0; shards],
+            link_retries: vec![0; shards],
+            link_checksum_rejects: vec![0; shards],
             ..ShardRunStats::default()
         };
         Links {
@@ -327,6 +380,17 @@ impl Links {
             retries: cfg.retries,
             backoff: cfg.backoff,
             stats,
+            live: cfg.live.clone(),
+        }
+    }
+
+    /// Count one physical frame put on shard `s`'s link.
+    fn note_sent(&mut self, s: usize, words: usize) {
+        self.stats.frames_sent += 1;
+        self.stats.words_sent += words as u64;
+        self.stats.link_frames_sent[s] += 1;
+        if let Some(live) = &self.live {
+            LinkCounters::bump(&live.frames_sent, s);
         }
     }
 
@@ -363,30 +427,34 @@ impl Links {
             shard: s as u32,
             what: e.to_string(),
         };
-        match &mut self.faults[s] {
-            None => {
-                self.stats.frames_sent += 1;
-                self.stats.words_sent += logical.len() as u64;
-                self.transport.send(s, logical).map_err(closed)
-            }
+        let copies = match &mut self.faults[s] {
+            None => 1,
             Some(fs) => {
                 self.fault_scratch.clear();
                 self.fault_scratch.extend_from_slice(logical);
-                let copies = match fs.next(&mut self.fault_scratch) {
+                match fs.next(&mut self.fault_scratch) {
                     SendFate::Drop => 0,
                     SendFate::Send => 1,
                     SendFate::SendTwice => 2,
-                };
-                for _ in 0..copies {
-                    self.stats.frames_sent += 1;
-                    self.stats.words_sent += self.fault_scratch.len() as u64;
-                    self.transport
-                        .send(s, &self.fault_scratch)
-                        .map_err(closed)?;
                 }
-                Ok(())
             }
+        };
+        let faulted = self.faults[s].is_some();
+        for _ in 0..copies {
+            let words = if faulted {
+                self.fault_scratch.len()
+            } else {
+                logical.len()
+            };
+            self.note_sent(s, words);
+            let sent = if faulted {
+                self.transport.send(s, &self.fault_scratch)
+            } else {
+                self.transport.send(s, logical)
+            };
+            sent.map_err(closed)?;
         }
+        Ok(())
     }
 
     /// Drive the event loop until one outstanding request completes:
@@ -408,6 +476,10 @@ impl Links {
                             req.deadline = now + self.timeout;
                             req.attempts += 1;
                             self.stats.retries += 1;
+                            self.stats.link_retries[s] += 1;
+                            if let Some(live) = &self.live {
+                                LinkCounters::bump(&live.retries, s);
+                            }
                             let frame = std::mem::take(&mut self.outstanding[s][i].frame);
                             self.send_faulted(s, &frame)?;
                             self.outstanding[s][i].frame = frame;
@@ -451,12 +523,20 @@ impl Links {
             };
             self.stats.frames_received += 1;
             self.stats.words_received += self.rbuf.len() as u64;
+            self.stats.link_frames_received[s] += 1;
+            if let Some(live) = &self.live {
+                LinkCounters::bump(&live.frames_received, s);
+            }
             let (kind, seq, code) = match wire::decode(&self.rbuf) {
                 Ok(f) => (f.kind, f.seq, f.payload.first().copied().unwrap_or(0)),
                 Err(_) => {
                     // Corrupted in flight: the sender's retransmit (or our
                     // timeout) recovers.
                     self.stats.checksum_rejects += 1;
+                    self.stats.link_checksum_rejects[s] += 1;
+                    if let Some(live) = &self.live {
+                        LinkCounters::bump(&live.checksum_rejects, s);
+                    }
                     continue;
                 }
             };

@@ -50,8 +50,8 @@ pub mod wire;
 pub mod worker;
 
 pub use coordinator::{
-    run_sharded, run_sharded_with, ShardConfig, ShardError, ShardRunReport, ShardRunStats,
-    TransportKind,
+    run_sharded, run_sharded_with, LinkCounters, ShardConfig, ShardError, ShardRunReport,
+    ShardRunStats, TransportKind,
 };
 pub use fault::{FaultPlan, FaultState, SendFate};
 pub use transport::{InProcTransport, PipeTransport, ShmTransport, Transport, TransportError};

@@ -172,6 +172,224 @@ impl Histogram {
     }
 }
 
+/// Number of buckets in a [`LatencyHistogram`]: one per binary order of
+/// magnitude of nanoseconds. Bucket 63 is unreachable for real durations
+/// (2^63 ns ≈ 292 years) but keeps the index math branch-free.
+pub const LATENCY_BUCKETS: usize = 64;
+
+/// Bucket index for a duration: `ilog2(ns)`, with 0 and 1 ns sharing
+/// bucket 0. Bucket `k` (k ≥ 1) holds durations in `[2^k, 2^(k+1))`.
+#[inline]
+pub fn latency_bucket(ns: u64) -> usize {
+    if ns < 2 {
+        0
+    } else {
+        ns.ilog2() as usize
+    }
+}
+
+/// Lower bound (in ns) of a latency bucket — the representative value the
+/// percentile extractors report. By construction it is within one binary
+/// order of magnitude of every duration the bucket holds.
+#[inline]
+pub fn latency_bucket_floor(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << b
+    }
+}
+
+/// A fixed-bucket log2 latency histogram.
+///
+/// One bucket per binary order of magnitude of nanoseconds, plus exact
+/// count / sum / max side-channels. Storage is a fixed array: recording is
+/// a shift, a compare, and three adds — no allocation ever, so a warmed
+/// serve loop records into it with the same counting-allocator discipline
+/// as every arena. Histograms merge by bucket-wise addition
+/// ([`LatencyHistogram::merge`]), which is exactly equivalent to having
+/// recorded the union of the two observation sets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Bucket counts; index = [`latency_bucket`] of the duration.
+    pub buckets: [u64; LATENCY_BUCKETS],
+    /// Observations recorded.
+    pub count: u64,
+    /// Exact sum of all recorded durations (ns), saturating.
+    pub sum_ns: u64,
+    /// Exact maximum recorded duration (ns).
+    pub max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration in nanoseconds.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[latency_bucket(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        if ns > self.max_ns {
+            self.max_ns = ns;
+        }
+    }
+
+    /// Fold another histogram in. `a.merge(&b)` leaves `a` equal to a
+    /// histogram that recorded every observation of both.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Reset to empty (no allocation).
+    pub fn clear(&mut self) {
+        *self = LatencyHistogram::default();
+    }
+
+    /// Mean duration in ns (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the floor of the bucket holding
+    /// the rank-`ceil(q·count)` observation — within one log2 bucket of
+    /// the exact order statistic by construction. Returns 0 when empty;
+    /// `q >= 1.0` returns the exact maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max_ns;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return latency_bucket_floor(b);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median (see [`LatencyHistogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (see [`LatencyHistogram::quantile`]).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (see [`LatencyHistogram::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Non-empty buckets as a compact JSON array of `[index, count]` pairs
+    /// (dense 64-wide arrays would bloat every scrape).
+    pub fn to_json_buckets(&self) -> String {
+        let mut out = String::from("[");
+        let mut first = true;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("[{b},{c}]"));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Wait-free shared twin of [`LatencyHistogram`]: every cell is a relaxed
+/// `AtomicU64`, so the serve pipeline's reader / batcher / compute threads
+/// record concurrently without locks and a metrics scrape snapshots the
+/// whole thing without ever blocking the hot path.
+///
+/// `max_ns` uses `fetch_max`; everything else is `fetch_add`. A snapshot
+/// taken mid-record can be off by the in-flight observation — fine for
+/// monitoring, and the counters are monotone so scrapes never go backward.
+#[derive(Debug)]
+pub struct AtomicLatencyHistogram {
+    buckets: [core::sync::atomic::AtomicU64; LATENCY_BUCKETS],
+    count: core::sync::atomic::AtomicU64,
+    sum_ns: core::sync::atomic::AtomicU64,
+    max_ns: core::sync::atomic::AtomicU64,
+}
+
+impl Default for AtomicLatencyHistogram {
+    fn default() -> Self {
+        use core::sync::atomic::AtomicU64;
+        AtomicLatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicLatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration in nanoseconds (wait-free, relaxed ordering).
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        use core::sync::atomic::Ordering::Relaxed;
+        self.buckets[latency_bucket(ns)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum_ns.fetch_add(ns, Relaxed);
+        self.max_ns.fetch_max(ns, Relaxed);
+    }
+
+    /// Copy the current contents into a plain [`LatencyHistogram`].
+    pub fn snapshot(&self) -> LatencyHistogram {
+        use core::sync::atomic::Ordering::Relaxed;
+        let mut h = LatencyHistogram::default();
+        for (dst, src) in h.buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Relaxed);
+        }
+        h.count = self.count.load(Relaxed);
+        h.sum_ns = self.sum_ns.load(Relaxed);
+        h.max_ns = self.max_ns.load(Relaxed);
+        h
+    }
+}
+
 /// Per-cascade-stage matching statistics (ROADMAP: matching-size and
 /// augmenting-path counters for `MatchingArena` and the cascade stack).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -642,6 +860,21 @@ pub enum EventKind {
     ChannelLoad = 6,
     /// λ tally site observed; `value` = subtree load.
     LambdaSite = 7,
+    /// Serve span: request `tag` admitted; `level` = engine (0 = schedule,
+    /// 1 = online), `value` = message count.
+    ReqAdmit = 8,
+    /// Serve span: request `tag` coalesced into a batch; `level` = batch
+    /// width (requests sharing the pass), `value` = batch sequence number.
+    ReqBatch = 9,
+    /// Serve span: request `tag` rejected with `Busy`; `value` = in-flight
+    /// count at the rejection.
+    ReqBusy = 10,
+    /// Serve span: request `tag` responded; `level` = engine, `value` =
+    /// wall time in microseconds (saturating).
+    ReqDone = 11,
+    /// Serve span: idle connection `tag` reaped by the dead-client timer
+    /// (`value` unused, 0).
+    ConnReap = 12,
 }
 
 impl EventKind {
@@ -655,6 +888,11 @@ impl EventKind {
             5 => EventKind::MatchingRound,
             6 => EventKind::ChannelLoad,
             7 => EventKind::LambdaSite,
+            8 => EventKind::ReqAdmit,
+            9 => EventKind::ReqBatch,
+            10 => EventKind::ReqBusy,
+            11 => EventKind::ReqDone,
+            12 => EventKind::ConnReap,
             _ => return None,
         })
     }
@@ -670,6 +908,11 @@ impl EventKind {
             EventKind::MatchingRound => "matching_round",
             EventKind::ChannelLoad => "channel_load",
             EventKind::LambdaSite => "lambda_site",
+            EventKind::ReqAdmit => "req_admit",
+            EventKind::ReqBatch => "req_batch",
+            EventKind::ReqBusy => "req_busy",
+            EventKind::ReqDone => "req_done",
+            EventKind::ConnReap => "conn_reap",
         }
     }
 
@@ -683,6 +926,11 @@ impl EventKind {
             "matching_round" => EventKind::MatchingRound,
             "channel_load" => EventKind::ChannelLoad,
             "lambda_site" => EventKind::LambdaSite,
+            "req_admit" => EventKind::ReqAdmit,
+            "req_batch" => EventKind::ReqBatch,
+            "req_busy" => EventKind::ReqBusy,
+            "req_done" => EventKind::ReqDone,
+            "conn_reap" => EventKind::ConnReap,
             _ => return None,
         })
     }
@@ -967,6 +1215,11 @@ mod tests {
             EventKind::MatchingRound,
             EventKind::ChannelLoad,
             EventKind::LambdaSite,
+            EventKind::ReqAdmit,
+            EventKind::ReqBatch,
+            EventKind::ReqBusy,
+            EventKind::ReqDone,
+            EventKind::ConnReap,
         ] {
             for (tag, level, value) in [
                 (0, 0, 0),
@@ -1018,6 +1271,11 @@ mod tests {
         r.push(Event::new(EventKind::MatchingRound, 1, 0, 20));
         r.push(Event::new(EventKind::ChannelLoad, 0, 2, 64));
         r.push(Event::new(EventKind::LambdaSite, 0, 1, 999));
+        r.push(Event::new(EventKind::ReqAdmit, 7, 0, 64));
+        r.push(Event::new(EventKind::ReqBatch, 7, 4, 2));
+        r.push(Event::new(EventKind::ReqBusy, 8, 0, 65));
+        r.push(Event::new(EventKind::ReqDone, 7, 0, 1200));
+        r.push(Event::new(EventKind::ConnReap, 3, 0, 1));
         r.push(Event::new(EventKind::CycleEnd, 0, 0, 42));
         let text = r.export_jsonl();
         let parsed = parse_jsonl(&text).expect("round-trip parse");
@@ -1180,6 +1438,72 @@ mod tests {
         assert_eq!(s.buckets[1], 1);
         assert_eq!(s.buckets[7], 2);
         assert_eq!(s.render(), "2/1/0/0/0/0/0/2");
+    }
+
+    #[test]
+    fn latency_histogram_records_and_extracts() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        for ns in [0u64, 1, 2, 3, 100, 1000, 1_000_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.max_ns, 1_000_000);
+        assert_eq!(h.sum_ns, 1_001_106);
+        assert_eq!(h.buckets[0], 2); // 0 and 1
+        assert_eq!(h.buckets[1], 2); // 2 and 3
+        assert_eq!(h.buckets[6], 1); // 100
+        assert_eq!(h.buckets[9], 1); // 1000
+        assert_eq!(h.buckets[19], 1); // 1_000_000
+                                      // Rank-4 of 7 sorted values is 3 (bucket 1, floor 2).
+        assert_eq!(h.p50(), 2);
+        // q >= 1 returns the exact maximum, not a bucket floor.
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert_eq!(h.mean_ns(), 1_001_106 / 7);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.max_ns, 0);
+    }
+
+    #[test]
+    fn latency_histogram_merge_equals_union() {
+        let (mut a, mut b, mut u) = (
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        );
+        for ns in [5u64, 80, 3000] {
+            a.record(ns);
+            u.record(ns);
+        }
+        for ns in [1u64, 80, 1 << 40] {
+            b.record(ns);
+            u.record(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a, u);
+    }
+
+    #[test]
+    fn atomic_latency_histogram_snapshot_matches_plain() {
+        let atomic = AtomicLatencyHistogram::new();
+        let mut plain = LatencyHistogram::new();
+        for ns in [0u64, 7, 129, 129, 65_536] {
+            atomic.record(ns);
+            plain.record(ns);
+        }
+        assert_eq!(atomic.snapshot(), plain);
+    }
+
+    #[test]
+    fn latency_json_buckets_are_sparse() {
+        let mut h = LatencyHistogram::new();
+        h.record(1);
+        h.record(1024);
+        h.record(1024);
+        assert_eq!(h.to_json_buckets(), "[[0,1],[10,2]]");
+        assert_eq!(LatencyHistogram::new().to_json_buckets(), "[]");
     }
 
     #[test]

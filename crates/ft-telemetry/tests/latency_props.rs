@@ -1,0 +1,105 @@
+//! Property tests for the log2 latency histogram, run over seeded
+//! pseudo-random workloads (hand-rolled splitmix — the workspace is
+//! dependency-free, so no proptest):
+//!
+//! 1. **Percentile accuracy**: for every quantile checked, the histogram's
+//!    answer lands in the same log2 bucket as the exact order statistic of
+//!    the sorted observation vector — i.e. within one binary order of
+//!    magnitude, which is the advertised contract.
+//! 2. **Merge = union**: `merge(a, b)` is exactly the histogram that
+//!    recorded the concatenation of both observation streams, including
+//!    the exact count / sum / max side-channels.
+
+use ft_telemetry::{latency_bucket, LatencyHistogram};
+
+/// splitmix64 — deterministic, seedable, good enough spread for tests.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A duration with a log-uniform-ish spread: pick a magnitude in
+    /// `0..=shift_max` bits, then a value below it. Exercises every bucket
+    /// class a serve pipeline would ever touch (ns .. minutes).
+    fn duration(&mut self, shift_max: u32) -> u64 {
+        let shift = self.next() % (shift_max as u64 + 1);
+        self.next() & ((1u64 << shift) | ((1u64 << shift) - 1))
+    }
+}
+
+/// Exact order statistic matching `LatencyHistogram::quantile`'s rank rule:
+/// the `ceil(q·count)`-th smallest observation (1-based, clamped).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[test]
+fn quantiles_within_one_log2_bucket_of_exact() {
+    for seed in 1..=20u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x5851_F42D_4C95_7F2D));
+        let len = 1 + (rng.next() % 2000) as usize;
+        let mut vals = Vec::with_capacity(len);
+        let mut h = LatencyHistogram::new();
+        for _ in 0..len {
+            let ns = rng.duration(36);
+            vals.push(ns);
+            h.record(ns);
+        }
+        vals.sort_unstable();
+        for q in [0.0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999] {
+            let exact = exact_quantile(&vals, q);
+            let approx = h.quantile(q);
+            assert_eq!(
+                latency_bucket(approx),
+                latency_bucket(exact),
+                "seed {seed} q {q}: histogram said {approx}ns, exact is {exact}ns \
+                 — not within one log2 bucket"
+            );
+            assert!(
+                approx <= exact,
+                "bucket floor must lower-bound the exact value"
+            );
+        }
+        assert_eq!(
+            h.quantile(1.0),
+            *vals.last().unwrap(),
+            "q=1 is the exact max"
+        );
+        assert_eq!(h.max_ns, *vals.last().unwrap());
+        assert_eq!(h.count, len as u64);
+    }
+}
+
+#[test]
+fn merge_equals_recording_the_union() {
+    for seed in 1..=20u64 {
+        let mut rng = Rng(seed.wrapping_mul(0xA24B_AED4_963E_E407));
+        let (la, lb) = ((rng.next() % 500) as usize, (rng.next() % 500) as usize);
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut union = LatencyHistogram::new();
+        for _ in 0..la {
+            let ns = rng.duration(40);
+            a.record(ns);
+            union.record(ns);
+        }
+        for _ in 0..lb {
+            let ns = rng.duration(40);
+            b.record(ns);
+            union.record(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a, union, "seed {seed}: merge(a,b) != record(union)");
+        // Merging the empty histogram is the identity.
+        let before = a;
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a, before);
+    }
+}

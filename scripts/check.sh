@@ -35,7 +35,7 @@ echo "==> ftsim report / trace smoke (telemetry)"
 report_json="$(cargo run --release --quiet --bin ftsim -- \
   report --n 64 --w 16 --workload krel:2 --format json)"
 case "$report_json" in
-  '{"schema":"ftsim-report/v1"'*'}') ;;
+  '{"schema":"ftsim-report/v2"'*'"client_p50_us":'*'}') ;;
   *) echo "ftsim report --format json emitted an unexpected document" >&2
      exit 1 ;;
 esac
@@ -78,16 +78,17 @@ serve_fifo="$(mktemp -u).fifo"; mkfifo "$serve_fifo"
 serve_log="$(mktemp --suffix .serve)"
 trap 'rm -f "$smoke_json" "$serve_fifo" "$serve_log"' EXIT
 target/release/ftsim serve --n 64 --w 16 --slots 4 --idle-ms 500 \
-  --addr 127.0.0.1:0 < "$serve_fifo" > "$serve_log" &
+  --addr 127.0.0.1:0 --metrics-addr 127.0.0.1:0 < "$serve_fifo" > "$serve_log" &
 serve_pid=$!
 exec 9> "$serve_fifo"   # hold the write end open: server stays up
 for _ in $(seq 50); do
   grep -q '"event":"listening"' "$serve_log" && break
   sleep 0.1
 done
-serve_addr="$(sed -n 's/.*"addr":"\([^"]*\)".*/\1/p;q' "$serve_log")"
-if [ -z "$serve_addr" ]; then
-  echo "ftsim serve never printed its listening line" >&2
+serve_addr="$(sed -n 's/.*"addr":"\([^"]*\)".*"metrics_addr".*/\1/p;q' "$serve_log")"
+metrics_addr="$(sed -n 's/.*"metrics_addr":"\([^"]*\)".*/\1/p;q' "$serve_log")"
+if [ -z "$serve_addr" ] || [ -z "$metrics_addr" ]; then
+  echo "ftsim serve never printed its listening line (with metrics_addr)" >&2
   cat "$serve_log" >&2; exit 1
 fi
 # A dead client (handshake then silence) in the background while four
@@ -97,8 +98,30 @@ timeout 60 target/release/ftsim bench-client --addr "$serve_addr" \
 dead_pid=$!
 timeout 60 target/release/ftsim bench-client --addr "$serve_addr" \
   --n 64 --w 16 --clients 4 --requests 120 --messages 32 --verify 1
+# Scrape the live metrics endpoint between the two client waves and again
+# after the second: the served counter must be monotonic and the JSON page
+# must carry every documented block.
+scrape1="$(timeout 60 target/release/ftsim metrics-scrape --addr "$metrics_addr")"
 timeout 60 target/release/ftsim bench-client --addr "$serve_addr" \
   --n 64 --w 16 --clients 4 --requests 80 --engine online --verify 1
+scrape2="$(timeout 60 target/release/ftsim metrics-scrape --addr "$metrics_addr")"
+case "$scrape2" in
+  '{"schema":"ftsim-metrics/v1"'*'"requests":'*'"lambda_budget":'*'"batch_occupancy":'*'"stages":'*'"wall_by_width":'*'"spans":'*'}') ;;
+  *) echo "metrics-scrape JSON page is missing documented blocks" >&2
+     echo "$scrape2" >&2; exit 1 ;;
+esac
+served1="$(printf '%s' "$scrape1" | grep -o '"served":[0-9]*' | head -n1 | tr -dc 0-9)"
+served2="$(printf '%s' "$scrape2" | grep -o '"served":[0-9]*' | head -n1 | tr -dc 0-9)"
+if [ -z "$served1" ] || [ -z "$served2" ] || [ "$served2" -lt "$served1" ] \
+  || [ "$served1" -lt 120 ]; then
+  echo "metrics-scrape served counter is not monotonic (got $served1 -> $served2)" >&2
+  exit 1
+fi
+timeout 60 target/release/ftsim metrics-scrape --addr "$metrics_addr" --path /metrics \
+  | grep -q '^ftsim_serve_requests_total ' || {
+  echo "metrics-scrape /metrics page lacks the Prometheus served counter" >&2
+  exit 1
+}
 wait "$dead_pid"
 exec 9>&-               # close the fifo: graceful shutdown
 for _ in $(seq 50); do

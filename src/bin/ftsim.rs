@@ -13,13 +13,16 @@
 //!                  [--transport inproc|shm|pipe] [--drop 0.1] [--dup 0.1]
 //!                  [--corrupt 0.1] [--delay-ms 5] [--fault-seed 7]
 //!                  [--timeout-ms 5000] [--retries 4] [--format text|json]
+//!                  [--metrics-addr HOST:PORT]
 //! ftsim serve      --n 256 --w 64 [--addr 127.0.0.1:0] [--slots 8]
 //!                  [--window-us 200] [--inflight 64] [--idle-ms 5000]
-//!                  [--max-requests 0]
+//!                  [--max-requests 0] [--metrics 0|1]
+//!                  [--metrics-addr HOST:PORT]
 //! ftsim bench-client --addr HOST:PORT --n 256 --w 64 [--clients 4]
 //!                  [--requests 200] [--messages 64] [--seed 1985]
 //!                  [--engine schedule|online] [--mode closed|open|burst|dead]
 //!                  [--depth 8] [--hold-ms 500] [--verify 1]
+//! ftsim metrics-scrape --addr HOST:PORT [--path /metrics.json]
 //! ftsim universality --net mesh3d --side 4
 //! ftsim emulate    --net hypercube --dim 6
 //! ftsim layout     --n 1024 --w 128
@@ -61,6 +64,15 @@
 //! dead-client modes) and prints a `ftsim-serve/v1` bench summary;
 //! `--verify 1` recomputes every response solo in-process and fails on any
 //! mismatch.
+//!
+//! `serve --metrics-addr` binds a second listener exposing live telemetry
+//! without touching the service port: `/metrics` (Prometheus text),
+//! `/metrics.json` (a `ftsim-metrics/v1` document), and `/spans`
+//! (request-span JSONL replayable through [`parse_jsonl`]).
+//! `shard --metrics-addr` exposes live per-link frame / retry / checksum
+//! counters the same way while the coordinator runs. `metrics-scrape`
+//! fetches one page over plain HTTP/1.0 and prints it — the smoke path
+//! needs no curl.
 
 use fat_tree::concentrator::{Cascade, Concentrator, MatchingArena};
 use fat_tree::core::rng::SplitMix64;
@@ -110,6 +122,7 @@ fn main() {
         }
         "serve" => cmd_serve(&opts),
         "bench-client" => cmd_bench_client(&opts),
+        "metrics-scrape" => cmd_metrics_scrape(&opts),
         "universality" => cmd_universality(&opts),
         "emulate" => cmd_emulate(&opts),
         "layout" => cmd_layout(&opts),
@@ -124,7 +137,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: ftsim <tree|schedule|online|simulate|report|trace|shard|serve|bench-client|universality|emulate|layout> [--key value]…\n\
+        "usage: ftsim <tree|schedule|online|simulate|report|trace|shard|serve|bench-client|metrics-scrape|universality|emulate|layout> [--key value]…\n\
          see the module docs (src/bin/ftsim.rs) for options"
     );
 }
@@ -437,9 +450,50 @@ fn cmd_simulate(opts: &HashMap<String, String>) {
     println!("per-cycle deliveries: {:?}", run.delivered_per_cycle);
 }
 
+/// Spin up an in-process serve instance, drive it with a short closed-loop
+/// bench over loopback, and return its summary counters so the aggregated
+/// report covers the live streaming engine too. `None` when the leaf count
+/// can't be served (not a power of two) or loopback is unavailable.
+fn serve_probe(n: u32, w: u64) -> Option<(fat_tree::serve::ServerStats, u64, u64)> {
+    use fat_tree::serve::{bench, spawn, BenchConfig, BenchMode, Engine, ServerConfig};
+    if !n.is_power_of_two() || n < 2 {
+        return None;
+    }
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        n,
+        w,
+        slots: 4,
+        window_us: 200,
+        inflight: 64,
+        idle_ms: 5_000,
+        max_requests: 0,
+        metrics: true,
+        metrics_addr: None,
+    })
+    .ok()?;
+    let r = bench(&BenchConfig {
+        addr: server.addr().to_string(),
+        n,
+        w,
+        clients: 2,
+        requests: 32,
+        messages: 16,
+        seed: 1985,
+        engine: Engine::Schedule,
+        mode: BenchMode::Closed,
+        verify: false,
+    })
+    .ok();
+    let stats = server.stop();
+    let r = r?;
+    Some((stats, r.p50_us, r.p99_us))
+}
+
 /// Every engine, one workload, one machine-readable story: per-level λ
 /// breakdown from the Theorem 1 sweep, on-line wire contention, bit-serial
-/// channel load histograms, and cascade matching statistics.
+/// channel load histograms, cascade matching statistics, and a live serve
+/// probe.
 fn cmd_report(opts: &HashMap<String, String>) {
     let ft = tree_from(opts);
     let mut rng = rng_from(opts);
@@ -493,9 +547,29 @@ fn cmd_report(opts: &HashMap<String, String>) {
         let _ = cascade.route_traced(&mut matching, &active, &mut conc_rec);
     }
 
+    // Streaming service: a short loopback serve pass so the live engine's
+    // λ-feedback, batch occupancy, and reject counters appear alongside the
+    // batch engines.
+    let probe = serve_probe(ft.n(), ft.root_capacity());
+
     if as_json {
+        let serve_json = match &probe {
+            Some((s, p50, p99)) => format!(
+                "{{\"served\":{},\"busy_rejected\":{},\"reaped\":{},\"batches\":{},\
+                 \"batch_max\":{},\"batch_mean_x1000\":{},\"lambda_max\":{:.6},\
+                 \"client_p50_us\":{p50},\"client_p99_us\":{p99}}}",
+                s.served,
+                s.busy,
+                s.reaped,
+                s.batches,
+                s.batch_max,
+                s.batch_mean_x1000,
+                s.lambda_max
+            ),
+            None => "null".into(),
+        };
         println!(
-            "{{\"schema\":\"ftsim-report/v1\",\"workload\":\"{spec}\",\"n\":{},\"w\":{},\"messages\":{},\"lambda\":{lambda:.6},\"offline_cycles\":{},\"online_cycles\":{},\"sim_cycles\":{},\"cascade\":{{\"inputs\":{r},\"outputs\":{},\"guaranteed\":{k}}},\"schedule\":{},\"online\":{},\"simulate\":{},\"concentrator\":{},\"shard\":{}}}",
+            "{{\"schema\":\"ftsim-report/v2\",\"workload\":\"{spec}\",\"n\":{},\"w\":{},\"messages\":{},\"lambda\":{lambda:.6},\"offline_cycles\":{},\"online_cycles\":{},\"sim_cycles\":{},\"cascade\":{{\"inputs\":{r},\"outputs\":{},\"guaranteed\":{k}}},\"schedule\":{},\"online\":{},\"simulate\":{},\"concentrator\":{},\"shard\":{},\"serve\":{serve_json}}}",
             ft.n(),
             ft.root_capacity(),
             msgs.len(),
@@ -555,6 +629,18 @@ fn cmd_report(opts: &HashMap<String, String>) {
     if shard_ok {
         println!("sharded coordinator overlap ({shards} shards, inproc):");
         print!("{}", shard_rec.render_shard_cycles());
+    }
+    match &probe {
+        Some((s, p50, p99)) => println!(
+            "serve probe: {} requests in {} batches (max {}, mean {:.1}), λ_max {:.2}, {} busy, client p50/p99 {p50}/{p99} µs",
+            s.served,
+            s.batches,
+            s.batch_max,
+            s.batch_mean_x1000 as f64 / 1000.0,
+            s.lambda_max,
+            s.busy,
+        ),
+        None => println!("serve probe: skipped (leaf count not servable)"),
     }
 }
 
@@ -621,6 +707,71 @@ fn cmd_trace(opts: &HashMap<String, String>) {
     }
 }
 
+/// Live exposition adapter for `ftsim shard --metrics-addr`: renders the
+/// coordinator's per-link counters as the `shard_links` section of a
+/// `ftsim-metrics/v1` document plus a Prometheus text page. The serve-side
+/// sections don't apply to a one-shot shard run and are omitted.
+struct ShardScrape {
+    live: std::sync::Arc<fat_tree::shard::LinkCounters>,
+    done: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl fat_tree::serve::MetricsSource for ShardScrape {
+    fn stopped(&self) -> bool {
+        self.done.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn render(&self, path: &str) -> Option<(&'static str, String)> {
+        let read = |col: &[std::sync::atomic::AtomicU64]| -> Vec<u64> {
+            col.iter()
+                .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+                .collect()
+        };
+        let sent = read(&self.live.frames_sent);
+        let recv = read(&self.live.frames_received);
+        let retr = read(&self.live.retries);
+        let rej = read(&self.live.checksum_rejects);
+        match path {
+            "/metrics.json" => {
+                let links: Vec<String> = (0..sent.len())
+                    .map(|s| {
+                        format!(
+                            "{{\"shard\":{s},\"frames_sent\":{},\"frames_received\":{},\
+                             \"retries\":{},\"checksum_rejects\":{}}}",
+                            sent[s], recv[s], retr[s], rej[s]
+                        )
+                    })
+                    .collect();
+                Some((
+                    "application/json",
+                    format!(
+                        "{{\"schema\":\"ftsim-metrics/v1\",\"shard_links\":[{}]}}\n",
+                        links.join(",")
+                    ),
+                ))
+            }
+            "/metrics" => {
+                let mut out = String::new();
+                for (name, col) in [
+                    ("frames_sent", &sent),
+                    ("frames_received", &recv),
+                    ("retries", &retr),
+                    ("checksum_rejects", &rej),
+                ] {
+                    out.push_str(&format!("# TYPE ftsim_shard_link_{name}_total counter\n"));
+                    for (s, v) in col.iter().enumerate() {
+                        out.push_str(&format!(
+                            "ftsim_shard_link_{name}_total{{shard=\"{s}\"}} {v}\n"
+                        ));
+                    }
+                }
+                Some(("text/plain; version=0.0.4", out))
+            }
+            _ => None,
+        }
+    }
+}
+
 /// Run the workload through the distributed sharded engine and check the
 /// result against the single-arena engine.
 fn cmd_shard(opts: &HashMap<String, String>) {
@@ -667,6 +818,36 @@ fn cmd_shard(opts: &HashMap<String, String>) {
     cfg.timeout = std::time::Duration::from_millis(get_u32(opts, "timeout-ms", 5000) as u64);
     cfg.retries = get_u32(opts, "retries", 4);
 
+    // Optional live exposition: bind the scrape listener before the run so
+    // per-link counters are observable while the coordinator works, and
+    // announce it on stdout so a driver can scrape mid-run.
+    let mut scrape = None;
+    if let Some(maddr) = opts.get("metrics-addr") {
+        use std::sync::{atomic::AtomicBool, Arc};
+        let live = Arc::new(fat_tree::shard::LinkCounters::new(shards as usize));
+        cfg.live = Some(Arc::clone(&live));
+        let done = Arc::new(AtomicBool::new(false));
+        let src = Arc::new(ShardScrape {
+            live,
+            done: Arc::clone(&done),
+        });
+        match fat_tree::serve::spawn_metrics_listener(maddr, src) {
+            Ok((bound, handle)) => {
+                println!(
+                    "{{\"schema\":\"ftsim-shard/v1\",\"event\":\"metrics-listening\",\
+                     \"metrics_addr\":\"{bound}\"}}"
+                );
+                use std::io::Write;
+                let _ = std::io::stdout().flush();
+                scrape = Some((done, handle));
+            }
+            Err(e) => {
+                eprintln!("shard: cannot bind metrics listener {maddr}: {e}");
+                exit(1);
+            }
+        }
+    }
+
     let report = match run_sharded(&ft, &msgs, &cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -682,6 +863,10 @@ fn cmd_shard(opts: &HashMap<String, String>) {
             exit(1);
         }
     };
+    if let Some((done, handle)) = scrape {
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = handle.join();
+    }
     let single = run_to_completion(&ft, &msgs, &sim);
     let matches = report.run.delivered_per_cycle == single.delivered_per_cycle
         && report.run.delivery_order == single.delivery_order
@@ -697,7 +882,7 @@ fn cmd_shard(opts: &HashMap<String, String>) {
             .collect();
         let ns_list = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
         println!(
-            "{{\"schema\":\"ftsim-shard/v1\",\"workload\":\"{spec}\",\"n\":{},\"w\":{},\"messages\":{},\"shards\":{},\"transport\":\"{}\",\"cycles\":{},\"total_ticks\":{},\"delivered_per_cycle\":[{}],\"matches_single_arena\":{matches},\"stats\":{{\"frames_sent\":{},\"frames_received\":{},\"bytes_sent\":{},\"bytes_received\":{},\"retries\":{},\"checksum_rejects\":{},\"duplicates\":{},\"barrier_wait_ns\":{},\"top_ns\":{},\"merge_ns\":{},\"shard_up_ns\":[{}],\"shard_down_ns\":[{}]}}}}",
+            "{{\"schema\":\"ftsim-shard/v1\",\"workload\":\"{spec}\",\"n\":{},\"w\":{},\"messages\":{},\"shards\":{},\"transport\":\"{}\",\"cycles\":{},\"total_ticks\":{},\"delivered_per_cycle\":[{}],\"matches_single_arena\":{matches},\"stats\":{{\"frames_sent\":{},\"frames_received\":{},\"bytes_sent\":{},\"bytes_received\":{},\"retries\":{},\"checksum_rejects\":{},\"duplicates\":{},\"barrier_wait_ns\":{},\"top_ns\":{},\"merge_ns\":{},\"shard_up_ns\":[{}],\"shard_down_ns\":[{}],\"link_frames_sent\":[{}],\"link_frames_received\":[{}],\"link_retries\":[{}],\"link_checksum_rejects\":[{}]}}}}",
             ft.n(),
             ft.root_capacity(),
             msgs.len(),
@@ -718,6 +903,10 @@ fn cmd_shard(opts: &HashMap<String, String>) {
             st.merge_ns,
             ns_list(&st.shard_up_ns),
             ns_list(&st.shard_down_ns),
+            ns_list(&st.link_frames_sent),
+            ns_list(&st.link_frames_received),
+            ns_list(&st.link_retries),
+            ns_list(&st.link_checksum_rejects),
         );
     } else {
         println!(
@@ -777,6 +966,8 @@ fn cmd_serve(opts: &HashMap<String, String>) {
         inflight: get_u32(opts, "inflight", 64).max(1) as usize,
         idle_ms: get_u32(opts, "idle-ms", 5000) as u64,
         max_requests: get_u32(opts, "max-requests", 0) as u64,
+        metrics: get_u32(opts, "metrics", 1) != 0,
+        metrics_addr: opts.get("metrics-addr").cloned(),
     };
     if !cfg.n.is_power_of_two() || cfg.n < 2 {
         eprintln!("--n must be a power of two ≥ 2, got {}", cfg.n);
@@ -792,7 +983,8 @@ fn cmd_serve(opts: &HashMap<String, String>) {
     });
     println!(
         "{{\"schema\":\"ftsim-serve/v1\",\"event\":\"listening\",\"addr\":\"{}\",\"n\":{},\"w\":{},\
-         \"slots\":{},\"window_us\":{},\"inflight\":{},\"idle_ms\":{},\"max_requests\":{}}}",
+         \"slots\":{},\"window_us\":{},\"inflight\":{},\"idle_ms\":{},\"max_requests\":{},\
+         \"metrics_addr\":{}}}",
         server.addr(),
         cfg.n,
         cfg.w,
@@ -801,6 +993,10 @@ fn cmd_serve(opts: &HashMap<String, String>) {
         cfg.inflight,
         cfg.idle_ms,
         cfg.max_requests,
+        match server.metrics_addr() {
+            Some(a) => format!("\"{a}\""),
+            None => "null".into(),
+        },
     );
     let _ = std::io::stdout().flush();
     // stdin EOF is the shutdown signal: a driver holds the pipe open while
@@ -816,9 +1012,11 @@ fn cmd_serve(opts: &HashMap<String, String>) {
     let stats = server.stop();
     println!(
         "{{\"schema\":\"ftsim-serve/v1\",\"event\":\"summary\",\"served\":{},\"busy\":{},\
-         \"batches\":{},\"batch_max\":{},\"batch_mean_x1000\":{},\"lambda_max\":{:.6},\"conns\":{}}}",
+         \"reaped\":{},\"batches\":{},\"batch_max\":{},\"batch_mean_x1000\":{},\
+         \"lambda_max\":{:.6},\"conns\":{}}}",
         stats.served,
         stats.busy,
+        stats.reaped,
         stats.batches,
         stats.batch_max,
         stats.batch_mean_x1000,
@@ -878,9 +1076,13 @@ fn cmd_bench_client(opts: &HashMap<String, String>) {
         eprintln!("bench-client: {e}");
         exit(1);
     });
+    // `busy` stays for older consumers; `busy_rejects` is the canonical
+    // name (it matches the serve-side counter), `reaped` counts responses
+    // burst mode gave up on when the server closed the connection.
     println!(
         "{{\"schema\":\"ftsim-serve/v1\",\"event\":\"bench\",\"mode\":\"{mode_name}\",\
-         \"engine\":\"{}\",\"clients\":{},\"sent\":{},\"ok\":{},\"busy\":{},\"errors\":{},\
+         \"engine\":\"{}\",\"clients\":{},\"sent\":{},\"ok\":{},\"busy\":{},\
+         \"busy_rejects\":{},\"reaped\":{},\"errors\":{},\
          \"verified\":{},\"mismatches\":{},\"elapsed_ns\":{},\"requests_per_sec\":{:.1},\
          \"p50_us\":{},\"p99_us\":{},\"resp_fnv\":\"{:016x}\"}}",
         if engine == Engine::Schedule {
@@ -892,6 +1094,8 @@ fn cmd_bench_client(opts: &HashMap<String, String>) {
         r.sent,
         r.ok,
         r.busy,
+        r.busy,
+        r.reaped,
         r.errors,
         r.verified,
         r.mismatches,
@@ -907,6 +1111,37 @@ fn cmd_bench_client(opts: &HashMap<String, String>) {
             r.mismatches, r.errors
         );
         exit(1);
+    }
+}
+
+/// Fetch one page from a `--metrics-addr` listener and print it verbatim.
+/// Works against both `ftsim serve` and `ftsim shard` exposition
+/// endpoints; exits non-zero on connection failure or a non-200 status.
+fn cmd_metrics_scrape(opts: &HashMap<String, String>) {
+    use std::net::ToSocketAddrs;
+
+    let Some(addr) = opts.get("addr") else {
+        eprintln!("metrics-scrape: --addr HOST:PORT is required");
+        exit(2);
+    };
+    let path = opts
+        .get("path")
+        .cloned()
+        .unwrap_or_else(|| "/metrics.json".into());
+    let sock = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .unwrap_or_else(|| {
+            eprintln!("metrics-scrape: cannot resolve {addr}");
+            exit(2);
+        });
+    match fat_tree::serve::http_get(sock, &path) {
+        Ok(body) => print!("{body}"),
+        Err(e) => {
+            eprintln!("metrics-scrape: GET {path} from {addr}: {e}");
+            exit(1);
+        }
     }
 }
 

@@ -86,6 +86,7 @@ fn report_prints_every_section() {
     assert!(stdout.contains("load/cap eighths"), "{stdout}");
     assert!(stdout.contains("concentrator cascade"), "{stdout}");
     assert!(stdout.contains("stage 0"), "{stdout}");
+    assert!(stdout.contains("serve probe"), "{stdout}");
 }
 
 #[test]
@@ -105,13 +106,17 @@ fn report_json_carries_every_engine_block() {
     let line = stdout.trim();
     assert!(line.starts_with('{') && line.ends_with('}'), "{stdout}");
     for key in [
-        "\"schema\":\"ftsim-report/v1\"",
+        "\"schema\":\"ftsim-report/v2\"",
         "\"lambda\":",
         "\"schedule\":{",
         "\"online\":{",
         "\"simulate\":{",
         "\"concentrator\":{",
         "\"stages\":[",
+        // The v2 serve-probe block. Every engine's nested metrics JSON
+        // also contains a "serve" histogram object, so assert on a key
+        // unique to the probe.
+        "\"client_p50_us\":",
     ] {
         assert!(line.contains(key), "missing {key} in {line}");
     }
@@ -357,7 +362,7 @@ fn streamed_specs_feed_every_engine() {
         "json",
     ]);
     assert!(ok, "{stderr}");
-    assert!(stdout.contains("\"schema\":\"ftsim-report/v1\""));
+    assert!(stdout.contains("\"schema\":\"ftsim-report/v2\""));
     assert!(stdout.contains("\"workload\":\"incast:4\""));
     let (ok, stdout, _) = ftsim(&["online", "--n", "64", "--workload", "allreduce:4"]);
     assert!(ok);
@@ -374,6 +379,9 @@ struct ServeProc {
     child: std::process::Child,
     reader: std::io::BufReader<std::process::ChildStdout>,
     addr: String,
+    /// The full listening event line, for fields beyond `addr`
+    /// (e.g. `metrics_addr` when the server was spawned with one).
+    listen_line: String,
 }
 
 fn spawn_serve(extra: &[&str]) -> ServeProc {
@@ -400,6 +408,7 @@ fn spawn_serve(extra: &[&str]) -> ServeProc {
         child,
         reader,
         addr,
+        listen_line: line,
     }
 }
 
@@ -456,9 +465,12 @@ fn serve_listening_bench_and_summary_shapes() {
     assert_eq!(json_field(&stdout, "ok"), "40", "{stdout}");
     assert_eq!(json_field(&stdout, "verified"), "40", "{stdout}");
     assert_eq!(json_field(&stdout, "mismatches"), "0", "{stdout}");
+    assert_eq!(json_field(&stdout, "busy_rejects"), "0", "{stdout}");
+    assert_eq!(json_field(&stdout, "reaped"), "0", "{stdout}");
     assert_eq!(json_field(&stdout, "errors"), "0", "{stdout}");
     let summary = server.shutdown();
     assert_eq!(json_field(&summary, "served"), "40", "{summary}");
+    assert_eq!(json_field(&summary, "reaped"), "0", "{summary}");
     assert!(summary.contains("\"lambda_max\":"), "{summary}");
 }
 
@@ -521,6 +533,14 @@ fn serve_burst_gets_busy_rejects_not_errors() {
     let busy: u64 = json_field(&stdout, "busy").parse().unwrap();
     assert_eq!(ok_n + busy, 80, "{stdout}");
     assert!(busy > 0, "burst at inflight=2 must trip Busy: {stdout}");
+    // The explicit alias must agree with the legacy "busy" field, and the
+    // reap counter must be present (zero: no client went silent here).
+    assert_eq!(
+        json_field(&stdout, "busy_rejects"),
+        &busy.to_string(),
+        "{stdout}"
+    );
+    assert_eq!(json_field(&stdout, "reaped"), "0", "{stdout}");
     assert_eq!(json_field(&stdout, "errors"), "0", "{stdout}");
     let summary = server.shutdown();
     assert_eq!(
@@ -529,6 +549,133 @@ fn serve_burst_gets_busy_rejects_not_errors() {
         "{summary}"
     );
     assert_eq!(json_field(&summary, "busy"), &busy.to_string(), "{summary}");
+}
+
+#[test]
+fn serve_metrics_scrape_round_trip() {
+    let server = spawn_serve(&["--metrics-addr", "127.0.0.1:0"]);
+    let maddr = json_field(&server.listen_line, "metrics_addr")
+        .trim_matches('"')
+        .to_string();
+    assert!(maddr.contains(':'), "{}", server.listen_line);
+
+    let (ok, _, stderr) = ftsim(&[
+        "bench-client",
+        "--addr",
+        &server.addr,
+        "--n",
+        "64",
+        "--w",
+        "16",
+        "--clients",
+        "2",
+        "--requests",
+        "40",
+        "--messages",
+        "16",
+        "--verify",
+        "1",
+    ]);
+    assert!(ok, "{stderr}");
+
+    // JSON page: documented schema, and the served counter reflects the
+    // finished bench. A second scrape must never go backwards.
+    let scrape = |path: &str| {
+        let (ok, body, stderr) = ftsim(&["metrics-scrape", "--addr", &maddr, "--path", path]);
+        assert!(ok, "scrape {path}: {stderr}");
+        body
+    };
+    let page1 = scrape("/metrics.json");
+    assert!(
+        page1.starts_with("{\"schema\":\"ftsim-metrics/v1\""),
+        "{page1}"
+    );
+    let served1: u64 = json_field(&page1, "served").parse().unwrap();
+    assert_eq!(served1, 40, "{page1}");
+    let page2 = scrape("/metrics.json");
+    let served2: u64 = json_field(&page2, "served").parse().unwrap();
+    assert!(served2 >= served1, "served went backwards: {page2}");
+
+    // Prometheus page: the counter is there in exposition format.
+    let prom = scrape("/metrics");
+    assert!(
+        prom.contains("# TYPE ftsim_serve_requests_total counter"),
+        "{prom}"
+    );
+    assert!(prom.contains("\nftsim_serve_requests_total 40\n"), "{prom}");
+
+    // Span page: JSONL in the telemetry dialect, one Admit/Batch/Done
+    // triple per request (ring capacity is far above 3 * 40 events).
+    let spans = scrape("/spans");
+    let events = fat_tree::telemetry::parse_jsonl(&spans).expect("span JSONL must parse");
+    assert!(!events.is_empty(), "{spans}");
+
+    // Unknown paths 404, which metrics-scrape surfaces as a failure.
+    let (ok, _, stderr) = ftsim(&["metrics-scrape", "--addr", &maddr, "--path", "/nope"]);
+    assert!(!ok, "scraping an unknown path must fail");
+    assert!(stderr.contains("metrics-scrape:"), "{stderr}");
+
+    server.shutdown();
+}
+
+#[test]
+fn shard_metrics_listener_scrapes_mid_run() {
+    use std::io::BufRead;
+    // Per-frame delivery delay keeps the run alive long enough that the
+    // scrape below lands mid-flight; the listener line is printed before
+    // the run starts, so the endpoint is up by the time we read it.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ftsim"))
+        .args([
+            "shard",
+            "--n",
+            "64",
+            "--w",
+            "16",
+            "--workload",
+            "perm",
+            "--shards",
+            "2",
+            "--delay-ms",
+            "40",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--format",
+            "json",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn ftsim shard");
+    let stdout = child.stdout.take().expect("shard stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("metrics-listening line");
+    assert!(line.contains("\"event\":\"metrics-listening\""), "{line}");
+    let maddr = json_field(&line, "metrics_addr")
+        .trim_matches('"')
+        .to_string();
+
+    let (ok, page, stderr) = ftsim(&["metrics-scrape", "--addr", &maddr]);
+    assert!(ok, "mid-run scrape failed: {stderr}");
+    assert!(page.contains("\"schema\":\"ftsim-metrics/v1\""), "{page}");
+    assert!(page.contains("\"shard_links\":["), "{page}");
+    assert!(page.contains("\"frames_sent\":"), "{page}");
+
+    // The run itself must still complete and carry the per-link counter
+    // arrays in its stats document.
+    let mut stats = String::new();
+    reader.read_line(&mut stats).expect("stats line");
+    let status = child.wait().expect("shard exit status");
+    assert!(status.success(), "shard exited non-zero: {stats}");
+    for key in [
+        "\"matches_single_arena\":true",
+        "\"link_frames_sent\":[",
+        "\"link_frames_received\":[",
+        "\"link_retries\":[",
+        "\"link_checksum_rejects\":[",
+    ] {
+        assert!(stats.contains(key), "missing {key} in {stats}");
+    }
 }
 
 #[test]
