@@ -132,6 +132,64 @@ fn main() {
         }
     }
 
+    // The topology block: the generalized-topology comparison. All three
+    // constructor families must be present (the experiment exists to compare
+    // them), every row must deliver its whole permutation in ≥ 1 cycle, and
+    // the measured λ can never beat the permutation lower bound's floor of
+    // zero — beating the *bound itself* is legitimate (a random permutation
+    // is rarely the worst case), so only internal consistency is asserted.
+    let topology = req_arr(&doc, "topology");
+    if topology.is_empty() {
+        fail("\"topology\" is empty");
+    }
+    for (i, t) in topology.iter().enumerate() {
+        let ctx = format!("topology[{i}]");
+        req_str(t, "family", &ctx);
+        req_str(t, "spec", &ctx);
+        if req_num(t, "leaves", &ctx) < 2.0 {
+            fail(&format!("{ctx}: leaves < 2"));
+        }
+        if req_num(t, "padded_n", &ctx) < req_num(t, "leaves", &ctx) {
+            fail(&format!("{ctx}: padded_n < leaves"));
+        }
+        if req_num(t, "messages", &ctx) < 1.0 {
+            fail(&format!("{ctx}: messages < 1"));
+        }
+        if req_num(t, "lambda_bound", &ctx) <= 0.0 {
+            fail(&format!("{ctx}: lambda_bound <= 0"));
+        }
+        if req_num(t, "lambda", &ctx) < 0.0 {
+            fail(&format!("{ctx}: lambda < 0"));
+        }
+        let sim_cycles = req_num(t, "sim_cycles", &ctx);
+        if sim_cycles < 1.0 || req_num(t, "sched_cycles", &ctx) < 1.0 {
+            fail(&format!("{ctx}: cycle counts must be >= 1"));
+        }
+        let dpc = req_num(t, "delivered_per_cycle", &ctx);
+        if dpc <= 0.0 {
+            fail(&format!("{ctx}: delivered_per_cycle <= 0"));
+        }
+        if (dpc * sim_cycles - req_num(t, "messages", &ctx)).abs() > 0.5 * sim_cycles {
+            fail(&format!(
+                "{ctx}: delivered_per_cycle inconsistent with messages/sim_cycles"
+            ));
+        }
+        for key in ["switches", "cables", "wires", "bisection"] {
+            if req_num(t, key, &ctx) < 1.0 {
+                fail(&format!("{ctx}: {key} < 1"));
+            }
+        }
+        req_num(t, "volume_proxy", &ctx);
+    }
+    for family in ["universal", "kary", "twolayer"] {
+        if !topology
+            .iter()
+            .any(|t| t.get("family").and_then(Value::as_str) == Some(family))
+        {
+            fail(&format!("topology: missing \"{family}\" family row"));
+        }
+    }
+
     // The serve block: the coalescing service measurement. The process
     // baseline pair follows the large_n null rule — both null (binary not
     // built, gate skipped) or both positive numbers.
@@ -216,9 +274,10 @@ fn main() {
     req_arr(telemetry, "gate_runs");
 
     println!(
-        "bench_check: {path} ok ({} results, {} speedups, {} large_n rows)",
+        "bench_check: {path} ok ({} results, {} speedups, {} large_n rows, {} topology rows)",
         results.len(),
         req_arr(&doc, "speedups").len(),
-        large.len()
+        large.len(),
+        topology.len()
     );
 }

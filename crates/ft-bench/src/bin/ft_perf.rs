@@ -65,6 +65,7 @@ use ft_sim::{
     compile_cycle, run_stream_to_completion, run_to_completion, MetaWidth, SimArena, SimConfig,
 };
 use ft_telemetry::MetricsRecorder;
+use ft_topology::{parse_spec, Embedded};
 use ft_workloads::{
     hotspots, random_k_relation, random_permutation, AllReduceStream, AllToAllStream,
     PermutationStream, RelationStream,
@@ -160,6 +161,8 @@ struct Harness {
     shard_scaling: Vec<ScalingPoint>,
     /// Large-n streamed-vs-materialized rows (`large_n` block in the JSON).
     large_n: Vec<LargeRow>,
+    /// Generalized-topology comparison rows (`topology` block in the JSON).
+    topology: Vec<TopologyRow>,
     /// The streaming scheduler service measurement (`serve` block).
     serve: Option<ServeBench>,
     /// Metrics-on vs metrics-off serve throughput (`telemetry_overhead`
@@ -223,6 +226,28 @@ struct LargeRow {
     materialized_ns: Option<u128>,
     speedup: Option<f64>,
     cycles: usize,
+}
+
+/// One generalized-topology comparison row (`topology` block in the JSON):
+/// the same seeded random permutation scheduled and delivered through each
+/// family's binary embedding, with the λ bounds and the hardware cost model
+/// alongside — the numbers EXPERIMENTS.md compares across families.
+struct TopologyRow {
+    family: &'static str,
+    spec: String,
+    leaves: u32,
+    padded_n: u32,
+    messages: usize,
+    lambda_bound: f64,
+    lambda: f64,
+    sched_cycles: usize,
+    sim_cycles: usize,
+    delivered_per_cycle: f64,
+    switches: u64,
+    cables: u64,
+    wires: u64,
+    bisection: u64,
+    volume_proxy: f64,
 }
 
 /// One weak-scaling measurement (`shard_scaling` block in the JSON).
@@ -343,6 +368,7 @@ fn main() {
         shard_stats: None,
         shard_scaling: Vec::new(),
         large_n: Vec::new(),
+        topology: Vec::new(),
         serve: None,
         telemetry_overhead: None,
     };
@@ -727,6 +753,58 @@ fn main() {
         }
     }
 
+    // --- topology: the generalized-topology experiment. Four machines at a
+    // comparable scale (128 processors) — the paper's universal binary tree,
+    // a full-bisection 8-ary pod tree, the same pods oversubscribed 4:1, and
+    // a Solnushkin-style two-layer tree — each schedules and delivers the
+    // same seeded random permutation through its binary embedding. These are
+    // measured facts, not timings: λ bound vs measured, schedule length,
+    // delivered-per-cycle, and the hardware cost model (switches, cables,
+    // wire bisection) land in the `topology` block so EXPERIMENTS.md can
+    // compare families on identical traffic. Cheap enough to run on smoke
+    // passes too, so `bench_check` always sees the block.
+    if !shard_gate_only {
+        for spec in [
+            "universal:n=128,w=32",
+            "kary:k=8",
+            "kary:k=8,over=4",
+            "twolayer:r=16,p=8",
+        ] {
+            let topo = parse_spec(spec).expect("topology spec");
+            let emb = Embedded::new(topo);
+            let n = emb.leaves();
+            let mut rng = SplitMix64::seed_from_u64(0x70D0 ^ n as u64);
+            let msgs = random_permutation(n, &mut rng);
+            let (lambda, _) = emb.lambda(&msgs);
+            let mapped = emb.map_set(&msgs);
+            let (_, stats) = SchedArena::new(emb.tree()).schedule(emb.tree(), &mapped, 1);
+            let run = run_to_completion(emb.tree(), &mapped, &SimConfig::default());
+            assert_eq!(
+                run.delivery_order.len(),
+                msgs.len(),
+                "{spec}: embedded run lost messages"
+            );
+            let cost = emb.topology().cost();
+            h.topology.push(TopologyRow {
+                family: emb.topology().family().tag(),
+                spec: emb.topology().spec().to_string(),
+                leaves: n,
+                padded_n: emb.padded_n(),
+                messages: msgs.len(),
+                lambda_bound: emb.topology().lambda_perm_bound(),
+                lambda,
+                sched_cycles: stats.total_cycles,
+                sim_cycles: run.cycles,
+                delivered_per_cycle: msgs.len() as f64 / run.cycles.max(1) as f64,
+                switches: cost.switches,
+                cables: cost.cables,
+                wires: cost.wires,
+                bisection: cost.bisection,
+                volume_proxy: cost.volume_proxy,
+            });
+        }
+    }
+
     // --- serve: the streaming scheduler service duelled against the two
     // per-request deployments it replaces. A real server is spawned on the
     // loopback interface and driven by the bench client: one closed-loop
@@ -826,6 +904,26 @@ fn main() {
                 r.workload, r.n, vs, r.cycles
             );
         }
+    }
+
+    // The topology comparison: same permutation, four machines. No gate —
+    // these are facts about the hardware trade-off (the oversubscribed pod
+    // tree *should* schedule in more cycles; that is what it trades for
+    // 4x fewer core cables), printed so a regression in the embedding or
+    // the cost model is visible at a glance.
+    for t in &h.topology {
+        println!(
+            "topology {:<24} leaves={:<4} lambda<={:<6.2} lambda={:<6.2} sched_cycles={:<3} del/cyc={:<7.2} switches={:<4} cables={:<5} bisection={}",
+            t.spec,
+            t.leaves,
+            t.lambda_bound,
+            t.lambda,
+            t.sched_cycles,
+            t.delivered_per_cycle,
+            t.switches,
+            t.cables,
+            t.bisection
+        );
     }
 
     // The run_sharded gate is parallelism-aware. With two or more cores the
@@ -1271,6 +1369,28 @@ fn to_json(h: &Harness) -> String {
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"n\": {}, \"streamed_median_ns\": {}, \"materialized_median_ns\": {mat}, \"speedup\": {sp}, \"cycles\": {}}}{sep}\n",
             r.workload, r.n, r.streamed_ns, r.cycles
+        ));
+    }
+    out.push_str("  ],\n  \"topology\": [\n");
+    for (i, t) in h.topology.iter().enumerate() {
+        let sep = if i + 1 < h.topology.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"spec\": \"{}\", \"leaves\": {}, \"padded_n\": {}, \"messages\": {}, \"lambda_bound\": {:.6}, \"lambda\": {:.6}, \"sched_cycles\": {}, \"sim_cycles\": {}, \"delivered_per_cycle\": {:.3}, \"switches\": {}, \"cables\": {}, \"wires\": {}, \"bisection\": {}, \"volume_proxy\": {:.3}}}{sep}\n",
+            t.family,
+            t.spec,
+            t.leaves,
+            t.padded_n,
+            t.messages,
+            t.lambda_bound,
+            t.lambda,
+            t.sched_cycles,
+            t.sim_cycles,
+            t.delivered_per_cycle,
+            t.switches,
+            t.cables,
+            t.wires,
+            t.bisection,
+            t.volume_proxy,
         ));
     }
     out.push_str("  ],\n");

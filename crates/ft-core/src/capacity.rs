@@ -69,12 +69,33 @@ impl CapacityProfile {
             }
             CapacityProfile::FullDoubling => (0..levels).map(|k| (n as u64) >> k).collect(),
             CapacityProfile::PerLevel(v) => {
+                assert!(
+                    !v.is_empty(),
+                    "PerLevel capacities must not be empty: need lg n + 1 = {levels} entries"
+                );
                 assert_eq!(
                     v.len(),
                     levels as usize,
                     "PerLevel capacities must have length lg n + 1"
                 );
                 assert!(v.iter().all(|&c| c >= 1), "capacities must be >= 1");
+                // Every fat-tree of the paper is at least as fat near the root
+                // as near the leaves; a table that thins toward the root is
+                // almost always a transposed or truncated input. Topology
+                // embeddings that legitimately need switch-internal levels
+                // wider than the channel above them (see the ft-topology
+                // crate) construct trees via `FatTree::from_level_caps`.
+                for (k, pair) in v.windows(2).enumerate() {
+                    assert!(
+                        pair[0] >= pair[1],
+                        "PerLevel capacities must be non-increasing from root to leaves: \
+                         cap[{k}] = {} < cap[{}] = {} decreases toward the root \
+                         (use FatTree::from_level_caps for switch-internal tables)",
+                        pair[0],
+                        k + 1,
+                        pair[1]
+                    );
+                }
                 v.clone()
             }
             CapacityProfile::UniversalWithDegree {
@@ -223,7 +244,39 @@ mod tests {
     #[test]
     #[should_panic(expected = "length")]
     fn per_level_wrong_length() {
-        let _ = CapacityProfile::PerLevel(vec![1, 2]).capacities(8);
+        let _ = CapacityProfile::PerLevel(vec![2, 1]).capacities(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn per_level_empty() {
+        let _ = CapacityProfile::PerLevel(vec![]).capacities(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn per_level_oversized() {
+        let _ = CapacityProfile::PerLevel(vec![16, 8, 4, 2, 1]).capacities(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacities must be >= 1")]
+    fn per_level_zero_capacity() {
+        let _ = CapacityProfile::PerLevel(vec![4, 2, 1, 0]).capacities(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "decreases toward the root")]
+    fn per_level_non_monotone() {
+        // cap[1] = 2 < cap[2] = 6: the table thins toward the root.
+        let _ = CapacityProfile::PerLevel(vec![8, 2, 6, 1]).capacities(8);
+    }
+
+    #[test]
+    fn per_level_plateaus_are_fine() {
+        // Non-increasing allows equal neighbours (constant-capacity trees).
+        let caps = vec![4, 4, 1, 1];
+        assert_eq!(CapacityProfile::PerLevel(caps.clone()).capacities(8), caps);
     }
 
     #[test]

@@ -75,6 +75,19 @@ impl LoadMap {
         ft.channels().map(|c| self.get(c)).max().unwrap_or(0)
     }
 
+    /// Maximum load over the channels of each level: `out[k]` is the
+    /// heaviest level-`k` channel, either direction. Generalized topologies
+    /// (the `ft-topology` crate) use this to restrict λ to the binary
+    /// levels that correspond to real channels of the source topology.
+    pub fn max_per_level(&self, ft: &FatTree) -> Vec<u64> {
+        let mut out = vec![0u64; ft.height() as usize + 1];
+        for c in ft.channels() {
+            let k = c.level() as usize;
+            out[k] = out[k].max(self.get(c));
+        }
+        out
+    }
+
     /// The channel (first in enumeration order) achieving the maximum
     /// load-to-capacity ratio, with that ratio; `None` if all loads are 0.
     pub fn argmax_factor(&self, ft: &FatTree) -> Option<(ChannelId, f64)> {

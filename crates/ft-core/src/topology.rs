@@ -125,6 +125,40 @@ impl FatTree {
         }
     }
 
+    /// Build a fat-tree directly from an explicit per-level capacity table,
+    /// bypassing [`CapacityProfile::PerLevel`]'s monotonicity validation.
+    ///
+    /// Embeddings of non-binary topologies (the `ft-topology` crate) expand
+    /// each high-radix switch into a cluster of binary levels; the
+    /// switch-internal levels model crossbar fan-in and may legitimately
+    /// carry *more* wires than the real uplink channel above them — exactly
+    /// the shape the user-facing `PerLevel` profile rejects as a likely
+    /// transposed table. Only the length and positivity are validated here;
+    /// the resulting tree reports a `PerLevel` profile.
+    ///
+    /// # Panics
+    /// If `n` is not a power of two ≥ 2, `caps.len() != lg n + 1`, or any
+    /// capacity is zero.
+    pub fn from_level_caps(n: u32, caps: Vec<u64>) -> Self {
+        assert!(
+            n >= 2 && is_pow2(n as u64),
+            "n must be a power of two >= 2, got {n}"
+        );
+        let height = (n as u64).trailing_zeros();
+        assert_eq!(
+            caps.len() as u32,
+            height + 1,
+            "need lg n + 1 per-level capacities"
+        );
+        assert!(caps.iter().all(|&c| c >= 1), "capacities must be >= 1");
+        FatTree {
+            n,
+            height,
+            profile: CapacityProfile::PerLevel(caps.clone()),
+            caps,
+        }
+    }
+
     /// Convenience: a *universal fat-tree* on `n` processors with root
     /// capacity `w` (§IV). Requires `n^(2/3) ≤ w ≤ n` up to rounding.
     ///

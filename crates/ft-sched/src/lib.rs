@@ -35,6 +35,7 @@ pub mod online;
 pub mod reference;
 pub mod schedule;
 pub mod split;
+pub mod topology;
 
 pub use arena::SchedArena;
 pub use bigcap::schedule_bigcap;
@@ -44,3 +45,6 @@ pub use offline::{schedule_theorem1, schedule_theorem1_threads, Theorem1Stats};
 pub use online::{route_online, OnlineArena, OnlineConfig, OnlineResult};
 pub use schedule::Schedule;
 pub use split::{split_even, CrossDirection};
+pub use topology::{
+    route_topology, route_topology_stream, schedule_topology, schedule_topology_stream,
+};

@@ -397,7 +397,11 @@ impl ServeCompute {
         assert!(w <= u32::MAX as u64, "root capacity must fit 32 bits");
         let solo = FatTree::universal(n, w);
         let g = slots.trailing_zeros();
-        let mut caps = vec![w; g as usize];
+        // Graft-level channels never carry intra-request traffic (every
+        // request's LCAs stay inside its slot subtree), so their width only
+        // has to keep the table monotone: the solo root capacity, not the
+        // raw `w`, which the universal law clamps to min(n, w).
+        let mut caps = vec![solo.cap_at_level(0); g as usize];
         caps.extend((0..=solo.height()).map(|k| solo.cap_at_level(k)));
         let graft = FatTree::new(n * slots, CapacityProfile::PerLevel(caps));
         ServeCompute {

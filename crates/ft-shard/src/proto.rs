@@ -148,9 +148,15 @@ impl InitMsg {
         })
     }
 
-    /// Rebuild the tree this INIT describes.
+    /// Rebuild the tree this INIT describes. Per-level tables go through
+    /// `from_level_caps`: the sender already validated its profile, and
+    /// topology embeddings ship switch-internal tables that the stricter
+    /// user-facing `PerLevel` constructor would reject.
     pub fn tree(&self) -> FatTree {
-        FatTree::new(self.n, self.profile.clone())
+        match &self.profile {
+            CapacityProfile::PerLevel(caps) => FatTree::from_level_caps(self.n, caps.clone()),
+            p => FatTree::new(self.n, p.clone()),
+        }
     }
 }
 

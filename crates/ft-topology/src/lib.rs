@@ -1,0 +1,39 @@
+//! # ft-topology — generalized fat-tree topologies
+//!
+//! The rest of the workspace models the paper's shape exactly: a complete
+//! *binary* tree whose per-level channel capacities follow one of the §IV
+//! laws. Real machines are fatter and shallower — data-center fat-trees
+//! are three-stage folded-Clos networks built from k-port switches
+//! (SNIPPETS.md snippet 1, à la Al-Fares), and Solnushkin's two-layer
+//! designs (arXiv:1301.6179) parameterize everything by switch radix.
+//!
+//! This crate describes such trees abstractly and *embeds* them back into
+//! the binary engines:
+//!
+//! * [`Topology`] — per-level arity plus a per-level [`LevelCaps`]
+//!   `{up, down, parallel}` channel table (the shape of SimGrid's
+//!   fat-tree descriptions, SNIPPETS.md snippet 3), with constructors for
+//!   the paper's binary profiles ([`Topology::binary`] reproduces
+//!   [`CapacityProfile`](ft_core::CapacityProfile) exactly), k-ary
+//!   pod-based three-stage trees ([`Topology::kary_pods`]) and two-layer
+//!   radix-parameterized trees ([`Topology::two_layer`]);
+//! * λ lower bounds ([`Topology::lambda_perm_bound`]) and a hardware
+//!   cost/volume model ([`CostModel`]): switches, cables, wires,
+//!   bisection width, and the §IV packing-law volume proxy;
+//! * [`Embedded`] — the binary embedding every engine runs on: each
+//!   radix-`a` switch expands into `⌈lg a⌉` binary levels whose
+//!   switch-internal channels are sized to aggregate crossbar fan-in
+//!   (never binding), real channels keep their real capacities, and
+//!   leaves map by mixed-radix digits (the identity when every arity is
+//!   a power of two — in particular the binary family runs byte-identical
+//!   to today's trees);
+//! * [`parse_spec`] — the `--topology` spec-string grammar shared by
+//!   every `ftsim` subcommand.
+
+pub mod embed;
+pub mod model;
+pub mod spec;
+
+pub use embed::{Embedded, MappedStream};
+pub use model::{CostModel, Family, LevelCaps, Topology};
+pub use spec::{parse_spec, SpecError};

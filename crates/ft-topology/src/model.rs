@@ -1,0 +1,523 @@
+//! The [`Topology`] abstraction: per-level arity, per-level channel
+//! capacities, λ lower bounds, and the hardware cost model.
+
+use ft_core::CapacityProfile;
+
+/// The channel bundle above every node of one topology level, in the
+/// `{up, down, parallel}` shape of SimGrid-style fat-tree descriptions:
+/// `up` cables toward the parent, `down` cables back, `parallel` wires per
+/// cable. The effective capacity the engines see in each direction is
+/// `cables · parallel`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LevelCaps {
+    /// Uplink cables per node (child → parent).
+    pub up: u64,
+    /// Downlink cables per node (parent → child).
+    pub down: u64,
+    /// Parallel wires per cable.
+    pub parallel: u64,
+}
+
+impl LevelCaps {
+    /// A symmetric bundle: `c` cables each way, one wire per cable.
+    pub fn symmetric(c: u64) -> Self {
+        LevelCaps {
+            up: c,
+            down: c,
+            parallel: 1,
+        }
+    }
+
+    /// Effective upward capacity in wires (= simultaneous messages).
+    #[inline]
+    pub fn cap_up(&self) -> u64 {
+        self.up * self.parallel
+    }
+
+    /// Effective downward capacity in wires.
+    #[inline]
+    pub fn cap_down(&self) -> u64 {
+        self.down * self.parallel
+    }
+}
+
+/// Which constructor family a [`Topology`] came from (drives the
+/// family-specific switch counting and shows up in specs and JSON).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// The paper's complete binary tree under any [`CapacityProfile`].
+    Universal,
+    /// k-ary pod-based three-stage data-center tree (k³/4 servers).
+    Kary,
+    /// Two-layer (leaf + spine) tree parameterized by switch radix.
+    TwoLayer,
+    /// Arbitrary arity/capacity tables (tests, experiments).
+    Custom,
+}
+
+impl Family {
+    /// Stable lowercase tag used in specs and JSON documents.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Family::Universal => "universal",
+            Family::Kary => "kary",
+            Family::TwoLayer => "twolayer",
+            Family::Custom => "custom",
+        }
+    }
+}
+
+/// Hardware cost of a topology: everything §IV prices a network by.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Physical switch count (family-aware: a tree node of the abstract
+    /// topology may stand for a whole switch layer, e.g. the k-ary core).
+    pub switches: u64,
+    /// Cable count, external interface included.
+    pub cables: u64,
+    /// Wire count: cables × parallel lanes × both directions.
+    pub wires: u64,
+    /// Bisection width in wires: the capacity crossing the best balanced
+    /// cut through the root.
+    pub bisection: u64,
+    /// §IV packing-law volume proxy `bisection^(3/2)`: a network whose
+    /// midsection passes `s` wires needs cross-section area Ω(s), hence
+    /// volume Ω(s^(3/2)) in 3-space.
+    pub volume_proxy: f64,
+}
+
+/// A generalized fat-tree: `depth` levels of switching nodes, where every
+/// depth-`t` node has `arities[t]` children, plus processors below the
+/// deepest level. `chan[t]` describes the channel bundle *above* each
+/// depth-`t` node; `chan[0]` is the external interface above the root and
+/// `chan[depth]` the processor links.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    family: Family,
+    spec: String,
+    arities: Vec<u32>,
+    chan: Vec<LevelCaps>,
+    switches: u64,
+    binary_profile: Option<CapacityProfile>,
+}
+
+impl Topology {
+    /// The paper's complete binary tree on `n = 2^L` processors under
+    /// `profile`. The channel table reproduces
+    /// [`CapacityProfile::capacities`] exactly, and the binary embedding of
+    /// this family *is* `FatTree::new(n, profile)` — byte-identical to
+    /// every engine's current input.
+    pub fn binary(n: u32, profile: CapacityProfile) -> Self {
+        let caps = profile.capacities(n);
+        let height = caps.len() - 1;
+        let spec = match &profile {
+            CapacityProfile::Universal { root_capacity } => {
+                format!("universal:n={n},w={root_capacity}")
+            }
+            CapacityProfile::Constant(c) => format!("constant:n={n},c={c}"),
+            CapacityProfile::FullDoubling => format!("doubling:n={n}"),
+            CapacityProfile::PerLevel(v) => format!(
+                "perlevel:n={n},caps={}",
+                v.iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join("/")
+            ),
+            CapacityProfile::UniversalWithDegree {
+                root_capacity,
+                degree,
+            } => format!("degree:n={n},w={root_capacity},d={degree}"),
+        };
+        Topology {
+            family: Family::Universal,
+            spec,
+            arities: vec![2; height],
+            chan: caps.iter().map(|&c| LevelCaps::symmetric(c)).collect(),
+            switches: n as u64 - 1,
+            binary_profile: Some(profile),
+        }
+    }
+
+    /// The k-ary pod-based three-stage data-center fat-tree of SNIPPETS.md
+    /// snippet 1 (à la Al-Fares): `k` pods of `k/2` edge and `k/2`
+    /// aggregation switches, `k/2` servers per edge switch — `k³/4`
+    /// servers on `5k²/4` k-port switches. Abstracted as a depth-3 tree:
+    /// the root stands for the `k²/4` core switches, each depth-1 node for
+    /// one pod's aggregation layer, each depth-2 node for one edge switch.
+    ///
+    /// `over ≥ 1` oversubscribes both upper channel bundles by that factor
+    /// (`over = 1` is full bisection, where the whole tree collapses to
+    /// the `FullDoubling` capacity law).
+    ///
+    /// # Panics
+    /// If `k` is odd or `< 4`, or `over == 0`.
+    pub fn kary_pods(k: u32, over: u64) -> Self {
+        assert!(
+            k >= 4 && k.is_multiple_of(2),
+            "k must be even and >= 4, got {k}"
+        );
+        assert!(over >= 1, "oversubscription factor must be >= 1");
+        let half = k as u64 / 2;
+        // Per edge switch: k/2 uplinks (one per aggregation switch).
+        let edge_up = (half / over).max(1);
+        // Per pod: (k/2)·(k/2) aggregation uplinks into the core.
+        let pod_up = (half * half / over).max(1);
+        let arities = vec![k, k / 2, k / 2];
+        let chan = vec![
+            // External interface: total core fan-in, never binding.
+            LevelCaps::symmetric(k as u64 * pod_up),
+            LevelCaps::symmetric(pod_up),
+            LevelCaps::symmetric(edge_up),
+            LevelCaps::symmetric(1),
+        ];
+        Topology {
+            family: Family::Kary,
+            spec: format!("kary:k={k},over={over}"),
+            arities,
+            chan,
+            // k²/2 edge + k²/2 aggregation + k²/4 core.
+            switches: (k as u64 * k as u64) + (half * half),
+            binary_profile: None,
+        }
+    }
+
+    /// A Solnushkin-style two-layer fat-tree from radix-`r` switches
+    /// (arXiv:1301.6179): `m = ⌈n/p⌉` leaf switches with `p` server ports
+    /// and `u = r − p` uplinks each, one uplink per spine switch, so `u`
+    /// spine switches of `m ≤ r` used ports. Serves `m·p ≥ n` servers
+    /// (rounded up to fill the last leaf switch).
+    ///
+    /// # Panics
+    /// If `p` is not in `1..r`, `n < 2`, or `⌈n/p⌉` exceeds the radix
+    /// (the design does not fit two layers).
+    pub fn two_layer(r: u32, p: u32, n: u64) -> Self {
+        assert!(p >= 1 && p < r, "need 1 <= p < r, got p={p}, r={r}");
+        assert!(n >= 2, "need at least 2 servers, got {n}");
+        let m = n.div_ceil(p as u64);
+        assert!(
+            m >= 2 && m <= r as u64,
+            "two-layer design needs 2 <= ceil(n/p) <= r leaf switches, \
+             got {m} with radix {r} (raise p or r, or lower n)"
+        );
+        let u = (r - p) as u64;
+        let chan = vec![
+            LevelCaps::symmetric(m * u), // external: total spine fan-in
+            LevelCaps::symmetric(u),
+            LevelCaps::symmetric(1),
+        ];
+        Topology {
+            family: Family::TwoLayer,
+            spec: format!("twolayer:r={r},p={p},n={}", m * p as u64),
+            arities: vec![m as u32, p],
+            chan,
+            switches: m + u,
+            binary_profile: None,
+        }
+    }
+
+    /// An arbitrary topology from explicit arity and channel tables
+    /// (`chan.len() == arities.len() + 1`; `chan[0]` is the external
+    /// interface). Used by tests and experiments.
+    ///
+    /// # Panics
+    /// If any arity is `< 2`, any capacity is zero, or the table lengths
+    /// disagree.
+    pub fn custom(arities: Vec<u32>, chan: Vec<LevelCaps>) -> Self {
+        assert!(!arities.is_empty(), "need at least one level of switches");
+        assert!(
+            arities.iter().all(|&a| a >= 2),
+            "every arity must be >= 2, got {arities:?}"
+        );
+        assert_eq!(
+            chan.len(),
+            arities.len() + 1,
+            "need one channel bundle per level plus the external interface"
+        );
+        assert!(
+            chan.iter()
+                .all(|c| c.up >= 1 && c.down >= 1 && c.parallel >= 1),
+            "channel bundles must have at least one cable and wire each way"
+        );
+        let switches: u64 = (0..arities.len())
+            .map(|t| arities[..t].iter().map(|&a| a as u64).product::<u64>())
+            .sum();
+        Topology {
+            family: Family::Custom,
+            spec: format!(
+                "custom:arities={}",
+                arities
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join("/")
+            ),
+            arities,
+            chan,
+            switches,
+            binary_profile: None,
+        }
+    }
+
+    /// Constructor family.
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// Canonical spec string ([`crate::parse_spec`] round-trips it).
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// Number of switching levels (processors live at depth `depth()`).
+    pub fn depth(&self) -> u32 {
+        self.arities.len() as u32
+    }
+
+    /// Children per depth-`t` node, `t < depth()`.
+    pub fn arities(&self) -> &[u32] {
+        &self.arities
+    }
+
+    /// Channel bundles; `chan()[t]` sits above each depth-`t` node.
+    pub fn chan(&self) -> &[LevelCaps] {
+        &self.chan
+    }
+
+    /// Effective upward capacity of the channel above depth-`t` nodes.
+    pub fn cap_up(&self, t: u32) -> u64 {
+        self.chan[t as usize].cap_up()
+    }
+
+    /// Number of processors: the product of all arities.
+    pub fn leaves(&self) -> u64 {
+        self.arities.iter().map(|&a| a as u64).product()
+    }
+
+    /// Nodes at depth `t` (`t = depth()` counts processors).
+    pub fn nodes_at(&self, t: u32) -> u64 {
+        self.arities[..t as usize]
+            .iter()
+            .map(|&a| a as u64)
+            .product()
+    }
+
+    /// Leaves under one depth-`t` subtree.
+    pub fn subtree_leaves(&self, t: u32) -> u64 {
+        self.arities[t as usize..]
+            .iter()
+            .map(|&a| a as u64)
+            .product()
+    }
+
+    /// Processors per pod: the leaves under one deepest-level switch (the
+    /// locality domain pod-aware collectives should fill).
+    pub fn pod(&self) -> u32 {
+        self.arities[self.arities.len() - 1]
+    }
+
+    /// The binary capacity profile, when this topology *is* the paper's
+    /// binary tree (the embedding then reproduces it exactly).
+    pub fn binary_profile(&self) -> Option<&CapacityProfile> {
+        self.binary_profile.as_ref()
+    }
+
+    /// The permutation-routing lower bound on λ: some permutation forces
+    /// `min(s, N−s)` messages across a channel of capacity `cap_up(t)`
+    /// (pair every leaf of a depth-`t` subtree with an outside partner),
+    /// so `max_t min(s_t, N−s_t)/cap_up(t)` cycles are unavoidable for
+    /// the worst single-permutation workload. Channel `t = 0` is the
+    /// external interface and carries no processor-to-processor traffic.
+    pub fn lambda_perm_bound(&self) -> f64 {
+        let n = self.leaves();
+        (1..=self.depth())
+            .map(|t| {
+                let s = self.subtree_leaves(t);
+                s.min(n - s) as f64 / self.cap_up(t) as f64
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// The hardware cost model (see [`CostModel`] field docs).
+    pub fn cost(&self) -> CostModel {
+        let mut cables = 0u64;
+        let mut wires = 0u64;
+        for t in 0..=self.depth() {
+            let nodes = self.nodes_at(t);
+            let c = self.chan[t as usize];
+            cables += nodes * c.up;
+            wires += nodes * (c.up + c.down) * c.parallel;
+        }
+        let bisection = (self.arities[0] as u64 / 2) * self.cap_up(1);
+        CostModel {
+            switches: self.switches,
+            cables,
+            wires,
+            bisection,
+            volume_proxy: (bisection as f64).powf(1.5),
+        }
+    }
+
+    /// Render the per-level structure as an ASCII table (the generalized
+    /// `FatTree::render_levels`).
+    pub fn render_levels(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "level  nodes  arity  up  down  parallel  cap/chan");
+        for t in 0..=self.depth() {
+            let c = self.chan[t as usize];
+            let (nodes, arity, kind) = if t == self.depth() {
+                (self.leaves(), String::from("-"), "proc")
+            } else {
+                (
+                    self.nodes_at(t),
+                    self.arities[t as usize].to_string(),
+                    "switch",
+                )
+            };
+            let _ = writeln!(
+                s,
+                "{t:>5}  {nodes:>5}  {arity:>5}  {:>2}  {:>4}  {:>8}  {:>8}  ({kind})",
+                c.up,
+                c.down,
+                c.parallel,
+                c.cap_up(),
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_reproduces_profile_capacities() {
+        for profile in [
+            CapacityProfile::Universal { root_capacity: 16 },
+            CapacityProfile::Constant(3),
+            CapacityProfile::FullDoubling,
+            CapacityProfile::PerLevel(vec![9, 7, 4, 4, 2, 1, 1]),
+            CapacityProfile::UniversalWithDegree {
+                root_capacity: 32,
+                degree: 2,
+            },
+        ] {
+            let n = 64u32;
+            let t = Topology::binary(n, profile.clone());
+            let caps = profile.capacities(n);
+            assert_eq!(t.depth(), 6);
+            assert_eq!(t.leaves(), 64);
+            assert_eq!(t.arities(), &[2; 6]);
+            for (k, &c) in caps.iter().enumerate() {
+                assert_eq!(t.cap_up(k as u32), c, "level {k} of {profile:?}");
+            }
+            assert_eq!(t.binary_profile(), Some(&profile));
+        }
+    }
+
+    #[test]
+    fn kary_pods_shape() {
+        let t = Topology::kary_pods(8, 1);
+        assert_eq!(t.leaves(), 128); // k³/4
+        assert_eq!(t.arities(), &[8, 4, 4]);
+        assert_eq!(t.pod(), 4);
+        assert_eq!(t.cap_up(3), 1);
+        assert_eq!(t.cap_up(2), 4); // k/2 uplinks per edge switch
+        assert_eq!(t.cap_up(1), 16); // k²/4 uplinks per pod
+        assert_eq!(t.cost().switches, 80); // 5k²/4
+        assert_eq!(t.cost().bisection, 64); // full bisection: n/2
+    }
+
+    #[test]
+    fn kary_oversubscription_thins_upper_channels() {
+        let t = Topology::kary_pods(8, 4);
+        assert_eq!(t.cap_up(2), 1);
+        assert_eq!(t.cap_up(1), 4);
+        assert_eq!(t.cost().bisection, 16);
+        assert!(t.lambda_perm_bound() > Topology::kary_pods(8, 1).lambda_perm_bound());
+    }
+
+    #[test]
+    fn kary_full_bisection_lambda_is_one() {
+        // over = 1 is a rearrangeable Clos: every channel fits any
+        // permutation in one pass, so the permutation bound is exactly 1.
+        for k in [4u32, 8, 16] {
+            let t = Topology::kary_pods(k, 1);
+            assert_eq!(t.lambda_perm_bound(), 1.0, "k={k}");
+        }
+    }
+
+    #[test]
+    fn two_layer_shape() {
+        let t = Topology::two_layer(8, 4, 32);
+        assert_eq!(t.leaves(), 32); // m = 8 leaf switches × p = 4
+        assert_eq!(t.arities(), &[8, 4]);
+        assert_eq!(t.cap_up(1), 4); // u = r − p uplinks
+        assert_eq!(t.cost().switches, 8 + 4); // m leaves + u spines
+        assert_eq!(t.cost().bisection, 16); // (m/2)·u = full bisection here
+        assert_eq!(t.lambda_perm_bound(), 1.0);
+    }
+
+    #[test]
+    fn two_layer_rounds_servers_up() {
+        let t = Topology::two_layer(48, 24, 1000);
+        assert_eq!(t.arities()[0], 42); // ceil(1000/24) leaf switches
+        assert_eq!(t.leaves(), 42 * 24);
+        assert_eq!(t.cap_up(1), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf switches")]
+    fn two_layer_rejects_oversize() {
+        // ceil(1000/4) = 250 leaf switches > radix 8.
+        let _ = Topology::two_layer(8, 4, 1000);
+    }
+
+    #[test]
+    fn binary_wire_count_matches_fat_tree() {
+        use ft_core::FatTree;
+        let n = 64u32;
+        let profile = CapacityProfile::Universal { root_capacity: 16 };
+        let t = Topology::binary(n, profile.clone());
+        let ft = FatTree::new(n, profile);
+        assert_eq!(t.cost().wires, ft.total_wires());
+        assert_eq!(t.cost().switches, n as u64 - 1);
+        assert_eq!(t.cost().bisection, ft.cap_at_level(1));
+    }
+
+    #[test]
+    fn lambda_bound_binary_universal() {
+        // w = n^(2/3): the root channel is the bottleneck, λ ≥ (n/2)/cap(1).
+        let n = 64u32;
+        let t = Topology::binary(n, CapacityProfile::Universal { root_capacity: 16 });
+        let cap1 = t.cap_up(1);
+        assert_eq!(t.lambda_perm_bound(), 32.0 / cap1 as f64);
+    }
+
+    #[test]
+    fn custom_counts_switch_nodes() {
+        let t = Topology::custom(
+            vec![3, 4],
+            vec![
+                LevelCaps::symmetric(8),
+                LevelCaps::symmetric(2),
+                LevelCaps::symmetric(1),
+            ],
+        );
+        assert_eq!(t.leaves(), 12);
+        assert_eq!(t.cost().switches, 1 + 3);
+        assert_eq!(t.pod(), 4);
+        assert_eq!(t.nodes_at(2), 12);
+        assert_eq!(t.subtree_leaves(1), 4);
+    }
+
+    #[test]
+    fn render_levels_mentions_every_level() {
+        let s = Topology::kary_pods(4, 1).render_levels();
+        for t in 0..=3 {
+            assert!(s.contains(&format!("{t:>5}  ")), "missing level {t}: {s}");
+        }
+        assert!(s.contains("(proc)"));
+    }
+}

@@ -27,6 +27,7 @@ pub mod parallel_algos;
 pub mod perms;
 pub mod relations;
 pub mod stream;
+pub mod topology;
 
 pub use adversarial::cross_root;
 pub use fem::FemGrid;
@@ -41,3 +42,4 @@ pub use stream::{
     AllReduceStream, AllToAllStream, BurstyStream, HotspotStream, IncastStream, PermutationStream,
     RelationStream,
 };
+pub use topology::{PodAllReduce, PodAllToAll};

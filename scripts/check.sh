@@ -142,6 +142,36 @@ grep -q '"served":200' "$serve_log" || {
   cat "$serve_log" >&2; exit 1
 }
 
+echo "==> ftsim topology smoke (generalized topologies, all three families)"
+# Every constructor family must describe itself as a well-formed
+# ftsim-topology/v1 document, and the engines must accept the same specs.
+for spec in "universal:n=64,w=16" "kary:k=8,over=4" "twolayer:r=16,p=8"; do
+  topo_json="$(cargo run --release --quiet --bin ftsim -- \
+    topology --topology "$spec" --format json)"
+  case "$topo_json" in
+    '{"schema":"ftsim-topology/v1"'*'"levels":['*'"lambda_perm_bound":'*'"cost":{"switches":'*'}') ;;
+    *) echo "ftsim topology --topology $spec emitted an unexpected document" >&2
+       echo "$topo_json" >&2
+       exit 1 ;;
+  esac
+done
+# A mixed-radix machine end to end through the simulator: 104 processors
+# (13 pods of 8) embedded on a padded binary tree.
+topo_run="$(cargo run --release --quiet --bin ftsim -- \
+  simulate --topology twolayer:r=16,p=8,n=100 --workload perm --format json)"
+case "$topo_run" in
+  '{"schema":"ftsim-simulate/v1","topology":"twolayer:r=16,p=8,n=104"'*'"messages":104'*'}') ;;
+  *) echo "ftsim simulate --topology emitted an unexpected document" >&2
+     echo "$topo_run" >&2
+     exit 1 ;;
+esac
+# Malformed specs must be rejected with a usage error, not a panic.
+if cargo run --release --quiet --bin ftsim -- \
+  topology --topology kary:k=7 >/dev/null 2>&1; then
+  echo "ftsim topology accepted a malformed spec (kary:k=7)" >&2
+  exit 1
+fi
+
 echo "==> ftsim shard fault smoke (dead link must fail structured, not hang)"
 # A 100% drop plan can never complete: the run must terminate within the
 # timeout wrapper with a structured error and a non-zero exit, never hang.

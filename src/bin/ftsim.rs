@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ftsim tree       --n 256 --w 64                 capacity profile (Fig. 1)
+//! ftsim topology   --topology kary:k=8,over=4 [--format json]
 //! ftsim schedule   --n 256 --w 64 --workload perm [--scheduler thm1] [--seed 1]
 //! ftsim online     --n 256 --w 64 --workload krel:8
 //! ftsim simulate   --n 256 --w 64 --workload complement [--switch partial] [--arb random]
@@ -31,6 +32,25 @@
 //! Workloads: `perm`, `complement`, `reversal`, `transpose`, `shuffle`,
 //! `fem`, `hotspot`, `krel:K`, `local:P` (P = far-probability percent),
 //! `exchange`.
+//!
+//! Every tree-running subcommand (`tree`, `topology`, `schedule`, `online`,
+//! `simulate`, `report`, `trace`, `shard`, `layout`) accepts
+//! `--topology SPEC` instead of `--n`/`--w` and then runs on the
+//! generalized topology through its binary embedding
+//! ([`fat_tree::topology::Embedded`]). Specs (`fat_tree::topology::parse_spec`):
+//! `universal:n=256,w=64`, `constant:n=64,c=4`, `doubling:n=64`,
+//! `perlevel:n=16,caps=8/4/2/1/1`, `degree:n=64,w=32,d=2`,
+//! `kary:k=8,over=4` (Al-Fares-style k-ary pods, k³/4 servers), and
+//! `twolayer:r=48,p=24,n=1000` (Solnushkin two-layer, radix-r switches).
+//! Workloads are generated over the topology's *real* processor ids and
+//! mapped onto the padded tree; the collectives (`allreduce`/`alltoall`)
+//! default their pod size to the topology's own pods and work for
+//! non-power-of-two pods. `serve` and `bench-client` accept binary
+//! `universal:` specs (the streaming engine serves that family);
+//! `universality`, `emulate`, and `metrics-scrape` reject the flag.
+//! `ftsim topology` prints the per-level structure, the permutation-λ
+//! lower bound, and the hardware cost model (switches, cables, wires,
+//! bisection, volume proxy) as text or one `ftsim-topology/v1` JSON line.
 //!
 //! Streamed workloads (lazy generators, never materialized by `simulate`):
 //! `streamperm`, `bursty[:BURST]` (2n messages in bursts of BURST, default
@@ -90,7 +110,8 @@ use fat_tree::telemetry::parse_jsonl;
 use fat_tree::universal::Emulation;
 use fat_tree::workloads;
 use fat_tree::workloads::{
-    AllReduceStream, AllToAllStream, BurstyStream, IncastStream, PermutationStream,
+    AllReduceStream, AllToAllStream, BurstyStream, IncastStream, PermutationStream, PodAllReduce,
+    PodAllToAll,
 };
 use std::collections::HashMap;
 use std::process::exit;
@@ -104,6 +125,7 @@ fn main() {
     let opts = parse_opts(args.collect());
     match cmd.as_str() {
         "tree" => cmd_tree(&opts),
+        "topology" => cmd_topology(&opts),
         "schedule" => cmd_schedule(&opts),
         "online" => cmd_online(&opts),
         "simulate" => cmd_simulate(&opts),
@@ -137,7 +159,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: ftsim <tree|schedule|online|simulate|report|trace|shard|serve|bench-client|metrics-scrape|universality|emulate|layout> [--key value]…\n\
+        "usage: ftsim <tree|topology|schedule|online|simulate|report|trace|shard|serve|bench-client|metrics-scrape|universality|emulate|layout> [--key value]…\n\
          see the module docs (src/bin/ftsim.rs) for options"
     );
 }
@@ -177,13 +199,149 @@ fn get_u32(opts: &HashMap<String, String>, key: &str, default: u32) -> u32 {
     })
 }
 
-fn tree_from(opts: &HashMap<String, String>) -> FatTree {
-    let n = get_u32(opts, "n", 256);
-    let w = get_u32(opts, "w", (n / 4).max(1)) as u64;
-    FatTree::universal(n, w)
+/// The machine a tree-running subcommand works on: a plain binary fat-tree
+/// from `--n`/`--w`, or any generalized topology from `--topology SPEC`,
+/// compiled onto its padded binary embedding. Workloads are generated over
+/// the *real* processor ids (`0..leaves()`) and mapped onto the padded
+/// tree; for the binary family the map is the identity and every engine
+/// input is byte-identical to the pre-topology code path.
+struct Machine {
+    emb: Embedded,
+    /// `--topology` was given (drives spec-aware output and pod defaults).
+    explicit: bool,
 }
 
-fn workload_from(opts: &HashMap<String, String>, n: u32, rng: &mut SplitMix64) -> MessageSet {
+impl Machine {
+    fn tree(&self) -> &FatTree {
+        self.emb.tree()
+    }
+
+    fn leaves(&self) -> u32 {
+        self.emb.leaves()
+    }
+
+    fn spec(&self) -> &str {
+        self.emb.topology().spec()
+    }
+
+    /// Map a real-id workload onto the padded tree (a clone when binary).
+    fn map(&self, msgs: &MessageSet) -> MessageSet {
+        self.emb.map_set(msgs)
+    }
+
+    /// Extra JSON field announcing the topology, or empty on the classic
+    /// `--n`/`--w` path so existing consumers see unchanged documents.
+    fn json_field(&self) -> String {
+        if self.explicit {
+            format!("\"topology\":\"{}\",", self.spec())
+        } else {
+            String::new()
+        }
+    }
+
+    /// One text line announcing the embedding, printed only under
+    /// `--topology` so classic output stays byte-identical.
+    fn announce(&self) {
+        if self.explicit {
+            println!(
+                "topology {}: {} processors embedded on a padded binary tree of n = {}",
+                self.spec(),
+                self.leaves(),
+                self.emb.padded_n()
+            );
+        }
+    }
+}
+
+/// The one shared `--topology` resolver: every subcommand gets its machine
+/// here, so bad specs die identically everywhere (exit 2).
+fn machine_from(opts: &HashMap<String, String>) -> Machine {
+    match opts.get("topology") {
+        Some(spec) => {
+            if opts.contains_key("n") || opts.contains_key("w") {
+                eprintln!("--topology replaces --n/--w: sizes live in the spec ({spec})");
+                exit(2);
+            }
+            Machine {
+                emb: Embedded::new(parse_topology(spec)),
+                explicit: true,
+            }
+        }
+        None => {
+            let n = get_u32(opts, "n", 256);
+            let w = get_u32(opts, "w", (n / 4).max(1)) as u64;
+            Machine {
+                emb: Embedded::new(Topology::binary(
+                    n,
+                    CapacityProfile::Universal { root_capacity: w },
+                )),
+                explicit: false,
+            }
+        }
+    }
+}
+
+fn parse_topology(spec: &str) -> Topology {
+    parse_spec(spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2)
+    })
+}
+
+/// Subcommands with no fat-tree to run on refuse the flag loudly instead
+/// of silently ignoring it.
+fn reject_topology(opts: &HashMap<String, String>, cmd: &str, why: &str) {
+    if opts.contains_key("topology") {
+        eprintln!("--topology does not apply to `{cmd}`: {why}");
+        exit(2);
+    }
+}
+
+/// `serve`/`bench-client` speak the binary universal engine's `(n, w)`
+/// wire protocol: accept `--topology universal:n=..,w=..` for uniformity
+/// and reject other families with a clear error.
+fn universal_nw_from(opts: &HashMap<String, String>, cmd: &str) -> (u32, u64) {
+    if let Some(spec) = opts.get("topology") {
+        if opts.contains_key("n") || opts.contains_key("w") {
+            eprintln!("--topology replaces --n/--w: sizes live in the spec ({spec})");
+            exit(2);
+        }
+        let topo = parse_topology(spec);
+        match topo.binary_profile() {
+            Some(CapacityProfile::Universal { root_capacity }) => {
+                (topo.leaves() as u32, *root_capacity)
+            }
+            _ => {
+                eprintln!(
+                    "`{cmd}` serves the binary universal family only; --topology {spec} \
+                     is not servable (use universal:n=..,w=..)"
+                );
+                exit(2);
+            }
+        }
+    } else {
+        let n = get_u32(opts, "n", 256);
+        (n, get_u32(opts, "w", (n / 4).max(1)) as u64)
+    }
+}
+
+/// Generalized topologies can have any processor count; the bit-twiddling
+/// workloads only speak powers of two.
+fn require_pow2_procs(n: u32, what: &str, m: &Machine) {
+    if !n.is_power_of_two() {
+        eprintln!(
+            "workload {what} needs a power-of-two processor count, but topology {} has {n} \
+             (modular workloads: perm, complement, krel:K, local:P, hotspot, allreduce, alltoall)",
+            m.spec()
+        );
+        exit(2);
+    }
+}
+
+/// Generate the workload over the machine's *real* processor ids. Callers
+/// map the result through [`Machine::map`] before handing it to an engine.
+fn workload_from(opts: &HashMap<String, String>, m: &Machine, rng: &mut SplitMix64) -> MessageSet {
+    let n = m.leaves();
     let spec = opts.get("workload").map(String::as_str).unwrap_or("perm");
     match spec.split_once(':') {
         Some(("krel", k)) => workloads::balanced_k_relation(n, k.parse().unwrap_or(4), rng),
@@ -194,13 +352,25 @@ fn workload_from(opts: &HashMap<String, String>, n: u32, rng: &mut SplitMix64) -
         _ => match spec {
             "perm" => workloads::random_permutation(n, rng),
             "complement" => workloads::bit_complement(n),
-            "reversal" => workloads::bit_reversal(n),
+            "reversal" => {
+                require_pow2_procs(n, "reversal", m);
+                workloads::bit_reversal(n)
+            }
             "transpose" => workloads::transpose(n),
-            "shuffle" => workloads::perfect_shuffle(n),
-            "fem" => workloads::FemGrid::with_n(n).sweep_messages_morton(),
+            "shuffle" => {
+                require_pow2_procs(n, "shuffle", m);
+                workloads::perfect_shuffle(n)
+            }
+            "fem" => {
+                require_pow2_procs(n, "fem", m);
+                workloads::FemGrid::with_n(n).sweep_messages_morton()
+            }
             "hotspot" => workloads::all_to_one(n, 0),
-            "exchange" => workloads::total_exchange(n),
-            other => match stream_from(opts, n) {
+            "exchange" => {
+                require_pow2_procs(n, "exchange", m);
+                workloads::total_exchange(n)
+            }
+            other => match stream_from(opts, m) {
                 Some(stream) => stream.collect_set(),
                 None => {
                     eprintln!("unknown workload: {other}");
@@ -211,10 +381,14 @@ fn workload_from(opts: &HashMap<String, String>, n: u32, rng: &mut SplitMix64) -
     }
 }
 
-/// Parse a streamed-workload spec into a lazy generator, or `None` when the
-/// spec names one of the materialized workloads above. Specs take an
-/// optional `:ARG` suffix (burst size, fan-in, pod size).
-fn stream_from(opts: &HashMap<String, String>, n: u32) -> Option<Box<dyn MessageStream>> {
+/// Parse a streamed-workload spec into a lazy generator over *real*
+/// processor ids, or `None` when the spec names one of the materialized
+/// workloads above. Specs take an optional `:ARG` suffix (burst size,
+/// fan-in, pod size). Under `--topology` the collectives default their pod
+/// size to the topology's own pods and run in modular arithmetic, so
+/// non-power-of-two pod sizes work.
+fn stream_from(opts: &HashMap<String, String>, m: &Machine) -> Option<Box<dyn MessageStream>> {
+    let n = m.leaves();
     let spec = opts.get("workload").map(String::as_str).unwrap_or("perm");
     let seed = get_u32(opts, "seed", 1985) as u64;
     let (name, arg) = match spec.split_once(':') {
@@ -230,30 +404,53 @@ fn stream_from(opts: &HashMap<String, String>, n: u32) -> Option<Box<dyn Message
         })
     };
     Some(match name {
-        "streamperm" => Box::new(PermutationStream::new(n, seed)),
+        "streamperm" => {
+            require_pow2_procs(n, "streamperm", m);
+            Box::new(PermutationStream::new(n, seed))
+        }
         "bursty" => {
+            require_pow2_procs(n, "bursty", m);
             let burst = arg_or(8).max(1);
             Box::new(BurstyStream::new(n, 2 * n as usize, burst, seed))
         }
         "incast" => {
+            require_pow2_procs(n, "incast", m);
             let fanin = arg_or((n / 2).max(1)).clamp(1, n.saturating_sub(1).max(1));
             Box::new(IncastStream::new(n, fanin, 4, seed))
         }
         "allreduce" => {
-            let pod = arg_or((n / 4).max(2)).clamp(2, n);
-            if !pod.is_power_of_two() {
-                eprintln!("workload allreduce: pod size {pod} is not a power of two");
-                exit(2);
+            if m.explicit {
+                let pod = arg_or(m.emb.topology().pod()).clamp(2, n);
+                if !n.is_multiple_of(pod) {
+                    eprintln!("workload allreduce: pod size {pod} does not divide {n} processors");
+                    exit(2);
+                }
+                Box::new(PodAllReduce::new(n, pod, seed))
+            } else {
+                let pod = arg_or((n / 4).max(2)).clamp(2, n);
+                if !pod.is_power_of_two() {
+                    eprintln!("workload allreduce: pod size {pod} is not a power of two");
+                    exit(2);
+                }
+                Box::new(AllReduceStream::new(n, pod, seed))
             }
-            Box::new(AllReduceStream::new(n, pod, seed))
         }
         "alltoall" => {
-            let pod = arg_or((n / 8).max(2)).clamp(2, n);
-            if !pod.is_power_of_two() {
-                eprintln!("workload alltoall: pod size {pod} is not a power of two");
-                exit(2);
+            if m.explicit {
+                let pod = arg_or(m.emb.topology().pod()).clamp(2, n);
+                if !n.is_multiple_of(pod) {
+                    eprintln!("workload alltoall: pod size {pod} does not divide {n} processors");
+                    exit(2);
+                }
+                Box::new(PodAllToAll::new(n, pod))
+            } else {
+                let pod = arg_or((n / 8).max(2)).clamp(2, n);
+                if !pod.is_power_of_two() {
+                    eprintln!("workload alltoall: pod size {pod} is not a power of two");
+                    exit(2);
+                }
+                Box::new(AllToAllStream::new(n, pod))
             }
-            Box::new(AllToAllStream::new(n, pod))
         }
         _ => return None,
     })
@@ -285,7 +482,22 @@ fn rng_from(opts: &HashMap<String, String>) -> SplitMix64 {
 }
 
 fn cmd_tree(opts: &HashMap<String, String>) {
-    let ft = tree_from(opts);
+    let m = machine_from(opts);
+    if m.explicit {
+        let topo = m.emb.topology();
+        println!(
+            "topology {}: {} processors, {} switches, embedded on a padded binary tree of n = {}",
+            topo.spec(),
+            topo.leaves(),
+            topo.cost().switches,
+            m.emb.padded_n()
+        );
+        print!("{}", topo.render_levels());
+        println!("embedded binary capacity profile:");
+        println!("{}", m.tree().render_levels());
+        return;
+    }
+    let ft = m.tree();
     println!(
         "universal fat-tree: n = {}, root capacity w = {}, total wires {}",
         ft.n(),
@@ -295,10 +507,86 @@ fn cmd_tree(opts: &HashMap<String, String>) {
     println!("{}", ft.render_levels());
 }
 
+/// Describe a topology: per-level structure, the permutation-λ lower
+/// bound, and the §IV hardware cost model — text or one
+/// `ftsim-topology/v1` JSON line.
+fn cmd_topology(opts: &HashMap<String, String>) {
+    let m = machine_from(opts);
+    let topo = m.emb.topology();
+    let bound = topo.lambda_perm_bound();
+    let cost = topo.cost();
+    if opts.get("format").map(String::as_str) == Some("json") {
+        let levels: Vec<String> = (0..=topo.depth())
+            .map(|t| {
+                let c = topo.chan()[t as usize];
+                let (nodes, arity) = if t == topo.depth() {
+                    (topo.leaves(), 0) // arity 0 marks the processor level
+                } else {
+                    (topo.nodes_at(t), topo.arities()[t as usize] as u64)
+                };
+                format!(
+                    "{{\"level\":{t},\"nodes\":{nodes},\"arity\":{arity},\"up\":{},\
+                     \"down\":{},\"parallel\":{},\"cap\":{}}}",
+                    c.up,
+                    c.down,
+                    c.parallel,
+                    c.cap_up(),
+                )
+            })
+            .collect();
+        println!(
+            "{{\"schema\":\"ftsim-topology/v1\",\"family\":\"{}\",\"spec\":\"{}\",\
+             \"leaves\":{},\"pod\":{},\"padded_n\":{},\"binary_height\":{},\"identity_map\":{},\
+             \"levels\":[{}],\"lambda_perm_bound\":{bound:.6},\
+             \"cost\":{{\"switches\":{},\"cables\":{},\"wires\":{},\"bisection\":{},\
+             \"volume_proxy\":{:.3}}}}}",
+            topo.family().tag(),
+            topo.spec(),
+            topo.leaves(),
+            topo.pod(),
+            m.emb.padded_n(),
+            m.tree().height(),
+            m.emb.is_identity(),
+            levels.join(","),
+            cost.switches,
+            cost.cables,
+            cost.wires,
+            cost.bisection,
+            cost.volume_proxy,
+        );
+        return;
+    }
+    println!(
+        "topology {} ({} family): {} processors in pods of {}, {} switches",
+        topo.spec(),
+        topo.family().tag(),
+        topo.leaves(),
+        topo.pod(),
+        cost.switches
+    );
+    print!("{}", topo.render_levels());
+    println!(
+        "permutation λ lower bound {bound:.2}; embedding: padded binary n = {} (height {}, {})",
+        m.emb.padded_n(),
+        m.tree().height(),
+        if m.emb.is_identity() {
+            "identity leaf map"
+        } else {
+            "mixed-radix leaf map"
+        },
+    );
+    println!(
+        "cost: {} cables, {} wires, bisection {} → volume proxy {:.0}",
+        cost.cables, cost.wires, cost.bisection, cost.volume_proxy
+    );
+}
+
 fn cmd_schedule(opts: &HashMap<String, String>) {
-    let ft = tree_from(opts);
+    let m = machine_from(opts);
+    let ft = m.tree().clone();
     let mut rng = rng_from(opts);
-    let msgs = workload_from(opts, ft.n(), &mut rng);
+    let msgs = m.map(&workload_from(opts, &m, &mut rng));
+    m.announce();
     let lambda = load_factor(&ft, &msgs);
     let scheduler = opts.get("scheduler").map(String::as_str).unwrap_or("thm1");
     let (schedule, label) = match scheduler {
@@ -332,9 +620,11 @@ fn cmd_schedule(opts: &HashMap<String, String>) {
 }
 
 fn cmd_online(opts: &HashMap<String, String>) {
-    let ft = tree_from(opts);
+    let m = machine_from(opts);
+    let ft = m.tree().clone();
     let mut rng = rng_from(opts);
-    let msgs = workload_from(opts, ft.n(), &mut rng);
+    let msgs = m.map(&workload_from(opts, &m, &mut rng));
+    m.announce();
     let lambda = load_factor(&ft, &msgs);
     let mut rec = MetricsRecorder::new();
     let res =
@@ -400,26 +690,25 @@ fn order_fingerprint(order: &[usize]) -> u64 {
 }
 
 fn cmd_simulate(opts: &HashMap<String, String>) {
-    let ft = tree_from(opts);
+    let m = machine_from(opts);
+    let ft = m.tree().clone();
     let cfg = sim_config_from(opts);
     let spec = opts
         .get("workload")
         .cloned()
         .unwrap_or_else(|| "perm".into());
-    // Streamed specs never build a message vector: the generator feeds the
-    // arena's two-pass counting-sort ingest directly.
-    let (run, n_msgs, streamed) = match stream_from(opts, ft.n()) {
+    // Streamed specs never build a message vector: the generator (lazily
+    // mapped onto the padded tree) feeds the arena's two-pass
+    // counting-sort ingest directly.
+    let (run, n_msgs, streamed) = match stream_from(opts, &m) {
         Some(stream) => {
             let len = stream.len();
-            (
-                run_stream_to_completion(&ft, stream.as_ref(), &cfg),
-                len,
-                true,
-            )
+            let mapped = m.emb.stream(stream.as_ref());
+            (run_stream_to_completion(&ft, &mapped, &cfg), len, true)
         }
         None => {
             let mut rng = rng_from(opts);
-            let msgs = workload_from(opts, ft.n(), &mut rng);
+            let msgs = m.map(&workload_from(opts, &m, &mut rng));
             let len = msgs.len();
             (run_to_completion(&ft, &msgs, &cfg), len, false)
         }
@@ -431,8 +720,9 @@ fn cmd_simulate(opts: &HashMap<String, String>) {
             .map(usize::to_string)
             .collect::<Vec<_>>()
             .join(",");
+        let topo = m.json_field();
         println!(
-            "{{\"schema\":\"ftsim-simulate/v1\",\"workload\":\"{spec}\",\"n\":{},\"w\":{},\
+            "{{\"schema\":\"ftsim-simulate/v1\",{topo}\"workload\":\"{spec}\",\"n\":{},\"w\":{},\
              \"messages\":{n_msgs},\"streamed\":{streamed},\"cycles\":{},\"total_ticks\":{},\
              \"delivered_per_cycle\":[{per_cycle}],\"order_fnv\":\"{:016x}\"}}",
             ft.n(),
@@ -443,6 +733,7 @@ fn cmd_simulate(opts: &HashMap<String, String>) {
         );
         return;
     }
+    m.announce();
     println!(
         "bit-serial machine: {} messages in {} delivery cycles, {} total ticks",
         n_msgs, run.cycles, run.total_ticks
@@ -495,13 +786,14 @@ fn serve_probe(n: u32, w: u64) -> Option<(fat_tree::serve::ServerStats, u64, u64
 /// channel load histograms, cascade matching statistics, and a live serve
 /// probe.
 fn cmd_report(opts: &HashMap<String, String>) {
-    let ft = tree_from(opts);
+    let m = machine_from(opts);
+    let ft = m.tree().clone();
     let mut rng = rng_from(opts);
     let spec = opts
         .get("workload")
         .cloned()
         .unwrap_or_else(|| "perm".into());
-    let msgs = workload_from(opts, ft.n(), &mut rng);
+    let msgs = m.map(&workload_from(opts, &m, &mut rng));
     let as_json = opts.get("format").map(String::as_str) == Some("json");
     let lambda = load_factor(&ft, &msgs);
 
@@ -568,8 +860,9 @@ fn cmd_report(opts: &HashMap<String, String>) {
             ),
             None => "null".into(),
         };
+        let topo = m.json_field();
         println!(
-            "{{\"schema\":\"ftsim-report/v2\",\"workload\":\"{spec}\",\"n\":{},\"w\":{},\"messages\":{},\"lambda\":{lambda:.6},\"offline_cycles\":{},\"online_cycles\":{},\"sim_cycles\":{},\"cascade\":{{\"inputs\":{r},\"outputs\":{},\"guaranteed\":{k}}},\"schedule\":{},\"online\":{},\"simulate\":{},\"concentrator\":{},\"shard\":{},\"serve\":{serve_json}}}",
+            "{{\"schema\":\"ftsim-report/v2\",{topo}\"workload\":\"{spec}\",\"n\":{},\"w\":{},\"messages\":{},\"lambda\":{lambda:.6},\"offline_cycles\":{},\"online_cycles\":{},\"sim_cycles\":{},\"cascade\":{{\"inputs\":{r},\"outputs\":{},\"guaranteed\":{k}}},\"schedule\":{},\"online\":{},\"simulate\":{},\"concentrator\":{},\"shard\":{},\"serve\":{serve_json}}}",
             ft.n(),
             ft.root_capacity(),
             msgs.len(),
@@ -590,6 +883,7 @@ fn cmd_report(opts: &HashMap<String, String>) {
         return;
     }
 
+    m.announce();
     println!(
         "report: workload {spec}, n = {}, w = {}, {} messages",
         ft.n(),
@@ -646,9 +940,10 @@ fn cmd_report(opts: &HashMap<String, String>) {
 
 /// Capture packed trace events from one engine and export them.
 fn cmd_trace(opts: &HashMap<String, String>) {
-    let ft = tree_from(opts);
+    let m = machine_from(opts);
+    let ft = m.tree().clone();
     let mut rng = rng_from(opts);
-    let msgs = workload_from(opts, ft.n(), &mut rng);
+    let msgs = m.map(&workload_from(opts, &m, &mut rng));
     let events = get_u32(opts, "events", 4096) as usize;
     let engine = opts.get("engine").map(String::as_str).unwrap_or("online");
     let format = opts.get("format").map(String::as_str).unwrap_or("jsonl");
@@ -775,13 +1070,14 @@ impl fat_tree::serve::MetricsSource for ShardScrape {
 /// Run the workload through the distributed sharded engine and check the
 /// result against the single-arena engine.
 fn cmd_shard(opts: &HashMap<String, String>) {
-    let ft = tree_from(opts);
+    let m = machine_from(opts);
+    let ft = m.tree().clone();
     let mut rng = rng_from(opts);
     let spec = opts
         .get("workload")
         .cloned()
         .unwrap_or_else(|| "perm".into());
-    let msgs = workload_from(opts, ft.n(), &mut rng);
+    let msgs = m.map(&workload_from(opts, &m, &mut rng));
     let sim = sim_config_from(opts);
     let shards = get_u32(opts, "shards", 4);
     let as_json = opts.get("format").map(String::as_str) == Some("json");
@@ -881,8 +1177,9 @@ fn cmd_shard(opts: &HashMap<String, String>) {
             .map(usize::to_string)
             .collect();
         let ns_list = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        let topo = m.json_field();
         println!(
-            "{{\"schema\":\"ftsim-shard/v1\",\"workload\":\"{spec}\",\"n\":{},\"w\":{},\"messages\":{},\"shards\":{},\"transport\":\"{}\",\"cycles\":{},\"total_ticks\":{},\"delivered_per_cycle\":[{}],\"matches_single_arena\":{matches},\"stats\":{{\"frames_sent\":{},\"frames_received\":{},\"bytes_sent\":{},\"bytes_received\":{},\"retries\":{},\"checksum_rejects\":{},\"duplicates\":{},\"barrier_wait_ns\":{},\"top_ns\":{},\"merge_ns\":{},\"shard_up_ns\":[{}],\"shard_down_ns\":[{}],\"link_frames_sent\":[{}],\"link_frames_received\":[{}],\"link_retries\":[{}],\"link_checksum_rejects\":[{}]}}}}",
+            "{{\"schema\":\"ftsim-shard/v1\",{topo}\"workload\":\"{spec}\",\"n\":{},\"w\":{},\"messages\":{},\"shards\":{},\"transport\":\"{}\",\"cycles\":{},\"total_ticks\":{},\"delivered_per_cycle\":[{}],\"matches_single_arena\":{matches},\"stats\":{{\"frames_sent\":{},\"frames_received\":{},\"bytes_sent\":{},\"bytes_received\":{},\"retries\":{},\"checksum_rejects\":{},\"duplicates\":{},\"barrier_wait_ns\":{},\"top_ns\":{},\"merge_ns\":{},\"shard_up_ns\":[{}],\"shard_down_ns\":[{}],\"link_frames_sent\":[{}],\"link_frames_received\":[{}],\"link_retries\":[{}],\"link_checksum_rejects\":[{}]}}}}",
             ft.n(),
             ft.root_capacity(),
             msgs.len(),
@@ -909,6 +1206,7 @@ fn cmd_shard(opts: &HashMap<String, String>) {
             ns_list(&st.link_checksum_rejects),
         );
     } else {
+        m.announce();
         println!(
             "sharded engine: {} messages over {} shards ({}), {} delivery cycles, {} total ticks",
             msgs.len(),
@@ -953,14 +1251,14 @@ fn cmd_serve(opts: &HashMap<String, String>) {
     use fat_tree::serve::{spawn, ServerConfig};
     use std::io::{Read, Write};
 
-    let n = get_u32(opts, "n", 256);
+    let (n, w) = universal_nw_from(opts, "serve");
     let cfg = ServerConfig {
         addr: opts
             .get("addr")
             .cloned()
             .unwrap_or_else(|| "127.0.0.1:0".into()),
         n,
-        w: get_u32(opts, "w", (n / 4).max(1)) as u64,
+        w,
         slots: get_u32(opts, "slots", 8).max(1),
         window_us: get_u32(opts, "window-us", 200) as u64,
         inflight: get_u32(opts, "inflight", 64).max(1) as usize,
@@ -1034,7 +1332,7 @@ fn cmd_bench_client(opts: &HashMap<String, String>) {
         eprintln!("bench-client: --addr HOST:PORT is required");
         exit(2);
     };
-    let n = get_u32(opts, "n", 256);
+    let (n, w) = universal_nw_from(opts, "bench-client");
     let engine = match opts.get("engine").map(String::as_str).unwrap_or("schedule") {
         "schedule" => Engine::Schedule,
         "online" => Engine::Online,
@@ -1063,7 +1361,7 @@ fn cmd_bench_client(opts: &HashMap<String, String>) {
     let cfg = BenchConfig {
         addr,
         n,
-        w: get_u32(opts, "w", (n / 4).max(1)) as u64,
+        w,
         clients: get_u32(opts, "clients", 4).max(1) as usize,
         requests: get_u32(opts, "requests", 200) as u64,
         messages: get_u32(opts, "messages", 64) as usize,
@@ -1120,6 +1418,7 @@ fn cmd_bench_client(opts: &HashMap<String, String>) {
 fn cmd_metrics_scrape(opts: &HashMap<String, String>) {
     use std::net::ToSocketAddrs;
 
+    reject_topology(opts, "metrics-scrape", "it scrapes a running listener");
     let Some(addr) = opts.get("addr") else {
         eprintln!("metrics-scrape: --addr HOST:PORT is required");
         exit(2);
@@ -1146,6 +1445,11 @@ fn cmd_metrics_scrape(opts: &HashMap<String, String>) {
 }
 
 fn cmd_universality(opts: &HashMap<String, String>) {
+    reject_topology(
+        opts,
+        "universality",
+        "the guest is a fixed-connection network (--net); the host tree is derived from it",
+    );
     let net = network_from(opts);
     let mut rng = rng_from(opts);
     let msgs = workloads::random_permutation(net.n() as u32, &mut rng);
@@ -1161,6 +1465,11 @@ fn cmd_universality(opts: &HashMap<String, String>) {
 }
 
 fn cmd_emulate(opts: &HashMap<String, String>) {
+    reject_topology(
+        opts,
+        "emulate",
+        "the guest is a fixed-connection network (--net); the host tree is derived from it",
+    );
     let net = network_from(opts);
     let em = Emulation::build(net.as_ref(), 1.0);
     println!(
@@ -1179,7 +1488,9 @@ fn cmd_emulate(opts: &HashMap<String, String>) {
 }
 
 fn cmd_layout(opts: &HashMap<String, String>) {
-    let ft = tree_from(opts);
+    let m = machine_from(opts);
+    let ft = m.tree().clone();
+    m.announce();
     let layout = FatTreeLayout::build(&ft);
     let d = layout.level_dims[0];
     println!(

@@ -14,6 +14,7 @@
 //! | [`networks`] | §I, §VI | hypercube, meshes, torus, tree, butterfly, CCC, Beneš |
 //! | [`workloads`] | §I–§III | permutations, k-relations, locality, FEM, hot-spots |
 //! | [`universal`] | §VI | the Theorem 10 pipeline |
+//! | [`topology`] | §II gen. | generalized topologies: k-ary pods, two-layer trees, binary embeddings |
 //! | [`telemetry`] | — | recorder trait, metrics registry, packed event tracing |
 //!
 //! ## Quickstart
@@ -57,6 +58,7 @@ pub use ft_serve as serve;
 pub use ft_shard as shard;
 pub use ft_sim as sim;
 pub use ft_telemetry as telemetry;
+pub use ft_topology as topology;
 pub use ft_universal as universal;
 pub use ft_workloads as workloads;
 
@@ -76,5 +78,6 @@ pub mod prelude {
         run_stream_to_completion, run_to_completion, simulate_cycle, SimConfig, SwitchKind,
     };
     pub use ft_telemetry::{MetricsRecorder, NoopRecorder, Recorder};
+    pub use ft_topology::{parse_spec, Embedded, Topology};
     pub use ft_universal::{simulate_on_fat_tree, Identification};
 }

@@ -711,3 +711,187 @@ fn streamed_spec_argument_errors_are_rejected() {
     assert!(!ok);
     assert!(stderr.contains("power of two"), "{stderr}");
 }
+
+#[test]
+fn topology_subcommand_emits_schema_for_all_families() {
+    for spec in [
+        "universal:n=64,w=16",
+        "kary:k=8,over=4",
+        "twolayer:r=16,p=8",
+    ] {
+        let (ok, stdout, stderr) = ftsim(&["topology", "--topology", spec, "--format", "json"]);
+        assert!(ok, "{spec}: {stderr}");
+        assert!(
+            stdout.starts_with("{\"schema\":\"ftsim-topology/v1\""),
+            "{stdout}"
+        );
+        assert!(stdout.contains("\"levels\":["), "{stdout}");
+        assert!(stdout.contains("\"cost\":{\"switches\":"), "{stdout}");
+        let bound: f64 = json_field(&stdout, "lambda_perm_bound").parse().unwrap();
+        assert!(bound > 0.0, "{spec}: λ bound {bound}");
+    }
+    // Without --topology the subcommand describes the default universal
+    // machine (the --n/--w path everything else defaults to).
+    let (ok, stdout, _) = ftsim(&["topology", "--format", "json"]);
+    assert!(ok);
+    assert_eq!(json_field(&stdout, "family"), "\"universal\"", "{stdout}");
+    // Text form names the family and renders the level table.
+    let (ok, stdout, _) = ftsim(&["topology", "--topology", "kary:k=8"]);
+    assert!(ok);
+    assert!(stdout.contains("kary:k=8"), "{stdout}");
+    assert!(stdout.contains("level"), "{stdout}");
+}
+
+#[test]
+fn bad_topology_specs_are_rejected() {
+    for spec in [
+        "nosuch:k=8",
+        "kary:k=7",
+        "kary:k=8,over=0",
+        "universal:n=63,w=16",
+        "twolayer:r=16,p=32",
+        "perlevel:caps=1/2/4",
+        "kary",
+    ] {
+        let (ok, _, stderr) = ftsim(&["topology", "--topology", spec]);
+        assert!(!ok, "{spec} was accepted");
+        assert!(stderr.contains("bad --topology spec"), "{spec}: {stderr}");
+    }
+    // --topology replaces --n/--w: mixing them is a usage error.
+    let (ok, _, stderr) = ftsim(&["simulate", "--topology", "kary:k=8", "--n", "64"]);
+    assert!(!ok);
+    assert!(stderr.contains("--topology replaces --n/--w"), "{stderr}");
+}
+
+#[test]
+fn topology_binary_simulate_matches_classic_path() {
+    // The universal spec must be the --n/--w path bit for bit: same
+    // cycles, same delivery-order fingerprint, same machine dimensions.
+    let classic = ftsim(&[
+        "simulate",
+        "--n",
+        "64",
+        "--w",
+        "16",
+        "--workload",
+        "perm",
+        "--seed",
+        "9",
+        "--format",
+        "json",
+    ]);
+    let topo = ftsim(&[
+        "simulate",
+        "--topology",
+        "universal:n=64,w=16",
+        "--workload",
+        "perm",
+        "--seed",
+        "9",
+        "--format",
+        "json",
+    ]);
+    assert!(classic.0 && topo.0, "{} {}", classic.2, topo.2);
+    // (substring check: the spec itself contains commas, which the naive
+    // json_field extractor splits on)
+    assert!(
+        topo.1.contains("\"topology\":\"universal:n=64,w=16\","),
+        "{}",
+        topo.1
+    );
+    for key in ["n", "w", "cycles", "order_fnv", "delivered_per_cycle"] {
+        assert_eq!(
+            json_field(&classic.1, key),
+            json_field(&topo.1, key),
+            "{key} diverged between classic and topology paths"
+        );
+    }
+    // The classic output carries no topology field at all.
+    assert!(!classic.1.contains("\"topology\""), "{}", classic.1);
+}
+
+#[test]
+fn topology_flag_runs_through_engine_subcommands() {
+    // Non-power-of-two machine through simulate/schedule/online/report.
+    let (ok, stdout, stderr) = ftsim(&[
+        "simulate",
+        "--topology",
+        "twolayer:r=16,p=8,n=100",
+        "--workload",
+        "perm",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "{stderr}");
+    assert_eq!(json_field(&stdout, "messages"), "104"); // rounded up to full pods
+    let (ok, stdout, stderr) = ftsim(&[
+        "schedule",
+        "--topology",
+        "kary:k=8,over=4",
+        "--workload",
+        "perm",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("delivery cycles"), "{stdout}");
+    let (ok, stdout, stderr) = ftsim(&["online", "--topology", "kary:k=8", "--workload", "krel:2"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("on-line"), "{stdout}");
+    let (ok, stdout, stderr) = ftsim(&[
+        "report",
+        "--topology",
+        "kary:k=8",
+        "--workload",
+        "perm",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("\"topology\":\"kary:k=8,over=1\","),
+        "{stdout}"
+    );
+    // Collectives on a topology default to its own pod size (8-ary pods
+    // hold 4 servers each — not a power of two times anything the mask
+    // streams could handle at k=6, and modular here).
+    let (ok, stdout, stderr) = ftsim(&[
+        "simulate",
+        "--topology",
+        "kary:k=6",
+        "--workload",
+        "allreduce",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "{stderr}");
+    // k=6 pods hold 3 servers over 54 processors: 2·(3−1)·54 messages.
+    assert_eq!(json_field(&stdout, "messages"), "216", "{stdout}");
+}
+
+#[test]
+fn topology_is_rejected_where_it_cannot_apply() {
+    let (ok, _, stderr) = ftsim(&["serve", "--topology", "kary:k=8", "--max-requests", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("universal"), "{stderr}");
+    let (ok, _, stderr) = ftsim(&[
+        "universality",
+        "--net",
+        "ring",
+        "--side",
+        "8",
+        "--topology",
+        "kary:k=8",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--topology"), "{stderr}");
+    let (ok, _, stderr) = ftsim(&[
+        "emulate",
+        "--net",
+        "ring",
+        "--side",
+        "8",
+        "--topology",
+        "kary:k=8",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--topology"), "{stderr}");
+}
